@@ -1,0 +1,51 @@
+// Figure 12: the initialization hyper-parameter γ — too small misestimates
+// arms, too large wastes budget on full-pool frames; the score curve rises
+// then falls.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vqe;
+using namespace vqe::bench;
+
+int main() {
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Initialization-length sweep (gamma)", "Figure 12", settings);
+
+  for (const char* dataset : {"nusc-clear", "nusc-night", "nusc-rainy"}) {
+    auto pool = std::move(BuildNuscenesPool(5)).value();
+    ExperimentConfig config = MakeConfig(dataset, settings);
+
+    std::vector<FrameMatrix> matrices;
+    for (int trial = 0; trial < config.trials; ++trial) {
+      matrices.push_back(
+          std::move(BuildTrialMatrix(config, pool, trial)).value());
+    }
+
+    std::cout << "\nDataset " << dataset << ":\n";
+    TablePrinter table({"gamma", "MES s_sum", "avg AP", "avg cost"});
+    for (size_t gamma : {1, 3, 10, 30, 100, 300}) {
+      EngineOptions engine;
+      engine.sc = ScoringFunction{0.5, 0.5};
+      double s_sum = 0, ap = 0, cost = 0;
+      for (const auto& matrix : matrices) {
+        MesOptions opt;
+        opt.gamma = gamma;
+        MesStrategy mes(opt);
+        const auto run = RunStrategy(matrix, &mes, engine);
+        s_sum += run->s_sum;
+        ap += run->avg_true_ap;
+        cost += run->avg_norm_cost;
+      }
+      const double n = static_cast<double>(matrices.size());
+      table.AddRow({std::to_string(gamma), Fmt(s_sum / n, 1), Fmt(ap / n, 3),
+                    Fmt(cost / n, 3)});
+    }
+    table.Print(std::cout);
+  }
+  std::cout << "\nExpected shape (paper): scores rise from gamma=1 to a "
+               "moderate optimum, then fall as the expensive full-pool "
+               "initialization eats into the video.\n";
+  return 0;
+}

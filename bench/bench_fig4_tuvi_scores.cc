@@ -1,0 +1,42 @@
+// Figure 4: TUVI scores (s_sum mean/sd/min/max over trials) of OPT, BF,
+// SGL, RAND, EF and MES on V_nusc, V_nusc^clear, V_nusc^night,
+// V_nusc^rainy and V_bdd.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace vqe;
+using namespace vqe::bench;
+
+int main() {
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("TUVI: sum of scores by algorithm", "Figure 4", settings);
+
+  for (const char* dataset :
+       {"nusc", "nusc-clear", "nusc-night", "nusc-rainy", "bdd"}) {
+    auto pool = std::move(BuildPoolForDataset(dataset, 5)).value();
+    ExperimentConfig config = MakeConfig(dataset, settings);
+    const auto result =
+        RunExperiment(config, pool, DefaultTuviStrategies(10, 2));
+    if (!result.ok()) {
+      std::cerr << result.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\nDataset " << dataset << " (~"
+              << Fmt(result->avg_video_frames, 0) << " frames/trial):\n";
+    PrintOutcomeTable(*result, std::cout);
+
+    const auto* opt = result->Find("OPT");
+    const auto* mes = result->Find("MES");
+    if (opt && mes && opt->s_sum.mean > 0) {
+      std::cout << "MES/OPT = " << Fmt(100.0 * mes->s_sum.mean /
+                                       opt->s_sum.mean, 1)
+                << "%\n";
+    }
+  }
+  std::cout << "\nExpected shape (paper): MES above SGL/BF/RAND/EF on every "
+               "dataset, within ~85% of OPT at full scale, with a narrower "
+               "min-max band than EF.\n";
+  return 0;
+}

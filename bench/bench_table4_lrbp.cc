@@ -1,0 +1,80 @@
+// Table 4: LRBP extra-budget prediction — after exhausting budget B on a
+// video, predict the extra budget needed to finish it and compare with the
+// actual cost of finishing under the same strategy.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/lrbp.h"
+#include "core/mes_b.h"
+
+using namespace vqe;
+using namespace vqe::bench;
+
+int main() {
+  BenchSettings settings = BenchSettings::FromEnv();
+  // LRBP assumes the budgeted prefix reaches MES's steady state (Table 4's
+  // |V_B| is 11k-48k frames), so this bench defaults to a larger replica.
+  if (std::getenv("VQE_BENCH_FRAMES") == nullptr &&
+      std::getenv("VQE_BENCH_FAST") == nullptr) {
+    settings.target_frames = 16000.0;
+  }
+  PrintHeader("LRBP extra-budget prediction", "Table 4", settings);
+
+  struct Row {
+    const char* dataset;
+    double budget_fraction;  // of the full-video MES cost
+  };
+  // Budgets mirror Table 4's regime: each processes a sizable share of the
+  // video (the paper's |V_B| is 11k-48k frames), past MES's exploration
+  // phase, where the cost curve is near-linear.
+  const Row rows[] = {
+      {"nusc", 0.25}, {"nusc", 0.40}, {"nusc", 0.60},
+      {"nusc-clear", 0.40}, {"nusc-night", 0.40}, {"nusc-rainy", 0.40},
+  };
+
+  TablePrinter table({"Dataset", "|V|", "B (ms)", "|V_B|", "B_lrbp", "B_extra",
+                      "error %"});
+  for (const Row& row : rows) {
+    auto pool = std::move(BuildPoolForDataset(row.dataset, 5)).value();
+    ExperimentConfig config = MakeConfig(row.dataset, settings);
+    const auto matrix = std::move(BuildTrialMatrix(config, pool, 0)).value();
+
+    // Full-video run to learn the total cost (the "actual" reference).
+    // TCVI processing uses the budget-aware strategy (MES-B) throughout.
+    EngineOptions engine;
+    engine.sc = ScoringFunction{0.5, 0.5};
+    engine.record_cost_curve = true;
+    MesBStrategy full_mes;
+    const auto full = RunStrategy(matrix, &full_mes, engine);
+
+    // Budgeted run.
+    engine.budget_ms = row.budget_fraction * full->charged_cost_ms;
+    MesBStrategy budget_mes;
+    const auto budgeted = RunStrategy(matrix, &budget_mes, engine);
+
+    const auto pred =
+        PredictExtraBudget(budgeted->cost_curve, matrix.size(), 0.3);
+    if (!pred.ok()) {
+      std::cerr << pred.status().ToString() << "\n";
+      return 1;
+    }
+    const double actual_extra =
+        full->charged_cost_ms - budgeted->charged_cost_ms;
+    const double err =
+        actual_extra > 0
+            ? 100.0 * std::fabs(pred->b_extra - actual_extra) / actual_extra
+            : 0.0;
+    table.AddRow({row.dataset, std::to_string(matrix.size()),
+                  Fmt(engine.budget_ms, 0),
+                  std::to_string(budgeted->frames_processed),
+                  Fmt(pred->b_extra, 0), Fmt(actual_extra, 0), Fmt(err, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape (paper): errors within ~10%. MES-B's "
+               "ratio rule converges to efficient arms quickly, so the "
+               "cost curve is near-linear and LRBP extrapolates it "
+               "accurately.\n";
+  return 0;
+}

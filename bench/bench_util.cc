@@ -1,0 +1,89 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace vqe {
+namespace bench {
+
+BenchSettings BenchSettings::FromEnv() {
+  BenchSettings s;
+  if (const char* fast = std::getenv("VQE_BENCH_FAST");
+      fast != nullptr && fast[0] == '1') {
+    s.trials = 3;
+    s.target_frames = 1200.0;
+  }
+  if (const char* trials = std::getenv("VQE_BENCH_TRIALS")) {
+    const int t = std::atoi(trials);
+    if (t > 0) s.trials = t;
+  }
+  if (const char* frames = std::getenv("VQE_BENCH_FRAMES")) {
+    const double f = std::atof(frames);
+    if (f > 0) s.target_frames = f;
+  }
+  return s;
+}
+
+double ScaleFor(const DatasetSpec& spec, double target_frames) {
+  const double total = static_cast<double>(spec.TotalFrames());
+  if (total <= target_frames) return 1.0;
+  return target_frames / total;
+}
+
+ExperimentConfig MakeConfig(const std::string& dataset,
+                            const BenchSettings& settings) {
+  ExperimentConfig config;
+  auto spec = DatasetCatalog::Default().Find(dataset);
+  if (!spec.ok()) {
+    std::cerr << "fatal: " << spec.status().ToString() << "\n";
+    std::exit(1);
+  }
+  config.dataset = *spec;
+  config.scene_scale = ScaleFor(**spec, settings.target_frames);
+  config.trials = settings.trials;
+  config.engine.sc = ScoringFunction{0.5, 0.5};
+  return config;
+}
+
+StrategySpec SwMesSpec(size_t window) {
+  return {"SW-MES", [window] {
+            SwMesOptions o;
+            o.window = window;
+            o.exploration_scale = 0.05;
+            o.min_probes = 8;
+            return std::make_unique<SwMesStrategy>(o);
+          }};
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchSettings& settings) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Settings: %d trials, ~%.0f frames/video "
+              "(override via VQE_BENCH_TRIALS / VQE_BENCH_FRAMES)\n",
+              settings.trials, settings.target_frames);
+  std::printf("==============================================================\n");
+}
+
+void PrintOutcomeTable(const ExperimentResult& result, std::ostream& os) {
+  TablePrinter table({"algorithm", "s_sum mean", "sd", "min", "max",
+                      "avg AP", "avg cost", "regret"});
+  for (const auto& o : result.outcomes) {
+    table.AddRow({o.label, Fmt(o.s_sum.mean, 1), Fmt(o.s_sum.stddev, 1),
+                  Fmt(o.s_sum.min, 1), Fmt(o.s_sum.max, 1),
+                  Fmt(o.avg_true_ap.mean, 3), Fmt(o.avg_norm_cost.mean, 3),
+                  Fmt(o.regret.mean, 1)});
+  }
+  table.Print(os);
+}
+
+}  // namespace bench
+}  // namespace vqe

@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one table or figure of the paper on a scaled-down replica of its datasets
+// (full Table 1/2 sizes are reachable by raising the env knobs below).
+//
+// Environment knobs:
+//   VQE_BENCH_TRIALS  — independent trials per configuration (default 10;
+//                       the paper uses 100)
+//   VQE_BENCH_FRAMES  — target frames per sampled video (default 4000;
+//                       datasets smaller than the target run at full size)
+//   VQE_BENCH_FAST=1  — quick smoke mode (3 trials, 1200 frames)
+
+#ifndef VQE_BENCH_BENCH_UTIL_H_
+#define VQE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+#include "sim/dataset.h"
+
+namespace vqe {
+namespace bench {
+
+/// Benchmark-wide settings resolved from the environment.
+struct BenchSettings {
+  int trials = 10;
+  double target_frames = 4000.0;
+
+  static BenchSettings FromEnv();
+};
+
+/// Scene scale that makes `spec` sample roughly `target_frames` frames
+/// (capped at 1.0 — never upsample beyond the paper's dataset size).
+double ScaleFor(const DatasetSpec& spec, double target_frames);
+
+/// Standard experiment config: dataset by name, auto-scaled, default
+/// scoring weights (0.5, 0.5).
+ExperimentConfig MakeConfig(const std::string& dataset,
+                            const BenchSettings& settings);
+
+/// SW-MES with the repo's variance-tuned drift defaults (window 450,
+/// exploration 0.05, 8 probes/window).
+StrategySpec SwMesSpec(size_t window = 450);
+
+/// Formats a double with the given precision.
+std::string Fmt(double v, int precision = 2);
+
+/// Prints the standard bench header.
+void PrintHeader(const std::string& title, const std::string& paper_ref,
+                 const BenchSettings& settings);
+
+/// Prints mean/sd/min/max rows (the Figure 4/7 box-plot statistics) for
+/// every outcome of an experiment.
+void PrintOutcomeTable(const ExperimentResult& result, std::ostream& os);
+
+}  // namespace bench
+}  // namespace vqe
+
+#endif  // VQE_BENCH_BENCH_UTIL_H_

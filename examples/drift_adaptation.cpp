@@ -1,0 +1,129 @@
+// Concept-drift adaptation (the TUVI-CD problem): a surveillance-style
+// stream alternating between clear and night segments. Cumulative MES locks
+// onto the long-run mixture while SW-MES re-specializes after every
+// breakpoint; this example prints what each algorithm selects per segment.
+//
+//   ./build/examples/drift_adaptation
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+#include "sim/video.h"
+
+namespace {
+
+// A strategy wrapper that records the selection per frame.
+class RecordingStrategy : public vqe::SelectionStrategy {
+ public:
+  explicit RecordingStrategy(std::unique_ptr<vqe::SelectionStrategy> inner)
+      : inner_(std::move(inner)) {}
+  const std::string& name() const override { return inner_->name(); }
+  void BeginVideo(const vqe::StrategyContext& ctx) override {
+    selections.clear();
+    inner_->BeginVideo(ctx);
+  }
+  vqe::EnsembleId Select(size_t t) override {
+    const vqe::EnsembleId s = inner_->Select(t);
+    selections.push_back(s);
+    return s;
+  }
+  void Observe(const vqe::FrameFeedback& feedback) override {
+    inner_->Observe(feedback);
+  }
+  std::vector<vqe::EnsembleId> selections;
+
+ private:
+  std::unique_ptr<vqe::SelectionStrategy> inner_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace vqe;
+
+  auto pool = std::move(BuildNuscenesPool(5)).value();
+  ExperimentConfig config;
+  config.dataset = *DatasetCatalog::Default().Find("c&n");
+  config.scene_scale = 0.5;  // segments of a few hundred frames
+
+  // Sample the same drifting video the matrix is built from, to report the
+  // per-segment contexts alongside the selections.
+  SampleOptions sample;
+  sample.scene_scale = config.scene_scale;
+  sample.seed = HashCombine(config.base_seed, 0);
+  const Video video =
+      std::move(SampleVideo(*config.dataset, sample)).value();
+  auto matrix = std::move(BuildTrialMatrix(config, pool, 0)).value();
+
+  const auto breakpoints = ContextBreakpoints(video);
+  std::printf("Drifting stream: %zu frames, %zu context breakpoints.\n\n",
+              video.size(), breakpoints.size());
+
+  EngineOptions engine;
+  engine.sc = ScoringFunction{0.5, 0.5};
+
+  RecordingStrategy mes(std::make_unique<MesStrategy>());
+  SwMesOptions sw_opt;
+  sw_opt.window = 450;
+  sw_opt.exploration_scale = 0.05;
+  RecordingStrategy sw(std::make_unique<SwMesStrategy>(sw_opt));
+
+  const auto mes_run = RunStrategy(matrix, &mes, engine);
+  const auto sw_run = RunStrategy(matrix, &sw, engine);
+
+  std::printf("%-38s %12s %12s\n", "", "MES", "SW-MES");
+  std::printf("%-38s %12.1f %12.1f\n", "sum of scores (s_sum)",
+              mes_run->s_sum, sw_run->s_sum);
+  std::printf("%-38s %12.3f %12.3f\n", "avg true AP", mes_run->avg_true_ap,
+              sw_run->avg_true_ap);
+  std::printf("%-38s %12.3f %12.3f\n\n", "avg normalized cost",
+              mes_run->avg_norm_cost, sw_run->avg_norm_cost);
+
+  // Per-segment modal selection of each algorithm.
+  std::printf("Per-segment behaviour (modal ensemble selected):\n");
+  std::printf("%-9s %-7s %-9s %-34s %s\n", "segment", "frames", "context",
+              "MES", "SW-MES");
+  size_t start = 0;
+  int segment = 0;
+  auto segment_mode = [&](const std::vector<EnsembleId>& sel, size_t lo,
+                          size_t hi) {
+    std::map<EnsembleId, int> counts;
+    for (size_t t = lo; t < hi && t < sel.size(); ++t) ++counts[sel[t]];
+    EnsembleId best = 1;
+    int best_count = 0;
+    for (const auto& [id, c] : counts) {
+      if (c > best_count) {
+        best_count = c;
+        best = id;
+      }
+    }
+    return best;
+  };
+  std::vector<size_t> bounds = breakpoints;
+  bounds.push_back(video.size());
+  for (size_t end : bounds) {
+    if (segment >= 12) {  // keep the printout short
+      std::printf("  ... (%zu more segments)\n", bounds.size() - segment);
+      break;
+    }
+    const EnsembleId mes_mode = segment_mode(mes.selections, start, end);
+    const EnsembleId sw_mode = segment_mode(sw.selections, start, end);
+    std::printf("%-9d %-7zu %-9s %-34s %s\n", segment, end - start,
+                SceneContextToString(video.frames[start].context),
+                EnsembleName(mes_mode, matrix.model_names).c_str(),
+                EnsembleName(sw_mode, matrix.model_names).c_str());
+    start = end;
+    ++segment;
+  }
+
+  std::printf("\nExpected: SW-MES's modal choice follows the segment context "
+              "(night specialist during night segments) while MES settles "
+              "on a fixed mixture-optimal choice.\n");
+  return 0;
+}

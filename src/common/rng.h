@@ -1,0 +1,156 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator draws from a seeded stream
+// derived from stable integer keys (trial, frame, model, purpose), so that
+// (a) experiments are reproducible bit-for-bit, and (b) the randomness seen
+// by one component is independent of how often other components sample.
+
+#ifndef VQE_COMMON_RNG_H_
+#define VQE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace vqe {
+
+/// SplitMix64 hash step; used both as a seeding mixer and a key combiner.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a seed with a stream key into a new seed (order-sensitive).
+inline uint64_t HashCombine(uint64_t seed, uint64_t key) {
+  return SplitMix64(seed ^ (key + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                            (seed >> 2)));
+}
+
+/// xoshiro256** 1.0 — small, fast, high-quality generator.
+///
+/// Satisfies UniformRandomBitGenerator. Construct from a single 64-bit seed;
+/// internal state is expanded with SplitMix64 per the reference
+/// implementation's recommendation.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0xC0FFEE123456789ULL) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm = SplitMix64(sm);
+      word = sm;
+    }
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's nearly-divisionless bounded sampling.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (~n + 1) % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps streams
+  /// key-derivable without hidden state).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Avoid log(0).
+    u1 = u1 < 1e-300 ? 1e-300 : u1;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Poisson draw. Uses Knuth's method for small lambda and a normal
+  /// approximation above 30 (adequate for simulation workloads).
+  int Poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 30.0) {
+      double v = Gaussian(lambda, std::sqrt(lambda));
+      return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = NextDouble();
+    int n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Derives an independent Rng from a root seed and up to four stream keys.
+/// Identical keys always yield identical streams.
+inline Rng MakeStreamRng(uint64_t root_seed, uint64_t k1, uint64_t k2 = 0,
+                         uint64_t k3 = 0, uint64_t k4 = 0) {
+  uint64_t s = HashCombine(root_seed, k1);
+  s = HashCombine(s, k2);
+  s = HashCombine(s, k3);
+  s = HashCombine(s, k4);
+  return Rng(s);
+}
+
+}  // namespace vqe
+
+#endif  // VQE_COMMON_RNG_H_

@@ -1,0 +1,155 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// Library code returns Status (or Result<T>) instead of throwing across
+// module boundaries. Hot paths that cannot fail take plain values.
+
+#ifndef VQE_COMMON_STATUS_H_
+#define VQE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vqe {
+
+/// Coarse error taxonomy for this library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kParseError,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// Cheap to copy in the OK case (no allocation). Use the factory functions
+/// (Status::OK(), Status::InvalidArgument(...)) rather than the constructor.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or an error Status. Modeled after
+/// arrow::Result. Accessing the value of an errored Result is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error, for ergonomic returns.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result<T> must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define VQE_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::vqe::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#define VQE_CONCAT_IMPL(a, b) a##b
+#define VQE_CONCAT(a, b) VQE_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define VQE_ASSIGN_OR_RETURN(lhs, expr) \
+  VQE_ASSIGN_OR_RETURN_IMPL(VQE_CONCAT(_vqe_res_, __LINE__), lhs, expr)
+
+#define VQE_ASSIGN_OR_RETURN_IMPL(res, lhs, expr) \
+  auto&& res = (expr);                            \
+  if (!res.ok()) return res.status();             \
+  lhs = std::move(res).value()
+
+}  // namespace vqe
+
+#endif  // VQE_COMMON_STATUS_H_

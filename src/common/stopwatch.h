@@ -1,0 +1,63 @@
+// Wall-clock stopwatch for measuring real overheads (Figure 13 style
+// breakdowns distinguish simulated inference cost from real algorithm
+// overhead, which this measures).
+
+#ifndef VQE_COMMON_STOPWATCH_H_
+#define VQE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vqe {
+
+/// Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across many timed sections.
+class TimeAccumulator {
+ public:
+  /// Adds `seconds` to the running total.
+  void Add(double seconds) { total_seconds_ += seconds; }
+
+  double total_seconds() const { return total_seconds_; }
+
+  void Reset() { total_seconds_ = 0.0; }
+
+ private:
+  double total_seconds_ = 0.0;
+};
+
+/// RAII guard that adds the guarded scope's duration to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) : acc_(acc) {}
+  ~ScopedTimer() { acc_->Add(watch_.ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+// String helpers used by the query parser, configuration handling and the
+// benchmark table printer.
+
+#ifndef VQE_COMMON_STRINGS_H_
+#define VQE_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqe {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace vqe
+
+#endif  // VQE_COMMON_STRINGS_H_

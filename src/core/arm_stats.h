@@ -1,0 +1,100 @@
+// Per-ensemble ("arm") bandit statistics: the placeholders T_S and μ̂_S of
+// Alg. 1, in both the cumulative form (Eq. 10) and the sliding-window form
+// of SW-MES (Eq. 15).
+
+#ifndef VQE_CORE_ARM_STATS_H_
+#define VQE_CORE_ARM_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/ensemble_id.h"
+
+namespace vqe {
+
+/// Cumulative count/mean per arm (Eq. 10).
+class ArmStats {
+ public:
+  /// Allocates stats for all ensembles of an m-model pool, zeroed.
+  void Reset(int num_models) {
+    const size_t n = NumEnsembles(num_models) + 1;
+    count_.assign(n, 0);
+    mean_.assign(n, 0.0);
+  }
+
+  /// Records one observation of arm `s` (running-mean update, Eq. 8/9).
+  void Record(EnsembleId s, double reward) {
+    const uint64_t n = ++count_[s];
+    mean_[s] += (reward - mean_[s]) / static_cast<double>(n);
+  }
+
+  /// T_S: number of observations of arm s.
+  uint64_t Count(EnsembleId s) const { return count_[s]; }
+
+  /// μ̂_S: mean observed reward of arm s (0 before any observation).
+  double Mean(EnsembleId s) const { return mean_[s]; }
+
+  size_t size() const { return count_.size(); }
+
+ private:
+  std::vector<uint64_t> count_;
+  std::vector<double> mean_;
+};
+
+/// Sliding-window count/mean per arm (Eq. 15): statistics cover only the
+/// last λ frames; evicted frames' contributions are subtracted in O(arms
+/// updated on that frame).
+class SlidingWindowArmStats {
+ public:
+  /// Resets for an m-model pool with window size λ (must be >= 1).
+  void Reset(int num_models, size_t window) {
+    const size_t n = NumEnsembles(num_models) + 1;
+    count_.assign(n, 0);
+    sum_.assign(n, 0.0);
+    window_ = window;
+    history_.clear();
+  }
+
+  /// Records the rewards observed on one frame: a list of (arm, reward)
+  /// pairs (the selected ensemble and its subsets). Frames beyond the
+  /// window are evicted.
+  void RecordFrame(std::vector<std::pair<EnsembleId, double>> observations) {
+    for (const auto& [s, r] : observations) {
+      ++count_[s];
+      sum_[s] += r;
+    }
+    history_.push_back(std::move(observations));
+    while (history_.size() > window_) {
+      for (const auto& [s, r] : history_.front()) {
+        --count_[s];
+        sum_[s] -= r;
+      }
+      history_.pop_front();
+    }
+  }
+
+  /// T^λ_S over the window.
+  uint64_t Count(EnsembleId s) const { return count_[s]; }
+
+  /// μ̂^λ_S over the window (0 when the arm is absent from the window).
+  double Mean(EnsembleId s) const {
+    return count_[s] == 0 ? 0.0
+                          : sum_[s] / static_cast<double>(count_[s]);
+  }
+
+  /// Number of frames currently covered (≤ λ).
+  size_t FramesInWindow() const { return history_.size(); }
+
+  size_t window() const { return window_; }
+
+ private:
+  std::vector<uint64_t> count_;
+  std::vector<double> sum_;
+  std::deque<std::vector<std::pair<EnsembleId, double>>> history_;
+  size_t window_ = 1;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_ARM_STATS_H_

@@ -1,0 +1,100 @@
+#include "core/baselines.h"
+
+#include <cassert>
+#include <limits>
+
+namespace vqe {
+
+void OptStrategy::BeginVideo(const StrategyContext& ctx) {
+  assert(ctx.oracle != nullptr && "OPT requires an OracleView");
+  oracle_ = ctx.oracle;
+  num_models_ = ctx.num_models;
+}
+
+EnsembleId OptStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  EnsembleId best = 1;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (EnsembleId s = 1; s <= full; ++s) {
+    const double r = oracle_->TrueScore(t, s);
+    if (r > best_score) {
+      best_score = r;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void SingleBestStrategy::BeginVideo(const StrategyContext& ctx) {
+  assert(ctx.oracle != nullptr && "SGL requires an OracleView");
+  // The paper: "always applies a specific single detector (which is the
+  // most accurate on average across all frames)". Average the true AP of
+  // each singleton over the video.
+  choice_ = 1;
+  double best_ap = -1.0;
+  for (int i = 0; i < ctx.num_models; ++i) {
+    const EnsembleId s = Singleton(i);
+    double sum = 0.0;
+    for (size_t t = 0; t < ctx.oracle->num_frames(); ++t) {
+      sum += ctx.oracle->TrueAp(t, s);
+    }
+    if (sum > best_ap) {
+      best_ap = sum;
+      choice_ = s;
+    }
+  }
+}
+
+void RandomStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  rng_ = MakeStreamRng(ctx.seed, 0x4A4D);
+}
+
+EnsembleId RandomStrategy::Select(size_t /*t*/) {
+  const uint32_t num_masks = NumEnsembles(num_models_);
+  return static_cast<EnsembleId>(1 + rng_.UniformInt(num_masks));
+}
+
+ExploreFirstStrategy::ExploreFirstStrategy(size_t frames_per_arm)
+    : frames_per_arm_(frames_per_arm == 0 ? 1 : frames_per_arm) {}
+
+void ExploreFirstStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  const size_t n = NumEnsembles(num_models_) + 1;
+  sum_.assign(n, 0.0);
+  count_.assign(n, 0);
+  committed_ = 0;
+  explore_frames_ = frames_per_arm_ * NumEnsembles(num_models_);
+}
+
+EnsembleId ExploreFirstStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  if (t < explore_frames_) {
+    // Round-robin through the arms, δ_EF frames each.
+    return static_cast<EnsembleId>(1 + t / frames_per_arm_);
+  }
+  if (committed_ == 0) {
+    // Commit to the best estimated arm after exploration.
+    double best = -std::numeric_limits<double>::infinity();
+    committed_ = 1;
+    for (EnsembleId s = 1; s <= full; ++s) {
+      if (count_[s] == 0) continue;
+      const double mean = sum_[s] / static_cast<double>(count_[s]);
+      if (mean > best) {
+        best = mean;
+        committed_ = s;
+      }
+    }
+  }
+  return committed_;
+}
+
+void ExploreFirstStrategy::Observe(const FrameFeedback& feedback) {
+  if (feedback.t >= explore_frames_) return;  // committed: nothing to learn
+  // Generic MAB: the pulled arm's reward only; no subset reuse.
+  const std::vector<double>& est = *feedback.est_score;
+  sum_[feedback.selected] += est[feedback.selected];
+  ++count_[feedback.selected];
+}
+
+}  // namespace vqe

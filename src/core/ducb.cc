@@ -1,0 +1,66 @@
+#include "core/ducb.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vqe {
+
+DucbMesStrategy::DucbMesStrategy(DucbOptions options)
+    : options_(options), name_("D-MES") {}
+
+void DucbMesStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  last_probe_ = 0;
+  const size_t n = NumEnsembles(num_models_) + 1;
+  count_.assign(n, 0.0);
+  sum_.assign(n, 0.0);
+}
+
+EnsembleId DucbMesStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  if (t < options_.gamma) return full;
+
+  if (options_.probe_interval > 0 &&
+      t >= last_probe_ + options_.probe_interval) {
+    last_probe_ = t;
+    return full;
+  }
+
+  // D-UCB: U_S = μ̃_S + ς·sqrt(2 ln N_t / T̃_S) with discounted counts; N_t
+  // is the total discounted number of observations.
+  double total = 0.0;
+  for (EnsembleId s = 1; s <= full; ++s) total += count_[s];
+  const double log_n = std::log(std::max(total, 2.0));
+
+  EnsembleId best = 1;
+  double best_u = -std::numeric_limits<double>::infinity();
+  for (EnsembleId s = 1; s <= full; ++s) {
+    double u;
+    if (count_[s] <= 1e-9) {
+      u = std::numeric_limits<double>::infinity();
+    } else {
+      u = sum_[s] / count_[s] +
+          options_.exploration_scale * std::sqrt(2.0 * log_n / count_[s]);
+    }
+    if (u > best_u) {
+      best_u = u;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void DucbMesStrategy::Observe(const FrameFeedback& feedback) {
+  // Geometric decay of all arms, then credit the observed subsets.
+  for (size_t s = 1; s < count_.size(); ++s) {
+    count_[s] *= options_.discount;
+    sum_[s] *= options_.discount;
+  }
+  const std::vector<double>& est = *feedback.est_score;
+  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+    count_[sub] += 1.0;
+    sum_[sub] += est[sub];
+  });
+}
+
+}  // namespace vqe

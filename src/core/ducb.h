@@ -1,0 +1,84 @@
+// D-MES: discounted-UCB ensemble selection — an extension of the paper.
+//
+// SW-MES (§3.3) adapts to concept drift by hard-truncating history to a
+// λ-frame window. Garivier & Moulines's companion policy, *discounted* UCB
+// (D-UCB, reference [28] of the paper), instead decays past rewards
+// geometrically: after each frame every arm's accumulated count and reward
+// are multiplied by a discount factor ρ < 1, giving an exponentially-
+// weighted history with effective horizon 1/(1−ρ). The decay is smooth, so
+// recent evidence dominates without the cliff-edge forgetting of a window.
+// We pair it with the same subset-update structure as MES.
+
+#ifndef VQE_CORE_DUCB_H_
+#define VQE_CORE_DUCB_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/strategy.h"
+
+namespace vqe {
+
+/// Tuning of D-MES.
+struct DucbOptions {
+  /// γ: initialization frames, as in MES.
+  size_t gamma = 10;
+  /// Discount factor ρ in (0, 1). Effective horizon ≈ 1/(1−ρ); the default
+  /// matches SW-MES's default window of ~450 frames.
+  double discount = 0.99778;
+  /// Exploration-bonus multiplier (see MesOptions::exploration_scale).
+  double exploration_scale = 0.05;
+  /// Full-pool probe spacing in frames (0 disables). Probes refresh every
+  /// arm's discounted statistics in one frame via subset updates, exactly
+  /// as in SW-MES.
+  size_t probe_interval = 56;
+
+  Status Validate() const {
+    if (gamma < 1) return Status::InvalidArgument("gamma must be >= 1");
+    if (discount <= 0.0 || discount >= 1.0) {
+      return Status::InvalidArgument("discount must be in (0, 1)");
+    }
+    if (exploration_scale <= 0.0) {
+      return Status::InvalidArgument("exploration_scale must be positive");
+    }
+    return Status::OK();
+  }
+
+  /// Effective memory length 1/(1−ρ).
+  double EffectiveHorizon() const { return 1.0 / (1.0 - discount); }
+
+  /// The ρ whose effective horizon matches a window of `frames`.
+  static double DiscountForHorizon(double frames) {
+    return frames <= 1.0 ? 0.5 : 1.0 - 1.0 / frames;
+  }
+};
+
+/// Discounted-UCB ensemble selection (D-MES).
+class DucbMesStrategy : public SelectionStrategy {
+ public:
+  explicit DucbMesStrategy(DucbOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  void BeginVideo(const StrategyContext& ctx) override;
+  EnsembleId Select(size_t t) override;
+  void Observe(const FrameFeedback& feedback) override;
+
+  /// Discounted pull count of an arm (diagnostics).
+  double DiscountedCount(EnsembleId s) const { return count_[s]; }
+  /// Discounted mean reward of an arm (0 when unobserved).
+  double DiscountedMean(EnsembleId s) const {
+    return count_[s] > 0.0 ? sum_[s] / count_[s] : 0.0;
+  }
+
+ private:
+  DucbOptions options_;
+  std::string name_;
+  int num_models_ = 0;
+  size_t last_probe_ = 0;
+  std::vector<double> count_;  // discounted T_S
+  std::vector<double> sum_;    // discounted reward sums
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_DUCB_H_

@@ -1,0 +1,142 @@
+#include "core/engine.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace vqe {
+
+Status EngineOptions::Validate() const {
+  VQE_RETURN_NOT_OK(sc.Validate());
+  if (budget_ms < 0.0) {
+    return Status::InvalidArgument("budget_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<RunResult> RunStrategy(const FrameMatrix& matrix,
+                              SelectionStrategy* strategy,
+                              const EngineOptions& options) {
+  VQE_RETURN_NOT_OK(options.Validate());
+  if (strategy == nullptr) {
+    return Status::InvalidArgument("strategy is null");
+  }
+  if (matrix.num_models < 1 || matrix.num_models > kMaxPoolSize) {
+    return Status::InvalidArgument("matrix has invalid num_models");
+  }
+
+  const uint32_t num_masks = matrix.num_ensembles();
+  const OracleView oracle(&matrix, options.sc);
+
+  StrategyContext ctx;
+  ctx.num_models = matrix.num_models;
+  ctx.num_frames = matrix.size();
+  ctx.sc = options.sc;
+  ctx.seed = options.strategy_seed;
+  ctx.oracle = &oracle;
+
+  TimeAccumulator algo_time;
+  {
+    ScopedTimer timer(&algo_time);
+    strategy->BeginVideo(ctx);
+  }
+
+  RunResult result;
+  result.selection_counts.assign(num_masks + 1, 0);
+
+  std::vector<double> est_score(num_masks + 1);
+  std::vector<double> norm_cost(num_masks + 1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  for (size_t t = 0; t < matrix.size(); ++t) {
+    // Alg. 2 line 6: proceed only while C <= B.
+    if (options.budget_ms > 0.0 &&
+        result.charged_cost_ms > options.budget_ms) {
+      break;
+    }
+    const FrameEvaluation& fe = matrix.frames[t];
+
+    EnsembleId selected;
+    {
+      ScopedTimer timer(&algo_time);
+      selected = strategy->Select(t);
+    }
+    if (selected == 0 || selected > num_masks) {
+      return Status::Internal("strategy selected an invalid ensemble mask");
+    }
+
+    // Charged cost (Eq. 14; Eq. 12 during full-pool initialization):
+    // every selected model once, plus fusion overhead for each subset.
+    double frame_cost = 0.0;
+    for (int i = 0; i < matrix.num_models; ++i) {
+      if (ContainsModel(selected, i)) {
+        frame_cost += fe.model_cost_ms[static_cast<size_t>(i)];
+        result.breakdown.detector_ms +=
+            fe.model_cost_ms[static_cast<size_t>(i)];
+      }
+    }
+    double overhead = 0.0;
+    ForEachSubset(selected, [&](EnsembleId sub) {
+      overhead += fe.fusion_overhead_ms[sub];
+    });
+    frame_cost += overhead;
+    result.breakdown.ensembling_ms += overhead;
+    result.charged_cost_ms += frame_cost;
+
+    if (strategy->UsesReferenceModel()) {
+      result.breakdown.reference_ms += fe.ref_cost_ms;
+    }
+
+    // Estimated rewards for subsets of the selection; NaN elsewhere
+    // (information protocol — those outputs do not exist).
+    const double inv_max =
+        fe.max_cost_ms > 0.0 ? 1.0 / fe.max_cost_ms : 0.0;
+    est_score.assign(num_masks + 1, nan);
+    norm_cost.assign(num_masks + 1, nan);
+    ForEachSubset(selected, [&](EnsembleId sub) {
+      norm_cost[sub] = fe.cost_ms[sub] * inv_max;
+      est_score[sub] = options.sc.Score(fe.est_ap[sub], norm_cost[sub]);
+    });
+
+    FrameFeedback feedback;
+    feedback.t = t;
+    feedback.selected = selected;
+    feedback.est_score = &est_score;
+    feedback.norm_cost = &norm_cost;
+    {
+      ScopedTimer timer(&algo_time);
+      strategy->Observe(feedback);
+    }
+
+    // Measurements (true scores; §5.5).
+    const double sel_norm_cost = fe.cost_ms[selected] * inv_max;
+    const double sel_true =
+        options.sc.Score(fe.true_ap[selected], sel_norm_cost);
+    double best_true = -std::numeric_limits<double>::infinity();
+    for (EnsembleId s = 1; s <= num_masks; ++s) {
+      const double r = options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
+      if (r > best_true) best_true = r;
+    }
+    result.s_sum += sel_true;
+    result.regret += best_true - sel_true;
+    result.avg_true_ap += fe.true_ap[selected];
+    result.avg_norm_cost += sel_norm_cost;
+    ++result.selection_counts[selected];
+    ++result.frames_processed;
+    if (options.record_cost_curve) {
+      result.cost_curve.emplace_back(result.frames_processed,
+                                     result.charged_cost_ms);
+    }
+  }
+
+  if (result.frames_processed > 0) {
+    const double n = static_cast<double>(result.frames_processed);
+    result.avg_true_ap /= n;
+    result.avg_norm_cost /= n;
+  }
+  result.breakdown.algorithm_ms = algo_time.total_seconds() * 1e3;
+  return result;
+}
+
+}  // namespace vqe

@@ -1,0 +1,82 @@
+// The ingestion engine: drives a selection strategy over a frame matrix,
+// enforcing the information protocol (estimated rewards only for subsets of
+// the selected ensemble), charging simulated time per Equations (1)/(12)/
+// (14), enforcing the TCVI budget (Alg. 2), and recording every measurement
+// of §5.5: s_sum, ā, ĉ, regret, selection distribution, time breakdown and
+// the cumulative-cost curve LRBP consumes.
+
+#ifndef VQE_CORE_ENGINE_H_
+#define VQE_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/frame_matrix.h"
+#include "core/scoring.h"
+#include "core/strategy.h"
+
+namespace vqe {
+
+/// Engine configuration for one run.
+struct EngineOptions {
+  ScoringFunction sc;
+  /// TCVI time budget B in simulated ms; 0 means unrestricted (TUVI).
+  /// Per Alg. 2, a frame is processed whenever C <= B still holds at the
+  /// top of the loop, so consumption may overshoot by one frame.
+  double budget_ms = 0.0;
+  /// Seed forwarded to randomized strategies.
+  uint64_t strategy_seed = 0;
+  /// Record the (t, cumulative cost) curve for LRBP.
+  bool record_cost_curve = false;
+
+  Status Validate() const;
+};
+
+/// Simulated/measured time decomposition of a run (Figure 13).
+struct TimeBreakdown {
+  /// Simulated camera-detector inference, ms.
+  double detector_ms = 0.0;
+  /// Simulated reference (LiDAR) inference, ms.
+  double reference_ms = 0.0;
+  /// Simulated box-fusion overhead c^e, ms.
+  double ensembling_ms = 0.0;
+  /// Real wall-clock spent in strategy Select/Observe, ms — the "other
+  /// optimization components" share.
+  double algorithm_ms = 0.0;
+
+  double TotalMs() const {
+    return detector_ms + reference_ms + ensembling_ms + algorithm_ms;
+  }
+};
+
+/// All measurements from one run of one strategy on one matrix.
+struct RunResult {
+  /// Σ true scores of the selected ensembles (s_sum of §5.5).
+  double s_sum = 0.0;
+  /// Average true AP of the selected ensembles (ā of §5.5).
+  double avg_true_ap = 0.0;
+  /// Average normalized cost ĉ of the selected ensembles.
+  double avg_norm_cost = 0.0;
+  /// Frames processed (|V| for TUVI; |V_B| for TCVI).
+  size_t frames_processed = 0;
+  /// Σ (r_{S*|v} − r_{Ĝ|v}) over processed frames (Eq. 17).
+  double regret = 0.0;
+  /// Total budget-accountable simulated cost C (Eq. 12/14), ms.
+  double charged_cost_ms = 0.0;
+  TimeBreakdown breakdown;
+  /// Number of times each ensemble was selected, indexed by mask.
+  std::vector<uint64_t> selection_counts;
+  /// (iteration, cumulative charged cost) pairs when record_cost_curve.
+  std::vector<std::pair<size_t, double>> cost_curve;
+};
+
+/// Runs `strategy` over the matrix. The strategy is reset via BeginVideo.
+Result<RunResult> RunStrategy(const FrameMatrix& matrix,
+                              SelectionStrategy* strategy,
+                              const EngineOptions& options);
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_ENGINE_H_

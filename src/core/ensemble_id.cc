@@ -1,0 +1,44 @@
+#include "core/ensemble_id.h"
+
+namespace vqe {
+
+std::vector<EnsembleId> AllEnsembles(int m) {
+  std::vector<EnsembleId> out;
+  const EnsembleId full = FullEnsemble(m);
+  out.reserve(full);
+  for (EnsembleId id = 1; id <= full; ++id) out.push_back(id);
+  return out;
+}
+
+std::vector<EnsembleId> SubsetsOf(EnsembleId mask) {
+  std::vector<EnsembleId> out;
+  ForEachSubset(mask, [&](EnsembleId sub) { out.push_back(sub); });
+  return out;
+}
+
+std::vector<int> EnsembleModels(EnsembleId id) {
+  std::vector<int> out;
+  for (int i = 0; i < kMaxPoolSize; ++i) {
+    if (ContainsModel(id, i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::string EnsembleName(EnsembleId id,
+                         const std::vector<std::string>& model_names) {
+  std::string out = "{";
+  bool first = true;
+  for (int i : EnsembleModels(id)) {
+    if (!first) out += ", ";
+    first = false;
+    if (i < static_cast<int>(model_names.size())) {
+      out += model_names[static_cast<size_t>(i)];
+    } else {
+      out += "M" + std::to_string(i);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace vqe

@@ -1,0 +1,172 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/baselines.h"
+#include "core/mes.h"
+
+namespace vqe {
+
+Status ExperimentConfig::Validate() const {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("experiment has no dataset");
+  }
+  if (scene_scale <= 0.0 || scene_scale > 1.0) {
+    return Status::InvalidArgument("scene_scale must be in (0, 1]");
+  }
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  if (parallelism < 0) {
+    return Status::InvalidArgument("parallelism must be >= 0");
+  }
+  VQE_RETURN_NOT_OK(matrix.Validate());
+  return engine.Validate();
+}
+
+const StrategyOutcome* ExperimentResult::Find(const std::string& label) const {
+  for (const auto& o : outcomes) {
+    if (o.label == label) return &o;
+  }
+  return nullptr;
+}
+
+Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
+                                     const DetectorPool& pool,
+                                     uint64_t trial_index) {
+  VQE_RETURN_NOT_OK(config.Validate());
+  const uint64_t trial_seed = HashCombine(config.base_seed, trial_index);
+  SampleOptions sample;
+  sample.scene_scale = config.scene_scale;
+  sample.seed = trial_seed;
+  VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*config.dataset, sample));
+  return BuildFrameMatrix(video, pool, trial_seed, config.matrix);
+}
+
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config, const DetectorPool& pool,
+    const std::vector<StrategySpec>& strategies) {
+  VQE_RETURN_NOT_OK(config.Validate());
+  if (strategies.empty()) {
+    return Status::InvalidArgument("no strategies to run");
+  }
+
+  ExperimentResult result;
+  result.outcomes.resize(strategies.size());
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    result.outcomes[i].label = strategies[i].label;
+  }
+  for (auto& o : result.outcomes) {
+    o.runs.resize(static_cast<size_t>(config.trials));
+  }
+
+  // One trial = sample video, build matrix, run every strategy. Trials are
+  // independent and deterministically seeded, so they can run on worker
+  // threads; results land in pre-sized slots, making the outcome identical
+  // for any thread count.
+  std::vector<double> frames_per_trial(static_cast<size_t>(config.trials),
+                                       0.0);
+  std::vector<Status> trial_status(static_cast<size_t>(config.trials));
+  auto run_trial = [&](int trial) {
+    auto matrix_result =
+        BuildTrialMatrix(config, pool, static_cast<uint64_t>(trial));
+    if (!matrix_result.ok()) {
+      trial_status[static_cast<size_t>(trial)] = matrix_result.status();
+      return;
+    }
+    const FrameMatrix& matrix = *matrix_result;
+    frames_per_trial[static_cast<size_t>(trial)] =
+        static_cast<double>(matrix.size());
+
+    EngineOptions engine = config.engine;
+    engine.strategy_seed =
+        HashCombine(config.base_seed, 0xABCD0000ULL + trial);
+
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      auto strategy = strategies[i].make();
+      if (strategy == nullptr) {
+        trial_status[static_cast<size_t>(trial)] =
+            Status::Internal("strategy factory returned null");
+        return;
+      }
+      auto run = RunStrategy(matrix, strategy.get(), engine);
+      if (!run.ok()) {
+        trial_status[static_cast<size_t>(trial)] = run.status();
+        return;
+      }
+      result.outcomes[i].runs[static_cast<size_t>(trial)] =
+          std::move(run).value();
+    }
+  };
+
+  int workers = config.parallelism;
+  if (workers == 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  workers = std::min(workers, config.trials);
+
+  if (workers <= 1) {
+    for (int trial = 0; trial < config.trials; ++trial) run_trial(trial);
+  } else {
+    std::atomic<int> next_trial{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([&] {
+        while (true) {
+          const int trial = next_trial.fetch_add(1);
+          if (trial >= config.trials) break;
+          run_trial(trial);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  double total_frames = 0.0;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    VQE_RETURN_NOT_OK(trial_status[static_cast<size_t>(trial)]);
+    total_frames += frames_per_trial[static_cast<size_t>(trial)];
+  }
+  result.avg_video_frames = total_frames / config.trials;
+
+  for (auto& outcome : result.outcomes) {
+    std::vector<double> s_sum, ap, cost, regret, frames;
+    for (const auto& run : outcome.runs) {
+      s_sum.push_back(run.s_sum);
+      ap.push_back(run.avg_true_ap);
+      cost.push_back(run.avg_norm_cost);
+      regret.push_back(run.regret);
+      frames.push_back(static_cast<double>(run.frames_processed));
+    }
+    outcome.s_sum = Summarize(s_sum);
+    outcome.avg_true_ap = Summarize(ap);
+    outcome.avg_norm_cost = Summarize(cost);
+    outcome.regret = Summarize(regret);
+    outcome.frames_processed = Summarize(frames);
+  }
+  return result;
+}
+
+std::vector<StrategySpec> DefaultTuviStrategies(size_t gamma,
+                                                size_t ef_explore) {
+  return {
+      {"OPT", [] { return std::make_unique<OptStrategy>(); }},
+      {"BF", [] { return std::make_unique<BruteForceStrategy>(); }},
+      {"SGL", [] { return std::make_unique<SingleBestStrategy>(); }},
+      {"RAND", [] { return std::make_unique<RandomStrategy>(); }},
+      {"EF",
+       [ef_explore] {
+         return std::make_unique<ExploreFirstStrategy>(ef_explore);
+       }},
+      {"MES",
+       [gamma] {
+         MesOptions opt;
+         opt.gamma = gamma;
+         return std::make_unique<MesStrategy>(opt);
+       }},
+  };
+}
+
+}  // namespace vqe

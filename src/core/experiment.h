@@ -1,0 +1,87 @@
+// Multi-trial experiment harness (§5.4-§5.5): every trial re-samples the
+// video dataset and the detector noise, builds the frame-evaluation matrix
+// once, runs every strategy on it, and aggregates s_sum / ā / ĉ statistics
+// (mean, stddev, min, max over trials) exactly as the paper's box plots
+// report them.
+
+#ifndef VQE_CORE_EXPERIMENT_H_
+#define VQE_CORE_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/engine.h"
+#include "core/frame_matrix.h"
+#include "sim/dataset.h"
+
+namespace vqe {
+
+/// Factory + label for one strategy under test.
+struct StrategySpec {
+  std::string label;
+  std::function<std::unique_ptr<SelectionStrategy>()> make;
+};
+
+/// Experiment configuration.
+struct ExperimentConfig {
+  const DatasetSpec* dataset = nullptr;
+  /// Scaled-down replica size; 1.0 reproduces the paper's full datasets.
+  double scene_scale = 0.05;
+  int trials = 20;
+  /// Pool size m (2, 3 or 5; Figure 11).
+  int pool_size = 5;
+  uint64_t base_seed = 1;
+  /// Worker threads for trial-level parallelism. 0 = one thread per
+  /// hardware core (capped at the trial count); 1 = serial. Results are
+  /// bit-identical regardless of the thread count: every trial's
+  /// randomness derives from (base_seed, trial index) alone.
+  int parallelism = 0;
+  MatrixOptions matrix;
+  EngineOptions engine;
+
+  Status Validate() const;
+};
+
+/// Aggregated per-strategy outcome.
+struct StrategyOutcome {
+  std::string label;
+  std::vector<RunResult> runs;  // one per trial
+  SampleSummary s_sum;
+  SampleSummary avg_true_ap;
+  SampleSummary avg_norm_cost;
+  SampleSummary regret;
+  SampleSummary frames_processed;
+};
+
+/// Whole experiment outcome.
+struct ExperimentResult {
+  std::vector<StrategyOutcome> outcomes;
+  /// Average frames per sampled video.
+  double avg_video_frames = 0.0;
+
+  /// Outcome by label; nullptr when absent.
+  const StrategyOutcome* Find(const std::string& label) const;
+};
+
+/// Runs `strategies` over `config.trials` independent trials.
+Result<ExperimentResult> RunExperiment(
+    const ExperimentConfig& config, const DetectorPool& pool,
+    const std::vector<StrategySpec>& strategies);
+
+/// Samples one trial's video and builds its matrix (for benches that work
+/// on the matrix directly, e.g. the Figure 3 scatter).
+Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
+                                     const DetectorPool& pool,
+                                     uint64_t trial_index);
+
+/// The default strategy line-up of Figure 4 (OPT, BF, SGL, RAND, EF, MES)
+/// with the given MES initialization γ and EF exploration length.
+std::vector<StrategySpec> DefaultTuviStrategies(size_t gamma,
+                                                size_t ef_explore);
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_EXPERIMENT_H_

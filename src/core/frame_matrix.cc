@@ -1,0 +1,123 @@
+#include "core/frame_matrix.h"
+
+namespace vqe {
+
+Status MatrixOptions::Validate() const {
+  if (ref_confidence_threshold < 0.0 || ref_confidence_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "ref_confidence_threshold must be in [0, 1]");
+  }
+  if (ap.iou_threshold <= 0.0 || ap.iou_threshold > 1.0) {
+    return Status::InvalidArgument("ap.iou_threshold must be in (0, 1]");
+  }
+  return fusion_options.Validate();
+}
+
+namespace {
+
+// Simulated box-fusion overhead c^e: a fixed dispatch cost plus a per-box
+// term. Kept ≪ any model's inference cost, per the paper's assumption.
+double SimulatedFusionOverheadMs(size_t num_input_boxes) {
+  return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
+}
+
+}  // namespace
+
+Result<FrameMatrix> BuildFrameMatrix(const Video& video,
+                                     const DetectorPool& pool,
+                                     uint64_t trial_seed,
+                                     const MatrixOptions& options) {
+  VQE_RETURN_NOT_OK(options.Validate());
+  if (pool.detectors.empty()) {
+    return Status::InvalidArgument("detector pool is empty");
+  }
+  if (pool.detectors.size() > static_cast<size_t>(kMaxPoolSize)) {
+    return Status::InvalidArgument("detector pool exceeds kMaxPoolSize");
+  }
+  if (pool.reference == nullptr) {
+    return Status::InvalidArgument("pool has no reference model");
+  }
+
+  VQE_ASSIGN_OR_RETURN(auto fusion,
+                       CreateEnsembleMethod(options.fusion,
+                                            options.fusion_options));
+
+  const int m = static_cast<int>(pool.detectors.size());
+  const uint32_t num_masks = NumEnsembles(m);
+
+  FrameMatrix matrix;
+  matrix.num_models = m;
+  for (const auto& d : pool.detectors) matrix.model_names.push_back(d->name());
+  matrix.frames.reserve(video.size());
+
+  for (const VideoFrame& frame : video.frames) {
+    FrameEvaluation fe;
+    fe.context = frame.context;
+    fe.est_ap.assign(num_masks + 1, 0.0);
+    fe.true_ap.assign(num_masks + 1, 0.0);
+    fe.cost_ms.assign(num_masks + 1, 0.0);
+    fe.fusion_overhead_ms.assign(num_masks + 1, 0.0);
+    fe.model_cost_ms.resize(static_cast<size_t>(m));
+
+    // Materialize per-model outputs once (the reuse of Alg. 1 lines 9-10).
+    std::vector<DetectionList> model_out(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      model_out[static_cast<size_t>(i)] =
+          pool.detectors[static_cast<size_t>(i)]->Detect(frame, trial_seed);
+      fe.model_cost_ms[static_cast<size_t>(i)] =
+          pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(frame,
+                                                                  trial_seed);
+    }
+    const DetectionList ref_out = pool.reference->Detect(frame, trial_seed);
+    fe.ref_cost_ms = pool.reference->InferenceCostMs(frame, trial_seed);
+    const GroundTruthList ref_gt =
+        DetectionsAsGroundTruth(ref_out, options.ref_confidence_threshold);
+
+    for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
+      std::vector<DetectionList> inputs;
+      size_t num_boxes = 0;
+      double model_cost = 0.0;
+      for (int i = 0; i < m; ++i) {
+        if (!ContainsModel(mask, i)) continue;
+        inputs.push_back(model_out[static_cast<size_t>(i)]);
+        num_boxes += inputs.back().size();
+        model_cost += fe.model_cost_ms[static_cast<size_t>(i)];
+      }
+      const DetectionList fused = fusion->Fuse(inputs);
+
+      fe.fusion_overhead_ms[mask] = SimulatedFusionOverheadMs(num_boxes);
+      fe.cost_ms[mask] = model_cost + fe.fusion_overhead_ms[mask];
+      fe.est_ap[mask] = FrameMeanAp(fused, ref_gt, options.ap);
+      fe.true_ap[mask] = FrameMeanAp(fused, frame.objects, options.ap);
+      if (fe.cost_ms[mask] > fe.max_cost_ms) fe.max_cost_ms = fe.cost_ms[mask];
+    }
+    matrix.frames.push_back(std::move(fe));
+  }
+  return matrix;
+}
+
+std::vector<double> AverageTrueApPerEnsemble(const FrameMatrix& matrix) {
+  const uint32_t num_masks = matrix.num_ensembles();
+  std::vector<double> avg(num_masks + 1, 0.0);
+  if (matrix.frames.empty()) return avg;
+  for (const auto& fe : matrix.frames) {
+    for (EnsembleId s = 1; s <= num_masks; ++s) avg[s] += fe.true_ap[s];
+  }
+  for (auto& v : avg) v /= static_cast<double>(matrix.frames.size());
+  return avg;
+}
+
+std::vector<double> AverageNormCostPerEnsemble(const FrameMatrix& matrix) {
+  const uint32_t num_masks = matrix.num_ensembles();
+  std::vector<double> avg(num_masks + 1, 0.0);
+  if (matrix.frames.empty()) return avg;
+  for (const auto& fe : matrix.frames) {
+    for (EnsembleId s = 1; s <= num_masks; ++s) {
+      avg[s] += fe.max_cost_ms > 0 ? fe.cost_ms[s] / fe.max_cost_ms : 0.0;
+    }
+  }
+  for (auto& v : avg) v /= static_cast<double>(matrix.frames.size());
+  return avg;
+}
+
+}  // namespace vqe

@@ -1,0 +1,43 @@
+#include "core/lrbp.h"
+
+namespace vqe {
+
+Result<LrbpPrediction> PredictExtraBudget(
+    const std::vector<std::pair<size_t, double>>& cost_curve,
+    size_t total_frames, double fit_tail_fraction) {
+  if (cost_curve.size() < 2) {
+    return Status::InvalidArgument(
+        "LRBP needs at least two (iteration, cost) observations");
+  }
+  if (fit_tail_fraction <= 0.0 || fit_tail_fraction > 1.0) {
+    return Status::InvalidArgument("fit_tail_fraction must be in (0, 1]");
+  }
+  const size_t processed = cost_curve.back().first;
+  if (total_frames < processed) {
+    return Status::InvalidArgument(
+        "total_frames is smaller than the frames already processed");
+  }
+
+  size_t start = static_cast<size_t>(
+      static_cast<double>(cost_curve.size()) * (1.0 - fit_tail_fraction));
+  if (start + 2 > cost_curve.size()) start = cost_curve.size() - 2;
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(cost_curve.size() - start);
+  ys.reserve(cost_curve.size() - start);
+  for (size_t i = start; i < cost_curve.size(); ++i) {
+    xs.push_back(static_cast<double>(cost_curve[i].first));
+    ys.push_back(cost_curve[i].second);
+  }
+
+  LrbpPrediction pred;
+  VQE_ASSIGN_OR_RETURN(pred.fit, FitLine(xs, ys));
+  pred.total_cost = pred.fit.Predict(static_cast<double>(total_frames));
+  const double spent = cost_curve.back().second;
+  pred.b_extra = pred.total_cost - spent;
+  if (pred.b_extra < 0.0) pred.b_extra = 0.0;
+  return pred;
+}
+
+}  // namespace vqe

@@ -1,0 +1,47 @@
+// LRBP (§3.2): linear-regression-based prediction of the extra budget
+// B_extra needed to finish processing a video after the initial TCVI budget
+// B is exhausted, fitted on the observed (iteration, cumulative cost) curve.
+
+#ifndef VQE_CORE_LRBP_H_
+#define VQE_CORE_LRBP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/status.h"
+
+namespace vqe {
+
+/// Outcome of an LRBP prediction.
+struct LrbpPrediction {
+  /// Predicted extra budget (same unit as the curve's costs) to process the
+  /// remaining frames under the same selection strategy.
+  double b_extra = 0.0;
+  /// Predicted total cost of the whole video.
+  double total_cost = 0.0;
+  /// The underlying least-squares fit of cumulative cost over iterations.
+  LinearFit fit;
+};
+
+/// Predicts B_extra from the cost curve recorded while processing V_B.
+///
+/// `cost_curve` holds (iteration t, cumulative cost C_t) pairs, t 1-based
+/// and strictly increasing; `total_frames` is |V|. Returns InvalidArgument
+/// when fewer than two points are available or total_frames is smaller
+/// than the frames already processed.
+///
+/// `fit_tail_fraction` restricts the regression to the most recent part of
+/// the curve (default: last half). MES's early iterations — full-pool
+/// initialization and exploration — are systematically more expensive than
+/// its converged behaviour, so extrapolating from the whole prefix
+/// overestimates the remaining cost; the tail reflects the steady-state
+/// per-frame cost the remaining frames will actually incur.
+Result<LrbpPrediction> PredictExtraBudget(
+    const std::vector<std::pair<size_t, double>>& cost_curve,
+    size_t total_frames, double fit_tail_fraction = 0.5);
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_LRBP_H_

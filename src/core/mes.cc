@@ -1,0 +1,138 @@
+#include "core/mes.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vqe {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MesStrategy::MesStrategy(MesOptions options)
+    : options_(options), name_(options.subset_updates ? "MES" : "MES-A") {}
+
+void MesStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  stats_.Reset(num_models_);
+}
+
+EnsembleId MesStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  if (t < options_.gamma) {
+    // Initialization (Alg. 1 lines 2-3): run all models; every ensemble is
+    // evaluated from the cached outputs.
+    return full;
+  }
+  // UCB selection (Alg. 1 lines 5-7): U_S = μ̂_S + sqrt(2 ln t / T_S).
+  const double log_t = std::log(static_cast<double>(t + 1));  // t is 1-based
+  EnsembleId best = 1;
+  double best_u = -kInf;
+  for (EnsembleId s = 1; s <= full; ++s) {
+    const uint64_t count = stats_.Count(s);
+    const double u =
+        count == 0
+            ? kInf
+            : stats_.Mean(s) +
+                  options_.exploration_scale *
+                      std::sqrt(2.0 * log_t / static_cast<double>(count));
+    if (u > best_u) {
+      best_u = u;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void MesStrategy::Observe(const FrameFeedback& feedback) {
+  const bool init_phase = feedback.t < options_.gamma;
+  const std::vector<double>& est = *feedback.est_score;
+  if (init_phase || options_.subset_updates) {
+    // Update the selected arm and all its subsets (Eq. 8-10).
+    ForEachSubset(feedback.selected,
+                  [&](EnsembleId sub) { stats_.Record(sub, est[sub]); });
+  } else {
+    // MES-A: only the arm actually selected (Alg. 1 line 8).
+    stats_.Record(feedback.selected, est[feedback.selected]);
+  }
+}
+
+SwMesStrategy::SwMesStrategy(SwMesOptions options)
+    : options_(options),
+      name_("SW-MES(" + std::to_string(options.window) + ")") {}
+
+void SwMesStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  last_probe_ = 0;
+  stats_.Reset(num_models_, options_.window);
+}
+
+EnsembleId SwMesStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  if (t < options_.gamma) return full;
+
+  // Scheduled full-information probes: keep ~min_probes full-pool frames
+  // inside the window so every arm's μ̂^λ tracks the current segment.
+  if (options_.min_probes > 0) {
+    const size_t interval =
+        std::max<size_t>(1, options_.window / options_.min_probes);
+    if (t >= last_probe_ + interval) {
+      last_probe_ = t;
+      return full;
+    }
+  }
+
+  // Arms that slid out of the window regain an infinite exploration bonus —
+  // this is the forgetting that re-triggers exploration after a breakpoint.
+  // Rather than spending one frame per stale arm (2^m − 1 pulls per
+  // window), select the *union* of all stale arms: every stale arm is a
+  // subset of the union, so a single pull refreshes all of them through the
+  // subset updates of Alg. 1 lines 9-10.
+  EnsembleId stale_union = 0;
+  for (EnsembleId s = 1; s <= full; ++s) {
+    if (stats_.Count(s) == 0) stale_union |= s;
+  }
+  if (stale_union != 0) return stale_union;
+
+  // Eq. (16): U_S = μ̂^λ_S + sqrt(2 ln(min(t-1, λ)) / T^λ_S), with t as the
+  // paper's 1-based iteration index.
+  const double horizon = static_cast<double>(
+      std::min<size_t>(t, options_.window));
+  const double log_h = std::log(std::max(horizon, 1.0));
+  EnsembleId best = 1;
+  double best_u = -kInf;
+  for (EnsembleId s = 1; s <= full; ++s) {
+    const double u =
+        stats_.Mean(s) +
+        options_.exploration_scale *
+            std::sqrt(2.0 * log_h / static_cast<double>(stats_.Count(s)));
+    if (u > best_u) {
+      best_u = u;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void SwMesStrategy::Observe(const FrameFeedback& feedback) {
+  const std::vector<double>& est = *feedback.est_score;
+  std::vector<std::pair<EnsembleId, double>> observations;
+  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+    observations.emplace_back(sub, est[sub]);
+  });
+  stats_.RecordFrame(std::move(observations));
+}
+
+size_t TheoreticalWindow(size_t num_frames, size_t num_breakpoints) {
+  if (num_frames < 2) return std::max<size_t>(num_frames, 2);
+  if (num_breakpoints == 0) return num_frames;
+  const double n = static_cast<double>(num_frames);
+  const double xi = static_cast<double>(num_breakpoints);
+  const double lambda = std::sqrt(n * std::log(n) / xi);
+  const double clamped = std::min(std::max(lambda, 16.0), n);
+  return static_cast<size_t>(clamped);
+}
+
+}  // namespace vqe

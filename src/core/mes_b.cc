@@ -1,0 +1,58 @@
+#include "core/mes_b.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vqe {
+
+MesBStrategy::MesBStrategy(MesBOptions options)
+    : options_(options), name_("MES-B") {}
+
+void MesBStrategy::BeginVideo(const StrategyContext& ctx) {
+  num_models_ = ctx.num_models;
+  const size_t n = NumEnsembles(num_models_) + 1;
+  count_.assign(n, 0);
+  score_sum_.assign(n, 0.0);
+  cost_sum_.assign(n, 0.0);
+}
+
+EnsembleId MesBStrategy::Select(size_t t) {
+  const EnsembleId full = FullEnsemble(num_models_);
+  if (t < options_.gamma) return full;  // Alg. 2 initialization
+
+  const double log_t = std::log(static_cast<double>(t + 1));
+  EnsembleId best = 1;
+  double best_d = -std::numeric_limits<double>::infinity();
+  for (EnsembleId s = 1; s <= full; ++s) {
+    double d;
+    if (count_[s] == 0) {
+      d = std::numeric_limits<double>::infinity();
+    } else {
+      const double n = static_cast<double>(count_[s]);
+      const double mean_score = score_sum_[s] / n;
+      const double mean_cost =
+          std::max(cost_sum_[s] / n, options_.min_cost);
+      const double bonus =
+          options_.exploration_scale * std::sqrt(2.0 * log_t / n);
+      d = (mean_score + bonus) / mean_cost;
+    }
+    if (d > best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void MesBStrategy::Observe(const FrameFeedback& feedback) {
+  const std::vector<double>& est = *feedback.est_score;
+  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+    ++count_[sub];
+    score_sum_[sub] += est[sub];
+    if (feedback.norm_cost != nullptr) {
+      cost_sum_[sub] += (*feedback.norm_cost)[sub];
+    }
+  });
+}
+
+}  // namespace vqe

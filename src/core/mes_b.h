@@ -1,0 +1,79 @@
+// MES-B (Alg. 2): budget-aware ensemble selection for the TCVI problem.
+//
+// Under a hard time budget B, maximizing Σ scores is a knapsack whose
+// greedy relaxation picks arms by *score per unit cost*. The paper's
+// Theorem 4.3 accordingly adapts the UCB-BV analysis (Ding et al., "Multi-
+// armed bandit with budget constraint and variable costs", AAAI 2013 —
+// reference [21]); this strategy implements that selection rule:
+//
+//   D_S = ( μ̂_S + Γ_S ) / max(ĉ̂_S, ε),
+//
+// where μ̂_S and ĉ̂_S are the running mean estimated score and normalized
+// cost of arm S, and Γ_S is the usual exploration bonus. Subset reuse
+// (Alg. 1 lines 9-10) carries over unchanged. Budget accounting and the
+// C <= B stopping rule live in the engine (EngineOptions::budget_ms).
+//
+// With no budget, plain MES remains the right choice: dividing by cost
+// optimizes score-per-ms rather than score-per-frame.
+
+#ifndef VQE_CORE_MES_B_H_
+#define VQE_CORE_MES_B_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/strategy.h"
+
+namespace vqe {
+
+/// Tuning of MES-B.
+struct MesBOptions {
+  /// γ: initialization frames on which the full pool runs (Alg. 2 lines
+  /// 2-5; these charge Eq. (12) to the budget).
+  size_t gamma = 10;
+  /// Exploration-bonus multiplier, as in MesOptions.
+  double exploration_scale = 1.0;
+  /// Floor on the cost denominator (avoids division blow-ups while cost
+  /// estimates warm up).
+  double min_cost = 0.02;
+
+  Status Validate() const {
+    if (gamma < 1) return Status::InvalidArgument("gamma must be >= 1");
+    if (exploration_scale <= 0.0) {
+      return Status::InvalidArgument("exploration_scale must be positive");
+    }
+    if (min_cost <= 0.0 || min_cost > 1.0) {
+      return Status::InvalidArgument("min_cost must be in (0, 1]");
+    }
+    return Status::OK();
+  }
+};
+
+/// Budget-aware MES (UCB-BV-style ratio selection).
+class MesBStrategy : public SelectionStrategy {
+ public:
+  explicit MesBStrategy(MesBOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  void BeginVideo(const StrategyContext& ctx) override;
+  EnsembleId Select(size_t t) override;
+  void Observe(const FrameFeedback& feedback) override;
+
+  /// Mean observed normalized cost of an arm (diagnostics).
+  double MeanCost(EnsembleId s) const {
+    return count_[s] == 0 ? 0.0
+                          : cost_sum_[s] / static_cast<double>(count_[s]);
+  }
+
+ private:
+  MesBOptions options_;
+  std::string name_;
+  int num_models_ = 0;
+  std::vector<uint64_t> count_;
+  std::vector<double> score_sum_;
+  std::vector<double> cost_sum_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_MES_B_H_

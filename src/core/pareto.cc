@@ -1,0 +1,48 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+namespace vqe {
+
+bool Dominates(const EnsemblePoint& a, const EnsemblePoint& b) {
+  const bool no_worse =
+      a.avg_ap >= b.avg_ap && a.avg_norm_cost <= b.avg_norm_cost;
+  const bool strictly_better =
+      a.avg_ap > b.avg_ap || a.avg_norm_cost < b.avg_norm_cost;
+  return no_worse && strictly_better;
+}
+
+std::vector<EnsemblePoint> EnsembleObjectives(const FrameMatrix& matrix) {
+  const auto avg_ap = AverageTrueApPerEnsemble(matrix);
+  const auto avg_cost = AverageNormCostPerEnsemble(matrix);
+  std::vector<EnsemblePoint> points;
+  const uint32_t num_masks = matrix.num_ensembles();
+  points.reserve(num_masks);
+  for (EnsembleId s = 1; s <= num_masks; ++s) {
+    points.push_back(EnsemblePoint{s, avg_ap[s], avg_cost[s]});
+  }
+  return points;
+}
+
+std::vector<EnsemblePoint> ParetoFrontier(std::vector<EnsemblePoint> points) {
+  // Sort by ascending cost, breaking ties by descending AP; sweep keeping
+  // points whose AP strictly exceeds every cheaper point's AP.
+  std::sort(points.begin(), points.end(),
+            [](const EnsemblePoint& a, const EnsemblePoint& b) {
+              if (a.avg_norm_cost != b.avg_norm_cost) {
+                return a.avg_norm_cost < b.avg_norm_cost;
+              }
+              return a.avg_ap > b.avg_ap;
+            });
+  std::vector<EnsemblePoint> frontier;
+  double best_ap = -1.0;
+  for (const auto& p : points) {
+    if (p.avg_ap > best_ap) {
+      frontier.push_back(p);
+      best_ap = p.avg_ap;
+    }
+  }
+  return frontier;
+}
+
+}  // namespace vqe

@@ -1,0 +1,39 @@
+// Pareto-optimal ensemble identification — the multi-objective extension
+// the paper's §6 names as future work (the "second category" of MOQO
+// approaches): instead of collapsing ⟨accuracy, cost⟩ into one score,
+// report every ensemble not dominated on both axes.
+
+#ifndef VQE_CORE_PARETO_H_
+#define VQE_CORE_PARETO_H_
+
+#include <vector>
+
+#include "core/ensemble_id.h"
+#include "core/frame_matrix.h"
+
+namespace vqe {
+
+/// One ensemble's position in objective space.
+struct EnsemblePoint {
+  EnsembleId id = 0;
+  /// Average true AP over the video (higher is better).
+  double avg_ap = 0.0;
+  /// Average normalized inference cost (lower is better).
+  double avg_norm_cost = 0.0;
+};
+
+/// True when `a` dominates `b`: a is no worse on both objectives and
+/// strictly better on at least one.
+bool Dominates(const EnsemblePoint& a, const EnsemblePoint& b);
+
+/// Objective-space positions of all ensembles of a matrix (the ⟨ā_S, ĉ_S⟩
+/// points of Figure 3).
+std::vector<EnsemblePoint> EnsembleObjectives(const FrameMatrix& matrix);
+
+/// The Pareto frontier (maximize AP, minimize cost) of a point set, sorted
+/// by ascending cost. Duplicate-coordinate points are kept once.
+std::vector<EnsemblePoint> ParetoFrontier(std::vector<EnsemblePoint> points);
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_PARETO_H_

@@ -1,0 +1,65 @@
+// The scoring mechanism of §2.2/§5.4: a tunable aggregate of accuracy and
+// normalized inference time,
+//
+//   r_{S|v} = w1 · log2(a_{S|v} + 1) + w2 · log2(2 − ĉ_{S|v}),
+//
+// with w1 + w2 = 1 and ĉ = c / c_max normalized per frame. The score is in
+// [0, 1], rises with AP and falls with cost — the two criteria of §2.2.
+
+#ifndef VQE_CORE_SCORING_H_
+#define VQE_CORE_SCORING_H_
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace vqe {
+
+/// The functional form of the aggregate score. §2.2 only requires positive
+/// correlation with AP, negative with cost, and a [0, 1] range — both forms
+/// below satisfy the criteria, and the algorithms are agnostic to the
+/// choice (bench_scoring_forms demonstrates this).
+enum class ScoreForm {
+  /// The paper's experimental choice (Equation 30):
+  /// w1·log2(ap + 1) + w2·log2(2 − ĉ). Concave in both arguments.
+  kLogarithmic,
+  /// The simplest compliant alternative: w1·ap + w2·(1 − ĉ).
+  kLinear,
+};
+
+/// The paper's experimental scoring function (Equation 30 by default). Any
+/// function satisfying the §2.2 criteria may replace it; the algorithms
+/// only consume Score() values.
+struct ScoringFunction {
+  /// Weight of the accuracy component.
+  double w1 = 0.5;
+  /// Weight of the (inverse) cost component.
+  double w2 = 0.5;
+  ScoreForm form = ScoreForm::kLogarithmic;
+
+  /// The aggregate score; ap and norm_cost are clamped into [0, 1]
+  /// defensively.
+  double Score(double ap, double norm_cost) const {
+    const double a = ap < 0.0 ? 0.0 : (ap > 1.0 ? 1.0 : ap);
+    const double c = norm_cost < 0.0 ? 0.0 : (norm_cost > 1.0 ? 1.0 : norm_cost);
+    if (form == ScoreForm::kLinear) {
+      return w1 * a + w2 * (1.0 - c);
+    }
+    return w1 * std::log2(a + 1.0) + w2 * std::log2(2.0 - c);
+  }
+
+  /// Weights must be non-negative and sum to 1 (§5.4).
+  Status Validate() const {
+    if (w1 < 0.0 || w2 < 0.0) {
+      return Status::InvalidArgument("scoring weights must be non-negative");
+    }
+    if (std::fabs(w1 + w2 - 1.0) > 1e-9) {
+      return Status::InvalidArgument("scoring weights must sum to 1");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_SCORING_H_

@@ -1,0 +1,101 @@
+// The selection-strategy interface 𝒢 of the paper (§2.4): per frame, pick
+// the ensemble to run, then observe the estimated rewards of the arms that
+// were (implicitly) evaluated on that frame.
+//
+// Information protocol: the engine passes estimated scores only for the
+// non-empty subsets of the selected ensemble (everything else is NaN),
+// because those are the only ensembles whose outputs exist — per-model
+// detections are materialized once and subsets are fusion-only (Alg. 1
+// lines 9–10). Oracle baselines (OPT, SGL) additionally receive the full
+// matrix through an explicit OracleView, making their privileged access
+// visible in the type system.
+
+#ifndef VQE_CORE_STRATEGY_H_
+#define VQE_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ensemble_id.h"
+#include "core/frame_matrix.h"
+#include "core/scoring.h"
+
+namespace vqe {
+
+/// Privileged read access to true scores, granted only to oracle baselines.
+class OracleView {
+ public:
+  OracleView(const FrameMatrix* matrix, ScoringFunction sc)
+      : matrix_(matrix), sc_(sc) {}
+
+  size_t num_frames() const { return matrix_->size(); }
+  int num_models() const { return matrix_->num_models; }
+
+  /// True score r_{S|v_t} (Eq. 30 with the true AP).
+  double TrueScore(size_t t, EnsembleId s) const {
+    const FrameEvaluation& fe = matrix_->frames[t];
+    const double norm_cost =
+        fe.max_cost_ms > 0 ? fe.cost_ms[s] / fe.max_cost_ms : 0.0;
+    return sc_.Score(fe.true_ap[s], norm_cost);
+  }
+
+  /// True AP a_{S|v_t}.
+  double TrueAp(size_t t, EnsembleId s) const {
+    return matrix_->frames[t].true_ap[s];
+  }
+
+ private:
+  const FrameMatrix* matrix_;
+  ScoringFunction sc_;
+};
+
+/// Per-video context handed to strategies at the start of a run.
+struct StrategyContext {
+  int num_models = 0;
+  size_t num_frames = 0;
+  ScoringFunction sc;
+  /// Seed for randomized strategies (varies per trial).
+  uint64_t seed = 0;
+  /// Non-null only for oracle baselines.
+  const OracleView* oracle = nullptr;
+};
+
+/// One frame's feedback to the strategy.
+struct FrameFeedback {
+  size_t t = 0;
+  EnsembleId selected = 0;
+  /// Estimated scores r̂_{S|v_t}, indexed by mask; NaN for masks that are
+  /// not subsets of `selected`.
+  const std::vector<double>* est_score = nullptr;
+  /// Normalized costs ĉ_{S|v_t} of the same masks (observable alongside
+  /// the score; budget-aware strategies consume them). NaN outside the
+  /// selection's subsets. Null when the engine does not provide costs.
+  const std::vector<double>* norm_cost = nullptr;
+};
+
+/// A selection strategy. Implementations must be reusable across runs:
+/// BeginVideo resets all state.
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Resets state for a new video/run.
+  virtual void BeginVideo(const StrategyContext& ctx) = 0;
+
+  /// Chooses the ensemble to run on frame t (0-based).
+  virtual EnsembleId Select(size_t t) = 0;
+
+  /// Reports the estimated rewards observed on frame t.
+  virtual void Observe(const FrameFeedback& feedback) = 0;
+
+  /// True when the strategy consumes reference-model AP estimates each
+  /// frame (the engine then charges/accounts REF inference on that frame).
+  virtual bool UsesReferenceModel() const { return true; }
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_STRATEGY_H_

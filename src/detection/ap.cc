@@ -1,0 +1,192 @@
+#include "detection/ap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace vqe {
+
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<DetectionMatch>& matches, size_t num_gt) {
+  std::vector<PrPoint> curve;
+  if (num_gt == 0) return curve;
+  size_t tp = 0;
+  size_t fp = 0;
+  curve.reserve(matches.size());
+  for (const auto& m : matches) {
+    if (m.ignored) continue;
+    if (m.is_tp) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    PrPoint p;
+    p.recall = static_cast<double>(tp) / static_cast<double>(num_gt);
+    p.precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+namespace {
+
+// Precision envelope: for each curve point, the max precision at any
+// recall >= that point's recall (standard monotone interpolation).
+std::vector<PrPoint> MonotoneEnvelope(std::vector<PrPoint> curve) {
+  for (size_t i = curve.size(); i-- > 1;) {
+    curve[i - 1].precision = std::max(curve[i - 1].precision,
+                                      curve[i].precision);
+  }
+  return curve;
+}
+
+// Max envelope precision at recall >= r; 0 beyond the curve's max recall.
+double EnvelopePrecisionAt(const std::vector<PrPoint>& envelope, double r) {
+  for (const auto& p : envelope) {
+    if (p.recall >= r - 1e-12) return p.precision;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double IntegratePrCurve(const std::vector<PrPoint>& curve,
+                        ApInterpolation interpolation) {
+  if (curve.empty()) return 0.0;
+  const std::vector<PrPoint> env = MonotoneEnvelope(curve);
+
+  switch (interpolation) {
+    case ApInterpolation::kContinuous: {
+      double ap = 0.0;
+      double prev_recall = 0.0;
+      for (const auto& p : env) {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+      }
+      return ap;
+    }
+    case ApInterpolation::k101Point: {
+      double sum = 0.0;
+      for (int i = 0; i <= 100; ++i) {
+        sum += EnvelopePrecisionAt(env, i / 100.0);
+      }
+      return sum / 101.0;
+    }
+    case ApInterpolation::k11Point: {
+      double sum = 0.0;
+      for (int i = 0; i <= 10; ++i) {
+        sum += EnvelopePrecisionAt(env, i / 10.0);
+      }
+      return sum / 11.0;
+    }
+  }
+  return 0.0;
+}
+
+double SingleClassAp(const DetectionList& detections,
+                     const GroundTruthList& ground_truth,
+                     const ApOptions& options) {
+  size_t num_gt = 0;
+  for (const auto& g : ground_truth) {
+    if (!g.difficult) ++num_gt;
+  }
+  if (num_gt == 0) {
+    // No evaluable objects of this class: perfect iff every detection is
+    // ignorable (matched a difficult box) or absent.
+    if (detections.empty()) return 1.0;
+    const MatchResult mr =
+        MatchDetections(detections, ground_truth, options.iou_threshold);
+    for (const auto& m : mr.matches) {
+      if (!m.ignored) return 0.0;
+    }
+    return 1.0;
+  }
+  if (detections.empty()) return 0.0;
+  const MatchResult mr =
+      MatchDetections(detections, ground_truth, options.iou_threshold);
+  const auto curve = PrecisionRecallCurve(mr.matches, mr.num_gt);
+  return IntegratePrCurve(curve, options.interpolation);
+}
+
+double FrameMeanAp(const DetectionList& detections,
+                   const GroundTruthList& ground_truth,
+                   const ApOptions& options) {
+  std::set<ClassId> classes;
+  for (const auto& g : ground_truth) {
+    if (!g.difficult) classes.insert(g.label);
+  }
+  for (const auto& d : detections) classes.insert(d.label);
+
+  if (classes.empty()) return 1.0;  // nothing to detect, nothing predicted
+
+  double sum = 0.0;
+  for (ClassId cls : classes) {
+    GroundTruthList cls_gt;
+    for (const auto& g : ground_truth) {
+      if (g.label == cls) cls_gt.push_back(g);
+    }
+    sum += SingleClassAp(FilterByClass(detections, cls), cls_gt, options);
+  }
+  return sum / static_cast<double>(classes.size());
+}
+
+GroundTruthList DetectionsAsGroundTruth(const DetectionList& reference,
+                                        double min_confidence) {
+  GroundTruthList out;
+  out.reserve(reference.size());
+  for (const auto& d : reference) {
+    if (d.confidence < min_confidence) continue;
+    GroundTruthBox g;
+    g.box = d.box;
+    g.label = d.label;
+    out.push_back(g);
+  }
+  return out;
+}
+
+double DatasetMeanAp(const std::vector<DetectionList>& detections_per_frame,
+                     const std::vector<GroundTruthList>& gt_per_frame,
+                     const ApOptions& options) {
+  assert(detections_per_frame.size() == gt_per_frame.size());
+
+  std::set<ClassId> classes;
+  for (const auto& gts : gt_per_frame) {
+    for (const auto& g : gts) {
+      if (!g.difficult) classes.insert(g.label);
+    }
+  }
+  if (classes.empty()) return 1.0;
+
+  double sum = 0.0;
+  for (ClassId cls : classes) {
+    // Pool per-frame matches: match within each frame, then merge the match
+    // records (sorted globally by confidence) to build one PR curve.
+    std::vector<DetectionMatch> pooled;
+    size_t num_gt = 0;
+    for (size_t f = 0; f < gt_per_frame.size(); ++f) {
+      GroundTruthList cls_gt;
+      for (const auto& g : gt_per_frame[f]) {
+        if (g.label == cls) cls_gt.push_back(g);
+      }
+      const DetectionList cls_det =
+          FilterByClass(detections_per_frame[f], cls);
+      const MatchResult mr =
+          MatchDetections(cls_det, cls_gt, options.iou_threshold);
+      num_gt += mr.num_gt;
+      pooled.insert(pooled.end(), mr.matches.begin(), mr.matches.end());
+    }
+    std::stable_sort(pooled.begin(), pooled.end(),
+                     [](const DetectionMatch& a, const DetectionMatch& b) {
+                       return a.confidence > b.confidence;
+                     });
+    if (num_gt == 0) {
+      sum += pooled.empty() ? 1.0 : 0.0;
+      continue;
+    }
+    const auto curve = PrecisionRecallCurve(pooled, num_gt);
+    sum += IntegratePrCurve(curve, options.interpolation);
+  }
+  return sum / static_cast<double>(classes.size());
+}
+
+}  // namespace vqe

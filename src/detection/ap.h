@@ -1,0 +1,79 @@
+// Average Precision (AP / mAP) evaluation, the accuracy measure a_{S|v} of
+// the paper (§2.3): the area under the precision–recall curve of the
+// detections against reference boxes, computed per class and averaged.
+//
+// Per-frame conventions (single frames routinely have zero objects):
+//  * no GT boxes and no detections            -> AP = 1.0 (perfect agreement)
+//  * no GT boxes but detections present       -> AP = 0.0 (pure false alarms)
+//  * GT boxes present but no detections       -> AP = 0.0
+//  * a class seen only in detections          -> contributes AP 0 to the mean
+// These keep a_{S|v} in [0, 1] as the scoring mechanism (§2.2) requires.
+
+#ifndef VQE_DETECTION_AP_H_
+#define VQE_DETECTION_AP_H_
+
+#include <vector>
+
+#include "detection/detection.h"
+#include "detection/matching.h"
+
+namespace vqe {
+
+/// Precision–recall integration rule.
+enum class ApInterpolation {
+  /// Area under the monotone-envelope PR curve (VOC 2010+ "all points").
+  kContinuous,
+  /// Mean of precision sampled at recalls {0, 0.01, ..., 1.00} (COCO).
+  k101Point,
+  /// Mean of precision sampled at recalls {0, 0.1, ..., 1.0} (VOC 2007).
+  k11Point,
+};
+
+struct ApOptions {
+  /// Minimum IoU for a detection to match a GT box.
+  double iou_threshold = 0.5;
+  ApInterpolation interpolation = ApInterpolation::kContinuous;
+};
+
+/// One point of a precision–recall curve.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// Builds the raw PR curve from confidence-ordered match outcomes.
+/// `num_gt` is the recall denominator. Ignored matches are skipped.
+std::vector<PrPoint> PrecisionRecallCurve(
+    const std::vector<DetectionMatch>& matches, size_t num_gt);
+
+/// Integrates a PR curve into a single AP value per `interpolation`.
+/// An empty curve yields 0.
+double IntegratePrCurve(const std::vector<PrPoint>& curve,
+                        ApInterpolation interpolation);
+
+/// AP for a single class on a single frame (inputs already class-filtered).
+double SingleClassAp(const DetectionList& detections,
+                     const GroundTruthList& ground_truth,
+                     const ApOptions& options);
+
+/// Mean AP over the union of classes present in detections or ground truth,
+/// with the zero-object conventions documented at the top of this header.
+double FrameMeanAp(const DetectionList& detections,
+                   const GroundTruthList& ground_truth,
+                   const ApOptions& options = {});
+
+/// Reinterprets a detection list as ground truth, so a reference model's
+/// output can stand in for GT when estimating AP online (paper Eq. (3)).
+/// Detections below `min_confidence` are dropped.
+GroundTruthList DetectionsAsGroundTruth(const DetectionList& reference,
+                                        double min_confidence = 0.0);
+
+/// Dataset-level mAP over many frames: detections are pooled per class
+/// across frames before PR integration (VOC protocol).
+double DatasetMeanAp(const std::vector<DetectionList>& detections_per_frame,
+                     const std::vector<GroundTruthList>& gt_per_frame,
+                     const ApOptions& options = {});
+
+}  // namespace vqe
+
+#endif  // VQE_DETECTION_AP_H_

@@ -1,0 +1,82 @@
+#include "detection/coco_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "detection/matching.h"
+
+namespace vqe {
+
+double DatasetClassAp(const std::vector<DetectionList>& detections_per_frame,
+                      const std::vector<GroundTruthList>& gt_per_frame,
+                      ClassId cls, double iou_threshold) {
+  assert(detections_per_frame.size() == gt_per_frame.size());
+  std::vector<DetectionMatch> pooled;
+  size_t num_gt = 0;
+  for (size_t f = 0; f < gt_per_frame.size(); ++f) {
+    GroundTruthList cls_gt;
+    for (const auto& g : gt_per_frame[f]) {
+      if (g.label == cls) cls_gt.push_back(g);
+    }
+    const DetectionList cls_det = FilterByClass(detections_per_frame[f], cls);
+    const MatchResult mr = MatchDetections(cls_det, cls_gt, iou_threshold);
+    num_gt += mr.num_gt;
+    pooled.insert(pooled.end(), mr.matches.begin(), mr.matches.end());
+  }
+  if (num_gt == 0) return pooled.empty() ? 1.0 : 0.0;
+  std::stable_sort(pooled.begin(), pooled.end(),
+                   [](const DetectionMatch& a, const DetectionMatch& b) {
+                     return a.confidence > b.confidence;
+                   });
+  const auto curve = PrecisionRecallCurve(pooled, num_gt);
+  return IntegratePrCurve(curve, ApInterpolation::k101Point);
+}
+
+CocoMetrics CocoEvaluate(
+    const std::vector<DetectionList>& detections_per_frame,
+    const std::vector<GroundTruthList>& gt_per_frame) {
+  assert(detections_per_frame.size() == gt_per_frame.size());
+  CocoMetrics metrics;
+
+  // Evaluated classes: those with at least one evaluable GT instance
+  // (classes without ground truth are excluded, per COCO).
+  std::set<ClassId> classes;
+  for (const auto& gts : gt_per_frame) {
+    for (const auto& g : gts) {
+      if (!g.difficult) classes.insert(g.label);
+    }
+  }
+  if (classes.empty()) {
+    metrics.map_50_95 = metrics.map_50 = metrics.map_75 = 1.0;
+    return metrics;
+  }
+
+  double sum_50_95 = 0.0;
+  double sum_50 = 0.0;
+  double sum_75 = 0.0;
+  for (ClassId cls : classes) {
+    double class_sum = 0.0;
+    int thresholds = 0;
+    for (int i = 0; i <= 9; ++i) {
+      const double iou = 0.50 + 0.05 * i;
+      const double ap =
+          DatasetClassAp(detections_per_frame, gt_per_frame, cls, iou);
+      class_sum += ap;
+      ++thresholds;
+      if (i == 0) {
+        metrics.per_class_ap50[cls] = ap;
+        sum_50 += ap;
+      }
+      if (i == 5) sum_75 += ap;
+    }
+    sum_50_95 += class_sum / thresholds;
+  }
+  const double n = static_cast<double>(classes.size());
+  metrics.map_50_95 = sum_50_95 / n;
+  metrics.map_50 = sum_50 / n;
+  metrics.map_75 = sum_75 / n;
+  return metrics;
+}
+
+}  // namespace vqe

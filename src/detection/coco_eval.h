@@ -1,0 +1,44 @@
+// COCO-style evaluation: mAP averaged over IoU thresholds 0.50:0.05:0.95
+// with 101-point interpolation, plus per-class AP@0.5 reporting. The paper
+// evaluates with a single-threshold AP; this richer evaluator supports
+// downstream users who want COCO-protocol numbers from the same pipeline.
+
+#ifndef VQE_DETECTION_COCO_EVAL_H_
+#define VQE_DETECTION_COCO_EVAL_H_
+
+#include <map>
+#include <vector>
+
+#include "detection/ap.h"
+
+namespace vqe {
+
+/// Aggregate COCO-protocol metrics over a set of frames.
+struct CocoMetrics {
+  /// mAP averaged over IoU in {0.50, 0.55, ..., 0.95} (the headline COCO
+  /// number).
+  double map_50_95 = 0.0;
+  /// mAP at IoU 0.50 (PASCAL-style).
+  double map_50 = 0.0;
+  /// mAP at IoU 0.75 (strict-localization).
+  double map_75 = 0.0;
+  /// Per-class AP at IoU 0.50, for classes present in the ground truth.
+  std::map<ClassId, double> per_class_ap50;
+};
+
+/// Evaluates pooled detections against ground truth across frames with the
+/// COCO protocol. Inputs must be index-aligned per frame.
+CocoMetrics CocoEvaluate(
+    const std::vector<DetectionList>& detections_per_frame,
+    const std::vector<GroundTruthList>& gt_per_frame);
+
+/// Dataset mAP at one IoU threshold restricted to a single class; 1.0 when
+/// the class never appears in either input (vacuous), matching ap.h's
+/// conventions.
+double DatasetClassAp(const std::vector<DetectionList>& detections_per_frame,
+                      const std::vector<GroundTruthList>& gt_per_frame,
+                      ClassId cls, double iou_threshold);
+
+}  // namespace vqe
+
+#endif  // VQE_DETECTION_COCO_EVAL_H_

@@ -1,0 +1,70 @@
+// Detection records: the ⟨BBox, Conf, Label⟩ triplets of the paper (§2.1),
+// with the per-model variance channel consumed by Softer-NMS.
+
+#ifndef VQE_DETECTION_DETECTION_H_
+#define VQE_DETECTION_DETECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detection/bbox.h"
+
+namespace vqe {
+
+/// Integer object-class label (e.g. car = 0); the class vocabulary lives in
+/// the dataset configuration.
+using ClassId = int32_t;
+
+/// One detected object instance: the paper's ⟨BBox, Conf, Label⟩ triplet.
+struct Detection {
+  BBox box;
+  /// Detector confidence in [0, 1].
+  double confidence = 0.0;
+  ClassId label = 0;
+  /// Index of the producing model within the pool (−1 when fused or GT).
+  int32_t model_index = -1;
+  /// Predicted localization variance (pixels²) used by Softer-NMS variance
+  /// voting; 0 when the producer does not estimate it.
+  double box_variance = 0.0;
+};
+
+/// All detections on one frame, in no particular order.
+using DetectionList = std::vector<Detection>;
+
+/// A ground-truth object instance on a frame.
+struct GroundTruthBox {
+  BBox box;
+  ClassId label = 0;
+  /// Stable object identity across frames (for tracking-style queries).
+  int64_t object_id = -1;
+  /// Marked true for instances that are too occluded/small to be reasonably
+  /// detectable; they are excluded from AP like VOC "difficult" objects.
+  bool difficult = false;
+  /// Intrinsic detection difficulty in [0, 1] (occlusion, truncation,
+  /// distance). Shared across detectors, so their misses are correlated the
+  /// way real models' misses are.
+  double hardness = 0.0;
+};
+
+using GroundTruthList = std::vector<GroundTruthBox>;
+
+/// Sorts detections by descending confidence (stable, so equal-confidence
+/// detections keep their input order — important for deterministic AP).
+void SortByConfidenceDesc(DetectionList* dets);
+
+/// Returns only the detections whose label equals cls.
+DetectionList FilterByClass(const DetectionList& dets, ClassId cls);
+
+/// Returns only the detections with confidence >= threshold.
+DetectionList FilterByConfidence(const DetectionList& dets, double threshold);
+
+/// Distinct labels present in `dets`, ascending.
+std::vector<ClassId> DistinctLabels(const DetectionList& dets);
+
+/// Distinct labels present in `gts`, ascending.
+std::vector<ClassId> DistinctLabels(const GroundTruthList& gts);
+
+}  // namespace vqe
+
+#endif  // VQE_DETECTION_DETECTION_H_

@@ -1,0 +1,59 @@
+#include "detection/matching.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vqe {
+
+MatchResult MatchDetections(const DetectionList& detections,
+                            const GroundTruthList& ground_truth,
+                            double iou_threshold) {
+  MatchResult result;
+  for (const auto& gt : ground_truth) {
+    if (!gt.difficult) ++result.num_gt;
+  }
+
+  // Confidence-descending processing order (stable for determinism).
+  std::vector<size_t> order(detections.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return detections[a].confidence > detections[b].confidence;
+  });
+
+  std::vector<bool> gt_claimed(ground_truth.size(), false);
+  result.matches.reserve(detections.size());
+
+  for (size_t det_idx : order) {
+    const Detection& det = detections[det_idx];
+    DetectionMatch m;
+    m.detection_index = det_idx;
+    m.confidence = det.confidence;
+
+    double best_iou = 0.0;
+    int32_t best_gt = -1;
+    for (size_t g = 0; g < ground_truth.size(); ++g) {
+      if (gt_claimed[g]) continue;
+      if (ground_truth[g].label != det.label) continue;
+      const double iou = IoU(det.box, ground_truth[g].box);
+      if (iou >= iou_threshold && iou > best_iou) {
+        best_iou = iou;
+        best_gt = static_cast<int32_t>(g);
+      }
+    }
+
+    if (best_gt >= 0) {
+      gt_claimed[static_cast<size_t>(best_gt)] = true;
+      m.gt_index = best_gt;
+      m.iou = best_iou;
+      if (ground_truth[static_cast<size_t>(best_gt)].difficult) {
+        m.ignored = true;  // matched a difficult box: neither TP nor FP
+      } else {
+        m.is_tp = true;
+      }
+    }
+    result.matches.push_back(m);
+  }
+  return result;
+}
+
+}  // namespace vqe

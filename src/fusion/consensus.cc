@@ -1,0 +1,89 @@
+#include "fusion/consensus.h"
+
+#include <map>
+#include <set>
+
+#include "fusion/fusion_internal.h"
+
+namespace vqe {
+
+using fusion_internal::SortDesc;
+
+DetectionList ConsensusFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  const int num_models = static_cast<int>(per_model.size());
+  const int required =
+      options_.min_votes > 0
+          ? options_.min_votes
+          : (num_models + 1) / 2;  // majority by default
+
+  // Pool with the *positional* model id, so vote counting is correct even
+  // when producers left model_index unset.
+  struct Tagged {
+    Detection det;
+    int source = 0;
+  };
+  std::map<ClassId, std::vector<Tagged>> by_class;
+  for (int m = 0; m < num_models; ++m) {
+    for (const auto& d : per_model[static_cast<size_t>(m)]) {
+      by_class[d.label].push_back(Tagged{d, m});
+    }
+  }
+
+  DetectionList out;
+  for (auto& [cls, tagged] : by_class) {
+    std::stable_sort(tagged.begin(), tagged.end(),
+                     [](const Tagged& a, const Tagged& b) {
+                       return a.det.confidence > b.det.confidence;
+                     });
+    std::vector<bool> used(tagged.size(), false);
+    for (size_t i = 0; i < tagged.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+      std::vector<size_t> cluster{i};
+      for (size_t j = i + 1; j < tagged.size(); ++j) {
+        if (used[j]) continue;
+        if (IoU(tagged[i].det.box, tagged[j].det.box) >
+            options_.iou_threshold) {
+          used[j] = true;
+          cluster.push_back(j);
+        }
+      }
+
+      std::set<int> voters;
+      for (size_t k : cluster) voters.insert(tagged[k].source);
+      if (static_cast<int>(voters.size()) < required) continue;
+
+      double wsum = 0.0;
+      double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+      double conf_sum = 0.0;
+      for (size_t k : cluster) {
+        const Detection& d = tagged[k].det;
+        const double w = d.confidence;
+        x1 += w * d.box.x1;
+        y1 += w * d.box.y1;
+        x2 += w * d.box.x2;
+        y2 += w * d.box.y2;
+        wsum += w;
+        conf_sum += d.confidence;
+      }
+      Detection fused;
+      fused.label = cls;
+      fused.model_index = -1;
+      if (wsum > 0.0) {
+        fused.box = BBox{x1 / wsum, y1 / wsum, x2 / wsum, y2 / wsum};
+      }
+      const double agreement = num_models > 0
+                                   ? static_cast<double>(voters.size()) /
+                                         static_cast<double>(num_models)
+                                   : 1.0;
+      fused.confidence =
+          (conf_sum / static_cast<double>(cluster.size())) * agreement;
+      if (fused.confidence >= options_.score_threshold) out.push_back(fused);
+    }
+  }
+  SortDesc(&out);
+  return out;
+}
+
+}  // namespace vqe

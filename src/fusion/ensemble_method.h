@@ -1,0 +1,87 @@
+// Box-fusion ("model prediction ensembling") interface. Given the raw
+// detections of each model in an ensemble on one frame, a fusion method
+// produces the combined detection list D_{S|v} of the paper (§2.1).
+//
+// Implemented methods (all compared in §5.2 of the paper, WBF selected):
+//   NMS, Soft-NMS (linear & Gaussian), Softer-NMS (variance voting),
+//   WBF (weighted boxes fusion), NMW (non-maximum weighted),
+//   Fusion (agreement-based consensus).
+
+#ifndef VQE_FUSION_ENSEMBLE_METHOD_H_
+#define VQE_FUSION_ENSEMBLE_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "detection/detection.h"
+
+namespace vqe {
+
+/// Identifier of a fusion algorithm.
+enum class FusionKind {
+  kNms,
+  kSoftNmsLinear,
+  kSoftNmsGaussian,
+  kSofterNms,
+  kWbf,
+  kNmw,
+  kConsensus,
+};
+
+/// Human-readable name (e.g. "WBF").
+const char* FusionKindToString(FusionKind kind);
+
+/// Parses a case-insensitive name ("wbf", "soft-nms", ...).
+Result<FusionKind> FusionKindFromString(const std::string& name);
+
+/// Strategy interface for combining per-model detections into one list.
+class EnsembleMethod {
+ public:
+  virtual ~EnsembleMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fuses the outputs of the ensemble's models on one frame.
+  ///
+  /// `per_model` holds one detection list per model in the ensemble (order
+  /// is irrelevant to correctness but kept stable for determinism). The
+  /// result is a single detection list with `model_index == -1`.
+  virtual DetectionList Fuse(
+      const std::vector<DetectionList>& per_model) const = 0;
+};
+
+/// Tuning knobs shared by the fusion algorithms. Fields irrelevant to a
+/// given algorithm are ignored by it.
+struct FusionOptions {
+  /// IoU above which two boxes are considered the same object.
+  double iou_threshold = 0.55;
+  /// Post-fusion confidence floor; fused boxes below it are dropped.
+  double score_threshold = 0.0;
+  /// Gaussian decay sigma (Soft-NMS gaussian) / variance-voting sigma_t
+  /// (Softer-NMS).
+  double sigma = 0.5;
+  /// Minimum number of agreeing models for Consensus fusion; 0 means
+  /// majority (ceil(n_models / 2)).
+  int min_votes = 0;
+  /// Optional per-model weights (Solovyev et al. §2.2): when non-empty,
+  /// model i's confidences are scaled by model_weights[i] before fusion.
+  /// Must match the number of per-model lists passed to Fuse, with every
+  /// weight positive. Consumed by WBF; other methods ignore it.
+  std::vector<double> model_weights;
+
+  /// Validates ranges; returns InvalidArgument with a reason otherwise.
+  Status Validate() const;
+};
+
+/// Creates a fusion method instance.
+Result<std::unique_ptr<EnsembleMethod>> CreateEnsembleMethod(
+    FusionKind kind, const FusionOptions& options = {});
+
+/// Lists all implemented fusion kinds (for comparison benches).
+std::vector<FusionKind> AllFusionKinds();
+
+}  // namespace vqe
+
+#endif  // VQE_FUSION_ENSEMBLE_METHOD_H_

@@ -1,0 +1,27 @@
+#include "fusion/fusion_internal.h"
+
+#include <algorithm>
+
+namespace vqe {
+namespace fusion_internal {
+
+std::map<ClassId, DetectionList> PoolByClass(
+    const std::vector<DetectionList>& per_model) {
+  std::map<ClassId, DetectionList> by_class;
+  for (const auto& list : per_model) {
+    for (const auto& d : list) {
+      by_class[d.label].push_back(d);
+    }
+  }
+  return by_class;
+}
+
+void SortDesc(DetectionList* dets) {
+  std::stable_sort(dets->begin(), dets->end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.confidence > b.confidence;
+                   });
+}
+
+}  // namespace fusion_internal
+}  // namespace vqe

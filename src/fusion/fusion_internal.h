@@ -1,0 +1,26 @@
+// Helpers shared by the fusion algorithm implementations. Not part of the
+// public API.
+
+#ifndef VQE_FUSION_FUSION_INTERNAL_H_
+#define VQE_FUSION_FUSION_INTERNAL_H_
+
+#include <map>
+#include <vector>
+
+#include "detection/detection.h"
+
+namespace vqe {
+namespace fusion_internal {
+
+/// Flattens per-model lists into one pool, preserving model_index, and
+/// groups the pooled detections by class label.
+std::map<ClassId, DetectionList> PoolByClass(
+    const std::vector<DetectionList>& per_model);
+
+/// Sorts a detection list by descending confidence (stable).
+void SortDesc(DetectionList* dets);
+
+}  // namespace fusion_internal
+}  // namespace vqe
+
+#endif  // VQE_FUSION_FUSION_INTERNAL_H_

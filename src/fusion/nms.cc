@@ -1,0 +1,122 @@
+#include "fusion/nms.h"
+
+#include <cmath>
+
+#include "fusion/fusion_internal.h"
+
+namespace vqe {
+
+using fusion_internal::PoolByClass;
+using fusion_internal::SortDesc;
+
+DetectionList NmsFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  DetectionList out;
+  for (auto& [cls, pooled] : PoolByClass(per_model)) {
+    DetectionList dets = pooled;
+    SortDesc(&dets);
+    std::vector<bool> suppressed(dets.size(), false);
+    for (size_t i = 0; i < dets.size(); ++i) {
+      if (suppressed[i]) continue;
+      Detection kept = dets[i];
+      kept.model_index = -1;
+      if (kept.confidence >= options_.score_threshold) out.push_back(kept);
+      for (size_t j = i + 1; j < dets.size(); ++j) {
+        if (suppressed[j]) continue;
+        if (IoU(dets[i].box, dets[j].box) > options_.iou_threshold) {
+          suppressed[j] = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DetectionList SoftNmsFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  // Drop decayed boxes below this floor even when the caller sets a zero
+  // score_threshold, matching the reference implementation's behaviour.
+  const double floor =
+      options_.score_threshold > 0.0 ? options_.score_threshold : 1e-3;
+
+  DetectionList out;
+  for (auto& [cls, pooled] : PoolByClass(per_model)) {
+    DetectionList remaining = pooled;
+    while (!remaining.empty()) {
+      // Select the current maximum-score box.
+      size_t best = 0;
+      for (size_t i = 1; i < remaining.size(); ++i) {
+        if (remaining[i].confidence > remaining[best].confidence) best = i;
+      }
+      Detection kept = remaining[best];
+      kept.model_index = -1;
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+      if (kept.confidence < floor) continue;
+      out.push_back(kept);
+
+      // Decay the scores of overlapping survivors.
+      DetectionList next;
+      next.reserve(remaining.size());
+      for (auto& d : remaining) {
+        const double iou = IoU(kept.box, d.box);
+        double decayed = d.confidence;
+        if (decay_ == Decay::kLinear) {
+          if (iou > options_.iou_threshold) decayed *= (1.0 - iou);
+        } else {
+          decayed *= std::exp(-(iou * iou) / options_.sigma);
+        }
+        if (decayed >= floor) {
+          d.confidence = decayed;
+          next.push_back(d);
+        }
+      }
+      remaining = std::move(next);
+    }
+  }
+  return out;
+}
+
+DetectionList SofterNmsFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  constexpr double kVarianceEpsilon = 1e-3;
+  DetectionList out;
+  for (auto& [cls, pooled] : PoolByClass(per_model)) {
+    DetectionList dets = pooled;
+    SortDesc(&dets);
+    std::vector<bool> suppressed(dets.size(), false);
+    for (size_t i = 0; i < dets.size(); ++i) {
+      if (suppressed[i]) continue;
+      // Variance voting: average the coordinates of all boxes overlapping
+      // the selected one, weighted by exp(-(1-IoU)^2/sigma) / variance.
+      double wsum = 0.0;
+      BBox voted{0, 0, 0, 0};
+      for (size_t j = 0; j < dets.size(); ++j) {
+        const double iou = IoU(dets[i].box, dets[j].box);
+        const bool is_self = j == i;
+        if (!is_self && iou <= options_.iou_threshold) continue;
+        const double variance =
+            dets[j].box_variance > 0.0
+                ? dets[j].box_variance
+                : (1.0 - dets[j].confidence) + kVarianceEpsilon;
+        const double w =
+            std::exp(-(1.0 - iou) * (1.0 - iou) / options_.sigma) / variance;
+        voted.x1 += w * dets[j].box.x1;
+        voted.y1 += w * dets[j].box.y1;
+        voted.x2 += w * dets[j].box.x2;
+        voted.y2 += w * dets[j].box.y2;
+        wsum += w;
+        if (!is_self && iou > options_.iou_threshold) suppressed[j] = true;
+      }
+      Detection kept = dets[i];
+      if (wsum > 0.0) {
+        kept.box = BBox{voted.x1 / wsum, voted.y1 / wsum, voted.x2 / wsum,
+                        voted.y2 / wsum};
+      }
+      kept.model_index = -1;
+      if (kept.confidence >= options_.score_threshold) out.push_back(kept);
+    }
+  }
+  return out;
+}
+
+}  // namespace vqe

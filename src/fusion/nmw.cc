@@ -1,0 +1,54 @@
+#include "fusion/nmw.h"
+
+#include "fusion/fusion_internal.h"
+
+namespace vqe {
+
+using fusion_internal::PoolByClass;
+using fusion_internal::SortDesc;
+
+DetectionList NmwFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  DetectionList out;
+  for (auto& [cls, pooled] : PoolByClass(per_model)) {
+    DetectionList dets = pooled;
+    SortDesc(&dets);
+    std::vector<bool> used(dets.size(), false);
+    for (size_t i = 0; i < dets.size(); ++i) {
+      if (used[i]) continue;
+      used[i] = true;
+
+      // Gather the cluster: every unused box overlapping the top box.
+      double wsum = 0.0;
+      double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+      auto accumulate = [&](const Detection& d, double iou) {
+        const double w = d.confidence * iou;
+        x1 += w * d.box.x1;
+        y1 += w * d.box.y1;
+        x2 += w * d.box.x2;
+        y2 += w * d.box.y2;
+        wsum += w;
+      };
+      accumulate(dets[i], 1.0);  // the top box votes with IoU 1 to itself
+      for (size_t j = i + 1; j < dets.size(); ++j) {
+        if (used[j]) continue;
+        const double iou = IoU(dets[i].box, dets[j].box);
+        if (iou > options_.iou_threshold) {
+          used[j] = true;
+          accumulate(dets[j], iou);
+        }
+      }
+
+      Detection fused = dets[i];  // confidence = max of the cluster
+      if (wsum > 0.0) {
+        fused.box = BBox{x1 / wsum, y1 / wsum, x2 / wsum, y2 / wsum};
+      }
+      fused.model_index = -1;
+      if (fused.confidence >= options_.score_threshold) out.push_back(fused);
+    }
+  }
+  SortDesc(&out);
+  return out;
+}
+
+}  // namespace vqe

@@ -1,0 +1,110 @@
+#include "fusion/wbf.h"
+
+#include <algorithm>
+
+#include "fusion/fusion_internal.h"
+
+namespace vqe {
+
+using fusion_internal::PoolByClass;
+using fusion_internal::SortDesc;
+
+namespace {
+
+struct WbfCluster {
+  DetectionList members;
+  Detection fused;
+
+  // Recomputes the fused box as the confidence-weighted average of member
+  // coordinates, and the fused confidence as the member mean.
+  void Refresh() {
+    double wsum = 0.0;
+    double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+    double conf_sum = 0.0;
+    double var_sum = 0.0;
+    for (const auto& m : members) {
+      const double w = m.confidence;
+      x1 += w * m.box.x1;
+      y1 += w * m.box.y1;
+      x2 += w * m.box.x2;
+      y2 += w * m.box.y2;
+      wsum += w;
+      conf_sum += m.confidence;
+      var_sum += m.box_variance;
+    }
+    if (wsum > 0.0) {
+      fused.box = BBox{x1 / wsum, y1 / wsum, x2 / wsum, y2 / wsum};
+    }
+    fused.confidence = conf_sum / static_cast<double>(members.size());
+    fused.box_variance = var_sum / static_cast<double>(members.size());
+    fused.label = members.front().label;
+    fused.model_index = -1;
+  }
+};
+
+}  // namespace
+
+DetectionList WbfFusion::Fuse(
+    const std::vector<DetectionList>& per_model) const {
+  const size_t num_models = per_model.size();
+  DetectionList out;
+
+  // Per-model weighting (Solovyev et al.): scale each model's confidences
+  // before pooling. Ignored unless the weight vector matches the input.
+  const std::vector<DetectionList>* inputs = &per_model;
+  std::vector<DetectionList> weighted;
+  if (options_.model_weights.size() == num_models) {
+    weighted = per_model;
+    for (size_t i = 0; i < num_models; ++i) {
+      for (auto& d : weighted[i]) {
+        d.confidence =
+            std::min(1.0, d.confidence * options_.model_weights[i]);
+      }
+    }
+    inputs = &weighted;
+  }
+
+  for (auto& [cls, pooled] : PoolByClass(*inputs)) {
+    DetectionList dets = pooled;
+    SortDesc(&dets);
+
+    std::vector<WbfCluster> clusters;
+    for (const auto& d : dets) {
+      // Find the best-matching existing cluster by fused-box IoU.
+      int best = -1;
+      double best_iou = options_.iou_threshold;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        const double iou = IoU(clusters[c].fused.box, d.box);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best >= 0) {
+        clusters[static_cast<size_t>(best)].members.push_back(d);
+        clusters[static_cast<size_t>(best)].Refresh();
+      } else {
+        WbfCluster c;
+        c.members.push_back(d);
+        c.Refresh();
+        clusters.push_back(std::move(c));
+      }
+    }
+
+    for (auto& c : clusters) {
+      // Confidence rescaling: penalize clusters fewer models contributed to.
+      if (num_models > 0) {
+        const double n = static_cast<double>(c.members.size());
+        const double t = static_cast<double>(num_models);
+        c.fused.confidence *= std::min(n, t) / t;
+      }
+      if (c.fused.confidence >= options_.score_threshold) {
+        out.push_back(c.fused);
+      }
+    }
+  }
+  SortDesc(&out);
+  return out;
+}
+
+}  // namespace vqe

@@ -1,0 +1,70 @@
+#include "models/calibration.h"
+
+#include "detection/ap.h"
+
+namespace vqe {
+
+double MeasureInDomainAp(const DetectorProfile& profile,
+                         const CalibrationOptions& options) {
+  SimulatedDetector detector(profile);
+  double sum = 0.0;
+  for (int s = 0; s < options.eval_frames; ++s) {
+    const Video v = GenerateScene(options.scene, profile.trained_on, s, 1,
+                                  options.seed);
+    const VideoFrame& frame = v.frames[0];
+    sum += FrameMeanAp(detector.Detect(frame, options.seed + s),
+                       frame.objects, {});
+  }
+  return sum / options.eval_frames;
+}
+
+Result<CalibrationResult> CalibrateSkillToAp(
+    DetectorProfile profile, double target_ap,
+    const CalibrationOptions& options) {
+  VQE_RETURN_NOT_OK(options.Validate());
+  if (target_ap <= 0.0 || target_ap >= 1.0) {
+    return Status::InvalidArgument("target_ap must be in (0, 1)");
+  }
+
+  constexpr double kSkillLo = 0.05;
+  constexpr double kSkillHi = 1.5;
+
+  auto ap_at = [&](double skill) {
+    DetectorProfile p = profile;
+    p.skill = skill;
+    return MeasureInDomainAp(p, options);
+  };
+
+  // AP is monotone non-decreasing in skill: bracket check first.
+  const double ap_hi = ap_at(kSkillHi);
+  if (ap_hi < target_ap) {
+    return Status::OutOfRange(
+        "target AP exceeds this architecture's ceiling (" +
+        std::to_string(ap_hi) + ")");
+  }
+  const double ap_lo = ap_at(kSkillLo);
+  if (ap_lo > target_ap) {
+    return Status::OutOfRange(
+        "target AP below this architecture's floor (" +
+        std::to_string(ap_lo) + ")");
+  }
+
+  double lo = kSkillLo;
+  double hi = kSkillHi;
+  for (int i = 0; i < options.iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ap_at(mid) < target_ap) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  CalibrationResult result;
+  result.profile = profile;
+  result.profile.skill = 0.5 * (lo + hi);
+  result.achieved_ap = MeasureInDomainAp(result.profile, options);
+  return result;
+}
+
+}  // namespace vqe

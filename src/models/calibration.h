@@ -1,0 +1,59 @@
+// Profile calibration: fit a simulated detector's `skill` so that its
+// measured in-domain AP matches a target value. This is the bridge between
+// the simulation substrate and real deployments — measure a real model's AP
+// and mean latency, calibrate a profile to those numbers, and the whole MES
+// pipeline (scoring, selection, budgets) operates on faithful statistics.
+
+#ifndef VQE_MODELS_CALIBRATION_H_
+#define VQE_MODELS_CALIBRATION_H_
+
+#include "common/status.h"
+#include "models/simulated_detector.h"
+#include "sim/scene_generator.h"
+
+namespace vqe {
+
+/// Calibration settings.
+struct CalibrationOptions {
+  /// Frames used to estimate a candidate profile's AP per evaluation.
+  int eval_frames = 250;
+  /// Bisection iterations over skill (each halves the bracket [0.05, 1.5]).
+  int iterations = 12;
+  /// Scene generator for the evaluation frames.
+  SceneGeneratorOptions scene;
+  /// RNG seed for the evaluation.
+  uint64_t seed = 17;
+
+  Status Validate() const {
+    if (eval_frames < 10) {
+      return Status::InvalidArgument("eval_frames must be >= 10");
+    }
+    if (iterations < 1) {
+      return Status::InvalidArgument("iterations must be >= 1");
+    }
+    return scene.Validate();
+  }
+};
+
+/// Measures a profile's mean per-frame AP in its training context.
+double MeasureInDomainAp(const DetectorProfile& profile,
+                         const CalibrationOptions& options = {});
+
+/// Result of a calibration run.
+struct CalibrationResult {
+  DetectorProfile profile;
+  /// AP of the returned profile, measured with the calibration settings.
+  double achieved_ap = 0.0;
+};
+
+/// Fits `profile.skill` by bisection so the simulated in-domain AP matches
+/// `target_ap`. Returns OutOfRange when the target is unreachable within
+/// the skill bracket (AP is monotone in skill; targets beyond the
+/// architecture's ceiling cannot be met).
+Result<CalibrationResult> CalibrateSkillToAp(
+    DetectorProfile profile, double target_ap,
+    const CalibrationOptions& options = {});
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_CALIBRATION_H_

@@ -1,0 +1,48 @@
+// The black-box object-detector abstraction of the paper (§2.1): MES makes
+// no assumption about a detector beyond "give me detections and charge me
+// inference time". Production deployments would implement this interface
+// over libtorch/ONNX sessions; this repo provides simulated implementations
+// (see simulated_detector.h) with calibrated accuracy/cost profiles.
+
+#ifndef VQE_MODELS_DETECTOR_H_
+#define VQE_MODELS_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "detection/detection.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// A camera-based object detector, treated as a black box.
+class ObjectDetector {
+ public:
+  virtual ~ObjectDetector() = default;
+
+  /// Stable human-readable name, e.g. "yolov7-tiny@night".
+  virtual const std::string& name() const = 0;
+
+  /// Runs detection on one frame.
+  ///
+  /// `trial_seed` scopes the stochastic channel: the same (detector, frame,
+  /// trial_seed) triple always returns the same detections, and different
+  /// trials draw independent noise — the simulation counterpart of
+  /// re-capturing the video.
+  virtual DetectionList Detect(const VideoFrame& frame,
+                               uint64_t trial_seed) const = 0;
+
+  /// Simulated inference time c_{M|v} in milliseconds for this frame.
+  virtual double InferenceCostMs(const VideoFrame& frame,
+                                 uint64_t trial_seed) const = 0;
+
+  /// Number of model parameters (reporting only, cf. Table 3).
+  virtual uint64_t param_count() const = 0;
+
+  /// Architecture family name for reporting, e.g. "YOLOv7-tiny".
+  virtual const std::string& structure_name() const = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_DETECTOR_H_

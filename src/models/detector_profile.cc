@@ -1,0 +1,58 @@
+#include "models/detector_profile.h"
+
+namespace vqe {
+
+const StructureSpec& GetStructureSpec(DetectorStructure s) {
+  // Parameter counts and mean inference times from Table 3 of the paper.
+  static const StructureSpec kYoloV7{
+      DetectorStructure::kYoloV7, "YOLOv7", 37'200'000, 49.5, 0.03,
+      /*recall_base=*/0.93, /*loc_sigma_px=*/3.0, /*fp_rate=*/0.25,
+      /*conf_quality=*/0.92, /*confusion_rate=*/0.012};
+  static const StructureSpec kTiny{
+      DetectorStructure::kYoloV7Tiny, "YOLOv7-tiny", 6'030'000, 10.0, 0.03,
+      /*recall_base=*/0.84, /*loc_sigma_px=*/5.0, /*fp_rate=*/0.45,
+      /*conf_quality=*/0.82, /*confusion_rate=*/0.025};
+  static const StructureSpec kMicro{
+      DetectorStructure::kYoloV7Micro, "YOLOv7-micro", 2'680'000, 7.7, 0.03,
+      /*recall_base=*/0.73, /*loc_sigma_px=*/8.0, /*fp_rate=*/0.80,
+      /*conf_quality=*/0.70, /*confusion_rate=*/0.05};
+  static const StructureSpec kFrcnn{
+      DetectorStructure::kFasterRcnn, "Faster R-CNN", 42'100'000, 212.0, 0.03,
+      /*recall_base=*/0.68, /*loc_sigma_px=*/6.0, /*fp_rate=*/0.90,
+      /*conf_quality=*/0.65, /*confusion_rate=*/0.04};
+  switch (s) {
+    case DetectorStructure::kYoloV7:
+      return kYoloV7;
+    case DetectorStructure::kYoloV7Tiny:
+      return kTiny;
+    case DetectorStructure::kYoloV7Micro:
+      return kMicro;
+    case DetectorStructure::kFasterRcnn:
+      return kFrcnn;
+  }
+  return kTiny;
+}
+
+double ContextAffinity(SceneContext trained, SceneContext actual) {
+  // Rows: trained-on; columns: applied-to (clear, night, rainy, snow).
+  // Off-diagonal entries reflect how much domain shift degrades detection —
+  // day-trained models lose most at night, night-trained models transfer
+  // moderately to day, rain/snow transfer reasonably to each other.
+  static const double kAffinity[kNumSceneContexts][kNumSceneContexts] = {
+      /* clear */ {1.00, 0.25, 0.55, 0.45},
+      /* night */ {0.45, 1.00, 0.35, 0.30},
+      /* rainy */ {0.60, 0.30, 1.00, 0.55},
+      /* snow  */ {0.55, 0.28, 0.55, 1.00},
+  };
+  return kAffinity[static_cast<int>(trained)][static_cast<int>(actual)];
+}
+
+Status DetectorProfile::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("detector name empty");
+  if (skill <= 0.0 || skill > 1.5) {
+    return Status::InvalidArgument("detector skill must be in (0, 1.5]");
+  }
+  return Status::OK();
+}
+
+}  // namespace vqe

@@ -1,0 +1,69 @@
+// Detector profiles: the parameters of the simulated detection channel.
+// A profile encodes what "a YOLOv7-tiny trained on nuScenes-night" means in
+// this simulation — architecture-level accuracy/cost (Table 3) crossed with
+// a training-context affinity matrix that makes detectors specialists.
+
+#ifndef VQE_MODELS_DETECTOR_PROFILE_H_
+#define VQE_MODELS_DETECTOR_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sim/scene_context.h"
+
+namespace vqe {
+
+/// Network architecture families used in the paper's evaluation (Table 3).
+enum class DetectorStructure {
+  kYoloV7,
+  kYoloV7Tiny,
+  kYoloV7Micro,
+  kFasterRcnn,
+};
+
+/// Architecture-level characteristics. Accuracy ordering and inference
+/// times follow Table 3: YOLOv7 > tiny > micro > Faster R-CNN in accuracy;
+/// 49.5 / 10.0 / 7.7 / 212 ms in cost.
+struct StructureSpec {
+  DetectorStructure structure = DetectorStructure::kYoloV7Tiny;
+  std::string name;
+  uint64_t param_count = 0;
+  /// Mean simulated inference time per frame, ms.
+  double cost_ms_mean = 10.0;
+  /// Relative stddev of the per-frame cost jitter.
+  double cost_jitter = 0.03;
+  /// In-domain recall on easy objects.
+  double recall_base = 0.85;
+  /// Localization noise scale, pixels.
+  double loc_sigma_px = 4.0;
+  /// Mean false positives per frame (in-domain).
+  double fp_rate = 0.4;
+  /// Mean confidence boost of true positives (higher = better calibrated).
+  double conf_quality = 0.8;
+  /// In-domain label-confusion probability.
+  double confusion_rate = 0.02;
+};
+
+/// Table-3 spec for an architecture family.
+const StructureSpec& GetStructureSpec(DetectorStructure s);
+
+/// Affinity of a detector trained on `trained` when applied to `actual`,
+/// in (0, 1]. 1.0 in-domain; off-diagonal values encode how much transfer
+/// degrades (clear→night is worst, mirroring the paper's motivation).
+double ContextAffinity(SceneContext trained, SceneContext actual);
+
+/// A concrete detector: an architecture trained on one scene context.
+struct DetectorProfile {
+  std::string name;
+  DetectorStructure structure = DetectorStructure::kYoloV7Tiny;
+  SceneContext trained_on = SceneContext::kClear;
+  /// Multiplier on recall/quality (models differing training recipes).
+  double skill = 1.0;
+
+  Status Validate() const;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_DETECTOR_PROFILE_H_

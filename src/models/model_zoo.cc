@@ -1,0 +1,94 @@
+#include "models/model_zoo.h"
+
+#include "common/strings.h"
+#include "sim/scene_context.h"
+
+namespace vqe {
+
+Result<DetectorProfile> ParseDetectorName(const std::string& name) {
+  const auto parts = Split(name, '@');
+  if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    return Status::InvalidArgument(
+        "detector name must have the form structure@context, got '" + name +
+        "'");
+  }
+  DetectorProfile profile;
+  profile.name = ToLower(name);
+  const std::string structure = ToLower(parts[0]);
+  if (structure == "yolov7") {
+    profile.structure = DetectorStructure::kYoloV7;
+  } else if (structure == "yolov7-tiny") {
+    profile.structure = DetectorStructure::kYoloV7Tiny;
+  } else if (structure == "yolov7-micro") {
+    profile.structure = DetectorStructure::kYoloV7Micro;
+  } else if (structure == "faster-rcnn") {
+    profile.structure = DetectorStructure::kFasterRcnn;
+  } else {
+    return Status::NotFound("unknown detector structure: " + parts[0]);
+  }
+  VQE_ASSIGN_OR_RETURN(profile.trained_on, SceneContextFromString(parts[1]));
+  return profile;
+}
+
+Result<DetectorPool> BuildPool(const std::vector<DetectorProfile>& profiles) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("detector pool must not be empty");
+  }
+  if (profiles.size() > 20) {
+    return Status::InvalidArgument(
+        "detector pool too large (ensemble space is 2^m - 1; m <= 20)");
+  }
+  DetectorPool pool;
+  for (const auto& p : profiles) {
+    VQE_ASSIGN_OR_RETURN(auto det, MakeSimulatedDetector(p));
+    pool.detectors.push_back(std::move(det));
+  }
+  pool.reference = std::make_unique<ReferenceDetector>();
+  return pool;
+}
+
+Result<DetectorPool> BuildNuscenesPool(int m) {
+  using S = DetectorStructure;
+  using C = SceneContext;
+  // Ordered so that prefixes reproduce the Figure 11 reductions:
+  //   m=2 -> {tiny@clear, tiny@night}
+  //   m=3 -> + tiny@rainy (the Yolo-R&C&N trio of Figure 2)
+  //   m=5 -> + yolov7@clear, micro@clear
+  const std::vector<DetectorProfile> all = {
+      {"yolov7-tiny@clear", S::kYoloV7Tiny, C::kClear, 1.0},
+      {"yolov7-tiny@night", S::kYoloV7Tiny, C::kNight, 1.0},
+      {"yolov7-tiny@rainy", S::kYoloV7Tiny, C::kRainy, 1.0},
+      {"yolov7@clear", S::kYoloV7, C::kClear, 1.0},
+      {"yolov7-micro@clear", S::kYoloV7Micro, C::kClear, 1.0},
+  };
+  if (m != 2 && m != 3 && m != 5) {
+    return Status::InvalidArgument(
+        "BuildNuscenesPool supports m in {2, 3, 5}");
+  }
+  return BuildPool({all.begin(), all.begin() + m});
+}
+
+Result<DetectorPool> BuildBddPool(int m) {
+  using S = DetectorStructure;
+  using C = SceneContext;
+  const std::vector<DetectorProfile> all = {
+      {"yolov7-tiny@rainy", S::kYoloV7Tiny, C::kRainy, 1.0},
+      {"yolov7-tiny@snow", S::kYoloV7Tiny, C::kSnow, 1.0},
+      {"yolov7@clear", S::kYoloV7, C::kClear, 1.0},
+      {"yolov7-micro@clear", S::kYoloV7Micro, C::kClear, 1.0},
+      {"faster-rcnn@clear", S::kFasterRcnn, C::kClear, 1.0},
+  };
+  if (m < 2 || m > static_cast<int>(all.size())) {
+    return Status::InvalidArgument("BuildBddPool supports m in [2, 5]");
+  }
+  return BuildPool({all.begin(), all.begin() + m});
+}
+
+Result<DetectorPool> BuildPoolForDataset(const std::string& dataset_name,
+                                         int m) {
+  if (StartsWith(dataset_name, "bdd")) return BuildBddPool(m);
+  // nuScenes datasets and the drift compositions built from them.
+  return BuildNuscenesPool(m);
+}
+
+}  // namespace vqe

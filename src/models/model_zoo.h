@@ -1,0 +1,51 @@
+// Pre-built detector pools M mirroring §5.2 of the paper: for each dataset
+// a "proper set of relevant pre-trained object detectors" with mixed
+// architectures and training contexts.
+
+#ifndef VQE_MODELS_MODEL_ZOO_H_
+#define VQE_MODELS_MODEL_ZOO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "models/reference_detector.h"
+#include "models/simulated_detector.h"
+
+namespace vqe {
+
+/// An owning detector pool plus its reference model.
+struct DetectorPool {
+  std::vector<std::unique_ptr<ObjectDetector>> detectors;
+  std::unique_ptr<ReferenceDetector> reference;
+
+  size_t size() const { return detectors.size(); }
+};
+
+/// The nuScenes pool used by most experiments (m = 5):
+///   YOLOv7@clear, YOLOv7-tiny@clear, YOLOv7-tiny@night,
+///   YOLOv7-tiny@rainy, YOLOv7-micro@clear.
+/// `m` may be 2, 3 or 5, reproducing the Figure 11 pool reductions; m=3 is
+/// exactly the Yolo-{R,C,N} trio of Figure 2.
+Result<DetectorPool> BuildNuscenesPool(int m = 5);
+
+/// The BDD pool (m = 5): YOLOv7@clear, YOLOv7-tiny@rainy,
+/// YOLOv7-tiny@snow, YOLOv7-micro@clear, Faster R-CNN@clear.
+Result<DetectorPool> BuildBddPool(int m = 5);
+
+/// Builds a pool from explicit profiles (reference uses defaults).
+Result<DetectorPool> BuildPool(const std::vector<DetectorProfile>& profiles);
+
+/// Selects the pool appropriate for a catalog dataset name ("nusc*", drift
+/// compositions -> nuScenes pool; "bdd*" -> BDD pool).
+Result<DetectorPool> BuildPoolForDataset(const std::string& dataset_name,
+                                         int m = 5);
+
+/// Parses a detector name of the form "structure@context" — e.g.
+/// "yolov7-tiny@night" — into a profile. Structures: yolov7, yolov7-tiny,
+/// yolov7-micro, faster-rcnn; contexts: clear, night, rainy, snow.
+Result<DetectorProfile> ParseDetectorName(const std::string& name);
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,104 @@
+#include "models/reference_detector.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sim/object_classes.h"
+
+namespace vqe {
+
+namespace {
+
+uint64_t NameHash(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ReferenceDetector::ReferenceDetector(ReferenceProfile profile)
+    : profile_(std::move(profile)), uid_(NameHash(profile_.name)) {}
+
+const std::string& ReferenceDetector::structure_name() const {
+  static const std::string kName = "LiDAR-3D";
+  return kName;
+}
+
+DetectionList ReferenceDetector::Detect(const VideoFrame& frame,
+                                        uint64_t trial_seed) const {
+  const uint64_t frame_key =
+      HashCombine(static_cast<uint64_t>(frame.scene_id),
+                  static_cast<uint64_t>(frame.frame_index));
+  Rng rng = MakeStreamRng(trial_seed, uid_, frame_key, 0x11DA2);
+
+  DetectionList out;
+  out.reserve(frame.objects.size());
+  for (const auto& obj : frame.objects) {
+    // LiDAR misses are driven by point-cloud sparsity: hardness (distance,
+    // occlusion) matters, scene context does not.
+    const double p_detect =
+        Clamp(profile_.recall * (1.0 - 0.55 * obj.hardness), 0.0, 0.98);
+    if (!rng.Bernoulli(p_detect)) continue;
+
+    Detection d;
+    const double sigma =
+        profile_.loc_sigma_px * (0.5 + obj.box.width() / 500.0);
+    const double cx = obj.box.cx() + rng.Gaussian(0.0, sigma);
+    const double cy = obj.box.cy() + rng.Gaussian(0.0, sigma);
+    const double wscale = Clamp(rng.Gaussian(1.0, 0.08), 0.7, 1.3);
+    const double hscale = Clamp(rng.Gaussian(1.0, 0.08), 0.7, 1.3);
+    d.box = BBox::FromCenter(cx, cy, obj.box.width() * wscale,
+                             obj.box.height() * hscale)
+                .ClippedTo(frame.image_width, frame.image_height);
+    if (d.box.IsEmpty()) continue;
+
+    d.confidence = Clamp(rng.Gaussian(0.80, 0.08), 0.2, 0.99);
+    d.label = obj.label;
+    if (rng.Bernoulli(profile_.confusion_rate)) {
+      const auto& classes = DrivingClasses();
+      ClassId other = classes[rng.UniformInt(classes.size())].id;
+      if (other == obj.label) {
+        other = classes[(static_cast<size_t>(other) + 1) % classes.size()].id;
+      }
+      d.label = other;
+    }
+    d.box_variance = sigma * sigma;
+    out.push_back(d);
+  }
+
+  const int num_fp = rng.Poisson(profile_.fp_rate);
+  const auto& classes = DrivingClasses();
+  for (int i = 0; i < num_fp; ++i) {
+    const auto& cls = classes[rng.UniformInt(classes.size())];
+    Detection d;
+    d.label = cls.id;
+    const double w = Clamp(rng.Gaussian(cls.width_mean, cls.width_stddev),
+                           cls.width_mean * 0.3, cls.width_mean * 2.0);
+    d.box = BBox::FromCenter(rng.Uniform(0.0, frame.image_width),
+                             rng.Uniform(frame.image_height * 0.3,
+                                         frame.image_height),
+                             w, w * cls.aspect_mean)
+                .ClippedTo(frame.image_width, frame.image_height);
+    d.confidence = Clamp(rng.Gaussian(0.45, 0.12), 0.1, 0.9);
+    out.push_back(d);
+  }
+  return out;
+}
+
+double ReferenceDetector::InferenceCostMs(const VideoFrame& frame,
+                                          uint64_t trial_seed) const {
+  const uint64_t frame_key =
+      HashCombine(static_cast<uint64_t>(frame.scene_id),
+                  static_cast<uint64_t>(frame.frame_index));
+  Rng rng = MakeStreamRng(trial_seed, uid_, frame_key, 0x11C057);
+  const double cost =
+      profile_.cost_ms_mean * (1.0 + profile_.cost_jitter * rng.NextGaussian());
+  return std::max(cost, 0.2 * profile_.cost_ms_mean);
+}
+
+}  // namespace vqe

@@ -1,0 +1,60 @@
+// Simulated LiDAR reference model (REF of the paper, §2.3): the MEGVII
+// point-cloud detector the authors use to estimate AP online in place of
+// ground truth.
+//
+// The simulation reproduces its three load-bearing properties:
+//  1. robustness — LiDAR is barely affected by lighting/weather, so recall
+//     is flat across scene contexts;
+//  2. coarseness — 3D boxes projected to the image plane are noisier than
+//     camera boxes, and classification is weaker;
+//  3. speed — c_REF ≪ c_M for every camera model (paper cites [63]).
+
+#ifndef VQE_MODELS_REFERENCE_DETECTOR_H_
+#define VQE_MODELS_REFERENCE_DETECTOR_H_
+
+#include <memory>
+
+#include "models/detector.h"
+
+namespace vqe {
+
+/// Tuning of the reference channel. Defaults model a MEGVII-class LiDAR
+/// detector.
+struct ReferenceProfile {
+  std::string name = "megvii-lidar";
+  /// Recall on easy objects, identical in every context.
+  double recall = 0.78;
+  /// Projection noise of the 3D→2D boxes, pixels.
+  double loc_sigma_px = 12.0;
+  /// Mean false positives per frame (ghost points, multipath).
+  double fp_rate = 0.45;
+  /// Label-confusion probability (LiDAR classifies coarsely).
+  double confusion_rate = 0.08;
+  /// Inference time, ms (must be ≪ camera models; paper assumption).
+  double cost_ms_mean = 2.5;
+  double cost_jitter = 0.05;
+};
+
+/// Simulated LiDAR reference detector.
+class ReferenceDetector : public ObjectDetector {
+ public:
+  explicit ReferenceDetector(ReferenceProfile profile = {});
+
+  const std::string& name() const override { return profile_.name; }
+  DetectionList Detect(const VideoFrame& frame,
+                       uint64_t trial_seed) const override;
+  double InferenceCostMs(const VideoFrame& frame,
+                         uint64_t trial_seed) const override;
+  uint64_t param_count() const override { return 5'400'000; }
+  const std::string& structure_name() const override;
+
+  const ReferenceProfile& profile() const { return profile_; }
+
+ private:
+  ReferenceProfile profile_;
+  uint64_t uid_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_REFERENCE_DETECTOR_H_

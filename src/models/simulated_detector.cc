@@ -1,0 +1,144 @@
+#include "models/simulated_detector.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sim/object_classes.h"
+
+namespace vqe {
+
+namespace {
+
+uint64_t NameHash(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t FrameKey(const VideoFrame& frame) {
+  return HashCombine(static_cast<uint64_t>(frame.scene_id),
+                     static_cast<uint64_t>(frame.frame_index));
+}
+
+// Spawns one false-positive detection at a random location. Out-of-domain
+// detectors (low q) hallucinate *overconfidently* — the classic domain-
+// shift failure — which is what makes fusing a wrong-context model into an
+// ensemble actively harmful rather than merely wasteful.
+Detection MakeFalsePositive(const ImageGeometry& geom, double q, Rng& rng) {
+  const auto& classes = DrivingClasses();
+  const auto& cls = classes[rng.UniformInt(classes.size())];
+  Detection d;
+  d.label = cls.id;
+  const double w =
+      Clamp(rng.Gaussian(cls.width_mean, cls.width_stddev),
+            cls.width_mean * 0.3, cls.width_mean * 2.0);
+  const double h = w * cls.aspect_mean;
+  const double cx = rng.Uniform(0.0, geom.width);
+  const double cy = rng.Uniform(geom.height * 0.3, geom.height);
+  d.box = BBox::FromCenter(cx, cy, w, h).ClippedTo(geom.width, geom.height);
+  const double conf_mean = 0.30 + 0.30 * (1.0 - q);
+  d.confidence = Clamp(rng.Gaussian(conf_mean, 0.10), 0.05, 0.90);
+  d.box_variance = 25.0;
+  return d;
+}
+
+}  // namespace
+
+SimulatedDetector::SimulatedDetector(DetectorProfile profile)
+    : profile_(std::move(profile)),
+      spec_(&GetStructureSpec(profile_.structure)),
+      uid_(NameHash(profile_.name)) {}
+
+uint64_t SimulatedDetector::param_count() const { return spec_->param_count; }
+
+const std::string& SimulatedDetector::structure_name() const {
+  return spec_->name;
+}
+
+double SimulatedDetector::QualityIn(SceneContext ctx) const {
+  return Clamp(
+      profile_.skill * ContextAffinity(profile_.trained_on, ctx), 0.0, 1.0);
+}
+
+DetectionList SimulatedDetector::Detect(const VideoFrame& frame,
+                                        uint64_t trial_seed) const {
+  Rng rng = MakeStreamRng(trial_seed, uid_, FrameKey(frame), 0xDE7EC7);
+  const double q = QualityIn(frame.context);
+
+  DetectionList out;
+  out.reserve(frame.objects.size() + 2);
+
+  const ImageGeometry geom{frame.image_width, frame.image_height};
+
+  for (const auto& obj : frame.objects) {
+    // Miss probability grows with intrinsic hardness; hardness is shared
+    // across detectors (stored on the object), correlating their misses.
+    const double p_detect =
+        Clamp(spec_->recall_base * q *
+                  (1.0 - 0.72 * std::pow(obj.hardness, 1.5)),
+              0.0, 0.99);
+    if (!rng.Bernoulli(p_detect)) continue;
+
+    Detection d;
+    // Localization noise: worse out-of-domain and for larger boxes.
+    const double sigma = spec_->loc_sigma_px * (2.0 - q) *
+                         (0.5 + obj.box.width() / 400.0);
+    BBox noisy;
+    const double cx = obj.box.cx() + rng.Gaussian(0.0, sigma);
+    const double cy = obj.box.cy() + rng.Gaussian(0.0, sigma);
+    const double wscale =
+        Clamp(rng.Gaussian(1.0, 0.04 * (2.0 - q)), 0.7, 1.3);
+    const double hscale =
+        Clamp(rng.Gaussian(1.0, 0.04 * (2.0 - q)), 0.7, 1.3);
+    noisy = BBox::FromCenter(cx, cy, obj.box.width() * wscale,
+                             obj.box.height() * hscale);
+    d.box = noisy.ClippedTo(geom.width, geom.height);
+    if (d.box.IsEmpty()) continue;
+
+    const double conf_mean =
+        0.35 + 0.60 * spec_->conf_quality * q - 0.30 * obj.hardness;
+    d.confidence = Clamp(rng.Gaussian(conf_mean, 0.12), 0.05, 0.995);
+
+    d.label = obj.label;
+    const double confusion = Clamp(spec_->confusion_rate * (2.0 - q), 0.0, 0.5);
+    if (rng.Bernoulli(confusion)) {
+      const auto& classes = DrivingClasses();
+      ClassId other = classes[rng.UniformInt(classes.size())].id;
+      if (other == obj.label) {
+        other = classes[(static_cast<size_t>(other) + 1) % classes.size()].id;
+      }
+      d.label = other;
+    }
+    d.box_variance = sigma * sigma;
+    out.push_back(d);
+  }
+
+  // Hallucinations: the false-positive rate grows sharply out of domain.
+  const double fp_lambda =
+      spec_->fp_rate * (1.0 + 4.0 * (1.0 - q) * (1.0 - q));
+  const int num_fp = rng.Poisson(fp_lambda);
+  for (int i = 0; i < num_fp; ++i) {
+    out.push_back(MakeFalsePositive(geom, q, rng));
+  }
+  return out;
+}
+
+double SimulatedDetector::InferenceCostMs(const VideoFrame& frame,
+                                          uint64_t trial_seed) const {
+  Rng rng = MakeStreamRng(trial_seed, uid_, FrameKey(frame), 0xC057);
+  const double cost =
+      spec_->cost_ms_mean * (1.0 + spec_->cost_jitter * rng.NextGaussian());
+  return std::max(cost, 0.2 * spec_->cost_ms_mean);
+}
+
+Result<std::unique_ptr<SimulatedDetector>> MakeSimulatedDetector(
+    DetectorProfile profile) {
+  VQE_RETURN_NOT_OK(profile.Validate());
+  return std::make_unique<SimulatedDetector>(std::move(profile));
+}
+
+}  // namespace vqe

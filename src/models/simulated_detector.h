@@ -1,0 +1,54 @@
+// Simulated camera detector: a stochastic detection channel applied to the
+// ground-truth objects of a frame, parameterized by a DetectorProfile.
+//
+// Substitution rationale (see DESIGN.md §2): MES treats detectors as black
+// boxes, so only the joint distribution of (detections, cost) across scene
+// contexts matters. The channel reproduces the phenomena the paper's
+// evaluation depends on: specialists beat generalists in-domain, small and
+// hard objects are missed (with misses correlated across models through a
+// shared per-object hardness), boxes are localization-noisy, confidences
+// are imperfectly calibrated, and false positives appear at a
+// context-dependent rate.
+
+#ifndef VQE_MODELS_SIMULATED_DETECTOR_H_
+#define VQE_MODELS_SIMULATED_DETECTOR_H_
+
+#include <memory>
+
+#include "models/detector.h"
+#include "models/detector_profile.h"
+
+namespace vqe {
+
+/// Profile-driven simulated detector.
+class SimulatedDetector : public ObjectDetector {
+ public:
+  explicit SimulatedDetector(DetectorProfile profile);
+
+  const std::string& name() const override { return profile_.name; }
+  DetectionList Detect(const VideoFrame& frame,
+                       uint64_t trial_seed) const override;
+  double InferenceCostMs(const VideoFrame& frame,
+                         uint64_t trial_seed) const override;
+  uint64_t param_count() const override;
+  const std::string& structure_name() const override;
+
+  const DetectorProfile& profile() const { return profile_; }
+
+  /// Effective quality q ∈ (0, 1] of this detector in a context:
+  /// skill × ContextAffinity(trained_on, ctx).
+  double QualityIn(SceneContext ctx) const;
+
+ private:
+  DetectorProfile profile_;
+  const StructureSpec* spec_;  // borrowed from the static table
+  uint64_t uid_;               // stable hash of the name, keys RNG streams
+};
+
+/// Convenience factory returning a ready detector or a validation error.
+Result<std::unique_ptr<SimulatedDetector>> MakeSimulatedDetector(
+    DetectorProfile profile);
+
+}  // namespace vqe
+
+#endif  // VQE_MODELS_SIMULATED_DETECTOR_H_

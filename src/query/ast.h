@@ -1,0 +1,94 @@
+// Abstract syntax for the paper's video-query dialect (§1):
+//
+//   SELECT frameID
+//   FROM (PROCESS nusc PRODUCE frameID, Detections
+//         USING MES(yolov7-tiny@clear, yolov7-tiny@night; REF))
+//   WHERE COUNT(car) >= 2 AND NOT EXISTS(bus)
+//   LIMIT 100
+//
+// The PROCESS clause names the input video and the detector ensemble
+// machinery; the WHERE clause filters frames on their fused detections.
+
+#ifndef VQE_QUERY_AST_H_
+#define VQE_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vqe {
+
+/// Per-frame aggregate over the fused detections.
+enum class AggregateKind {
+  kCount,    // COUNT(class): detections of the class
+  kExists,   // EXISTS(class): 1 when any detection of the class is present
+  kMaxConf,  // MAX_CONF(class): highest confidence (0 when absent)
+  kAvgConf,  // AVG_CONF(class): mean confidence (0 when absent)
+  kTracks,   // TRACKS(class): confirmed tracks of the class active now
+};
+
+/// An aggregate term, e.g. COUNT(car). Class "*" matches every label.
+struct AggregateExpr {
+  AggregateKind kind = AggregateKind::kCount;
+  std::string class_name = "*";
+  /// Detections below this confidence are ignored by the aggregate.
+  double min_confidence = 0.25;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Boolean predicate tree over one frame's detections.
+struct Predicate {
+  enum class Type { kComparison, kAnd, kOr, kNot };
+
+  Type type = Type::kComparison;
+  // kComparison:
+  AggregateExpr aggregate;
+  CompareOp op = CompareOp::kGe;
+  double value = 0.0;
+  // kAnd / kOr: both children; kNot: lhs only.
+  std::unique_ptr<Predicate> lhs;
+  std::unique_ptr<Predicate> rhs;
+};
+
+/// Optional PROCESS-clause modifiers.
+struct ProcessOptions {
+  /// Replica scale of the sampled dataset; 0 = use the engine default.
+  double scale = 0.0;
+  /// Sampling seed; 0 = use the engine default.
+  uint64_t seed = 0;
+  /// Process every stride-th frame (frame skipping, the orthogonal
+  /// optimization of the paper's §3.2 references [16, 41]). Must be >= 1.
+  size_t stride = 1;
+};
+
+/// The USING clause: selection strategy plus its detector pool.
+struct UsingClause {
+  /// Strategy name: MES, MES-B, SW-MES, MES-A, BF, RAND, EF.
+  std::string strategy = "MES";
+  /// Detector names resolved against the model zoo ("structure@context").
+  /// Empty means "the default pool for the video's dataset".
+  std::vector<std::string> detector_names;
+  /// True when the clause names REF after ';' (required by MES variants).
+  bool has_reference = false;
+};
+
+/// A parsed query.
+struct Query {
+  /// Projected column; the dialect supports frameID.
+  std::string select_column = "frameID";
+  /// Input video: a dataset name from the catalog.
+  std::string video_name;
+  ProcessOptions process;
+  UsingClause using_clause;
+  /// Null when the query has no WHERE clause (all frames match).
+  std::unique_ptr<Predicate> where;
+  /// Max rows to return; 0 = unlimited.
+  size_t limit = 0;
+  /// Optional TCVI budget in ms (BUDGET <number>); 0 = unrestricted.
+  double budget_ms = 0.0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_QUERY_AST_H_

@@ -1,0 +1,264 @@
+#include "query/executor.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "core/baselines.h"
+#include "core/mes.h"
+#include "core/mes_b.h"
+#include "detection/ap.h"
+#include "models/model_zoo.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+#include "sim/dataset.h"
+#include "track/tracker.h"
+
+namespace vqe {
+
+Status QueryEngineOptions::Validate() const {
+  if (scene_scale <= 0.0 || scene_scale > 1.0) {
+    return Status::InvalidArgument("scene_scale must be in (0, 1]");
+  }
+  if (gamma < 1) return Status::InvalidArgument("gamma must be >= 1");
+  if (sw_window < 2) return Status::InvalidArgument("sw_window must be >= 2");
+  VQE_RETURN_NOT_OK(sc.Validate());
+  return matrix.Validate();
+}
+
+namespace {
+
+Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
+    const UsingClause& clause, const QueryEngineOptions& options,
+    double budget_ms) {
+  const std::string name = ToUpper(clause.strategy);
+  const bool needs_ref =
+      name == "MES" || name == "MES-B" || name == "MES-A" || name == "SW-MES";
+  if (needs_ref && !clause.has_reference) {
+    return Status::InvalidArgument(
+        clause.strategy + " requires a reference model: USING " +
+        clause.strategy + "(...; REF)");
+  }
+  if (name == "MES") {
+    MesOptions mes;
+    mes.gamma = options.gamma;
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<MesStrategy>(mes));
+  }
+  if (name == "MES-B") {
+    if (budget_ms <= 0.0) {
+      return Status::InvalidArgument("MES-B requires a BUDGET clause");
+    }
+    MesBOptions mes_b;
+    mes_b.gamma = options.gamma;
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<MesBStrategy>(mes_b));
+  }
+  if (name == "MES-A") {
+    MesOptions mes;
+    mes.gamma = options.gamma;
+    mes.subset_updates = false;
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<MesStrategy>(mes));
+  }
+  if (name == "SW-MES") {
+    SwMesOptions sw;
+    sw.gamma = options.gamma;
+    sw.window = options.sw_window;
+    sw.exploration_scale = 0.05;
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<SwMesStrategy>(sw));
+  }
+  if (name == "BF") {
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<BruteForceStrategy>());
+  }
+  if (name == "RAND") {
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<RandomStrategy>());
+  }
+  if (name == "EF") {
+    return std::unique_ptr<SelectionStrategy>(
+        std::make_unique<ExploreFirstStrategy>());
+  }
+  if (name == "OPT" || name == "SGL") {
+    return Status::InvalidArgument(
+        name + " is an offline oracle baseline and cannot run in a query");
+  }
+  return Status::NotFound("unknown strategy: " + clause.strategy);
+}
+
+// Simulated fusion overhead, matching core/frame_matrix.cc.
+double SimulatedFusionOverheadMs(size_t num_input_boxes) {
+  return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
+}
+
+}  // namespace
+
+Result<QueryOutput> ExecuteQuery(const Query& query,
+                                 const QueryEngineOptions& options) {
+  VQE_RETURN_NOT_OK(options.Validate());
+  VQE_RETURN_NOT_OK(ValidatePredicate(query.where.get()));
+
+  Stopwatch wall;
+
+  // Resolve the input video.
+  VQE_ASSIGN_OR_RETURN(const DatasetSpec* dataset,
+                       DatasetCatalog::Default().Find(query.video_name));
+  SampleOptions sample;
+  sample.scene_scale =
+      query.process.scale > 0.0 ? query.process.scale : options.scene_scale;
+  sample.seed = query.process.seed > 0 ? query.process.seed : options.seed;
+  VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*dataset, sample));
+  const size_t stride = std::max<size_t>(query.process.stride, 1);
+
+  // Resolve the detector pool.
+  DetectorPool pool;
+  if (query.using_clause.detector_names.empty()) {
+    VQE_ASSIGN_OR_RETURN(pool, BuildPoolForDataset(dataset->name));
+  } else {
+    std::vector<DetectorProfile> profiles;
+    for (const auto& det_name : query.using_clause.detector_names) {
+      VQE_ASSIGN_OR_RETURN(DetectorProfile p, ParseDetectorName(det_name));
+      profiles.push_back(std::move(p));
+    }
+    VQE_ASSIGN_OR_RETURN(pool, BuildPool(profiles));
+  }
+  const int m = static_cast<int>(pool.size());
+  const uint32_t num_masks = NumEnsembles(m);
+
+  VQE_ASSIGN_OR_RETURN(
+      auto strategy, MakeStrategy(query.using_clause, options,
+                                  query.budget_ms));
+  VQE_ASSIGN_OR_RETURN(auto fusion,
+                       CreateEnsembleMethod(options.matrix.fusion,
+                                            options.matrix.fusion_options));
+
+  StrategyContext ctx;
+  ctx.num_models = m;
+  ctx.num_frames = video.size();
+  ctx.sc = options.sc;
+  ctx.seed = options.seed;
+  ctx.oracle = nullptr;  // queries run online: no ground truth exists
+  strategy->BeginVideo(ctx);
+
+  QueryOutput out;
+  out.selection_counts.assign(num_masks + 1, 0);
+  for (const auto& d : pool.detectors) out.model_names.push_back(d->name());
+
+  // Temporal predicates (TRACKS) need an online tracker over the fused
+  // detections of the selected ensembles.
+  const bool needs_tracks = PredicateUsesTracks(query.where.get());
+  IouTracker tracker;
+
+  std::vector<double> est_score(num_masks + 1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<DetectionList> model_out(static_cast<size_t>(m));
+
+  size_t iteration = 0;
+  for (size_t t = 0; t < video.size(); t += stride) {
+    if (query.budget_ms > 0.0 && out.charged_cost_ms > query.budget_ms) break;
+    if (query.limit > 0 && out.frames_matched >= query.limit) break;
+    const VideoFrame& frame = video.frames[t];
+
+    const EnsembleId selected = strategy->Select(iteration++);
+    if (selected == 0 || selected > num_masks) {
+      return Status::Internal("strategy selected an invalid ensemble");
+    }
+
+    // Run exactly the selected models (online behaviour).
+    double frame_cost = 0.0;
+    double full_cost_bound = 0.0;
+    for (int i = 0; i < m; ++i) {
+      // c_max normalization needs every model's cost; cost simulation is
+      // free to query (a deployment would use calibrated per-model costs).
+      full_cost_bound +=
+          pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(
+              frame, options.seed);
+    }
+    std::vector<double> model_cost(static_cast<size_t>(m), 0.0);
+    for (int i = 0; i < m; ++i) {
+      if (!ContainsModel(selected, i)) {
+        model_out[static_cast<size_t>(i)].clear();
+        continue;
+      }
+      model_out[static_cast<size_t>(i)] =
+          pool.detectors[static_cast<size_t>(i)]->Detect(frame, options.seed);
+      model_cost[static_cast<size_t>(i)] =
+          pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(
+              frame, options.seed);
+      frame_cost += model_cost[static_cast<size_t>(i)];
+    }
+
+    // Reference model (AP estimation) when the strategy learns from it.
+    GroundTruthList ref_gt;
+    if (strategy->UsesReferenceModel()) {
+      const DetectionList ref_out =
+          pool.reference->Detect(frame, options.seed);
+      out.reference_cost_ms +=
+          pool.reference->InferenceCostMs(frame, options.seed);
+      ref_gt = DetectionsAsGroundTruth(ref_out,
+                                       options.matrix.ref_confidence_threshold);
+    }
+
+    // Fuse every subset of the selection (outputs are reused; only the
+    // cheap box fusion re-runs) and estimate its reward.
+    est_score.assign(num_masks + 1, nan);
+    DetectionList selected_fused;
+    ForEachSubset(selected, [&](EnsembleId sub) {
+      std::vector<DetectionList> inputs;
+      size_t boxes = 0;
+      double cost = 0.0;
+      for (int i = 0; i < m; ++i) {
+        if (!ContainsModel(sub, i)) continue;
+        inputs.push_back(model_out[static_cast<size_t>(i)]);
+        boxes += inputs.back().size();
+        cost += model_cost[static_cast<size_t>(i)];
+      }
+      DetectionList fused = fusion->Fuse(inputs);
+      const double overhead = SimulatedFusionOverheadMs(boxes);
+      frame_cost += overhead;
+      cost += overhead;
+      if (strategy->UsesReferenceModel()) {
+        const double est_ap = FrameMeanAp(fused, ref_gt, options.matrix.ap);
+        const double full_bound = full_cost_bound + overhead;
+        est_score[sub] = options.sc.Score(
+            est_ap, full_bound > 0 ? cost / full_bound : 0.0);
+      }
+      if (sub == selected) selected_fused = std::move(fused);
+    });
+    out.charged_cost_ms += frame_cost;
+
+    FrameFeedback feedback;
+    feedback.t = iteration - 1;
+    feedback.selected = selected;
+    feedback.est_score = &est_score;
+    strategy->Observe(feedback);
+
+    ++out.selection_counts[selected];
+    ++out.frames_processed;
+    std::vector<Track> active_tracks;
+    if (needs_tracks) {
+      tracker.Update(selected_fused, frame.frame_index);
+      active_tracks = tracker.ActiveConfirmed();
+    }
+    if (EvaluatePredicate(query.where.get(), selected_fused,
+                          needs_tracks ? &active_tracks : nullptr)) {
+      out.frame_ids.push_back(frame.frame_index);
+      ++out.frames_matched;
+    }
+  }
+
+  out.wall_seconds = wall.ElapsedSeconds();
+  return out;
+}
+
+Result<QueryOutput> ExecuteQuery(const std::string& sql,
+                                 const QueryEngineOptions& options) {
+  VQE_ASSIGN_OR_RETURN(Query query, ParseQuery(sql));
+  return ExecuteQuery(query, options);
+}
+
+}  // namespace vqe

@@ -1,0 +1,69 @@
+// Streaming query executor: runs a parsed query end-to-end — samples the
+// named dataset, builds the detector pool, and processes the video frame by
+// frame exactly as a deployment would: the strategy picks an ensemble, only
+// those models run, their outputs are fused, the reference model estimates
+// AP for the bandit update, and the WHERE predicate filters the frame.
+//
+// Unlike the experiment engine (core/engine.h), which replays precomputed
+// evaluation matrices for measurement, this executor is genuinely online:
+// nothing about a frame is computed unless the selected ensemble needs it.
+
+#ifndef VQE_QUERY_EXECUTOR_H_
+#define VQE_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ensemble_id.h"
+#include "core/frame_matrix.h"
+#include "core/scoring.h"
+#include "query/ast.h"
+
+namespace vqe {
+
+/// Executor configuration (defaults mirror the experiment harness).
+struct QueryEngineOptions {
+  uint64_t seed = 1;
+  /// Scale of the sampled dataset replica (1.0 = full Table 1/2 sizes).
+  double scene_scale = 0.02;
+  ScoringFunction sc;
+  /// γ for MES-family strategies.
+  size_t gamma = 10;
+  /// λ for SW-MES.
+  size_t sw_window = 450;
+  MatrixOptions matrix;  // fusion method + AP options + REF threshold
+
+  Status Validate() const;
+};
+
+/// Result of executing one query.
+struct QueryOutput {
+  /// frameIDs matching the WHERE clause, ascending.
+  std::vector<int64_t> frame_ids;
+  size_t frames_processed = 0;
+  size_t frames_matched = 0;
+  /// Simulated inference cost charged (Eq. 12/14), ms.
+  double charged_cost_ms = 0.0;
+  /// Simulated reference-model cost, ms.
+  double reference_cost_ms = 0.0;
+  /// Real wall-clock of the whole execution, seconds.
+  double wall_seconds = 0.0;
+  /// Ensemble selection counts, indexed by mask.
+  std::vector<uint64_t> selection_counts;
+  /// Pool model names, index-aligned with mask bits.
+  std::vector<std::string> model_names;
+};
+
+/// Parses and executes a query string.
+Result<QueryOutput> ExecuteQuery(const std::string& sql,
+                                 const QueryEngineOptions& options = {});
+
+/// Executes an already-parsed query.
+Result<QueryOutput> ExecuteQuery(const Query& query,
+                                 const QueryEngineOptions& options = {});
+
+}  // namespace vqe
+
+#endif  // VQE_QUERY_EXECUTOR_H_

@@ -1,0 +1,104 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vqe {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '@' ||
+         c == '.' || c == '&' || c == '-';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(i, j - i);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = input.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else if (c == '(') {
+      tok.type = TokenType::kLParen;
+      tok.text = "(";
+      ++i;
+    } else if (c == ')') {
+      tok.type = TokenType::kRParen;
+      tok.text = ")";
+      ++i;
+    } else if (c == ',') {
+      tok.type = TokenType::kComma;
+      tok.text = ",";
+      ++i;
+    } else if (c == ';') {
+      tok.type = TokenType::kSemicolon;
+      tok.text = ";";
+      ++i;
+    } else if (c == '*') {
+      tok.type = TokenType::kStar;
+      tok.text = "*";
+      ++i;
+    } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+      size_t j = i + 1;
+      if (j < n && input[j] == '=') ++j;
+      tok.type = TokenType::kOperator;
+      tok.text = input.substr(i, j - i);
+      if (tok.text == "!") {
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(i) + " (did you mean !=?)");
+      }
+      i = j;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace vqe

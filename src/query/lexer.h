@@ -1,0 +1,41 @@
+// Tokenizer for the video-query dialect.
+
+#ifndef VQE_QUERY_LEXER_H_
+#define VQE_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vqe {
+
+enum class TokenType {
+  kIdentifier,  // keywords are identifiers, matched case-insensitively
+  kNumber,
+  kString,      // 'quoted'
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kStar,
+  kOperator,    // = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  double number = 0.0;
+  /// Byte offset in the query string (for error messages).
+  size_t position = 0;
+};
+
+/// Tokenizes a query string. Identifiers may contain [A-Za-z0-9_@.&-]
+/// (detector names such as "yolov7-tiny@clear" and dataset names such as
+/// "c&n" are single identifiers).
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace vqe
+
+#endif  // VQE_QUERY_LEXER_H_

@@ -1,0 +1,285 @@
+#include "query/parser.h"
+
+#include "common/strings.h"
+#include "query/lexer.h"
+
+namespace vqe {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query q;
+    VQE_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    VQE_ASSIGN_OR_RETURN(q.select_column, ExpectIdentifier("column name"));
+    if (ToLower(q.select_column) != "frameid") {
+      return Error("only frameID can be selected, got '" + q.select_column +
+                   "'");
+    }
+    VQE_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    VQE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    VQE_RETURN_NOT_OK(ParseProcess(&q));
+    VQE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+
+    if (AcceptKeyword("WHERE")) {
+      VQE_ASSIGN_OR_RETURN(q.where, ParsePredicate());
+    }
+    if (AcceptKeyword("BUDGET")) {
+      VQE_ASSIGN_OR_RETURN(q.budget_ms, ExpectNumber("budget"));
+      if (q.budget_ms <= 0) return Error("BUDGET must be positive");
+    }
+    if (AcceptKeyword("LIMIT")) {
+      VQE_ASSIGN_OR_RETURN(double lim, ExpectNumber("limit"));
+      if (lim < 1) return Error("LIMIT must be >= 1");
+      q.limit = static_cast<size_t>(lim);
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing token '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  Status ParseProcess(Query* q) {
+    VQE_RETURN_NOT_OK(ExpectKeyword("PROCESS"));
+    VQE_ASSIGN_OR_RETURN(q->video_name, ExpectNameOrString("video name"));
+    while (true) {
+      if (AcceptKeyword("SCALE")) {
+        VQE_ASSIGN_OR_RETURN(q->process.scale, ExpectNumber("scale"));
+        if (q->process.scale <= 0.0 || q->process.scale > 1.0) {
+          return Error("SCALE must be in (0, 1]");
+        }
+      } else if (AcceptKeyword("SEED")) {
+        VQE_ASSIGN_OR_RETURN(double seed, ExpectNumber("seed"));
+        if (seed < 1) return Error("SEED must be >= 1");
+        q->process.seed = static_cast<uint64_t>(seed);
+      } else if (AcceptKeyword("STRIDE")) {
+        VQE_ASSIGN_OR_RETURN(double stride, ExpectNumber("stride"));
+        if (stride < 1) return Error("STRIDE must be >= 1");
+        q->process.stride = static_cast<size_t>(stride);
+      } else {
+        break;
+      }
+    }
+    VQE_RETURN_NOT_OK(ExpectKeyword("PRODUCE"));
+    VQE_ASSIGN_OR_RETURN(std::string col1, ExpectIdentifier("frameID"));
+    if (ToLower(col1) != "frameid") {
+      return Error("PRODUCE must start with frameID");
+    }
+    VQE_RETURN_NOT_OK(Expect(TokenType::kComma, "','"));
+    VQE_ASSIGN_OR_RETURN(std::string col2, ExpectIdentifier("Detections"));
+    if (ToLower(col2) != "detections") {
+      return Error("PRODUCE's second column must be Detections");
+    }
+    VQE_RETURN_NOT_OK(ExpectKeyword("USING"));
+    VQE_ASSIGN_OR_RETURN(q->using_clause.strategy,
+                         ExpectIdentifier("strategy name"));
+    VQE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    if (Peek().type == TokenType::kStar) {
+      Advance();  // '*': default pool
+    } else {
+      VQE_ASSIGN_OR_RETURN(std::string first,
+                           ExpectNameOrString("detector name"));
+      q->using_clause.detector_names.push_back(std::move(first));
+      while (Peek().type == TokenType::kComma) {
+        Advance();
+        VQE_ASSIGN_OR_RETURN(std::string next,
+                             ExpectNameOrString("detector name"));
+        q->using_clause.detector_names.push_back(std::move(next));
+      }
+    }
+    if (Peek().type == TokenType::kSemicolon) {
+      Advance();
+      VQE_ASSIGN_OR_RETURN(std::string ref, ExpectIdentifier("REF"));
+      if (ToUpper(ref) != "REF") {
+        return Error("expected REF after ';', got '" + ref + "'");
+      }
+      q->using_clause.has_reference = true;
+    }
+    return Expect(TokenType::kRParen, "')'");
+  }
+
+  Result<std::unique_ptr<Predicate>> ParsePredicate() {
+    VQE_ASSIGN_OR_RETURN(auto lhs, ParseConjunction());
+    while (AcceptKeyword("OR")) {
+      VQE_ASSIGN_OR_RETURN(auto rhs, ParseConjunction());
+      auto node = std::make_unique<Predicate>();
+      node->type = Predicate::Type::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseConjunction() {
+    VQE_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (AcceptKeyword("AND")) {
+      VQE_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->type = Predicate::Type::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseUnary() {
+    if (AcceptKeyword("NOT")) {
+      VQE_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      auto node = std::make_unique<Predicate>();
+      node->type = Predicate::Type::kNot;
+      node->lhs = std::move(inner);
+      return node;
+    }
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      VQE_ASSIGN_OR_RETURN(auto inner, ParsePredicate());
+      VQE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Predicate>> ParseComparison() {
+    VQE_ASSIGN_OR_RETURN(std::string fn, ExpectIdentifier("aggregate"));
+    const std::string fname = ToUpper(fn);
+    auto node = std::make_unique<Predicate>();
+    node->type = Predicate::Type::kComparison;
+    if (fname == "COUNT") {
+      node->aggregate.kind = AggregateKind::kCount;
+    } else if (fname == "EXISTS") {
+      node->aggregate.kind = AggregateKind::kExists;
+    } else if (fname == "MAX_CONF") {
+      node->aggregate.kind = AggregateKind::kMaxConf;
+    } else if (fname == "AVG_CONF") {
+      node->aggregate.kind = AggregateKind::kAvgConf;
+    } else if (fname == "TRACKS") {
+      node->aggregate.kind = AggregateKind::kTracks;
+    } else {
+      return Error("unknown aggregate '" + fn + "'");
+    }
+    VQE_RETURN_NOT_OK(Expect(TokenType::kLParen, "'('"));
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      node->aggregate.class_name = "*";
+    } else {
+      VQE_ASSIGN_OR_RETURN(node->aggregate.class_name,
+                           ExpectNameOrString("object class"));
+    }
+    VQE_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+
+    if (node->aggregate.kind == AggregateKind::kExists) {
+      // EXISTS(cls) desugars to COUNT-style truthiness: >= 1 match.
+      node->op = CompareOp::kGe;
+      node->value = 1.0;
+      return node;
+    }
+    VQE_ASSIGN_OR_RETURN(node->op, ExpectOperator());
+    VQE_ASSIGN_OR_RETURN(node->value, ExpectNumber("comparison value"));
+    return node;
+  }
+
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (at offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  Status Expect(TokenType type, const std::string& what) {
+    if (Peek().type != type) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().type == TokenType::kIdentifier && ToUpper(Peek().text) == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected " + kw + ", got '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  Result<std::string> ExpectNameOrString(const std::string& what) {
+    if (Peek().type == TokenType::kIdentifier ||
+        Peek().type == TokenType::kString) {
+      std::string text = Peek().text;
+      Advance();
+      return text;
+    }
+    return Error("expected " + what + ", got '" + Peek().text + "'");
+  }
+
+  Result<double> ExpectNumber(const std::string& what) {
+    if (Peek().type != TokenType::kNumber) {
+      return Error("expected " + what + ", got '" + Peek().text + "'");
+    }
+    double v = Peek().number;
+    Advance();
+    return v;
+  }
+
+  Result<CompareOp> ExpectOperator() {
+    if (Peek().type != TokenType::kOperator) {
+      return Error("expected comparison operator, got '" + Peek().text + "'");
+    }
+    const std::string& op = Peek().text;
+    CompareOp out;
+    if (op == "=" || op == "==") {
+      out = CompareOp::kEq;
+    } else if (op == "!=") {
+      out = CompareOp::kNe;
+    } else if (op == "<") {
+      out = CompareOp::kLt;
+    } else if (op == "<=") {
+      out = CompareOp::kLe;
+    } else if (op == ">") {
+      out = CompareOp::kGt;
+    } else if (op == ">=") {
+      out = CompareOp::kGe;
+    } else {
+      return Error("unknown operator '" + op + "'");
+    }
+    Advance();
+    return out;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& input) {
+  VQE_ASSIGN_OR_RETURN(auto tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace vqe

@@ -1,0 +1,33 @@
+// Recursive-descent parser for the video-query dialect; see ast.h for the
+// grammar's shape and executor.h for evaluation.
+
+#ifndef VQE_QUERY_PARSER_H_
+#define VQE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace vqe {
+
+/// Parses a query string into an AST. Keywords are case-insensitive.
+///
+/// Grammar (informal):
+///   query    := SELECT frameID FROM '(' process ')' [WHERE pred]
+///               [BUDGET number] [LIMIT number]
+///   process  := PROCESS source [SCALE number] [SEED number]
+///               [STRIDE number] PRODUCE frameID ',' Detections USING using
+///   using    := name '(' models [';' REF] ')'
+///   models   := '*' | name (',' name)*
+///   pred     := conj (OR conj)*
+///   conj     := unary (AND unary)*
+///   unary    := NOT unary | '(' pred ')' | cmp
+///   cmp      := agg op number | EXISTS '(' class ')'
+///   agg      := (COUNT | MAX_CONF | AVG_CONF) '(' class ')'
+///   class    := '*' | name | string
+Result<Query> ParseQuery(const std::string& input);
+
+}  // namespace vqe
+
+#endif  // VQE_QUERY_PARSER_H_

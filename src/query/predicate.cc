@@ -1,0 +1,137 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+
+#include "sim/object_classes.h"
+
+namespace vqe {
+
+Status ValidatePredicate(const Predicate* pred) {
+  if (pred == nullptr) return Status::OK();
+  switch (pred->type) {
+    case Predicate::Type::kComparison: {
+      if (pred->aggregate.class_name != "*") {
+        VQE_ASSIGN_OR_RETURN(ClassId id,
+                             ClassIdFromName(pred->aggregate.class_name));
+        (void)id;
+      }
+      return Status::OK();
+    }
+    case Predicate::Type::kNot:
+      if (pred->lhs == nullptr) {
+        return Status::InvalidArgument("NOT node has no operand");
+      }
+      return ValidatePredicate(pred->lhs.get());
+    case Predicate::Type::kAnd:
+    case Predicate::Type::kOr:
+      if (pred->lhs == nullptr || pred->rhs == nullptr) {
+        return Status::InvalidArgument("binary predicate missing operand");
+      }
+      VQE_RETURN_NOT_OK(ValidatePredicate(pred->lhs.get()));
+      return ValidatePredicate(pred->rhs.get());
+  }
+  return Status::Internal("unhandled predicate type");
+}
+
+bool PredicateUsesTracks(const Predicate* pred) {
+  if (pred == nullptr) return false;
+  switch (pred->type) {
+    case Predicate::Type::kComparison:
+      return pred->aggregate.kind == AggregateKind::kTracks;
+    case Predicate::Type::kNot:
+      return PredicateUsesTracks(pred->lhs.get());
+    case Predicate::Type::kAnd:
+    case Predicate::Type::kOr:
+      return PredicateUsesTracks(pred->lhs.get()) ||
+             PredicateUsesTracks(pred->rhs.get());
+  }
+  return false;
+}
+
+double EvaluateAggregate(const AggregateExpr& agg, const DetectionList& dets,
+                         const std::vector<Track>* tracks) {
+  const bool any_class = agg.class_name == "*";
+  ClassId cls = -1;
+  if (!any_class) {
+    auto id = ClassIdFromName(agg.class_name);
+    if (!id.ok()) return 0.0;  // unknown class matches nothing
+    cls = *id;
+  }
+
+  if (agg.kind == AggregateKind::kTracks) {
+    if (tracks == nullptr) return 0.0;
+    size_t n = 0;
+    for (const Track& t : *tracks) {
+      if (any_class || t.label == cls) ++n;
+    }
+    return static_cast<double>(n);
+  }
+
+  size_t count = 0;
+  double max_conf = 0.0;
+  double conf_sum = 0.0;
+  for (const auto& d : dets) {
+    if (d.confidence < agg.min_confidence) continue;
+    if (!any_class && d.label != cls) continue;
+    ++count;
+    max_conf = std::max(max_conf, d.confidence);
+    conf_sum += d.confidence;
+  }
+
+  switch (agg.kind) {
+    case AggregateKind::kCount:
+      return static_cast<double>(count);
+    case AggregateKind::kExists:
+      return count > 0 ? 1.0 : 0.0;
+    case AggregateKind::kMaxConf:
+      return max_conf;
+    case AggregateKind::kAvgConf:
+      return count > 0 ? conf_sum / static_cast<double>(count) : 0.0;
+    case AggregateKind::kTracks:
+      return 0.0;  // handled above
+  }
+  return 0.0;
+}
+
+namespace {
+
+bool Compare(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool EvaluatePredicate(const Predicate* pred, const DetectionList& dets,
+                       const std::vector<Track>* tracks) {
+  if (pred == nullptr) return true;
+  switch (pred->type) {
+    case Predicate::Type::kComparison:
+      return Compare(EvaluateAggregate(pred->aggregate, dets, tracks),
+                     pred->op, pred->value);
+    case Predicate::Type::kNot:
+      return !EvaluatePredicate(pred->lhs.get(), dets, tracks);
+    case Predicate::Type::kAnd:
+      return EvaluatePredicate(pred->lhs.get(), dets, tracks) &&
+             EvaluatePredicate(pred->rhs.get(), dets, tracks);
+    case Predicate::Type::kOr:
+      return EvaluatePredicate(pred->lhs.get(), dets, tracks) ||
+             EvaluatePredicate(pred->rhs.get(), dets, tracks);
+  }
+  return false;
+}
+
+}  // namespace vqe

@@ -1,0 +1,35 @@
+// Predicate evaluation: aggregates over one frame's fused detections.
+
+#ifndef VQE_QUERY_PREDICATE_H_
+#define VQE_QUERY_PREDICATE_H_
+
+#include "common/status.h"
+#include "detection/detection.h"
+#include "query/ast.h"
+#include "track/tracker.h"
+
+namespace vqe {
+
+/// Validates a predicate tree: known class names and well-formed nodes.
+/// Class "*" is always valid.
+Status ValidatePredicate(const Predicate* pred);
+
+/// True when any comparison in the tree uses the TRACKS aggregate (the
+/// executor then maintains a tracker for the query).
+bool PredicateUsesTracks(const Predicate* pred);
+
+/// Evaluates an aggregate over the detections (class names resolved via the
+/// driving vocabulary; "*" matches all labels). TRACKS aggregates count
+/// confirmed active tracks in `tracks` (0 when tracks is null).
+double EvaluateAggregate(const AggregateExpr& agg, const DetectionList& dets,
+                         const std::vector<Track>* tracks = nullptr);
+
+/// Evaluates the predicate over one frame's detections (and, for TRACKS
+/// aggregates, the frame's confirmed active tracks). A null predicate
+/// matches every frame.
+bool EvaluatePredicate(const Predicate* pred, const DetectionList& dets,
+                       const std::vector<Track>* tracks = nullptr);
+
+}  // namespace vqe
+
+#endif  // VQE_QUERY_PREDICATE_H_

@@ -1,0 +1,254 @@
+#include "sim/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace vqe {
+
+int DatasetSpec::TotalScenes() const {
+  int n = 0;
+  for (const auto& g : groups) n += g.num_scenes;
+  return n;
+}
+
+int DatasetSpec::TotalFrames() const {
+  int n = 0;
+  for (const auto& g : groups) n += g.TotalFrames();
+  return n;
+}
+
+double DatasetSpec::DurationMinutes() const {
+  if (frames_per_second <= 0) return 0.0;
+  return static_cast<double>(TotalFrames()) / frames_per_second / 60.0;
+}
+
+Status DatasetSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("dataset name empty");
+  if (groups.empty()) {
+    return Status::InvalidArgument("dataset has no scene groups");
+  }
+  for (const auto& g : groups) {
+    if (g.num_scenes <= 0 || g.frames_per_scene <= 0) {
+      return Status::InvalidArgument("group '" + g.name +
+                                     "' has non-positive size");
+    }
+  }
+  if (shuffle_segments < 0) {
+    return Status::InvalidArgument("shuffle_segments must be >= 0");
+  }
+  return generator.Validate();
+}
+
+namespace {
+
+// Fisher–Yates shuffle with our deterministic Rng.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = rng.UniformInt(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+// Generates all scenes of one group at the requested scale.
+std::vector<Video> GenerateGroupScenes(const DatasetSpec& spec,
+                                       const SceneGroupSpec& group,
+                                       size_t group_index,
+                                       const SampleOptions& opts,
+                                       int32_t* next_scene_id) {
+  const int scaled = std::max(
+      1, static_cast<int>(std::lround(group.num_scenes * opts.scene_scale)));
+  std::vector<Video> scenes;
+  scenes.reserve(static_cast<size_t>(scaled));
+  for (int s = 0; s < scaled; ++s) {
+    const uint64_t scene_seed =
+        HashCombine(HashCombine(opts.seed, group_index), s);
+    scenes.push_back(GenerateScene(spec.generator, group.context,
+                                   (*next_scene_id)++, group.frames_per_scene,
+                                   scene_seed));
+  }
+  return scenes;
+}
+
+// Appends src's frames to dst, re-indexing frames consecutively.
+void AppendFrames(Video* dst, const Video& src) {
+  for (VideoFrame f : src.frames) {
+    f.frame_index = static_cast<int64_t>(dst->frames.size());
+    dst->frames.push_back(std::move(f));
+  }
+}
+
+// Splits a video into `parts` contiguous segments (sizes differ by <= 1).
+std::vector<Video> SplitSegments(const Video& video, int parts) {
+  std::vector<Video> out;
+  const size_t n = video.frames.size();
+  if (n == 0 || parts <= 0) return out;
+  const size_t per = (n + static_cast<size_t>(parts) - 1) /
+                     static_cast<size_t>(parts);
+  for (size_t start = 0; start < n; start += per) {
+    Video seg;
+    seg.geometry = video.geometry;
+    const size_t end = std::min(n, start + per);
+    seg.frames.assign(video.frames.begin() + static_cast<ptrdiff_t>(start),
+                      video.frames.begin() + static_cast<ptrdiff_t>(end));
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Video> SampleVideo(const DatasetSpec& spec, const SampleOptions& opts) {
+  VQE_RETURN_NOT_OK(spec.Validate());
+  if (opts.scene_scale <= 0.0 || opts.scene_scale > 1.0) {
+    return Status::InvalidArgument("scene_scale must be in (0, 1]");
+  }
+
+  Rng order_rng = MakeStreamRng(opts.seed, 0xDA7A5E7);
+  int32_t next_scene_id = 0;
+
+  Video out;
+  out.geometry = spec.generator.geometry;
+
+  if (spec.shuffle_segments > 0) {
+    // Concept-drift composition: per group, build a contiguous video, split
+    // it into segments, then shuffle all segments together (paper §5.1).
+    std::vector<Video> segments;
+    for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+      Video group_video;
+      group_video.geometry = spec.generator.geometry;
+      auto scenes =
+          GenerateGroupScenes(spec, spec.groups[gi], gi, opts, &next_scene_id);
+      for (const auto& sc : scenes) AppendFrames(&group_video, sc);
+      auto segs = SplitSegments(group_video, spec.shuffle_segments);
+      for (auto& s : segs) segments.push_back(std::move(s));
+    }
+    Shuffle(&segments, order_rng);
+    for (const auto& seg : segments) AppendFrames(&out, seg);
+    return out;
+  }
+
+  // Plain composition: shuffle whole scenes.
+  std::vector<Video> scenes;
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    auto group_scenes =
+        GenerateGroupScenes(spec, spec.groups[gi], gi, opts, &next_scene_id);
+    for (auto& sc : group_scenes) scenes.push_back(std::move(sc));
+  }
+  Shuffle(&scenes, order_rng);
+  for (const auto& sc : scenes) AppendFrames(&out, sc);
+  return out;
+}
+
+namespace {
+
+DatasetSpec MakeNusc() {
+  // Table 1: 850 scenes, 42,500 samples (50 keyframes/scene at 2 Hz).
+  // The named groups (clear/night/rainy) sum to 537 scenes; the remaining
+  // 313 are other daytime conditions, modeled as clear.
+  DatasetSpec d;
+  d.name = "nusc";
+  d.frames_per_second = 2.0;
+  d.groups = {
+      {"clear", SceneContext::kClear, 274, 50},
+      {"night", SceneContext::kNight, 79, 50},
+      {"rainy", SceneContext::kRainy, 184, 50},
+      {"other", SceneContext::kClear, 313, 50},
+  };
+  return d;
+}
+
+DatasetSpec MakeNuscGroup(const std::string& suffix, SceneContext ctx,
+                          int scenes) {
+  DatasetSpec d;
+  d.name = "nusc-" + suffix;
+  d.frames_per_second = 2.0;
+  d.groups = {{suffix, ctx, scenes, 50}};
+  return d;
+}
+
+DatasetSpec MakeBdd() {
+  // Table 2: 300 sequences, 30,000 samples (100 frames/sequence).
+  DatasetSpec d;
+  d.name = "bdd";
+  d.frames_per_second = 2.5;
+  d.generator.geometry = ImageGeometry{1280.0, 720.0};
+  d.groups = {
+      {"daytime", SceneContext::kClear, 150, 100},
+      {"rainy", SceneContext::kRainy, 75, 100},
+      {"snow", SceneContext::kSnow, 75, 100},
+  };
+  return d;
+}
+
+DatasetSpec MakeBddGroup(const std::string& suffix, SceneContext ctx,
+                         int sequences, int frames_per_seq) {
+  DatasetSpec d;
+  d.name = "bdd-" + suffix;
+  d.frames_per_second = 2.5;
+  d.generator.geometry = ImageGeometry{1280.0, 720.0};
+  d.groups = {{suffix, ctx, sequences, frames_per_seq}};
+  return d;
+}
+
+DatasetSpec MakeDrift(const std::string& name,
+                      std::vector<SceneContext> contexts) {
+  // Paper §5.1: each specialized dataset is split into 10 segments and the
+  // segments are shuffled together. Scenes per context match the nuScenes
+  // specialized group sizes.
+  DatasetSpec d;
+  d.name = name;
+  d.frames_per_second = 2.0;
+  d.shuffle_segments = 10;
+  for (SceneContext ctx : contexts) {
+    switch (ctx) {
+      case SceneContext::kClear:
+        d.groups.push_back({"clear", ctx, 274, 50});
+        break;
+      case SceneContext::kNight:
+        d.groups.push_back({"night", ctx, 79, 50});
+        break;
+      case SceneContext::kRainy:
+        d.groups.push_back({"rainy", ctx, 184, 50});
+        break;
+      case SceneContext::kSnow:
+        d.groups.push_back({"snow", ctx, 132, 42});
+        break;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+DatasetCatalog::DatasetCatalog() {
+  specs_ = {
+      MakeNusc(),
+      MakeNuscGroup("clear", SceneContext::kClear, 274),
+      MakeNuscGroup("night", SceneContext::kNight, 79),
+      MakeNuscGroup("rainy", SceneContext::kRainy, 184),
+      MakeBdd(),
+      MakeBddGroup("rainy", SceneContext::kRainy, 120, 42),
+      MakeBddGroup("snow", SceneContext::kSnow, 132, 42),
+      MakeDrift("c&n", {SceneContext::kClear, SceneContext::kNight}),
+      MakeDrift("n&r", {SceneContext::kNight, SceneContext::kRainy}),
+      MakeDrift("c&n&r", {SceneContext::kClear, SceneContext::kNight,
+                          SceneContext::kRainy}),
+  };
+}
+
+const DatasetCatalog& DatasetCatalog::Default() {
+  static const DatasetCatalog* kCatalog = new DatasetCatalog();
+  return *kCatalog;
+}
+
+Result<const DatasetSpec*> DatasetCatalog::Find(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+}  // namespace vqe

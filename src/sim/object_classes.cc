@@ -1,0 +1,55 @@
+#include "sim/object_classes.h"
+
+#include "common/strings.h"
+
+namespace vqe {
+
+const std::vector<ObjectClassSpec>& DrivingClasses() {
+  static const std::vector<ObjectClassSpec>* kClasses = [] {
+    auto* v = new std::vector<ObjectClassSpec>{
+        // id, name, freq, width_mean, width_sd, aspect_mean, aspect_sd, speed
+        {0, "car", 10.0, 150.0, 50.0, 0.62, 0.08, 7.0},
+        {1, "truck", 2.5, 220.0, 70.0, 0.75, 0.10, 5.0},
+        {2, "bus", 1.0, 280.0, 80.0, 0.80, 0.10, 4.5},
+        {3, "pedestrian", 6.0, 45.0, 15.0, 2.40, 0.30, 1.5},
+        {4, "bicycle", 1.5, 70.0, 20.0, 1.10, 0.15, 3.0},
+        {5, "motorcycle", 1.2, 80.0, 25.0, 1.00, 0.15, 6.0},
+        {6, "traffic_cone", 2.0, 25.0, 8.0, 1.60, 0.20, 0.0},
+        {7, "barrier", 1.8, 160.0, 50.0, 0.45, 0.08, 0.0},
+    };
+    return v;
+  }();
+  return *kClasses;
+}
+
+const std::string& ClassIdToName(ClassId id) {
+  static const std::string kUnknown = "unknown";
+  for (const auto& c : DrivingClasses()) {
+    if (c.id == id) return c.name;
+  }
+  return kUnknown;
+}
+
+Result<ClassId> ClassIdFromName(const std::string& name) {
+  const std::string n = ToLower(name);
+  for (const auto& c : DrivingClasses()) {
+    if (c.name == n) return c.id;
+  }
+  return Status::NotFound("unknown object class: " + name);
+}
+
+double ContextFrequencyScale(int context, ClassId id) {
+  // Rows: context (clear, night, rainy, snow); columns: class id.
+  // Vulnerable road users thin out at night and in bad weather; vehicles
+  // and static objects are stable.
+  static const double kScale[4][8] = {
+      /* clear */ {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+      /* night */ {0.9, 0.8, 0.6, 0.40, 0.25, 0.5, 1.0, 1.0},
+      /* rainy */ {1.0, 1.0, 0.9, 0.55, 0.35, 0.5, 1.0, 1.0},
+      /* snow  */ {0.9, 0.9, 0.8, 0.45, 0.20, 0.3, 1.0, 1.0},
+  };
+  if (context < 0 || context >= 4 || id < 0 || id >= 8) return 1.0;
+  return kScale[context][id];
+}
+
+}  // namespace vqe

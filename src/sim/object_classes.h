@@ -1,0 +1,48 @@
+// The object-class vocabulary of the simulated driving datasets, with the
+// per-class geometry and frequency priors the scene generator draws from.
+
+#ifndef VQE_SIM_OBJECT_CLASSES_H_
+#define VQE_SIM_OBJECT_CLASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "detection/detection.h"
+
+namespace vqe {
+
+/// Geometry and frequency prior for one object class.
+struct ObjectClassSpec {
+  ClassId id = 0;
+  std::string name;
+  /// Relative spawn frequency (unnormalized).
+  double frequency = 1.0;
+  /// Mean / stddev of bounding-box width in pixels.
+  double width_mean = 120.0;
+  double width_stddev = 40.0;
+  /// height = width * aspect (mean / stddev).
+  double aspect_mean = 0.7;
+  double aspect_stddev = 0.1;
+  /// Mean speed magnitude in pixels per frame.
+  double speed_mean = 6.0;
+};
+
+/// The driving-domain vocabulary used by both dataset simulators
+/// (a condensed version of the nuScenes/BDD label sets).
+const std::vector<ObjectClassSpec>& DrivingClasses();
+
+/// Class name for an id in DrivingClasses(); "unknown" otherwise.
+const std::string& ClassIdToName(ClassId id);
+
+/// Id for a class name in DrivingClasses(); NotFound otherwise.
+Result<ClassId> ClassIdFromName(const std::string& name);
+
+/// Multiplier on a class's spawn frequency in a scene context, modeling
+/// real traffic composition: fewer pedestrians/cyclists at night and in
+/// bad weather, more static infrastructure (cones/barriers) everywhere.
+double ContextFrequencyScale(int context, ClassId id);
+
+}  // namespace vqe
+
+#endif  // VQE_SIM_OBJECT_CLASSES_H_

@@ -1,0 +1,30 @@
+#include "sim/scene_context.h"
+
+#include "common/strings.h"
+
+namespace vqe {
+
+const char* SceneContextToString(SceneContext ctx) {
+  switch (ctx) {
+    case SceneContext::kClear:
+      return "clear";
+    case SceneContext::kNight:
+      return "night";
+    case SceneContext::kRainy:
+      return "rainy";
+    case SceneContext::kSnow:
+      return "snow";
+  }
+  return "unknown";
+}
+
+Result<SceneContext> SceneContextFromString(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "clear") return SceneContext::kClear;
+  if (n == "night") return SceneContext::kNight;
+  if (n == "rainy") return SceneContext::kRainy;
+  if (n == "snow") return SceneContext::kSnow;
+  return Status::NotFound("unknown scene context: " + name);
+}
+
+}  // namespace vqe

@@ -1,0 +1,34 @@
+// Scene contexts: the environmental conditions (weather, time of day) the
+// paper groups nuScenes/BDD scenes by. A context is what a specialized
+// detector is "trained on" and what concept drift switches between.
+
+#ifndef VQE_SIM_SCENE_CONTEXT_H_
+#define VQE_SIM_SCENE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vqe {
+
+/// Environmental condition of a scene.
+enum class SceneContext : uint8_t {
+  kClear = 0,
+  kNight = 1,
+  kRainy = 2,
+  kSnow = 3,
+};
+
+/// Number of distinct contexts.
+inline constexpr int kNumSceneContexts = 4;
+
+/// Short name, e.g. "clear".
+const char* SceneContextToString(SceneContext ctx);
+
+/// Parses a case-insensitive context name.
+Result<SceneContext> SceneContextFromString(const std::string& name);
+
+}  // namespace vqe
+
+#endif  // VQE_SIM_SCENE_CONTEXT_H_

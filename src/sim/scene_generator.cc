@@ -1,0 +1,170 @@
+#include "sim/scene_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sim/object_classes.h"
+
+namespace vqe {
+
+Status SceneGeneratorOptions::Validate() const {
+  if (geometry.width <= 0 || geometry.height <= 0) {
+    return Status::InvalidArgument("image geometry must be positive");
+  }
+  if (initial_objects_mean < 0) {
+    return Status::InvalidArgument("initial_objects_mean must be >= 0");
+  }
+  if (spawn_probability < 0 || spawn_probability > 1) {
+    return Status::InvalidArgument("spawn_probability must be in [0, 1]");
+  }
+  if (difficult_fraction < 0 || difficult_fraction > 1) {
+    return Status::InvalidArgument("difficult_fraction must be in [0, 1]");
+  }
+  if (motion_scale < 0) {
+    return Status::InvalidArgument("motion_scale must be >= 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// A live object being simulated through a scene.
+struct LiveObject {
+  int64_t object_id;
+  ClassId label;
+  double cx, cy;        // center, pixels
+  double w, h;          // size, pixels
+  double vx, vy;        // velocity, pixels/frame
+  double hardness;      // intrinsic difficulty in [0, 1]
+  bool difficult;
+};
+
+const ObjectClassSpec& SampleClass(SceneContext ctx, Rng& rng) {
+  // Class mix depends on the scene context (fewer pedestrians/cyclists at
+  // night and in bad weather).
+  const auto& classes = DrivingClasses();
+  double total = 0.0;
+  for (const auto& c : classes) {
+    total += c.frequency * ContextFrequencyScale(static_cast<int>(ctx), c.id);
+  }
+  double r = rng.Uniform(0.0, total);
+  for (const auto& c : classes) {
+    r -= c.frequency * ContextFrequencyScale(static_cast<int>(ctx), c.id);
+    if (r <= 0.0) return c;
+  }
+  return classes.back();
+}
+
+LiveObject SpawnObject(const SceneGeneratorOptions& opt, SceneContext ctx,
+                       Rng& rng, int64_t object_id, bool at_edge) {
+  const ObjectClassSpec& cls = SampleClass(ctx, rng);
+  LiveObject o;
+  o.object_id = object_id;
+  o.label = cls.id;
+  o.w = Clamp(rng.Gaussian(cls.width_mean, cls.width_stddev),
+              cls.width_mean * 0.25, cls.width_mean * 2.5);
+  const double aspect = Clamp(rng.Gaussian(cls.aspect_mean, cls.aspect_stddev),
+                              cls.aspect_mean * 0.5, cls.aspect_mean * 2.0);
+  o.h = o.w * aspect;
+
+  const double W = opt.geometry.width;
+  const double H = opt.geometry.height;
+  if (at_edge) {
+    // Enter from the left or right edge, moving inward.
+    const bool from_left = rng.Bernoulli(0.5);
+    o.cx = from_left ? -o.w / 2 + 1 : W + o.w / 2 - 1;
+    o.cy = rng.Uniform(H * 0.35, H * 0.95);
+    const double speed =
+        std::max(0.5, rng.Gaussian(cls.speed_mean, cls.speed_mean * 0.3));
+    o.vx = (from_left ? 1.0 : -1.0) * speed * opt.motion_scale;
+    o.vy = rng.Gaussian(0.0, 0.5) * opt.motion_scale;
+  } else {
+    o.cx = rng.Uniform(0.0, W);
+    o.cy = rng.Uniform(H * 0.35, H * 0.95);
+    const double speed = rng.Gaussian(0.0, cls.speed_mean * 0.5);
+    const double angle = rng.Uniform(0.0, 2.0 * 3.14159265358979);
+    o.vx = speed * std::cos(angle) * opt.motion_scale;
+    o.vy = 0.2 * speed * std::sin(angle) * opt.motion_scale;
+  }
+
+  o.hardness = rng.NextDouble();
+  // Small objects are intrinsically harder: mix size into hardness.
+  const double size_term =
+      Clamp(1.0 - (o.w * o.h) / (200.0 * 140.0), 0.0, 1.0);
+  o.hardness = Clamp(0.7 * o.hardness + 0.3 * size_term, 0.0, 1.0);
+  o.difficult = o.hardness > (1.0 - opt.difficult_fraction);
+  return o;
+}
+
+bool OutOfScene(const LiveObject& o, const ImageGeometry& g) {
+  return o.cx + o.w / 2 < -5.0 || o.cx - o.w / 2 > g.width + 5.0 ||
+         o.cy + o.h / 2 < -5.0 || o.cy - o.h / 2 > g.height + 5.0;
+}
+
+}  // namespace
+
+Video GenerateScene(const SceneGeneratorOptions& options, SceneContext ctx,
+                    int32_t scene_id, int num_frames, uint64_t seed) {
+  Video video;
+  video.geometry = options.geometry;
+  if (num_frames <= 0) return video;
+
+  Rng rng = MakeStreamRng(seed, 0x5CE4E, static_cast<uint64_t>(scene_id),
+                          static_cast<uint64_t>(ctx));
+
+  std::vector<LiveObject> live;
+  int64_t next_id =
+      (static_cast<int64_t>(scene_id) << 20);  // ids unique across scenes
+  const int initial = rng.Poisson(options.initial_objects_mean);
+  live.reserve(static_cast<size_t>(initial) + 8);
+  for (int i = 0; i < initial; ++i) {
+    live.push_back(
+        SpawnObject(options, ctx, rng, next_id++, /*at_edge=*/false));
+  }
+
+  video.frames.reserve(static_cast<size_t>(num_frames));
+  for (int t = 0; t < num_frames; ++t) {
+    if (t > 0) {
+      // Advance the world one frame.
+      for (auto& o : live) {
+        o.cx += o.vx;
+        o.cy += o.vy;
+      }
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const LiveObject& o) {
+                                  return OutOfScene(o, options.geometry);
+                                }),
+                 live.end());
+      if (rng.Bernoulli(options.spawn_probability)) {
+        live.push_back(
+            SpawnObject(options, ctx, rng, next_id++, /*at_edge=*/true));
+      }
+    }
+
+    VideoFrame frame;
+    frame.frame_index = t;
+    frame.scene_id = scene_id;
+    frame.context = ctx;
+    frame.image_width = options.geometry.width;
+    frame.image_height = options.geometry.height;
+    frame.objects.reserve(live.size());
+    for (const auto& o : live) {
+      GroundTruthBox g;
+      g.box = BBox::FromCenter(o.cx, o.cy, o.w, o.h)
+                  .ClippedTo(options.geometry.width, options.geometry.height);
+      if (g.box.IsEmpty()) continue;
+      g.label = o.label;
+      g.object_id = o.object_id;
+      g.hardness = o.hardness;
+      g.difficult = o.difficult;
+      frame.objects.push_back(g);
+    }
+    video.frames.push_back(std::move(frame));
+  }
+  return video;
+}
+
+}  // namespace vqe

@@ -1,0 +1,44 @@
+// Synthetic scene generation: persistent objects with spawn/despawn and
+// linear motion, producing ground-truth frames. This substitutes for the
+// nuScenes/BDD camera footage: MES only ever consumes detector outputs, so
+// what matters is a realistic ground-truth object process for the simulated
+// detectors (src/models) to observe.
+
+#ifndef VQE_SIM_SCENE_GENERATOR_H_
+#define VQE_SIM_SCENE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// Parameters of the ground-truth object process.
+struct SceneGeneratorOptions {
+  ImageGeometry geometry;
+  /// Mean number of objects present in the first frame (Poisson).
+  double initial_objects_mean = 4.0;
+  /// Per-frame probability that a new object enters the scene.
+  double spawn_probability = 0.10;
+  /// Fraction of objects marked `difficult` (excluded from AP), drawn from
+  /// the top of the hardness distribution.
+  double difficult_fraction = 0.03;
+  /// Scale on per-class speed priors (0 freezes the scene).
+  double motion_scale = 1.0;
+
+  Status Validate() const;
+};
+
+/// Generates one scene of `num_frames` frames in context `ctx`.
+///
+/// Scenes are deterministic in (seed, scene_id): the same pair always
+/// produces the same ground truth, independent of generation order. Frame
+/// indices are filled with 0..num_frames-1; callers concatenating scenes
+/// re-index afterwards.
+Video GenerateScene(const SceneGeneratorOptions& options, SceneContext ctx,
+                    int32_t scene_id, int num_frames, uint64_t seed);
+
+}  // namespace vqe
+
+#endif  // VQE_SIM_SCENE_GENERATOR_H_

@@ -1,0 +1,193 @@
+#include "sim/serialization.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace vqe {
+
+namespace {
+
+constexpr char kVideoMagic[] = "VQEVIDEO";
+constexpr char kDetMagic[] = "VQEDET";
+constexpr int kVersion = 1;
+
+Status MalformedLine(const std::string& what, size_t line_no) {
+  return Status::ParseError("malformed " + what + " at line " +
+                            std::to_string(line_no));
+}
+
+}  // namespace
+
+Status WriteVideo(const Video& video, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << kVideoMagic << ' ' << kVersion << '\n';
+  os << "geometry " << video.geometry.width << ' ' << video.geometry.height
+     << '\n';
+  for (const VideoFrame& f : video.frames) {
+    os << "frame " << f.frame_index << ' ' << f.scene_id << ' '
+       << static_cast<int>(f.context) << ' ' << f.image_width << ' '
+       << f.image_height << ' ' << f.objects.size() << '\n';
+    for (const GroundTruthBox& o : f.objects) {
+      os << "obj " << o.label << ' ' << o.object_id << ' '
+         << (o.difficult ? 1 : 0) << ' ' << o.hardness << ' ' << o.box.x1
+         << ' ' << o.box.y1 << ' ' << o.box.x2 << ' ' << o.box.y2 << '\n';
+    }
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status WriteVideoFile(const Video& video, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  return WriteVideo(video, os);
+}
+
+Result<Video> ReadVideo(std::istream& is) {
+  std::string line;
+  size_t line_no = 0;
+
+  if (!std::getline(is, line)) return Status::ParseError("empty input");
+  ++line_no;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kVideoMagic) {
+      return Status::ParseError("not a VQEVIDEO file");
+    }
+    if (version != kVersion) {
+      return Status::ParseError("unsupported VQEVIDEO version " +
+                                std::to_string(version));
+    }
+  }
+
+  Video video;
+  if (!std::getline(is, line)) return MalformedLine("geometry", line_no + 1);
+  ++line_no;
+  {
+    std::istringstream geo(line);
+    std::string tag;
+    geo >> tag >> video.geometry.width >> video.geometry.height;
+    if (tag != "geometry" || geo.fail()) {
+      return MalformedLine("geometry", line_no);
+    }
+  }
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream frame_line(line);
+    std::string tag;
+    frame_line >> tag;
+    if (tag != "frame") return MalformedLine("frame header", line_no);
+
+    VideoFrame frame;
+    int context = 0;
+    size_t num_objects = 0;
+    frame_line >> frame.frame_index >> frame.scene_id >> context >>
+        frame.image_width >> frame.image_height >> num_objects;
+    if (frame_line.fail() || context < 0 || context >= kNumSceneContexts) {
+      return MalformedLine("frame header", line_no);
+    }
+    frame.context = static_cast<SceneContext>(context);
+    frame.objects.reserve(num_objects);
+
+    for (size_t i = 0; i < num_objects; ++i) {
+      if (!std::getline(is, line)) {
+        return MalformedLine("object record", line_no + 1);
+      }
+      ++line_no;
+      std::istringstream obj_line(line);
+      std::string obj_tag;
+      GroundTruthBox o;
+      int difficult = 0;
+      obj_line >> obj_tag >> o.label >> o.object_id >> difficult >>
+          o.hardness >> o.box.x1 >> o.box.y1 >> o.box.x2 >> o.box.y2;
+      if (obj_tag != "obj" || obj_line.fail() || !o.box.IsValid()) {
+        return MalformedLine("object record", line_no);
+      }
+      o.difficult = difficult != 0;
+      frame.objects.push_back(o);
+    }
+    video.frames.push_back(std::move(frame));
+  }
+  return video;
+}
+
+Result<Video> ReadVideoFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.is_open()) return Status::NotFound("cannot open: " + path);
+  return ReadVideo(is);
+}
+
+Status WriteDetections(const std::vector<DetectionList>& detections,
+                       std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << kDetMagic << ' ' << kVersion << '\n';
+  for (size_t f = 0; f < detections.size(); ++f) {
+    os << "frame " << f << ' ' << detections[f].size() << '\n';
+    for (const Detection& d : detections[f]) {
+      os << "det " << d.label << ' ' << d.confidence << ' ' << d.box_variance
+         << ' ' << d.box.x1 << ' ' << d.box.y1 << ' ' << d.box.x2 << ' '
+         << d.box.y2 << '\n';
+    }
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<std::vector<DetectionList>> ReadDetections(std::istream& is) {
+  std::string line;
+  size_t line_no = 0;
+  if (!std::getline(is, line)) return Status::ParseError("empty input");
+  ++line_no;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != kDetMagic || version != kVersion) {
+      return Status::ParseError("not a VQEDET v1 file");
+    }
+  }
+
+  std::vector<DetectionList> out;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream frame_line(line);
+    std::string tag;
+    size_t index = 0;
+    size_t count = 0;
+    frame_line >> tag >> index >> count;
+    if (tag != "frame" || frame_line.fail() || index != out.size()) {
+      return MalformedLine("frame header", line_no);
+    }
+    DetectionList dets;
+    dets.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::getline(is, line)) {
+        return MalformedLine("detection record", line_no + 1);
+      }
+      ++line_no;
+      std::istringstream det_line(line);
+      std::string det_tag;
+      Detection d;
+      det_line >> det_tag >> d.label >> d.confidence >> d.box_variance >>
+          d.box.x1 >> d.box.y1 >> d.box.x2 >> d.box.y2;
+      if (det_tag != "det" || det_line.fail() || !d.box.IsValid()) {
+        return MalformedLine("detection record", line_no);
+      }
+      dets.push_back(d);
+    }
+    out.push_back(std::move(dets));
+  }
+  return out;
+}
+
+}  // namespace vqe

@@ -1,0 +1,51 @@
+// Dataset snapshots: write sampled ground-truth videos (and detection
+// outputs) to a versioned line-oriented text format and read them back.
+// Lets users pin an exact evaluation video across machines and library
+// versions, instead of relying on generator determinism.
+
+#ifndef VQE_SIM_SERIALIZATION_H_
+#define VQE_SIM_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "detection/detection.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// Writes a video to a stream in the VQEVIDEO v1 text format:
+///
+///   VQEVIDEO 1
+///   geometry <width> <height>
+///   frame <index> <scene_id> <context> <img_w> <img_h> <num_objects>
+///   obj <label> <object_id> <difficult> <hardness> <x1> <y1> <x2> <y2>
+///   ...
+Status WriteVideo(const Video& video, std::ostream& os);
+
+/// Convenience overload writing to a file path.
+Status WriteVideoFile(const Video& video, const std::string& path);
+
+/// Reads a video from a stream; rejects unknown versions and malformed
+/// records with ParseError.
+Result<Video> ReadVideo(std::istream& is);
+
+/// Convenience overload reading from a file path.
+Result<Video> ReadVideoFile(const std::string& path);
+
+/// Writes per-frame detection lists in the VQEDET v1 text format:
+///
+///   VQEDET 1
+///   frame <index> <num_detections>
+///   det <label> <confidence> <box_variance> <x1> <y1> <x2> <y2>
+Status WriteDetections(const std::vector<DetectionList>& detections,
+                       std::ostream& os);
+
+/// Reads per-frame detection lists written by WriteDetections.
+Result<std::vector<DetectionList>> ReadDetections(std::istream& is);
+
+}  // namespace vqe
+
+#endif  // VQE_SIM_SERIALIZATION_H_

@@ -1,0 +1,23 @@
+#include "sim/video.h"
+
+namespace vqe {
+
+size_t CountFramesInContext(const Video& video, SceneContext ctx) {
+  size_t n = 0;
+  for (const auto& f : video.frames) {
+    if (f.context == ctx) ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> ContextBreakpoints(const Video& video) {
+  std::vector<size_t> breaks;
+  for (size_t t = 1; t < video.frames.size(); ++t) {
+    if (video.frames[t].context != video.frames[t - 1].context) {
+      breaks.push_back(t);
+    }
+  }
+  return breaks;
+}
+
+}  // namespace vqe

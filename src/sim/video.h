@@ -1,0 +1,54 @@
+// Ground-truth video representation: the sequence of frames V = {v_1, ...}
+// of the paper (§2.1), each carrying its ground-truth objects and the scene
+// context it was captured in.
+
+#ifndef VQE_SIM_VIDEO_H_
+#define VQE_SIM_VIDEO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detection/detection.h"
+#include "sim/scene_context.h"
+
+namespace vqe {
+
+/// Image geometry shared by all frames of a video.
+struct ImageGeometry {
+  double width = 1600.0;   // nuScenes camera resolution
+  double height = 900.0;
+};
+
+/// One ground-truth frame.
+struct VideoFrame {
+  /// Position in the video, 0-based.
+  int64_t frame_index = 0;
+  /// Scene this frame belongs to (stable across frames of one scene).
+  int32_t scene_id = 0;
+  SceneContext context = SceneContext::kClear;
+  /// Image geometry (duplicated from the video for self-contained frames).
+  double image_width = 1600.0;
+  double image_height = 900.0;
+  GroundTruthList objects;
+};
+
+/// A (finite) video: frames plus shared geometry.
+struct Video {
+  ImageGeometry geometry;
+  std::vector<VideoFrame> frames;
+
+  size_t size() const { return frames.size(); }
+  bool empty() const { return frames.empty(); }
+  const VideoFrame& operator[](size_t i) const { return frames[i]; }
+};
+
+/// Number of frames whose context equals `ctx`.
+size_t CountFramesInContext(const Video& video, SceneContext ctx);
+
+/// Indices t where frames[t].context != frames[t-1].context — the concept-
+/// drift breakpoints ξ of the paper (§2.4).
+std::vector<size_t> ContextBreakpoints(const Video& video);
+
+}  // namespace vqe
+
+#endif  // VQE_SIM_VIDEO_H_

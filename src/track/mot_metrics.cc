@@ -1,0 +1,71 @@
+#include "track/mot_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace vqe {
+
+MotMetrics EvaluateMot(const std::vector<TrackFrame>& tracks_per_frame,
+                       const std::vector<GroundTruthList>& gt_per_frame,
+                       double iou_gate) {
+  assert(tracks_per_frame.size() == gt_per_frame.size());
+  MotMetrics m;
+  // Last track id matched to each GT object (for ID-switch counting).
+  std::map<int64_t, int64_t> last_track_of_gt;
+
+  for (size_t f = 0; f < gt_per_frame.size(); ++f) {
+    const GroundTruthList& gts = gt_per_frame[f];
+    const TrackFrame& tracks = tracks_per_frame[f];
+
+    // Evaluable GT only (difficult objects are skipped entirely).
+    std::vector<size_t> gt_idx;
+    for (size_t g = 0; g < gts.size(); ++g) {
+      if (!gts[g].difficult) gt_idx.push_back(g);
+    }
+    m.num_gt += gt_idx.size();
+
+    // Greedy matching by descending IoU over all candidate pairs.
+    struct Pair {
+      double iou;
+      size_t gt;
+      size_t track;
+    };
+    std::vector<Pair> pairs;
+    for (size_t gi = 0; gi < gt_idx.size(); ++gi) {
+      const GroundTruthBox& gt = gts[gt_idx[gi]];
+      for (size_t ti = 0; ti < tracks.size(); ++ti) {
+        if (tracks[ti].label != gt.label) continue;
+        const double iou = IoU(tracks[ti].box, gt.box);
+        if (iou >= iou_gate) pairs.push_back({iou, gi, ti});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.iou > b.iou; });
+
+    std::vector<bool> gt_used(gt_idx.size(), false);
+    std::vector<bool> track_used(tracks.size(), false);
+    size_t frame_matches = 0;
+    for (const Pair& p : pairs) {
+      if (gt_used[p.gt] || track_used[p.track]) continue;
+      gt_used[p.gt] = true;
+      track_used[p.track] = true;
+      ++frame_matches;
+      m.iou_sum += p.iou;
+
+      const int64_t object_id = gts[gt_idx[p.gt]].object_id;
+      const int64_t track_id = tracks[p.track].track_id;
+      auto it = last_track_of_gt.find(object_id);
+      if (it != last_track_of_gt.end() && it->second != track_id) {
+        ++m.id_switches;
+      }
+      last_track_of_gt[object_id] = track_id;
+    }
+    m.matches += frame_matches;
+    m.misses += gt_idx.size() - frame_matches;
+    m.false_positives += tracks.size() - frame_matches;
+  }
+  return m;
+}
+
+}  // namespace vqe

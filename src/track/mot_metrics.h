@@ -1,0 +1,62 @@
+// CLEAR-MOT style evaluation of tracker output against ground truth:
+// misses, false positives, identity switches and the aggregate MOTA score
+// (Bernardin & Stiefelhagen's protocol, simplified to IoU gating). Used to
+// validate the tracker substrate and by the track-analytics tooling.
+
+#ifndef VQE_TRACK_MOT_METRICS_H_
+#define VQE_TRACK_MOT_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "detection/detection.h"
+#include "track/tracker.h"
+
+namespace vqe {
+
+/// Aggregate CLEAR-MOT counts over a sequence.
+struct MotMetrics {
+  /// Ground-truth object instances over all frames (the denominator).
+  size_t num_gt = 0;
+  /// GT instances with no matched track (false negatives).
+  size_t misses = 0;
+  /// Track instances with no matched GT (false positives).
+  size_t false_positives = 0;
+  /// Frames where a GT object's matched track id changed.
+  size_t id_switches = 0;
+  /// Matched pairs over all frames.
+  size_t matches = 0;
+  /// Sum of IoU over matched pairs (for MOTP).
+  double iou_sum = 0.0;
+
+  /// MOTA = 1 − (misses + FPs + ID switches) / num_gt. Can be negative.
+  double Mota() const {
+    if (num_gt == 0) return matches == 0 && false_positives == 0 ? 1.0 : 0.0;
+    return 1.0 - static_cast<double>(misses + false_positives + id_switches) /
+                     static_cast<double>(num_gt);
+  }
+
+  /// MOTP = mean IoU of matched pairs (higher is better here; some papers
+  /// report 1 − IoU).
+  double Motp() const {
+    return matches == 0 ? 0.0 : iou_sum / static_cast<double>(matches);
+  }
+};
+
+/// One frame's tracker output for evaluation: the confirmed tracks active
+/// on that frame.
+using TrackFrame = std::vector<Track>;
+
+/// Evaluates per-frame track output against per-frame ground truth.
+///
+/// Matching per frame is greedy best-IoU with the given gate, same-class
+/// only, each side matched at most once. Identity switches are counted when
+/// a GT object (by object_id) is matched to a different track_id than in
+/// its previous matched frame. Inputs must be index-aligned.
+MotMetrics EvaluateMot(const std::vector<TrackFrame>& tracks_per_frame,
+                       const std::vector<GroundTruthList>& gt_per_frame,
+                       double iou_gate = 0.5);
+
+}  // namespace vqe
+
+#endif  // VQE_TRACK_MOT_METRICS_H_

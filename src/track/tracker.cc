@@ -1,0 +1,128 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace vqe {
+
+Status TrackerOptions::Validate() const {
+  if (iou_threshold <= 0.0 || iou_threshold > 1.0) {
+    return Status::InvalidArgument("iou_threshold must be in (0, 1]");
+  }
+  if (max_missed < 0) {
+    return Status::InvalidArgument("max_missed must be >= 0");
+  }
+  if (min_hits < 1) {
+    return Status::InvalidArgument("min_hits must be >= 1");
+  }
+  if (min_confidence < 0.0 || min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+IouTracker::IouTracker(TrackerOptions options) : options_(options) {}
+
+void IouTracker::Reset() {
+  tracks_.clear();
+  finished_.clear();
+  next_id_ = 1;
+}
+
+const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
+                                             int64_t frame_index) {
+  // 1. Predict: advance every track by its velocity estimate.
+  std::vector<BBox> predicted(tracks_.size());
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    const Track& t = tracks_[i];
+    predicted[i] = BBox{t.box.x1 + t.vx, t.box.y1 + t.vy, t.box.x2 + t.vx,
+                        t.box.y2 + t.vy};
+  }
+
+  // 2. Associate greedily: detections in confidence order claim the best
+  // unclaimed same-class track by predicted-box IoU.
+  std::vector<size_t> order(detections.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return detections[a].confidence > detections[b].confidence;
+  });
+
+  std::vector<bool> track_claimed(tracks_.size(), false);
+  std::vector<bool> det_used(detections.size(), false);
+  for (size_t det_idx : order) {
+    const Detection& det = detections[det_idx];
+    if (det.confidence < options_.min_confidence) continue;
+    double best_iou = options_.iou_threshold;
+    int best_track = -1;
+    for (size_t i = 0; i < tracks_.size(); ++i) {
+      if (track_claimed[i]) continue;
+      if (tracks_[i].label != det.label) continue;
+      const double iou = IoU(predicted[i], det.box);
+      if (iou >= best_iou) {
+        best_iou = iou;
+        best_track = static_cast<int>(i);
+      }
+    }
+    if (best_track < 0) continue;
+    track_claimed[static_cast<size_t>(best_track)] = true;
+    det_used[det_idx] = true;
+
+    Track& t = tracks_[static_cast<size_t>(best_track)];
+    // Velocity from consecutive associations (EMA for stability).
+    const double new_vx = det.box.cx() - t.box.cx();
+    const double new_vy = det.box.cy() - t.box.cy();
+    t.vx = 0.5 * t.vx + 0.5 * new_vx;
+    t.vy = 0.5 * t.vy + 0.5 * new_vy;
+    t.box = det.box;
+    t.confidence = det.confidence;
+    ++t.hits;
+    t.missed = 0;
+    t.last_frame = frame_index;
+  }
+
+  // 3. Age unmatched tracks; retire the stale ones.
+  std::vector<Track> survivors;
+  survivors.reserve(tracks_.size() + detections.size());
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    Track& t = tracks_[i];
+    if (!track_claimed[i]) {
+      ++t.missed;
+      t.box = predicted[i];  // coast on the predicted position
+      if (t.missed > options_.max_missed) {
+        finished_.push_back(t);
+        continue;
+      }
+    }
+    survivors.push_back(t);
+  }
+
+  // 4. Birth new tracks from unmatched confident detections.
+  for (size_t det_idx = 0; det_idx < detections.size(); ++det_idx) {
+    if (det_used[det_idx]) continue;
+    const Detection& det = detections[det_idx];
+    if (det.confidence < options_.min_confidence) continue;
+    Track t;
+    t.track_id = next_id_++;
+    t.label = det.label;
+    t.box = det.box;
+    t.confidence = det.confidence;
+    t.hits = 1;
+    t.missed = 0;
+    t.first_frame = frame_index;
+    t.last_frame = frame_index;
+    survivors.push_back(t);
+  }
+
+  tracks_ = std::move(survivors);
+  return tracks_;
+}
+
+std::vector<Track> IouTracker::ActiveConfirmed() const {
+  std::vector<Track> out;
+  for (const Track& t : tracks_) {
+    if (t.IsConfirmed(options_) && t.UpdatedThisFrame()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace vqe

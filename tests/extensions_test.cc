@@ -1,0 +1,321 @@
+// Tests for the extension features: D-MES (discounted UCB), COCO-protocol
+// evaluation, WBF per-model weights, query EXPLAIN, CSV export, and
+// context-dependent scene composition.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table_printer.h"
+#include "core/ducb.h"
+#include "core/engine.h"
+#include "core/mes.h"
+#include "detection/coco_eval.h"
+#include "fusion/wbf.h"
+#include "query/explain.h"
+#include "query/parser.h"
+#include "sim/object_classes.h"
+#include "sim/scene_generator.h"
+#include "test_util.h"
+
+namespace vqe {
+namespace {
+
+using test::SyntheticMatrix;
+
+EngineOptions DefaultEngine() {
+  EngineOptions opt;
+  opt.sc = ScoringFunction{0.5, 0.5};
+  return opt;
+}
+
+// ------------------------------------------------------------------ D-MES --
+
+TEST(DucbTest, OptionsValidation) {
+  DucbOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.discount = 1.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = DucbOptions{};
+  o.discount = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = DucbOptions{};
+  o.gamma = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = DucbOptions{};
+  o.exploration_scale = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(DucbTest, HorizonHelpers) {
+  DucbOptions o;
+  o.discount = 0.99;
+  EXPECT_NEAR(o.EffectiveHorizon(), 100.0, 1e-9);
+  EXPECT_NEAR(DucbOptions::DiscountForHorizon(100.0), 0.99, 1e-12);
+  EXPECT_DOUBLE_EQ(DucbOptions::DiscountForHorizon(0.5), 0.5);
+}
+
+TEST(DucbTest, DiscountedCountsDecay) {
+  DucbMesStrategy ducb({/*gamma=*/1, /*discount=*/0.9,
+                        /*exploration_scale=*/0.1, /*probe_interval=*/0});
+  StrategyContext ctx;
+  ctx.num_models = 2;
+  ducb.BeginVideo(ctx);
+  std::vector<double> rewards(4, 0.5);
+  FrameFeedback fb;
+  fb.est_score = &rewards;
+  fb.selected = 3;  // full pool: updates arms 1, 2, 3
+  fb.t = 0;
+  ducb.Observe(fb);
+  EXPECT_NEAR(ducb.DiscountedCount(1), 1.0, 1e-12);
+  fb.selected = 1;  // only arm 1
+  fb.t = 1;
+  ducb.Observe(fb);
+  // Arm 1: decayed to 0.9 then +1 = 1.9. Arm 2: decayed to 0.9.
+  EXPECT_NEAR(ducb.DiscountedCount(1), 1.9, 1e-12);
+  EXPECT_NEAR(ducb.DiscountedCount(2), 0.9, 1e-12);
+  EXPECT_NEAR(ducb.DiscountedMean(2), 0.5, 1e-12);
+}
+
+TEST(DucbTest, ConvergesOnStationaryMatrix) {
+  const FrameMatrix matrix = SyntheticMatrix(
+      3, 2500, {0.0, 0.85, 0.40, 0.87, 0.30, 0.88, 0.50, 0.90},
+      {10.0, 10.0, 10.0}, false, 0.05, 3);
+  DucbOptions opt;
+  opt.probe_interval = 60;
+  DucbMesStrategy ducb(opt);
+  const auto run = RunStrategy(matrix, &ducb, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  // Most selections go to the best arm {M0} (mask 1), modulo probes.
+  EXPECT_GT(run->selection_counts[1], run->frames_processed / 2);
+}
+
+TEST(DucbTest, AdaptsToDriftAtLeastAsWellAsMes) {
+  double ducb_total = 0.0;
+  double mes_total = 0.0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const FrameMatrix matrix = SyntheticMatrix(
+        3, 4000, {0.0, 0.9, 0.25, 0.5, 0.25, 0.5, 0.3, 0.55},
+        {10.0, 10.0, 10.0}, /*drift_flip=*/true, 0.05, seed);
+    DucbOptions opt;
+    opt.discount = DucbOptions::DiscountForHorizon(300.0);
+    DucbMesStrategy ducb(opt);
+    MesStrategy mes({/*gamma=*/5});
+    ducb_total += RunStrategy(matrix, &ducb, DefaultEngine())->s_sum;
+    mes_total += RunStrategy(matrix, &mes, DefaultEngine())->s_sum;
+  }
+  EXPECT_GT(ducb_total, mes_total);
+}
+
+// -------------------------------------------------------------- COCO eval --
+
+Detection Det(double x, double y, double w, double h, double conf,
+              ClassId label = 0) {
+  Detection d;
+  d.box = BBox::FromXYWH(x, y, w, h);
+  d.confidence = conf;
+  d.label = label;
+  return d;
+}
+
+GroundTruthBox Gt(double x, double y, double w, double h, ClassId label = 0) {
+  GroundTruthBox g;
+  g.box = BBox::FromXYWH(x, y, w, h);
+  g.label = label;
+  return g;
+}
+
+TEST(CocoEvalTest, PerfectDetectionsScoreOneEverywhere) {
+  std::vector<DetectionList> dets{{Det(0, 0, 10, 10, 0.9, 0),
+                                   Det(50, 0, 10, 10, 0.8, 1)}};
+  std::vector<GroundTruthList> gts{{Gt(0, 0, 10, 10, 0),
+                                    Gt(50, 0, 10, 10, 1)}};
+  const CocoMetrics m = CocoEvaluate(dets, gts);
+  EXPECT_DOUBLE_EQ(m.map_50, 1.0);
+  EXPECT_DOUBLE_EQ(m.map_75, 1.0);
+  EXPECT_DOUBLE_EQ(m.map_50_95, 1.0);
+  ASSERT_EQ(m.per_class_ap50.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.per_class_ap50.at(0), 1.0);
+}
+
+TEST(CocoEvalTest, LooseBoxPassesAp50ButNotAp75) {
+  // Detection offset so IoU ≈ 0.54: counts at 0.5, fails at 0.75.
+  std::vector<DetectionList> dets{{Det(3, 0, 10, 10, 0.9)}};
+  std::vector<GroundTruthList> gts{{Gt(0, 0, 10, 10)}};
+  const CocoMetrics m = CocoEvaluate(dets, gts);
+  EXPECT_DOUBLE_EQ(m.map_50, 1.0);
+  EXPECT_DOUBLE_EQ(m.map_75, 0.0);
+  EXPECT_GT(m.map_50_95, 0.0);
+  EXPECT_LT(m.map_50_95, 0.5);
+}
+
+TEST(CocoEvalTest, Map5095IsAverageAcrossThresholds) {
+  // Exact box: AP 1.0 at every threshold -> mAP@[.5:.95] = 1.
+  std::vector<DetectionList> dets{{Det(0, 0, 10, 10, 0.9)}};
+  std::vector<GroundTruthList> gts{{Gt(0, 0, 10, 10)}};
+  EXPECT_DOUBLE_EQ(CocoEvaluate(dets, gts).map_50_95, 1.0);
+}
+
+TEST(CocoEvalTest, ClassesWithoutGtExcluded) {
+  std::vector<DetectionList> dets{{Det(0, 0, 10, 10, 0.9, 7)}};  // spurious
+  std::vector<GroundTruthList> gts{{Gt(0, 0, 10, 10, 0)}};
+  const CocoMetrics m = CocoEvaluate(dets, gts);
+  // Only class 0 is evaluated; nothing detected for it.
+  EXPECT_DOUBLE_EQ(m.map_50, 0.0);
+  EXPECT_EQ(m.per_class_ap50.count(7), 0u);
+}
+
+TEST(CocoEvalTest, EmptyEverythingIsVacuouslyPerfect) {
+  const CocoMetrics m = CocoEvaluate({{}, {}}, {{}, {}});
+  EXPECT_DOUBLE_EQ(m.map_50_95, 1.0);
+}
+
+TEST(CocoEvalTest, DatasetClassApMatchesPooledProtocol) {
+  // Class 0 across two frames: one hit, one miss -> AP 0.5 at IoU 0.5.
+  std::vector<DetectionList> dets{{Det(0, 0, 10, 10, 0.9)}, {}};
+  std::vector<GroundTruthList> gts{{Gt(0, 0, 10, 10)}, {Gt(0, 0, 10, 10)}};
+  EXPECT_NEAR(DatasetClassAp(dets, gts, 0, 0.5), 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(DatasetClassAp(dets, gts, 5, 0.5), 1.0);  // vacuous class
+}
+
+// -------------------------------------------------------- WBF model weights --
+
+TEST(WbfWeightsTest, WeightsScaleConfidenceBeforeFusion) {
+  FusionOptions opt;
+  opt.iou_threshold = 0.5;
+  opt.model_weights = {2.0, 1.0};
+  WbfFusion wbf(opt);
+  // Same box from both models at conf 0.4; model 0 weighted 2x.
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.4)},
+                             {Det(0, 0, 10, 10, 0.4)}});
+  ASSERT_EQ(out.size(), 1u);
+  // Confidences become 0.8 and 0.4 -> mean 0.6 (both models voted).
+  EXPECT_NEAR(out[0].confidence, 0.6, 1e-9);
+}
+
+TEST(WbfWeightsTest, WeightCapsAtOne) {
+  FusionOptions opt;
+  opt.model_weights = {10.0};
+  WbfFusion wbf(opt);
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.5)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LE(out[0].confidence, 1.0);
+}
+
+TEST(WbfWeightsTest, MismatchedWeightVectorIgnored) {
+  FusionOptions opt;
+  opt.model_weights = {2.0, 1.0, 1.0};  // three weights, two models
+  WbfFusion wbf(opt);
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.4)},
+                             {Det(0, 0, 10, 10, 0.4)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].confidence, 0.4, 1e-9);  // unweighted behaviour
+}
+
+TEST(WbfWeightsTest, ValidationRejectsNonPositive) {
+  FusionOptions opt;
+  opt.model_weights = {1.0, 0.0};
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.model_weights = {1.0, -2.0};
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.model_weights = {1.0, 2.0};
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
+// ----------------------------------------------------------------- EXPLAIN --
+
+TEST(ExplainTest, RendersPlanAndPredicate) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(yolov7-tiny@clear; REF)) "
+      "WHERE COUNT(car) >= 2 AND NOT EXISTS(bus) BUDGET 500 LIMIT 7");
+  ASSERT_TRUE(q.ok());
+  const std::string plan = ExplainQuery(*q);
+  EXPECT_NE(plan.find("Select frameID"), std::string::npos);
+  EXPECT_NE(plan.find("Limit: 7"), std::string::npos);
+  EXPECT_NE(plan.find("(COUNT(car) >= 2 AND NOT EXISTS(bus))"),
+            std::string::npos);
+  EXPECT_NE(plan.find("video=nusc"), std::string::npos);
+  EXPECT_NE(plan.find("strategy=MES"), std::string::npos);
+  EXPECT_NE(plan.find("detectors=[yolov7-tiny@clear]"), std::string::npos);
+  EXPECT_NE(plan.find("ref=yes"), std::string::npos);
+  EXPECT_NE(plan.find("budget=500ms"), std::string::npos);
+}
+
+TEST(ExplainTest, DefaultPoolAndNoWhere) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS bdd PRODUCE frameID, Detections "
+      "USING BF(*))");
+  ASSERT_TRUE(q.ok());
+  const std::string plan = ExplainQuery(*q);
+  EXPECT_NE(plan.find("detectors=[default pool]"), std::string::npos);
+  EXPECT_NE(plan.find("ref=no"), std::string::npos);
+  EXPECT_EQ(plan.find("Filter"), std::string::npos);
+}
+
+TEST(ExplainTest, PredicateToStringForms) {
+  EXPECT_EQ(PredicateToString(nullptr), "true");
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) "
+      "WHERE (MAX_CONF(car) > 0.5 OR AVG_CONF(*) <= 0.25) AND "
+      "COUNT(truck) != 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(PredicateToString(q->where.get()),
+            "((MAX_CONF(car) > 0.5 OR AVG_CONF(*) <= 0.25) AND "
+            "COUNT(truck) != 3)");
+}
+
+// --------------------------------------------------------------- CSV export --
+
+TEST(CsvTest, EscapesSpecialCells) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"with\"quote", "multi\nline"});
+  std::ostringstream os;
+  t.WriteCsv(os);
+  EXPECT_EQ(os.str(),
+            "a,b\n"
+            "plain,\"with,comma\"\n"
+            "\"with\"\"quote\",\"multi\nline\"\n");
+}
+
+// ----------------------------------------------- context-dependent classes --
+
+TEST(ContextFrequencyTest, NightThinsVulnerableRoadUsers) {
+  const ClassId pedestrian = *ClassIdFromName("pedestrian");
+  const ClassId car = *ClassIdFromName("car");
+  EXPECT_LT(ContextFrequencyScale(1 /*night*/, pedestrian),
+            ContextFrequencyScale(0 /*clear*/, pedestrian));
+  EXPECT_GE(ContextFrequencyScale(1, car), 0.5);
+  // Out-of-range inputs are neutral.
+  EXPECT_DOUBLE_EQ(ContextFrequencyScale(-1, car), 1.0);
+  EXPECT_DOUBLE_EQ(ContextFrequencyScale(0, 99), 1.0);
+}
+
+TEST(ContextFrequencyTest, SceneCompositionShifts) {
+  SceneGeneratorOptions opt;
+  opt.initial_objects_mean = 8.0;
+  const ClassId pedestrian = *ClassIdFromName("pedestrian");
+  size_t clear_peds = 0, clear_total = 0, night_peds = 0, night_total = 0;
+  for (int s = 0; s < 120; ++s) {
+    const Video c = GenerateScene(opt, SceneContext::kClear, s, 1, 500 + s);
+    const Video n = GenerateScene(opt, SceneContext::kNight, s, 1, 500 + s);
+    for (const auto& o : c.frames[0].objects) {
+      ++clear_total;
+      if (o.label == pedestrian) ++clear_peds;
+    }
+    for (const auto& o : n.frames[0].objects) {
+      ++night_total;
+      if (o.label == pedestrian) ++night_peds;
+    }
+  }
+  ASSERT_GT(clear_total, 200u);
+  ASSERT_GT(night_total, 200u);
+  const double clear_frac = static_cast<double>(clear_peds) / clear_total;
+  const double night_frac = static_cast<double>(night_peds) / night_total;
+  EXPECT_LT(night_frac, clear_frac);
+}
+
+}  // namespace
+}  // namespace vqe

@@ -1,0 +1,413 @@
+// Tests for the box-fusion algorithms: NMS, Soft-NMS, Softer-NMS, WBF, NMW
+// and Consensus, plus the registry and option validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "fusion/consensus.h"
+#include "fusion/ensemble_method.h"
+#include "fusion/nms.h"
+#include "fusion/nmw.h"
+#include "fusion/wbf.h"
+
+namespace vqe {
+namespace {
+
+Detection Det(double x, double y, double w, double h, double conf,
+              ClassId label = 0) {
+  Detection d;
+  d.box = BBox::FromXYWH(x, y, w, h);
+  d.confidence = conf;
+  d.label = label;
+  return d;
+}
+
+FusionOptions DefaultOptions() {
+  FusionOptions o;
+  o.iou_threshold = 0.5;
+  return o;
+}
+
+// ---------------------------------------------------------------- NMS ----
+
+TEST(NmsTest, SuppressesOverlappingLowerConfidence) {
+  NmsFusion nms(DefaultOptions());
+  const auto out = nms.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                             {Det(1, 0, 10, 10, 0.7)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.9);
+  EXPECT_EQ(out[0].model_index, -1);
+}
+
+TEST(NmsTest, KeepsDisjointBoxes) {
+  NmsFusion nms(DefaultOptions());
+  const auto out = nms.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                             {Det(100, 100, 10, 10, 0.7)}});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(NmsTest, DifferentClassesNotSuppressed) {
+  NmsFusion nms(DefaultOptions());
+  const auto out = nms.Fuse({{Det(0, 0, 10, 10, 0.9, 0)},
+                             {Det(0, 0, 10, 10, 0.7, 1)}});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(NmsTest, EmptyInput) {
+  NmsFusion nms(DefaultOptions());
+  EXPECT_TRUE(nms.Fuse({}).empty());
+  EXPECT_TRUE(nms.Fuse({{}, {}}).empty());
+}
+
+TEST(NmsTest, IdempotentOnOwnOutput) {
+  NmsFusion nms(DefaultOptions());
+  Rng rng(17);
+  std::vector<DetectionList> inputs(3);
+  for (auto& list : inputs) {
+    for (int i = 0; i < 10; ++i) {
+      list.push_back(Det(rng.Uniform(0, 100), rng.Uniform(0, 100), 20, 20,
+                         rng.Uniform(0.1, 1.0), rng.UniformInt(2)));
+    }
+  }
+  const auto once = nms.Fuse(inputs);
+  const auto twice = nms.Fuse({once});
+  ASSERT_EQ(once.size(), twice.size());
+}
+
+TEST(NmsTest, ScoreThresholdDropsWeakBoxes) {
+  FusionOptions opt = DefaultOptions();
+  opt.score_threshold = 0.5;
+  NmsFusion nms(opt);
+  const auto out = nms.Fuse({{Det(0, 0, 10, 10, 0.4)},
+                             {Det(100, 0, 10, 10, 0.6)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.6);
+}
+
+// ------------------------------------------------------------ Soft-NMS ---
+
+TEST(SoftNmsTest, LinearDecayKeepsButWeakens) {
+  SoftNmsFusion soft(DefaultOptions(), SoftNmsFusion::Decay::kLinear);
+  // IoU of the two boxes is 9/11 ≈ 0.818 > 0.5 threshold.
+  const auto out = soft.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                              {Det(1, 0, 10, 10, 0.8)}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.9);
+  EXPECT_NEAR(out[1].confidence, 0.8 * (1.0 - 9.0 / 11.0), 1e-9);
+}
+
+TEST(SoftNmsTest, GaussianDecayAlwaysApplies) {
+  FusionOptions opt = DefaultOptions();
+  opt.sigma = 0.5;
+  SoftNmsFusion soft(opt, SoftNmsFusion::Decay::kGaussian);
+  const auto out = soft.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                              {Det(1, 0, 10, 10, 0.8)}});
+  ASSERT_EQ(out.size(), 2u);
+  const double iou = 9.0 / 11.0;
+  EXPECT_NEAR(out[1].confidence, 0.8 * std::exp(-iou * iou / 0.5), 1e-9);
+}
+
+TEST(SoftNmsTest, DecayedBelowFloorIsDropped) {
+  FusionOptions opt = DefaultOptions();
+  opt.score_threshold = 0.3;
+  SoftNmsFusion soft(opt, SoftNmsFusion::Decay::kLinear);
+  // Second box decays to 0.8 * (1 - 0.818) ≈ 0.145 < 0.3.
+  const auto out = soft.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                              {Det(1, 0, 10, 10, 0.8)}});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SoftNmsTest, NonOverlappingUntouchedByLinear) {
+  SoftNmsFusion soft(DefaultOptions(), SoftNmsFusion::Decay::kLinear);
+  const auto out = soft.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                              {Det(100, 0, 10, 10, 0.8)}});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[1].confidence, 0.8);
+}
+
+// ----------------------------------------------------------- Softer-NMS --
+
+TEST(SofterNmsTest, VarianceVotingAveragesCoordinates) {
+  SofterNmsFusion softer(DefaultOptions());
+  DetectionList a{Det(0, 0, 10, 10, 0.9)};
+  DetectionList b{Det(2, 0, 10, 10, 0.85)};
+  a[0].box_variance = 1.0;
+  b[0].box_variance = 1.0;
+  const auto out = softer.Fuse({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  // Voted x1 strictly between the two inputs.
+  EXPECT_GT(out[0].box.x1, 0.0);
+  EXPECT_LT(out[0].box.x1, 2.0);
+}
+
+TEST(SofterNmsTest, LowVarianceBoxDominatesVote) {
+  SofterNmsFusion softer(DefaultOptions());
+  DetectionList a{Det(0, 0, 10, 10, 0.9)};
+  DetectionList b{Det(2, 0, 10, 10, 0.8)};  // IoU 8/12 > threshold
+  a[0].box_variance = 0.01;   // very certain
+  b[0].box_variance = 100.0;  // very uncertain
+  const auto out = softer.Fuse({a, b});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LT(out[0].box.x1, 0.3);  // pulled strongly towards a
+}
+
+TEST(SofterNmsTest, KeepsConfidenceOfTopBox) {
+  SofterNmsFusion softer(DefaultOptions());
+  const auto out = softer.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                                {Det(1, 0, 10, 10, 0.7)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.9);
+}
+
+// ----------------------------------------------------------------- WBF ---
+
+TEST(WbfTest, AveragesClusterWeightedByConfidence) {
+  WbfFusion wbf(DefaultOptions());
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                             {Det(2, 0, 10, 10, 0.3)}});
+  ASSERT_EQ(out.size(), 1u);
+  // x1 = (0.9*0 + 0.3*2) / 1.2 = 0.5
+  EXPECT_NEAR(out[0].box.x1, 0.5, 1e-9);
+  // Confidence: mean(0.9, 0.3) * min(2,2)/2 = 0.6.
+  EXPECT_NEAR(out[0].confidence, 0.6, 1e-9);
+}
+
+TEST(WbfTest, SingleModelBoxPenalized) {
+  WbfFusion wbf(DefaultOptions());
+  // Three models; only one detects the object.
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.9)}, {}, {}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].confidence, 0.9 / 3.0, 1e-9);
+}
+
+TEST(WbfTest, AgreementPreservesConfidence) {
+  WbfFusion wbf(DefaultOptions());
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.8)},
+                             {Det(0, 0, 10, 10, 0.8)},
+                             {Det(0, 0, 10, 10, 0.8)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].confidence, 0.8, 1e-9);  // min(3,3)/3 = 1
+}
+
+TEST(WbfTest, FusedBoxInsideInputHull) {
+  WbfFusion wbf(DefaultOptions());
+  Rng rng(23);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    double min_x = 1e9, max_x = -1e9;
+    for (auto& list : inputs) {
+      const double x = rng.Uniform(0, 3);
+      list.push_back(Det(x, 0, 10, 10, rng.Uniform(0.2, 1.0)));
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x + 10);
+    }
+    const auto out = wbf.Fuse(inputs);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GE(out[0].box.x1, min_x - 1e-9);
+    EXPECT_LE(out[0].box.x2, max_x + 1e-9);
+  }
+}
+
+TEST(WbfTest, SeparateClustersStaySeparate) {
+  WbfFusion wbf(DefaultOptions());
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.9), Det(50, 0, 10, 10, 0.8)},
+                             {Det(1, 0, 10, 10, 0.7)}});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(WbfTest, OutputSortedByConfidence) {
+  WbfFusion wbf(DefaultOptions());
+  const auto out = wbf.Fuse({{Det(0, 0, 10, 10, 0.3), Det(50, 0, 10, 10, 0.9)},
+                             {Det(0, 0, 10, 10, 0.4)}});
+  ASSERT_GE(out.size(), 2u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].confidence, out[i].confidence);
+  }
+}
+
+// ----------------------------------------------------------------- NMW ---
+
+TEST(NmwTest, WeightsByConfidenceTimesIoU) {
+  NmwFusion nmw(DefaultOptions());
+  const auto out = nmw.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                             {Det(1, 0, 10, 10, 0.9)}});
+  ASSERT_EQ(out.size(), 1u);
+  // Top box votes with IoU 1, second with IoU 9/11: x1 strictly in (0, 0.5].
+  EXPECT_GT(out[0].box.x1, 0.0);
+  EXPECT_LT(out[0].box.x1, 0.5);
+  // Confidence is the cluster max.
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.9);
+}
+
+TEST(NmwTest, SingletonPassesThrough) {
+  NmwFusion nmw(DefaultOptions());
+  const auto out = nmw.Fuse({{Det(5, 5, 10, 10, 0.7)}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].box.x1, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out[0].confidence, 0.7);
+}
+
+// ------------------------------------------------------------ Consensus --
+
+TEST(ConsensusTest, MajorityRequiredByDefault) {
+  ConsensusFusion fusion(DefaultOptions());
+  // 3 models; object seen by 2 -> kept; object seen by 1 -> dropped.
+  const auto out = fusion.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                                {Det(1, 0, 10, 10, 0.8),
+                                 Det(100, 0, 10, 10, 0.9)},
+                                {}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LT(out[0].box.x1, 1.0);
+}
+
+TEST(ConsensusTest, SingleModelPoolKeepsAll) {
+  ConsensusFusion fusion(DefaultOptions());
+  const auto out = fusion.Fuse({{Det(0, 0, 10, 10, 0.9),
+                                 Det(50, 0, 10, 10, 0.2)}});
+  EXPECT_EQ(out.size(), 2u);  // majority of 1 is 1
+}
+
+TEST(ConsensusTest, MinVotesOverride) {
+  FusionOptions opt = DefaultOptions();
+  opt.min_votes = 3;
+  ConsensusFusion fusion(opt);
+  const auto out = fusion.Fuse({{Det(0, 0, 10, 10, 0.9)},
+                                {Det(1, 0, 10, 10, 0.8)},
+                                {}});
+  EXPECT_TRUE(out.empty());  // only 2 of the required 3 votes
+}
+
+TEST(ConsensusTest, AgreementScalesConfidence) {
+  ConsensusFusion fusion(DefaultOptions());
+  // 2 of 4 models agree: confidence = mean * (2/4).
+  const auto out = fusion.Fuse({{Det(0, 0, 10, 10, 0.8)},
+                                {Det(0, 0, 10, 10, 0.8)},
+                                {},
+                                {}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].confidence, 0.8 * 0.5, 1e-9);
+}
+
+TEST(ConsensusTest, DuplicatesFromOneModelAreOneVote) {
+  ConsensusFusion fusion(DefaultOptions());
+  // Model 0 emits two overlapping boxes; models 1 and 2 nothing.
+  // One distinct voter < majority(3) = 2, despite two boxes in the cluster.
+  const auto out = fusion.Fuse({{Det(0, 0, 10, 10, 0.9),
+                                 Det(1, 0, 10, 10, 0.8)},
+                                {},
+                                {}});
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------- registry and options --
+
+TEST(FusionRegistryTest, CreatesEveryKind) {
+  for (FusionKind kind : AllFusionKinds()) {
+    auto method = CreateEnsembleMethod(kind);
+    ASSERT_TRUE(method.ok()) << FusionKindToString(kind);
+    EXPECT_EQ((*method)->name(), FusionKindToString(kind));
+  }
+}
+
+TEST(FusionRegistryTest, RoundTripNames) {
+  for (FusionKind kind : AllFusionKinds()) {
+    const auto parsed = FusionKindFromString(FusionKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(FusionRegistryTest, ParsesAliases) {
+  EXPECT_EQ(*FusionKindFromString("wbf"), FusionKind::kWbf);
+  EXPECT_EQ(*FusionKindFromString("WBF"), FusionKind::kWbf);
+  EXPECT_EQ(*FusionKindFromString("soft-nms"), FusionKind::kSoftNmsLinear);
+  EXPECT_EQ(*FusionKindFromString("consensus"), FusionKind::kConsensus);
+  EXPECT_FALSE(FusionKindFromString("best-fusion-ever").ok());
+}
+
+TEST(FusionOptionsTest, Validation) {
+  FusionOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.iou_threshold = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FusionOptions{};
+  o.sigma = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FusionOptions{};
+  o.score_threshold = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = FusionOptions{};
+  o.min_votes = -1;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(FusionRegistryTest, CreateRejectsBadOptions) {
+  FusionOptions o;
+  o.iou_threshold = -1;
+  EXPECT_FALSE(CreateEnsembleMethod(FusionKind::kWbf, o).ok());
+}
+
+// Cross-method property sweep: outputs stay within the input hull per class
+// and labels are preserved.
+class FusionPropertyTest : public ::testing::TestWithParam<FusionKind> {};
+
+TEST_P(FusionPropertyTest, OutputsBoundedAndLabeled) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    double min_x = 1e9, max_x = -1e9, min_y = 1e9, max_y = -1e9;
+    size_t total = 0;
+    for (auto& list : inputs) {
+      const int n = 1 + static_cast<int>(rng.UniformInt(5));
+      for (int i = 0; i < n; ++i) {
+        auto d = Det(rng.Uniform(0, 200), rng.Uniform(0, 200), 20, 20,
+                     rng.Uniform(0.1, 1.0), rng.UniformInt(2));
+        d.box_variance = rng.Uniform(0.1, 10.0);
+        min_x = std::min(min_x, d.box.x1);
+        max_x = std::max(max_x, d.box.x2);
+        min_y = std::min(min_y, d.box.y1);
+        max_y = std::max(max_y, d.box.y2);
+        list.push_back(d);
+        ++total;
+      }
+    }
+    const auto out = (*method)->Fuse(inputs);
+    EXPECT_LE(out.size(), total);
+    for (const auto& d : out) {
+      EXPECT_GE(d.box.x1, min_x - 1e-6);
+      EXPECT_LE(d.box.x2, max_x + 1e-6);
+      EXPECT_GE(d.box.y1, min_y - 1e-6);
+      EXPECT_LE(d.box.y2, max_y + 1e-6);
+      EXPECT_GE(d.confidence, 0.0);
+      EXPECT_LE(d.confidence, 1.0);
+      EXPECT_TRUE(d.label == 0 || d.label == 1);
+      EXPECT_EQ(d.model_index, -1);
+    }
+  }
+}
+
+TEST_P(FusionPropertyTest, EmptyInputsGiveEmptyOutput) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  EXPECT_TRUE((*method)->Fuse({}).empty());
+  EXPECT_TRUE((*method)->Fuse({{}, {}, {}}).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, FusionPropertyTest,
+                         ::testing::ValuesIn(AllFusionKinds()),
+                         [](const auto& info) {
+                           std::string name = FusionKindToString(info.param);
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace vqe

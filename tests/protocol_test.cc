@@ -1,0 +1,164 @@
+// Information-protocol tests: the engine must expose estimated rewards only
+// for ensembles whose outputs actually exist (subsets of the selection),
+// charge costs per Equations (12)/(14), and keep oracle access explicit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/mes.h"
+#include "test_util.h"
+
+namespace vqe {
+namespace {
+
+using test::SimpleTwoModelMatrix;
+using test::SyntheticMatrix;
+
+EngineOptions DefaultEngine() {
+  EngineOptions opt;
+  opt.sc = ScoringFunction{0.5, 0.5};
+  return opt;
+}
+
+// A probe strategy that records everything the engine shows it.
+class ProbeStrategy : public SelectionStrategy {
+ public:
+  explicit ProbeStrategy(std::vector<EnsembleId> plan)
+      : plan_(std::move(plan)) {}
+
+  const std::string& name() const override {
+    static const std::string kName = "probe";
+    return kName;
+  }
+  void BeginVideo(const StrategyContext& ctx) override {
+    num_models_ = ctx.num_models;
+    saw_oracle_ = ctx.oracle != nullptr;
+    observed_.clear();
+  }
+  EnsembleId Select(size_t t) override {
+    return plan_[t % plan_.size()];
+  }
+  void Observe(const FrameFeedback& feedback) override {
+    observed_.push_back(*feedback.est_score);  // copy the full vector
+    selections_.push_back(feedback.selected);
+  }
+
+  int num_models_ = 0;
+  bool saw_oracle_ = false;
+  std::vector<std::vector<double>> observed_;
+  std::vector<EnsembleId> selections_;
+
+ private:
+  std::vector<EnsembleId> plan_;
+};
+
+TEST(ProtocolTest, NonSubsetRewardsAreNaN) {
+  const FrameMatrix matrix = SyntheticMatrix(
+      3, 12, {0.0, 0.8, 0.4, 0.8, 0.3, 0.8, 0.5, 0.9}, {10, 10, 10});
+  ProbeStrategy probe({/*{M0}*/ 1, /*{M0,M2}*/ 5, /*full*/ 7});
+  const auto run = RunStrategy(matrix, &probe, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(probe.observed_.size(), 12u);
+  for (size_t t = 0; t < probe.observed_.size(); ++t) {
+    const EnsembleId selected = probe.selections_[t];
+    for (EnsembleId s = 1; s <= 7; ++s) {
+      const double reward = probe.observed_[t][s];
+      if (IsSubsetOf(s, selected)) {
+        EXPECT_FALSE(std::isnan(reward))
+            << "subset " << s << " of " << selected << " must be scored";
+        EXPECT_GE(reward, 0.0);
+        EXPECT_LE(reward, 1.0);
+      } else {
+        EXPECT_TRUE(std::isnan(reward))
+            << "non-subset " << s << " of " << selected
+            << " must be hidden (NaN)";
+      }
+    }
+  }
+}
+
+TEST(ProtocolTest, ChargedCostMatchesEquation14) {
+  // Eq. 14: per frame, the selected models' inference plus the fusion
+  // overhead of every subset of the selection.
+  const FrameMatrix matrix = SimpleTwoModelMatrix(10, /*seed=*/2,
+                                                  /*noise=*/0.0);
+  ProbeStrategy probe({/*{M0,M1}*/ 3});
+  const auto run = RunStrategy(matrix, &probe, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  double expected = 0.0;
+  for (const auto& fe : matrix.frames) {
+    expected += fe.model_cost_ms[0] + fe.model_cost_ms[1];
+    for (EnsembleId s : {1u, 2u, 3u}) expected += fe.fusion_overhead_ms[s];
+  }
+  EXPECT_NEAR(run->charged_cost_ms, expected, 1e-9);
+}
+
+TEST(ProtocolTest, SingletonSelectionChargesOneModel) {
+  const FrameMatrix matrix = SimpleTwoModelMatrix(10, 2, 0.0);
+  ProbeStrategy probe({/*{M0}*/ 1});
+  const auto run = RunStrategy(matrix, &probe, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  double expected = 0.0;
+  for (const auto& fe : matrix.frames) {
+    expected += fe.model_cost_ms[0] + fe.fusion_overhead_ms[1];
+  }
+  EXPECT_NEAR(run->charged_cost_ms, expected, 1e-9);
+}
+
+TEST(ProtocolTest, OracleViewAlwaysAvailableButExplicit) {
+  // The engine provides the oracle through the context; honest strategies
+  // never read it, oracle baselines do. The probe verifies it is non-null.
+  const FrameMatrix matrix = SimpleTwoModelMatrix(5);
+  ProbeStrategy probe({1});
+  const auto run = RunStrategy(matrix, &probe, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(probe.saw_oracle_);
+}
+
+TEST(ProtocolTest, EstimatedRewardsUseEstimatedApNotTrue) {
+  // Build a matrix where est_ap and true_ap diverge grossly for one arm;
+  // the reward reported to strategies must follow est_ap.
+  FrameMatrix matrix = SimpleTwoModelMatrix(3, 2, 0.0);
+  for (auto& fe : matrix.frames) {
+    fe.est_ap[1] = 0.0;
+    fe.true_ap[1] = 1.0;
+  }
+  ProbeStrategy probe({1});
+  EngineOptions opt = DefaultEngine();
+  const auto run = RunStrategy(matrix, &probe, opt);
+  ASSERT_TRUE(run.ok());
+  const FrameEvaluation& fe = matrix.frames[0];
+  const double expected_est =
+      opt.sc.Score(0.0, fe.cost_ms[1] / fe.max_cost_ms);
+  EXPECT_NEAR(probe.observed_[0][1], expected_est, 1e-12);
+  // ...while the measured s_sum uses the true AP.
+  const double expected_true =
+      opt.sc.Score(1.0, fe.cost_ms[1] / fe.max_cost_ms);
+  EXPECT_NEAR(run->s_sum / 3.0, expected_true, 1e-9);
+}
+
+TEST(ProtocolTest, InvalidSelectionIsAnError) {
+  const FrameMatrix matrix = SimpleTwoModelMatrix(5);
+  ProbeStrategy zero_probe({0});  // empty ensemble: invalid
+  EXPECT_FALSE(RunStrategy(matrix, &zero_probe, DefaultEngine()).ok());
+  ProbeStrategy oob_probe({9});  // beyond 2^m - 1
+  EXPECT_FALSE(RunStrategy(matrix, &oob_probe, DefaultEngine()).ok());
+}
+
+TEST(ProtocolTest, MesNeverSelectsInvalidMask) {
+  const FrameMatrix matrix = SyntheticMatrix(
+      4, 400, {0.0, 0.8, 0.4, 0.8, 0.3, 0.8, 0.5, 0.9, 0.2, 0.5, 0.5, 0.6,
+               0.4, 0.7, 0.6, 0.85},
+      {10, 10, 10, 10});
+  MesStrategy mes;
+  const auto run = RunStrategy(matrix, &mes, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->selection_counts[0], 0u);
+  EXPECT_EQ(run->frames_processed, 400u);
+}
+
+}  // namespace
+}  // namespace vqe

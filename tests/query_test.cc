@@ -1,0 +1,488 @@
+// Tests for the video-query dialect: lexer, parser, predicate evaluation,
+// and the streaming executor.
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+
+namespace vqe {
+namespace {
+
+// ------------------------------------------------------------------ lexer --
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  const auto tokens = Tokenize("SELECT frameID FROM (x)");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 7u);  // SELECT frameID FROM ( x ) END
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLParen);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAllowModelAndDatasetNames) {
+  const auto tokens = Tokenize("yolov7-tiny@night c&n bdd-rainy");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "yolov7-tiny@night");
+  EXPECT_EQ((*tokens)[1].text, "c&n");
+  EXPECT_EQ((*tokens)[2].text, "bdd-rainy");
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  const auto tokens = Tokenize(">= 2.5 != 3 < 1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, ">=");
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 2.5);
+  EXPECT_EQ((*tokens)[2].text, "!=");
+  EXPECT_EQ((*tokens)[4].text, "<");
+}
+
+TEST(LexerTest, StringsAndErrors) {
+  const auto ok = Tokenize("'hello world'");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].type, TokenType::kString);
+  EXPECT_EQ((*ok)[0].text, "hello world");
+
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+// ----------------------------------------------------------------- parser --
+
+constexpr const char* kBasicQuery =
+    "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+    "USING MES(yolov7-tiny@clear, yolov7-tiny@night; REF)) "
+    "WHERE COUNT(car) >= 2";
+
+TEST(ParserTest, ParsesBasicQuery) {
+  const auto q = ParseQuery(kBasicQuery);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select_column, "frameID");
+  EXPECT_EQ(q->video_name, "nusc");
+  EXPECT_EQ(q->using_clause.strategy, "MES");
+  ASSERT_EQ(q->using_clause.detector_names.size(), 2u);
+  EXPECT_EQ(q->using_clause.detector_names[1], "yolov7-tiny@night");
+  EXPECT_TRUE(q->using_clause.has_reference);
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->type, Predicate::Type::kComparison);
+  EXPECT_EQ(q->where->aggregate.kind, AggregateKind::kCount);
+  EXPECT_EQ(q->where->aggregate.class_name, "car");
+  EXPECT_EQ(q->where->op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(q->where->value, 2.0);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  const auto q = ParseQuery(
+      "select frameID from (process nusc produce frameID, detections "
+      "using mes(*; ref))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->using_clause.detector_names.empty());  // '*' = default pool
+  EXPECT_TRUE(q->using_clause.has_reference);
+}
+
+TEST(ParserTest, NoWhereClauseMatchesAll) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc-night PRODUCE frameID, Detections "
+      "USING BF(*))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where, nullptr);
+  EXPECT_FALSE(q->using_clause.has_reference);
+}
+
+TEST(ParserTest, BooleanOperatorsAndPrecedence) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) "
+      "WHERE COUNT(car) >= 1 OR COUNT(bus) >= 1 AND NOT EXISTS(pedestrian)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // OR binds loosest: root is OR with AND on the right.
+  ASSERT_EQ(q->where->type, Predicate::Type::kOr);
+  EXPECT_EQ(q->where->lhs->type, Predicate::Type::kComparison);
+  ASSERT_EQ(q->where->rhs->type, Predicate::Type::kAnd);
+  EXPECT_EQ(q->where->rhs->rhs->type, Predicate::Type::kNot);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) "
+      "WHERE (COUNT(car) >= 1 OR COUNT(bus) >= 1) AND COUNT(truck) = 0");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->where->type, Predicate::Type::kAnd);
+  EXPECT_EQ(q->where->lhs->type, Predicate::Type::kOr);
+}
+
+TEST(ParserTest, BudgetAndLimit) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES-B(*; REF)) WHERE COUNT(*) >= 1 BUDGET 5000 LIMIT 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q->budget_ms, 5000.0);
+  EXPECT_EQ(q->limit, 10u);
+}
+
+TEST(ParserTest, ProcessModifiers) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc SCALE 0.1 SEED 42 STRIDE 3 "
+      "PRODUCE frameID, Detections USING MES(*; REF))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q->process.scale, 0.1);
+  EXPECT_EQ(q->process.seed, 42u);
+  EXPECT_EQ(q->process.stride, 3u);
+
+  // Defaults when absent.
+  const auto q2 = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF))");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_DOUBLE_EQ(q2->process.scale, 0.0);
+  EXPECT_EQ(q2->process.stride, 1u);
+
+  // Invalid modifier values.
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc SCALE 0 "
+                          "PRODUCE frameID, Detections USING MES(*; REF))")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc SCALE 1.5 "
+                          "PRODUCE frameID, Detections USING MES(*; REF))")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc STRIDE 0 "
+                          "PRODUCE frameID, Detections USING MES(*; REF))")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc SEED 0 "
+                          "PRODUCE frameID, Detections USING MES(*; REF))")
+                   .ok());
+}
+
+TEST(ParserTest, ExistsDesugarsToGeOne) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE EXISTS(car)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where->aggregate.kind, AggregateKind::kExists);
+  EXPECT_EQ(q->where->op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(q->where->value, 1.0);
+}
+
+TEST(ParserTest, ConfidenceAggregates) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE MAX_CONF(car) > 0.8 AND AVG_CONF(*) >= 0.3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->lhs->aggregate.kind, AggregateKind::kMaxConf);
+  EXPECT_EQ(q->where->rhs->aggregate.kind, AggregateKind::kAvgConf);
+  EXPECT_EQ(q->where->rhs->aggregate.class_name, "*");
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  const char* bad[] = {
+      "",
+      "SELECT detections FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF))",  // only frameID selectable
+      "SELECT frameID FROM PROCESS nusc",  // missing parens
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID USING MES(*; REF))",
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; LIDAR))",  // REF misspelt
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE COUNT(car) >=",  // dangling operator
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE FROBNICATE(car) > 1",  // unknown aggregate
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) LIMIT 0",  // bad limit
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) BUDGET 0",  // bad budget
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) trailing garbage",
+  };
+  for (const char* sql : bad) {
+    EXPECT_FALSE(ParseQuery(sql).ok()) << sql;
+  }
+}
+
+// -------------------------------------------------------------- predicate --
+
+Detection Det(double conf, ClassId label) {
+  Detection d;
+  d.box = BBox::FromXYWH(0, 0, 10, 10);
+  d.confidence = conf;
+  d.label = label;
+  return d;
+}
+
+TEST(PredicateTest, CountAggregate) {
+  AggregateExpr agg;
+  agg.kind = AggregateKind::kCount;
+  agg.class_name = "car";  // class id 0
+  const DetectionList dets{Det(0.9, 0), Det(0.8, 0), Det(0.9, 1),
+                           Det(0.1, 0)};  // last below min_confidence
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, dets), 2.0);
+  agg.class_name = "*";
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, dets), 3.0);
+  agg.class_name = "unknown-class";
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, dets), 0.0);
+}
+
+TEST(PredicateTest, ConfidenceAggregates) {
+  AggregateExpr max_conf;
+  max_conf.kind = AggregateKind::kMaxConf;
+  AggregateExpr avg_conf;
+  avg_conf.kind = AggregateKind::kAvgConf;
+  const DetectionList dets{Det(0.9, 0), Det(0.5, 0)};
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(max_conf, dets), 0.9);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(avg_conf, dets), 0.7);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(max_conf, {}), 0.0);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(avg_conf, {}), 0.0);
+}
+
+TEST(PredicateTest, BooleanEvaluation) {
+  auto cmp = [](AggregateKind kind, const std::string& cls, CompareOp op,
+                double value) {
+    auto p = std::make_unique<Predicate>();
+    p->type = Predicate::Type::kComparison;
+    p->aggregate.kind = kind;
+    p->aggregate.class_name = cls;
+    p->op = op;
+    p->value = value;
+    return p;
+  };
+  const DetectionList dets{Det(0.9, 0), Det(0.8, 0), Det(0.9, 2)};
+
+  auto both = std::make_unique<Predicate>();
+  both->type = Predicate::Type::kAnd;
+  both->lhs = cmp(AggregateKind::kCount, "car", CompareOp::kGe, 2);
+  both->rhs = cmp(AggregateKind::kExists, "bus", CompareOp::kGe, 1);
+  EXPECT_TRUE(EvaluatePredicate(both.get(), dets));
+
+  auto negated = std::make_unique<Predicate>();
+  negated->type = Predicate::Type::kNot;
+  negated->lhs = cmp(AggregateKind::kCount, "car", CompareOp::kGe, 2);
+  EXPECT_FALSE(EvaluatePredicate(negated.get(), dets));
+
+  auto either = std::make_unique<Predicate>();
+  either->type = Predicate::Type::kOr;
+  either->lhs = cmp(AggregateKind::kCount, "truck", CompareOp::kGe, 1);
+  either->rhs = cmp(AggregateKind::kCount, "car", CompareOp::kGe, 1);
+  EXPECT_TRUE(EvaluatePredicate(either.get(), dets));
+
+  EXPECT_TRUE(EvaluatePredicate(nullptr, dets));  // no WHERE: match all
+}
+
+TEST(PredicateTest, ComparisonOperators) {
+  auto make = [](CompareOp op, double value) {
+    Predicate p;
+    p.type = Predicate::Type::kComparison;
+    p.aggregate.kind = AggregateKind::kCount;
+    p.aggregate.class_name = "*";
+    p.op = op;
+    p.value = value;
+    return p;
+  };
+  const DetectionList dets{Det(0.9, 0), Det(0.8, 0)};  // count = 2
+  EXPECT_TRUE(EvaluatePredicate(&*std::make_unique<Predicate>(
+                                    make(CompareOp::kEq, 2)),
+                                dets));
+  Predicate p;
+  p = make(CompareOp::kNe, 3);
+  EXPECT_TRUE(EvaluatePredicate(&p, dets));
+  p = make(CompareOp::kLt, 3);
+  EXPECT_TRUE(EvaluatePredicate(&p, dets));
+  p = make(CompareOp::kLe, 2);
+  EXPECT_TRUE(EvaluatePredicate(&p, dets));
+  p = make(CompareOp::kGt, 2);
+  EXPECT_FALSE(EvaluatePredicate(&p, dets));
+  p = make(CompareOp::kGe, 3);
+  EXPECT_FALSE(EvaluatePredicate(&p, dets));
+}
+
+TEST(PredicateTest, ValidationCatchesUnknownClass) {
+  Predicate p;
+  p.type = Predicate::Type::kComparison;
+  p.aggregate.class_name = "unicorn";
+  EXPECT_FALSE(ValidatePredicate(&p).ok());
+  p.aggregate.class_name = "car";
+  EXPECT_TRUE(ValidatePredicate(&p).ok());
+  p.aggregate.class_name = "*";
+  EXPECT_TRUE(ValidatePredicate(&p).ok());
+  EXPECT_TRUE(ValidatePredicate(nullptr).ok());
+}
+
+TEST(PredicateTest, ValidationCatchesMalformedTrees) {
+  Predicate p;
+  p.type = Predicate::Type::kAnd;  // missing operands
+  EXPECT_FALSE(ValidatePredicate(&p).ok());
+  p.type = Predicate::Type::kNot;
+  EXPECT_FALSE(ValidatePredicate(&p).ok());
+}
+
+// --------------------------------------------------------------- executor --
+
+QueryEngineOptions SmallOptions() {
+  QueryEngineOptions opt;
+  opt.scene_scale = 0.02;
+  opt.seed = 3;
+  return opt;
+}
+
+TEST(ExecutorTest, EndToEndBasicQuery) {
+  const auto out = ExecuteQuery(kBasicQuery, SmallOptions());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GT(out->frames_processed, 100u);
+  EXPECT_GT(out->frames_matched, 0u);
+  EXPECT_LE(out->frames_matched, out->frames_processed);
+  EXPECT_EQ(out->frame_ids.size(), out->frames_matched);
+  EXPECT_GT(out->charged_cost_ms, 0.0);
+  EXPECT_GT(out->reference_cost_ms, 0.0);
+  EXPECT_EQ(out->model_names.size(), 2u);
+  // frameIDs ascending.
+  for (size_t i = 1; i < out->frame_ids.size(); ++i) {
+    EXPECT_LT(out->frame_ids[i - 1], out->frame_ids[i]);
+  }
+}
+
+TEST(ExecutorTest, DeterministicInSeed) {
+  const auto a = ExecuteQuery(kBasicQuery, SmallOptions());
+  const auto b = ExecuteQuery(kBasicQuery, SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->frame_ids, b->frame_ids);
+}
+
+TEST(ExecutorTest, LimitStopsEarly) {
+  QueryEngineOptions opt = SmallOptions();
+  const std::string sql = std::string(kBasicQuery) + " LIMIT 5";
+  const auto out = ExecuteQuery(sql, opt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->frames_matched, 5u);
+  const auto full = ExecuteQuery(kBasicQuery, opt);
+  EXPECT_LT(out->frames_processed, full->frames_processed);
+}
+
+TEST(ExecutorTest, BudgetLimitsProcessing) {
+  const std::string sql =
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES-B(yolov7-tiny@clear, yolov7-tiny@night; REF)) "
+      "WHERE COUNT(*) >= 1 BUDGET 3000";
+  const auto out = ExecuteQuery(sql, SmallOptions());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // 3000ms budget with >= 10ms frames: far fewer than the full video.
+  EXPECT_LT(out->frames_processed, 300u);
+  EXPECT_LE(out->charged_cost_ms, 3000.0 + 100.0);
+}
+
+TEST(ExecutorTest, DefaultPoolWithStar) {
+  const auto out = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night PRODUCE frameID, Detections "
+      "USING MES(*; REF))",
+      SmallOptions());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->model_names.size(), 5u);  // default nuScenes pool
+  EXPECT_EQ(out->frames_matched, out->frames_processed);  // no WHERE
+}
+
+TEST(ExecutorTest, NonLearningStrategiesSkipReference) {
+  const auto out = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night PRODUCE frameID, Detections "
+      "USING BF(yolov7-tiny@clear, yolov7-tiny@night))",
+      SmallOptions());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_DOUBLE_EQ(out->reference_cost_ms, 0.0);
+}
+
+TEST(ExecutorTest, ErrorPaths) {
+  const QueryEngineOptions opt = SmallOptions();
+  // Unknown dataset.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS kitti PRODUCE "
+                            "frameID, Detections USING MES(*; REF))",
+                            opt)
+                   .ok());
+  // Unknown detector.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING MES(yolo99@clear; "
+                            "REF))",
+                            opt)
+                   .ok());
+  // MES without REF.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING MES(*))",
+                            opt)
+                   .ok());
+  // Oracle strategy in an online query.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING OPT(*))",
+                            opt)
+                   .ok());
+  // MES-B without budget.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING MES-B(*; REF))",
+                            opt)
+                   .ok());
+  // Unknown strategy.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING ZEUS(*; REF))",
+                            opt)
+                   .ok());
+  // Unknown class in WHERE.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING MES(*; REF)) "
+                            "WHERE COUNT(unicorn) >= 1",
+                            opt)
+                   .ok());
+  // Bad options.
+  QueryEngineOptions bad = opt;
+  bad.scene_scale = 0.0;
+  EXPECT_FALSE(ExecuteQuery(kBasicQuery, bad).ok());
+}
+
+TEST(ExecutorTest, StrideSkipsFrames) {
+  QueryEngineOptions opt = SmallOptions();
+  const auto full = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night PRODUCE frameID, Detections "
+      "USING BF(yolov7-tiny@clear))",
+      opt);
+  const auto strided = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night STRIDE 4 PRODUCE frameID, "
+      "Detections USING BF(yolov7-tiny@clear))",
+      opt);
+  ASSERT_TRUE(full.ok() && strided.ok());
+  // Every 4th frame: a quarter of the frames (rounded up), a quarter of
+  // the inference cost.
+  EXPECT_EQ(strided->frames_processed, (full->frames_processed + 3) / 4);
+  EXPECT_LT(strided->charged_cost_ms, 0.3 * full->charged_cost_ms);
+  // Emitted frameIDs respect the stride.
+  for (int64_t id : strided->frame_ids) {
+    EXPECT_EQ(id % 4, 0);
+  }
+}
+
+TEST(ExecutorTest, SqlScaleAndSeedOverrideEngineDefaults) {
+  QueryEngineOptions opt = SmallOptions();  // scale 0.02, seed 3
+  const auto a = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night SCALE 0.05 SEED 9 PRODUCE "
+      "frameID, Detections USING BF(yolov7-tiny@clear))",
+      opt);
+  const auto b = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc-night PRODUCE frameID, Detections "
+      "USING BF(yolov7-tiny@clear))",
+      opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a->frames_processed, 2 * b->frames_processed);  // larger replica
+}
+
+TEST(ExecutorTest, SelectiveVsBroadPredicates) {
+  QueryEngineOptions opt = SmallOptions();
+  const auto broad = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE COUNT(*) >= 1",
+      opt);
+  const auto narrow = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE COUNT(*) >= 6 AND MAX_CONF(car) > 0.9",
+      opt);
+  ASSERT_TRUE(broad.ok() && narrow.ok());
+  EXPECT_GT(broad->frames_matched, narrow->frames_matched);
+}
+
+}  // namespace
+}  // namespace vqe

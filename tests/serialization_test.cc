@@ -1,0 +1,153 @@
+// Tests for the VQEVIDEO / VQEDET snapshot formats and the scoring-form
+// variants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scoring.h"
+#include "sim/dataset.h"
+#include "sim/serialization.h"
+
+namespace vqe {
+namespace {
+
+Video SampleSmallVideo() {
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions opts;
+  opts.scene_scale = 0.02;
+  opts.seed = 4;
+  return std::move(SampleVideo(*spec, opts)).value();
+}
+
+TEST(SerializationTest, VideoRoundTripIsLossless) {
+  const Video original = SampleSmallVideo();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteVideo(original, buffer).ok());
+
+  const auto restored = ReadVideo(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original.size());
+  EXPECT_DOUBLE_EQ(restored->geometry.width, original.geometry.width);
+  for (size_t t = 0; t < original.size(); ++t) {
+    const VideoFrame& a = original.frames[t];
+    const VideoFrame& b = restored->frames[t];
+    EXPECT_EQ(a.frame_index, b.frame_index);
+    EXPECT_EQ(a.scene_id, b.scene_id);
+    EXPECT_EQ(a.context, b.context);
+    ASSERT_EQ(a.objects.size(), b.objects.size());
+    for (size_t i = 0; i < a.objects.size(); ++i) {
+      EXPECT_EQ(a.objects[i].label, b.objects[i].label);
+      EXPECT_EQ(a.objects[i].object_id, b.objects[i].object_id);
+      EXPECT_EQ(a.objects[i].difficult, b.objects[i].difficult);
+      EXPECT_DOUBLE_EQ(a.objects[i].hardness, b.objects[i].hardness);
+      EXPECT_DOUBLE_EQ(a.objects[i].box.x1, b.objects[i].box.x1);
+      EXPECT_DOUBLE_EQ(a.objects[i].box.y2, b.objects[i].box.y2);
+    }
+  }
+}
+
+TEST(SerializationTest, VideoFileRoundTrip) {
+  const Video original = SampleSmallVideo();
+  const std::string path = ::testing::TempDir() + "/vqe_video_test.txt";
+  ASSERT_TRUE(WriteVideoFile(original, path).ok());
+  const auto restored = ReadVideoFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->size(), original.size());
+}
+
+TEST(SerializationTest, RejectsCorruptInputs) {
+  {
+    std::stringstream empty;
+    EXPECT_EQ(ReadVideo(empty).status().code(), StatusCode::kParseError);
+  }
+  {
+    std::stringstream wrong_magic("NOTVIDEO 1\n");
+    EXPECT_FALSE(ReadVideo(wrong_magic).ok());
+  }
+  {
+    std::stringstream bad_version("VQEVIDEO 99\n");
+    EXPECT_FALSE(ReadVideo(bad_version).ok());
+  }
+  {
+    std::stringstream truncated(
+        "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 2\n"
+        "obj 0 5 0 0.5 0 0 10 10\n");  // promises 2 objects, has 1
+    EXPECT_FALSE(ReadVideo(truncated).ok());
+  }
+  {
+    std::stringstream bad_context(
+        "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 9 1600 900 0\n");
+    EXPECT_FALSE(ReadVideo(bad_context).ok());
+  }
+  {
+    std::stringstream invalid_box(
+        "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n"
+        "obj 0 5 0 0.5 10 10 0 0\n");  // x2 < x1
+    EXPECT_FALSE(ReadVideo(invalid_box).ok());
+  }
+  EXPECT_FALSE(ReadVideoFile("/nonexistent/path.txt").ok());
+}
+
+TEST(SerializationTest, DetectionsRoundTrip) {
+  std::vector<DetectionList> dets(3);
+  Detection d;
+  d.box = BBox::FromXYWH(10, 20, 30, 40);
+  d.confidence = 0.875;
+  d.label = 2;
+  d.box_variance = 4.25;
+  dets[0].push_back(d);
+  d.box = BBox::FromXYWH(1, 2, 3, 4);
+  d.confidence = 0.125;
+  dets[2].push_back(d);
+  dets[2].push_back(d);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteDetections(dets, buffer).ok());
+  const auto restored = ReadDetections(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), 3u);
+  EXPECT_EQ((*restored)[0].size(), 1u);
+  EXPECT_TRUE((*restored)[1].empty());
+  EXPECT_EQ((*restored)[2].size(), 2u);
+  EXPECT_DOUBLE_EQ((*restored)[0][0].confidence, 0.875);
+  EXPECT_EQ((*restored)[0][0].label, 2);
+  EXPECT_DOUBLE_EQ((*restored)[0][0].box_variance, 4.25);
+  EXPECT_DOUBLE_EQ((*restored)[0][0].box.x2, 40.0);
+}
+
+TEST(SerializationTest, DetectionsRejectCorruptInput) {
+  std::stringstream wrong("VQEVIDEO 1\n");
+  EXPECT_FALSE(ReadDetections(wrong).ok());
+  std::stringstream bad_index("VQEDET 1\nframe 5 0\n");
+  EXPECT_FALSE(ReadDetections(bad_index).ok());
+}
+
+// --------------------------------------------------------- scoring forms --
+
+TEST(ScoreFormTest, LinearFormMeetsCriteria) {
+  ScoringFunction sc{0.5, 0.5, ScoreForm::kLinear};
+  EXPECT_DOUBLE_EQ(sc.Score(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sc.Score(0.0, 1.0), 0.0);
+  for (double ap = 0.0; ap < 0.95; ap += 0.1) {
+    for (double cost = 0.0; cost < 0.95; cost += 0.1) {
+      const double base = sc.Score(ap, cost);
+      EXPECT_GT(sc.Score(ap + 0.05, cost), base);
+      EXPECT_LT(sc.Score(ap, cost + 0.05), base);
+      EXPECT_GE(base, 0.0);
+      EXPECT_LE(base, 1.0);
+    }
+  }
+}
+
+TEST(ScoreFormTest, FormsAgreeAtEndpointsDivergeInside) {
+  ScoringFunction log_form{0.5, 0.5, ScoreForm::kLogarithmic};
+  ScoringFunction lin_form{0.5, 0.5, ScoreForm::kLinear};
+  EXPECT_DOUBLE_EQ(log_form.Score(1, 0), lin_form.Score(1, 0));
+  EXPECT_DOUBLE_EQ(log_form.Score(0, 1), lin_form.Score(0, 1));
+  // log2(x+1) >= x on [0,1]: the log form dominates inside.
+  EXPECT_GT(log_form.Score(0.5, 0.5), lin_form.Score(0.5, 0.5));
+}
+
+}  // namespace
+}  // namespace vqe

@@ -1,0 +1,359 @@
+// Tests for the simulation substrate: scene generation, dataset catalogs
+// (Table 1/2 structure), sampling, and drift composition.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/dataset.h"
+#include "sim/object_classes.h"
+#include "sim/scene_context.h"
+#include "sim/scene_generator.h"
+#include "sim/video.h"
+
+namespace vqe {
+namespace {
+
+// --------------------------------------------------------- scene context --
+
+TEST(SceneContextTest, RoundTripNames) {
+  for (SceneContext ctx : {SceneContext::kClear, SceneContext::kNight,
+                           SceneContext::kRainy, SceneContext::kSnow}) {
+    const auto parsed = SceneContextFromString(SceneContextToString(ctx));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, ctx);
+  }
+  EXPECT_FALSE(SceneContextFromString("foggy").ok());
+  EXPECT_EQ(*SceneContextFromString("NIGHT"), SceneContext::kNight);
+}
+
+// -------------------------------------------------------- object classes --
+
+TEST(ObjectClassesTest, VocabularyIsConsistent) {
+  const auto& classes = DrivingClasses();
+  ASSERT_GE(classes.size(), 6u);
+  std::set<ClassId> ids;
+  for (const auto& c : classes) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GT(c.frequency, 0.0);
+    EXPECT_GT(c.width_mean, 0.0);
+    EXPECT_GT(c.aspect_mean, 0.0);
+    ids.insert(c.id);
+  }
+  EXPECT_EQ(ids.size(), classes.size());  // unique ids
+}
+
+TEST(ObjectClassesTest, NameLookup) {
+  const auto car = ClassIdFromName("car");
+  ASSERT_TRUE(car.ok());
+  EXPECT_EQ(ClassIdToName(*car), "car");
+  EXPECT_EQ(ClassIdToName(-99), "unknown");
+  EXPECT_FALSE(ClassIdFromName("spaceship").ok());
+  EXPECT_EQ(*ClassIdFromName("CAR"), *car);  // case-insensitive
+}
+
+// -------------------------------------------------------- scene generator --
+
+TEST(SceneGeneratorTest, DeterministicInSeedAndSceneId) {
+  SceneGeneratorOptions opt;
+  const Video a = GenerateScene(opt, SceneContext::kClear, 3, 20, 42);
+  const Video b = GenerateScene(opt, SceneContext::kClear, 3, 20, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].objects.size(), b[t].objects.size());
+    for (size_t i = 0; i < a[t].objects.size(); ++i) {
+      EXPECT_EQ(a[t].objects[i].box, b[t].objects[i].box);
+      EXPECT_EQ(a[t].objects[i].object_id, b[t].objects[i].object_id);
+    }
+  }
+}
+
+TEST(SceneGeneratorTest, DifferentSeedsDiffer) {
+  SceneGeneratorOptions opt;
+  const Video a = GenerateScene(opt, SceneContext::kClear, 3, 20, 42);
+  const Video b = GenerateScene(opt, SceneContext::kClear, 3, 20, 43);
+  bool any_diff = a.size() != b.size();
+  for (size_t t = 0; !any_diff && t < a.size(); ++t) {
+    any_diff = a[t].objects.size() != b[t].objects.size();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SceneGeneratorTest, FramesCarryMetadata) {
+  SceneGeneratorOptions opt;
+  const Video v = GenerateScene(opt, SceneContext::kRainy, 7, 10, 1);
+  ASSERT_EQ(v.size(), 10u);
+  for (size_t t = 0; t < v.size(); ++t) {
+    EXPECT_EQ(v[t].frame_index, static_cast<int64_t>(t));
+    EXPECT_EQ(v[t].scene_id, 7);
+    EXPECT_EQ(v[t].context, SceneContext::kRainy);
+    EXPECT_DOUBLE_EQ(v[t].image_width, opt.geometry.width);
+  }
+}
+
+TEST(SceneGeneratorTest, ObjectsWithinImageAndValid) {
+  SceneGeneratorOptions opt;
+  const Video v = GenerateScene(opt, SceneContext::kClear, 0, 50, 5);
+  for (const auto& frame : v.frames) {
+    for (const auto& obj : frame.objects) {
+      EXPECT_TRUE(obj.box.IsValid());
+      EXPECT_FALSE(obj.box.IsEmpty());
+      EXPECT_GE(obj.box.x1, 0.0);
+      EXPECT_LE(obj.box.x2, opt.geometry.width);
+      EXPECT_GE(obj.box.y1, 0.0);
+      EXPECT_LE(obj.box.y2, opt.geometry.height);
+      EXPECT_GE(obj.hardness, 0.0);
+      EXPECT_LE(obj.hardness, 1.0);
+    }
+  }
+}
+
+TEST(SceneGeneratorTest, ObjectIdsPersistAcrossFrames) {
+  SceneGeneratorOptions opt;
+  opt.motion_scale = 0.1;  // slow scene: objects persist
+  const Video v = GenerateScene(opt, SceneContext::kClear, 0, 10, 7);
+  ASSERT_GE(v.size(), 2u);
+  if (v[0].objects.empty()) GTEST_SKIP() << "empty initial scene";
+  std::set<int64_t> first_ids;
+  for (const auto& o : v[0].objects) first_ids.insert(o.object_id);
+  size_t persisted = 0;
+  for (const auto& o : v[1].objects) {
+    if (first_ids.count(o.object_id)) ++persisted;
+  }
+  EXPECT_GT(persisted, 0u);
+}
+
+TEST(SceneGeneratorTest, MotionMovesObjects) {
+  SceneGeneratorOptions opt;
+  const Video v = GenerateScene(opt, SceneContext::kClear, 0, 30, 11);
+  // Find an object present in consecutive frames and check it moved or at
+  // least stayed valid (cones have zero speed, so check across all).
+  bool any_motion = false;
+  for (size_t t = 1; t < v.size() && !any_motion; ++t) {
+    for (const auto& cur : v[t].objects) {
+      for (const auto& prev : v[t - 1].objects) {
+        if (cur.object_id == prev.object_id &&
+            (cur.box.cx() != prev.box.cx() || cur.box.cy() != prev.box.cy())) {
+          any_motion = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_motion);
+}
+
+TEST(SceneGeneratorTest, ZeroFrames) {
+  SceneGeneratorOptions opt;
+  EXPECT_TRUE(GenerateScene(opt, SceneContext::kClear, 0, 0, 1).empty());
+  EXPECT_TRUE(GenerateScene(opt, SceneContext::kClear, 0, -5, 1).empty());
+}
+
+TEST(SceneGeneratorTest, DifficultFractionRoughlyRespected) {
+  SceneGeneratorOptions opt;
+  opt.difficult_fraction = 0.25;
+  size_t total = 0, difficult = 0;
+  for (int s = 0; s < 30; ++s) {
+    const Video v = GenerateScene(opt, SceneContext::kClear, s, 5, 99);
+    for (const auto& f : v.frames) {
+      for (const auto& o : f.objects) {
+        ++total;
+        if (o.difficult) ++difficult;
+      }
+    }
+  }
+  ASSERT_GT(total, 100u);
+  const double frac = static_cast<double>(difficult) / total;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.5);
+}
+
+TEST(SceneGeneratorOptionsTest, Validation) {
+  SceneGeneratorOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.spawn_probability = 1.5;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = SceneGeneratorOptions{};
+  opt.geometry.width = -1;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = SceneGeneratorOptions{};
+  opt.initial_objects_mean = -2;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt = SceneGeneratorOptions{};
+  opt.motion_scale = -1;
+  EXPECT_FALSE(opt.Validate().ok());
+}
+
+// ---------------------------------------------------------------- video --
+
+TEST(VideoTest, ContextCountsAndBreakpoints) {
+  Video v;
+  for (int i = 0; i < 6; ++i) {
+    VideoFrame f;
+    f.frame_index = i;
+    f.context = i < 3 ? SceneContext::kClear : SceneContext::kNight;
+    v.frames.push_back(f);
+  }
+  EXPECT_EQ(CountFramesInContext(v, SceneContext::kClear), 3u);
+  EXPECT_EQ(CountFramesInContext(v, SceneContext::kNight), 3u);
+  EXPECT_EQ(CountFramesInContext(v, SceneContext::kSnow), 0u);
+  const auto breaks = ContextBreakpoints(v);
+  ASSERT_EQ(breaks.size(), 1u);
+  EXPECT_EQ(breaks[0], 3u);
+}
+
+// -------------------------------------------------------------- catalog --
+
+TEST(DatasetCatalogTest, NuscMatchesTable1) {
+  const auto spec = DatasetCatalog::Default().Find("nusc");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->TotalScenes(), 850);
+  EXPECT_EQ((*spec)->TotalFrames(), 42500);
+  EXPECT_NEAR((*spec)->DurationMinutes(), 354.0, 1.0);
+}
+
+TEST(DatasetCatalogTest, NuscGroupsMatchTable1) {
+  const auto& catalog = DatasetCatalog::Default();
+  struct Row {
+    const char* name;
+    int scenes;
+    int samples;
+  };
+  for (const Row& row : {Row{"nusc-clear", 274, 13700},
+                         Row{"nusc-night", 79, 3950},
+                         Row{"nusc-rainy", 184, 9200}}) {
+    const auto spec = catalog.Find(row.name);
+    ASSERT_TRUE(spec.ok()) << row.name;
+    EXPECT_EQ((*spec)->TotalScenes(), row.scenes) << row.name;
+    EXPECT_EQ((*spec)->TotalFrames(), row.samples) << row.name;
+  }
+}
+
+TEST(DatasetCatalogTest, BddMatchesTable2) {
+  const auto spec = DatasetCatalog::Default().Find("bdd");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ((*spec)->TotalScenes(), 300);
+  EXPECT_EQ((*spec)->TotalFrames(), 30000);
+  EXPECT_NEAR((*spec)->DurationMinutes(), 200.0, 1.0);
+}
+
+TEST(DatasetCatalogTest, DriftSpecsExist) {
+  const auto& catalog = DatasetCatalog::Default();
+  for (const char* name : {"c&n", "n&r", "c&n&r"}) {
+    const auto spec = catalog.Find(name);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ((*spec)->shuffle_segments, 10) << name;
+    EXPECT_GE((*spec)->groups.size(), 2u) << name;
+  }
+}
+
+TEST(DatasetCatalogTest, UnknownDataset) {
+  EXPECT_FALSE(DatasetCatalog::Default().Find("kitti").ok());
+}
+
+TEST(DatasetSpecTest, Validation) {
+  DatasetSpec d;
+  EXPECT_FALSE(d.Validate().ok());  // no name, no groups
+  d.name = "x";
+  EXPECT_FALSE(d.Validate().ok());  // no groups
+  d.groups.push_back({"g", SceneContext::kClear, 0, 10});
+  EXPECT_FALSE(d.Validate().ok());  // zero scenes
+  d.groups[0].num_scenes = 2;
+  EXPECT_TRUE(d.Validate().ok());
+  d.shuffle_segments = -1;
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+// ------------------------------------------------------------- sampling --
+
+TEST(SampleVideoTest, ScaleControlsSize) {
+  const auto spec = DatasetCatalog::Default().Find("nusc-night");
+  ASSERT_TRUE(spec.ok());
+  SampleOptions opts;
+  opts.scene_scale = 0.1;
+  opts.seed = 1;
+  const auto video = SampleVideo(**spec, opts);
+  ASSERT_TRUE(video.ok());
+  // 79 scenes * 0.1 ≈ 8 scenes of 50 frames.
+  EXPECT_NEAR(static_cast<double>(video->size()), 8 * 50, 50.0);
+}
+
+TEST(SampleVideoTest, FrameIndicesConsecutive) {
+  const auto spec = DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions opts;
+  opts.scene_scale = 0.05;
+  const auto video = SampleVideo(**spec, opts);
+  ASSERT_TRUE(video.ok());
+  for (size_t t = 0; t < video->size(); ++t) {
+    EXPECT_EQ(video->frames[t].frame_index, static_cast<int64_t>(t));
+  }
+}
+
+TEST(SampleVideoTest, DeterministicInSeed) {
+  const auto spec = DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions opts;
+  opts.scene_scale = 0.05;
+  opts.seed = 5;
+  const auto a = SampleVideo(**spec, opts);
+  const auto b = SampleVideo(**spec, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t t = 0; t < a->size(); ++t) {
+    EXPECT_EQ(a->frames[t].objects.size(), b->frames[t].objects.size());
+  }
+}
+
+TEST(SampleVideoTest, TrialsReSample) {
+  const auto spec = DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions a_opts, b_opts;
+  a_opts.scene_scale = b_opts.scene_scale = 0.05;
+  a_opts.seed = 5;
+  b_opts.seed = 6;
+  const auto a = SampleVideo(**spec, a_opts);
+  const auto b = SampleVideo(**spec, b_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool differs = a->size() != b->size();
+  for (size_t t = 0; !differs && t < a->size(); ++t) {
+    differs = a->frames[t].objects.size() != b->frames[t].objects.size();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SampleVideoTest, HomogeneousGroupHasOneContext) {
+  const auto spec = DatasetCatalog::Default().Find("nusc-rainy");
+  SampleOptions opts;
+  opts.scene_scale = 0.05;
+  const auto video = SampleVideo(**spec, opts);
+  ASSERT_TRUE(video.ok());
+  EXPECT_EQ(CountFramesInContext(*video, SceneContext::kRainy), video->size());
+}
+
+TEST(SampleVideoTest, DriftCompositionInterleavesContexts) {
+  const auto spec = DatasetCatalog::Default().Find("c&n");
+  SampleOptions opts;
+  opts.scene_scale = 0.2;
+  const auto video = SampleVideo(**spec, opts);
+  ASSERT_TRUE(video.ok());
+  const size_t clear = CountFramesInContext(*video, SceneContext::kClear);
+  const size_t night = CountFramesInContext(*video, SceneContext::kNight);
+  EXPECT_EQ(clear + night, video->size());
+  EXPECT_GT(clear, 0u);
+  EXPECT_GT(night, 0u);
+  // Segment shuffling must introduce multiple breakpoints.
+  const auto breaks = ContextBreakpoints(*video);
+  EXPECT_GE(breaks.size(), 3u);
+  EXPECT_LE(breaks.size(), 19u);  // at most segments-1 context switches
+}
+
+TEST(SampleVideoTest, RejectsBadScale) {
+  const auto spec = DatasetCatalog::Default().Find("nusc");
+  SampleOptions opts;
+  opts.scene_scale = 0.0;
+  EXPECT_FALSE(SampleVideo(**spec, opts).ok());
+  opts.scene_scale = 1.5;
+  EXPECT_FALSE(SampleVideo(**spec, opts).ok());
+}
+
+}  // namespace
+}  // namespace vqe

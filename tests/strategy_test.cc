@@ -1,0 +1,348 @@
+// Tests for the selection strategies: MES, MES-A, SW-MES and the §5.3
+// baselines, on synthetic matrices with controlled reward structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/mes.h"
+#include "core/mes_b.h"
+#include "test_util.h"
+
+namespace vqe {
+namespace {
+
+using test::SimpleTwoModelMatrix;
+using test::SyntheticMatrix;
+
+EngineOptions DefaultEngine() {
+  EngineOptions opt;
+  opt.sc = ScoringFunction{0.5, 0.5};
+  return opt;
+}
+
+// Three-model matrix: best arm is the singleton {M0}; ensembles cost more
+// for marginal AP; arm {M1,M2} is mediocre.
+FrameMatrix ThreeModelMatrix(size_t frames, uint64_t seed = 1,
+                             double noise = 0.05) {
+  //                   mask:  -    1     2     3     4     5     6     7
+  return SyntheticMatrix(3, frames,
+                         {0.0, 0.85, 0.40, 0.87, 0.30, 0.88, 0.50, 0.90},
+                         {10.0, 10.0, 10.0}, false, noise, seed);
+}
+
+// ------------------------------------------------------------------- MES --
+
+TEST(MesTest, InitializationSelectsFullPool) {
+  MesStrategy mes({/*gamma=*/5});
+  StrategyContext ctx;
+  ctx.num_models = 3;
+  mes.BeginVideo(ctx);
+  for (size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(mes.Select(t), FullEnsemble(3));
+  }
+}
+
+TEST(MesTest, SubsetUpdatesCoverAllArmsAfterInit) {
+  const FrameMatrix matrix = ThreeModelMatrix(20);
+  MesStrategy mes({/*gamma=*/4});
+  const auto run = RunStrategy(matrix, &mes, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  for (EnsembleId s = 1; s <= 7; ++s) {
+    EXPECT_GE(mes.stats().Count(s), 4u) << "arm " << s;
+  }
+}
+
+TEST(MesTest, ConvergesToBestArm) {
+  const FrameMatrix matrix = ThreeModelMatrix(3000, /*seed=*/3);
+  MesStrategy mes({/*gamma=*/5});
+  const auto run = RunStrategy(matrix, &mes, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  // Best arm by score: {M0} (AP 0.85, one model's cost). In the second half
+  // of a long run MES should mostly select it.
+  uint64_t best_count = run->selection_counts[1];
+  uint64_t total = 0;
+  for (uint64_t c : run->selection_counts) total += c;
+  EXPECT_GT(best_count, total / 2);
+}
+
+TEST(MesTest, RegretSublinear) {
+  // Average per-frame regret should shrink with horizon (O(log n / n)).
+  MesStrategy mes({/*gamma=*/5});
+  const FrameMatrix short_m = ThreeModelMatrix(300, 7);
+  const FrameMatrix long_m = ThreeModelMatrix(6000, 7);
+  const auto run_short = RunStrategy(short_m, &mes, DefaultEngine());
+  MesStrategy mes2({/*gamma=*/5});
+  const auto run_long = RunStrategy(long_m, &mes2, DefaultEngine());
+  ASSERT_TRUE(run_short.ok());
+  ASSERT_TRUE(run_long.ok());
+  const double per_frame_short = run_short->regret / 300.0;
+  const double per_frame_long = run_long->regret / 6000.0;
+  EXPECT_LT(per_frame_long, per_frame_short);
+}
+
+TEST(MesTest, BeatsRandomAndBruteForce) {
+  const FrameMatrix matrix = ThreeModelMatrix(2000, 11);
+  MesStrategy mes({/*gamma=*/5});
+  RandomStrategy rand;
+  BruteForceStrategy bf;
+  const auto run_mes = RunStrategy(matrix, &mes, DefaultEngine());
+  const auto run_rand = RunStrategy(matrix, &rand, DefaultEngine());
+  const auto run_bf = RunStrategy(matrix, &bf, DefaultEngine());
+  ASSERT_TRUE(run_mes.ok());
+  EXPECT_GT(run_mes->s_sum, run_rand->s_sum);
+  EXPECT_GT(run_mes->s_sum, run_bf->s_sum);
+}
+
+TEST(MesTest, NameReflectsAblation) {
+  EXPECT_EQ(MesStrategy(MesOptions{}).name(), "MES");
+  MesOptions ablated;
+  ablated.subset_updates = false;
+  EXPECT_EQ(MesStrategy(ablated).name(), "MES-A");
+}
+
+TEST(MesTest, AblationLearnsSlower) {
+  // MES-A observes ~1 arm per frame instead of 2^|S|-1; with equal horizon
+  // its regret should be no better, typically clearly worse.
+  double mes_total = 0.0;
+  double mes_a_total = 0.0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const FrameMatrix matrix = ThreeModelMatrix(1200, seed);
+    MesStrategy mes({/*gamma=*/5});
+    MesOptions opt_a;
+    opt_a.gamma = 5;
+    opt_a.subset_updates = false;
+    MesStrategy mes_a(opt_a);
+    mes_total += RunStrategy(matrix, &mes, DefaultEngine())->s_sum;
+    mes_a_total += RunStrategy(matrix, &mes_a, DefaultEngine())->s_sum;
+  }
+  EXPECT_GT(mes_total, mes_a_total);
+}
+
+TEST(MesOptionsTest, Validation) {
+  MesOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.gamma = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = MesOptions{};
+  o.exploration_scale = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+// ---------------------------------------------------------------- SW-MES --
+
+TEST(SwMesTest, OptionsValidation) {
+  SwMesOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.window = 1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SwMesOptions{};
+  o.exploration_scale = -1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = SwMesOptions{};
+  o.gamma = 0;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(SwMesTest, AdaptsToAbruptDrift) {
+  // Arm profile flips at the midpoint: {M0} is best first, then its
+  // complement {M1,M2}. SW-MES must beat cumulative MES here.
+  double sw_total = 0.0;
+  double mes_total = 0.0;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const FrameMatrix matrix = SyntheticMatrix(
+        3, 4000, {0.0, 0.9, 0.25, 0.5, 0.25, 0.5, 0.3, 0.55},
+        {10.0, 10.0, 10.0}, /*drift_flip=*/true, 0.05, seed);
+    SwMesOptions sw_opt;
+    sw_opt.window = 300;
+    sw_opt.exploration_scale = 0.1;
+    SwMesStrategy sw(sw_opt);
+    MesStrategy mes({/*gamma=*/5});
+    sw_total += RunStrategy(matrix, &sw, DefaultEngine())->s_sum;
+    mes_total += RunStrategy(matrix, &mes, DefaultEngine())->s_sum;
+  }
+  EXPECT_GT(sw_total, mes_total);
+}
+
+TEST(SwMesTest, WindowStatsStayBounded) {
+  const FrameMatrix matrix = ThreeModelMatrix(500);
+  SwMesOptions opt;
+  opt.window = 50;
+  SwMesStrategy sw(opt);
+  const auto run = RunStrategy(matrix, &sw, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(sw.stats().FramesInWindow(), 50u);
+  for (EnsembleId s = 1; s <= 7; ++s) {
+    EXPECT_LE(sw.stats().Count(s), 50u);
+  }
+}
+
+TEST(SwMesTest, TheoreticalWindowFormula) {
+  // λ = sqrt(n log n / ξ), clamped.
+  EXPECT_EQ(TheoreticalWindow(0, 3), 2u);
+  EXPECT_EQ(TheoreticalWindow(10000, 0), 10000u);  // no drift: no forgetting
+  const size_t w = TheoreticalWindow(10000, 10);
+  const double expected = std::sqrt(10000.0 * std::log(10000.0) / 10.0);
+  EXPECT_NEAR(static_cast<double>(w), expected, 1.0);
+  EXPECT_EQ(TheoreticalWindow(100, 1000), 16u);  // clamped from below
+}
+
+// ----------------------------------------------------------------- MES-B --
+
+TEST(MesBTest, OptionsValidation) {
+  MesBOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.gamma = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = MesBOptions{};
+  o.exploration_scale = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = MesBOptions{};
+  o.min_cost = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = MesBOptions{};
+  o.min_cost = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(MesBTest, PrefersEfficientArmsUnderBudget) {
+  // Arm {M0} (mask 1): score 0.8, cheap. Arm {M0,M1,M2} (mask 7): score
+  // 0.9, 3x the cost. Per unit budget, mask 1 wins; MES-B must concentrate
+  // there while plain MES (per-frame optimal) may prefer mask 7.
+  const FrameMatrix matrix = SyntheticMatrix(
+      3, 4000, {0.0, 0.80, 0.40, 0.82, 0.40, 0.82, 0.55, 0.90},
+      {10.0, 10.0, 10.0}, false, 0.03, 5);
+  EngineOptions opt = DefaultEngine();
+  opt.budget_ms = 8000.0;  // ~700 cheap frames or ~260 expensive ones
+
+  MesBStrategy mes_b;
+  MesStrategy mes({/*gamma=*/10});
+  const auto run_b = RunStrategy(matrix, &mes_b, opt);
+  const auto run_plain = RunStrategy(matrix, &mes, opt);
+  ASSERT_TRUE(run_b.ok() && run_plain.ok());
+  // The ratio rule processes more frames and collects a higher total.
+  EXPECT_GT(run_b->frames_processed, run_plain->frames_processed);
+  EXPECT_GT(run_b->s_sum, run_plain->s_sum);
+  // The cheap efficient arm dominates MES-B's selections.
+  EXPECT_GT(run_b->selection_counts[1], run_b->frames_processed / 2);
+}
+
+TEST(MesBTest, TracksMeanCosts) {
+  const FrameMatrix matrix = SimpleTwoModelMatrix(100, 3, 0.0);
+  MesBStrategy mes_b;
+  const auto run = RunStrategy(matrix, &mes_b, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  // Arm 3 (both models) costs ~2x arm 1.
+  EXPECT_GT(mes_b.MeanCost(3), 1.8 * mes_b.MeanCost(1));
+  EXPECT_GT(mes_b.MeanCost(1), 0.0);
+}
+
+TEST(MesBTest, UnbudgetedStillConvergesToGoodArms) {
+  const FrameMatrix matrix = ThreeModelMatrix(2000, 9);
+  MesBStrategy mes_b;
+  RandomStrategy rand;
+  const auto run_b = RunStrategy(matrix, &mes_b, DefaultEngine());
+  const auto run_rand = RunStrategy(matrix, &rand, DefaultEngine());
+  ASSERT_TRUE(run_b.ok());
+  EXPECT_GT(run_b->s_sum, run_rand->s_sum);
+}
+
+// -------------------------------------------------------------- baselines --
+
+TEST(BaselinesTest, OptSelectsPerFrameArgmax) {
+  const FrameMatrix matrix = ThreeModelMatrix(100);
+  OptStrategy opt;
+  const auto run = RunStrategy(matrix, &opt, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  EXPECT_DOUBLE_EQ(run->regret, 0.0);
+}
+
+TEST(BaselinesTest, SglPicksBestAverageSingleton) {
+  const FrameMatrix matrix = ThreeModelMatrix(200);
+  SingleBestStrategy sgl;
+  const auto run = RunStrategy(matrix, &sgl, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  // {M0} has the highest singleton AP (0.85): all selections go there.
+  EXPECT_EQ(run->selection_counts[1], 200u);
+}
+
+TEST(BaselinesTest, RandSelectsBroadly) {
+  const FrameMatrix matrix = ThreeModelMatrix(2000);
+  RandomStrategy rand;
+  const auto run = RunStrategy(matrix, &rand, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  size_t arms_used = 0;
+  for (EnsembleId s = 1; s <= 7; ++s) {
+    if (run->selection_counts[s] > 0) ++arms_used;
+    // Uniform over 7 arms: each within a loose band of 2000/7.
+    EXPECT_GT(run->selection_counts[s], 150u);
+    EXPECT_LT(run->selection_counts[s], 450u);
+  }
+  EXPECT_EQ(arms_used, 7u);
+}
+
+TEST(BaselinesTest, RandIsSeedDeterministic) {
+  const FrameMatrix matrix = ThreeModelMatrix(50);
+  RandomStrategy a, b;
+  EngineOptions opt = DefaultEngine();
+  opt.strategy_seed = 99;
+  const auto run_a = RunStrategy(matrix, &a, opt);
+  const auto run_b = RunStrategy(matrix, &b, opt);
+  ASSERT_TRUE(run_a.ok());
+  EXPECT_EQ(run_a->selection_counts, run_b->selection_counts);
+}
+
+TEST(BaselinesTest, EfExploresThenCommits) {
+  const FrameMatrix matrix = ThreeModelMatrix(1000, /*seed=*/5,
+                                              /*noise=*/0.01);
+  ExploreFirstStrategy ef(/*frames_per_arm=*/2);
+  const auto run = RunStrategy(matrix, &ef, DefaultEngine());
+  ASSERT_TRUE(run.ok());
+  // Exploration: 7 arms x 2 frames = 14; each arm selected >= 2 times.
+  for (EnsembleId s = 1; s <= 7; ++s) {
+    EXPECT_GE(run->selection_counts[s], 2u);
+  }
+  // With tiny noise EF commits to the true best arm {M0}.
+  EXPECT_EQ(run->selection_counts[1], 1000u - 12u);
+}
+
+TEST(BaselinesTest, EfHighNoiseMiscommits) {
+  // With large estimation noise EF's 1-pull estimates commit to a
+  // suboptimal arm in at least some seeds — the instability the paper's
+  // whiskers show (Fig. 4).
+  int miscommits = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const FrameMatrix matrix = ThreeModelMatrix(300, seed, /*noise=*/0.3);
+    ExploreFirstStrategy ef(/*frames_per_arm=*/1);
+    const auto run = RunStrategy(matrix, &ef, DefaultEngine());
+    ASSERT_TRUE(run.ok());
+    // Committed arm = argmax of selection counts after exploration.
+    EnsembleId committed = 1;
+    uint64_t best = 0;
+    for (EnsembleId s = 1; s <= 7; ++s) {
+      if (run->selection_counts[s] > best) {
+        best = run->selection_counts[s];
+        committed = s;
+      }
+    }
+    if (committed != 1) ++miscommits;
+  }
+  EXPECT_GT(miscommits, 0);
+}
+
+TEST(BaselinesTest, StrategiesAreReusableAcrossRuns) {
+  const FrameMatrix a = ThreeModelMatrix(300, 1);
+  const FrameMatrix b = ThreeModelMatrix(300, 2);
+  MesStrategy mes({/*gamma=*/5});
+  const auto run1 = RunStrategy(a, &mes, DefaultEngine());
+  const auto run2 = RunStrategy(b, &mes, DefaultEngine());
+  const auto run1_again = RunStrategy(a, &mes, DefaultEngine());
+  ASSERT_TRUE(run1.ok() && run2.ok() && run1_again.ok());
+  // BeginVideo resets state: same matrix gives the same outcome.
+  EXPECT_DOUBLE_EQ(run1->s_sum, run1_again->s_sum);
+}
+
+}  // namespace
+}  // namespace vqe

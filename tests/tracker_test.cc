@@ -1,0 +1,204 @@
+// Tests for the SORT-style IoU tracker and its TRACKS() query integration.
+
+#include <gtest/gtest.h>
+
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+#include "track/tracker.h"
+
+namespace vqe {
+namespace {
+
+Detection Det(double x, double y, double w, double h, double conf,
+              ClassId label = 0) {
+  Detection d;
+  d.box = BBox::FromXYWH(x, y, w, h);
+  d.confidence = conf;
+  d.label = label;
+  return d;
+}
+
+TEST(TrackerOptionsTest, Validation) {
+  TrackerOptions o;
+  EXPECT_TRUE(o.Validate().ok());
+  o.iou_threshold = 0.0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.max_missed = -1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.min_hits = 0;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.min_confidence = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(TrackerTest, BirthsTrackPerConfidentDetection) {
+  IouTracker tracker;
+  const auto& tracks =
+      tracker.Update({Det(0, 0, 20, 20, 0.9), Det(100, 0, 20, 20, 0.8),
+                      Det(200, 0, 20, 20, 0.1)},  // below min_confidence
+                     0);
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0].track_id, tracks[1].track_id);
+  EXPECT_EQ(tracks[0].hits, 1);
+  EXPECT_FALSE(tracks[0].IsConfirmed(tracker.options()));
+}
+
+TEST(TrackerTest, IdentityPersistsAcrossFrames) {
+  IouTracker tracker;
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  const int64_t id = tracker.tracks()[0].track_id;
+  // Object moves 5px per frame; IoU with previous position stays high.
+  for (int t = 1; t <= 5; ++t) {
+    const auto& tracks = tracker.Update({Det(5.0 * t, 0, 40, 40, 0.9)}, t);
+    ASSERT_EQ(tracks.size(), 1u);
+    EXPECT_EQ(tracks[0].track_id, id);
+    EXPECT_EQ(tracks[0].hits, t + 1);
+  }
+  EXPECT_TRUE(tracker.tracks()[0].IsConfirmed(tracker.options()));
+  EXPECT_EQ(tracker.tracks()[0].Age(), 6);
+}
+
+TEST(TrackerTest, VelocityPredictionBridgesFastMotion) {
+  // 25px/frame steps: consecutive raw boxes overlap barely at IoU 1/3; once
+  // the velocity estimate warms up the predicted box overlaps much better,
+  // keeping the association alive for the whole run.
+  TrackerOptions opt;
+  opt.iou_threshold = 0.3;
+  IouTracker tracker(opt);
+  for (int t = 0; t <= 6; ++t) {
+    tracker.Update({Det(25.0 * t, 0, 50, 50, 0.9)}, t);
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  EXPECT_EQ(tracker.tracks()[0].hits, 7);
+  // The learned velocity approaches the true 25 px/frame.
+  EXPECT_GT(tracker.tracks()[0].vx, 15.0);
+}
+
+TEST(TrackerTest, ClassMismatchNeverAssociates) {
+  IouTracker tracker;
+  tracker.Update({Det(0, 0, 40, 40, 0.9, /*label=*/0)}, 0);
+  const auto& tracks = tracker.Update({Det(0, 0, 40, 40, 0.9, /*label=*/1)}, 1);
+  // The class-1 detection starts its own track; class-0 track coasts.
+  EXPECT_EQ(tracks.size(), 2u);
+}
+
+TEST(TrackerTest, MissedTracksRetire) {
+  TrackerOptions opt;
+  opt.max_missed = 2;
+  IouTracker tracker(opt);
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  tracker.Update({}, 1);
+  tracker.Update({}, 2);
+  EXPECT_EQ(tracker.tracks().size(), 1u);  // still coasting (missed == 2)
+  tracker.Update({}, 3);
+  EXPECT_EQ(tracker.tracks().size(), 0u);
+  ASSERT_EQ(tracker.finished_tracks().size(), 1u);
+  EXPECT_EQ(tracker.finished_tracks()[0].hits, 1);
+}
+
+TEST(TrackerTest, ReacquisitionWithinGraceWindow) {
+  IouTracker tracker;
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  const int64_t id = tracker.tracks()[0].track_id;
+  tracker.Update({}, 1);  // occluded one frame
+  const auto& tracks = tracker.Update({Det(2, 0, 40, 40, 0.9)}, 2);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].track_id, id);
+  EXPECT_EQ(tracks[0].missed, 0);
+}
+
+TEST(TrackerTest, GreedyAssociationPrefersConfidentDetections) {
+  IouTracker tracker;
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  // Two candidate detections overlap the track; the higher-confidence one
+  // claims it, the other births a new track.
+  const auto& tracks = tracker.Update(
+      {Det(4, 0, 40, 40, 0.5), Det(2, 0, 40, 40, 0.95)}, 1);
+  ASSERT_EQ(tracks.size(), 2u);
+  // The original track carries the 0.95 confidence.
+  const Track& original =
+      tracks[0].track_id < tracks[1].track_id ? tracks[0] : tracks[1];
+  EXPECT_DOUBLE_EQ(original.confidence, 0.95);
+}
+
+TEST(TrackerTest, ActiveConfirmedFilters) {
+  TrackerOptions opt;
+  opt.min_hits = 2;
+  IouTracker tracker(opt);
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  EXPECT_TRUE(tracker.ActiveConfirmed().empty());  // 1 hit < min_hits
+  tracker.Update({Det(1, 0, 40, 40, 0.9)}, 1);
+  EXPECT_EQ(tracker.ActiveConfirmed().size(), 1u);
+  tracker.Update({}, 2);  // coasting: not "active"
+  EXPECT_TRUE(tracker.ActiveConfirmed().empty());
+}
+
+TEST(TrackerTest, ResetClearsState) {
+  IouTracker tracker;
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  tracker.Reset();
+  EXPECT_TRUE(tracker.tracks().empty());
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  EXPECT_EQ(tracker.tracks()[0].track_id, 1);  // ids restart
+}
+
+// ----------------------------------------------------- TRACKS() in queries --
+
+TEST(TracksAggregateTest, ParserAndExplain) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE TRACKS(car) >= 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where->aggregate.kind, AggregateKind::kTracks);
+  EXPECT_TRUE(PredicateUsesTracks(q->where.get()));
+
+  const auto q2 = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WHERE COUNT(car) >= 2");
+  EXPECT_FALSE(PredicateUsesTracks(q2->where.get()));
+}
+
+TEST(TracksAggregateTest, EvaluatesAgainstTrackList) {
+  AggregateExpr agg;
+  agg.kind = AggregateKind::kTracks;
+  agg.class_name = "car";
+  std::vector<Track> tracks(3);
+  tracks[0].label = 0;  // car
+  tracks[1].label = 0;
+  tracks[2].label = 3;  // pedestrian
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, {}, &tracks), 2.0);
+  agg.class_name = "*";
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, {}, &tracks), 3.0);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(agg, {}, nullptr), 0.0);
+}
+
+TEST(TracksAggregateTest, EndToEndQuery) {
+  QueryEngineOptions opt;
+  opt.scene_scale = 0.02;
+  opt.seed = 3;
+  const auto with_tracks = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(yolov7-tiny@clear, yolov7-tiny@night; REF)) "
+      "WHERE TRACKS(car) >= 1",
+      opt);
+  ASSERT_TRUE(with_tracks.ok()) << with_tracks.status().ToString();
+  EXPECT_GT(with_tracks->frames_matched, 0u);
+  EXPECT_LT(with_tracks->frames_matched, with_tracks->frames_processed);
+
+  // Track confirmation requires min_hits frames, so TRACKS >= 1 matches no
+  // more frames than the instantaneous COUNT >= 1.
+  const auto with_count = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(yolov7-tiny@clear, yolov7-tiny@night; REF)) "
+      "WHERE COUNT(car) >= 1",
+      opt);
+  ASSERT_TRUE(with_count.ok());
+  EXPECT_LE(with_tracks->frames_matched, with_count->frames_matched);
+}
+
+}  // namespace
+}  // namespace vqe
