@@ -1,0 +1,206 @@
+// Matrix-build throughput: frames/sec of BuildFrameMatrix at m ∈ {4, 6, 8}
+// for three pipelines — "legacy" (the pre-optimization inner loop: per-mask
+// deep copies of the model outputs and a per-call ground-truth rescan),
+// "serial" (the allocation-lean path, one worker) and "parallel" (the
+// allocation-lean path on the shared thread pool). Verifies the serial and
+// parallel matrices are bit-identical and emits BENCH_matrix_build.json so
+// later PRs can track the perf trajectory.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/frame_matrix.h"
+#include "detection/ap.h"
+#include "sim/dataset.h"
+
+using namespace vqe;
+using namespace vqe::bench;
+
+namespace {
+
+// The pre-optimization build loop, reproduced through public APIs: run the
+// detectors per frame, then per mask deep-copy the participating model
+// outputs, fuse, and evaluate both APs against raw ground-truth lists
+// (re-deriving the per-class partition on every call). Timed end to end,
+// exactly like BuildFrameMatrix, so the throughput ratio is like-for-like.
+double LegacyBuildSeconds(const Video& video, const DetectorPool& pool,
+                          uint64_t seed, const MatrixOptions& options) {
+  const int m = static_cast<int>(pool.detectors.size());
+  const uint32_t num_masks = NumEnsembles(m);
+  auto fusion =
+      std::move(CreateEnsembleMethod(options.fusion, options.fusion_options))
+          .value();
+
+  Stopwatch watch;
+  double checksum = 0.0;
+  for (const VideoFrame& frame : video.frames) {
+    std::vector<DetectionList> model_out(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      model_out[static_cast<size_t>(i)] =
+          pool.detectors[static_cast<size_t>(i)]->Detect(frame, seed);
+      checksum += pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(
+          frame, seed);
+    }
+    const DetectionList ref_out = pool.reference->Detect(frame, seed);
+    checksum += pool.reference->InferenceCostMs(frame, seed);
+    const GroundTruthList ref_gt =
+        DetectionsAsGroundTruth(ref_out, options.ref_confidence_threshold);
+
+    for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
+      std::vector<DetectionList> inputs;
+      for (int i = 0; i < m; ++i) {
+        if (!ContainsModel(mask, i)) continue;
+        inputs.push_back(model_out[static_cast<size_t>(i)]);
+      }
+      const DetectionList fused = fusion->Fuse(inputs);
+      checksum += FrameMeanAp(fused, ref_gt, options.ap);
+      checksum += FrameMeanAp(fused, frame.objects, options.ap);
+    }
+  }
+  const double total = watch.ElapsedSeconds();
+  if (checksum < -1.0) std::printf("unreachable\n");  // keep the loop live
+  return total;
+}
+
+bool MatricesIdentical(const FrameMatrix& a, const FrameMatrix& b) {
+  if (a.size() != b.size() || a.num_models != b.num_models) return false;
+  for (size_t t = 0; t < a.size(); ++t) {
+    const FrameEvaluation& fa = a.frames[t];
+    const FrameEvaluation& fb = b.frames[t];
+    if (fa.ref_cost_ms != fb.ref_cost_ms ||
+        fa.max_cost_ms != fb.max_cost_ms ||
+        fa.best_true_candidates != fb.best_true_candidates ||
+        fa.model_cost_ms != fb.model_cost_ms || fa.est_ap != fb.est_ap ||
+        fa.true_ap != fb.true_ap || fa.cost_ms != fb.cost_ms ||
+        fa.fusion_overhead_ms != fb.fusion_overhead_ms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PoolSizeResult {
+  int m = 0;
+  size_t frames = 0;
+  uint32_t masks = 0;
+  double legacy_fps = 0.0;
+  double serial_fps = 0.0;
+  double parallel_fps = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Frame-matrix construction throughput",
+              "pipeline optimization (no paper figure)", settings);
+
+  // Eight distinct structure@context detectors; pools take the first m.
+  const std::vector<std::string> names = {
+      "yolov7@clear",      "yolov7-tiny@clear", "yolov7-tiny@night",
+      "yolov7-tiny@rainy", "yolov7-micro@clear", "yolov7@night",
+      "faster-rcnn@clear", "yolov7-micro@rainy"};
+
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc");
+  const int hw_workers = SharedThreadPool().num_threads() + 1;
+  std::printf("Shared pool: %d worker thread(s)\n\n", hw_workers);
+
+  TablePrinter table({"m", "frames", "masks", "legacy f/s", "serial f/s",
+                      "parallel f/s", "serial gain", "parallel gain",
+                      "identical"});
+  std::vector<PoolSizeResult> results;
+
+  for (const int m : {4, 6, 8}) {
+    std::vector<DetectorProfile> profiles;
+    for (int i = 0; i < m; ++i) {
+      profiles.push_back(
+          std::move(ParseDetectorName(names[static_cast<size_t>(i)])).value());
+    }
+    auto pool = std::move(BuildPool(profiles)).value();
+
+    // Halve the frame budget per extra pool bit: the mask loop doubles.
+    const double base = settings.target_frames / 10.0;
+    const double target = std::max(40.0, base * 16.0 / (1 << (m - 4)));
+    SampleOptions sample;
+    sample.scene_scale = ScaleFor(*spec, target);
+    sample.seed = 29;
+    const Video video = std::move(SampleVideo(*spec, sample)).value();
+
+    MatrixOptions options;
+    const uint64_t seed = 29;
+
+    PoolSizeResult r;
+    r.m = m;
+    r.frames = video.size();
+    r.masks = NumEnsembles(m);
+
+    const double legacy_s = LegacyBuildSeconds(video, pool, seed, options);
+    r.legacy_fps = static_cast<double>(video.size()) / legacy_s;
+
+    options.parallelism = 1;
+    Stopwatch serial_watch;
+    const auto serial = BuildFrameMatrix(video, pool, seed, options);
+    const double serial_s = serial_watch.ElapsedSeconds();
+    r.serial_fps = static_cast<double>(video.size()) / serial_s;
+
+    options.parallelism = 0;
+    Stopwatch parallel_watch;
+    const auto parallel = BuildFrameMatrix(video, pool, seed, options);
+    const double parallel_s = parallel_watch.ElapsedSeconds();
+    r.parallel_fps = static_cast<double>(video.size()) / parallel_s;
+
+    r.identical = serial.ok() && parallel.ok() &&
+                  MatricesIdentical(*serial, *parallel);
+    results.push_back(r);
+
+    table.AddRow({std::to_string(m), std::to_string(r.frames),
+                  std::to_string(r.masks), Fmt(r.legacy_fps, 1),
+                  Fmt(r.serial_fps, 1), Fmt(r.parallel_fps, 1),
+                  Fmt(r.serial_fps / r.legacy_fps, 2) + "x",
+                  Fmt(r.parallel_fps / r.serial_fps, 2) + "x",
+                  r.identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n'serial gain' isolates the copy-free fusion inputs and per-frame\n"
+      "ground-truth index (all timings include detector simulation);\n"
+      "'parallel gain' adds frame-level workers on top.\n");
+
+  FILE* json = std::fopen("BENCH_matrix_build.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_matrix_build.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"matrix_build\",\n  \"workers\": %d,\n"
+               "  \"results\": [\n", hw_workers);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const PoolSizeResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"m\": %d, \"frames\": %zu, \"masks\": %u,\n"
+        "     \"legacy_frames_per_sec\": %.2f,\n"
+        "     \"serial_frames_per_sec\": %.2f,\n"
+        "     \"parallel_frames_per_sec\": %.2f,\n"
+        "     \"serial_speedup_vs_legacy\": %.3f,\n"
+        "     \"parallel_speedup_vs_serial\": %.3f,\n"
+        "     \"bit_identical\": %s}%s\n",
+        r.m, r.frames, r.masks, r.legacy_fps, r.serial_fps, r.parallel_fps,
+        r.serial_fps / r.legacy_fps, r.parallel_fps / r.serial_fps,
+        r.identical ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("Wrote BENCH_matrix_build.json\n");
+
+  bool ok = true;
+  for (const auto& r : results) ok = ok && r.identical;
+  return ok ? 0 : 1;
+}

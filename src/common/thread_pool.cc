@@ -1,0 +1,127 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace vqe {
+
+namespace {
+
+thread_local int t_parallel_depth = 0;
+
+// RAII marker for "this thread is executing a parallel-region body".
+struct RegionGuard {
+  RegionGuard() { ++t_parallel_depth; }
+  ~RegionGuard() { --t_parallel_depth; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) num_threads = 0;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& SharedThreadPool() {
+  static ThreadPool* pool = [] {
+    int cores = static_cast<int>(std::thread::hardware_concurrency());
+    if (cores < 1) cores = 1;
+    return new ThreadPool(cores - 1);
+  }();
+  return *pool;
+}
+
+bool InParallelRegion() { return t_parallel_depth > 0; }
+
+int ResolveWorkers(int parallelism, size_t n) {
+  if (n <= 1 || parallelism == 1 || InParallelRegion()) return 1;
+  int workers = parallelism;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1) workers = 1;
+  }
+  workers = std::min(workers, SharedThreadPool().num_threads() + 1);
+  if (n < static_cast<size_t>(workers)) workers = static_cast<int>(n);
+  return std::max(workers, 1);
+}
+
+void ParallelFor(size_t n, int parallelism,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int workers = ResolveWorkers(parallelism, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Work-stealing by atomic index: every participating thread (workers − 1
+  // pool threads plus the caller) claims the next unprocessed index. Which
+  // thread runs an index is nondeterministic; the set of calls is not.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, n, &fn] {
+    RegionGuard region;
+    while (true) {
+      const size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int pending = workers - 1;
+  for (int w = 0; w < workers - 1; ++w) {
+    SharedThreadPool().Submit([&] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        --pending;
+      }
+      done_cv.notify_one();
+    });
+  }
+  drain();  // the caller participates
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace vqe

@@ -1,0 +1,75 @@
+// Shared worker-pool subsystem. One process-wide pool backs every parallel
+// region (trial-level in RunExperiment, frame-level in BuildFrameMatrix),
+// so nested parallelism degrades to serial execution instead of
+// oversubscribing the machine: a ParallelFor issued from inside another
+// ParallelFor body always runs inline on the calling thread.
+//
+// Determinism contract: ParallelFor(n, p, fn) calls fn(i) exactly once for
+// every i in [0, n), each index on exactly one thread. Callers that write
+// only to index-i-owned state (e.g. pre-sized output slots) therefore get
+// bit-identical results for every parallelism setting.
+
+#ifndef VQE_COMMON_THREAD_POOL_H_
+#define VQE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vqe {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is valid: Submit then runs the task
+  /// inline on the calling thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; runs it inline when the pool has no workers.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool: hardware_concurrency − 1 workers (the calling
+/// thread is always the extra participant in a parallel region). Created on
+/// first use.
+ThreadPool& SharedThreadPool();
+
+/// True while the calling thread is executing a ParallelFor body — nested
+/// parallel regions detect this and run serially.
+bool InParallelRegion();
+
+/// Resolves a parallelism knob to the worker count a ParallelFor over `n`
+/// items will use: `parallelism` <= 1 or n <= 1 or a nested region gives 1;
+/// 0 means "all hardware cores"; the result is capped at n and at the
+/// shared pool size + 1 (the caller participates).
+int ResolveWorkers(int parallelism, size_t n);
+
+/// Runs fn(i) for every i in [0, n) across ResolveWorkers(parallelism, n)
+/// threads (shared-pool workers plus the calling thread), blocking until
+/// all indices are done. Indices are claimed atomically; each runs exactly
+/// once. fn must not throw.
+void ParallelFor(size_t n, int parallelism,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace vqe
+
+#endif  // VQE_COMMON_THREAD_POOL_H_

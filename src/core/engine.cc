@@ -113,10 +113,23 @@ Result<RunResult> RunStrategy(const FrameMatrix& matrix,
     const double sel_norm_cost = fe.cost_ms[selected] * inv_max;
     const double sel_true =
         options.sc.Score(fe.true_ap[selected], sel_norm_cost);
+    // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
+    // score lies on the frame's cached ⟨true_ap, cost⟩ Pareto frontier, so
+    // scan only those masks. Hand-built matrices without the cache fall
+    // back to the exhaustive O(2^m) scan.
     double best_true = -std::numeric_limits<double>::infinity();
-    for (EnsembleId s = 1; s <= num_masks; ++s) {
-      const double r = options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
-      if (r > best_true) best_true = r;
+    if (!fe.best_true_candidates.empty()) {
+      for (EnsembleId s : fe.best_true_candidates) {
+        const double r =
+            options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
+        if (r > best_true) best_true = r;
+      }
+    } else {
+      for (EnsembleId s = 1; s <= num_masks; ++s) {
+        const double r =
+            options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
+        if (r > best_true) best_true = r;
+      }
     }
     result.s_sum += sel_true;
     result.regret += best_true - sel_true;

@@ -1,9 +1,7 @@
 #include "core/experiment.h"
 
-#include <atomic>
-#include <thread>
-
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/baselines.h"
 #include "core/mes.h"
 
@@ -63,11 +61,13 @@ Result<ExperimentResult> RunExperiment(
   // One trial = sample video, build matrix, run every strategy. Trials are
   // independent and deterministically seeded, so they can run on worker
   // threads; results land in pre-sized slots, making the outcome identical
-  // for any thread count.
+  // for any thread count. Trial- and frame-level parallelism share the
+  // process pool: when trials occupy the workers, BuildFrameMatrix's inner
+  // ParallelFor detects the enclosing region and stays serial.
   std::vector<double> frames_per_trial(static_cast<size_t>(config.trials),
                                        0.0);
   std::vector<Status> trial_status(static_cast<size_t>(config.trials));
-  auto run_trial = [&](int trial) {
+  auto run_trial = [&](size_t trial) {
     auto matrix_result =
         BuildTrialMatrix(config, pool, static_cast<uint64_t>(trial));
     if (!matrix_result.ok()) {
@@ -99,30 +99,8 @@ Result<ExperimentResult> RunExperiment(
     }
   };
 
-  int workers = config.parallelism;
-  if (workers == 0) {
-    workers = static_cast<int>(std::thread::hardware_concurrency());
-    if (workers < 1) workers = 1;
-  }
-  workers = std::min(workers, config.trials);
-
-  if (workers <= 1) {
-    for (int trial = 0; trial < config.trials; ++trial) run_trial(trial);
-  } else {
-    std::atomic<int> next_trial{0};
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([&] {
-        while (true) {
-          const int trial = next_trial.fetch_add(1);
-          if (trial >= config.trials) break;
-          run_trial(trial);
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
-  }
+  ParallelFor(static_cast<size_t>(config.trials), config.parallelism,
+              run_trial);
 
   double total_frames = 0.0;
   for (int trial = 0; trial < config.trials; ++trial) {

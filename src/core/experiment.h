@@ -37,7 +37,10 @@ struct ExperimentConfig {
   /// Worker threads for trial-level parallelism. 0 = one thread per
   /// hardware core (capped at the trial count); 1 = serial. Results are
   /// bit-identical regardless of the thread count: every trial's
-  /// randomness derives from (base_seed, trial index) alone.
+  /// randomness derives from (base_seed, trial index) alone. Trial- and
+  /// frame-level parallelism (matrix.parallelism) share one process pool:
+  /// with trials > 1 occupying the workers, the frame-level loop inside
+  /// each trial runs serially instead of oversubscribing.
   int parallelism = 0;
   MatrixOptions matrix;
   EngineOptions engine;

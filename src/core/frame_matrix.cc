@@ -1,5 +1,10 @@
 #include "core/frame_matrix.h"
 
+#include <algorithm>
+#include <numeric>
+
+#include "common/thread_pool.h"
+
 namespace vqe {
 
 Status MatrixOptions::Validate() const {
@@ -10,6 +15,9 @@ Status MatrixOptions::Validate() const {
   if (ap.iou_threshold <= 0.0 || ap.iou_threshold > 1.0) {
     return Status::InvalidArgument("ap.iou_threshold must be in (0, 1]");
   }
+  if (parallelism < 0) {
+    return Status::InvalidArgument("parallelism must be >= 0");
+  }
   return fusion_options.Validate();
 }
 
@@ -19,6 +27,31 @@ namespace {
 // term. Kept ≪ any model's inference cost, per the paper's assumption.
 double SimulatedFusionOverheadMs(size_t num_input_boxes) {
   return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
+}
+
+// The masks not weakly dominated on ⟨true_ap, cost_ms⟩: sweep by ascending
+// cost (ties: descending AP, then ascending mask for stability) and keep a
+// mask iff it strictly raises the running AP maximum. For any excluded mask
+// some kept mask is at least as accurate and no costlier, so a monotone
+// score's maximum over the kept set equals its maximum over all masks.
+std::vector<EnsembleId> ParetoTrueCandidates(const FrameEvaluation& fe,
+                                             uint32_t num_masks) {
+  std::vector<EnsembleId> order(num_masks);
+  std::iota(order.begin(), order.end(), EnsembleId{1});
+  std::sort(order.begin(), order.end(), [&](EnsembleId a, EnsembleId b) {
+    if (fe.cost_ms[a] != fe.cost_ms[b]) return fe.cost_ms[a] < fe.cost_ms[b];
+    if (fe.true_ap[a] != fe.true_ap[b]) return fe.true_ap[a] > fe.true_ap[b];
+    return a < b;
+  });
+  std::vector<EnsembleId> frontier;
+  double best_ap = -1.0;
+  for (EnsembleId mask : order) {
+    if (fe.true_ap[mask] > best_ap) {
+      best_ap = fe.true_ap[mask];
+      frontier.push_back(mask);
+    }
+  }
+  return frontier;
 }
 
 }  // namespace
@@ -47,11 +80,16 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
 
   FrameMatrix matrix;
   matrix.num_models = m;
+  matrix.model_names.reserve(pool.detectors.size());
   for (const auto& d : pool.detectors) matrix.model_names.push_back(d->name());
-  matrix.frames.reserve(video.size());
+  // Pre-sized slots: frame t is a pure function of (video.frames[t],
+  // trial_seed) and writes only matrix.frames[t], so workers race on
+  // nothing and the matrix is bit-identical for every worker count.
+  matrix.frames.resize(video.size());
 
-  for (const VideoFrame& frame : video.frames) {
-    FrameEvaluation fe;
+  auto build_frame = [&](size_t t) {
+    const VideoFrame& frame = video.frames[t];
+    FrameEvaluation& fe = matrix.frames[t];
     fe.context = frame.context;
     fe.est_ap.assign(num_masks + 1, 0.0);
     fe.true_ap.assign(num_masks + 1, 0.0);
@@ -73,26 +111,36 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
     const GroundTruthList ref_gt =
         DetectionsAsGroundTruth(ref_out, options.ref_confidence_threshold);
 
+    // Per-frame invariants of the mask loop, built once and reused across
+    // all 2^m − 1 evaluations.
+    const GroundTruthIndex ref_index = BuildGroundTruthIndex(ref_gt);
+    const GroundTruthIndex gt_index = BuildGroundTruthIndex(frame.objects);
+    std::vector<const DetectionList*> inputs;
+    inputs.reserve(static_cast<size_t>(m));
+
     for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
-      std::vector<DetectionList> inputs;
+      inputs.clear();
       size_t num_boxes = 0;
       double model_cost = 0.0;
       for (int i = 0; i < m; ++i) {
         if (!ContainsModel(mask, i)) continue;
-        inputs.push_back(model_out[static_cast<size_t>(i)]);
-        num_boxes += inputs.back().size();
+        const DetectionList& out_i = model_out[static_cast<size_t>(i)];
+        inputs.push_back(&out_i);
+        num_boxes += out_i.size();
         model_cost += fe.model_cost_ms[static_cast<size_t>(i)];
       }
-      const DetectionList fused = fusion->Fuse(inputs);
+      const DetectionList fused = fusion->Fuse(DetectionListSpan(inputs));
 
       fe.fusion_overhead_ms[mask] = SimulatedFusionOverheadMs(num_boxes);
       fe.cost_ms[mask] = model_cost + fe.fusion_overhead_ms[mask];
-      fe.est_ap[mask] = FrameMeanAp(fused, ref_gt, options.ap);
-      fe.true_ap[mask] = FrameMeanAp(fused, frame.objects, options.ap);
+      fe.est_ap[mask] = FrameMeanAp(fused, ref_index, options.ap);
+      fe.true_ap[mask] = FrameMeanAp(fused, gt_index, options.ap);
       if (fe.cost_ms[mask] > fe.max_cost_ms) fe.max_cost_ms = fe.cost_ms[mask];
     }
-    matrix.frames.push_back(std::move(fe));
-  }
+    fe.best_true_candidates = ParetoTrueCandidates(fe, num_masks);
+  };
+
+  ParallelFor(video.size(), options.parallelism, build_frame);
   return matrix;
 }
 

@@ -31,6 +31,12 @@ struct MatrixOptions {
   double ref_confidence_threshold = 0.5;
   FusionKind fusion = FusionKind::kWbf;
   FusionOptions fusion_options;
+  /// Worker threads for frame-level parallelism. 0 = share the process
+  /// pool (degrades to serial when nested inside trial-level parallelism);
+  /// 1 = always serial; n = up to n workers. Frames are independent pure
+  /// functions of (frame, trial_seed), so the matrix is bit-identical for
+  /// every setting.
+  int parallelism = 0;
 
   Status Validate() const;
 };
@@ -53,6 +59,12 @@ struct FrameEvaluation {
   double ref_cost_ms = 0.0;
   /// max_S c_{S|v}: the normalizer of ĉ (§5.4).
   double max_cost_ms = 0.0;
+  /// Masks on this frame's ⟨true_ap, cost_ms⟩ Pareto frontier, ascending by
+  /// cost. Every scoring function that rises with AP and falls with cost
+  /// attains its per-frame maximum true score on one of these, so the
+  /// engine's oracle scan is O(|frontier|) instead of O(2^m). Empty means
+  /// "not cached: scan every mask" (hand-built matrices in tests).
+  std::vector<EnsembleId> best_true_candidates;
 };
 
 /// The whole evaluation matrix for one (video, trial) pair.

@@ -108,23 +108,56 @@ double SingleClassAp(const DetectionList& detections,
   return IntegratePrCurve(curve, options.interpolation);
 }
 
+const GroundTruthIndex::ClassEntry* GroundTruthIndex::Find(
+    ClassId label) const {
+  const auto it = std::lower_bound(
+      classes.begin(), classes.end(), label,
+      [](const ClassEntry& e, ClassId l) { return e.label < l; });
+  if (it == classes.end() || it->label != label) return nullptr;
+  return &*it;
+}
+
+GroundTruthIndex BuildGroundTruthIndex(const GroundTruthList& ground_truth) {
+  GroundTruthIndex index;
+  for (const auto& g : ground_truth) {
+    auto it = std::lower_bound(
+        index.classes.begin(), index.classes.end(), g.label,
+        [](const GroundTruthIndex::ClassEntry& e, ClassId l) {
+          return e.label < l;
+        });
+    if (it == index.classes.end() || it->label != g.label) {
+      it = index.classes.insert(it, GroundTruthIndex::ClassEntry{});
+      it->label = g.label;
+    }
+    it->boxes.push_back(g);
+    if (!g.difficult) it->has_evaluable = true;
+  }
+  return index;
+}
+
 double FrameMeanAp(const DetectionList& detections,
                    const GroundTruthList& ground_truth,
                    const ApOptions& options) {
+  return FrameMeanAp(detections, BuildGroundTruthIndex(ground_truth),
+                     options);
+}
+
+double FrameMeanAp(const DetectionList& detections,
+                   const GroundTruthIndex& ground_truth,
+                   const ApOptions& options) {
   std::set<ClassId> classes;
-  for (const auto& g : ground_truth) {
-    if (!g.difficult) classes.insert(g.label);
+  for (const auto& e : ground_truth.classes) {
+    if (e.has_evaluable) classes.insert(e.label);
   }
   for (const auto& d : detections) classes.insert(d.label);
 
   if (classes.empty()) return 1.0;  // nothing to detect, nothing predicted
 
+  static const GroundTruthList kNoGt;
   double sum = 0.0;
   for (ClassId cls : classes) {
-    GroundTruthList cls_gt;
-    for (const auto& g : ground_truth) {
-      if (g.label == cls) cls_gt.push_back(g);
-    }
+    const auto* entry = ground_truth.Find(cls);
+    const GroundTruthList& cls_gt = entry != nullptr ? entry->boxes : kNoGt;
     sum += SingleClassAp(FilterByClass(detections, cls), cls_gt, options);
   }
   return sum / static_cast<double>(classes.size());

@@ -56,10 +56,39 @@ double SingleClassAp(const DetectionList& detections,
                      const GroundTruthList& ground_truth,
                      const ApOptions& options);
 
+/// Class-partitioned view of one frame's ground truth: the per-class box
+/// lists FrameMeanAp needs, built once and reused across many evaluations
+/// of different detection lists against the same ground truth (matrix
+/// construction evaluates 2^m − 1 fused outputs per frame).
+struct GroundTruthIndex {
+  struct ClassEntry {
+    ClassId label = 0;
+    /// All GT boxes of the class, difficult included, in original order.
+    GroundTruthList boxes;
+    /// True when the class has at least one non-difficult box (such
+    /// classes always enter the per-frame class union).
+    bool has_evaluable = false;
+  };
+  /// Entries in ascending label order.
+  std::vector<ClassEntry> classes;
+
+  /// Entry for `label`, or nullptr when the class has no GT boxes.
+  const ClassEntry* Find(ClassId label) const;
+};
+
+/// Partitions `ground_truth` by class.
+GroundTruthIndex BuildGroundTruthIndex(const GroundTruthList& ground_truth);
+
 /// Mean AP over the union of classes present in detections or ground truth,
 /// with the zero-object conventions documented at the top of this header.
 double FrameMeanAp(const DetectionList& detections,
                    const GroundTruthList& ground_truth,
+                   const ApOptions& options = {});
+
+/// Identical to the list overload (bit-for-bit), but against a prebuilt
+/// index — the fast path when one ground truth is evaluated many times.
+double FrameMeanAp(const DetectionList& detections,
+                   const GroundTruthIndex& ground_truth,
                    const ApOptions& options = {});
 
 /// Reinterprets a detection list as ground truth, so a reference model's

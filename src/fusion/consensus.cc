@@ -9,8 +9,7 @@ namespace vqe {
 
 using fusion_internal::SortDesc;
 
-DetectionList ConsensusFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList ConsensusFusion::Fuse(DetectionListSpan per_model) const {
   const int num_models = static_cast<int>(per_model.size());
   const int required =
       options_.min_votes > 0

@@ -22,8 +22,7 @@ class ConsensusFusion : public EnsembleMethod {
  public:
   explicit ConsensusFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Fusion"; }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;

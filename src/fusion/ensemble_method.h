@@ -10,6 +10,7 @@
 #ifndef VQE_FUSION_ENSEMBLE_METHOD_H_
 #define VQE_FUSION_ENSEMBLE_METHOD_H_
 
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -36,6 +37,46 @@ const char* FusionKindToString(FusionKind kind);
 /// Parses a case-insensitive name ("wbf", "soft-nms", ...).
 Result<FusionKind> FusionKindFromString(const std::string& name);
 
+/// Non-owning view of the per-model detection lists handed to Fuse: either
+/// a contiguous array of lists or an array of list pointers. Lets callers
+/// assemble an ensemble's inputs from cached per-model outputs without
+/// deep-copying a single detection (the hot path of matrix construction
+/// fuses the same m lists under 2^m − 1 masks). The referenced lists must
+/// outlive the span.
+class DetectionListSpan {
+ public:
+  DetectionListSpan() = default;
+  /// View over an owning vector of lists.
+  DetectionListSpan(const std::vector<DetectionList>& lists)
+      : contiguous_(lists.data()), size_(lists.size()) {}
+  /// View over a vector of non-null list pointers.
+  DetectionListSpan(const std::vector<const DetectionList*>& ptrs)
+      : indirect_(ptrs.data()), size_(ptrs.size()) {}
+  /// View over a braced list of lists, e.g. Fuse({a, b}). The backing
+  /// array lives until the end of the full expression, covering the call;
+  /// do not bind a braced list to a named DetectionListSpan variable.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  DetectionListSpan(std::initializer_list<DetectionList> lists)
+      : contiguous_(lists.begin()), size_(lists.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const DetectionList& operator[](size_t i) const {
+    return contiguous_ != nullptr ? contiguous_[i] : *indirect_[i];
+  }
+
+ private:
+  const DetectionList* contiguous_ = nullptr;
+  const DetectionList* const* indirect_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// Strategy interface for combining per-model detections into one list.
 class EnsembleMethod {
  public:
@@ -48,8 +89,8 @@ class EnsembleMethod {
   /// `per_model` holds one detection list per model in the ensemble (order
   /// is irrelevant to correctness but kept stable for determinism). The
   /// result is a single detection list with `model_index == -1`.
-  virtual DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const = 0;
+  /// Implementations are stateless and safe to call concurrently.
+  virtual DetectionList Fuse(DetectionListSpan per_model) const = 0;
 };
 
 /// Tuning knobs shared by the fusion algorithms. Fields irrelevant to a

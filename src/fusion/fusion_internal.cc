@@ -5,11 +5,10 @@
 namespace vqe {
 namespace fusion_internal {
 
-std::map<ClassId, DetectionList> PoolByClass(
-    const std::vector<DetectionList>& per_model) {
+std::map<ClassId, DetectionList> PoolByClass(DetectionListSpan per_model) {
   std::map<ClassId, DetectionList> by_class;
-  for (const auto& list : per_model) {
-    for (const auto& d : list) {
+  for (size_t i = 0; i < per_model.size(); ++i) {
+    for (const auto& d : per_model[i]) {
       by_class[d.label].push_back(d);
     }
   }

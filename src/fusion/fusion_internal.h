@@ -8,14 +8,14 @@
 #include <vector>
 
 #include "detection/detection.h"
+#include "fusion/ensemble_method.h"
 
 namespace vqe {
 namespace fusion_internal {
 
 /// Flattens per-model lists into one pool, preserving model_index, and
 /// groups the pooled detections by class label.
-std::map<ClassId, DetectionList> PoolByClass(
-    const std::vector<DetectionList>& per_model);
+std::map<ClassId, DetectionList> PoolByClass(DetectionListSpan per_model);
 
 /// Sorts a detection list by descending confidence (stable).
 void SortDesc(DetectionList* dets);

@@ -9,8 +9,7 @@ namespace vqe {
 using fusion_internal::PoolByClass;
 using fusion_internal::SortDesc;
 
-DetectionList NmsFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList NmsFusion::Fuse(DetectionListSpan per_model) const {
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {
     DetectionList dets = pooled;
@@ -32,8 +31,7 @@ DetectionList NmsFusion::Fuse(
   return out;
 }
 
-DetectionList SoftNmsFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model) const {
   // Drop decayed boxes below this floor even when the caller sets a zero
   // score_threshold, matching the reference implementation's behaviour.
   const double floor =
@@ -76,8 +74,7 @@ DetectionList SoftNmsFusion::Fuse(
   return out;
 }
 
-DetectionList SofterNmsFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model) const {
   constexpr double kVarianceEpsilon = 1e-3;
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {

@@ -16,8 +16,7 @@ class NmsFusion : public EnsembleMethod {
  public:
   explicit NmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMS"; }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;
@@ -36,8 +35,7 @@ class SoftNmsFusion : public EnsembleMethod {
   std::string name() const override {
     return decay_ == Decay::kLinear ? "Soft-NMS(linear)" : "Soft-NMS(gauss)";
   }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;
@@ -53,8 +51,7 @@ class SofterNmsFusion : public EnsembleMethod {
  public:
   explicit SofterNmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Softer-NMS"; }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;

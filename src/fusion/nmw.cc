@@ -7,8 +7,7 @@ namespace vqe {
 using fusion_internal::PoolByClass;
 using fusion_internal::SortDesc;
 
-DetectionList NmwFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList NmwFusion::Fuse(DetectionListSpan per_model) const {
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {
     DetectionList dets = pooled;

@@ -15,8 +15,7 @@ class NmwFusion : public EnsembleMethod {
  public:
   explicit NmwFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMW"; }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;

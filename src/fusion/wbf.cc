@@ -44,27 +44,27 @@ struct WbfCluster {
 
 }  // namespace
 
-DetectionList WbfFusion::Fuse(
-    const std::vector<DetectionList>& per_model) const {
+DetectionList WbfFusion::Fuse(DetectionListSpan per_model) const {
   const size_t num_models = per_model.size();
   DetectionList out;
 
   // Per-model weighting (Solovyev et al.): scale each model's confidences
   // before pooling. Ignored unless the weight vector matches the input.
-  const std::vector<DetectionList>* inputs = &per_model;
+  DetectionListSpan inputs = per_model;
   std::vector<DetectionList> weighted;
   if (options_.model_weights.size() == num_models) {
-    weighted = per_model;
+    weighted.resize(num_models);
     for (size_t i = 0; i < num_models; ++i) {
+      weighted[i] = per_model[i];
       for (auto& d : weighted[i]) {
         d.confidence =
             std::min(1.0, d.confidence * options_.model_weights[i]);
       }
     }
-    inputs = &weighted;
+    inputs = DetectionListSpan(weighted);
   }
 
-  for (auto& [cls, pooled] : PoolByClass(*inputs)) {
+  for (auto& [cls, pooled] : PoolByClass(inputs)) {
     DetectionList dets = pooled;
     SortDesc(&dets);
 

@@ -23,8 +23,7 @@ class WbfFusion : public EnsembleMethod {
  public:
   explicit WbfFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "WBF"; }
-  DetectionList Fuse(
-      const std::vector<DetectionList>& per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
   FusionOptions options_;

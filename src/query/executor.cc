@@ -207,22 +207,26 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     // cheap box fusion re-runs) and estimate its reward.
     est_score.assign(num_masks + 1, nan);
     DetectionList selected_fused;
+    const GroundTruthIndex ref_index = BuildGroundTruthIndex(ref_gt);
+    std::vector<const DetectionList*> inputs;
+    inputs.reserve(static_cast<size_t>(m));
     ForEachSubset(selected, [&](EnsembleId sub) {
-      std::vector<DetectionList> inputs;
+      inputs.clear();
       size_t boxes = 0;
       double cost = 0.0;
       for (int i = 0; i < m; ++i) {
         if (!ContainsModel(sub, i)) continue;
-        inputs.push_back(model_out[static_cast<size_t>(i)]);
-        boxes += inputs.back().size();
+        const DetectionList& out_i = model_out[static_cast<size_t>(i)];
+        inputs.push_back(&out_i);
+        boxes += out_i.size();
         cost += model_cost[static_cast<size_t>(i)];
       }
-      DetectionList fused = fusion->Fuse(inputs);
+      DetectionList fused = fusion->Fuse(DetectionListSpan(inputs));
       const double overhead = SimulatedFusionOverheadMs(boxes);
       frame_cost += overhead;
       cost += overhead;
       if (strategy->UsesReferenceModel()) {
-        const double est_ap = FrameMeanAp(fused, ref_gt, options.matrix.ap);
+        const double est_ap = FrameMeanAp(fused, ref_index, options.matrix.ap);
         const double full_bound = full_cost_bound + overhead;
         est_score[sub] = options.sc.Score(
             est_ap, full_bound > 0 ? cost / full_bound : 0.0);

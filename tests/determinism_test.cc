@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "core/frame_matrix.h"
+#include "core/scoring.h"
 #include "detection/ap.h"
 #include "fusion/ensemble_method.h"
 #include "models/model_zoo.h"
@@ -67,6 +70,80 @@ TEST(DeterminismTest, MatrixBuildIsPureInSeed) {
       ASSERT_DOUBLE_EQ(a->frames[t].est_ap[s], b->frames[t].est_ap[s]);
       ASSERT_DOUBLE_EQ(a->frames[t].true_ap[s], b->frames[t].true_ap[s]);
       ASSERT_DOUBLE_EQ(a->frames[t].cost_ms[s], b->frames[t].cost_ms[s]);
+    }
+  }
+}
+
+TEST(DeterminismTest, ParallelMatrixBuildIsBitIdentical) {
+  auto pool = std::move(BuildNuscenesPool(5)).value();
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions sample;
+  sample.scene_scale = 0.03;
+  sample.seed = 21;
+  const Video video = std::move(SampleVideo(*spec, sample)).value();
+  ASSERT_GT(video.size(), 4u);
+
+  MatrixOptions options;
+  options.parallelism = 1;
+  const auto serial = BuildFrameMatrix(video, pool, /*trial_seed=*/21,
+                                       options);
+  ASSERT_TRUE(serial.ok());
+  for (int workers : {2, 8}) {
+    options.parallelism = workers;
+    const auto parallel = BuildFrameMatrix(video, pool, /*trial_seed=*/21,
+                                           options);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(serial->size(), parallel->size());
+    ASSERT_EQ(serial->model_names, parallel->model_names);
+    for (size_t t = 0; t < serial->size(); ++t) {
+      const FrameEvaluation& a = serial->frames[t];
+      const FrameEvaluation& b = parallel->frames[t];
+      ASSERT_EQ(a.est_ap, b.est_ap) << "workers=" << workers << " t=" << t;
+      ASSERT_EQ(a.true_ap, b.true_ap);
+      ASSERT_EQ(a.cost_ms, b.cost_ms);
+      ASSERT_EQ(a.fusion_overhead_ms, b.fusion_overhead_ms);
+      ASSERT_EQ(a.model_cost_ms, b.model_cost_ms);
+      ASSERT_EQ(a.ref_cost_ms, b.ref_cost_ms);
+      ASSERT_EQ(a.max_cost_ms, b.max_cost_ms);
+      ASSERT_EQ(a.best_true_candidates, b.best_true_candidates);
+      ASSERT_EQ(a.context, b.context);
+    }
+  }
+}
+
+TEST(DeterminismTest, OracleCandidatesAttainTheBestTrueScore) {
+  // The cached per-frame Pareto frontier must reproduce the exhaustive
+  // max_S r_{S*|v} for any monotone scoring function.
+  auto pool = std::move(BuildNuscenesPool(3)).value();
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-rainy");
+  SampleOptions sample;
+  sample.scene_scale = 0.02;
+  sample.seed = 13;
+  const Video video = std::move(SampleVideo(*spec, sample)).value();
+  const auto matrix = BuildFrameMatrix(video, pool, /*trial_seed=*/13);
+  ASSERT_TRUE(matrix.ok());
+
+  const std::vector<ScoringFunction> scorers = {
+      ScoringFunction{0.5, 0.5, ScoreForm::kLogarithmic},
+      ScoringFunction{0.9, 0.1, ScoreForm::kLogarithmic},
+      ScoringFunction{0.1, 0.9, ScoreForm::kLinear},
+      ScoringFunction{1.0, 0.0, ScoreForm::kLinear},
+  };
+  for (const auto& fe : matrix->frames) {
+    ASSERT_FALSE(fe.best_true_candidates.empty());
+    const double inv_max = fe.max_cost_ms > 0 ? 1.0 / fe.max_cost_ms : 0.0;
+    for (const auto& sc : scorers) {
+      double best_all = -1e300;
+      for (EnsembleId s = 1; s <= 7; ++s) {
+        best_all = std::max(
+            best_all, sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max));
+      }
+      double best_cached = -1e300;
+      for (EnsembleId s : fe.best_true_candidates) {
+        best_cached = std::max(
+            best_cached, sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max));
+      }
+      ASSERT_EQ(best_all, best_cached);
     }
   }
 }

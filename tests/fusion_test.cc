@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
+#include "detection/ap.h"
 #include "fusion/consensus.h"
 #include "fusion/ensemble_method.h"
 #include "fusion/nms.h"
@@ -59,7 +61,7 @@ TEST(NmsTest, DifferentClassesNotSuppressed) {
 TEST(NmsTest, EmptyInput) {
   NmsFusion nms(DefaultOptions());
   EXPECT_TRUE(nms.Fuse({}).empty());
-  EXPECT_TRUE(nms.Fuse({{}, {}}).empty());
+  EXPECT_TRUE(nms.Fuse(std::vector<DetectionList>(2)).empty());
 }
 
 TEST(NmsTest, IdempotentOnOwnOutput) {
@@ -395,7 +397,66 @@ TEST_P(FusionPropertyTest, EmptyInputsGiveEmptyOutput) {
   auto method = CreateEnsembleMethod(GetParam());
   ASSERT_TRUE(method.ok());
   EXPECT_TRUE((*method)->Fuse({}).empty());
-  EXPECT_TRUE((*method)->Fuse({{}, {}, {}}).empty());
+  EXPECT_TRUE((*method)->Fuse(std::vector<DetectionList>(3)).empty());
+}
+
+// The pointer-view input path (what matrix construction uses to avoid
+// per-mask deep copies) must match the owning-vector path bit for bit.
+TEST_P(FusionPropertyTest, PointerViewMatchesOwningInput) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    for (auto& list : inputs) {
+      const int n = static_cast<int>(rng.UniformInt(6));
+      for (int i = 0; i < n; ++i) {
+        auto d = Det(rng.Uniform(0, 100), rng.Uniform(0, 100), 20, 20,
+                     rng.Uniform(0.1, 1.0), rng.UniformInt(2));
+        d.box_variance = rng.Uniform(0.1, 10.0);
+        list.push_back(d);
+      }
+    }
+    std::vector<const DetectionList*> ptrs;
+    for (const auto& list : inputs) ptrs.push_back(&list);
+
+    const auto from_copy = (*method)->Fuse(inputs);
+    const auto from_view = (*method)->Fuse(DetectionListSpan(ptrs));
+    ASSERT_EQ(from_copy.size(), from_view.size());
+    for (size_t i = 0; i < from_copy.size(); ++i) {
+      EXPECT_EQ(from_copy[i].confidence, from_view[i].confidence);
+      EXPECT_EQ(from_copy[i].label, from_view[i].label);
+      EXPECT_EQ(from_copy[i].box.x1, from_view[i].box.x1);
+      EXPECT_EQ(from_copy[i].box.y1, from_view[i].box.y1);
+      EXPECT_EQ(from_copy[i].box.x2, from_view[i].box.x2);
+      EXPECT_EQ(from_copy[i].box.y2, from_view[i].box.y2);
+    }
+  }
+}
+
+// The indexed FrameMeanAp overload must match the list overload exactly.
+TEST(GroundTruthIndexTest, IndexedFrameMeanApMatchesListOverload) {
+  Rng rng(47);
+  for (int trial = 0; trial < 20; ++trial) {
+    GroundTruthList gt;
+    const int num_gt = static_cast<int>(rng.UniformInt(8));
+    for (int i = 0; i < num_gt; ++i) {
+      GroundTruthBox g;
+      g.box = BBox::FromXYWH(rng.Uniform(0, 100), rng.Uniform(0, 100), 20, 20);
+      g.label = static_cast<ClassId>(rng.UniformInt(3));
+      g.difficult = rng.Bernoulli(0.2);
+      gt.push_back(g);
+    }
+    DetectionList dets;
+    const int num_det = static_cast<int>(rng.UniformInt(10));
+    for (int i = 0; i < num_det; ++i) {
+      dets.push_back(Det(rng.Uniform(0, 100), rng.Uniform(0, 100), 20, 20,
+                         rng.Uniform(0.05, 1.0),
+                         static_cast<ClassId>(rng.UniformInt(4))));
+    }
+    const GroundTruthIndex index = BuildGroundTruthIndex(gt);
+    EXPECT_EQ(FrameMeanAp(dets, gt, {}), FrameMeanAp(dets, index, {}));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMethods, FusionPropertyTest,

@@ -153,8 +153,9 @@ TEST(ApTest, PerfectDetectionsGiveApOne) {
 }
 
 TEST(ApTest, EmptyFrameConventions) {
-  EXPECT_DOUBLE_EQ(FrameMeanAp({}, {}, {}), 1.0);
-  EXPECT_DOUBLE_EQ(FrameMeanAp({Det(0, 0, 1, 1, 0.9)}, {}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(FrameMeanAp({}, GroundTruthList{}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(FrameMeanAp({Det(0, 0, 1, 1, 0.9)}, GroundTruthList{}, {}),
+                   0.0);
   EXPECT_DOUBLE_EQ(FrameMeanAp({}, {Gt(0, 0, 1, 1)}, {}), 0.0);
 }
 

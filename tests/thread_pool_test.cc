@@ -1,0 +1,110 @@
+// Tests for the shared worker-pool subsystem: ParallelFor's exactly-once
+// index contract, nested-region serialization, and knob resolution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace vqe {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  SharedThreadPool().Submit([&] {
+    ran.store(1);
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(10), [&] { return ran.load() == 1; });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int ran = 0;
+  pool.Submit([&] { ran = 1; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  for (int parallelism : {1, 2, 8, 0}) {
+    constexpr size_t kN = 300;
+    std::vector<std::atomic<int>> counts(kN);
+    for (auto& c : counts) c.store(0);
+    ParallelFor(kN, parallelism,
+                [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "i=" << i << " p=" << parallelism;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleton) {
+  int calls = 0;
+  ParallelFor(0, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(1, 8, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SlotWritesAreDeterministic) {
+  constexpr size_t kN = 500;
+  std::vector<double> serial(kN), parallel(kN);
+  auto fill = [](std::vector<double>& out) {
+    return [&out](size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0 / (1.0 + i);
+    };
+  };
+  ParallelFor(kN, 1, fill(serial));
+  ParallelFor(kN, 8, fill(parallel));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, NestedRegionsRunSerially) {
+  // Inner ParallelFor bodies must execute on the thread already inside the
+  // outer region (no pool re-entry, no deadlock). On a single-core host the
+  // outer loop itself degrades to serial, which deliberately does NOT count
+  // as a region (a serialized trial loop must still allow frame-level
+  // parallelism), so the region assertions only apply when the shared pool
+  // can actually go parallel.
+  const bool can_parallel = SharedThreadPool().num_threads() > 0;
+  std::atomic<int> total{0};
+  std::atomic<bool> saw_nested_parallel{false};
+  ParallelFor(8, 0, [&](size_t) {
+    if (can_parallel) {
+      EXPECT_TRUE(InParallelRegion());
+      if (ResolveWorkers(/*parallelism=*/0, /*n=*/100) != 1) {
+        saw_nested_parallel.store(true);
+      }
+    }
+    ParallelFor(10, 0, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 80);
+  EXPECT_FALSE(saw_nested_parallel.load());
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ResolveWorkersTest, KnobSemantics) {
+  EXPECT_EQ(ResolveWorkers(1, 100), 1);     // explicit serial
+  EXPECT_EQ(ResolveWorkers(8, 1), 1);       // one item
+  EXPECT_EQ(ResolveWorkers(0, 0), 1);       // nothing to do
+  const int cap = SharedThreadPool().num_threads() + 1;
+  EXPECT_LE(ResolveWorkers(0, 1000), cap);  // auto caps at the pool
+  EXPECT_LE(ResolveWorkers(64, 1000), cap); // explicit caps at the pool
+  EXPECT_LE(ResolveWorkers(3, 2), 2);       // caps at n
+}
+
+}  // namespace
+}  // namespace vqe
