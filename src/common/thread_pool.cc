@@ -106,22 +106,32 @@ void ParallelFor(size_t n, int parallelism,
     }
   };
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  int pending = workers - 1;
+  // Completion state lives on the heap, shared by value with every task:
+  // after the last decrement wakes the caller, ParallelFor may return (and
+  // unwind its stack) while a worker is still between its decrement and its
+  // notify — the state block must outlive that worker's notify, not the call.
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+  };
+  auto done = std::make_shared<Completion>();
+  done->pending = workers - 1;
   for (int w = 0; w < workers - 1; ++w) {
-    SharedThreadPool().Submit([&] {
+    // `drain` by reference is safe: the caller blocks until every task has
+    // finished drain() and decremented pending.
+    SharedThreadPool().Submit([done, &drain] {
       drain();
       {
-        std::lock_guard<std::mutex> lock(done_mu);
-        --pending;
+        std::lock_guard<std::mutex> lock(done->mu);
+        --done->pending;
       }
-      done_cv.notify_one();
+      done->cv.notify_one();
     });
   }
   drain();  // the caller participates
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending == 0; });
+  std::unique_lock<std::mutex> lock(done->mu);
+  done->cv.wait(lock, [&] { return done->pending == 0; });
 }
 
 }  // namespace vqe

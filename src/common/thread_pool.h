@@ -60,7 +60,10 @@ bool InParallelRegion();
 /// Resolves a parallelism knob to the worker count a ParallelFor over `n`
 /// items will use: `parallelism` <= 1 or n <= 1 or a nested region gives 1;
 /// 0 means "all hardware cores"; the result is capped at n and at the
-/// shared pool size + 1 (the caller participates).
+/// shared pool size + 1 (the caller participates). Nesting is
+/// all-or-nothing: an inner region runs serially even when the outer one
+/// uses fewer workers than the pool has, so leftover capacity is never
+/// borrowed (keeps resolved worker counts independent of scheduling).
 int ResolveWorkers(int parallelism, size_t n);
 
 /// Runs fn(i) for every i in [0, n) across ResolveWorkers(parallelism, n)

@@ -22,6 +22,7 @@ class ConsensusFusion : public EnsembleMethod {
  public:
   explicit ConsensusFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Fusion"; }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:

@@ -52,18 +52,15 @@ class DetectionListSpan {
   /// View over a vector of non-null list pointers.
   DetectionListSpan(const std::vector<const DetectionList*>& ptrs)
       : indirect_(ptrs.data()), size_(ptrs.size()) {}
-  /// View over a braced list of lists, e.g. Fuse({a, b}). The backing
-  /// array lives until the end of the full expression, covering the call;
-  /// do not bind a braced list to a named DetectionListSpan variable.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Winit-list-lifetime"
-#endif
-  DetectionListSpan(std::initializer_list<DetectionList> lists)
-      : contiguous_(lists.begin()), size_(lists.size()) {}
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  /// View over `n` contiguous lists starting at `data`, which must outlive
+  /// the span.
+  DetectionListSpan(const DetectionList* data, size_t n)
+      : contiguous_(data), size_(n) {}
+  // There is deliberately no initializer_list constructor: one would store
+  // lists.begin() and dangle the moment a braced list is bound to a named
+  // span. Braced calls like Fuse({a, b}) instead go through the non-virtual
+  // EnsembleMethod::Fuse(initializer_list) overload, whose backing array is
+  // guaranteed to outlive the nested virtual call.
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -91,6 +88,16 @@ class EnsembleMethod {
   /// result is a single detection list with `model_index == -1`.
   /// Implementations are stateless and safe to call concurrently.
   virtual DetectionList Fuse(DetectionListSpan per_model) const = 0;
+
+  /// Convenience for braced calls, e.g. Fuse({a, b}). The initializer
+  /// list's backing array lives for the caller's full expression, which
+  /// covers the nested virtual call — safe by construction, unlike a
+  /// span over a braced list bound to a named variable (which is why
+  /// DetectionListSpan has no initializer_list constructor). Overriders
+  /// pull this overload back in with `using EnsembleMethod::Fuse;`.
+  DetectionList Fuse(std::initializer_list<DetectionList> lists) const {
+    return Fuse(DetectionListSpan(lists.begin(), lists.size()));
+  }
 };
 
 /// Tuning knobs shared by the fusion algorithms. Fields irrelevant to a

@@ -16,6 +16,7 @@ class NmsFusion : public EnsembleMethod {
  public:
   explicit NmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMS"; }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
@@ -35,6 +36,7 @@ class SoftNmsFusion : public EnsembleMethod {
   std::string name() const override {
     return decay_ == Decay::kLinear ? "Soft-NMS(linear)" : "Soft-NMS(gauss)";
   }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:
@@ -51,6 +53,7 @@ class SofterNmsFusion : public EnsembleMethod {
  public:
   explicit SofterNmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Softer-NMS"; }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:

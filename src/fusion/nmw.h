@@ -15,6 +15,7 @@ class NmwFusion : public EnsembleMethod {
  public:
   explicit NmwFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMW"; }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:

@@ -23,6 +23,7 @@ class WbfFusion : public EnsembleMethod {
  public:
   explicit WbfFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "WBF"; }
+  using EnsembleMethod::Fuse;
   DetectionList Fuse(DetectionListSpan per_model) const override;
 
  private:

@@ -207,7 +207,8 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     // cheap box fusion re-runs) and estimate its reward.
     est_score.assign(num_masks + 1, nan);
     DetectionList selected_fused;
-    const GroundTruthIndex ref_index = BuildGroundTruthIndex(ref_gt);
+    GroundTruthIndex ref_index;
+    if (strategy->UsesReferenceModel()) ref_index = BuildGroundTruthIndex(ref_gt);
     std::vector<const DetectionList*> inputs;
     inputs.reserve(static_cast<size_t>(m));
     ForEachSubset(selected, [&](EnsembleId sub) {

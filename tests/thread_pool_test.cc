@@ -72,6 +72,22 @@ TEST(ParallelForTest, SlotWritesAreDeterministic) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(ParallelForTest, CompletionHandshakeStress) {
+  // Regression test for a use-after-scope in the completion handshake:
+  // workers used to notify the done condition variable after releasing its
+  // mutex, so ParallelFor could observe pending == 0, return, and destroy
+  // the stack-local handshake state while a worker was still about to call
+  // notify_one() on it. Thousands of short regions maximize that window;
+  // run under -DVQE_SANITIZE=thread to surface any reintroduction.
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    ParallelFor(3, 0, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 6000u);
+}
+
 TEST(ParallelForTest, NestedRegionsRunSerially) {
   // Inner ParallelFor bodies must execute on the thread already inside the
   // outer region (no pool re-entry, no deadlock). On a single-core host the
