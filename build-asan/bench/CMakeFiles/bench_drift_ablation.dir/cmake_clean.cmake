@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drift_ablation.dir/bench_drift_ablation.cc.o"
+  "CMakeFiles/bench_drift_ablation.dir/bench_drift_ablation.cc.o.d"
+  "bench_drift_ablation"
+  "bench_drift_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drift_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_selection_dist.dir/bench_fig10_selection_dist.cc.o"
+  "CMakeFiles/bench_fig10_selection_dist.dir/bench_fig10_selection_dist.cc.o.d"
+  "bench_fig10_selection_dist"
+  "bench_fig10_selection_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_selection_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

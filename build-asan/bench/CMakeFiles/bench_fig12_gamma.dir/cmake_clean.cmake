@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_gamma.dir/bench_fig12_gamma.cc.o"
+  "CMakeFiles/bench_fig12_gamma.dir/bench_fig12_gamma.cc.o.d"
+  "bench_fig12_gamma"
+  "bench_fig12_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ensemble_scatter.dir/bench_fig3_ensemble_scatter.cc.o"
+  "CMakeFiles/bench_fig3_ensemble_scatter.dir/bench_fig3_ensemble_scatter.cc.o.d"
+  "bench_fig3_ensemble_scatter"
+  "bench_fig3_ensemble_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ensemble_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

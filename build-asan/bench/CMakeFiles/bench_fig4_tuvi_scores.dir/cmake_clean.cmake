@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_tuvi_scores.dir/bench_fig4_tuvi_scores.cc.o"
+  "CMakeFiles/bench_fig4_tuvi_scores.dir/bench_fig4_tuvi_scores.cc.o.d"
+  "bench_fig4_tuvi_scores"
+  "bench_fig4_tuvi_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tuvi_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_weights_detail.dir/bench_fig5_weights_detail.cc.o"
+  "CMakeFiles/bench_fig5_weights_detail.dir/bench_fig5_weights_detail.cc.o.d"
+  "bench_fig5_weights_detail"
+  "bench_fig5_weights_detail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_weights_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

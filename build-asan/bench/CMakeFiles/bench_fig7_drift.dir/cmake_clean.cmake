@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_drift.dir/bench_fig7_drift.cc.o"
+  "CMakeFiles/bench_fig7_drift.dir/bench_fig7_drift.cc.o.d"
+  "bench_fig7_drift"
+  "bench_fig7_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

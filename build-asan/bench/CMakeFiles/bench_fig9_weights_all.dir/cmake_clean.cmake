@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_weights_all.dir/bench_fig9_weights_all.cc.o"
+  "CMakeFiles/bench_fig9_weights_all.dir/bench_fig9_weights_all.cc.o.d"
+  "bench_fig9_weights_all"
+  "bench_fig9_weights_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_weights_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_methods.dir/bench_fusion_methods.cc.o"
+  "CMakeFiles/bench_fusion_methods.dir/bench_fusion_methods.cc.o.d"
+  "bench_fusion_methods"
+  "bench_fusion_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

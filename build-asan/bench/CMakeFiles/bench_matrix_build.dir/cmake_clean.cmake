@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrix_build.dir/bench_matrix_build.cc.o"
+  "CMakeFiles/bench_matrix_build.dir/bench_matrix_build.cc.o.d"
+  "bench_matrix_build"
+  "bench_matrix_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrix_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pareto_frontier.dir/bench_pareto_frontier.cc.o"
+  "CMakeFiles/bench_pareto_frontier.dir/bench_pareto_frontier.cc.o.d"
+  "bench_pareto_frontier"
+  "bench_pareto_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pareto_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regret_growth.dir/bench_regret_growth.cc.o"
+  "CMakeFiles/bench_regret_growth.dir/bench_regret_growth.cc.o.d"
+  "bench_regret_growth"
+  "bench_regret_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regret_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

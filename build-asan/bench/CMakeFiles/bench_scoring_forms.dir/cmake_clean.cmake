@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scoring_forms.dir/bench_scoring_forms.cc.o"
+  "CMakeFiles/bench_scoring_forms.dir/bench_scoring_forms.cc.o.d"
+  "bench_scoring_forms"
+  "bench_scoring_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoring_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

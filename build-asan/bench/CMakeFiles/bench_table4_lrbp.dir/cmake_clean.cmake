@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lrbp.dir/bench_table4_lrbp.cc.o"
+  "CMakeFiles/bench_table4_lrbp.dir/bench_table4_lrbp.cc.o.d"
+  "bench_table4_lrbp"
+  "bench_table4_lrbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lrbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

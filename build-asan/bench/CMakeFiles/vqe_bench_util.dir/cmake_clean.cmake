@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/vqe_bench_util.dir/bench_util.cc.o.d"
+  "libvqe_bench_util.a"
+  "libvqe_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

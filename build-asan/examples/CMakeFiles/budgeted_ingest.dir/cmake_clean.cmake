@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budgeted_ingest.dir/budgeted_ingest.cpp.o"
+  "CMakeFiles/budgeted_ingest.dir/budgeted_ingest.cpp.o.d"
+  "budgeted_ingest"
+  "budgeted_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budgeted_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surveillance_query.dir/surveillance_query.cpp.o"
+  "CMakeFiles/surveillance_query.dir/surveillance_query.cpp.o.d"
+  "surveillance_query"
+  "surveillance_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surveillance_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/track_analytics.dir/track_analytics.cpp.o"
+  "CMakeFiles/track_analytics.dir/track_analytics.cpp.o.d"
+  "track_analytics"
+  "track_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/track_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

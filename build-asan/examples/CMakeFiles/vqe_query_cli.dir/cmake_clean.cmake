@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_query_cli.dir/vqe_query_cli.cpp.o"
+  "CMakeFiles/vqe_query_cli.dir/vqe_query_cli.cpp.o.d"
+  "vqe_query_cli"
+  "vqe_query_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_query_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_common.dir/math_util.cc.o"
+  "CMakeFiles/vqe_common.dir/math_util.cc.o.d"
+  "CMakeFiles/vqe_common.dir/status.cc.o"
+  "CMakeFiles/vqe_common.dir/status.cc.o.d"
+  "CMakeFiles/vqe_common.dir/strings.cc.o"
+  "CMakeFiles/vqe_common.dir/strings.cc.o.d"
+  "CMakeFiles/vqe_common.dir/table_printer.cc.o"
+  "CMakeFiles/vqe_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/vqe_common.dir/thread_pool.cc.o"
+  "CMakeFiles/vqe_common.dir/thread_pool.cc.o.d"
+  "libvqe_common.a"
+  "libvqe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

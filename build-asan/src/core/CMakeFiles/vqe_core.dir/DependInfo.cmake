@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/vqe_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/ducb.cc" "src/core/CMakeFiles/vqe_core.dir/ducb.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/ducb.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/vqe_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/ensemble_id.cc" "src/core/CMakeFiles/vqe_core.dir/ensemble_id.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/ensemble_id.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/vqe_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/frame_matrix.cc" "src/core/CMakeFiles/vqe_core.dir/frame_matrix.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/frame_matrix.cc.o.d"
+  "/root/repo/src/core/lrbp.cc" "src/core/CMakeFiles/vqe_core.dir/lrbp.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/lrbp.cc.o.d"
+  "/root/repo/src/core/mes.cc" "src/core/CMakeFiles/vqe_core.dir/mes.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/mes.cc.o.d"
+  "/root/repo/src/core/mes_b.cc" "src/core/CMakeFiles/vqe_core.dir/mes_b.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/mes_b.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/vqe_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/vqe_core.dir/pareto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/models/CMakeFiles/vqe_models.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fusion/CMakeFiles/vqe_fusion.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/vqe_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

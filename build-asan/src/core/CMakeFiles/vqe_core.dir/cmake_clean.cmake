@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_core.dir/baselines.cc.o"
+  "CMakeFiles/vqe_core.dir/baselines.cc.o.d"
+  "CMakeFiles/vqe_core.dir/ducb.cc.o"
+  "CMakeFiles/vqe_core.dir/ducb.cc.o.d"
+  "CMakeFiles/vqe_core.dir/engine.cc.o"
+  "CMakeFiles/vqe_core.dir/engine.cc.o.d"
+  "CMakeFiles/vqe_core.dir/ensemble_id.cc.o"
+  "CMakeFiles/vqe_core.dir/ensemble_id.cc.o.d"
+  "CMakeFiles/vqe_core.dir/experiment.cc.o"
+  "CMakeFiles/vqe_core.dir/experiment.cc.o.d"
+  "CMakeFiles/vqe_core.dir/frame_matrix.cc.o"
+  "CMakeFiles/vqe_core.dir/frame_matrix.cc.o.d"
+  "CMakeFiles/vqe_core.dir/lrbp.cc.o"
+  "CMakeFiles/vqe_core.dir/lrbp.cc.o.d"
+  "CMakeFiles/vqe_core.dir/mes.cc.o"
+  "CMakeFiles/vqe_core.dir/mes.cc.o.d"
+  "CMakeFiles/vqe_core.dir/mes_b.cc.o"
+  "CMakeFiles/vqe_core.dir/mes_b.cc.o.d"
+  "CMakeFiles/vqe_core.dir/pareto.cc.o"
+  "CMakeFiles/vqe_core.dir/pareto.cc.o.d"
+  "libvqe_core.a"
+  "libvqe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

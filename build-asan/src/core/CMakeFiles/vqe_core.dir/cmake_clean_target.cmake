@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqe_core.a"
+)

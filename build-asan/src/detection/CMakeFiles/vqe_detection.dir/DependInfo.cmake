@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detection/ap.cc" "src/detection/CMakeFiles/vqe_detection.dir/ap.cc.o" "gcc" "src/detection/CMakeFiles/vqe_detection.dir/ap.cc.o.d"
+  "/root/repo/src/detection/coco_eval.cc" "src/detection/CMakeFiles/vqe_detection.dir/coco_eval.cc.o" "gcc" "src/detection/CMakeFiles/vqe_detection.dir/coco_eval.cc.o.d"
+  "/root/repo/src/detection/detection.cc" "src/detection/CMakeFiles/vqe_detection.dir/detection.cc.o" "gcc" "src/detection/CMakeFiles/vqe_detection.dir/detection.cc.o.d"
+  "/root/repo/src/detection/matching.cc" "src/detection/CMakeFiles/vqe_detection.dir/matching.cc.o" "gcc" "src/detection/CMakeFiles/vqe_detection.dir/matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

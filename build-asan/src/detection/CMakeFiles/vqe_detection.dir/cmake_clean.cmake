@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_detection.dir/ap.cc.o"
+  "CMakeFiles/vqe_detection.dir/ap.cc.o.d"
+  "CMakeFiles/vqe_detection.dir/coco_eval.cc.o"
+  "CMakeFiles/vqe_detection.dir/coco_eval.cc.o.d"
+  "CMakeFiles/vqe_detection.dir/detection.cc.o"
+  "CMakeFiles/vqe_detection.dir/detection.cc.o.d"
+  "CMakeFiles/vqe_detection.dir/matching.cc.o"
+  "CMakeFiles/vqe_detection.dir/matching.cc.o.d"
+  "libvqe_detection.a"
+  "libvqe_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

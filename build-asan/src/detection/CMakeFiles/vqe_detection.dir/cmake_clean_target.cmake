@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqe_detection.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_fusion.dir/consensus.cc.o"
+  "CMakeFiles/vqe_fusion.dir/consensus.cc.o.d"
+  "CMakeFiles/vqe_fusion.dir/fusion_internal.cc.o"
+  "CMakeFiles/vqe_fusion.dir/fusion_internal.cc.o.d"
+  "CMakeFiles/vqe_fusion.dir/nms.cc.o"
+  "CMakeFiles/vqe_fusion.dir/nms.cc.o.d"
+  "CMakeFiles/vqe_fusion.dir/nmw.cc.o"
+  "CMakeFiles/vqe_fusion.dir/nmw.cc.o.d"
+  "CMakeFiles/vqe_fusion.dir/registry.cc.o"
+  "CMakeFiles/vqe_fusion.dir/registry.cc.o.d"
+  "CMakeFiles/vqe_fusion.dir/wbf.cc.o"
+  "CMakeFiles/vqe_fusion.dir/wbf.cc.o.d"
+  "libvqe_fusion.a"
+  "libvqe_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

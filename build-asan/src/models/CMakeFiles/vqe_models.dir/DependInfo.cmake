@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/calibration.cc" "src/models/CMakeFiles/vqe_models.dir/calibration.cc.o" "gcc" "src/models/CMakeFiles/vqe_models.dir/calibration.cc.o.d"
+  "/root/repo/src/models/detector_profile.cc" "src/models/CMakeFiles/vqe_models.dir/detector_profile.cc.o" "gcc" "src/models/CMakeFiles/vqe_models.dir/detector_profile.cc.o.d"
+  "/root/repo/src/models/model_zoo.cc" "src/models/CMakeFiles/vqe_models.dir/model_zoo.cc.o" "gcc" "src/models/CMakeFiles/vqe_models.dir/model_zoo.cc.o.d"
+  "/root/repo/src/models/reference_detector.cc" "src/models/CMakeFiles/vqe_models.dir/reference_detector.cc.o" "gcc" "src/models/CMakeFiles/vqe_models.dir/reference_detector.cc.o.d"
+  "/root/repo/src/models/simulated_detector.cc" "src/models/CMakeFiles/vqe_models.dir/simulated_detector.cc.o" "gcc" "src/models/CMakeFiles/vqe_models.dir/simulated_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/vqe_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

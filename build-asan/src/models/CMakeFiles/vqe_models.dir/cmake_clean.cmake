@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_models.dir/calibration.cc.o"
+  "CMakeFiles/vqe_models.dir/calibration.cc.o.d"
+  "CMakeFiles/vqe_models.dir/detector_profile.cc.o"
+  "CMakeFiles/vqe_models.dir/detector_profile.cc.o.d"
+  "CMakeFiles/vqe_models.dir/model_zoo.cc.o"
+  "CMakeFiles/vqe_models.dir/model_zoo.cc.o.d"
+  "CMakeFiles/vqe_models.dir/reference_detector.cc.o"
+  "CMakeFiles/vqe_models.dir/reference_detector.cc.o.d"
+  "CMakeFiles/vqe_models.dir/simulated_detector.cc.o"
+  "CMakeFiles/vqe_models.dir/simulated_detector.cc.o.d"
+  "libvqe_models.a"
+  "libvqe_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

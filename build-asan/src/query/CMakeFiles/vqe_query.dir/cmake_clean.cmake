@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_query.dir/executor.cc.o"
+  "CMakeFiles/vqe_query.dir/executor.cc.o.d"
+  "CMakeFiles/vqe_query.dir/explain.cc.o"
+  "CMakeFiles/vqe_query.dir/explain.cc.o.d"
+  "CMakeFiles/vqe_query.dir/lexer.cc.o"
+  "CMakeFiles/vqe_query.dir/lexer.cc.o.d"
+  "CMakeFiles/vqe_query.dir/parser.cc.o"
+  "CMakeFiles/vqe_query.dir/parser.cc.o.d"
+  "CMakeFiles/vqe_query.dir/predicate.cc.o"
+  "CMakeFiles/vqe_query.dir/predicate.cc.o.d"
+  "libvqe_query.a"
+  "libvqe_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

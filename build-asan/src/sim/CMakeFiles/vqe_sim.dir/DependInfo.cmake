@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/vqe_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/object_classes.cc" "src/sim/CMakeFiles/vqe_sim.dir/object_classes.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/object_classes.cc.o.d"
+  "/root/repo/src/sim/scene_context.cc" "src/sim/CMakeFiles/vqe_sim.dir/scene_context.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/scene_context.cc.o.d"
+  "/root/repo/src/sim/scene_generator.cc" "src/sim/CMakeFiles/vqe_sim.dir/scene_generator.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/scene_generator.cc.o.d"
+  "/root/repo/src/sim/serialization.cc" "src/sim/CMakeFiles/vqe_sim.dir/serialization.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/serialization.cc.o.d"
+  "/root/repo/src/sim/video.cc" "src/sim/CMakeFiles/vqe_sim.dir/video.cc.o" "gcc" "src/sim/CMakeFiles/vqe_sim.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_sim.dir/dataset.cc.o"
+  "CMakeFiles/vqe_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/vqe_sim.dir/object_classes.cc.o"
+  "CMakeFiles/vqe_sim.dir/object_classes.cc.o.d"
+  "CMakeFiles/vqe_sim.dir/scene_context.cc.o"
+  "CMakeFiles/vqe_sim.dir/scene_context.cc.o.d"
+  "CMakeFiles/vqe_sim.dir/scene_generator.cc.o"
+  "CMakeFiles/vqe_sim.dir/scene_generator.cc.o.d"
+  "CMakeFiles/vqe_sim.dir/serialization.cc.o"
+  "CMakeFiles/vqe_sim.dir/serialization.cc.o.d"
+  "CMakeFiles/vqe_sim.dir/video.cc.o"
+  "CMakeFiles/vqe_sim.dir/video.cc.o.d"
+  "libvqe_sim.a"
+  "libvqe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/mot_metrics.cc" "src/track/CMakeFiles/vqe_track.dir/mot_metrics.cc.o" "gcc" "src/track/CMakeFiles/vqe_track.dir/mot_metrics.cc.o.d"
+  "/root/repo/src/track/tracker.cc" "src/track/CMakeFiles/vqe_track.dir/tracker.cc.o" "gcc" "src/track/CMakeFiles/vqe_track.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

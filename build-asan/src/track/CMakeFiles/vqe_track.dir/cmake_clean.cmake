@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_track.dir/mot_metrics.cc.o"
+  "CMakeFiles/vqe_track.dir/mot_metrics.cc.o.d"
+  "CMakeFiles/vqe_track.dir/tracker.cc.o"
+  "CMakeFiles/vqe_track.dir/tracker.cc.o.d"
+  "libvqe_track.a"
+  "libvqe_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbox_test.dir/bbox_test.cc.o"
+  "CMakeFiles/bbox_test.dir/bbox_test.cc.o.d"
+  "bbox_test"
+  "bbox_test.pdb"
+  "bbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_ap_test.dir/matching_ap_test.cc.o"
+  "CMakeFiles/matching_ap_test.dir/matching_ap_test.cc.o.d"
+  "matching_ap_test"
+  "matching_ap_test.pdb"
+  "matching_ap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_ap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_calibration_test.dir/mot_calibration_test.cc.o"
+  "CMakeFiles/mot_calibration_test.dir/mot_calibration_test.cc.o.d"
+  "mot_calibration_test"
+  "mot_calibration_test.pdb"
+  "mot_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/bbox_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/matching_ap_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ensemble_id_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/query_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/tracker_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mot_calibration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/serialization_test[1]_include.cmake")

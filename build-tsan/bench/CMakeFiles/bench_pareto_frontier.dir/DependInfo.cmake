@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_pareto_frontier.cc" "bench/CMakeFiles/bench_pareto_frontier.dir/bench_pareto_frontier.cc.o" "gcc" "bench/CMakeFiles/bench_pareto_frontier.dir/bench_pareto_frontier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/bench/CMakeFiles/vqe_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/vqe_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/models/CMakeFiles/vqe_models.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/fusion/CMakeFiles/vqe_fusion.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/vqe_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/consensus.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/consensus.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/consensus.cc.o.d"
+  "/root/repo/src/fusion/fusion_internal.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/fusion_internal.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/fusion_internal.cc.o.d"
+  "/root/repo/src/fusion/nms.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/nms.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/nms.cc.o.d"
+  "/root/repo/src/fusion/nmw.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/nmw.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/nmw.cc.o.d"
+  "/root/repo/src/fusion/registry.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/registry.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/registry.cc.o.d"
+  "/root/repo/src/fusion/wbf.cc" "src/fusion/CMakeFiles/vqe_fusion.dir/wbf.cc.o" "gcc" "src/fusion/CMakeFiles/vqe_fusion.dir/wbf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/detection/CMakeFiles/vqe_detection.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/vqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

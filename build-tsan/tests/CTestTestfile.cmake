@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/bbox_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/matching_ap_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/models_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/ensemble_id_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/core_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/query_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tracker_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/mot_calibration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/serialization_test[1]_include.cmake")
