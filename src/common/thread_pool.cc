@@ -93,16 +93,25 @@ void ParallelFor(size_t n, int parallelism,
     return;
   }
 
-  // Work-stealing by atomic index: every participating thread (workers − 1
-  // pool threads plus the caller) claims the next unprocessed index. Which
-  // thread runs an index is nondeterministic; the set of calls is not.
+  // Work-stealing by atomic chunk: every participating thread (workers − 1
+  // pool threads plus the caller) claims the next unprocessed *range* of
+  // indices. Chunking amortizes the contended fetch_add and the
+  // std::function dispatch over `chunk` body calls — per-index claiming
+  // made fine-grained bodies lose to the plain serial loop (the m=4/m=6
+  // regression in BENCH_matrix_build.json). Eight chunks per worker keeps
+  // enough slack for load balancing when per-index costs are skewed.
+  // fetch_add partitions [0, n) into disjoint ranges, so each index still
+  // runs exactly once; which thread runs it stays nondeterministic.
+  const size_t chunk =
+      std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
   auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto drain = [next, n, &fn] {
+  auto drain = [next, n, chunk, &fn] {
     RegionGuard region;
     while (true) {
-      const size_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      fn(i);
+      const size_t begin = next->fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const size_t end = std::min(n, begin + chunk);
+      for (size_t i = begin; i < end; ++i) fn(i);
     }
   };
 

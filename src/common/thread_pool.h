@@ -68,8 +68,10 @@ int ResolveWorkers(int parallelism, size_t n);
 
 /// Runs fn(i) for every i in [0, n) across ResolveWorkers(parallelism, n)
 /// threads (shared-pool workers plus the calling thread), blocking until
-/// all indices are done. Indices are claimed atomically; each runs exactly
-/// once. fn must not throw.
+/// all indices are done. Threads claim chunks of consecutive indices
+/// (~8 chunks per worker) so the atomic claim and closure dispatch are
+/// amortized over the chunk; each index still runs exactly once. fn must
+/// not throw.
 void ParallelFor(size_t n, int parallelism,
                  const std::function<void(size_t)>& fn);
 

@@ -22,6 +22,8 @@ class OptStrategy : public SelectionStrategy {
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
+  /// The per-frame oracle argmax scans every mask: eager wins.
+  bool needs_full_lattice() const override { return true; }
 
  private:
   const OracleView* oracle_ = nullptr;
@@ -41,6 +43,9 @@ class BruteForceStrategy : public SelectionStrategy {
   EnsembleId Select(size_t) override { return FullEnsemble(num_models_); }
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
+  /// Selecting M every frame makes its subset lattice the whole candidate
+  /// space — laziness saves nothing, so keep the eager batch build.
+  bool needs_full_lattice() const override { return true; }
 
  private:
   int num_models_ = 0;

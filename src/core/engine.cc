@@ -15,23 +15,23 @@ Status EngineOptions::Validate() const {
   return Status::OK();
 }
 
-Result<RunResult> RunStrategy(const FrameMatrix& matrix,
+Result<RunResult> RunStrategy(EvaluationSource& source,
                               SelectionStrategy* strategy,
                               const EngineOptions& options) {
   VQE_RETURN_NOT_OK(options.Validate());
   if (strategy == nullptr) {
     return Status::InvalidArgument("strategy is null");
   }
-  if (matrix.num_models < 1 || matrix.num_models > kMaxPoolSize) {
-    return Status::InvalidArgument("matrix has invalid num_models");
+  if (source.num_models() < 1 || source.num_models() > kMaxPoolSize) {
+    return Status::InvalidArgument("source has invalid num_models");
   }
 
-  const uint32_t num_masks = matrix.num_ensembles();
-  const OracleView oracle(&matrix, options.sc);
+  const uint32_t num_masks = source.num_ensembles();
+  const OracleView oracle(&source, options.sc);
 
   StrategyContext ctx;
-  ctx.num_models = matrix.num_models;
-  ctx.num_frames = matrix.size();
+  ctx.num_models = source.num_models();
+  ctx.num_frames = source.num_frames();
   ctx.sc = options.sc;
   ctx.seed = options.strategy_seed;
   ctx.oracle = &oracle;
@@ -43,19 +43,19 @@ Result<RunResult> RunStrategy(const FrameMatrix& matrix,
   }
 
   RunResult result;
+  result.regret_available = options.compute_regret;
   result.selection_counts.assign(num_masks + 1, 0);
 
   std::vector<double> est_score(num_masks + 1);
   std::vector<double> norm_cost(num_masks + 1);
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
-  for (size_t t = 0; t < matrix.size(); ++t) {
+  for (size_t t = 0; t < source.num_frames(); ++t) {
     // Alg. 2 line 6: proceed only while C <= B.
     if (options.budget_ms > 0.0 &&
         result.charged_cost_ms > options.budget_ms) {
       break;
     }
-    const FrameEvaluation& fe = matrix.frames[t];
 
     EnsembleId selected;
     {
@@ -66,38 +66,44 @@ Result<RunResult> RunStrategy(const FrameMatrix& matrix,
       return Status::Internal("strategy selected an invalid ensemble mask");
     }
 
+    // Stats after Select so a lazy source only touches processed frames.
+    const FrameStats stats = source.Stats(t);
+
     // Charged cost (Eq. 14; Eq. 12 during full-pool initialization):
     // every selected model once, plus fusion overhead for each subset.
     double frame_cost = 0.0;
-    for (int i = 0; i < matrix.num_models; ++i) {
+    for (int i = 0; i < source.num_models(); ++i) {
       if (ContainsModel(selected, i)) {
-        frame_cost += fe.model_cost_ms[static_cast<size_t>(i)];
-        result.breakdown.detector_ms +=
-            fe.model_cost_ms[static_cast<size_t>(i)];
+        const double model_ms = (*stats.model_cost_ms)[static_cast<size_t>(i)];
+        frame_cost += model_ms;
+        result.breakdown.detector_ms += model_ms;
       }
     }
+
+    // One pass over the selection's subset lattice: accumulate fusion
+    // overhead and publish estimated rewards (information protocol — NaN
+    // for masks whose outputs do not exist). ForEachSubset visits `selected`
+    // first, so the selection's own evaluation is captured on the way.
+    const double inv_max =
+        stats.max_cost_ms > 0.0 ? 1.0 / stats.max_cost_ms : 0.0;
+    est_score.assign(num_masks + 1, nan);
+    norm_cost.assign(num_masks + 1, nan);
     double overhead = 0.0;
+    MaskEvaluation sel_eval;
     ForEachSubset(selected, [&](EnsembleId sub) {
-      overhead += fe.fusion_overhead_ms[sub];
+      const MaskEvaluation e = source.Eval(t, sub);
+      if (sub == selected) sel_eval = e;
+      overhead += e.fusion_overhead_ms;
+      norm_cost[sub] = e.cost_ms * inv_max;
+      est_score[sub] = options.sc.Score(e.est_ap, norm_cost[sub]);
     });
     frame_cost += overhead;
     result.breakdown.ensembling_ms += overhead;
     result.charged_cost_ms += frame_cost;
 
     if (strategy->UsesReferenceModel()) {
-      result.breakdown.reference_ms += fe.ref_cost_ms;
+      result.breakdown.reference_ms += stats.ref_cost_ms;
     }
-
-    // Estimated rewards for subsets of the selection; NaN elsewhere
-    // (information protocol — those outputs do not exist).
-    const double inv_max =
-        fe.max_cost_ms > 0.0 ? 1.0 / fe.max_cost_ms : 0.0;
-    est_score.assign(num_masks + 1, nan);
-    norm_cost.assign(num_masks + 1, nan);
-    ForEachSubset(selected, [&](EnsembleId sub) {
-      norm_cost[sub] = fe.cost_ms[sub] * inv_max;
-      est_score[sub] = options.sc.Score(fe.est_ap[sub], norm_cost[sub]);
-    });
 
     FrameFeedback feedback;
     feedback.t = t;
@@ -110,30 +116,36 @@ Result<RunResult> RunStrategy(const FrameMatrix& matrix,
     }
 
     // Measurements (true scores; §5.5).
-    const double sel_norm_cost = fe.cost_ms[selected] * inv_max;
+    const double sel_norm_cost = sel_eval.cost_ms * inv_max;
     const double sel_true =
-        options.sc.Score(fe.true_ap[selected], sel_norm_cost);
-    // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
-    // score lies on the frame's cached ⟨true_ap, cost⟩ Pareto frontier, so
-    // scan only those masks. Hand-built matrices without the cache fall
-    // back to the exhaustive O(2^m) scan.
-    double best_true = -std::numeric_limits<double>::infinity();
-    if (!fe.best_true_candidates.empty()) {
-      for (EnsembleId s : fe.best_true_candidates) {
-        const double r =
-            options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
-        if (r > best_true) best_true = r;
+        options.sc.Score(sel_eval.true_ap, sel_norm_cost);
+    if (options.compute_regret) {
+      // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
+      // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
+      // only those masks when the source caches one. Sources without a
+      // frontier (hand-built matrices, lazy evaluators) fall back to the
+      // exhaustive O(2^m) scan — on a lazy source that materializes the
+      // whole lattice, which is why compute_regret defaults off for lazy
+      // throughput runs.
+      double best_true = -std::numeric_limits<double>::infinity();
+      const std::vector<EnsembleId>* frontier = source.TrueFrontier(t);
+      if (frontier != nullptr && !frontier->empty()) {
+        for (EnsembleId s : *frontier) {
+          const MaskEvaluation e = source.Eval(t, s);
+          const double r = options.sc.Score(e.true_ap, e.cost_ms * inv_max);
+          if (r > best_true) best_true = r;
+        }
+      } else {
+        for (EnsembleId s = 1; s <= num_masks; ++s) {
+          const MaskEvaluation e = source.Eval(t, s);
+          const double r = options.sc.Score(e.true_ap, e.cost_ms * inv_max);
+          if (r > best_true) best_true = r;
+        }
       }
-    } else {
-      for (EnsembleId s = 1; s <= num_masks; ++s) {
-        const double r =
-            options.sc.Score(fe.true_ap[s], fe.cost_ms[s] * inv_max);
-        if (r > best_true) best_true = r;
-      }
+      result.regret += best_true - sel_true;
     }
     result.s_sum += sel_true;
-    result.regret += best_true - sel_true;
-    result.avg_true_ap += fe.true_ap[selected];
+    result.avg_true_ap += sel_eval.true_ap;
     result.avg_norm_cost += sel_norm_cost;
     ++result.selection_counts[selected];
     ++result.frames_processed;
@@ -150,6 +162,16 @@ Result<RunResult> RunStrategy(const FrameMatrix& matrix,
   }
   result.breakdown.algorithm_ms = algo_time.total_seconds() * 1e3;
   return result;
+}
+
+Result<RunResult> RunStrategy(const FrameMatrix& matrix,
+                              SelectionStrategy* strategy,
+                              const EngineOptions& options) {
+  if (matrix.num_models < 1 || matrix.num_models > kMaxPoolSize) {
+    return Status::InvalidArgument("matrix has invalid num_models");
+  }
+  MatrixEvaluationSource source(matrix);
+  return RunStrategy(source, strategy, options);
 }
 
 }  // namespace vqe

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/evaluation_source.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
 #include "core/strategy.h"
@@ -30,6 +31,13 @@ struct EngineOptions {
   uint64_t strategy_seed = 0;
   /// Record the (t, cumulative cost) curve for LRBP.
   bool record_cost_curve = false;
+  /// Compute the per-frame regret baseline max_S r_{S*|v} (Eq. 17). The
+  /// baseline reads the true score of *every* mask, so on a lazy source
+  /// it forces full-lattice materialization (the engine falls back to an
+  /// exhaustive scan when the source offers no Pareto frontier). Disable
+  /// it to keep a lazy run's cost proportional to the selected subset
+  /// lattices; RunResult::regret_available records the choice.
+  bool compute_regret = true;
 
   Status Validate() const;
 };
@@ -61,8 +69,12 @@ struct RunResult {
   double avg_norm_cost = 0.0;
   /// Frames processed (|V| for TUVI; |V_B| for TCVI).
   size_t frames_processed = 0;
-  /// Σ (r_{S*|v} − r_{Ĝ|v}) over processed frames (Eq. 17).
+  /// Σ (r_{S*|v} − r_{Ĝ|v}) over processed frames (Eq. 17). Zero and
+  /// meaningless when !regret_available.
   double regret = 0.0;
+  /// False when the run skipped the regret baseline
+  /// (EngineOptions::compute_regret was off).
+  bool regret_available = true;
   /// Total budget-accountable simulated cost C (Eq. 12/14), ms.
   double charged_cost_ms = 0.0;
   TimeBreakdown breakdown;
@@ -72,7 +84,14 @@ struct RunResult {
   std::vector<std::pair<size_t, double>> cost_curve;
 };
 
-/// Runs `strategy` over the matrix. The strategy is reset via BeginVideo.
+/// Runs `strategy` over an evaluation source — the eager matrix view or a
+/// LazyFrameEvaluator, which only pays for the cells the run touches. The
+/// strategy is reset via BeginVideo.
+Result<RunResult> RunStrategy(EvaluationSource& source,
+                              SelectionStrategy* strategy,
+                              const EngineOptions& options);
+
+/// Convenience overload over an eagerly built matrix.
 Result<RunResult> RunStrategy(const FrameMatrix& matrix,
                               SelectionStrategy* strategy,
                               const EngineOptions& options);

@@ -1,0 +1,111 @@
+// The evaluation abstraction the engine runs strategies against. Two
+// implementations exist:
+//
+//   * MatrixEvaluationSource — a view over an eagerly built FrameMatrix
+//     (all 2^m − 1 masks per frame). Still the right backend for
+//     strategies that read the whole lattice anyway (OPT's oracle scan,
+//     BF's full-pool selection), for regret measurement, for the Figure 3
+//     per-ensemble aggregates and for matrix serialization.
+//
+//   * LazyFrameEvaluator (core/lazy_frame_evaluator.h) — materializes a
+//     ⟨est_ap, true_ap, cost, overhead⟩ cell on first access, memoized
+//     per (frame, mask). Online strategies (MES family, SGL, RAND, EF)
+//     only ever touch the subset lattices of their selections, so runs
+//     cost O(|V|·2^|S|) fusions instead of O(|V|·2^m).
+//
+// Both run mask evaluations through the same FrameEvalContext kernel, so
+// every value a strategy can observe is bit-identical across sources.
+
+#ifndef VQE_CORE_EVALUATION_SOURCE_H_
+#define VQE_CORE_EVALUATION_SOURCE_H_
+
+#include <vector>
+
+#include "core/ensemble_id.h"
+#include "core/frame_eval.h"
+#include "core/frame_matrix.h"
+
+namespace vqe {
+
+/// Per-frame scalars the engine needs besides mask cells: the scene
+/// context, per-model inference costs, the reference-model cost, and the
+/// cost normalizer max_S c_{S|v}.
+struct FrameStats {
+  SceneContext context = SceneContext::kClear;
+  /// Per-model inference cost c_{M_i|v}, ms (size m); owned by the source.
+  const std::vector<double>* model_cost_ms = nullptr;
+  double ref_cost_ms = 0.0;
+  /// max_S c_{S|v}: the normalizer of ĉ (§5.4).
+  double max_cost_ms = 0.0;
+};
+
+/// A source of per-(frame, mask) evaluations. Accessors are non-const
+/// because lazy implementations materialize on read; values are pure
+/// functions of (frame, mask), so reads are idempotent and read order
+/// never changes what any caller observes.
+class EvaluationSource {
+ public:
+  virtual ~EvaluationSource() = default;
+
+  virtual int num_models() const = 0;
+  virtual size_t num_frames() const = 0;
+  uint32_t num_ensembles() const { return NumEnsembles(num_models()); }
+
+  /// Frame-level scalars (materializes the frame on lazy sources).
+  virtual FrameStats Stats(size_t t) = 0;
+
+  /// One mask's cell on frame t. `mask` must be in [1, num_ensembles()].
+  virtual MaskEvaluation Eval(size_t t, EnsembleId mask) = 0;
+
+  /// Frame t's ⟨true_ap, cost⟩ Pareto frontier for the engine's regret
+  /// scan: non-null but possibly empty means "not cached: scan every
+  /// mask" (hand-built matrices); nullptr means the source cannot offer
+  /// one without materializing the full lattice (lazy sources) — the
+  /// engine then falls back to the exhaustive scan, which defeats
+  /// laziness; runs that want lazy asymptotics disable regret instead
+  /// (EngineOptions::compute_regret).
+  virtual const std::vector<EnsembleId>* TrueFrontier(size_t t) = 0;
+};
+
+/// Eager source: a non-owning view over a fully built FrameMatrix.
+class MatrixEvaluationSource final : public EvaluationSource {
+ public:
+  explicit MatrixEvaluationSource(const FrameMatrix& matrix)
+      : matrix_(&matrix) {}
+
+  int num_models() const override { return matrix_->num_models; }
+  size_t num_frames() const override { return matrix_->size(); }
+
+  FrameStats Stats(size_t t) override {
+    const FrameEvaluation& fe = matrix_->frames[t];
+    FrameStats stats;
+    stats.context = fe.context;
+    stats.model_cost_ms = &fe.model_cost_ms;
+    stats.ref_cost_ms = fe.ref_cost_ms;
+    stats.max_cost_ms = fe.max_cost_ms;
+    return stats;
+  }
+
+  MaskEvaluation Eval(size_t t, EnsembleId mask) override {
+    const FrameEvaluation& fe = matrix_->frames[t];
+    MaskEvaluation e;
+    e.est_ap = fe.est_ap[mask];
+    e.true_ap = fe.true_ap[mask];
+    e.cost_ms = fe.cost_ms[mask];
+    e.fusion_overhead_ms = fe.fusion_overhead_ms[mask];
+    return e;
+  }
+
+  const std::vector<EnsembleId>* TrueFrontier(size_t t) override {
+    return &matrix_->frames[t].best_true_candidates;
+  }
+
+  const FrameMatrix& matrix() const { return *matrix_; }
+
+ private:
+  const FrameMatrix* matrix_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_EVALUATION_SOURCE_H_

@@ -41,6 +41,19 @@ Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
   return BuildFrameMatrix(video, pool, trial_seed, config.matrix);
 }
 
+Result<std::unique_ptr<LazyFrameEvaluator>> BuildTrialEvaluator(
+    const ExperimentConfig& config, const DetectorPool& pool,
+    uint64_t trial_index) {
+  VQE_RETURN_NOT_OK(config.Validate());
+  const uint64_t trial_seed = HashCombine(config.base_seed, trial_index);
+  SampleOptions sample;
+  sample.scene_scale = config.scene_scale;
+  sample.seed = trial_seed;
+  VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*config.dataset, sample));
+  return LazyFrameEvaluator::Create(std::move(video), pool, trial_seed,
+                                    config.matrix);
+}
+
 Result<ExperimentResult> RunExperiment(
     const ExperimentConfig& config, const DetectorPool& pool,
     const std::vector<StrategySpec>& strategies) {
@@ -58,6 +71,27 @@ Result<ExperimentResult> RunExperiment(
     o.runs.resize(static_cast<size_t>(config.trials));
   }
 
+  // Resolve the evaluation mode once, before any trial runs. kAuto goes
+  // lazy only when laziness can pay off: every strategy in the line-up is
+  // online (!needs_full_lattice()) and the engine will not run the
+  // full-lattice regret scan. Factories are instantiated once here purely
+  // to read the flag; trial runs make fresh instances as before.
+  bool lazy = config.evaluation == EvaluationMode::kLazy;
+  if (config.evaluation == EvaluationMode::kAuto &&
+      !config.engine.compute_regret) {
+    lazy = true;
+    for (const auto& spec : strategies) {
+      auto probe = spec.make == nullptr ? nullptr : spec.make();
+      if (probe == nullptr) {
+        return Status::Internal("strategy factory returned null");
+      }
+      if (probe->needs_full_lattice()) {
+        lazy = false;
+        break;
+      }
+    }
+  }
+
   // One trial = sample video, build matrix, run every strategy. Trials are
   // independent and deterministically seeded, so they can run on worker
   // threads; results land in pre-sized slots, making the outcome identical
@@ -68,15 +102,37 @@ Result<ExperimentResult> RunExperiment(
                                        0.0);
   std::vector<Status> trial_status(static_cast<size_t>(config.trials));
   auto run_trial = [&](size_t trial) {
-    auto matrix_result =
-        BuildTrialMatrix(config, pool, static_cast<uint64_t>(trial));
-    if (!matrix_result.ok()) {
-      trial_status[static_cast<size_t>(trial)] = matrix_result.status();
-      return;
+    // Either backend yields bit-identical runs (shared FrameEvalContext
+    // kernel); lazy skips the masks no strategy touches. One evaluator is
+    // shared across the trial's strategies — cells are pure functions of
+    // (frame, mask), so later strategies just hit the memo.
+    std::unique_ptr<LazyFrameEvaluator> evaluator;
+    FrameMatrix matrix;
+    EvaluationSource* source = nullptr;
+    if (lazy) {
+      auto eval_result =
+          BuildTrialEvaluator(config, pool, static_cast<uint64_t>(trial));
+      if (!eval_result.ok()) {
+        trial_status[static_cast<size_t>(trial)] = eval_result.status();
+        return;
+      }
+      evaluator = std::move(eval_result).value();
+      source = evaluator.get();
+      frames_per_trial[static_cast<size_t>(trial)] =
+          static_cast<double>(evaluator->num_frames());
+    } else {
+      auto matrix_result =
+          BuildTrialMatrix(config, pool, static_cast<uint64_t>(trial));
+      if (!matrix_result.ok()) {
+        trial_status[static_cast<size_t>(trial)] = matrix_result.status();
+        return;
+      }
+      matrix = std::move(matrix_result).value();
+      frames_per_trial[static_cast<size_t>(trial)] =
+          static_cast<double>(matrix.size());
     }
-    const FrameMatrix& matrix = *matrix_result;
-    frames_per_trial[static_cast<size_t>(trial)] =
-        static_cast<double>(matrix.size());
+    MatrixEvaluationSource matrix_source(matrix);
+    if (source == nullptr) source = &matrix_source;
 
     EngineOptions engine = config.engine;
     engine.strategy_seed =
@@ -89,7 +145,7 @@ Result<ExperimentResult> RunExperiment(
             Status::Internal("strategy factory returned null");
         return;
       }
-      auto run = RunStrategy(matrix, strategy.get(), engine);
+      auto run = RunStrategy(*source, strategy.get(), engine);
       if (!run.ok()) {
         trial_status[static_cast<size_t>(trial)] = run.status();
         return;
@@ -110,6 +166,7 @@ Result<ExperimentResult> RunExperiment(
   result.avg_video_frames = total_frames / config.trials;
 
   for (auto& outcome : result.outcomes) {
+    outcome.regret_available = config.engine.compute_regret;
     std::vector<double> s_sum, ap, cost, regret, frames;
     for (const auto& run : outcome.runs) {
       s_sum.push_back(run.s_sum);

@@ -15,6 +15,7 @@
 #include "common/math_util.h"
 #include "core/engine.h"
 #include "core/frame_matrix.h"
+#include "core/lazy_frame_evaluator.h"
 #include "sim/dataset.h"
 
 namespace vqe {
@@ -23,6 +24,20 @@ namespace vqe {
 struct StrategySpec {
   std::string label;
   std::function<std::unique_ptr<SelectionStrategy>()> make;
+};
+
+/// How each trial materializes its frame evaluations.
+enum class EvaluationMode {
+  /// Lazy when it can only help: every strategy is online
+  /// (!needs_full_lattice()) and the engine skips the regret baseline
+  /// (engine.compute_regret == false, since regret scans the full lattice
+  /// anyway). Otherwise eager.
+  kAuto,
+  /// Always build the full FrameMatrix per trial (the original pipeline).
+  kEager,
+  /// Always run strategies against a LazyFrameEvaluator. Useful for
+  /// equivalence testing; slower than eager for full-lattice strategies.
+  kLazy,
 };
 
 /// Experiment configuration.
@@ -44,6 +59,10 @@ struct ExperimentConfig {
   int parallelism = 0;
   MatrixOptions matrix;
   EngineOptions engine;
+  /// Eager matrix vs. lazy memoized evaluation (see EvaluationMode).
+  /// Either way every observable value is bit-identical; only the amount
+  /// of fusion work differs.
+  EvaluationMode evaluation = EvaluationMode::kAuto;
 
   Status Validate() const;
 };
@@ -55,8 +74,12 @@ struct StrategyOutcome {
   SampleSummary s_sum;
   SampleSummary avg_true_ap;
   SampleSummary avg_norm_cost;
+  /// Meaningless (all-zero samples) when !regret_available.
   SampleSummary regret;
   SampleSummary frames_processed;
+  /// False when the engine skipped the regret baseline
+  /// (EngineOptions::compute_regret was off).
+  bool regret_available = true;
 };
 
 /// Whole experiment outcome.
@@ -79,6 +102,12 @@ Result<ExperimentResult> RunExperiment(
 Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
                                      const DetectorPool& pool,
                                      uint64_t trial_index);
+
+/// Samples one trial's video into a lazy evaluator — same video and seeds
+/// as BuildTrialMatrix(config, pool, trial_index), no eager work.
+Result<std::unique_ptr<LazyFrameEvaluator>> BuildTrialEvaluator(
+    const ExperimentConfig& config, const DetectorPool& pool,
+    uint64_t trial_index);
 
 /// The default strategy line-up of Figure 4 (OPT, BF, SGL, RAND, EF, MES)
 /// with the given MES initialization γ and EF exploration length.

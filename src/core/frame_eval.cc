@@ -1,0 +1,74 @@
+#include "core/frame_eval.h"
+
+namespace vqe {
+
+FrameEvalContext::FrameEvalContext(const VideoFrame& frame,
+                                   const DetectorPool& pool,
+                                   uint64_t trial_seed,
+                                   const MatrixOptions& options,
+                                   const EnsembleMethod& fusion)
+    : options_(&options), fusion_(&fusion) {
+  const size_t m = pool.detectors.size();
+  model_out_.resize(m);
+  model_cost_ms_.resize(m);
+  // Materialize per-model outputs once (the reuse of Alg. 1 lines 9-10).
+  for (size_t i = 0; i < m; ++i) {
+    model_out_[i] = pool.detectors[i]->Detect(frame, trial_seed);
+    model_cost_ms_[i] = pool.detectors[i]->InferenceCostMs(frame, trial_seed);
+  }
+  const DetectionList ref_out = pool.reference->Detect(frame, trial_seed);
+  ref_cost_ms_ = pool.reference->InferenceCostMs(frame, trial_seed);
+  const GroundTruthList ref_gt =
+      DetectionsAsGroundTruth(ref_out, options.ref_confidence_threshold);
+
+  // Per-frame invariants of the mask loop, built once and reused across
+  // every evaluation.
+  ref_index_ = BuildGroundTruthIndex(ref_gt);
+  gt_index_ = BuildGroundTruthIndex(frame.objects);
+  // The pairwise-IoU tile pays off only for fusion methods whose IoU
+  // queries are raw-pair (NMS family, NMW, Consensus); WBF queries derived
+  // cluster boxes, so the tile would be pure construction overhead there.
+  if (fusion.ConsumesIouCache()) {
+    const int num_ids = AssignFrameDetIds(model_out_);
+    iou_cache_ = PairwiseIouCache(model_out_, num_ids);
+  }
+  inputs_.reserve(m);
+}
+
+double FrameEvalContext::FullEnsembleCostMs() const {
+  size_t num_boxes = 0;
+  double model_cost = 0.0;
+  for (size_t i = 0; i < model_out_.size(); ++i) {
+    num_boxes += model_out_[i].size();
+    model_cost += model_cost_ms_[i];
+  }
+  return model_cost + SimulatedFusionOverheadMs(num_boxes);
+}
+
+MaskEvaluation FrameEvalContext::Evaluate(EnsembleId mask,
+                                          DetectionList* fused_out) {
+  inputs_.clear();
+  size_t num_boxes = 0;
+  double model_cost = 0.0;
+  const int m = num_models();
+  for (int i = 0; i < m; ++i) {
+    if (!ContainsModel(mask, i)) continue;
+    const DetectionList& out_i = model_out_[static_cast<size_t>(i)];
+    inputs_.push_back(&out_i);
+    num_boxes += out_i.size();
+    model_cost += model_cost_ms_[static_cast<size_t>(i)];
+  }
+  const DetectionList fused =
+      fusion_->Fuse(DetectionListSpan(inputs_),
+                    iou_cache_.enabled() ? &iou_cache_ : nullptr);
+
+  MaskEvaluation e;
+  e.fusion_overhead_ms = SimulatedFusionOverheadMs(num_boxes);
+  e.cost_ms = model_cost + e.fusion_overhead_ms;
+  e.est_ap = FrameMeanAp(fused, ref_index_, options_->ap);
+  e.true_ap = FrameMeanAp(fused, gt_index_, options_->ap);
+  if (fused_out != nullptr) *fused_out = fused;
+  return e;
+}
+
+}  // namespace vqe

@@ -1,0 +1,94 @@
+// Shared per-frame evaluation kernel: runs every detector and the
+// reference model on one frame, caches their outputs and the per-class
+// ground-truth indexes, and evaluates any ensemble mask on demand. Both
+// the eager BuildFrameMatrix (which materializes all 2^m − 1 masks) and
+// the LazyFrameEvaluator (which materializes only what a strategy touches)
+// run their mask evaluations through this one code path, so lazy and eager
+// results are bit-identical *by construction*, not by parallel maintenance
+// of two arithmetic pipelines.
+
+#ifndef VQE_CORE_FRAME_EVAL_H_
+#define VQE_CORE_FRAME_EVAL_H_
+
+#include <vector>
+
+#include "core/ensemble_id.h"
+#include "core/frame_matrix.h"
+#include "detection/ap.h"
+#include "fusion/ensemble_method.h"
+#include "fusion/iou_cache.h"
+#include "models/model_zoo.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// Simulated box-fusion overhead c^e: a fixed dispatch cost plus a per-box
+/// term. Kept ≪ any model's inference cost, per the paper's assumption.
+/// The single definition shared by matrix construction, the lazy
+/// evaluator, and the online query executor.
+inline double SimulatedFusionOverheadMs(size_t num_input_boxes) {
+  return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
+}
+
+/// One mask's evaluation on one frame — the ⟨est_ap, true_ap, cost,
+/// fusion_overhead⟩ cell of the frame matrix.
+struct MaskEvaluation {
+  /// AP of the fused output vs. the reference model (what MES observes).
+  double est_ap = 0.0;
+  /// AP vs. ground truth (measurement/oracle only).
+  double true_ap = 0.0;
+  /// Full ensemble cost per Eq. (1), ms.
+  double cost_ms = 0.0;
+  /// Fusion-only overhead c^e_{S|v}, ms.
+  double fusion_overhead_ms = 0.0;
+};
+
+/// All per-frame state the mask loop reuses: cached per-model detections
+/// and costs, the reference pseudo-ground-truth index, the true
+/// ground-truth index, and (when the fusion method consumes it) the
+/// pairwise-IoU tile over the cached detections.
+///
+/// Not thread-safe: Evaluate reuses a scratch buffer. Parallel callers
+/// build one context per frame (frames are independent pure functions of
+/// (frame, trial_seed), which is what makes the parallel eager build
+/// bit-identical for any worker count).
+class FrameEvalContext {
+ public:
+  /// Runs all m detectors and the reference model on `frame`. `pool`,
+  /// `options` and `fusion` must outlive the context.
+  FrameEvalContext(const VideoFrame& frame, const DetectorPool& pool,
+                   uint64_t trial_seed, const MatrixOptions& options,
+                   const EnsembleMethod& fusion);
+
+  int num_models() const { return static_cast<int>(model_out_.size()); }
+  const std::vector<double>& model_cost_ms() const { return model_cost_ms_; }
+  double ref_cost_ms() const { return ref_cost_ms_; }
+
+  /// c_{M|v} of the full pool: Σ over all models (ascending index) plus
+  /// the fusion overhead of every cached box. Bit-identical to
+  /// Evaluate(FullEnsemble(m)).cost_ms without fusing anything, and equal
+  /// to max_S c_{S|v}: every accumulator folds non-negative terms in the
+  /// same ascending-index order, and IEEE round-to-nearest folds of
+  /// non-negative terms are monotone under term inclusion, so no subset's
+  /// rounded sum can exceed the full pool's.
+  double FullEnsembleCostMs() const;
+
+  /// Fuses and scores one mask from the cached outputs. When `fused_out`
+  /// is non-null it receives the fused detection list.
+  MaskEvaluation Evaluate(EnsembleId mask, DetectionList* fused_out = nullptr);
+
+ private:
+  const MatrixOptions* options_;
+  const EnsembleMethod* fusion_;
+  std::vector<DetectionList> model_out_;
+  std::vector<double> model_cost_ms_;
+  double ref_cost_ms_ = 0.0;
+  GroundTruthIndex ref_index_;
+  GroundTruthIndex gt_index_;
+  PairwiseIouCache iou_cache_;
+  std::vector<const DetectionList*> inputs_;  // scratch for Evaluate
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_FRAME_EVAL_H_

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/thread_pool.h"
+#include "core/frame_eval.h"
 
 namespace vqe {
 
@@ -22,12 +23,6 @@ Status MatrixOptions::Validate() const {
 }
 
 namespace {
-
-// Simulated box-fusion overhead c^e: a fixed dispatch cost plus a per-box
-// term. Kept ≪ any model's inference cost, per the paper's assumption.
-double SimulatedFusionOverheadMs(size_t num_input_boxes) {
-  return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
-}
 
 // The masks not weakly dominated on ⟨true_ap, cost_ms⟩: sweep by ascending
 // cost (ties: descending AP, then ascending mask for stability) and keep a
@@ -95,46 +90,22 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
     fe.true_ap.assign(num_masks + 1, 0.0);
     fe.cost_ms.assign(num_masks + 1, 0.0);
     fe.fusion_overhead_ms.assign(num_masks + 1, 0.0);
-    fe.model_cost_ms.resize(static_cast<size_t>(m));
 
-    // Materialize per-model outputs once (the reuse of Alg. 1 lines 9-10).
-    std::vector<DetectionList> model_out(static_cast<size_t>(m));
-    for (int i = 0; i < m; ++i) {
-      model_out[static_cast<size_t>(i)] =
-          pool.detectors[static_cast<size_t>(i)]->Detect(frame, trial_seed);
-      fe.model_cost_ms[static_cast<size_t>(i)] =
-          pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(frame,
-                                                                  trial_seed);
-    }
-    const DetectionList ref_out = pool.reference->Detect(frame, trial_seed);
-    fe.ref_cost_ms = pool.reference->InferenceCostMs(frame, trial_seed);
-    const GroundTruthList ref_gt =
-        DetectionsAsGroundTruth(ref_out, options.ref_confidence_threshold);
-
-    // Per-frame invariants of the mask loop, built once and reused across
-    // all 2^m − 1 evaluations.
-    const GroundTruthIndex ref_index = BuildGroundTruthIndex(ref_gt);
-    const GroundTruthIndex gt_index = BuildGroundTruthIndex(frame.objects);
-    std::vector<const DetectionList*> inputs;
-    inputs.reserve(static_cast<size_t>(m));
+    // The shared per-frame kernel (also behind LazyFrameEvaluator, which
+    // is what keeps lazy and eager bit-identical by construction) caches
+    // the per-model outputs once; the loop below materializes the full
+    // mask lattice from it — the eager path OPT/BF, the Figure 3
+    // aggregates and serialization rely on.
+    FrameEvalContext ctx(frame, pool, trial_seed, options, *fusion);
+    fe.model_cost_ms = ctx.model_cost_ms();
+    fe.ref_cost_ms = ctx.ref_cost_ms();
 
     for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
-      inputs.clear();
-      size_t num_boxes = 0;
-      double model_cost = 0.0;
-      for (int i = 0; i < m; ++i) {
-        if (!ContainsModel(mask, i)) continue;
-        const DetectionList& out_i = model_out[static_cast<size_t>(i)];
-        inputs.push_back(&out_i);
-        num_boxes += out_i.size();
-        model_cost += fe.model_cost_ms[static_cast<size_t>(i)];
-      }
-      const DetectionList fused = fusion->Fuse(DetectionListSpan(inputs));
-
-      fe.fusion_overhead_ms[mask] = SimulatedFusionOverheadMs(num_boxes);
-      fe.cost_ms[mask] = model_cost + fe.fusion_overhead_ms[mask];
-      fe.est_ap[mask] = FrameMeanAp(fused, ref_index, options.ap);
-      fe.true_ap[mask] = FrameMeanAp(fused, gt_index, options.ap);
+      const MaskEvaluation e = ctx.Evaluate(mask);
+      fe.fusion_overhead_ms[mask] = e.fusion_overhead_ms;
+      fe.cost_ms[mask] = e.cost_ms;
+      fe.est_ap[mask] = e.est_ap;
+      fe.true_ap[mask] = e.true_ap;
       if (fe.cost_ms[mask] > fe.max_cost_ms) fe.max_cost_ms = fe.cost_ms[mask];
     }
     fe.best_true_candidates = ParetoTrueCandidates(fe, num_masks);

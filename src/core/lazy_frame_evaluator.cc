@@ -1,0 +1,75 @@
+#include "core/lazy_frame_evaluator.h"
+
+#include <utility>
+
+namespace vqe {
+
+Result<std::unique_ptr<LazyFrameEvaluator>> LazyFrameEvaluator::Create(
+    Video video, const DetectorPool& pool, uint64_t trial_seed,
+    const MatrixOptions& options) {
+  VQE_RETURN_NOT_OK(options.Validate());
+  if (pool.detectors.empty()) {
+    return Status::InvalidArgument("detector pool is empty");
+  }
+  if (pool.detectors.size() > static_cast<size_t>(kMaxPoolSize)) {
+    return Status::InvalidArgument("detector pool exceeds kMaxPoolSize");
+  }
+  if (pool.reference == nullptr) {
+    return Status::InvalidArgument("pool has no reference model");
+  }
+  VQE_ASSIGN_OR_RETURN(auto fusion,
+                       CreateEnsembleMethod(options.fusion,
+                                            options.fusion_options));
+  return std::unique_ptr<LazyFrameEvaluator>(new LazyFrameEvaluator(
+      std::move(video), pool, trial_seed, options, std::move(fusion)));
+}
+
+LazyFrameEvaluator::LazyFrameEvaluator(Video video, const DetectorPool& pool,
+                                       uint64_t trial_seed,
+                                       const MatrixOptions& options,
+                                       std::unique_ptr<EnsembleMethod> fusion)
+    : video_(std::move(video)),
+      pool_(&pool),
+      trial_seed_(trial_seed),
+      options_(options),
+      fusion_(std::move(fusion)) {
+  slots_.resize(video_.size());
+}
+
+LazyFrameEvaluator::FrameSlot& LazyFrameEvaluator::Touch(size_t t) {
+  FrameSlot& slot = slots_[t];
+  if (slot.ctx == nullptr) {
+    slot.ctx = std::make_unique<FrameEvalContext>(
+        video_.frames[t], *pool_, trial_seed_, options_, *fusion_);
+    slot.max_cost_ms = slot.ctx->FullEnsembleCostMs();
+    const uint32_t num_masks = num_ensembles();
+    slot.memo.resize(num_masks + 1);
+    slot.known.assign(num_masks + 1, 0);
+    ++frames_touched_;
+  }
+  return slot;
+}
+
+FrameStats LazyFrameEvaluator::Stats(size_t t) {
+  FrameSlot& slot = Touch(t);
+  FrameStats stats;
+  stats.context = video_.frames[t].context;
+  stats.model_cost_ms = &slot.ctx->model_cost_ms();
+  stats.ref_cost_ms = slot.ctx->ref_cost_ms();
+  stats.max_cost_ms = slot.max_cost_ms;
+  return stats;
+}
+
+MaskEvaluation LazyFrameEvaluator::Eval(size_t t, EnsembleId mask) {
+  FrameSlot& slot = Touch(t);
+  if (!slot.known[mask]) {
+    slot.memo[mask] = slot.ctx->Evaluate(mask);
+    slot.known[mask] = 1;
+    ++masks_materialized_;
+  } else {
+    ++memo_hits_;
+  }
+  return slot.memo[mask];
+}
+
+}  // namespace vqe

@@ -1,0 +1,99 @@
+// Lazy, memoized evaluation source: the dual of Alg. 1's subset reuse.
+// BuildFrameMatrix eagerly fuses and scores all 2^m − 1 masks per frame;
+// online strategies (MES / MES-B / SW-MES / SGL / RAND / EF) only ever
+// read the subset lattice of the mask they selected, so an eager build
+// does exponentially more fusion work than the run observes. This source
+// touches a frame's detectors on first access (model outputs are cached —
+// the per-frame ModelOutputCache) and materializes a mask's
+// ⟨est_ap, true_ap, cost, overhead⟩ cell on first read, memoized per
+// (frame, mask); repeated reads — subset updates, window replays, oracle
+// probes — are free.
+//
+// All evaluation goes through the same FrameEvalContext kernel as the
+// eager build, so every materialized cell is bit-identical to the
+// corresponding FrameMatrix entry. The cost normalizer max_S c_{S|v}
+// needs no lattice scan: it is the full pool's cost, computable from the
+// cached box counts alone (see FrameEvalContext::FullEnsembleCostMs).
+
+#ifndef VQE_CORE_LAZY_FRAME_EVALUATOR_H_
+#define VQE_CORE_LAZY_FRAME_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/evaluation_source.h"
+#include "core/frame_eval.h"
+#include "models/model_zoo.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// Lazy evaluation source over a sampled video. Owns the video; `pool`
+/// must outlive the evaluator. Not thread-safe (the engine drives
+/// strategies serially); distinct evaluators are independent.
+class LazyFrameEvaluator final : public EvaluationSource {
+ public:
+  /// Validates exactly like BuildFrameMatrix (non-empty pool within
+  /// kMaxPoolSize, reference model present, options ranges) but runs no
+  /// detector: all work is deferred to first access.
+  static Result<std::unique_ptr<LazyFrameEvaluator>> Create(
+      Video video, const DetectorPool& pool, uint64_t trial_seed,
+      const MatrixOptions& options = {});
+
+  int num_models() const override {
+    return static_cast<int>(pool_->detectors.size());
+  }
+  size_t num_frames() const override { return video_.size(); }
+
+  FrameStats Stats(size_t t) override;
+  MaskEvaluation Eval(size_t t, EnsembleId mask) override;
+  /// Always nullptr: a true-score Pareto frontier requires the full
+  /// lattice. Engine runs that need regret either use the eager matrix or
+  /// accept the exhaustive (lattice-materializing) fallback.
+  const std::vector<EnsembleId>* TrueFrontier(size_t) override {
+    return nullptr;
+  }
+
+  const Video& video() const { return video_; }
+
+  /// Instrumentation: frames whose detectors have run.
+  size_t frames_touched() const { return frames_touched_; }
+  /// Distinct (frame, mask) cells fused and scored. An eager build does
+  /// num_frames() · num_ensembles() of these; the gap is the work lazy
+  /// evaluation skipped.
+  uint64_t masks_materialized() const { return masks_materialized_; }
+  /// Eval calls served from the memo without fusing.
+  uint64_t memo_hits() const { return memo_hits_; }
+
+ private:
+  LazyFrameEvaluator(Video video, const DetectorPool& pool,
+                     uint64_t trial_seed, const MatrixOptions& options,
+                     std::unique_ptr<EnsembleMethod> fusion);
+
+  struct FrameSlot {
+    std::unique_ptr<FrameEvalContext> ctx;
+    double max_cost_ms = 0.0;
+    /// Memo indexed by mask (index 0 unused), allocated on frame touch.
+    std::vector<MaskEvaluation> memo;
+    std::vector<uint8_t> known;
+  };
+
+  /// Runs the frame's detectors on first access.
+  FrameSlot& Touch(size_t t);
+
+  Video video_;
+  const DetectorPool* pool_;
+  uint64_t trial_seed_;
+  MatrixOptions options_;
+  std::unique_ptr<EnsembleMethod> fusion_;
+  std::vector<FrameSlot> slots_;
+  size_t frames_touched_ = 0;
+  uint64_t masks_materialized_ = 0;
+  uint64_t memo_hits_ = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_CORE_LAZY_FRAME_EVALUATOR_H_

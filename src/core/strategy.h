@@ -18,35 +18,40 @@
 #include <vector>
 
 #include "core/ensemble_id.h"
+#include "core/evaluation_source.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
 
 namespace vqe {
 
 /// Privileged read access to true scores, granted only to oracle baselines.
+/// Backed by whichever EvaluationSource the engine runs against; on a lazy
+/// source every probe materializes the probed cell, so oracle scans over
+/// the whole lattice (OPT) keep the eager matrix backend
+/// (needs_full_lattice below).
 class OracleView {
  public:
-  OracleView(const FrameMatrix* matrix, ScoringFunction sc)
-      : matrix_(matrix), sc_(sc) {}
+  OracleView(EvaluationSource* source, ScoringFunction sc)
+      : source_(source), sc_(sc) {}
 
-  size_t num_frames() const { return matrix_->size(); }
-  int num_models() const { return matrix_->num_models; }
+  size_t num_frames() const { return source_->num_frames(); }
+  int num_models() const { return source_->num_models(); }
 
   /// True score r_{S|v_t} (Eq. 30 with the true AP).
   double TrueScore(size_t t, EnsembleId s) const {
-    const FrameEvaluation& fe = matrix_->frames[t];
-    const double norm_cost =
-        fe.max_cost_ms > 0 ? fe.cost_ms[s] / fe.max_cost_ms : 0.0;
-    return sc_.Score(fe.true_ap[s], norm_cost);
+    const MaskEvaluation e = source_->Eval(t, s);
+    const double max_cost = source_->Stats(t).max_cost_ms;
+    const double norm_cost = max_cost > 0 ? e.cost_ms / max_cost : 0.0;
+    return sc_.Score(e.true_ap, norm_cost);
   }
 
   /// True AP a_{S|v_t}.
   double TrueAp(size_t t, EnsembleId s) const {
-    return matrix_->frames[t].true_ap[s];
+    return source_->Eval(t, s).true_ap;
   }
 
  private:
-  const FrameMatrix* matrix_;
+  EvaluationSource* source_;
   ScoringFunction sc_;
 };
 
@@ -94,6 +99,15 @@ class SelectionStrategy {
   /// True when the strategy consumes reference-model AP estimates each
   /// frame (the engine then charges/accounts REF inference on that frame).
   virtual bool UsesReferenceModel() const { return true; }
+
+  /// True when a run of this strategy reads (essentially) the whole
+  /// 2^m − 1 mask lattice per frame — OPT's oracle argmax scan, BF's
+  /// full-pool subset updates — so an eagerly built FrameMatrix is at
+  /// least as fast as lazy materialization. Online strategies that only
+  /// touch their selections' subset lattices return false (the default)
+  /// and profit from a lazy source (experiment.h's EvaluationMode::kAuto
+  /// switches on this hook).
+  virtual bool needs_full_lattice() const { return false; }
 };
 
 }  // namespace vqe

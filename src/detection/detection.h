@@ -27,6 +27,12 @@ struct Detection {
   /// Predicted localization variance (pixels²) used by Softer-NMS variance
   /// voting; 0 when the producer does not estimate it.
   double box_variance = 0.0;
+  /// Frame-local identity for the pairwise-IoU tile cache
+  /// (fusion/iou_cache.h), assigned by AssignFrameDetIds over the frame's
+  /// cached per-model outputs; −1 when unassigned. Fusion outputs always
+  /// reset it to −1: a fused box is a new object whose coordinates no
+  /// longer match any cached tile row.
+  int32_t frame_det_id = -1;
 };
 
 /// All detections on one frame, in no particular order.

@@ -7,9 +7,11 @@
 
 namespace vqe {
 
+using fusion_internal::CachedIoU;
 using fusion_internal::SortDesc;
 
-DetectionList ConsensusFusion::Fuse(DetectionListSpan per_model) const {
+DetectionList ConsensusFusion::Fuse(DetectionListSpan per_model,
+                                    const PairwiseIouCache* iou) const {
   const int num_models = static_cast<int>(per_model.size());
   const int required =
       options_.min_votes > 0
@@ -42,7 +44,7 @@ DetectionList ConsensusFusion::Fuse(DetectionListSpan per_model) const {
       std::vector<size_t> cluster{i};
       for (size_t j = i + 1; j < tagged.size(); ++j) {
         if (used[j]) continue;
-        if (IoU(tagged[i].det.box, tagged[j].det.box) >
+        if (CachedIoU(iou, tagged[i].det, tagged[j].det) >
             options_.iou_threshold) {
           used[j] = true;
           cluster.push_back(j);

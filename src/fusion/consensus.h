@@ -23,7 +23,9 @@ class ConsensusFusion : public EnsembleMethod {
   explicit ConsensusFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Fusion"; }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
+  bool ConsumesIouCache() const override { return true; }
 
  private:
   FusionOptions options_;

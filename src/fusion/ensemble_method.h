@@ -20,6 +20,8 @@
 
 namespace vqe {
 
+class PairwiseIouCache;  // fusion/iou_cache.h
+
 /// Identifier of a fusion algorithm.
 enum class FusionKind {
   kNms,
@@ -85,9 +87,22 @@ class EnsembleMethod {
   ///
   /// `per_model` holds one detection list per model in the ensemble (order
   /// is irrelevant to correctness but kept stable for determinism). The
-  /// result is a single detection list with `model_index == -1`.
-  /// Implementations are stateless and safe to call concurrently.
-  virtual DetectionList Fuse(DetectionListSpan per_model) const = 0;
+  /// result is a single detection list with `model_index == -1` and
+  /// `frame_det_id == -1`. Implementations are stateless and safe to call
+  /// concurrently.
+  ///
+  /// `iou` is an optional per-frame pairwise-IoU tile over the *raw* input
+  /// detections (see fusion/iou_cache.h). Methods that report
+  /// ConsumesIouCache() read raw-pair IoUs through it (bit-identical to
+  /// recomputation, by the cache's contract); others ignore it. Pass
+  /// nullptr when no cache is available.
+  virtual DetectionList Fuse(DetectionListSpan per_model,
+                             const PairwiseIouCache* iou) const = 0;
+
+  /// Cache-less convenience overload.
+  DetectionList Fuse(DetectionListSpan per_model) const {
+    return Fuse(per_model, nullptr);
+  }
 
   /// Convenience for braced calls, e.g. Fuse({a, b}). The initializer
   /// list's backing array lives for the caller's full expression, which
@@ -96,8 +111,16 @@ class EnsembleMethod {
   /// DetectionListSpan has no initializer_list constructor). Overriders
   /// pull this overload back in with `using EnsembleMethod::Fuse;`.
   DetectionList Fuse(std::initializer_list<DetectionList> lists) const {
-    return Fuse(DetectionListSpan(lists.begin(), lists.size()));
+    return Fuse(DetectionListSpan(lists.begin(), lists.size()), nullptr);
   }
+
+  /// True when Fuse benefits from a PairwiseIouCache: the method's only
+  /// IoU queries are between raw input detections (NMS family, NMW,
+  /// Consensus). False for methods that measure IoU against *derived*
+  /// boxes — WBF compares candidates to evolving confidence-weighted
+  /// cluster centers, which no raw-pair tile can serve bit-identically —
+  /// so callers skip building the tile entirely.
+  virtual bool ConsumesIouCache() const { return false; }
 };
 
 /// Tuning knobs shared by the fusion algorithms. Fields irrelevant to a

@@ -9,6 +9,7 @@
 
 #include "detection/detection.h"
 #include "fusion/ensemble_method.h"
+#include "fusion/iou_cache.h"
 
 namespace vqe {
 namespace fusion_internal {
@@ -19,6 +20,14 @@ std::map<ClassId, DetectionList> PoolByClass(DetectionListSpan per_model);
 
 /// Sorts a detection list by descending confidence (stable).
 void SortDesc(DetectionList* dets);
+
+/// IoU(a.box, b.box) through the per-frame tile cache when one is
+/// available, recomputed otherwise. Only valid for *raw* input detections
+/// (see PairwiseIouCache's bit-identity contract).
+inline double CachedIoU(const PairwiseIouCache* cache, const Detection& a,
+                        const Detection& b) {
+  return cache != nullptr ? cache->Get(a, b) : IoU(a.box, b.box);
+}
 
 }  // namespace fusion_internal
 }  // namespace vqe

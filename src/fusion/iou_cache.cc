@@ -1,0 +1,55 @@
+#include "fusion/iou_cache.h"
+
+namespace vqe {
+
+int AssignFrameDetIds(std::vector<DetectionList>& per_model) {
+  int32_t next = 0;
+  for (auto& list : per_model) {
+    for (auto& d : list) d.frame_det_id = next++;
+  }
+  return static_cast<int>(next);
+}
+
+PairwiseIouCache::PairwiseIouCache(const std::vector<DetectionList>& per_model,
+                                   int num_ids) {
+  if (num_ids <= 0 || num_ids > kMaxCachedDetections) return;
+  n_ = num_ids;
+  const size_t n = static_cast<size_t>(n_);
+  tile_.assign(n * n, -1.0);
+
+  std::vector<const Detection*> by_id(n, nullptr);
+  for (const auto& list : per_model) {
+    for (const auto& d : list) {
+      if (d.frame_det_id >= 0 && d.frame_det_id < n_) {
+        by_id[static_cast<size_t>(d.frame_det_id)] = &d;
+      }
+    }
+  }
+  // Fill same-label pairs only: fusion pools per class, so cross-label
+  // pairs are never queried. IoU is FP-symmetric, so one computation per
+  // unordered pair serves both orientations bit-identically.
+  for (size_t i = 0; i < n; ++i) {
+    const Detection* a = by_id[i];
+    if (a == nullptr) continue;
+    for (size_t j = i; j < n; ++j) {
+      const Detection* b = by_id[j];
+      if (b == nullptr || b->label != a->label) continue;
+      const double iou = IoU(a->box, b->box);
+      tile_[i * n + j] = iou;
+      tile_[j * n + i] = iou;
+    }
+  }
+}
+
+double PairwiseIouCache::Get(const Detection& a, const Detection& b) const {
+  if (a.frame_det_id >= 0 && a.frame_det_id < n_ && b.frame_det_id >= 0 &&
+      b.frame_det_id < n_) {
+    const double v = tile_[static_cast<size_t>(a.frame_det_id) *
+                               static_cast<size_t>(n_) +
+                           static_cast<size_t>(b.frame_det_id)];
+    if (v >= 0.0) return v;
+  }
+  return IoU(a.box, b.box);
+}
+
+}  // namespace vqe

@@ -6,10 +6,12 @@
 
 namespace vqe {
 
+using fusion_internal::CachedIoU;
 using fusion_internal::PoolByClass;
 using fusion_internal::SortDesc;
 
-DetectionList NmsFusion::Fuse(DetectionListSpan per_model) const {
+DetectionList NmsFusion::Fuse(DetectionListSpan per_model,
+                              const PairwiseIouCache* iou) const {
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {
     DetectionList dets = pooled;
@@ -19,10 +21,11 @@ DetectionList NmsFusion::Fuse(DetectionListSpan per_model) const {
       if (suppressed[i]) continue;
       Detection kept = dets[i];
       kept.model_index = -1;
+      kept.frame_det_id = -1;
       if (kept.confidence >= options_.score_threshold) out.push_back(kept);
       for (size_t j = i + 1; j < dets.size(); ++j) {
         if (suppressed[j]) continue;
-        if (IoU(dets[i].box, dets[j].box) > options_.iou_threshold) {
+        if (CachedIoU(iou, dets[i], dets[j]) > options_.iou_threshold) {
           suppressed[j] = true;
         }
       }
@@ -31,7 +34,8 @@ DetectionList NmsFusion::Fuse(DetectionListSpan per_model) const {
   return out;
 }
 
-DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model) const {
+DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model,
+                                  const PairwiseIouCache* iou) const {
   // Drop decayed boxes below this floor even when the caller sets a zero
   // score_threshold, matching the reference implementation's behaviour.
   const double floor =
@@ -46,22 +50,27 @@ DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model) const {
       for (size_t i = 1; i < remaining.size(); ++i) {
         if (remaining[i].confidence > remaining[best].confidence) best = i;
       }
-      Detection kept = remaining[best];
-      kept.model_index = -1;
+      // `kept` retains its frame_det_id for the decay loop's cached IoU
+      // queries (its box is the raw input box); the emitted copy resets
+      // the fusion-output identity fields.
+      const Detection kept = remaining[best];
       remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
       if (kept.confidence < floor) continue;
-      out.push_back(kept);
+      Detection emitted = kept;
+      emitted.model_index = -1;
+      emitted.frame_det_id = -1;
+      out.push_back(emitted);
 
       // Decay the scores of overlapping survivors.
       DetectionList next;
       next.reserve(remaining.size());
       for (auto& d : remaining) {
-        const double iou = IoU(kept.box, d.box);
+        const double overlap = CachedIoU(iou, kept, d);
         double decayed = d.confidence;
         if (decay_ == Decay::kLinear) {
-          if (iou > options_.iou_threshold) decayed *= (1.0 - iou);
+          if (overlap > options_.iou_threshold) decayed *= (1.0 - overlap);
         } else {
-          decayed *= std::exp(-(iou * iou) / options_.sigma);
+          decayed *= std::exp(-(overlap * overlap) / options_.sigma);
         }
         if (decayed >= floor) {
           d.confidence = decayed;
@@ -74,7 +83,8 @@ DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model) const {
   return out;
 }
 
-DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model) const {
+DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model,
+                                    const PairwiseIouCache* iou) const {
   constexpr double kVarianceEpsilon = 1e-3;
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {
@@ -88,21 +98,22 @@ DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model) const {
       double wsum = 0.0;
       BBox voted{0, 0, 0, 0};
       for (size_t j = 0; j < dets.size(); ++j) {
-        const double iou = IoU(dets[i].box, dets[j].box);
+        const double overlap = CachedIoU(iou, dets[i], dets[j]);
         const bool is_self = j == i;
-        if (!is_self && iou <= options_.iou_threshold) continue;
+        if (!is_self && overlap <= options_.iou_threshold) continue;
         const double variance =
             dets[j].box_variance > 0.0
                 ? dets[j].box_variance
                 : (1.0 - dets[j].confidence) + kVarianceEpsilon;
         const double w =
-            std::exp(-(1.0 - iou) * (1.0 - iou) / options_.sigma) / variance;
+            std::exp(-(1.0 - overlap) * (1.0 - overlap) / options_.sigma) /
+            variance;
         voted.x1 += w * dets[j].box.x1;
         voted.y1 += w * dets[j].box.y1;
         voted.x2 += w * dets[j].box.x2;
         voted.y2 += w * dets[j].box.y2;
         wsum += w;
-        if (!is_self && iou > options_.iou_threshold) suppressed[j] = true;
+        if (!is_self && overlap > options_.iou_threshold) suppressed[j] = true;
       }
       Detection kept = dets[i];
       if (wsum > 0.0) {
@@ -110,6 +121,7 @@ DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model) const {
                         voted.y2 / wsum};
       }
       kept.model_index = -1;
+      kept.frame_det_id = -1;
       if (kept.confidence >= options_.score_threshold) out.push_back(kept);
     }
   }

@@ -17,7 +17,9 @@ class NmsFusion : public EnsembleMethod {
   explicit NmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMS"; }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
+  bool ConsumesIouCache() const override { return true; }
 
  private:
   FusionOptions options_;
@@ -37,7 +39,9 @@ class SoftNmsFusion : public EnsembleMethod {
     return decay_ == Decay::kLinear ? "Soft-NMS(linear)" : "Soft-NMS(gauss)";
   }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
+  bool ConsumesIouCache() const override { return true; }
 
  private:
   FusionOptions options_;
@@ -54,7 +58,9 @@ class SofterNmsFusion : public EnsembleMethod {
   explicit SofterNmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Softer-NMS"; }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
+  bool ConsumesIouCache() const override { return true; }
 
  private:
   FusionOptions options_;

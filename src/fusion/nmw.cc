@@ -4,10 +4,12 @@
 
 namespace vqe {
 
+using fusion_internal::CachedIoU;
 using fusion_internal::PoolByClass;
 using fusion_internal::SortDesc;
 
-DetectionList NmwFusion::Fuse(DetectionListSpan per_model) const {
+DetectionList NmwFusion::Fuse(DetectionListSpan per_model,
+                              const PairwiseIouCache* iou) const {
   DetectionList out;
   for (auto& [cls, pooled] : PoolByClass(per_model)) {
     DetectionList dets = pooled;
@@ -31,10 +33,10 @@ DetectionList NmwFusion::Fuse(DetectionListSpan per_model) const {
       accumulate(dets[i], 1.0);  // the top box votes with IoU 1 to itself
       for (size_t j = i + 1; j < dets.size(); ++j) {
         if (used[j]) continue;
-        const double iou = IoU(dets[i].box, dets[j].box);
-        if (iou > options_.iou_threshold) {
+        const double overlap = CachedIoU(iou, dets[i], dets[j]);
+        if (overlap > options_.iou_threshold) {
           used[j] = true;
-          accumulate(dets[j], iou);
+          accumulate(dets[j], overlap);
         }
       }
 
@@ -43,6 +45,7 @@ DetectionList NmwFusion::Fuse(DetectionListSpan per_model) const {
         fused.box = BBox{x1 / wsum, y1 / wsum, x2 / wsum, y2 / wsum};
       }
       fused.model_index = -1;
+      fused.frame_det_id = -1;
       if (fused.confidence >= options_.score_threshold) out.push_back(fused);
     }
   }

@@ -16,7 +16,9 @@ class NmwFusion : public EnsembleMethod {
   explicit NmwFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMW"; }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
+  bool ConsumesIouCache() const override { return true; }
 
  private:
   FusionOptions options_;

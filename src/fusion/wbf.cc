@@ -44,7 +44,13 @@ struct WbfCluster {
 
 }  // namespace
 
-DetectionList WbfFusion::Fuse(DetectionListSpan per_model) const {
+// WBF deliberately ignores the IoU cache (ConsumesIouCache() stays
+// false): candidates are matched against the *fused* box of each cluster,
+// a derived confidence-weighted average — even a single-member cluster's
+// center is (w·x)/w, not bitwise x — so no raw-pair tile can serve these
+// queries bit-identically.
+DetectionList WbfFusion::Fuse(DetectionListSpan per_model,
+                              const PairwiseIouCache* /*iou*/) const {
   const size_t num_models = per_model.size();
   DetectionList out;
 

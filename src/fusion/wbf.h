@@ -24,7 +24,8 @@ class WbfFusion : public EnsembleMethod {
   explicit WbfFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "WBF"; }
   using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model) const override;
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const override;
 
  private:
   FusionOptions options_;

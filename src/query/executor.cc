@@ -7,9 +7,11 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/baselines.h"
+#include "core/frame_eval.h"
 #include "core/mes.h"
 #include "core/mes_b.h"
 #include "detection/ap.h"
+#include "fusion/iou_cache.h"
 #include "models/model_zoo.h"
 #include "query/parser.h"
 #include "query/predicate.h"
@@ -88,11 +90,6 @@ Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
         name + " is an offline oracle baseline and cannot run in a query");
   }
   return Status::NotFound("unknown strategy: " + clause.strategy);
-}
-
-// Simulated fusion overhead, matching core/frame_matrix.cc.
-double SimulatedFusionOverheadMs(size_t num_input_boxes) {
-  return 0.01 + 0.002 * static_cast<double>(num_input_boxes);
 }
 
 }  // namespace
@@ -204,11 +201,18 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     }
 
     // Fuse every subset of the selection (outputs are reused; only the
-    // cheap box fusion re-runs) and estimate its reward.
+    // cheap box fusion re-runs) and estimate its reward. The subsets all
+    // fuse the same cached boxes, so share one pairwise-IoU tile across
+    // them (model_out is reused between frames: re-id every frame).
     est_score.assign(num_masks + 1, nan);
     DetectionList selected_fused;
     GroundTruthIndex ref_index;
     if (strategy->UsesReferenceModel()) ref_index = BuildGroundTruthIndex(ref_gt);
+    PairwiseIouCache iou_tile;
+    if (fusion->ConsumesIouCache()) {
+      const int num_ids = AssignFrameDetIds(model_out);
+      iou_tile = PairwiseIouCache(model_out, num_ids);
+    }
     std::vector<const DetectionList*> inputs;
     inputs.reserve(static_cast<size_t>(m));
     ForEachSubset(selected, [&](EnsembleId sub) {
@@ -222,7 +226,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
         boxes += out_i.size();
         cost += model_cost[static_cast<size_t>(i)];
       }
-      DetectionList fused = fusion->Fuse(DetectionListSpan(inputs));
+      DetectionList fused = fusion->Fuse(DetectionListSpan(inputs), &iou_tile);
       const double overhead = SimulatedFusionOverheadMs(boxes);
       frame_cost += overhead;
       cost += overhead;

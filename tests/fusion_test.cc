@@ -11,6 +11,7 @@
 #include "detection/ap.h"
 #include "fusion/consensus.h"
 #include "fusion/ensemble_method.h"
+#include "fusion/iou_cache.h"
 #include "fusion/nms.h"
 #include "fusion/nmw.h"
 #include "fusion/wbf.h"
@@ -430,6 +431,52 @@ TEST_P(FusionPropertyTest, PointerViewMatchesOwningInput) {
       EXPECT_EQ(from_copy[i].box.y1, from_view[i].box.y1);
       EXPECT_EQ(from_copy[i].box.x2, from_view[i].box.x2);
       EXPECT_EQ(from_copy[i].box.y2, from_view[i].box.y2);
+    }
+  }
+}
+
+// Fusing with the per-frame pairwise-IoU tile must match the uncached
+// path bit for bit: the tile stores exactly what IoU() returns, methods
+// that measure IoU against derived boxes (WBF) opt out, and a disabled
+// cache degrades to recomputation.
+TEST_P(FusionPropertyTest, CachedIouMatchesUncached) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    for (auto& list : inputs) {
+      const int n = static_cast<int>(rng.UniformInt(6));
+      for (int i = 0; i < n; ++i) {
+        auto d = Det(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                     rng.Uniform(10, 40), rng.Uniform(10, 40),
+                     rng.Uniform(0.1, 1.0), rng.UniformInt(2));
+        d.box_variance = rng.Uniform(0.1, 10.0);
+        list.push_back(d);
+      }
+    }
+    const auto plain = (*method)->Fuse(inputs);
+
+    const int num_ids = AssignFrameDetIds(inputs);
+    const PairwiseIouCache tile(inputs, num_ids);
+    std::vector<const DetectionList*> ptrs;
+    for (const auto& list : inputs) ptrs.push_back(&list);
+    const auto cached = (*method)->Fuse(DetectionListSpan(ptrs), &tile);
+    const PairwiseIouCache disabled;
+    const auto no_tile = (*method)->Fuse(DetectionListSpan(ptrs), &disabled);
+
+    for (const auto* out : {&cached, &no_tile}) {
+      ASSERT_EQ(plain.size(), out->size());
+      for (size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].confidence, (*out)[i].confidence);
+        EXPECT_EQ(plain[i].label, (*out)[i].label);
+        EXPECT_EQ(plain[i].box.x1, (*out)[i].box.x1);
+        EXPECT_EQ(plain[i].box.y1, (*out)[i].box.y1);
+        EXPECT_EQ(plain[i].box.x2, (*out)[i].box.x2);
+        EXPECT_EQ(plain[i].box.y2, (*out)[i].box.y2);
+        // Fused outputs never leak a frame-local id.
+        EXPECT_EQ((*out)[i].frame_det_id, -1);
+      }
     }
   }
 }

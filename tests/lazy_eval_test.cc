@@ -1,0 +1,295 @@
+// Lazy memoized evaluation: every cell a LazyFrameEvaluator materializes
+// must be bit-identical to the eagerly built FrameMatrix (both run the
+// shared FrameEvalContext kernel — these tests pin the contract), engine
+// runs must be indistinguishable across backends, and lazy MES runs must
+// actually skip most of the lattice.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/lazy_frame_evaluator.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+#include "sim/dataset.h"
+
+namespace vqe {
+namespace {
+
+// Eight distinct structure@context detectors; pools take the first m.
+DetectorPool MakePool(int m) {
+  const std::vector<std::string> names = {
+      "yolov7-tiny@clear", "yolov7-tiny@night", "yolov7-tiny@rainy",
+      "yolov7@clear",      "yolov7-micro@clear", "yolov7@night",
+      "faster-rcnn@clear", "yolov7-micro@rainy"};
+  std::vector<DetectorProfile> profiles;
+  for (int i = 0; i < m; ++i) {
+    profiles.push_back(
+        std::move(ParseDetectorName(names[static_cast<size_t>(i)])).value());
+  }
+  return std::move(BuildPool(profiles)).value();
+}
+
+Video MakeVideo(double scene_scale, uint64_t seed) {
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions sample;
+  sample.scene_scale = scene_scale;
+  sample.seed = seed;
+  return std::move(SampleVideo(*spec, sample)).value();
+}
+
+void ExpectSameRun(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.s_sum, b.s_sum);
+  EXPECT_EQ(a.avg_true_ap, b.avg_true_ap);
+  EXPECT_EQ(a.avg_norm_cost, b.avg_norm_cost);
+  EXPECT_EQ(a.frames_processed, b.frames_processed);
+  EXPECT_EQ(a.regret, b.regret);
+  EXPECT_EQ(a.regret_available, b.regret_available);
+  EXPECT_EQ(a.charged_cost_ms, b.charged_cost_ms);
+  EXPECT_EQ(a.breakdown.detector_ms, b.breakdown.detector_ms);
+  EXPECT_EQ(a.breakdown.reference_ms, b.breakdown.reference_ms);
+  EXPECT_EQ(a.breakdown.ensembling_ms, b.breakdown.ensembling_ms);
+  EXPECT_EQ(a.selection_counts, b.selection_counts);
+}
+
+// Every cell and every frame stat, for each fusion family the cache
+// treats differently (WBF bypasses the IoU tile; NMS and Consensus
+// consume it), and for eager builds at several worker counts.
+TEST(LazyEvalTest, EveryCellBitIdenticalToEagerMatrix) {
+  const int m = 4;
+  const DetectorPool pool = MakePool(m);
+  const Video video = MakeVideo(/*scene_scale=*/0.02, /*seed=*/11);
+  ASSERT_GT(video.size(), 0u);
+
+  for (const FusionKind kind :
+       {FusionKind::kWbf, FusionKind::kNms, FusionKind::kConsensus}) {
+    MatrixOptions options;
+    options.fusion = kind;
+    for (const int workers : {1, 2, 8}) {
+      options.parallelism = workers;
+      const auto matrix =
+          std::move(BuildFrameMatrix(video, pool, /*trial_seed=*/7, options))
+              .value();
+      auto lazy = std::move(LazyFrameEvaluator::Create(video, pool,
+                                                       /*trial_seed=*/7,
+                                                       options))
+                      .value();
+      ASSERT_EQ(lazy->num_frames(), matrix.size());
+      ASSERT_EQ(lazy->num_models(), matrix.num_models);
+      const uint32_t num_masks = matrix.num_ensembles();
+      for (size_t t = 0; t < matrix.size(); ++t) {
+        const FrameEvaluation& fe = matrix.frames[t];
+        const FrameStats stats = lazy->Stats(t);
+        EXPECT_EQ(stats.context, fe.context);
+        EXPECT_EQ(*stats.model_cost_ms, fe.model_cost_ms);
+        EXPECT_EQ(stats.ref_cost_ms, fe.ref_cost_ms);
+        EXPECT_EQ(stats.max_cost_ms, fe.max_cost_ms)
+            << "FullEnsembleCostMs must equal the eager running max";
+        for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
+          const MaskEvaluation e = lazy->Eval(t, mask);
+          ASSERT_EQ(e.est_ap, fe.est_ap[mask])
+              << FusionKindToString(kind) << " t=" << t << " mask=" << mask;
+          ASSERT_EQ(e.true_ap, fe.true_ap[mask]);
+          ASSERT_EQ(e.cost_ms, fe.cost_ms[mask]);
+          ASSERT_EQ(e.fusion_overhead_ms, fe.fusion_overhead_ms[mask]);
+        }
+      }
+      EXPECT_EQ(lazy->frames_touched(), matrix.size());
+      EXPECT_EQ(lazy->masks_materialized(),
+                static_cast<uint64_t>(matrix.size()) * num_masks);
+    }
+  }
+}
+
+// Memoization: re-reading a cell serves the memo and returns the same
+// value; instrumentation counts distinct cells, not reads.
+TEST(LazyEvalTest, EvalIsMemoized) {
+  const DetectorPool pool = MakePool(3);
+  auto lazy = std::move(LazyFrameEvaluator::Create(
+                            MakeVideo(0.02, 3), pool, /*trial_seed=*/3))
+                  .value();
+  ASSERT_GT(lazy->num_frames(), 0u);
+  const MaskEvaluation first = lazy->Eval(0, 5);
+  EXPECT_EQ(lazy->masks_materialized(), 1u);
+  EXPECT_EQ(lazy->memo_hits(), 0u);
+  const MaskEvaluation again = lazy->Eval(0, 5);
+  EXPECT_EQ(lazy->masks_materialized(), 1u);
+  EXPECT_EQ(lazy->memo_hits(), 1u);
+  EXPECT_EQ(first.est_ap, again.est_ap);
+  EXPECT_EQ(first.true_ap, again.true_ap);
+  EXPECT_EQ(first.cost_ms, again.cost_ms);
+  EXPECT_EQ(first.fusion_overhead_ms, again.fusion_overhead_ms);
+}
+
+// An MES run observes only the subset lattices of its selections, so the
+// lazy backend must (a) reproduce the eager run bit-for-bit and (b)
+// materialize strictly less than the full 2^m − 1 masks per frame on
+// average — the whole point of laziness at m = 8.
+TEST(LazyEvalTest, MesM8RunsBitIdenticalAndMaterializesSparsely) {
+  const int m = 8;
+  const DetectorPool pool = MakePool(m);
+  const Video video = MakeVideo(/*scene_scale=*/0.03, /*seed=*/17);
+  ASSERT_GT(video.size(), 20u);
+
+  EngineOptions engine;
+  engine.sc = ScoringFunction{};
+  engine.strategy_seed = 99;
+  engine.compute_regret = false;
+
+  MesOptions mes;
+  mes.gamma = 2;
+
+  const auto matrix =
+      std::move(BuildFrameMatrix(video, pool, /*trial_seed=*/17)).value();
+  MesStrategy eager_mes(mes);
+  const RunResult eager =
+      std::move(RunStrategy(matrix, &eager_mes, engine)).value();
+
+  auto lazy = std::move(LazyFrameEvaluator::Create(video, pool,
+                                                   /*trial_seed=*/17))
+                  .value();
+  MesStrategy lazy_mes(mes);
+  const RunResult lazy_run =
+      std::move(RunStrategy(*lazy, &lazy_mes, engine)).value();
+
+  ExpectSameRun(eager, lazy_run);
+
+  const uint64_t full_lattice =
+      static_cast<uint64_t>(lazy->num_frames()) * matrix.num_ensembles();
+  EXPECT_LT(lazy->masks_materialized(), full_lattice)
+      << "lazy MES run materialized the whole lattice";
+}
+
+// With compute_regret on, a lazy source has no Pareto frontier, so the
+// engine falls back to the exhaustive scan — slower, but the regret it
+// reports must still match the eager frontier-accelerated scan.
+TEST(LazyEvalTest, LazyRegretMatchesEagerFrontierRegret) {
+  const DetectorPool pool = MakePool(4);
+  const Video video = MakeVideo(0.02, 5);
+
+  EngineOptions engine;
+  engine.strategy_seed = 21;
+  engine.compute_regret = true;
+
+  const auto matrix =
+      std::move(BuildFrameMatrix(video, pool, /*trial_seed=*/5)).value();
+  RandomStrategy eager_rand;
+  const RunResult eager =
+      std::move(RunStrategy(matrix, &eager_rand, engine)).value();
+
+  auto lazy =
+      std::move(LazyFrameEvaluator::Create(video, pool, /*trial_seed=*/5))
+          .value();
+  RandomStrategy lazy_rand;
+  const RunResult lazy_run =
+      std::move(RunStrategy(*lazy, &lazy_rand, engine)).value();
+
+  EXPECT_TRUE(eager.regret_available);
+  ExpectSameRun(eager, lazy_run);
+  // The exhaustive fallback materialized everything.
+  EXPECT_EQ(lazy->masks_materialized(),
+            static_cast<uint64_t>(lazy->num_frames()) *
+                matrix.num_ensembles());
+}
+
+TEST(LazyEvalTest, RegretSkippedWhenDisabled) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 5);
+  EngineOptions engine;
+  engine.compute_regret = false;
+  const auto matrix =
+      std::move(BuildFrameMatrix(video, pool, /*trial_seed=*/5)).value();
+  BruteForceStrategy bf;
+  const RunResult run = std::move(RunStrategy(matrix, &bf, engine)).value();
+  EXPECT_FALSE(run.regret_available);
+  EXPECT_EQ(run.regret, 0.0);
+}
+
+TEST(LazyEvalTest, FullLatticeFlags) {
+  EXPECT_TRUE(OptStrategy().needs_full_lattice());
+  EXPECT_TRUE(BruteForceStrategy().needs_full_lattice());
+  EXPECT_FALSE(SingleBestStrategy().needs_full_lattice());
+  EXPECT_FALSE(RandomStrategy().needs_full_lattice());
+  EXPECT_FALSE(ExploreFirstStrategy().needs_full_lattice());
+  EXPECT_FALSE(MesStrategy(MesOptions{}).needs_full_lattice());
+}
+
+// The experiment harness must produce identical outcomes whichever
+// backend a config picks — including kAuto, which goes lazy here (all
+// online strategies, regret off).
+TEST(LazyEvalTest, ExperimentBackendsAgree) {
+  const DetectorPool pool = MakePool(3);
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+
+  ExperimentConfig config;
+  config.dataset = spec;
+  config.scene_scale = 0.02;
+  config.trials = 2;
+  config.pool_size = 3;
+  config.base_seed = 77;
+  config.engine.compute_regret = false;
+
+  std::vector<StrategySpec> strategies = {
+      {"MES",
+       [] {
+         MesOptions opt;
+         opt.gamma = 2;
+         return std::make_unique<MesStrategy>(opt);
+       }},
+      {"RAND", [] { return std::make_unique<RandomStrategy>(); }},
+      {"SGL", [] { return std::make_unique<SingleBestStrategy>(); }},
+  };
+
+  config.evaluation = EvaluationMode::kEager;
+  const auto eager =
+      std::move(RunExperiment(config, pool, strategies)).value();
+  config.evaluation = EvaluationMode::kLazy;
+  const auto lazy = std::move(RunExperiment(config, pool, strategies)).value();
+  config.evaluation = EvaluationMode::kAuto;
+  const auto autom = std::move(RunExperiment(config, pool, strategies)).value();
+
+  ASSERT_EQ(eager.outcomes.size(), strategies.size());
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    for (const auto* other : {&lazy, &autom}) {
+      ASSERT_EQ(other->outcomes[i].runs.size(), eager.outcomes[i].runs.size());
+      for (size_t trial = 0; trial < eager.outcomes[i].runs.size(); ++trial) {
+        ExpectSameRun(eager.outcomes[i].runs[trial],
+                      other->outcomes[i].runs[trial]);
+      }
+      EXPECT_FALSE(other->outcomes[i].regret_available);
+    }
+  }
+}
+
+// kAuto must stay eager when a full-lattice strategy (OPT) is in the
+// line-up: the run still works and reports regret when asked.
+TEST(LazyEvalTest, AutoKeepsEagerForOracleLineup) {
+  const DetectorPool pool = MakePool(3);
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+
+  ExperimentConfig config;
+  config.dataset = spec;
+  config.scene_scale = 0.02;
+  config.trials = 1;
+  config.pool_size = 3;
+  config.base_seed = 13;
+  config.evaluation = EvaluationMode::kAuto;  // regret on -> eager
+
+  std::vector<StrategySpec> strategies = {
+      {"OPT", [] { return std::make_unique<OptStrategy>(); }},
+  };
+  const auto result =
+      std::move(RunExperiment(config, pool, strategies)).value();
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.outcomes[0].regret_available);
+  // OPT's regret against its own argmax baseline is exactly zero.
+  EXPECT_EQ(result.outcomes[0].runs[0].regret, 0.0);
+}
+
+}  // namespace
+}  // namespace vqe

@@ -72,6 +72,27 @@ TEST(ParallelForTest, SlotWritesAreDeterministic) {
   EXPECT_EQ(serial, parallel);
 }
 
+TEST(ParallelForTest, ChunkedClaimingCoversEveryIndexExactlyOnce) {
+  // The chunked scheduler claims ~8 ranges per worker instead of one index
+  // per fetch_add; the disjoint-range partition must still visit every
+  // index exactly once for sizes that do not divide evenly into chunks,
+  // at any parallelism level.
+  for (const size_t n : {1u, 2u, 7u, 63u, 64u, 65u, 1001u}) {
+    for (const int workers : {0, 1, 2, 3, 8, 64}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(n, workers, [&](size_t i) {
+        ASSERT_LT(i, n);
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " workers=" << workers
+                                     << " index=" << i;
+      }
+    }
+  }
+}
+
 TEST(ParallelForTest, CompletionHandshakeStress) {
   // Regression test for a use-after-scope in the completion handshake:
   // workers used to notify the done condition variable after releasing its

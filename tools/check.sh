@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Repo verification gate: tier-1 tests plus sanitizer passes over the
+# concurrency- and aliasing-sensitive suites.
+#
+#   tools/check.sh          # tier-1 only (what CI gates on)
+#   tools/check.sh --full   # + ASan and TSan configs of the sensitive tests
+#
+# The sanitizer passes rebuild into build-asan/ and build-tsan/ (both
+# .gitignore'd) and run the suites that exercise the shared thread pool,
+# the chunked ParallelFor scheduler, the pairwise-IoU tile shared across
+# fusion calls, and lazy-vs-eager evaluation equivalence.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_tier1() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  ctest --test-dir build -L tier1 --output-on-failure -j 4
+}
+
+run_sanitizer() {
+  san="$1"
+  dir="build-$2"
+  cmake -B "$dir" -S . -DVQE_SANITIZE="$san" >/dev/null
+  cmake --build "$dir" -j --target \
+    thread_pool_test determinism_test fusion_test lazy_eval_test
+  ctest --test-dir "$dir" --output-on-failure -j 4 \
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty"
+}
+
+run_tier1
+
+if [ "${1:-}" = "--full" ]; then
+  run_sanitizer address asan
+  run_sanitizer thread tsan
+fi
+
+echo "check.sh: all requested checks passed"
