@@ -1,0 +1,97 @@
+// Fault-tolerant ingestion: a mid-video outage takes one detector down and
+// a second one flakes at a low rate, yet every frame completes — failed
+// members are retried under a deadline, their circuit breaker trips after
+// repeated failures (masking them out of the bandit's candidate arms until
+// a half-open probe succeeds), and each affected frame falls back to the
+// surviving sub-ensemble. The run report shows where the time went.
+//
+//   ./build/examples/fault_tolerance
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+
+int main() {
+  using namespace vqe;
+
+  const int m = 3;
+  auto pool = std::move(BuildNuscenesPool(m)).value();
+
+  ExperimentConfig config;
+  config.dataset = *DatasetCatalog::Default().Find("nusc-night");
+  config.scene_scale = 0.1;
+  config.engine.compute_regret = false;
+
+  // The fault-tolerance policy: one retry with a small backoff, and a
+  // breaker that trips after 3 consecutive failures, cools down for 25
+  // frames, then probes.
+  config.matrix.retry.max_attempts = 2;
+  config.matrix.retry.backoff_base_ms = 0.25;
+  config.engine.breaker.failure_threshold = 3;
+  config.engine.breaker.open_frames = 25;
+
+  // The outage script: detector 0 is hard-down for frames [20, 80);
+  // detector 1 drops a call now and then.
+  std::vector<FaultScript> scripts(static_cast<size_t>(m));
+  scripts[0].bursts.push_back(
+      {/*begin_frame=*/20, /*end_frame=*/80, FaultKind::kError,
+       /*context=*/-1});
+  scripts[1].error_rate = 0.05;
+  const DetectorPool faulty =
+      std::move(ApplyFaultScripts(pool, scripts)).value();
+
+  const auto clean = std::move(BuildTrialMatrix(config, pool, 0)).value();
+  const auto degraded = std::move(BuildTrialMatrix(config, faulty, 0)).value();
+
+  MesOptions mes_opt;
+  mes_opt.gamma = 5;
+  MesStrategy mes_clean(mes_opt);
+  MesStrategy mes_degraded(mes_opt);
+  const RunResult healthy =
+      std::move(RunStrategy(clean, &mes_clean, config.engine)).value();
+  const RunResult outage =
+      std::move(RunStrategy(degraded, &mes_degraded, config.engine)).value();
+
+  std::printf("MES over %zu frames of nusc-night, healthy vs outage:\n\n",
+              healthy.frames_processed);
+  std::printf("%-32s %12s %12s\n", "", "healthy", "outage");
+  std::printf("%-32s %12.1f %12.1f\n", "sum of scores (s_sum)", healthy.s_sum,
+              outage.s_sum);
+  std::printf("%-32s %12.3f %12.3f\n", "avg true AP", healthy.avg_true_ap,
+              outage.avg_true_ap);
+  std::printf("%-32s %12zu %12zu\n", "frames processed",
+              healthy.frames_processed, outage.frames_processed);
+  std::printf("%-32s %12zu %12zu\n", "fallback frames",
+              static_cast<size_t>(healthy.fallback_frames),
+              static_cast<size_t>(outage.fallback_frames));
+  std::printf("%-32s %12zu %12zu\n", "failed frames",
+              static_cast<size_t>(healthy.failed_frames),
+              static_cast<size_t>(outage.failed_frames));
+  std::printf("%-32s %12.1f %12.1f\n", "detector time (ms)",
+              healthy.breakdown.detector_ms, outage.breakdown.detector_ms);
+  std::printf("%-32s %12.1f %12.1f\n\n", "time lost to faults (ms)",
+              healthy.breakdown.fault_ms, outage.breakdown.fault_ms);
+
+  std::printf("Per-model health in the outage run:\n");
+  std::printf("%-24s %10s %8s %8s %10s\n", "model", "selected", "failed",
+              "opens", "fault ms");
+  for (int i = 0; i < m; ++i) {
+    const auto& health = outage.model_availability[static_cast<size_t>(i)];
+    std::printf("%-24s %10llu %8llu %8llu %10.1f\n",
+                degraded.model_names[static_cast<size_t>(i)].c_str(),
+                static_cast<unsigned long long>(health.frames_selected),
+                static_cast<unsigned long long>(health.frames_failed),
+                static_cast<unsigned long long>(health.breaker_opens),
+                health.fault_ms);
+  }
+
+  std::printf(
+      "\nExpected: every frame completes in both runs; the outage run "
+      "shows fallback frames and fault time concentrated on the scripted "
+      "detector, whose breaker opened during the outage and closed again "
+      "after it.\n");
+  return 0;
+}

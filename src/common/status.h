@@ -25,6 +25,21 @@ enum class StatusCode {
   kParseError,
   kResourceExhausted,
   kInternal,
+  /// A per-call deadline elapsed before the operation finished (the
+  /// fault-tolerant detector runtime's timeout signal).
+  kDeadlineExceeded,
+  /// A dependency is (possibly transiently) down — retrying may succeed.
+  kUnavailable,
+};
+
+/// Every StatusCode, for exhaustive enumeration in tests/diagnostics.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument,
+    StatusCode::kOutOfRange,   StatusCode::kNotFound,
+    StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+    StatusCode::kParseError,   StatusCode::kResourceExhausted,
+    StatusCode::kInternal,     StatusCode::kDeadlineExceeded,
+    StatusCode::kUnavailable,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -62,6 +77,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <utility>
 
 namespace vqe {
@@ -89,6 +90,7 @@ void ParallelFor(size_t n, int parallelism,
   if (n == 0) return;
   const int workers = ResolveWorkers(parallelism, n);
   if (workers <= 1) {
+    // Serial path: exceptions propagate to the caller naturally.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -105,13 +107,37 @@ void ParallelFor(size_t n, int parallelism,
   const size_t chunk =
       std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
   auto next = std::make_shared<std::atomic<size_t>>(0);
-  auto drain = [next, n, chunk, &fn] {
+
+  // First-exception capture: a throwing body must not escape into the pool's
+  // worker loop (that would terminate the process). The first exception from
+  // any participant is stashed here and rethrown on the calling thread after
+  // the completion handshake; later exceptions are dropped. Once an exception
+  // is recorded the index counter is slammed to n so remaining chunks are
+  // abandoned — the exactly-once guarantee does not hold for indices after a
+  // throw.
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  // Capturing err_mu/err by reference is safe for the same reason `fn` is:
+  // the caller blocks on the completion handshake until every task finished.
+  auto drain = [next, n, chunk, &fn, &err_mu, &err] {
     RegionGuard region;
     while (true) {
       const size_t begin = next->fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
       const size_t end = std::min(n, begin + chunk);
-      for (size_t i = begin; i < end; ++i) fn(i);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!err) err = std::current_exception();
+          }
+          next->store(n, std::memory_order_relaxed);  // cancel remaining work
+          return;
+        }
+      }
     }
   };
 
@@ -139,8 +165,11 @@ void ParallelFor(size_t n, int parallelism,
     });
   }
   drain();  // the caller participates
-  std::unique_lock<std::mutex> lock(done->mu);
-  done->cv.wait(lock, [&] { return done->pending == 0; });
+  {
+    std::unique_lock<std::mutex> lock(done->mu);
+    done->cv.wait(lock, [&] { return done->pending == 0; });
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace vqe

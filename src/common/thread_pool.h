@@ -70,8 +70,13 @@ int ResolveWorkers(int parallelism, size_t n);
 /// threads (shared-pool workers plus the calling thread), blocking until
 /// all indices are done. Threads claim chunks of consecutive indices
 /// (~8 chunks per worker) so the atomic claim and closure dispatch are
-/// amortized over the chunk; each index still runs exactly once. fn must
-/// not throw.
+/// amortized over the chunk; each index still runs exactly once.
+///
+/// Exceptions: if any fn(i) throws, the first exception (by capture order,
+/// which is nondeterministic under contention) is rethrown on the calling
+/// thread after all participants stop; remaining unclaimed indices are
+/// abandoned, so the exactly-once guarantee holds only for non-throwing
+/// runs.
 void ParallelFor(size_t n, int parallelism,
                  const std::function<void(size_t)>& fn);
 

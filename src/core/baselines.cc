@@ -13,23 +13,29 @@ void OptStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId OptStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
-  EnsembleId best = 1;
+  const EnsembleId eligible = EligibleMask(num_models_);
+  EnsembleId best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (EnsembleId s = 1; s <= full; ++s) {
+    if (!IsSubsetOf(s, eligible)) continue;
     const double r = oracle_->TrueScore(t, s);
     if (r > best_score) {
       best_score = r;
       best = s;
     }
   }
-  return best;
+  return best == 0 ? eligible : best;
 }
 
 void SingleBestStrategy::BeginVideo(const StrategyContext& ctx) {
   assert(ctx.oracle != nullptr && "SGL requires an OracleView");
   // The paper: "always applies a specific single detector (which is the
   // most accurate on average across all frames)". Average the true AP of
-  // each singleton over the video.
+  // each singleton over the video; keep every singleton's average so the
+  // choice can degrade to the best *eligible* detector when a breaker
+  // opens the calibrated one.
+  num_models_ = ctx.num_models;
+  singleton_ap_.assign(static_cast<size_t>(ctx.num_models), 0.0);
   choice_ = 1;
   double best_ap = -1.0;
   for (int i = 0; i < ctx.num_models; ++i) {
@@ -38,11 +44,28 @@ void SingleBestStrategy::BeginVideo(const StrategyContext& ctx) {
     for (size_t t = 0; t < ctx.oracle->num_frames(); ++t) {
       sum += ctx.oracle->TrueAp(t, s);
     }
+    singleton_ap_[static_cast<size_t>(i)] = sum;
     if (sum > best_ap) {
       best_ap = sum;
       choice_ = s;
     }
   }
+}
+
+EnsembleId SingleBestStrategy::Select(size_t /*t*/) {
+  const EnsembleId eligible = EligibleMask(num_models_);
+  if (IsSubsetOf(choice_, eligible)) return choice_;
+  // Calibrated detector is breaker-open: run the best eligible singleton.
+  EnsembleId fallback = 0;
+  double best_ap = -1.0;
+  for (int i = 0; i < num_models_; ++i) {
+    if (!ContainsModel(eligible, i)) continue;
+    if (singleton_ap_[static_cast<size_t>(i)] > best_ap) {
+      best_ap = singleton_ap_[static_cast<size_t>(i)];
+      fallback = Singleton(i);
+    }
+  }
+  return fallback == 0 ? choice_ : fallback;
 }
 
 void RandomStrategy::BeginVideo(const StrategyContext& ctx) {
@@ -51,8 +74,25 @@ void RandomStrategy::BeginVideo(const StrategyContext& ctx) {
 }
 
 EnsembleId RandomStrategy::Select(size_t /*t*/) {
-  const uint32_t num_masks = NumEnsembles(num_models_);
-  return static_cast<EnsembleId>(1 + rng_.UniformInt(num_masks));
+  const EnsembleId eligible = EligibleMask(num_models_);
+  const int k = EnsembleSize(eligible);
+  // Uniform over the 2^k − 1 non-empty subsets of the eligible pool: draw
+  // a mask over k virtual bits, then expand bit j onto the j-th eligible
+  // model (ascending). With every model eligible the expansion is the
+  // identity, so this consumes exactly the same RNG stream as the
+  // unrestricted `1 + UniformInt(2^m − 1)` did — seeded runs without
+  // faults are unchanged.
+  const EnsembleId draw =
+      static_cast<EnsembleId>(1 + rng_.UniformInt(NumEnsembles(k)));
+  if (eligible == FullEnsemble(num_models_)) return draw;
+  EnsembleId out = 0;
+  int j = 0;
+  for (int i = 0; i < num_models_; ++i) {
+    if (!ContainsModel(eligible, i)) continue;
+    if (ContainsModel(draw, j)) out |= Singleton(i);
+    ++j;
+  }
+  return out;
 }
 
 ExploreFirstStrategy::ExploreFirstStrategy(size_t frames_per_arm)
@@ -69,9 +109,14 @@ void ExploreFirstStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId ExploreFirstStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
+  const EnsembleId eligible = EligibleMask(num_models_);
   if (t < explore_frames_) {
-    // Round-robin through the arms, δ_EF frames each.
-    return static_cast<EnsembleId>(1 + t / frames_per_arm_);
+    // Round-robin through the arms, δ_EF frames each. An arm touching an
+    // open-breaker model degrades to its eligible part for this pull (or
+    // the whole eligible pool when nothing of it survives).
+    const auto arm = static_cast<EnsembleId>(1 + t / frames_per_arm_);
+    if (IsSubsetOf(arm, eligible)) return arm;
+    return (arm & eligible) != 0 ? (arm & eligible) : eligible;
   }
   if (committed_ == 0) {
     // Commit to the best estimated arm after exploration.
@@ -86,15 +131,21 @@ EnsembleId ExploreFirstStrategy::Select(size_t t) {
       }
     }
   }
-  return committed_;
+  if (IsSubsetOf(committed_, eligible)) return committed_;
+  // The committed arm lost a member to an open breaker; EF does not keep
+  // learning, so just run what is still healthy of it.
+  return (committed_ & eligible) != 0 ? (committed_ & eligible) : eligible;
 }
 
 void ExploreFirstStrategy::Observe(const FrameFeedback& feedback) {
   if (feedback.t >= explore_frames_) return;  // committed: nothing to learn
-  // Generic MAB: the pulled arm's reward only; no subset reuse.
+  // Generic MAB: the pulled arm's reward only; no subset reuse. The arm
+  // actually pulled is the realized mask — scores for arms with failed
+  // members are NaN by construction.
+  const EnsembleId arm = feedback.CreditMask();
   const std::vector<double>& est = *feedback.est_score;
-  sum_[feedback.selected] += est[feedback.selected];
-  ++count_[feedback.selected];
+  sum_[arm] += est[arm];
+  ++count_[arm];
 }
 
 }  // namespace vqe

@@ -40,7 +40,7 @@ class BruteForceStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override {
     num_models_ = ctx.num_models;
   }
-  EnsembleId Select(size_t) override { return FullEnsemble(num_models_); }
+  EnsembleId Select(size_t) override { return EligibleMask(num_models_); }
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
   /// Selecting M every frame makes its subset lattice the whole candidate
@@ -60,12 +60,16 @@ class SingleBestStrategy : public SelectionStrategy {
     return kName;
   }
   void BeginVideo(const StrategyContext& ctx) override;
-  EnsembleId Select(size_t) override { return choice_; }
+  EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
 
  private:
+  int num_models_ = 0;
   EnsembleId choice_ = 1;
+  /// Summed true AP per singleton (BeginVideo calibration), for degrading
+  /// to the best eligible detector when the choice's breaker is open.
+  std::vector<double> singleton_ap_;
 };
 
 /// RAND: a uniformly random ensemble per frame.

@@ -18,12 +18,13 @@ void DucbMesStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId DucbMesStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
-  if (t < options_.gamma) return full;
+  const EnsembleId eligible = EligibleMask(num_models_);
+  if (t < options_.gamma) return eligible;
 
   if (options_.probe_interval > 0 &&
       t >= last_probe_ + options_.probe_interval) {
     last_probe_ = t;
-    return full;
+    return eligible;
   }
 
   // D-UCB: U_S = μ̃_S + ς·sqrt(2 ln N_t / T̃_S) with discounted counts; N_t
@@ -32,9 +33,10 @@ EnsembleId DucbMesStrategy::Select(size_t t) {
   for (EnsembleId s = 1; s <= full; ++s) total += count_[s];
   const double log_n = std::log(std::max(total, 2.0));
 
-  EnsembleId best = 1;
+  EnsembleId best = 0;
   double best_u = -std::numeric_limits<double>::infinity();
   for (EnsembleId s = 1; s <= full; ++s) {
+    if (!IsSubsetOf(s, eligible)) continue;
     double u;
     if (count_[s] <= 1e-9) {
       u = std::numeric_limits<double>::infinity();
@@ -47,7 +49,7 @@ EnsembleId DucbMesStrategy::Select(size_t t) {
       best = s;
     }
   }
-  return best;
+  return best == 0 ? eligible : best;
 }
 
 void DucbMesStrategy::Observe(const FrameFeedback& feedback) {
@@ -57,7 +59,7 @@ void DucbMesStrategy::Observe(const FrameFeedback& feedback) {
     sum_[s] *= options_.discount;
   }
   const std::vector<double>& est = *feedback.est_score;
-  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+  ForEachSubset(feedback.CreditMask(), [&](EnsembleId sub) {
     count_[sub] += 1.0;
     sum_[sub] += est[sub];
   });

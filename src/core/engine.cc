@@ -12,7 +12,7 @@ Status EngineOptions::Validate() const {
   if (budget_ms < 0.0) {
     return Status::InvalidArgument("budget_ms must be >= 0");
   }
-  return Status::OK();
+  return breaker.Validate();
 }
 
 Result<RunResult> RunStrategy(EvaluationSource& source,
@@ -46,6 +46,15 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
   result.regret_available = options.compute_regret;
   result.selection_counts.assign(num_masks + 1, 0);
 
+  const int m = source.num_models();
+  const EnsembleId full = FullEnsemble(m);
+  result.model_availability.assign(static_cast<size_t>(m), {});
+  // One breaker per model, driven by the outcomes of selected-member calls
+  // (the information protocol: the engine never peeks at models it did not
+  // run). All state advances on the deterministic frame clock.
+  std::vector<CircuitBreaker> breakers(static_cast<size_t>(m),
+                                       CircuitBreaker(options.breaker));
+
   std::vector<double> est_score(num_masks + 1);
   std::vector<double> norm_cost(num_masks + 1);
   const double nan = std::numeric_limits<double>::quiet_NaN();
@@ -56,6 +65,18 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
         result.charged_cost_ms > options.budget_ms) {
       break;
     }
+
+    // Mask open-breaker models out of the strategy's candidate arms. If
+    // everything is open there is no arm left — fall back to the full pool
+    // (equivalent to probing everything) rather than selecting nothing.
+    EnsembleId healthy = 0;
+    for (int i = 0; i < m; ++i) {
+      if (breakers[static_cast<size_t>(i)].AllowsCallAt(t)) {
+        healthy |= Singleton(i);
+      }
+    }
+    if (healthy == 0) healthy = full;
+    strategy->SetEligibleModels(healthy);
 
     EnsembleId selected;
     {
@@ -68,57 +89,89 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
 
     // Stats after Select so a lazy source only touches processed frames.
     const FrameStats stats = source.Stats(t);
+    // The arm that actually ran: sources that predate fault accounting
+    // report no availability, which means everything answered.
+    const EnsembleId avail = stats.fault_aware ? stats.available_mask : full;
+    const EnsembleId realized = selected & avail;
 
     // Charged cost (Eq. 14; Eq. 12 during full-pool initialization):
-    // every selected model once, plus fusion overhead for each subset.
+    // every selected model once — failed calls included, their time was
+    // spent — plus fusion overhead for each realized subset. Wasted time
+    // moves from detector_ms to fault_ms; breakers see each member's
+    // outcome.
     double frame_cost = 0.0;
-    for (int i = 0; i < source.num_models(); ++i) {
-      if (ContainsModel(selected, i)) {
-        const double model_ms = (*stats.model_cost_ms)[static_cast<size_t>(i)];
-        frame_cost += model_ms;
-        result.breakdown.detector_ms += model_ms;
+    for (int i = 0; i < m; ++i) {
+      if (!ContainsModel(selected, i)) continue;
+      const size_t idx = static_cast<size_t>(i);
+      const double model_ms = (*stats.model_cost_ms)[idx];
+      const double fault_i =
+          stats.model_fault_ms != nullptr ? (*stats.model_fault_ms)[idx] : 0.0;
+      frame_cost += model_ms;
+      result.breakdown.detector_ms += model_ms - fault_i;
+      result.breakdown.fault_ms += fault_i;
+      RunResult::ModelAvailability& health = result.model_availability[idx];
+      ++health.frames_selected;
+      health.fault_ms += fault_i;
+      if (ContainsModel(avail, i)) {
+        breakers[idx].RecordSuccess(t);
+      } else {
+        ++health.frames_failed;
+        breakers[idx].RecordFailure(t);
       }
     }
 
-    // One pass over the selection's subset lattice: accumulate fusion
+    // One pass over the *realized* arm's subset lattice: accumulate fusion
     // overhead and publish estimated rewards (information protocol — NaN
-    // for masks whose outputs do not exist). ForEachSubset visits `selected`
-    // first, so the selection's own evaluation is captured on the way.
+    // for masks whose outputs do not exist, including every mask touching
+    // a failed member). ForEachSubset visits the realized mask first, so
+    // its own evaluation is captured on the way.
     const double inv_max =
         stats.max_cost_ms > 0.0 ? 1.0 / stats.max_cost_ms : 0.0;
     est_score.assign(num_masks + 1, nan);
     norm_cost.assign(num_masks + 1, nan);
     double overhead = 0.0;
     MaskEvaluation sel_eval;
-    ForEachSubset(selected, [&](EnsembleId sub) {
-      const MaskEvaluation e = source.Eval(t, sub);
-      if (sub == selected) sel_eval = e;
-      overhead += e.fusion_overhead_ms;
-      norm_cost[sub] = e.cost_ms * inv_max;
-      est_score[sub] = options.sc.Score(e.est_ap, norm_cost[sub]);
-    });
+    if (realized != 0) {
+      ForEachSubset(realized, [&](EnsembleId sub) {
+        const MaskEvaluation e = source.Eval(t, sub);
+        if (sub == realized) sel_eval = e;
+        overhead += e.fusion_overhead_ms;
+        norm_cost[sub] = e.cost_ms * inv_max;
+        est_score[sub] = options.sc.Score(e.est_ap, norm_cost[sub]);
+      });
+    }
     frame_cost += overhead;
     result.breakdown.ensembling_ms += overhead;
     result.charged_cost_ms += frame_cost;
+    if (realized == 0) {
+      ++result.failed_frames;
+    } else if (realized != selected) {
+      ++result.fallback_frames;
+    }
 
     if (strategy->UsesReferenceModel()) {
       result.breakdown.reference_ms += stats.ref_cost_ms;
     }
 
-    FrameFeedback feedback;
-    feedback.t = t;
-    feedback.selected = selected;
-    feedback.est_score = &est_score;
-    feedback.norm_cost = &norm_cost;
-    {
+    if (realized != 0) {
+      FrameFeedback feedback;
+      feedback.t = t;
+      feedback.selected = selected;
+      feedback.realized = realized;
+      feedback.est_score = &est_score;
+      feedback.norm_cost = &norm_cost;
       ScopedTimer timer(&algo_time);
       strategy->Observe(feedback);
     }
 
-    // Measurements (true scores; §5.5).
-    const double sel_norm_cost = sel_eval.cost_ms * inv_max;
+    // Measurements (true scores; §5.5). A fully failed frame produced no
+    // output: its true score and AP are zero by definition, not
+    // Score(0, 0) (which would credit the cost term).
+    const double sel_norm_cost =
+        realized != 0 ? sel_eval.cost_ms * inv_max : 0.0;
     const double sel_true =
-        options.sc.Score(sel_eval.true_ap, sel_norm_cost);
+        realized != 0 ? options.sc.Score(sel_eval.true_ap, sel_norm_cost)
+                      : 0.0;
     if (options.compute_regret) {
       // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
       // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
@@ -159,6 +212,10 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
     const double n = static_cast<double>(result.frames_processed);
     result.avg_true_ap /= n;
     result.avg_norm_cost /= n;
+  }
+  for (int i = 0; i < m; ++i) {
+    result.model_availability[static_cast<size_t>(i)].breaker_opens =
+        breakers[static_cast<size_t>(i)].opens();
   }
   result.breakdown.algorithm_ms = algo_time.total_seconds() * 1e3;
   return result;

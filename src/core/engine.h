@@ -17,6 +17,7 @@
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
 #include "core/strategy.h"
+#include "runtime/circuit_breaker.h"
 
 namespace vqe {
 
@@ -38,6 +39,13 @@ struct EngineOptions {
   /// it to keep a lazy run's cost proportional to the selected subset
   /// lattices; RunResult::regret_available records the choice.
   bool compute_regret = true;
+  /// Per-model circuit breakers over the run's frame clock: models whose
+  /// selected-member calls keep failing are masked out of the strategy's
+  /// candidate arms (SelectionStrategy::SetEligibleModels) until the
+  /// breaker re-admits probes. Breaker trajectories depend only on the
+  /// deterministic per-frame call outcomes, so runs stay bit-identical
+  /// across worker counts and backends.
+  CircuitBreakerOptions breaker;
 
   Status Validate() const;
 };
@@ -50,12 +58,17 @@ struct TimeBreakdown {
   double reference_ms = 0.0;
   /// Simulated box-fusion overhead c^e, ms.
   double ensembling_ms = 0.0;
+  /// Simulated time wasted on faults: failed attempts, retry backoff,
+  /// abandoned-deadline waits. Split out of detector_ms so degraded runs
+  /// show where the budget went.
+  double fault_ms = 0.0;
   /// Real wall-clock spent in strategy Select/Observe, ms — the "other
   /// optimization components" share.
   double algorithm_ms = 0.0;
 
   double TotalMs() const {
-    return detector_ms + reference_ms + ensembling_ms + algorithm_ms;
+    return detector_ms + reference_ms + ensembling_ms + fault_ms +
+           algorithm_ms;
   }
 };
 
@@ -82,6 +95,26 @@ struct RunResult {
   std::vector<uint64_t> selection_counts;
   /// (iteration, cumulative charged cost) pairs when record_cost_curve.
   std::vector<std::pair<size_t, double>> cost_curve;
+
+  /// Per-model health over the run (fault-tolerance report).
+  struct ModelAvailability {
+    /// Frames where the strategy's selected mask included this model.
+    uint64_t frames_selected = 0;
+    /// Of those, frames where the model's call failed after retries.
+    uint64_t frames_failed = 0;
+    /// Times this model's circuit breaker tripped open.
+    uint64_t breaker_opens = 0;
+    /// Wasted time charged to this model (failed attempts + backoff), ms.
+    double fault_ms = 0.0;
+  };
+  /// Indexed by model; size num_models.
+  std::vector<ModelAvailability> model_availability;
+  /// Frames that completed on a strict sub-mask of the selection because
+  /// some selected member failed.
+  uint64_t fallback_frames = 0;
+  /// Frames where *every* selected member failed — processed (time is
+  /// charged) but with no output and no bandit observation.
+  uint64_t failed_frames = 0;
 };
 
 /// Runs `strategy` over an evaluation source — the eager matrix view or a

@@ -37,6 +37,14 @@ struct FrameStats {
   double ref_cost_ms = 0.0;
   /// max_S c_{S|v}: the normalizer of ĉ (§5.4).
   double max_cost_ms = 0.0;
+  /// Models whose call succeeded on this frame; meaningful only when
+  /// fault_aware (the engine otherwise assumes every model answered).
+  EnsembleId available_mask = 0;
+  /// Per-model wasted time (failed attempts + backoff), or nullptr when the
+  /// source predates fault accounting.
+  const std::vector<double>* model_fault_ms = nullptr;
+  /// True when this source ran the fault-aware detector pipeline.
+  bool fault_aware = false;
 };
 
 /// A source of per-(frame, mask) evaluations. Accessors are non-const
@@ -83,6 +91,10 @@ class MatrixEvaluationSource final : public EvaluationSource {
     stats.model_cost_ms = &fe.model_cost_ms;
     stats.ref_cost_ms = fe.ref_cost_ms;
     stats.max_cost_ms = fe.max_cost_ms;
+    stats.available_mask = fe.available_mask;
+    stats.model_fault_ms = fe.model_fault_ms.empty() ? nullptr
+                                                     : &fe.model_fault_ms;
+    stats.fault_aware = fe.fault_aware;
     return stats;
   }
 

@@ -18,8 +18,36 @@ Status ExperimentConfig::Validate() const {
   if (parallelism < 0) {
     return Status::InvalidArgument("parallelism must be >= 0");
   }
+  for (const FaultScript& script : fault_scripts) {
+    VQE_RETURN_NOT_OK(script.Validate());
+  }
   VQE_RETURN_NOT_OK(matrix.Validate());
   return engine.Validate();
+}
+
+Result<DetectorPool> ApplyFaultScripts(
+    const DetectorPool& pool, const std::vector<FaultScript>& scripts) {
+  if (scripts.size() != pool.detectors.size()) {
+    return Status::InvalidArgument(
+        "fault_scripts size must equal the pool size");
+  }
+  if (pool.reference == nullptr) {
+    return Status::InvalidArgument("pool has no reference model");
+  }
+  for (const FaultScript& script : scripts) {
+    VQE_RETURN_NOT_OK(script.Validate());
+  }
+  DetectorPool decorated;
+  decorated.detectors.reserve(pool.detectors.size());
+  for (size_t i = 0; i < pool.detectors.size(); ++i) {
+    decorated.detectors.push_back(std::make_unique<FaultInjectingDetector>(
+        pool.detectors[i].get(), scripts[i]));
+  }
+  // The reference channel is the estimator, not a candidate arm — it is
+  // cloned, never fault-injected (its profile fully determines it).
+  decorated.reference =
+      std::make_unique<ReferenceDetector>(pool.reference->profile());
+  return decorated;
 }
 
 const StrategyOutcome* ExperimentResult::Find(const std::string& label) const {
@@ -60,6 +88,17 @@ Result<ExperimentResult> RunExperiment(
   VQE_RETURN_NOT_OK(config.Validate());
   if (strategies.empty()) {
     return Status::InvalidArgument("no strategies to run");
+  }
+
+  // With fault scripts configured, run every trial against the decorated
+  // pool. The decoration is non-owning, so `pool` (a parameter with caller
+  // lifetime) safely backs it for the whole experiment.
+  const DetectorPool* run_pool = &pool;
+  DetectorPool faulty_pool;
+  if (!config.fault_scripts.empty()) {
+    VQE_ASSIGN_OR_RETURN(faulty_pool,
+                         ApplyFaultScripts(pool, config.fault_scripts));
+    run_pool = &faulty_pool;
   }
 
   ExperimentResult result;
@@ -111,7 +150,7 @@ Result<ExperimentResult> RunExperiment(
     EvaluationSource* source = nullptr;
     if (lazy) {
       auto eval_result =
-          BuildTrialEvaluator(config, pool, static_cast<uint64_t>(trial));
+          BuildTrialEvaluator(config, *run_pool, static_cast<uint64_t>(trial));
       if (!eval_result.ok()) {
         trial_status[static_cast<size_t>(trial)] = eval_result.status();
         return;
@@ -122,7 +161,7 @@ Result<ExperimentResult> RunExperiment(
           static_cast<double>(evaluator->num_frames());
     } else {
       auto matrix_result =
-          BuildTrialMatrix(config, pool, static_cast<uint64_t>(trial));
+          BuildTrialMatrix(config, *run_pool, static_cast<uint64_t>(trial));
       if (!matrix_result.ok()) {
         trial_status[static_cast<size_t>(trial)] = matrix_result.status();
         return;
@@ -168,18 +207,25 @@ Result<ExperimentResult> RunExperiment(
   for (auto& outcome : result.outcomes) {
     outcome.regret_available = config.engine.compute_regret;
     std::vector<double> s_sum, ap, cost, regret, frames;
+    std::vector<double> fallback, failed, fault;
     for (const auto& run : outcome.runs) {
       s_sum.push_back(run.s_sum);
       ap.push_back(run.avg_true_ap);
       cost.push_back(run.avg_norm_cost);
       regret.push_back(run.regret);
       frames.push_back(static_cast<double>(run.frames_processed));
+      fallback.push_back(static_cast<double>(run.fallback_frames));
+      failed.push_back(static_cast<double>(run.failed_frames));
+      fault.push_back(run.breakdown.fault_ms);
     }
     outcome.s_sum = Summarize(s_sum);
     outcome.avg_true_ap = Summarize(ap);
     outcome.avg_norm_cost = Summarize(cost);
     outcome.regret = Summarize(regret);
     outcome.frames_processed = Summarize(frames);
+    outcome.fallback_frames = Summarize(fallback);
+    outcome.failed_frames = Summarize(failed);
+    outcome.fault_ms = Summarize(fault);
   }
   return result;
 }

@@ -16,6 +16,7 @@
 #include "core/engine.h"
 #include "core/frame_matrix.h"
 #include "core/lazy_frame_evaluator.h"
+#include "runtime/fault_injection.h"
 #include "sim/dataset.h"
 
 namespace vqe {
@@ -63,6 +64,13 @@ struct ExperimentConfig {
   /// Either way every observable value is bit-identical; only the amount
   /// of fusion work differs.
   EvaluationMode evaluation = EvaluationMode::kAuto;
+  /// Per-detector fault scripts, index-aligned with the pool. Empty means
+  /// no injection; otherwise the size must equal the pool size and
+  /// RunExperiment decorates each detector with its script (the reference
+  /// model is never fault-injected). Faults are deterministic in
+  /// (base_seed, trial), so experiments with faults aggregate and compare
+  /// exactly like fault-free ones.
+  std::vector<FaultScript> fault_scripts;
 
   Status Validate() const;
 };
@@ -77,6 +85,12 @@ struct StrategyOutcome {
   /// Meaningless (all-zero samples) when !regret_available.
   SampleSummary regret;
   SampleSummary frames_processed;
+  /// Fault-tolerance report: frames completed on a sub-mask, frames with
+  /// no surviving member, and simulated time lost to faults (all zero in
+  /// fault-free runs).
+  SampleSummary fallback_frames;
+  SampleSummary failed_frames;
+  SampleSummary fault_ms;
   /// False when the engine skipped the regret baseline
   /// (EngineOptions::compute_regret was off).
   bool regret_available = true;
@@ -108,6 +122,15 @@ Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
 Result<std::unique_ptr<LazyFrameEvaluator>> BuildTrialEvaluator(
     const ExperimentConfig& config, const DetectorPool& pool,
     uint64_t trial_index);
+
+/// Decorates each detector of `pool` with its FaultScript (index-aligned;
+/// size must match) and clones the reference model. The returned pool does
+/// not own the inner detectors — `pool` must outlive it. RunExperiment
+/// applies this automatically when ExperimentConfig::fault_scripts is set;
+/// callers driving BuildTrialMatrix/BuildTrialEvaluator directly decorate
+/// explicitly.
+Result<DetectorPool> ApplyFaultScripts(
+    const DetectorPool& pool, const std::vector<FaultScript>& scripts);
 
 /// The default strategy line-up of Figure 4 (OPT, BF, SGL, RAND, EF, MES)
 /// with the given MES initialization γ and EF exploration length.

@@ -1,5 +1,9 @@
 #include "core/frame_eval.h"
 
+#include <utility>
+
+#include "runtime/retry.h"
+
 namespace vqe {
 
 FrameEvalContext::FrameEvalContext(const VideoFrame& frame,
@@ -11,10 +15,25 @@ FrameEvalContext::FrameEvalContext(const VideoFrame& frame,
   const size_t m = pool.detectors.size();
   model_out_.resize(m);
   model_cost_ms_.resize(m);
-  // Materialize per-model outputs once (the reuse of Alg. 1 lines 9-10).
+  model_fault_ms_.assign(m, 0.0);
+  model_ok_.assign(m, 0);
+  // Materialize per-model outputs once (the reuse of Alg. 1 lines 9-10),
+  // each call routed through the deadline/retry choke point. The default
+  // policy on a plain detector reduces to Detect + InferenceCostMs in the
+  // historical order, so no-fault runs stay bit-identical. A failed call
+  // contributes an empty output and only wasted time — the mask lattice
+  // over the surviving models stays fully evaluable.
   for (size_t i = 0; i < m; ++i) {
-    model_out_[i] = pool.detectors[i]->Detect(frame, trial_seed);
-    model_cost_ms_[i] = pool.detectors[i]->InferenceCostMs(frame, trial_seed);
+    DetectorCallOutcome call =
+        DetectWithRetries(*pool.detectors[i], frame, trial_seed,
+                          options.retry);
+    model_cost_ms_[i] = call.charged_ms();
+    model_fault_ms_[i] = call.fault_ms;
+    if (call.ok()) {
+      model_out_[i] = std::move(call.detections);
+      model_ok_[i] = 1;
+      available_mask_ |= Singleton(static_cast<int>(i));
+    }
   }
   const DetectionList ref_out = pool.reference->Detect(frame, trial_seed);
   ref_cost_ms_ = pool.reference->InferenceCostMs(frame, trial_seed);

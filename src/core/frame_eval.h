@@ -64,6 +64,16 @@ class FrameEvalContext {
   const std::vector<double>& model_cost_ms() const { return model_cost_ms_; }
   double ref_cost_ms() const { return ref_cost_ms_; }
 
+  /// Models whose call succeeded on this frame (after the retry policy in
+  /// MatrixOptions ran its course). Full when nothing failed.
+  EnsembleId available_mask() const { return available_mask_; }
+  /// Per-model wasted time (failed attempts + backoff); part of
+  /// model_cost_ms, split out so callers can report fault time separately.
+  const std::vector<double>& model_fault_ms() const { return model_fault_ms_; }
+  bool model_ok(int i) const {
+    return model_ok_[static_cast<size_t>(i)] != 0;
+  }
+
   /// c_{M|v} of the full pool: Σ over all models (ascending index) plus
   /// the fusion overhead of every cached box. Bit-identical to
   /// Evaluate(FullEnsemble(m)).cost_ms without fusing anything, and equal
@@ -82,6 +92,9 @@ class FrameEvalContext {
   const EnsembleMethod* fusion_;
   std::vector<DetectionList> model_out_;
   std::vector<double> model_cost_ms_;
+  std::vector<double> model_fault_ms_;
+  std::vector<uint8_t> model_ok_;
+  EnsembleId available_mask_ = 0;
   double ref_cost_ms_ = 0.0;
   GroundTruthIndex ref_index_;
   GroundTruthIndex gt_index_;

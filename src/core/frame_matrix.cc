@@ -19,6 +19,7 @@ Status MatrixOptions::Validate() const {
   if (parallelism < 0) {
     return Status::InvalidArgument("parallelism must be >= 0");
   }
+  VQE_RETURN_NOT_OK(retry.Validate());
   return fusion_options.Validate();
 }
 
@@ -99,6 +100,9 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
     FrameEvalContext ctx(frame, pool, trial_seed, options, *fusion);
     fe.model_cost_ms = ctx.model_cost_ms();
     fe.ref_cost_ms = ctx.ref_cost_ms();
+    fe.available_mask = ctx.available_mask();
+    fe.model_fault_ms = ctx.model_fault_ms();
+    fe.fault_aware = true;
 
     for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
       const MaskEvaluation e = ctx.Evaluate(mask);

@@ -19,6 +19,7 @@
 #include "detection/ap.h"
 #include "fusion/ensemble_method.h"
 #include "models/model_zoo.h"
+#include "runtime/retry.h"
 #include "sim/video.h"
 
 namespace vqe {
@@ -37,6 +38,11 @@ struct MatrixOptions {
   /// functions of (frame, trial_seed), so the matrix is bit-identical for
   /// every setting.
   int parallelism = 0;
+  /// Deadline/retry policy for each detector call (runtime/retry.h). The
+  /// default (one attempt, no deadline) reproduces the pre-runtime behavior
+  /// bit-for-bit. Shared by the eager build and the lazy evaluator so both
+  /// backends see identical call outcomes.
+  RetryPolicy retry;
 
   Status Validate() const;
 };
@@ -65,6 +71,18 @@ struct FrameEvaluation {
   /// engine's oracle scan is O(|frontier|) instead of O(2^m). Empty means
   /// "not cached: scan every mask" (hand-built matrices in tests).
   std::vector<EnsembleId> best_true_candidates;
+  /// Models whose detector call succeeded on this frame (after retries).
+  /// Meaningful only when fault_aware; a selected mask degrades to
+  /// `selected & available_mask` in the engine.
+  EnsembleId available_mask = 0;
+  /// Wasted per-model time: failed attempts + backoff (size m when
+  /// fault_aware, else empty). Included in model_cost_ms; the engine splits
+  /// it back out into TimeBreakdown.fault_ms.
+  std::vector<double> model_fault_ms;
+  /// True for evaluations produced by the fault-aware pipeline. Hand-built
+  /// matrices in tests leave it false, and the engine then treats every
+  /// model as available.
+  bool fault_aware = false;
 };
 
 /// The whole evaluation matrix for one (video, trial) pair.

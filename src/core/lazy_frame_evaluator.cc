@@ -57,6 +57,9 @@ FrameStats LazyFrameEvaluator::Stats(size_t t) {
   stats.model_cost_ms = &slot.ctx->model_cost_ms();
   stats.ref_cost_ms = slot.ctx->ref_cost_ms();
   stats.max_cost_ms = slot.max_cost_ms;
+  stats.available_mask = slot.ctx->available_mask();
+  stats.model_fault_ms = &slot.ctx->model_fault_ms();
+  stats.fault_aware = true;
   return stats;
 }
 

@@ -21,16 +21,20 @@ void MesStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId MesStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
+  const EnsembleId eligible = EligibleMask(num_models_);
   if (t < options_.gamma) {
     // Initialization (Alg. 1 lines 2-3): run all models; every ensemble is
-    // evaluated from the cached outputs.
-    return full;
+    // evaluated from the cached outputs. Open-breaker models are excluded —
+    // their calls would be refused anyway.
+    return eligible;
   }
-  // UCB selection (Alg. 1 lines 5-7): U_S = μ̂_S + sqrt(2 ln t / T_S).
+  // UCB selection (Alg. 1 lines 5-7): U_S = μ̂_S + sqrt(2 ln t / T_S),
+  // restricted to arms inside the eligible (breaker-healthy) pool.
   const double log_t = std::log(static_cast<double>(t + 1));  // t is 1-based
-  EnsembleId best = 1;
+  EnsembleId best = 0;
   double best_u = -kInf;
   for (EnsembleId s = 1; s <= full; ++s) {
+    if (!IsSubsetOf(s, eligible)) continue;
     const uint64_t count = stats_.Count(s);
     const double u =
         count == 0
@@ -43,19 +47,22 @@ EnsembleId MesStrategy::Select(size_t t) {
       best = s;
     }
   }
-  return best;
+  return best == 0 ? eligible : best;
 }
 
 void MesStrategy::Observe(const FrameFeedback& feedback) {
   const bool init_phase = feedback.t < options_.gamma;
   const std::vector<double>& est = *feedback.est_score;
+  // Credit the arm that actually ran (selected minus failed members):
+  // scores outside its subset lattice are NaN and were never observed.
+  const EnsembleId credit = feedback.CreditMask();
   if (init_phase || options_.subset_updates) {
-    // Update the selected arm and all its subsets (Eq. 8-10).
-    ForEachSubset(feedback.selected,
+    // Update the realized arm and all its subsets (Eq. 8-10).
+    ForEachSubset(credit,
                   [&](EnsembleId sub) { stats_.Record(sub, est[sub]); });
   } else {
-    // MES-A: only the arm actually selected (Alg. 1 line 8).
-    stats_.Record(feedback.selected, est[feedback.selected]);
+    // MES-A: only the arm actually run (Alg. 1 line 8).
+    stats_.Record(credit, est[credit]);
   }
 }
 
@@ -71,16 +78,19 @@ void SwMesStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId SwMesStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
-  if (t < options_.gamma) return full;
+  const EnsembleId eligible = EligibleMask(num_models_);
+  if (t < options_.gamma) return eligible;
 
   // Scheduled full-information probes: keep ~min_probes full-pool frames
-  // inside the window so every arm's μ̂^λ tracks the current segment.
+  // inside the window so every arm's μ̂^λ tracks the current segment. A
+  // probe runs the eligible pool — breaker-opened models rejoin the probes
+  // once they recover.
   if (options_.min_probes > 0) {
     const size_t interval =
         std::max<size_t>(1, options_.window / options_.min_probes);
     if (t >= last_probe_ + interval) {
       last_probe_ = t;
-      return full;
+      return eligible;
     }
   }
 
@@ -89,10 +99,11 @@ EnsembleId SwMesStrategy::Select(size_t t) {
   // Rather than spending one frame per stale arm (2^m − 1 pulls per
   // window), select the *union* of all stale arms: every stale arm is a
   // subset of the union, so a single pull refreshes all of them through the
-  // subset updates of Alg. 1 lines 9-10.
+  // subset updates of Alg. 1 lines 9-10. Only eligible arms count — stale
+  // arms touching an open-breaker model stay stale until it recovers.
   EnsembleId stale_union = 0;
   for (EnsembleId s = 1; s <= full; ++s) {
-    if (stats_.Count(s) == 0) stale_union |= s;
+    if (IsSubsetOf(s, eligible) && stats_.Count(s) == 0) stale_union |= s;
   }
   if (stale_union != 0) return stale_union;
 
@@ -101,25 +112,29 @@ EnsembleId SwMesStrategy::Select(size_t t) {
   const double horizon = static_cast<double>(
       std::min<size_t>(t, options_.window));
   const double log_h = std::log(std::max(horizon, 1.0));
-  EnsembleId best = 1;
+  EnsembleId best = 0;
   double best_u = -kInf;
   for (EnsembleId s = 1; s <= full; ++s) {
+    if (!IsSubsetOf(s, eligible)) continue;
+    const uint64_t count = stats_.Count(s);
     const double u =
-        stats_.Mean(s) +
-        options_.exploration_scale *
-            std::sqrt(2.0 * log_h / static_cast<double>(stats_.Count(s)));
+        count == 0 ? kInf
+                   : stats_.Mean(s) +
+                         options_.exploration_scale *
+                             std::sqrt(2.0 * log_h /
+                                       static_cast<double>(count));
     if (u > best_u) {
       best_u = u;
       best = s;
     }
   }
-  return best;
+  return best == 0 ? eligible : best;
 }
 
 void SwMesStrategy::Observe(const FrameFeedback& feedback) {
   const std::vector<double>& est = *feedback.est_score;
   std::vector<std::pair<EnsembleId, double>> observations;
-  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+  ForEachSubset(feedback.CreditMask(), [&](EnsembleId sub) {
     observations.emplace_back(sub, est[sub]);
   });
   stats_.RecordFrame(std::move(observations));

@@ -18,12 +18,14 @@ void MesBStrategy::BeginVideo(const StrategyContext& ctx) {
 
 EnsembleId MesBStrategy::Select(size_t t) {
   const EnsembleId full = FullEnsemble(num_models_);
-  if (t < options_.gamma) return full;  // Alg. 2 initialization
+  const EnsembleId eligible = EligibleMask(num_models_);
+  if (t < options_.gamma) return eligible;  // Alg. 2 initialization
 
   const double log_t = std::log(static_cast<double>(t + 1));
-  EnsembleId best = 1;
+  EnsembleId best = 0;
   double best_d = -std::numeric_limits<double>::infinity();
   for (EnsembleId s = 1; s <= full; ++s) {
+    if (!IsSubsetOf(s, eligible)) continue;
     double d;
     if (count_[s] == 0) {
       d = std::numeric_limits<double>::infinity();
@@ -41,12 +43,12 @@ EnsembleId MesBStrategy::Select(size_t t) {
       best = s;
     }
   }
-  return best;
+  return best == 0 ? eligible : best;
 }
 
 void MesBStrategy::Observe(const FrameFeedback& feedback) {
   const std::vector<double>& est = *feedback.est_score;
-  ForEachSubset(feedback.selected, [&](EnsembleId sub) {
+  ForEachSubset(feedback.CreditMask(), [&](EnsembleId sub) {
     ++count_[sub];
     score_sum_[sub] += est[sub];
     if (feedback.norm_cost != nullptr) {

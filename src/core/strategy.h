@@ -70,13 +70,23 @@ struct StrategyContext {
 struct FrameFeedback {
   size_t t = 0;
   EnsembleId selected = 0;
+  /// The arm that actually ran: `selected` minus the members whose
+  /// detector call failed on this frame. 0 means "same as selected" (the
+  /// pre-runtime engines never set it). Scores are published for subsets
+  /// of the realized arm only — outputs of failed members do not exist.
+  EnsembleId realized = 0;
   /// Estimated scores r̂_{S|v_t}, indexed by mask; NaN for masks that are
-  /// not subsets of `selected`.
+  /// not subsets of the realized arm.
   const std::vector<double>* est_score = nullptr;
   /// Normalized costs ĉ_{S|v_t} of the same masks (observable alongside
   /// the score; budget-aware strategies consume them). NaN outside the
-  /// selection's subsets. Null when the engine does not provide costs.
+  /// realized arm's subsets. Null when the engine does not provide costs.
   const std::vector<double>* norm_cost = nullptr;
+
+  /// The arm whose subset lattice carries valid observations — what
+  /// bandits should credit (Alg. 1 lines 9-10 applied to the arm that
+  /// ran, not the arm that was asked for).
+  EnsembleId CreditMask() const { return realized == 0 ? selected : realized; }
 };
 
 /// A selection strategy. Implementations must be reusable across runs:
@@ -108,6 +118,26 @@ class SelectionStrategy {
   /// and profit from a lazy source (experiment.h's EvaluationMode::kAuto
   /// switches on this hook).
   virtual bool needs_full_lattice() const { return false; }
+
+  /// Restricts candidate arms to subsets of `eligible` — the engine calls
+  /// this each frame with the models whose circuit breakers admit calls,
+  /// so a known-bad model disappears from UCB enumeration until its
+  /// breaker lets probes through again. 0 (the default, and the value
+  /// BeginVideo implementations should restore) means "no restriction".
+  virtual void SetEligibleModels(EnsembleId eligible) {
+    eligible_models_ = eligible;
+  }
+
+ protected:
+  /// The arm universe for this frame: the eligible mask, or the full pool
+  /// when unrestricted. Strategies enumerate subsets of this instead of
+  /// [1, 2^m − 1].
+  EnsembleId EligibleMask(int num_models) const {
+    return eligible_models_ == 0 ? FullEnsemble(num_models) : eligible_models_;
+  }
+
+ private:
+  EnsembleId eligible_models_ = 0;
 };
 
 }  // namespace vqe

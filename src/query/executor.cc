@@ -15,6 +15,7 @@
 #include "models/model_zoo.h"
 #include "query/parser.h"
 #include "query/predicate.h"
+#include "runtime/resilient_detector.h"
 #include "sim/dataset.h"
 #include "track/tracker.h"
 
@@ -27,6 +28,11 @@ Status QueryEngineOptions::Validate() const {
   if (gamma < 1) return Status::InvalidArgument("gamma must be >= 1");
   if (sw_window < 2) return Status::InvalidArgument("sw_window must be >= 2");
   VQE_RETURN_NOT_OK(sc.Validate());
+  VQE_RETURN_NOT_OK(retry.Validate());
+  VQE_RETURN_NOT_OK(breaker.Validate());
+  for (const FaultScript& script : fault_scripts) {
+    VQE_RETURN_NOT_OK(script.Validate());
+  }
   return matrix.Validate();
 }
 
@@ -123,6 +129,16 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     }
     VQE_ASSIGN_OR_RETURN(pool, BuildPool(profiles));
   }
+  if (!options.fault_scripts.empty()) {
+    if (options.fault_scripts.size() != pool.detectors.size()) {
+      return Status::InvalidArgument(
+          "fault_scripts size must equal the pool size");
+    }
+    for (size_t i = 0; i < pool.detectors.size(); ++i) {
+      pool.detectors[i] = std::make_unique<FaultInjectingDetector>(
+          std::move(pool.detectors[i]), options.fault_scripts[i]);
+    }
+  }
   const int m = static_cast<int>(pool.size());
   const uint32_t num_masks = NumEnsembles(m);
 
@@ -143,7 +159,18 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
 
   QueryOutput out;
   out.selection_counts.assign(num_masks + 1, 0);
+  out.model_failures.assign(static_cast<size_t>(m), 0);
   for (const auto& d : pool.detectors) out.model_names.push_back(d->name());
+
+  // The fault-tolerance stack: one ResilientDetector (retry + breaker) per
+  // pool model. With the default policy and no fault scripts every call
+  // succeeds on the first attempt, the breakers never leave closed, and the
+  // execution is bit-identical to the pre-runtime path.
+  std::vector<ResilientDetector> runtime;
+  runtime.reserve(pool.detectors.size());
+  for (const auto& d : pool.detectors) {
+    runtime.emplace_back(d.get(), options.retry, options.breaker);
+  }
 
   // Temporal predicates (TRACKS) need an online tracker over the fused
   // detections of the selected ensembles.
@@ -159,8 +186,22 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     if (query.budget_ms > 0.0 && out.charged_cost_ms > query.budget_ms) break;
     if (query.limit > 0 && out.frames_matched >= query.limit) break;
     const VideoFrame& frame = video.frames[t];
+    const size_t frame_t = iteration++;
 
-    const EnsembleId selected = strategy->Select(iteration++);
+    // Mask breaker-open models out of the candidate ensembles for this
+    // frame. All-open degenerates to the full pool: the strategy must pick
+    // something, and half-open probes are how breakers recover.
+    EnsembleId healthy = 0;
+    for (int i = 0; i < m; ++i) {
+      if (runtime[static_cast<size_t>(i)].StateAt(frame_t) !=
+          BreakerState::kOpen) {
+        healthy |= Singleton(i);
+      }
+    }
+    if (healthy == 0) healthy = FullEnsemble(m);
+    strategy->SetEligibleModels(healthy);
+
+    const EnsembleId selected = strategy->Select(frame_t);
     if (selected == 0 || selected > num_masks) {
       return Status::Internal("strategy selected an invalid ensemble");
     }
@@ -176,18 +217,41 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
               frame, options.seed);
     }
     std::vector<double> model_cost(static_cast<size_t>(m), 0.0);
+    EnsembleId realized = 0;
     for (int i = 0; i < m; ++i) {
       if (!ContainsModel(selected, i)) {
         model_out[static_cast<size_t>(i)].clear();
         continue;
       }
-      model_out[static_cast<size_t>(i)] =
-          pool.detectors[static_cast<size_t>(i)]->Detect(frame, options.seed);
-      model_cost[static_cast<size_t>(i)] =
-          pool.detectors[static_cast<size_t>(i)]->InferenceCostMs(
-              frame, options.seed);
-      frame_cost += model_cost[static_cast<size_t>(i)];
+      // The fault-tolerant call path: retries + deadline under the policy,
+      // short-circuited at zero cost while the model's breaker is open.
+      DetectorCallOutcome call =
+          runtime[static_cast<size_t>(i)].Call(frame, options.seed, frame_t);
+      out.fault_ms += call.fault_ms;
+      frame_cost += call.charged_ms();
+      if (call.ok()) {
+        model_out[static_cast<size_t>(i)] = std::move(call.detections);
+        model_cost[static_cast<size_t>(i)] = call.inference_ms;
+        realized |= Singleton(i);
+      } else {
+        model_out[static_cast<size_t>(i)].clear();
+        ++out.model_failures[static_cast<size_t>(i)];
+      }
     }
+
+    if (realized == 0) {
+      // Every selected member failed: the frame yields no detections, so
+      // there is nothing to fuse, learn from, or match. The cost already
+      // burnt (retries, error latency) is still charged; the tracker sees
+      // an empty frame so stale tracks age out on schedule.
+      out.charged_cost_ms += frame_cost;
+      ++out.failed_frames;
+      ++out.selection_counts[selected];
+      ++out.frames_processed;
+      if (needs_tracks) tracker.Update(DetectionList{}, frame.frame_index);
+      continue;
+    }
+    if (realized != selected) ++out.fallback_frames;
 
     // Reference model (AP estimation) when the strategy learns from it.
     GroundTruthList ref_gt;
@@ -200,10 +264,12 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
                                        options.matrix.ref_confidence_threshold);
     }
 
-    // Fuse every subset of the selection (outputs are reused; only the
-    // cheap box fusion re-runs) and estimate its reward. The subsets all
-    // fuse the same cached boxes, so share one pairwise-IoU tile across
-    // them (model_out is reused between frames: re-id every frame).
+    // Fuse every subset of the *realized* ensemble (outputs are reused;
+    // only the cheap box fusion re-runs) and estimate its reward — failed
+    // members contribute nothing, so the realized sub-masks are the only
+    // arms with honest observations. The subsets all fuse the same cached
+    // boxes, so share one pairwise-IoU tile across them (model_out is
+    // reused between frames: re-id every frame).
     est_score.assign(num_masks + 1, nan);
     DetectionList selected_fused;
     GroundTruthIndex ref_index;
@@ -215,7 +281,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     }
     std::vector<const DetectionList*> inputs;
     inputs.reserve(static_cast<size_t>(m));
-    ForEachSubset(selected, [&](EnsembleId sub) {
+    ForEachSubset(realized, [&](EnsembleId sub) {
       inputs.clear();
       size_t boxes = 0;
       double cost = 0.0;
@@ -236,13 +302,14 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
         est_score[sub] = options.sc.Score(
             est_ap, full_bound > 0 ? cost / full_bound : 0.0);
       }
-      if (sub == selected) selected_fused = std::move(fused);
+      if (sub == realized) selected_fused = std::move(fused);
     });
     out.charged_cost_ms += frame_cost;
 
     FrameFeedback feedback;
-    feedback.t = iteration - 1;
+    feedback.t = frame_t;
     feedback.selected = selected;
+    feedback.realized = realized;
     feedback.est_score = &est_score;
     strategy->Observe(feedback);
 

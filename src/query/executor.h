@@ -20,6 +20,9 @@
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
 #include "query/ast.h"
+#include "runtime/circuit_breaker.h"
+#include "runtime/fault_injection.h"
+#include "runtime/retry.h"
 
 namespace vqe {
 
@@ -34,6 +37,16 @@ struct QueryEngineOptions {
   /// λ for SW-MES.
   size_t sw_window = 450;
   MatrixOptions matrix;  // fusion method + AP options + REF threshold
+  /// Per-call fault-tolerance policy for every pool detector (defaults:
+  /// single attempt, no deadline — bit-identical to the pre-runtime path).
+  RetryPolicy retry;
+  /// Per-model circuit breakers on the frame clock; an open model is masked
+  /// out of the strategy's candidate ensembles until it recovers.
+  CircuitBreakerOptions breaker;
+  /// When non-empty, must be index-aligned with the resolved pool; each
+  /// detector is wrapped with its FaultScript (the reference model never
+  /// is). Used to rehearse outages end-to-end through a live query.
+  std::vector<FaultScript> fault_scripts;
 
   Status Validate() const;
 };
@@ -54,6 +67,17 @@ struct QueryOutput {
   std::vector<uint64_t> selection_counts;
   /// Pool model names, index-aligned with mask bits.
   std::vector<std::string> model_names;
+  /// Frames completed on a strict sub-mask of the selection because some
+  /// selected member failed (retries exhausted or breaker open).
+  size_t fallback_frames = 0;
+  /// Frames where every selected member failed: no detections, no bandit
+  /// update, and the WHERE predicate is not evaluated.
+  size_t failed_frames = 0;
+  /// Simulated time lost to faults (error latency, failed retries, backoff).
+  double fault_ms = 0.0;
+  /// Per-model failed calls (retries exhausted or breaker short-circuit),
+  /// index-aligned with model_names.
+  std::vector<uint64_t> model_failures;
 };
 
 /// Parses and executes a query string.

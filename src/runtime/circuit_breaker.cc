@@ -1,0 +1,84 @@
+#include "runtime/circuit_breaker.h"
+
+namespace vqe {
+
+Status CircuitBreakerOptions::Validate() const {
+  if (failure_threshold < 1) {
+    return Status::InvalidArgument(
+        "CircuitBreakerOptions.failure_threshold must be >= 1");
+  }
+  if (open_frames < 1) {
+    return Status::InvalidArgument(
+        "CircuitBreakerOptions.open_frames must be >= 1");
+  }
+  if (half_open_probes < 1) {
+    return Status::InvalidArgument(
+        "CircuitBreakerOptions.half_open_probes must be >= 1");
+  }
+  return Status::OK();
+}
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerState CircuitBreaker::StateAt(size_t t) {
+  if (state_ == BreakerState::kOpen &&
+      t >= opened_at_ + options_.open_frames) {
+    state_ = BreakerState::kHalfOpen;
+    probe_successes_ = 0;
+  }
+  return state_;
+}
+
+void CircuitBreaker::RecordSuccess(size_t t) {
+  ++successes_;
+  switch (StateAt(t)) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++probe_successes_ >= options_.half_open_probes) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success while open (caller bypassed the breaker) is recorded in
+      // the counters but does not change state.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(size_t t) {
+  ++failures_;
+  switch (StateAt(t)) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) TripOpen(t);
+      break;
+    case BreakerState::kHalfOpen:
+      // A failed probe re-opens immediately and restarts the cool-down.
+      TripOpen(t);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+void CircuitBreaker::TripOpen(size_t t) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = t;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  ++opens_;
+}
+
+}  // namespace vqe

@@ -1,0 +1,50 @@
+// Failure-aware extension of the black-box detector interface.
+//
+// The base ObjectDetector contract (models/detector.h) assumes every call
+// succeeds: Detect returns detections, InferenceCostMs returns the charge.
+// A production runtime cannot assume that — a remote session dies, a call
+// overruns its deadline — so fault-aware detectors expose an *attempt*
+// API that reports the outcome of one call explicitly: a Status, the
+// detections (valid only on success), and the latency the attempt consumed
+// whether or not it succeeded.
+//
+// Plain ObjectDetectors keep working everywhere: the retry layer
+// (runtime/retry.h) treats any detector that is not a FallibleDetector as
+// infallible, so the fault-tolerant path is a strict superset of the old
+// behavior.
+
+#ifndef VQE_RUNTIME_FALLIBLE_DETECTOR_H_
+#define VQE_RUNTIME_FALLIBLE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "detection/detection.h"
+#include "models/detector.h"
+#include "sim/video.h"
+
+namespace vqe {
+
+/// The result of one detector attempt: status, detections (meaningful only
+/// when status is OK), and the simulated latency the attempt consumed.
+/// Failed attempts still burn time — that latency is charged as fault time
+/// by the retry layer.
+struct AttemptOutcome {
+  Status status;
+  DetectionList detections;
+  double latency_ms = 0.0;
+};
+
+/// An ObjectDetector whose calls can fail. `attempt` numbers retries within
+/// one logical call (0 = first try), letting implementations model
+/// transient faults that clear on retry versus persistent outages that do
+/// not.
+class FallibleDetector : public ObjectDetector {
+ public:
+  virtual AttemptOutcome Attempt(const VideoFrame& frame, uint64_t trial_seed,
+                                 int attempt) const = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_RUNTIME_FALLIBLE_DETECTOR_H_

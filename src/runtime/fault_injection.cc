@@ -1,0 +1,188 @@
+#include "runtime/fault_injection.h"
+
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/object_classes.h"
+
+namespace vqe {
+
+namespace {
+
+uint64_t NameHash(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+uint64_t FrameKey(const VideoFrame& frame) {
+  return HashCombine(static_cast<uint64_t>(frame.scene_id),
+                     static_cast<uint64_t>(frame.frame_index));
+}
+
+// Confidently wrong output: plausible-looking boxes at random locations
+// with high confidence, so fusion weights them seriously. Deterministic in
+// (seed, uid, frame, attempt) like every other fault draw.
+DetectionList MakeGarbage(const VideoFrame& frame, Rng& rng) {
+  const auto& classes = DrivingClasses();
+  DetectionList out;
+  const int n = 3 + static_cast<int>(rng.UniformInt(5));
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& cls = classes[rng.UniformInt(classes.size())];
+    Detection d;
+    d.label = cls.id;
+    const double w = rng.Uniform(cls.width_mean * 0.5, cls.width_mean * 1.5);
+    const double h = w * cls.aspect_mean;
+    const double cx = rng.Uniform(0.0, frame.image_width);
+    const double cy = rng.Uniform(0.0, frame.image_height);
+    d.box = BBox::FromCenter(cx, cy, w, h)
+                .ClippedTo(frame.image_width, frame.image_height);
+    if (d.box.IsEmpty()) continue;
+    d.confidence = rng.Uniform(0.80, 0.98);
+    d.box_variance = 4.0;
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status FaultScript::Validate() const {
+  for (double rate : {error_rate, spike_rate, empty_rate, garbage_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument("FaultScript rates must be in [0, 1]");
+    }
+  }
+  if (error_rate + spike_rate + empty_rate + garbage_rate > 1.0) {
+    return Status::InvalidArgument("FaultScript rates must sum to <= 1");
+  }
+  if (spike_factor < 1.0) {
+    return Status::InvalidArgument("FaultScript.spike_factor must be >= 1");
+  }
+  if (error_latency_ms < 0.0) {
+    return Status::InvalidArgument(
+        "FaultScript.error_latency_ms must be >= 0");
+  }
+  for (const FaultBurst& burst : bursts) {
+    if (burst.end_frame < burst.begin_frame) {
+      return Status::InvalidArgument("FaultBurst range must have end >= begin");
+    }
+    if (burst.kind == FaultKind::kNone) {
+      return Status::InvalidArgument("FaultBurst.kind must not be kNone");
+    }
+    if (burst.context >= kNumSceneContexts) {
+      return Status::InvalidArgument("FaultBurst.context out of range");
+    }
+  }
+  return Status::OK();
+}
+
+FaultInjectingDetector::FaultInjectingDetector(const ObjectDetector* inner,
+                                               FaultScript script)
+    : inner_(inner),
+      script_(std::move(script)),
+      uid_(NameHash(inner_->name())) {}
+
+FaultInjectingDetector::FaultInjectingDetector(
+    std::unique_ptr<ObjectDetector> inner, FaultScript script)
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      script_(std::move(script)),
+      uid_(NameHash(inner_->name())) {}
+
+FaultKind FaultInjectingDetector::FaultAt(const VideoFrame& frame,
+                                          uint64_t trial_seed,
+                                          int attempt) const {
+  // Scripted bursts dominate random faults and persist across attempts —
+  // an outage does not clear because the caller retried.
+  for (const FaultBurst& burst : script_.bursts) {
+    if (frame.frame_index < burst.begin_frame ||
+        frame.frame_index >= burst.end_frame) {
+      continue;
+    }
+    if (burst.context >= 0 &&
+        burst.context != static_cast<int>(frame.context)) {
+      continue;
+    }
+    return burst.kind;
+  }
+  const double total = script_.error_rate + script_.spike_rate +
+                       script_.empty_rate + script_.garbage_rate;
+  if (total <= 0.0) return FaultKind::kNone;
+  // One uniform draw per attempt against cumulative thresholds: at most one
+  // fault kind fires, and a fresh attempt redraws — transient faults can
+  // clear on retry.
+  Rng rng = MakeStreamRng(trial_seed, HashCombine(uid_, script_.salt),
+                          FrameKey(frame),
+                          static_cast<uint64_t>(attempt), 0xFA017ULL);
+  const double u = rng.NextDouble();
+  double cum = script_.error_rate;
+  if (u < cum) return FaultKind::kError;
+  cum += script_.spike_rate;
+  if (u < cum) return FaultKind::kLatencySpike;
+  cum += script_.empty_rate;
+  if (u < cum) return FaultKind::kEmptyOutput;
+  cum += script_.garbage_rate;
+  if (u < cum) return FaultKind::kGarbageOutput;
+  return FaultKind::kNone;
+}
+
+AttemptOutcome FaultInjectingDetector::Attempt(const VideoFrame& frame,
+                                               uint64_t trial_seed,
+                                               int attempt) const {
+  AttemptOutcome out;
+  const FaultKind kind = FaultAt(frame, trial_seed, attempt);
+  if (kind == FaultKind::kError) {
+    // Hard failure: no inner call at all (the session is down), just the
+    // connection-reset latency.
+    out.status = Status::Unavailable(inner_->name() + ": injected fault");
+    out.latency_ms = script_.error_latency_ms;
+    return out;
+  }
+  // Detect before InferenceCostMs — the evaluation stack's historical call
+  // order; both consume the inner detector's RNG stream.
+  out.detections = inner_->Detect(frame, trial_seed);
+  out.latency_ms = inner_->InferenceCostMs(frame, trial_seed);
+  out.status = Status::OK();
+  switch (kind) {
+    case FaultKind::kLatencySpike:
+      out.latency_ms *= script_.spike_factor;
+      break;
+    case FaultKind::kEmptyOutput:
+      out.detections.clear();
+      break;
+    case FaultKind::kGarbageOutput: {
+      Rng rng = MakeStreamRng(trial_seed, HashCombine(uid_, script_.salt),
+                              FrameKey(frame),
+                              static_cast<uint64_t>(attempt), 0x6A12BA6EULL);
+      out.detections = MakeGarbage(frame, rng);
+      break;
+    }
+    case FaultKind::kNone:
+    case FaultKind::kError:
+      break;
+  }
+  return out;
+}
+
+DetectionList FaultInjectingDetector::Detect(const VideoFrame& frame,
+                                             uint64_t trial_seed) const {
+  // Legacy view: attempt 0 with hard errors degraded to empty output. Code
+  // on the old interface still experiences the outage, just without the
+  // explicit error signal.
+  AttemptOutcome out = Attempt(frame, trial_seed, /*attempt=*/0);
+  if (!out.status.ok()) return {};
+  return std::move(out.detections);
+}
+
+double FaultInjectingDetector::InferenceCostMs(const VideoFrame& frame,
+                                               uint64_t trial_seed) const {
+  return Attempt(frame, trial_seed, /*attempt=*/0).latency_ms;
+}
+
+}  // namespace vqe

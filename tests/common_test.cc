@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 #include <set>
 #include <sstream>
+#include <string>
 
 #include "common/math_util.h"
 #include "common/rng.h"
@@ -35,13 +37,56 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (StatusCode code :
-       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
-        StatusCode::kNotFound, StatusCode::kAlreadyExists,
-        StatusCode::kFailedPrecondition, StatusCode::kParseError,
-        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+  for (StatusCode code : kAllStatusCodes) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+// Every enum value round-trips through a factory-built Status: the code is
+// preserved, the name is unique, and ToString embeds that exact name. Fails
+// when a new StatusCode is added without extending kAllStatusCodes, a
+// factory, or StatusCodeToString.
+TEST(StatusTest, EveryCodeRoundTripsThroughStatus) {
+  auto make = [](StatusCode code) -> Status {
+    switch (code) {
+      case StatusCode::kOk:
+        return Status::OK();
+      case StatusCode::kInvalidArgument:
+        return Status::InvalidArgument("m");
+      case StatusCode::kOutOfRange:
+        return Status::OutOfRange("m");
+      case StatusCode::kNotFound:
+        return Status::NotFound("m");
+      case StatusCode::kAlreadyExists:
+        return Status::AlreadyExists("m");
+      case StatusCode::kFailedPrecondition:
+        return Status::FailedPrecondition("m");
+      case StatusCode::kParseError:
+        return Status::ParseError("m");
+      case StatusCode::kResourceExhausted:
+        return Status::ResourceExhausted("m");
+      case StatusCode::kInternal:
+        return Status::Internal("m");
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded("m");
+      case StatusCode::kUnavailable:
+        return Status::Unavailable("m");
+    }
+    return Status::Internal("unhandled code");
+  };
+  std::set<std::string> names;
+  for (StatusCode code : kAllStatusCodes) {
+    const Status s = make(code);
+    EXPECT_EQ(s.code(), code);
+    const std::string name = StatusCodeToString(code);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    if (code == StatusCode::kOk) {
+      EXPECT_EQ(s.ToString(), "OK");
+    } else {
+      EXPECT_EQ(s.ToString(), name + ": m");
+    }
+  }
+  EXPECT_EQ(names.size(), std::size(kAllStatusCodes));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

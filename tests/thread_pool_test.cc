@@ -7,6 +7,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -107,6 +109,37 @@ TEST(ParallelForTest, CompletionHandshakeStress) {
     });
   }
   EXPECT_EQ(total.load(), 6000u);
+}
+
+TEST(ParallelForTest, WorkerExceptionRethrownOnCaller) {
+  // A throwing body must not escape into the pool's worker loop (which would
+  // std::terminate the process); the first exception is rethrown on the
+  // calling thread and the pool stays usable afterwards. Repeated rounds
+  // stress the cancel-then-rethrow handshake; run under -DVQE_SANITIZE=thread
+  // to check the error slot's synchronization.
+  for (int round = 0; round < 200; ++round) {
+    bool caught = false;
+    try {
+      ParallelFor(64, 0, [&](size_t i) {
+        if (i % 7 == 3) throw std::runtime_error("scripted failure");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_EQ(std::string(e.what()), "scripted failure");
+    }
+    EXPECT_TRUE(caught) << "round=" << round;
+  }
+  // The pool must still process normal regions after absorbing exceptions.
+  std::atomic<size_t> total{0};
+  ParallelFor(100, 0,
+              [&](size_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ParallelForTest, SerialPathPropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(5, 1, [](size_t) { throw std::logic_error("serial"); }),
+      std::logic_error);
 }
 
 TEST(ParallelForTest, NestedRegionsRunSerially) {

@@ -3,12 +3,14 @@
 # concurrency- and aliasing-sensitive suites.
 #
 #   tools/check.sh          # tier-1 only (what CI gates on)
-#   tools/check.sh --full   # + ASan and TSan configs of the sensitive tests
+#   tools/check.sh --full   # + ASan, TSan and UBSan configs of the
+#                           #   sensitive tests
 #
-# The sanitizer passes rebuild into build-asan/ and build-tsan/ (both
-# .gitignore'd) and run the suites that exercise the shared thread pool,
-# the chunked ParallelFor scheduler, the pairwise-IoU tile shared across
-# fusion calls, and lazy-vs-eager evaluation equivalence.
+# The sanitizer passes rebuild into build-asan/, build-tsan/ and
+# build-ubsan/ (all .gitignore'd) and run the suites that exercise the
+# shared thread pool, the chunked ParallelFor scheduler, the pairwise-IoU
+# tile shared across fusion calls, lazy-vs-eager evaluation equivalence,
+# and the fault-tolerant detector runtime (retry/breaker/degradation).
 
 set -eu
 
@@ -25,9 +27,9 @@ run_sanitizer() {
   dir="build-$2"
   cmake -B "$dir" -S . -DVQE_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j --target \
-    thread_pool_test determinism_test fusion_test lazy_eval_test
+    thread_pool_test determinism_test fusion_test lazy_eval_test runtime_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault"
 }
 
 run_tier1
@@ -35,6 +37,7 @@ run_tier1
 if [ "${1:-}" = "--full" ]; then
   run_sanitizer address asan
   run_sanitizer thread tsan
+  run_sanitizer undefined ubsan
 fi
 
 echo "check.sh: all requested checks passed"
