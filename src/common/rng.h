@@ -52,6 +52,22 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~uint64_t{0}; }
 
+  /// Copies the full 256-bit generator state out (for snapshots). A
+  /// generator restored with SetState continues the exact same stream,
+  /// which is what makes RAND/EF and scene sampling resumable.
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Restores state captured by GetState. Returns false (leaving the
+  /// generator untouched) for the all-zero state, which is not a valid
+  /// xoshiro256** state and can only come from corrupt input.
+  bool SetState(const uint64_t in[4]) {
+    if ((in[0] | in[1] | in[2] | in[3]) == 0) return false;
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+    return true;
+  }
+
   uint64_t operator()() { return Next(); }
 
   uint64_t Next() {

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

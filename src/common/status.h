@@ -30,6 +30,12 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// A dependency is (possibly transiently) down — retrying may succeed.
   kUnavailable,
+  /// Persisted data is unrecoverably corrupt (bad magic, CRC mismatch,
+  /// truncated section) — the snapshot/serialization layer's rejection signal.
+  kDataLoss,
+  /// The operation was deliberately interrupted before completion (e.g. the
+  /// crash-injection harness killing a run mid-video).
+  kAborted,
 };
 
 /// Every StatusCode, for exhaustive enumeration in tests/diagnostics.
@@ -39,7 +45,8 @@ inline constexpr StatusCode kAllStatusCodes[] = {
     StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
     StatusCode::kParseError,   StatusCode::kResourceExhausted,
     StatusCode::kInternal,     StatusCode::kDeadlineExceeded,
-    StatusCode::kUnavailable,
+    StatusCode::kUnavailable,  StatusCode::kDataLoss,
+    StatusCode::kAborted,
 };
 
 /// Returns a human-readable name for a StatusCode (e.g. "InvalidArgument").
@@ -83,6 +90,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

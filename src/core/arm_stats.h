@@ -7,9 +7,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "core/ensemble_id.h"
+#include "snapshot/wire.h"
 
 namespace vqe {
 
@@ -36,6 +39,28 @@ class ArmStats {
   double Mean(EnsembleId s) const { return mean_[s]; }
 
   size_t size() const { return count_.size(); }
+
+  /// Serializes counts and means verbatim (bit patterns preserved).
+  void Save(ByteWriter& w) const {
+    WriteVecU64(w, count_);
+    WriteVecF64(w, mean_);
+  }
+
+  /// Restores a Save() payload. The stats must already be Reset() to the
+  /// same pool size; a size mismatch means the snapshot belongs to a
+  /// different configuration and is rejected without modifying state.
+  Status Restore(ByteReader& r) {
+    std::vector<uint64_t> count;
+    std::vector<double> mean;
+    VQE_RETURN_NOT_OK(ReadVecU64(r, &count));
+    VQE_RETURN_NOT_OK(ReadVecF64(r, &mean));
+    if (count.size() != count_.size() || mean.size() != mean_.size()) {
+      return Status::DataLoss("ArmStats arm-count mismatch");
+    }
+    count_ = std::move(count);
+    mean_ = std::move(mean);
+    return Status::OK();
+  }
 
  private:
   std::vector<uint64_t> count_;
@@ -87,6 +112,71 @@ class SlidingWindowArmStats {
   size_t FramesInWindow() const { return history_.size(); }
 
   size_t window() const { return window_; }
+
+  /// Serializes counts, sums, and the full eviction history. The running
+  /// sums are written verbatim rather than recomputed from the history on
+  /// restore: subtraction-based eviction gives them a fold-order-specific
+  /// rounding signature, and re-summing would change bit patterns.
+  void Save(ByteWriter& w) const {
+    WriteVecU64(w, count_);
+    WriteVecF64(w, sum_);
+    w.U64(window_);
+    w.U64(history_.size());
+    for (const auto& frame : history_) {
+      w.U64(frame.size());
+      for (const auto& [s, reward] : frame) {
+        w.U32(s);
+        w.F64(reward);
+      }
+    }
+  }
+
+  /// Restores a Save() payload onto stats already Reset() to the same pool
+  /// size and window. Malformed payloads (size mismatch, out-of-range arm
+  /// ids, history longer than the window) return DataLoss untouched.
+  Status Restore(ByteReader& r) {
+    std::vector<uint64_t> count;
+    std::vector<double> sum;
+    VQE_RETURN_NOT_OK(ReadVecU64(r, &count));
+    VQE_RETURN_NOT_OK(ReadVecF64(r, &sum));
+    if (count.size() != count_.size() || sum.size() != sum_.size()) {
+      return Status::DataLoss("SlidingWindowArmStats arm-count mismatch");
+    }
+    uint64_t window = 0, frames = 0;
+    VQE_RETURN_NOT_OK(r.U64(&window));
+    VQE_RETURN_NOT_OK(r.U64(&frames));
+    if (window != window_) {
+      return Status::DataLoss("SlidingWindowArmStats window mismatch");
+    }
+    if (frames > window) {
+      return Status::DataLoss("sliding-window history exceeds window");
+    }
+    std::deque<std::vector<std::pair<EnsembleId, double>>> history;
+    for (uint64_t f = 0; f < frames; ++f) {
+      uint64_t n = 0;
+      VQE_RETURN_NOT_OK(r.U64(&n));
+      if (n > r.remaining() / 12) {  // 4 bytes mask + 8 bytes reward each
+        return Status::DataLoss("sliding-window frame count exceeds payload");
+      }
+      std::vector<std::pair<EnsembleId, double>> frame;
+      frame.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        uint32_t s = 0;
+        double reward = 0;
+        VQE_RETURN_NOT_OK(r.U32(&s));
+        VQE_RETURN_NOT_OK(r.F64(&reward));
+        if (s == 0 || s >= count_.size()) {
+          return Status::DataLoss("sliding-window arm id out of range");
+        }
+        frame.emplace_back(static_cast<EnsembleId>(s), reward);
+      }
+      history.push_back(std::move(frame));
+    }
+    count_ = std::move(count);
+    sum_ = std::move(sum);
+    history_ = std::move(history);
+    return Status::OK();
+  }
 
  private:
   std::vector<uint64_t> count_;

@@ -68,6 +68,28 @@ EnsembleId SingleBestStrategy::Select(size_t /*t*/) {
   return fallback == 0 ? choice_ : fallback;
 }
 
+Status SingleBestStrategy::SaveState(ByteWriter& writer) const {
+  writer.U32(choice_);
+  WriteVecF64(writer, singleton_ap_);
+  return Status::OK();
+}
+
+Status SingleBestStrategy::RestoreState(ByteReader& reader) {
+  uint32_t choice = 0;
+  std::vector<double> singleton_ap;
+  VQE_RETURN_NOT_OK(reader.U32(&choice));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &singleton_ap));
+  if (singleton_ap.size() != singleton_ap_.size()) {
+    return Status::DataLoss("SGL singleton-count mismatch");
+  }
+  if (choice == 0 || choice > FullEnsemble(num_models_)) {
+    return Status::DataLoss("SGL choice out of range");
+  }
+  choice_ = static_cast<EnsembleId>(choice);
+  singleton_ap_ = std::move(singleton_ap);
+  return Status::OK();
+}
+
 void RandomStrategy::BeginVideo(const StrategyContext& ctx) {
   num_models_ = ctx.num_models;
   rng_ = MakeStreamRng(ctx.seed, 0x4A4D);
@@ -93,6 +115,22 @@ EnsembleId RandomStrategy::Select(size_t /*t*/) {
     ++j;
   }
   return out;
+}
+
+Status RandomStrategy::SaveState(ByteWriter& writer) const {
+  uint64_t state[4];
+  rng_.GetState(state);
+  for (uint64_t word : state) writer.U64(word);
+  return Status::OK();
+}
+
+Status RandomStrategy::RestoreState(ByteReader& reader) {
+  uint64_t state[4];
+  for (uint64_t& word : state) VQE_RETURN_NOT_OK(reader.U64(&word));
+  if (!rng_.SetState(state)) {
+    return Status::DataLoss("RAND rng state is all-zero");
+  }
+  return Status::OK();
 }
 
 ExploreFirstStrategy::ExploreFirstStrategy(size_t frames_per_arm)
@@ -135,6 +173,38 @@ EnsembleId ExploreFirstStrategy::Select(size_t t) {
   // The committed arm lost a member to an open breaker; EF does not keep
   // learning, so just run what is still healthy of it.
   return (committed_ & eligible) != 0 ? (committed_ & eligible) : eligible;
+}
+
+Status ExploreFirstStrategy::SaveState(ByteWriter& writer) const {
+  writer.U64(explore_frames_);
+  writer.U32(committed_);
+  WriteVecF64(writer, sum_);
+  WriteVecU64(writer, count_);
+  return Status::OK();
+}
+
+Status ExploreFirstStrategy::RestoreState(ByteReader& reader) {
+  uint64_t explore_frames = 0;
+  uint32_t committed = 0;
+  std::vector<double> sum;
+  std::vector<uint64_t> count;
+  VQE_RETURN_NOT_OK(reader.U64(&explore_frames));
+  VQE_RETURN_NOT_OK(reader.U32(&committed));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &sum));
+  VQE_RETURN_NOT_OK(ReadVecU64(reader, &count));
+  if (explore_frames != explore_frames_) {
+    return Status::DataLoss("EF exploration-phase length mismatch");
+  }
+  if (sum.size() != sum_.size() || count.size() != count_.size()) {
+    return Status::DataLoss("EF arm-count mismatch");
+  }
+  if (committed > FullEnsemble(num_models_)) {
+    return Status::DataLoss("EF committed arm out of range");
+  }
+  committed_ = static_cast<EnsembleId>(committed);
+  sum_ = std::move(sum);
+  count_ = std::move(count);
+  return Status::OK();
 }
 
 void ExploreFirstStrategy::Observe(const FrameFeedback& feedback) {

@@ -63,6 +63,8 @@ class SingleBestStrategy : public SelectionStrategy {
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
  private:
   int num_models_ = 0;
@@ -83,6 +85,8 @@ class RandomStrategy : public SelectionStrategy {
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback&) override {}
   bool UsesReferenceModel() const override { return false; }
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
  private:
   int num_models_ = 0;
@@ -105,6 +109,8 @@ class ExploreFirstStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override;
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback& feedback) override;
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
  private:
   size_t frames_per_arm_;

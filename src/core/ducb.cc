@@ -52,6 +52,28 @@ EnsembleId DucbMesStrategy::Select(size_t t) {
   return best == 0 ? eligible : best;
 }
 
+Status DucbMesStrategy::SaveState(ByteWriter& writer) const {
+  writer.U64(last_probe_);
+  WriteVecF64(writer, count_);
+  WriteVecF64(writer, sum_);
+  return Status::OK();
+}
+
+Status DucbMesStrategy::RestoreState(ByteReader& reader) {
+  uint64_t last_probe = 0;
+  std::vector<double> count, sum;
+  VQE_RETURN_NOT_OK(reader.U64(&last_probe));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &count));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &sum));
+  if (count.size() != count_.size() || sum.size() != sum_.size()) {
+    return Status::DataLoss("D-MES arm-count mismatch");
+  }
+  last_probe_ = static_cast<size_t>(last_probe);
+  count_ = std::move(count);
+  sum_ = std::move(sum);
+  return Status::OK();
+}
+
 void DucbMesStrategy::Observe(const FrameFeedback& feedback) {
   // Geometric decay of all arms, then credit the observed subsets.
   for (size_t s = 1; s < count_.size(); ++s) {

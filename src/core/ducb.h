@@ -62,6 +62,8 @@ class DucbMesStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override;
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback& feedback) override;
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
   /// Discounted pull count of an arm (diagnostics).
   double DiscountedCount(EnsembleId s) const { return count_[s]; }

@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
 
 #include "common/stopwatch.h"
+#include "core/engine_snapshot.h"
+#include "snapshot/snapshot.h"
 
 namespace vqe {
 
@@ -12,8 +16,104 @@ Status EngineOptions::Validate() const {
   if (budget_ms < 0.0) {
     return Status::InvalidArgument("budget_ms must be >= 0");
   }
+  VQE_RETURN_NOT_OK(checkpoint.Validate());
   return breaker.Validate();
 }
+
+namespace {
+
+/// Serializes the complete resumable state of a run into a snapshot file.
+Result<std::vector<uint8_t>> BuildEngineSnapshot(
+    const EngineRunIdentity& identity, size_t next_frame, double algo_seconds,
+    const RunResult& result, const SelectionStrategy& strategy,
+    const std::vector<CircuitBreaker>& breakers, const EvaluationSource& source,
+    bool include_source) {
+  SnapshotWriter snap;
+  WriteEngineIdentity(snap.AddSection(kEngineMetaSection), identity);
+  {
+    ByteWriter& w = snap.AddSection(kEngineCursorSection);
+    w.U64(next_frame);
+    w.F64(algo_seconds);
+  }
+  WriteRunResult(snap.AddSection(kEngineResultSection), result);
+  VQE_RETURN_NOT_OK(strategy.SaveState(snap.AddSection(kStrategySection)));
+  {
+    ByteWriter& w = snap.AddSection(kBreakersSection);
+    w.U64(breakers.size());
+    for (const CircuitBreaker& b : breakers) {
+      VQE_RETURN_NOT_OK(b.SaveState(w));
+    }
+  }
+  if (include_source) {
+    VQE_RETURN_NOT_OK(source.SaveState(snap.AddSection(kSourceSection)));
+  }
+  return snap.Finish();
+}
+
+/// Overlays a validated snapshot onto a freshly initialized run. The
+/// identity must match (FailedPrecondition otherwise — the checkpoint
+/// belongs to a different configuration); structural problems inside a
+/// CRC-valid section return DataLoss.
+Status RestoreEngineRun(const SnapshotReader& snap,
+                        const EngineRunIdentity& expected, uint32_t num_masks,
+                        SelectionStrategy* strategy, EvaluationSource& source,
+                        std::vector<CircuitBreaker>* breakers,
+                        RunResult* result, size_t* next_frame,
+                        double* algo_seconds, bool include_source) {
+  VQE_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kEngineMetaSection));
+  EngineRunIdentity saved;
+  VQE_RETURN_NOT_OK(ReadEngineIdentity(meta, &saved));
+  VQE_RETURN_NOT_OK(meta.ExpectEnd());
+  VQE_RETURN_NOT_OK(saved.ExpectMatches(expected));
+
+  VQE_ASSIGN_OR_RETURN(ByteReader cursor, snap.Section(kEngineCursorSection));
+  uint64_t frame = 0;
+  VQE_RETURN_NOT_OK(cursor.U64(&frame));
+  VQE_RETURN_NOT_OK(cursor.F64(algo_seconds));
+  VQE_RETURN_NOT_OK(cursor.ExpectEnd());
+  if (frame >= expected.num_frames) {
+    return Status::DataLoss("checkpoint cursor beyond end of video");
+  }
+
+  VQE_ASSIGN_OR_RETURN(ByteReader res, snap.Section(kEngineResultSection));
+  RunResult restored;
+  VQE_RETURN_NOT_OK(ReadRunResult(res, &restored));
+  VQE_RETURN_NOT_OK(res.ExpectEnd());
+  if (restored.selection_counts.size() != num_masks + 1 ||
+      restored.model_availability.size() !=
+          static_cast<size_t>(expected.num_models)) {
+    return Status::DataLoss("checkpoint result shape mismatch");
+  }
+
+  VQE_ASSIGN_OR_RETURN(ByteReader strat, snap.Section(kStrategySection));
+  VQE_RETURN_NOT_OK(strategy->RestoreState(strat));
+  VQE_RETURN_NOT_OK(strat.ExpectEnd());
+
+  VQE_ASSIGN_OR_RETURN(ByteReader brk, snap.Section(kBreakersSection));
+  uint64_t breaker_count = 0;
+  VQE_RETURN_NOT_OK(brk.U64(&breaker_count));
+  if (breaker_count != breakers->size()) {
+    return Status::DataLoss("checkpoint breaker count mismatch");
+  }
+  for (CircuitBreaker& b : *breakers) {
+    VQE_RETURN_NOT_OK(b.RestoreState(brk));
+  }
+  VQE_RETURN_NOT_OK(brk.ExpectEnd());
+
+  if (include_source && snap.HasSection(kSourceSection)) {
+    VQE_ASSIGN_OR_RETURN(ByteReader src, snap.Section(kSourceSection));
+    VQE_RETURN_NOT_OK(source.RestoreState(src));
+    VQE_RETURN_NOT_OK(src.ExpectEnd());
+  }
+
+  const RunResult::CheckpointReport report = result->checkpoint;
+  *result = std::move(restored);
+  result->checkpoint = report;  // per-invocation, never restored
+  *next_frame = static_cast<size_t>(frame);
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<RunResult> RunStrategy(EvaluationSource& source,
                               SelectionStrategy* strategy,
@@ -59,7 +159,48 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
   std::vector<double> norm_cost(num_masks + 1);
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
-  for (size_t t = 0; t < source.num_frames(); ++t) {
+  // Checkpointing: fingerprint this configuration, then try to resume from
+  // the newest good generation. A missing directory or no snapshots means a
+  // fresh start; a snapshot from a *different* configuration is an error
+  // (resuming it would silently change results).
+  EngineRunIdentity identity;
+  identity.strategy_name = strategy->name();
+  identity.num_models = m;
+  identity.num_frames = source.num_frames();
+  identity.strategy_seed = options.strategy_seed;
+  identity.budget_ms = options.budget_ms;
+  identity.sc = options.sc;
+  identity.compute_regret = options.compute_regret;
+  identity.record_cost_curve = options.record_cost_curve;
+  identity.breaker = options.breaker;
+
+  size_t start_frame = 0;
+  uint64_t next_generation = 1;
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (options.checkpoint.enabled()) {
+    ckpt = std::make_unique<CheckpointManager>(
+        options.checkpoint.directory, options.checkpoint.keep_generations);
+    if (options.checkpoint.resume) {
+      Result<CheckpointManager::Loaded> loaded = ckpt->LoadLatestGood();
+      if (loaded.ok()) {
+        result.checkpoint.generations_rejected = loaded->rejected;
+        double saved_algo_seconds = 0.0;
+        VQE_RETURN_NOT_OK(RestoreEngineRun(
+            loaded->snapshot, identity, num_masks, strategy, source, &breakers,
+            &result, &start_frame, &saved_algo_seconds,
+            options.checkpoint.include_source));
+        algo_time.Add(saved_algo_seconds);
+        result.checkpoint.resumed = true;
+        result.checkpoint.resumed_from_frame = start_frame;
+        next_generation = loaded->sequence + 1;
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        return loaded.status();
+      }
+    }
+  }
+  size_t frames_this_invocation = 0;
+
+  for (size_t t = start_frame; t < source.num_frames(); ++t) {
     // Alg. 2 line 6: proceed only while C <= B.
     if (options.budget_ms > 0.0 &&
         result.charged_cost_ms > options.budget_ms) {
@@ -205,6 +346,36 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
     if (options.record_cost_curve) {
       result.cost_curve.emplace_back(result.frames_processed,
                                      result.charged_cost_ms);
+    }
+    ++frames_this_invocation;
+
+    // Snapshot the run every `every_frames` frames. Skipped after the last
+    // frame: the run is about to finish and the result is returned anyway.
+    if (ckpt != nullptr &&
+        (t + 1) % options.checkpoint.every_frames == 0 &&
+        t + 1 < source.num_frames()) {
+      Stopwatch watch;
+      VQE_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> bytes,
+          BuildEngineSnapshot(identity, t + 1, algo_time.total_seconds(),
+                              result, *strategy, breakers, source,
+                              options.checkpoint.include_source));
+      VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
+      ++next_generation;
+      ++result.checkpoint.snapshots_written;
+      result.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
+    }
+
+    // Crash injection for the resume tests: abort after this invocation has
+    // processed `crash_after_frames` frames, *after* any checkpoint due at
+    // this frame has been durably written (a real crash can land anywhere;
+    // the harness aborts at the worst recoverable point — everything since
+    // the last checkpoint is lost).
+    if (options.checkpoint.crash_after_frames > 0 &&
+        frames_this_invocation >= options.checkpoint.crash_after_frames &&
+        t + 1 < source.num_frames()) {
+      return Status::Aborted("crash injection after frame " +
+                             std::to_string(t));
     }
   }
 

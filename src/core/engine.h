@@ -18,6 +18,7 @@
 #include "core/scoring.h"
 #include "core/strategy.h"
 #include "runtime/circuit_breaker.h"
+#include "snapshot/checkpoint.h"
 
 namespace vqe {
 
@@ -46,6 +47,12 @@ struct EngineOptions {
   /// deterministic per-frame call outcomes, so runs stay bit-identical
   /// across worker counts and backends.
   CircuitBreakerOptions breaker;
+  /// Crash-safe checkpointing: when enabled, the run writes an atomic,
+  /// CRC-protected snapshot of all resumable state every
+  /// `checkpoint.every_frames` frames and, on start, resumes from the
+  /// newest good generation found in `checkpoint.directory`. Resumed runs
+  /// are bit-identical to uninterrupted ones (wall-clock fields aside).
+  CheckpointPolicy checkpoint;
 
   Status Validate() const;
 };
@@ -115,6 +122,25 @@ struct RunResult {
   /// Frames where *every* selected member failed — processed (time is
   /// charged) but with no output and no bandit observation.
   uint64_t failed_frames = 0;
+
+  /// What checkpointing did during THIS invocation (never serialized into
+  /// snapshots — it describes the process, not the run, and wall-clock
+  /// fields here legitimately differ between a resumed and an
+  /// uninterrupted run).
+  struct CheckpointReport {
+    /// True when this invocation started from a loaded snapshot.
+    bool resumed = false;
+    /// First frame processed by this invocation when resumed.
+    size_t resumed_from_frame = 0;
+    /// Snapshot generations written by this invocation.
+    uint64_t snapshots_written = 0;
+    /// Corrupt/truncated generations skipped while locating the newest
+    /// good one (the fallback path).
+    int generations_rejected = 0;
+    /// Real wall-clock spent serializing + durably writing snapshots, ms.
+    double checkpoint_write_ms = 0.0;
+  };
+  CheckpointReport checkpoint;
 };
 
 /// Runs `strategy` over an evaluation source — the eager matrix view or a

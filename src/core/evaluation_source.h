@@ -21,9 +21,11 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "core/ensemble_id.h"
 #include "core/frame_eval.h"
 #include "core/frame_matrix.h"
+#include "snapshot/wire.h"
 
 namespace vqe {
 
@@ -73,6 +75,22 @@ class EvaluationSource {
   /// laziness; runs that want lazy asymptotics disable regret instead
   /// (EngineOptions::compute_regret).
   virtual const std::vector<EnsembleId>* TrueFrontier(size_t t) = 0;
+
+  /// Serializes whatever cached evaluation state is worth carrying across
+  /// a restart. Cells are pure functions of (frame, mask), so this is a
+  /// cache-warmth/accounting concern, never a correctness one; the default
+  /// (and the eager matrix view, which is rebuilt deterministically) writes
+  /// nothing.
+  virtual Status SaveState(ByteWriter& writer) const {
+    (void)writer;
+    return Status::OK();
+  }
+
+  /// Restores a SaveState payload; DataLoss on malformed bytes.
+  virtual Status RestoreState(ByteReader& reader) {
+    (void)reader;
+    return Status::OK();
+  }
 };
 
 /// Eager source: a non-owning view over a fully built FrameMatrix.

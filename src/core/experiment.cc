@@ -6,6 +6,21 @@
 #include "core/mes.h"
 
 namespace vqe {
+namespace {
+
+/// Strategy labels become path components of per-run checkpoint
+/// directories; anything outside [A-Za-z0-9._-] is mapped to '_'.
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label.empty() ? std::string("strategy") : label;
+  for (char& c : out) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 Status ExperimentConfig::Validate() const {
   if (dataset == nullptr) {
@@ -183,6 +198,14 @@ Result<ExperimentResult> RunExperiment(
         trial_status[static_cast<size_t>(trial)] =
             Status::Internal("strategy factory returned null");
         return;
+      }
+      // Each (trial, strategy) run checkpoints into its own directory so
+      // concurrent trials never share generation files and a resumed
+      // experiment picks every run up exactly where it stopped.
+      if (config.engine.checkpoint.enabled()) {
+        engine.checkpoint.directory = config.engine.checkpoint.directory +
+                                      "/trial-" + std::to_string(trial) + "/" +
+                                      SanitizeLabel(strategies[i].label);
       }
       auto run = RunStrategy(*source, strategy.get(), engine);
       if (!run.ok()) {

@@ -39,13 +39,19 @@ LazyFrameEvaluator::LazyFrameEvaluator(Video video, const DetectorPool& pool,
 LazyFrameEvaluator::FrameSlot& LazyFrameEvaluator::Touch(size_t t) {
   FrameSlot& slot = slots_[t];
   if (slot.ctx == nullptr) {
+    // A slot restored from a snapshot already has its memo (non-empty) but
+    // no detector context; re-creating the context is deterministic, and
+    // the frame was already counted as touched in the restored counters.
+    const bool first_touch = slot.memo.empty();
     slot.ctx = std::make_unique<FrameEvalContext>(
         video_.frames[t], *pool_, trial_seed_, options_, *fusion_);
     slot.max_cost_ms = slot.ctx->FullEnsembleCostMs();
-    const uint32_t num_masks = num_ensembles();
-    slot.memo.resize(num_masks + 1);
-    slot.known.assign(num_masks + 1, 0);
-    ++frames_touched_;
+    if (first_touch) {
+      const uint32_t num_masks = num_ensembles();
+      slot.memo.resize(num_masks + 1);
+      slot.known.assign(num_masks + 1, 0);
+      ++frames_touched_;
+    }
   }
   return slot;
 }
@@ -64,15 +70,103 @@ FrameStats LazyFrameEvaluator::Stats(size_t t) {
 }
 
 MaskEvaluation LazyFrameEvaluator::Eval(size_t t, EnsembleId mask) {
-  FrameSlot& slot = Touch(t);
-  if (!slot.known[mask]) {
-    slot.memo[mask] = slot.ctx->Evaluate(mask);
-    slot.known[mask] = 1;
-    ++masks_materialized_;
-  } else {
+  // Known cells are served straight from the memo — including cells
+  // restored from a snapshot, whose slot has no detector context yet.
+  FrameSlot& cached = slots_[t];
+  if (!cached.memo.empty() && cached.known[mask]) {
     ++memo_hits_;
+    return cached.memo[mask];
   }
+  FrameSlot& slot = Touch(t);
+  slot.memo[mask] = slot.ctx->Evaluate(mask);
+  slot.known[mask] = 1;
+  ++masks_materialized_;
   return slot.memo[mask];
+}
+
+Status LazyFrameEvaluator::SaveState(ByteWriter& writer) const {
+  writer.U64(frames_touched_);
+  writer.U64(masks_materialized_);
+  writer.U64(memo_hits_);
+  uint64_t populated = 0;
+  for (const FrameSlot& slot : slots_) {
+    if (!slot.memo.empty()) ++populated;
+  }
+  writer.U64(populated);
+  for (size_t t = 0; t < slots_.size(); ++t) {
+    const FrameSlot& slot = slots_[t];
+    if (slot.memo.empty()) continue;
+    writer.U64(t);
+    writer.F64(slot.max_cost_ms);
+    uint64_t known = 0;
+    for (uint8_t k : slot.known) known += k;
+    writer.U64(known);
+    for (uint32_t mask = 1; mask < slot.known.size(); ++mask) {
+      if (!slot.known[mask]) continue;
+      const MaskEvaluation& e = slot.memo[mask];
+      writer.U32(mask);
+      writer.F64(e.est_ap);
+      writer.F64(e.true_ap);
+      writer.F64(e.cost_ms);
+      writer.F64(e.fusion_overhead_ms);
+    }
+  }
+  return Status::OK();
+}
+
+Status LazyFrameEvaluator::RestoreState(ByteReader& reader) {
+  uint64_t frames_touched = 0, masks_materialized = 0, memo_hits = 0, populated = 0;
+  VQE_RETURN_NOT_OK(reader.U64(&frames_touched));
+  VQE_RETURN_NOT_OK(reader.U64(&masks_materialized));
+  VQE_RETURN_NOT_OK(reader.U64(&memo_hits));
+  VQE_RETURN_NOT_OK(reader.U64(&populated));
+  if (populated > slots_.size()) {
+    return Status::DataLoss("lazy memo frame count exceeds video length");
+  }
+  const uint32_t num_masks = num_ensembles();
+  std::vector<FrameSlot> slots(slots_.size());
+  for (uint64_t i = 0; i < populated; ++i) {
+    uint64_t t = 0, known = 0;
+    double max_cost_ms = 0;
+    VQE_RETURN_NOT_OK(reader.U64(&t));
+    VQE_RETURN_NOT_OK(reader.F64(&max_cost_ms));
+    VQE_RETURN_NOT_OK(reader.U64(&known));
+    if (t >= slots.size()) {
+      return Status::DataLoss("lazy memo frame index out of range");
+    }
+    FrameSlot& slot = slots[t];
+    if (!slot.memo.empty()) {
+      return Status::DataLoss("duplicate lazy memo frame");
+    }
+    if (known > num_masks) {
+      return Status::DataLoss("lazy memo known-mask count out of range");
+    }
+    slot.max_cost_ms = max_cost_ms;
+    slot.memo.resize(num_masks + 1);
+    slot.known.assign(num_masks + 1, 0);
+    for (uint64_t k = 0; k < known; ++k) {
+      uint32_t mask = 0;
+      MaskEvaluation e;
+      VQE_RETURN_NOT_OK(reader.U32(&mask));
+      VQE_RETURN_NOT_OK(reader.F64(&e.est_ap));
+      VQE_RETURN_NOT_OK(reader.F64(&e.true_ap));
+      VQE_RETURN_NOT_OK(reader.F64(&e.cost_ms));
+      VQE_RETURN_NOT_OK(reader.F64(&e.fusion_overhead_ms));
+      if (mask == 0 || mask > num_masks) {
+        return Status::DataLoss("lazy memo mask out of range");
+      }
+      if (slot.known[mask]) {
+        return Status::DataLoss("duplicate lazy memo mask");
+      }
+      slot.memo[mask] = e;
+      slot.known[mask] = 1;
+    }
+  }
+  slots_ = std::move(slots);
+  frames_touched_ = static_cast<size_t>(frames_touched);
+  masks_materialized_ = masks_materialized;
+  memo_hits_ = memo_hits;
+  return Status::OK();
 }
 
 }  // namespace vqe

@@ -67,6 +67,13 @@ class LazyFrameEvaluator final : public EvaluationSource {
   /// Eval calls served from the memo without fusing.
   uint64_t memo_hits() const { return memo_hits_; }
 
+  /// Serializes the memo (counters + every known cell per touched frame).
+  /// Restored cells are served without re-running detectors; the detector
+  /// context is re-created on demand only if an unknown mask or Stats()
+  /// is requested for that frame (deterministic, so values match).
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
+
  private:
   LazyFrameEvaluator(Video video, const DetectorPool& pool,
                      uint64_t trial_seed, const MatrixOptions& options,

@@ -50,6 +50,15 @@ EnsembleId MesStrategy::Select(size_t t) {
   return best == 0 ? eligible : best;
 }
 
+Status MesStrategy::SaveState(ByteWriter& writer) const {
+  stats_.Save(writer);
+  return Status::OK();
+}
+
+Status MesStrategy::RestoreState(ByteReader& reader) {
+  return stats_.Restore(reader);
+}
+
 void MesStrategy::Observe(const FrameFeedback& feedback) {
   const bool init_phase = feedback.t < options_.gamma;
   const std::vector<double>& est = *feedback.est_score;
@@ -129,6 +138,20 @@ EnsembleId SwMesStrategy::Select(size_t t) {
     }
   }
   return best == 0 ? eligible : best;
+}
+
+Status SwMesStrategy::SaveState(ByteWriter& writer) const {
+  writer.U64(last_probe_);
+  stats_.Save(writer);
+  return Status::OK();
+}
+
+Status SwMesStrategy::RestoreState(ByteReader& reader) {
+  uint64_t last_probe = 0;
+  VQE_RETURN_NOT_OK(reader.U64(&last_probe));
+  VQE_RETURN_NOT_OK(stats_.Restore(reader));
+  last_probe_ = static_cast<size_t>(last_probe);
+  return Status::OK();
 }
 
 void SwMesStrategy::Observe(const FrameFeedback& feedback) {

@@ -53,6 +53,8 @@ class MesStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override;
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback& feedback) override;
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
   /// Exposes T_S for tests/diagnostics.
   const ArmStats& stats() const { return stats_; }
@@ -101,6 +103,8 @@ class SwMesStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override;
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback& feedback) override;
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
   const SlidingWindowArmStats& stats() const { return stats_; }
 

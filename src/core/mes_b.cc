@@ -46,6 +46,29 @@ EnsembleId MesBStrategy::Select(size_t t) {
   return best == 0 ? eligible : best;
 }
 
+Status MesBStrategy::SaveState(ByteWriter& writer) const {
+  WriteVecU64(writer, count_);
+  WriteVecF64(writer, score_sum_);
+  WriteVecF64(writer, cost_sum_);
+  return Status::OK();
+}
+
+Status MesBStrategy::RestoreState(ByteReader& reader) {
+  std::vector<uint64_t> count;
+  std::vector<double> score_sum, cost_sum;
+  VQE_RETURN_NOT_OK(ReadVecU64(reader, &count));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &score_sum));
+  VQE_RETURN_NOT_OK(ReadVecF64(reader, &cost_sum));
+  if (count.size() != count_.size() || score_sum.size() != score_sum_.size() ||
+      cost_sum.size() != cost_sum_.size()) {
+    return Status::DataLoss("MES-B arm-count mismatch");
+  }
+  count_ = std::move(count);
+  score_sum_ = std::move(score_sum);
+  cost_sum_ = std::move(cost_sum);
+  return Status::OK();
+}
+
 void MesBStrategy::Observe(const FrameFeedback& feedback) {
   const std::vector<double>& est = *feedback.est_score;
   ForEachSubset(feedback.CreditMask(), [&](EnsembleId sub) {

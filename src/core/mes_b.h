@@ -58,6 +58,8 @@ class MesBStrategy : public SelectionStrategy {
   void BeginVideo(const StrategyContext& ctx) override;
   EnsembleId Select(size_t t) override;
   void Observe(const FrameFeedback& feedback) override;
+  Status SaveState(ByteWriter& writer) const override;
+  Status RestoreState(ByteReader& reader) override;
 
   /// Mean observed normalized cost of an arm (diagnostics).
   double MeanCost(EnsembleId s) const {

@@ -17,10 +17,12 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/ensemble_id.h"
 #include "core/evaluation_source.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
+#include "snapshot/wire.h"
 
 namespace vqe {
 
@@ -126,6 +128,25 @@ class SelectionStrategy {
   /// BeginVideo implementations should restore) means "no restriction".
   virtual void SetEligibleModels(EnsembleId eligible) {
     eligible_models_ = eligible;
+  }
+
+  /// Serializes every piece of state a resumed run needs to continue
+  /// bit-identically (arm statistics, RNG streams, phase counters). The
+  /// default writes nothing — correct for strategies whose BeginVideo
+  /// reconstructs all state deterministically (OPT, BF, SGL).
+  virtual Status SaveState(ByteWriter& writer) const {
+    (void)writer;
+    return Status::OK();
+  }
+
+  /// Restores state written by SaveState. The resume protocol is:
+  /// construct an identically-configured strategy, call BeginVideo (sizes
+  /// vectors, wires the oracle), then RestoreState to overlay the saved
+  /// statistics. Returns DataLoss on malformed payloads, leaving the
+  /// strategy in its fresh BeginVideo state.
+  virtual Status RestoreState(ByteReader& reader) {
+    (void)reader;
+    return Status::OK();
   }
 
  protected:

@@ -1,10 +1,13 @@
 #include "query/executor.h"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/wire.h"
 #include "common/strings.h"
 #include "core/baselines.h"
 #include "core/frame_eval.h"
@@ -33,10 +36,255 @@ Status QueryEngineOptions::Validate() const {
   for (const FaultScript& script : fault_scripts) {
     VQE_RETURN_NOT_OK(script.Validate());
   }
+  VQE_RETURN_NOT_OK(checkpoint.Validate());
   return matrix.Validate();
 }
 
 namespace {
+
+// Section names of a query checkpoint (container format in
+// snapshot/snapshot.h).
+constexpr char kQueryMetaSection[] = "query.meta";
+constexpr char kQueryCursorSection[] = "query.cursor";
+constexpr char kQueryOutputSection[] = "query.output";
+constexpr char kQueryStrategySection[] = "strategy";
+constexpr char kQueryRuntimeSection[] = "runtime";
+constexpr char kQueryTrackerSection[] = "tracker";
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// The configuration fingerprint a query checkpoint was taken under.
+/// Resuming under a different fingerprint would silently change the query's
+/// output, so every determinism-affecting knob is compared exactly.
+struct QueryRunIdentity {
+  std::string strategy_name;  // canonical (upper-cased) USING name
+  std::string video_name;
+  int num_models = 0;
+  uint64_t num_video_frames = 0;
+  uint64_t stride = 1;
+  uint64_t seed = 0;
+  double scene_scale = 0.0;
+  double budget_ms = 0.0;
+  uint64_t limit = 0;
+  ScoringFunction sc;
+  uint64_t gamma = 0;
+  uint64_t sw_window = 0;
+
+  Status ExpectMatches(const QueryRunIdentity& other) const {
+    if (strategy_name != other.strategy_name ||
+        video_name != other.video_name) {
+      return Status::FailedPrecondition(
+          "checkpoint belongs to a different query (strategy/video)");
+    }
+    if (num_models != other.num_models ||
+        num_video_frames != other.num_video_frames ||
+        stride != other.stride) {
+      return Status::FailedPrecondition(
+          "checkpoint pool/video shape differs from this query");
+    }
+    if (seed != other.seed || !SameBits(scene_scale, other.scene_scale)) {
+      return Status::FailedPrecondition("checkpoint sampling seed differs");
+    }
+    if (!SameBits(budget_ms, other.budget_ms) || limit != other.limit) {
+      return Status::FailedPrecondition("checkpoint budget/limit differs");
+    }
+    if (!SameBits(sc.w1, other.sc.w1) || !SameBits(sc.w2, other.sc.w2) ||
+        sc.form != other.sc.form) {
+      return Status::FailedPrecondition("checkpoint scoring function differs");
+    }
+    if (gamma != other.gamma || sw_window != other.sw_window) {
+      return Status::FailedPrecondition("checkpoint bandit knobs differ");
+    }
+    return Status::OK();
+  }
+};
+
+void WriteQueryIdentity(ByteWriter& w, const QueryRunIdentity& id) {
+  w.Str(id.strategy_name);
+  w.Str(id.video_name);
+  w.I64(id.num_models);
+  w.U64(id.num_video_frames);
+  w.U64(id.stride);
+  w.U64(id.seed);
+  w.F64(id.scene_scale);
+  w.F64(id.budget_ms);
+  w.U64(id.limit);
+  w.F64(id.sc.w1);
+  w.F64(id.sc.w2);
+  w.U8(static_cast<uint8_t>(id.sc.form));
+  w.U64(id.gamma);
+  w.U64(id.sw_window);
+}
+
+Status ReadQueryIdentity(ByteReader& r, QueryRunIdentity* id) {
+  int64_t num_models = 0;
+  uint8_t form = 0;
+  VQE_RETURN_NOT_OK(r.Str(&id->strategy_name));
+  VQE_RETURN_NOT_OK(r.Str(&id->video_name));
+  VQE_RETURN_NOT_OK(r.I64(&num_models));
+  VQE_RETURN_NOT_OK(r.U64(&id->num_video_frames));
+  VQE_RETURN_NOT_OK(r.U64(&id->stride));
+  VQE_RETURN_NOT_OK(r.U64(&id->seed));
+  VQE_RETURN_NOT_OK(r.F64(&id->scene_scale));
+  VQE_RETURN_NOT_OK(r.F64(&id->budget_ms));
+  VQE_RETURN_NOT_OK(r.U64(&id->limit));
+  VQE_RETURN_NOT_OK(r.F64(&id->sc.w1));
+  VQE_RETURN_NOT_OK(r.F64(&id->sc.w2));
+  VQE_RETURN_NOT_OK(r.U8(&form));
+  VQE_RETURN_NOT_OK(r.U64(&id->gamma));
+  VQE_RETURN_NOT_OK(r.U64(&id->sw_window));
+  if (num_models < 1 || num_models > kMaxPoolSize) {
+    return Status::DataLoss("query identity num_models out of range");
+  }
+  if (form > static_cast<uint8_t>(ScoreForm::kLinear)) {
+    return Status::DataLoss("query identity score form out of range");
+  }
+  id->num_models = static_cast<int>(num_models);
+  id->sc.form = static_cast<ScoreForm>(form);
+  return Status::OK();
+}
+
+/// Serializes every QueryOutput accumulator except wall_seconds (wall
+/// clock), model_names (reconstructed from the pool) and the per-invocation
+/// CheckpointReport.
+void WriteQueryOutput(ByteWriter& w, const QueryOutput& out) {
+  w.U64(out.frame_ids.size());
+  for (int64_t id : out.frame_ids) w.I64(id);
+  w.U64(out.frames_processed);
+  w.U64(out.frames_matched);
+  w.F64(out.charged_cost_ms);
+  w.F64(out.reference_cost_ms);
+  WriteVecU64(w, out.selection_counts);
+  w.U64(out.fallback_frames);
+  w.U64(out.failed_frames);
+  w.F64(out.fault_ms);
+  WriteVecU64(w, out.model_failures);
+}
+
+Status ReadQueryOutput(ByteReader& r, QueryOutput* out) {
+  uint64_t ids = 0, frames_processed = 0, frames_matched = 0, fallback = 0, failed = 0;
+  VQE_RETURN_NOT_OK(r.U64(&ids));
+  if (ids > r.remaining() / 8) {
+    return Status::DataLoss("frame-id count exceeds payload");
+  }
+  out->frame_ids.clear();
+  out->frame_ids.reserve(static_cast<size_t>(ids));
+  for (uint64_t i = 0; i < ids; ++i) {
+    int64_t id = 0;
+    VQE_RETURN_NOT_OK(r.I64(&id));
+    out->frame_ids.push_back(id);
+  }
+  VQE_RETURN_NOT_OK(r.U64(&frames_processed));
+  VQE_RETURN_NOT_OK(r.U64(&frames_matched));
+  VQE_RETURN_NOT_OK(r.F64(&out->charged_cost_ms));
+  VQE_RETURN_NOT_OK(r.F64(&out->reference_cost_ms));
+  VQE_RETURN_NOT_OK(ReadVecU64(r, &out->selection_counts));
+  VQE_RETURN_NOT_OK(r.U64(&fallback));
+  VQE_RETURN_NOT_OK(r.U64(&failed));
+  VQE_RETURN_NOT_OK(r.F64(&out->fault_ms));
+  VQE_RETURN_NOT_OK(ReadVecU64(r, &out->model_failures));
+  out->frames_processed = static_cast<size_t>(frames_processed);
+  out->frames_matched = static_cast<size_t>(frames_matched);
+  out->fallback_frames = static_cast<size_t>(fallback);
+  out->failed_frames = static_cast<size_t>(failed);
+  return Status::OK();
+}
+
+/// Serializes the complete resumable state of a query run.
+Result<std::vector<uint8_t>> BuildQuerySnapshot(
+    const QueryRunIdentity& identity, size_t next_t, size_t next_iteration,
+    const QueryOutput& out, const SelectionStrategy& strategy,
+    const std::vector<ResilientDetector>& runtime, const IouTracker* tracker) {
+  SnapshotWriter snap;
+  WriteQueryIdentity(snap.AddSection(kQueryMetaSection), identity);
+  {
+    ByteWriter& w = snap.AddSection(kQueryCursorSection);
+    w.U64(next_t);
+    w.U64(next_iteration);
+  }
+  WriteQueryOutput(snap.AddSection(kQueryOutputSection), out);
+  VQE_RETURN_NOT_OK(strategy.SaveState(snap.AddSection(kQueryStrategySection)));
+  {
+    ByteWriter& w = snap.AddSection(kQueryRuntimeSection);
+    w.U64(runtime.size());
+    for (const ResilientDetector& d : runtime) {
+      VQE_RETURN_NOT_OK(d.SaveState(w));
+    }
+  }
+  if (tracker != nullptr) {
+    VQE_RETURN_NOT_OK(
+        tracker->SaveState(snap.AddSection(kQueryTrackerSection)));
+  }
+  return snap.Finish();
+}
+
+/// Overlays a validated snapshot onto a freshly initialized query run.
+Status RestoreQueryRun(const SnapshotReader& snap,
+                       const QueryRunIdentity& expected, uint32_t num_masks,
+                       SelectionStrategy* strategy,
+                       std::vector<ResilientDetector>* runtime,
+                       IouTracker* tracker, QueryOutput* out, size_t* next_t,
+                       size_t* next_iteration) {
+  VQE_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kQueryMetaSection));
+  QueryRunIdentity saved;
+  VQE_RETURN_NOT_OK(ReadQueryIdentity(meta, &saved));
+  VQE_RETURN_NOT_OK(meta.ExpectEnd());
+  VQE_RETURN_NOT_OK(saved.ExpectMatches(expected));
+
+  VQE_ASSIGN_OR_RETURN(ByteReader cursor, snap.Section(kQueryCursorSection));
+  uint64_t t = 0, iteration = 0;
+  VQE_RETURN_NOT_OK(cursor.U64(&t));
+  VQE_RETURN_NOT_OK(cursor.U64(&iteration));
+  VQE_RETURN_NOT_OK(cursor.ExpectEnd());
+  if (t >= expected.num_video_frames) {
+    return Status::DataLoss("query checkpoint cursor beyond end of video");
+  }
+
+  VQE_ASSIGN_OR_RETURN(ByteReader res, snap.Section(kQueryOutputSection));
+  QueryOutput restored;
+  VQE_RETURN_NOT_OK(ReadQueryOutput(res, &restored));
+  VQE_RETURN_NOT_OK(res.ExpectEnd());
+  if (restored.selection_counts.size() != num_masks + 1 ||
+      restored.model_failures.size() !=
+          static_cast<size_t>(expected.num_models)) {
+    return Status::DataLoss("query checkpoint output shape mismatch");
+  }
+
+  VQE_ASSIGN_OR_RETURN(ByteReader strat, snap.Section(kQueryStrategySection));
+  VQE_RETURN_NOT_OK(strategy->RestoreState(strat));
+  VQE_RETURN_NOT_OK(strat.ExpectEnd());
+
+  VQE_ASSIGN_OR_RETURN(ByteReader rt, snap.Section(kQueryRuntimeSection));
+  uint64_t runtime_count = 0;
+  VQE_RETURN_NOT_OK(rt.U64(&runtime_count));
+  if (runtime_count != runtime->size()) {
+    return Status::DataLoss("query checkpoint runtime count mismatch");
+  }
+  for (ResilientDetector& d : *runtime) {
+    VQE_RETURN_NOT_OK(d.RestoreState(rt));
+  }
+  VQE_RETURN_NOT_OK(rt.ExpectEnd());
+
+  if (tracker != nullptr) {
+    if (!snap.HasSection(kQueryTrackerSection)) {
+      return Status::DataLoss(
+          "query checkpoint is missing the tracker section");
+    }
+    VQE_ASSIGN_OR_RETURN(ByteReader trk, snap.Section(kQueryTrackerSection));
+    VQE_RETURN_NOT_OK(tracker->RestoreState(trk));
+    VQE_RETURN_NOT_OK(trk.ExpectEnd());
+  }
+
+  // model_names and the per-invocation report are rebuilt by the caller.
+  restored.model_names = std::move(out->model_names);
+  restored.checkpoint = out->checkpoint;
+  *out = std::move(restored);
+  *next_t = static_cast<size_t>(t);
+  *next_iteration = static_cast<size_t>(iteration);
+  return Status::OK();
+}
 
 Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
     const UsingClause& clause, const QueryEngineOptions& options,
@@ -181,8 +429,47 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   const double nan = std::numeric_limits<double>::quiet_NaN();
   std::vector<DetectionList> model_out(static_cast<size_t>(m));
 
+  // Checkpointing: fingerprint the query configuration, then try to resume
+  // from the newest good generation in the checkpoint directory.
+  QueryRunIdentity identity;
+  identity.strategy_name = ToUpper(query.using_clause.strategy);
+  identity.video_name = query.video_name;
+  identity.num_models = m;
+  identity.num_video_frames = video.size();
+  identity.stride = stride;
+  identity.seed = sample.seed;
+  identity.scene_scale = sample.scene_scale;
+  identity.budget_ms = query.budget_ms;
+  identity.limit = query.limit;
+  identity.sc = options.sc;
+  identity.gamma = options.gamma;
+  identity.sw_window = options.sw_window;
+
+  size_t start_t = 0;
   size_t iteration = 0;
-  for (size_t t = 0; t < video.size(); t += stride) {
+  uint64_t next_generation = 1;
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (options.checkpoint.enabled()) {
+    ckpt = std::make_unique<CheckpointManager>(
+        options.checkpoint.directory, options.checkpoint.keep_generations);
+    if (options.checkpoint.resume) {
+      Result<CheckpointManager::Loaded> loaded = ckpt->LoadLatestGood();
+      if (loaded.ok()) {
+        out.checkpoint.generations_rejected = loaded->rejected;
+        VQE_RETURN_NOT_OK(RestoreQueryRun(
+            loaded->snapshot, identity, num_masks, strategy.get(), &runtime,
+            needs_tracks ? &tracker : nullptr, &out, &start_t, &iteration));
+        out.checkpoint.resumed = true;
+        out.checkpoint.resumed_from_iteration = iteration;
+        next_generation = loaded->sequence + 1;
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        return loaded.status();
+      }
+    }
+  }
+  size_t frames_this_invocation = 0;
+
+  for (size_t t = start_t; t < video.size(); t += stride) {
     if (query.budget_ms > 0.0 && out.charged_cost_ms > query.budget_ms) break;
     if (query.limit > 0 && out.frames_matched >= query.limit) break;
     const VideoFrame& frame = video.frames[t];
@@ -246,84 +533,114 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       // an empty frame so stale tracks age out on schedule.
       out.charged_cost_ms += frame_cost;
       ++out.failed_frames;
-      ++out.selection_counts[selected];
-      ++out.frames_processed;
       if (needs_tracks) tracker.Update(DetectionList{}, frame.frame_index);
-      continue;
-    }
-    if (realized != selected) ++out.fallback_frames;
+    } else {
+      if (realized != selected) ++out.fallback_frames;
 
-    // Reference model (AP estimation) when the strategy learns from it.
-    GroundTruthList ref_gt;
-    if (strategy->UsesReferenceModel()) {
-      const DetectionList ref_out =
-          pool.reference->Detect(frame, options.seed);
-      out.reference_cost_ms +=
-          pool.reference->InferenceCostMs(frame, options.seed);
-      ref_gt = DetectionsAsGroundTruth(ref_out,
-                                       options.matrix.ref_confidence_threshold);
-    }
-
-    // Fuse every subset of the *realized* ensemble (outputs are reused;
-    // only the cheap box fusion re-runs) and estimate its reward — failed
-    // members contribute nothing, so the realized sub-masks are the only
-    // arms with honest observations. The subsets all fuse the same cached
-    // boxes, so share one pairwise-IoU tile across them (model_out is
-    // reused between frames: re-id every frame).
-    est_score.assign(num_masks + 1, nan);
-    DetectionList selected_fused;
-    GroundTruthIndex ref_index;
-    if (strategy->UsesReferenceModel()) ref_index = BuildGroundTruthIndex(ref_gt);
-    PairwiseIouCache iou_tile;
-    if (fusion->ConsumesIouCache()) {
-      const int num_ids = AssignFrameDetIds(model_out);
-      iou_tile = PairwiseIouCache(model_out, num_ids);
-    }
-    std::vector<const DetectionList*> inputs;
-    inputs.reserve(static_cast<size_t>(m));
-    ForEachSubset(realized, [&](EnsembleId sub) {
-      inputs.clear();
-      size_t boxes = 0;
-      double cost = 0.0;
-      for (int i = 0; i < m; ++i) {
-        if (!ContainsModel(sub, i)) continue;
-        const DetectionList& out_i = model_out[static_cast<size_t>(i)];
-        inputs.push_back(&out_i);
-        boxes += out_i.size();
-        cost += model_cost[static_cast<size_t>(i)];
-      }
-      DetectionList fused = fusion->Fuse(DetectionListSpan(inputs), &iou_tile);
-      const double overhead = SimulatedFusionOverheadMs(boxes);
-      frame_cost += overhead;
-      cost += overhead;
+      // Reference model (AP estimation) when the strategy learns from it.
+      GroundTruthList ref_gt;
       if (strategy->UsesReferenceModel()) {
-        const double est_ap = FrameMeanAp(fused, ref_index, options.matrix.ap);
-        const double full_bound = full_cost_bound + overhead;
-        est_score[sub] = options.sc.Score(
-            est_ap, full_bound > 0 ? cost / full_bound : 0.0);
+        const DetectionList ref_out =
+            pool.reference->Detect(frame, options.seed);
+        out.reference_cost_ms +=
+            pool.reference->InferenceCostMs(frame, options.seed);
+        ref_gt = DetectionsAsGroundTruth(
+            ref_out, options.matrix.ref_confidence_threshold);
       }
-      if (sub == realized) selected_fused = std::move(fused);
-    });
-    out.charged_cost_ms += frame_cost;
 
-    FrameFeedback feedback;
-    feedback.t = frame_t;
-    feedback.selected = selected;
-    feedback.realized = realized;
-    feedback.est_score = &est_score;
-    strategy->Observe(feedback);
+      // Fuse every subset of the *realized* ensemble (outputs are reused;
+      // only the cheap box fusion re-runs) and estimate its reward — failed
+      // members contribute nothing, so the realized sub-masks are the only
+      // arms with honest observations. The subsets all fuse the same cached
+      // boxes, so share one pairwise-IoU tile across them (model_out is
+      // reused between frames: re-id every frame).
+      est_score.assign(num_masks + 1, nan);
+      DetectionList selected_fused;
+      GroundTruthIndex ref_index;
+      if (strategy->UsesReferenceModel()) {
+        ref_index = BuildGroundTruthIndex(ref_gt);
+      }
+      PairwiseIouCache iou_tile;
+      if (fusion->ConsumesIouCache()) {
+        const int num_ids = AssignFrameDetIds(model_out);
+        iou_tile = PairwiseIouCache(model_out, num_ids);
+      }
+      std::vector<const DetectionList*> inputs;
+      inputs.reserve(static_cast<size_t>(m));
+      ForEachSubset(realized, [&](EnsembleId sub) {
+        inputs.clear();
+        size_t boxes = 0;
+        double cost = 0.0;
+        for (int i = 0; i < m; ++i) {
+          if (!ContainsModel(sub, i)) continue;
+          const DetectionList& out_i = model_out[static_cast<size_t>(i)];
+          inputs.push_back(&out_i);
+          boxes += out_i.size();
+          cost += model_cost[static_cast<size_t>(i)];
+        }
+        DetectionList fused =
+            fusion->Fuse(DetectionListSpan(inputs), &iou_tile);
+        const double overhead = SimulatedFusionOverheadMs(boxes);
+        frame_cost += overhead;
+        cost += overhead;
+        if (strategy->UsesReferenceModel()) {
+          const double est_ap =
+              FrameMeanAp(fused, ref_index, options.matrix.ap);
+          const double full_bound = full_cost_bound + overhead;
+          est_score[sub] = options.sc.Score(
+              est_ap, full_bound > 0 ? cost / full_bound : 0.0);
+        }
+        if (sub == realized) selected_fused = std::move(fused);
+      });
+      out.charged_cost_ms += frame_cost;
 
+      FrameFeedback feedback;
+      feedback.t = frame_t;
+      feedback.selected = selected;
+      feedback.realized = realized;
+      feedback.est_score = &est_score;
+      strategy->Observe(feedback);
+
+      std::vector<Track> active_tracks;
+      if (needs_tracks) {
+        tracker.Update(selected_fused, frame.frame_index);
+        active_tracks = tracker.ActiveConfirmed();
+      }
+      if (EvaluatePredicate(query.where.get(), selected_fused,
+                            needs_tracks ? &active_tracks : nullptr)) {
+        out.frame_ids.push_back(frame.frame_index);
+        ++out.frames_matched;
+      }
+    }
+
+    // Shared epilogue for processed frames — failed or not, the frame was
+    // consumed and the run state advanced, so it is a valid checkpoint
+    // boundary.
     ++out.selection_counts[selected];
     ++out.frames_processed;
-    std::vector<Track> active_tracks;
-    if (needs_tracks) {
-      tracker.Update(selected_fused, frame.frame_index);
-      active_tracks = tracker.ActiveConfirmed();
+    ++frames_this_invocation;
+
+    if (ckpt != nullptr &&
+        out.frames_processed % options.checkpoint.every_frames == 0 &&
+        t + stride < video.size()) {
+      Stopwatch watch;
+      VQE_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> bytes,
+          BuildQuerySnapshot(identity, t + stride, iteration, out, *strategy,
+                             runtime, needs_tracks ? &tracker : nullptr));
+      VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
+      ++next_generation;
+      ++out.checkpoint.snapshots_written;
+      out.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
     }
-    if (EvaluatePredicate(query.where.get(), selected_fused,
-                          needs_tracks ? &active_tracks : nullptr)) {
-      out.frame_ids.push_back(frame.frame_index);
-      ++out.frames_matched;
+
+    // Crash injection for the resume tests (see CheckpointPolicy): abort
+    // after any checkpoint due at this frame has been durably written.
+    if (options.checkpoint.crash_after_frames > 0 &&
+        frames_this_invocation >= options.checkpoint.crash_after_frames &&
+        t + stride < video.size()) {
+      return Status::Aborted("crash injection after query frame " +
+                             std::to_string(t));
     }
   }
 

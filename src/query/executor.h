@@ -23,6 +23,7 @@
 #include "runtime/circuit_breaker.h"
 #include "runtime/fault_injection.h"
 #include "runtime/retry.h"
+#include "snapshot/checkpoint.h"
 
 namespace vqe {
 
@@ -47,6 +48,10 @@ struct QueryEngineOptions {
   /// detector is wrapped with its FaultScript (the reference model never
   /// is). Used to rehearse outages end-to-end through a live query.
   std::vector<FaultScript> fault_scripts;
+  /// Crash-safe checkpointing of the whole query run (strategy state,
+  /// per-model runtime stacks, tracker, output accumulators, cursor).
+  /// Resumed queries produce bit-identical output (wall_seconds aside).
+  CheckpointPolicy checkpoint;
 
   Status Validate() const;
 };
@@ -78,6 +83,22 @@ struct QueryOutput {
   /// Per-model failed calls (retries exhausted or breaker short-circuit),
   /// index-aligned with model_names.
   std::vector<uint64_t> model_failures;
+
+  /// What checkpointing did during THIS invocation (never serialized into
+  /// snapshots — wall-clock and resume bookkeeping legitimately differ
+  /// between a resumed and an uninterrupted run).
+  struct CheckpointReport {
+    bool resumed = false;
+    /// Frame-clock iteration this invocation resumed at.
+    size_t resumed_from_iteration = 0;
+    uint64_t snapshots_written = 0;
+    /// Corrupt/truncated generations skipped while locating the newest
+    /// good one.
+    int generations_rejected = 0;
+    /// Real wall-clock spent serializing + durably writing snapshots, ms.
+    double checkpoint_write_ms = 0.0;
+  };
+  CheckpointReport checkpoint;
 };
 
 /// Parses and executes a query string.

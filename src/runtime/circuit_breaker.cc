@@ -73,6 +73,44 @@ void CircuitBreaker::RecordFailure(size_t t) {
   }
 }
 
+Status CircuitBreaker::SaveState(ByteWriter& writer) const {
+  writer.U8(static_cast<uint8_t>(state_));
+  writer.U64(opened_at_);
+  writer.I64(consecutive_failures_);
+  writer.I64(probe_successes_);
+  writer.U64(successes_);
+  writer.U64(failures_);
+  writer.U64(opens_);
+  return Status::OK();
+}
+
+Status CircuitBreaker::RestoreState(ByteReader& reader) {
+  uint8_t state = 0;
+  uint64_t opened_at = 0, successes = 0, failures = 0, opens = 0;
+  int64_t consecutive_failures = 0, probe_successes = 0;
+  VQE_RETURN_NOT_OK(reader.U8(&state));
+  VQE_RETURN_NOT_OK(reader.U64(&opened_at));
+  VQE_RETURN_NOT_OK(reader.I64(&consecutive_failures));
+  VQE_RETURN_NOT_OK(reader.I64(&probe_successes));
+  VQE_RETURN_NOT_OK(reader.U64(&successes));
+  VQE_RETURN_NOT_OK(reader.U64(&failures));
+  VQE_RETURN_NOT_OK(reader.U64(&opens));
+  if (state > static_cast<uint8_t>(BreakerState::kHalfOpen)) {
+    return Status::DataLoss("breaker state enum out of range");
+  }
+  if (consecutive_failures < 0 || probe_successes < 0) {
+    return Status::DataLoss("breaker counters negative");
+  }
+  state_ = static_cast<BreakerState>(state);
+  opened_at_ = static_cast<size_t>(opened_at);
+  consecutive_failures_ = static_cast<int>(consecutive_failures);
+  probe_successes_ = static_cast<int>(probe_successes);
+  successes_ = successes;
+  failures_ = failures;
+  opens_ = opens;
+  return Status::OK();
+}
+
 void CircuitBreaker::TripOpen(size_t t) {
   state_ = BreakerState::kOpen;
   opened_at_ = t;

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "snapshot/wire.h"
 
 namespace vqe {
 
@@ -60,6 +61,14 @@ class CircuitBreaker {
   uint64_t successes() const { return successes_; }
   uint64_t failures() const { return failures_; }
   uint64_t opens() const { return opens_; }
+
+  /// Serializes the full state machine (state, clocks, counters) so a
+  /// resumed run replays breaker trajectories bit-identically.
+  Status SaveState(ByteWriter& writer) const;
+
+  /// Restores a SaveState payload; DataLoss on malformed bytes (e.g. an
+  /// out-of-range state enum), leaving the breaker untouched.
+  Status RestoreState(ByteReader& reader);
 
  private:
   void TripOpen(size_t t);

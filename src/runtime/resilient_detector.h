@@ -54,6 +54,29 @@ class ResilientDetector {
   const RetryPolicy& retry_policy() const { return retry_; }
   const Stats& stats() const { return stats_; }
 
+  /// Serializes breaker state + lifetime stats. The retry policy and inner
+  /// detector are configuration, reconstructed by the caller on resume.
+  Status SaveState(ByteWriter& writer) const {
+    VQE_RETURN_NOT_OK(breaker_.SaveState(writer));
+    writer.U64(stats_.calls);
+    writer.U64(stats_.failures);
+    writer.U64(stats_.short_circuits);
+    writer.U64(stats_.retries);
+    writer.F64(stats_.fault_ms);
+    return Status::OK();
+  }
+
+  /// Restores a SaveState payload; DataLoss on malformed bytes.
+  Status RestoreState(ByteReader& reader) {
+    VQE_RETURN_NOT_OK(breaker_.RestoreState(reader));
+    VQE_RETURN_NOT_OK(reader.U64(&stats_.calls));
+    VQE_RETURN_NOT_OK(reader.U64(&stats_.failures));
+    VQE_RETURN_NOT_OK(reader.U64(&stats_.short_circuits));
+    VQE_RETURN_NOT_OK(reader.U64(&stats_.retries));
+    VQE_RETURN_NOT_OK(reader.F64(&stats_.fault_ms));
+    return Status::OK();
+  }
+
  private:
   const ObjectDetector* inner_;
   RetryPolicy retry_;

@@ -1,5 +1,7 @@
 #include "sim/serialization.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -12,10 +14,26 @@ constexpr char kVideoMagic[] = "VQEVIDEO";
 constexpr char kDetMagic[] = "VQEDET";
 constexpr int kVersion = 1;
 
+// Hostile-input limits: a declared per-frame record count above this is
+// rejected outright (no real frame carries a million boxes), and reserve()
+// is capped lower still so a lying header cannot commit memory that the
+// actual line count never backs.
+constexpr size_t kMaxRecordsPerFrame = size_t{1} << 20;
+constexpr size_t kReserveCap = 4096;
+
 Status MalformedLine(const std::string& what, size_t line_no) {
   return Status::ParseError("malformed " + what + " at line " +
                             std::to_string(line_no));
 }
+
+/// IsValid() catches NaN (comparisons fail) and misordered corners, but
+/// accepts infinities; persisted geometry must be fully finite.
+bool FiniteBox(const BBox& b) {
+  return std::isfinite(b.x1) && std::isfinite(b.y1) && std::isfinite(b.x2) &&
+         std::isfinite(b.y2) && b.IsValid();
+}
+
+bool FinitePositive(double v) { return std::isfinite(v) && v > 0.0; }
 
 }  // namespace
 
@@ -73,7 +91,9 @@ Result<Video> ReadVideo(std::istream& is) {
     std::istringstream geo(line);
     std::string tag;
     geo >> tag >> video.geometry.width >> video.geometry.height;
-    if (tag != "geometry" || geo.fail()) {
+    if (tag != "geometry" || geo.fail() ||
+        !FinitePositive(video.geometry.width) ||
+        !FinitePositive(video.geometry.height)) {
       return MalformedLine("geometry", line_no);
     }
   }
@@ -91,11 +111,14 @@ Result<Video> ReadVideo(std::istream& is) {
     size_t num_objects = 0;
     frame_line >> frame.frame_index >> frame.scene_id >> context >>
         frame.image_width >> frame.image_height >> num_objects;
-    if (frame_line.fail() || context < 0 || context >= kNumSceneContexts) {
+    if (frame_line.fail() || context < 0 || context >= kNumSceneContexts ||
+        frame.frame_index < 0 || !FinitePositive(frame.image_width) ||
+        !FinitePositive(frame.image_height) ||
+        num_objects > kMaxRecordsPerFrame) {
       return MalformedLine("frame header", line_no);
     }
     frame.context = static_cast<SceneContext>(context);
-    frame.objects.reserve(num_objects);
+    frame.objects.reserve(std::min(num_objects, kReserveCap));
 
     for (size_t i = 0; i < num_objects; ++i) {
       if (!std::getline(is, line)) {
@@ -108,7 +131,9 @@ Result<Video> ReadVideo(std::istream& is) {
       int difficult = 0;
       obj_line >> obj_tag >> o.label >> o.object_id >> difficult >>
           o.hardness >> o.box.x1 >> o.box.y1 >> o.box.x2 >> o.box.y2;
-      if (obj_tag != "obj" || obj_line.fail() || !o.box.IsValid()) {
+      if (obj_tag != "obj" || obj_line.fail() || o.label < 0 ||
+          !std::isfinite(o.hardness) || o.hardness < 0.0 ||
+          !FiniteBox(o.box)) {
         return MalformedLine("object record", line_no);
       }
       o.difficult = difficult != 0;
@@ -165,11 +190,12 @@ Result<std::vector<DetectionList>> ReadDetections(std::istream& is) {
     size_t index = 0;
     size_t count = 0;
     frame_line >> tag >> index >> count;
-    if (tag != "frame" || frame_line.fail() || index != out.size()) {
+    if (tag != "frame" || frame_line.fail() || index != out.size() ||
+        count > kMaxRecordsPerFrame) {
       return MalformedLine("frame header", line_no);
     }
     DetectionList dets;
-    dets.reserve(count);
+    dets.reserve(std::min(count, kReserveCap));
     for (size_t i = 0; i < count; ++i) {
       if (!std::getline(is, line)) {
         return MalformedLine("detection record", line_no + 1);
@@ -180,7 +206,10 @@ Result<std::vector<DetectionList>> ReadDetections(std::istream& is) {
       Detection d;
       det_line >> det_tag >> d.label >> d.confidence >> d.box_variance >>
           d.box.x1 >> d.box.y1 >> d.box.x2 >> d.box.y2;
-      if (det_tag != "det" || det_line.fail() || !d.box.IsValid()) {
+      if (det_tag != "det" || det_line.fail() || d.label < 0 ||
+          !std::isfinite(d.confidence) || d.confidence < 0.0 ||
+          !std::isfinite(d.box_variance) || d.box_variance < 0.0 ||
+          !FiniteBox(d.box)) {
         return MalformedLine("detection record", line_no);
       }
       dets.push_back(d);

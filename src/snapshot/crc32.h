@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the snapshot container to checksum every section payload so that
+// truncated or bit-flipped files are rejected instead of silently resuming
+// from garbage. Table-driven, byte-at-a-time: snapshot payloads are small
+// (KBs) and written once per checkpoint cadence, so simplicity wins over
+// slice-by-8 tricks.
+
+#ifndef VQE_SNAPSHOT_CRC32_H_
+#define VQE_SNAPSHOT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vqe {
+
+/// Continues a CRC-32 over `size` bytes from a previous value. Start a fresh
+/// checksum by passing crc = 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+/// CRC-32 of a single buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+}  // namespace vqe
+
+#endif  // VQE_SNAPSHOT_CRC32_H_

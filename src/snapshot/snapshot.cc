@@ -1,0 +1,111 @@
+#include "snapshot/snapshot.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "snapshot/crc32.h"
+
+namespace vqe {
+namespace {
+
+// A section name longer than this is corruption, not a real name.
+constexpr uint32_t kMaxSectionNameLen = 256;
+
+}  // namespace
+
+ByteWriter& SnapshotWriter::AddSection(const std::string& name) {
+  assert(!name.empty() && name.size() <= kMaxSectionNameLen);
+  for ([[maybe_unused]] const auto& [existing, writer] : sections_) {
+    assert(existing != name && "duplicate snapshot section");
+  }
+  sections_.emplace_back(name, ByteWriter{});
+  return sections_.back().second;
+}
+
+std::vector<uint8_t> SnapshotWriter::Finish() const {
+  ByteWriter out;
+  out.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.U32(kSnapshotVersion);
+  out.U32(static_cast<uint32_t>(sections_.size()));
+  out.U32(Crc32(out.bytes().data(), out.size()));
+  for (const auto& [name, payload] : sections_) {
+    // The CRC covers the whole section record — name length, name,
+    // payload length, payload — so a flipped bit anywhere (including in
+    // the name, which routing decisions hang off) is caught.
+    const size_t section_start = out.size();
+    out.Str(name);
+    out.U64(payload.size());
+    out.Bytes(payload.bytes().data(), payload.size());
+    out.U32(Crc32(out.bytes().data() + section_start,
+                  out.size() - section_start));
+  }
+  return out.bytes();
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::vector<uint8_t> bytes) {
+  SnapshotReader snap;
+  snap.bytes_ = std::move(bytes);
+  ByteReader r(snap.bytes_.data(), snap.bytes_.size());
+
+  // Header: magic, version, section count, header CRC.
+  if (snap.bytes_.size() < sizeof(kSnapshotMagic) + 12 ||
+      std::memcmp(snap.bytes_.data(), kSnapshotMagic,
+                  sizeof(kSnapshotMagic)) != 0) {
+    return Status::DataLoss("bad or truncated snapshot magic");
+  }
+  VQE_RETURN_NOT_OK(r.Skip(sizeof(kSnapshotMagic)));
+  uint32_t version = 0, section_count = 0, header_crc = 0;
+  VQE_RETURN_NOT_OK(r.U32(&version));
+  VQE_RETURN_NOT_OK(r.U32(&section_count));
+  const size_t header_end = r.pos();
+  VQE_RETURN_NOT_OK(r.U32(&header_crc));
+  if (header_crc != Crc32(snap.bytes_.data(), header_end)) {
+    return Status::DataLoss("snapshot header CRC mismatch");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::DataLoss("unsupported snapshot version " +
+                            std::to_string(version));
+  }
+
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t section_start = r.pos();
+    std::string name;
+    VQE_RETURN_NOT_OK(r.Str(&name));
+    if (name.empty() || name.size() > kMaxSectionNameLen) {
+      return Status::DataLoss("snapshot section name length out of range");
+    }
+    uint64_t payload_len = 0;
+    VQE_RETURN_NOT_OK(r.U64(&payload_len));
+    const size_t payload_off = r.pos();
+    if (payload_len > r.remaining() ||
+        !r.Skip(static_cast<size_t>(payload_len)).ok()) {
+      return Status::DataLoss("section '" + name + "' payload truncated");
+    }
+    const size_t section_end = r.pos();  // CRC spans name through payload
+    uint32_t crc = 0;
+    VQE_RETURN_NOT_OK(r.U32(&crc));
+    if (crc != Crc32(snap.bytes_.data() + section_start,
+                     section_end - section_start)) {
+      return Status::DataLoss("section '" + name + "' CRC mismatch");
+    }
+    if (!snap.sections_
+             .emplace(name, std::make_pair(payload_off,
+                                           static_cast<size_t>(payload_len)))
+             .second) {
+      return Status::DataLoss("duplicate snapshot section '" + name + "'");
+    }
+    snap.names_.push_back(name);
+  }
+  VQE_RETURN_NOT_OK(r.ExpectEnd());
+  return snap;
+}
+
+Result<ByteReader> SnapshotReader::Section(const std::string& name) const {
+  auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot section '" + name + "' missing");
+  }
+  return ByteReader(bytes_.data() + it->second.first, it->second.second);
+}
+
+}  // namespace vqe

@@ -1,0 +1,90 @@
+// Versioned, checksummed, length-prefixed snapshot container.
+//
+// File layout (all integers little-endian):
+//
+//   [8]  magic  "VQESNAP1"
+//   [4]  u32    format version (currently 1)
+//   [4]  u32    section count
+//   [4]  u32    CRC-32 of the 16 header bytes above
+//   per section:
+//     [4+n] name        (u32 byte-length prefix + UTF-8 bytes)
+//     [8]   u64         payload length
+//     [...] payload     (section-private wire format, see engine_snapshot)
+//     [4]   u32         CRC-32 of the whole section record (name length,
+//                       name, payload length, payload) — a bit flip in
+//                       the *name* must be caught too, since readers
+//                       route by it
+//
+// SnapshotReader::Parse validates everything up front — magic, version,
+// header CRC, every section CRC, duplicate names, truncation, trailing
+// bytes — and returns DataLoss on the first inconsistency, so callers never
+// see a partially-valid snapshot. Sections are looked up by name; unknown
+// sections are ignored on read (forward compatibility within a version).
+
+#ifndef VQE_SNAPSHOT_SNAPSHOT_H_
+#define VQE_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "snapshot/wire.h"
+
+namespace vqe {
+
+/// Current snapshot container format version.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// The 8-byte magic at the start of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'V', 'Q', 'E', 'S',
+                                           'N', 'A', 'P', '1'};
+
+/// Builds a snapshot file from named sections.
+class SnapshotWriter {
+ public:
+  /// Opens a new section and returns its payload encoder. The reference
+  /// stays valid until Finish(); section order is preserved in the file.
+  /// Adding a duplicate name is a programming error (asserted).
+  ByteWriter& AddSection(const std::string& name);
+
+  /// Serializes header + all sections with their CRCs.
+  std::vector<uint8_t> Finish() const;
+
+ private:
+  std::vector<std::pair<std::string, ByteWriter>> sections_;
+};
+
+/// Parses and validates a snapshot file; hands out per-section readers.
+class SnapshotReader {
+ public:
+  /// A default-constructed reader has no sections; real readers come from
+  /// Parse(). Public so aggregate holders (CheckpointManager::Loaded) work.
+  SnapshotReader() = default;
+
+  /// Full validation pass. Any structural problem (bad magic, version
+  /// mismatch, CRC failure, truncation, duplicate or oversized section
+  /// name, trailing bytes) returns DataLoss and no reader.
+  static Result<SnapshotReader> Parse(std::vector<uint8_t> bytes);
+
+  bool HasSection(const std::string& name) const {
+    return sections_.count(name) != 0;
+  }
+
+  /// Reader over the named section's payload; NotFound if absent.
+  Result<ByteReader> Section(const std::string& name) const;
+
+  /// Section names in file order.
+  const std::vector<std::string>& section_names() const { return names_; }
+
+ private:
+  std::vector<uint8_t> bytes_;  // owned so ByteReader views stay valid
+  std::map<std::string, std::pair<size_t, size_t>> sections_;  // offset, len
+  std::vector<std::string> names_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_SNAPSHOT_SNAPSHOT_H_

@@ -29,6 +29,88 @@ void IouTracker::Reset() {
   next_id_ = 1;
 }
 
+namespace {
+
+void SaveTrack(ByteWriter& w, const Track& t) {
+  w.I64(t.track_id);
+  w.I64(t.label);
+  w.F64(t.box.x1);
+  w.F64(t.box.y1);
+  w.F64(t.box.x2);
+  w.F64(t.box.y2);
+  w.F64(t.confidence);
+  w.I64(t.hits);
+  w.I64(t.missed);
+  w.I64(t.first_frame);
+  w.I64(t.last_frame);
+  w.F64(t.vx);
+  w.F64(t.vy);
+}
+
+Status RestoreTrack(ByteReader& r, Track* t) {
+  int64_t label, hits, missed;
+  VQE_RETURN_NOT_OK(r.I64(&t->track_id));
+  VQE_RETURN_NOT_OK(r.I64(&label));
+  VQE_RETURN_NOT_OK(r.F64(&t->box.x1));
+  VQE_RETURN_NOT_OK(r.F64(&t->box.y1));
+  VQE_RETURN_NOT_OK(r.F64(&t->box.x2));
+  VQE_RETURN_NOT_OK(r.F64(&t->box.y2));
+  VQE_RETURN_NOT_OK(r.F64(&t->confidence));
+  VQE_RETURN_NOT_OK(r.I64(&hits));
+  VQE_RETURN_NOT_OK(r.I64(&missed));
+  VQE_RETURN_NOT_OK(r.I64(&t->first_frame));
+  VQE_RETURN_NOT_OK(r.I64(&t->last_frame));
+  VQE_RETURN_NOT_OK(r.F64(&t->vx));
+  VQE_RETURN_NOT_OK(r.F64(&t->vy));
+  if (t->track_id < 1) return Status::DataLoss("track id out of range");
+  if (hits < 0 || missed < 0) return Status::DataLoss("track counters negative");
+  t->label = static_cast<ClassId>(label);
+  t->hits = static_cast<int>(hits);
+  t->missed = static_cast<int>(missed);
+  return Status::OK();
+}
+
+Status RestoreTrackList(ByteReader& r, std::vector<Track>* out) {
+  uint64_t n = 0;
+  VQE_RETURN_NOT_OK(r.U64(&n));
+  // Each track is 13 fixed 8-byte fields on the wire.
+  if (n > r.remaining() / (13 * 8)) {
+    return Status::DataLoss("track count exceeds payload");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Track t;
+    VQE_RETURN_NOT_OK(RestoreTrack(r, &t));
+    out->push_back(t);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status IouTracker::SaveState(ByteWriter& writer) const {
+  writer.I64(next_id_);
+  writer.U64(tracks_.size());
+  for (const Track& t : tracks_) SaveTrack(writer, t);
+  writer.U64(finished_.size());
+  for (const Track& t : finished_) SaveTrack(writer, t);
+  return Status::OK();
+}
+
+Status IouTracker::RestoreState(ByteReader& reader) {
+  int64_t next_id = 0;
+  std::vector<Track> tracks, finished;
+  VQE_RETURN_NOT_OK(reader.I64(&next_id));
+  if (next_id < 1) return Status::DataLoss("tracker next_id out of range");
+  VQE_RETURN_NOT_OK(RestoreTrackList(reader, &tracks));
+  VQE_RETURN_NOT_OK(RestoreTrackList(reader, &finished));
+  next_id_ = next_id;
+  tracks_ = std::move(tracks);
+  finished_ = std::move(finished);
+  return Status::OK();
+}
+
 const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
                                              int64_t frame_index) {
   // 1. Predict: advance every track by its velocity estimate.

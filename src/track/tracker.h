@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "detection/detection.h"
+#include "snapshot/wire.h"
 
 namespace vqe {
 
@@ -84,6 +85,13 @@ class IouTracker {
 
   /// Clears all state.
   void Reset();
+
+  /// Serializes live + finished tracks and the id counter so a resumed
+  /// query continues track identities and lifetimes exactly.
+  Status SaveState(ByteWriter& writer) const;
+
+  /// Restores a SaveState payload; DataLoss on malformed bytes.
+  Status RestoreState(ByteReader& reader);
 
  private:
   TrackerOptions options_;

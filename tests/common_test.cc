@@ -71,6 +71,10 @@ TEST(StatusTest, EveryCodeRoundTripsThroughStatus) {
         return Status::DeadlineExceeded("m");
       case StatusCode::kUnavailable:
         return Status::Unavailable("m");
+      case StatusCode::kDataLoss:
+        return Status::DataLoss("m");
+      case StatusCode::kAborted:
+        return Status::Aborted("m");
     }
     return Status::Internal("unhandled code");
   };

@@ -123,6 +123,72 @@ TEST(SerializationTest, DetectionsRejectCorruptInput) {
   EXPECT_FALSE(ReadDetections(bad_index).ok());
 }
 
+// Corpus of hostile inputs: lying headers, non-finite numerics, negative
+// labels, huge declared counts. Every one must come back as a clean
+// ParseError — no crash, no UB, no unbounded allocation.
+TEST(SerializationTest, HostileInputCorpusIsRejectedCleanly) {
+  const std::vector<const char*> hostile_videos = {
+      // Declared count far beyond any real frame (allocation bomb).
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 99999999999\n",
+      // Count just above the per-frame cap.
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1048577\n",
+      // Non-finite geometry.
+      "VQEVIDEO 1\ngeometry nan 900\n",
+      "VQEVIDEO 1\ngeometry inf inf\n",
+      "VQEVIDEO 1\ngeometry -1600 900\n",
+      "VQEVIDEO 1\ngeometry 0 0\n",
+      // Non-finite frame dimensions.
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 nan 900 0\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 -900 0\n",
+      // Negative frame index.
+      "VQEVIDEO 1\ngeometry 1600 900\nframe -3 0 0 1600 900 0\n",
+      // Negative label / non-finite hardness / inf box coordinate.
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n"
+      "obj -1 5 0 0.5 0 0 10 10\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n"
+      "obj 0 5 0 nan 0 0 10 10\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n"
+      "obj 0 5 0 -0.5 0 0 10 10\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n"
+      "obj 0 5 0 0.5 0 0 inf 10\n",
+      // Garbage tags and truncation mid-record.
+      "VQEVIDEO 1\ngeometry 1600 900\nzzz 0 0 0 1600 900 0\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\nobj 0 5\n",
+      "VQEVIDEO 1\ngeometry 1600 900\nframe 0 0 0 1600 900 1\n",
+      "VQEVIDEO 1\n",
+  };
+  for (const char* text : hostile_videos) {
+    std::stringstream is(text);
+    const auto v = ReadVideo(is);
+    ASSERT_FALSE(v.ok()) << text;
+    EXPECT_EQ(v.status().code(), StatusCode::kParseError) << text;
+  }
+
+  const std::vector<const char*> hostile_detections = {
+      // Allocation bomb / cap overflow.
+      "VQEDET 1\nframe 0 99999999999\n",
+      "VQEDET 1\nframe 0 1048577\n",
+      // Non-finite or negative numerics.
+      "VQEDET 1\nframe 0 1\ndet 0 nan 0 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet 0 -0.5 0 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet 0 0.9 nan 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet 0 0.9 -1 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet -2 0.9 0 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet 0 0.9 0 inf 0 10 10\n",
+      // Misordered box, garbage tag, truncation.
+      "VQEDET 1\nframe 0 1\ndet 0 0.9 0 10 10 0 0\n",
+      "VQEDET 1\nframe 0 1\nzzz 0 0.9 0 0 0 10 10\n",
+      "VQEDET 1\nframe 0 1\ndet 0 0.9\n",
+      "VQEDET 1\nframe 0 1\n",
+  };
+  for (const char* text : hostile_detections) {
+    std::stringstream is(text);
+    const auto d = ReadDetections(is);
+    ASSERT_FALSE(d.ok()) << text;
+    EXPECT_EQ(d.status().code(), StatusCode::kParseError) << text;
+  }
+}
+
 // --------------------------------------------------------- scoring forms --
 
 TEST(ScoreFormTest, LinearFormMeetsCriteria) {

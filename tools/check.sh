@@ -10,7 +10,9 @@
 # build-ubsan/ (all .gitignore'd) and run the suites that exercise the
 # shared thread pool, the chunked ParallelFor scheduler, the pairwise-IoU
 # tile shared across fusion calls, lazy-vs-eager evaluation equivalence,
-# and the fault-tolerant detector runtime (retry/breaker/degradation).
+# the fault-tolerant detector runtime (retry/breaker/degradation), and the
+# snapshot/checkpoint stack (hostile-byte parsing plus the crash-resume
+# matrix) — corrupt snapshots must fail with a clean Status, never UB.
 
 set -eu
 
@@ -27,9 +29,10 @@ run_sanitizer() {
   dir="build-$2"
   cmake -B "$dir" -S . -DVQE_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j --target \
-    thread_pool_test determinism_test fusion_test lazy_eval_test runtime_test
+    thread_pool_test determinism_test fusion_test lazy_eval_test \
+    runtime_test snapshot_test resume_test serialization_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization"
 }
 
 run_tier1
