@@ -1,0 +1,284 @@
+// Multi-stream serving throughput: streams/sec and per-frame latency
+// percentiles versus concurrent session count.
+//
+// For each session count n ∈ {1, 2, 4, 8} the bench submits n streams
+// (mixed strategies, seeds and priority classes) to a StreamScheduler with
+// cross-stream batching attached, drains them, and reports wall-clock
+// throughput (frames/sec, streams/sec), the p50/p99 per-frame step
+// latency, DRR round counts, and the batch coalescing factor. Every
+// stream's RunResult is verified bit-identical to its solo RunStrategy
+// baseline — the serving layer may only change WHEN work happens, never
+// WHAT any stream computes.
+//
+// Emits BENCH_serve.json so later PRs can track the trajectory.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/baselines.h"
+#include "core/ducb.h"
+#include "core/engine.h"
+#include "core/lazy_frame_evaluator.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+#include "serve/batch_dispatcher.h"
+#include "serve/scheduler.h"
+#include "serve/stream_session.h"
+#include "sim/dataset.h"
+
+using namespace vqe;
+using namespace vqe::bench;
+
+namespace {
+
+struct StreamSpec {
+  std::string name;
+  std::string strategy;
+  PriorityClass priority = PriorityClass::kStandard;
+  uint64_t trial_seed = 0;
+  uint64_t strategy_seed = 0;
+};
+
+std::unique_ptr<SelectionStrategy> MakeStrategy(const std::string& kind) {
+  if (kind == "MES") {
+    MesOptions o;
+    o.gamma = 2;
+    return std::make_unique<MesStrategy>(o);
+  }
+  if (kind == "SW-MES") {
+    SwMesOptions o;
+    o.gamma = 2;
+    o.window = 64;
+    return std::make_unique<SwMesStrategy>(o);
+  }
+  if (kind == "D-MES") {
+    DucbOptions o;
+    o.gamma = 2;
+    return std::make_unique<DucbMesStrategy>(o);
+  }
+  return std::make_unique<RandomStrategy>();
+}
+
+StreamSpec MakeSpec(size_t i) {
+  static const char* kKinds[] = {"MES", "SW-MES", "D-MES", "RAND"};
+  static const PriorityClass kClasses[] = {PriorityClass::kInteractive,
+                                           PriorityClass::kStandard,
+                                           PriorityClass::kStandard,
+                                           PriorityClass::kBatch};
+  StreamSpec spec;
+  spec.strategy = kKinds[i % 4];
+  spec.priority = kClasses[i % 4];
+  spec.name = std::string("stream-") + std::to_string(i) + "-" +
+              spec.strategy;
+  spec.trial_seed = 100 + i;
+  spec.strategy_seed = 200 + i;
+  return spec;
+}
+
+EngineOptions MakeEngine(const StreamSpec& spec) {
+  EngineOptions e;
+  e.strategy_seed = spec.strategy_seed;
+  e.compute_regret = false;
+  return e;
+}
+
+std::unique_ptr<StreamSession> MakeSession(const Video& video,
+                                           const DetectorPool& base,
+                                           const StreamSpec& spec,
+                                           BatchDispatcher* dispatcher,
+                                           uint64_t stream_id) {
+  std::vector<std::unique_ptr<DetectorPool>> owned;
+  const DetectorPool* pool = &base;
+  if (dispatcher != nullptr) {
+    auto batching = std::make_unique<DetectorPool>(
+        std::move(MakeBatchingPool(*pool, dispatcher, stream_id)).value());
+    pool = batching.get();
+    owned.push_back(std::move(batching));
+  }
+  auto source =
+      std::move(LazyFrameEvaluator::Create(video, *pool, spec.trial_seed, {}))
+          .value();
+  StreamSessionConfig cfg;
+  cfg.name = spec.name;
+  cfg.priority = spec.priority;
+  cfg.engine = MakeEngine(spec);
+  for (const auto& det : pool->detectors) {
+    cfg.model_names.push_back(det->name());
+  }
+  return std::move(StreamSession::Create(std::move(cfg), std::move(source),
+                                         MakeStrategy(spec.strategy),
+                                         std::move(owned)))
+      .value();
+}
+
+/// Deterministic-field equality between a served stream and its solo run.
+bool SameRun(const RunResult& a, const RunResult& b) {
+  return a.s_sum == b.s_sum && a.avg_true_ap == b.avg_true_ap &&
+         a.frames_processed == b.frames_processed &&
+         a.charged_cost_ms == b.charged_cost_ms &&
+         a.selection_counts == b.selection_counts &&
+         a.fallback_frames == b.fallback_frames &&
+         a.failed_frames == b.failed_frames;
+}
+
+struct ConfigRow {
+  int sessions = 0;
+  bool batched = false;
+  double wall_ms = 0.0;
+  uint64_t frames = 0;
+  double frames_per_sec = 0.0;
+  double streams_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t rounds = 0;
+  double mean_batch = 0.0;
+  uint64_t coalesced = 0;
+  bool bit_identical = true;
+};
+
+}  // namespace
+
+int main() {
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Multi-stream serving throughput",
+              "serving layer (sessions, DRR scheduling, batching)",
+              settings);
+
+  const DatasetSpec& spec = **DatasetCatalog::Default().Find("nusc-night");
+  // (scaled down: eight solo baselines plus four serve configs per run)
+  const double scale =
+      ScaleFor(spec, std::min(settings.target_frames, 600.0));
+  SampleOptions sample;
+  sample.scene_scale = scale;
+  sample.seed = 17;
+  const Video video = std::move(SampleVideo(spec, sample)).value();
+  const DetectorPool pool = std::move(BuildNuscenesPool(5)).value();
+  std::cout << "video: " << video.size() << " frames, pool m="
+            << pool.size() << "\n\n";
+
+  // Solo baselines (and their wall time, the 1-stream-at-a-time reference).
+  std::vector<RunResult> solo(8);
+  Stopwatch solo_watch;
+  for (size_t i = 0; i < solo.size(); ++i) {
+    const StreamSpec sspec = MakeSpec(i);
+    auto source = std::move(LazyFrameEvaluator::Create(
+                                video, pool, sspec.trial_seed, {}))
+                      .value();
+    auto strategy = MakeStrategy(sspec.strategy);
+    solo[i] =
+        std::move(RunStrategy(*source, strategy.get(), MakeEngine(sspec)))
+            .value();
+  }
+  const double solo_ms = solo_watch.ElapsedMillis();
+  std::cout << "8 solo runs back-to-back: " << Fmt(solo_ms) << " ms\n\n";
+
+  std::vector<ConfigRow> rows;
+  for (const bool batched : {false, true}) {
+    for (const int n : {1, 2, 4, 8}) {
+      ServeOptions opt;
+      opt.max_sessions = n;
+      opt.queue_depth = 0;
+      opt.quantum_ms = 150.0;
+      opt.max_frames_per_round = 16;
+      opt.parallelism = 0;  // all cores
+      StreamScheduler scheduler(opt);
+      BatchDispatcher dispatcher({/*batch_window=*/4});
+      if (batched) scheduler.AttachBatchDispatcher(&dispatcher);
+      for (int i = 0; i < n; ++i) {
+        auto id = scheduler.Submit(
+            MakeSession(video, pool, MakeSpec(i),
+                        batched ? &dispatcher : nullptr,
+                        static_cast<uint64_t>(i)));
+        if (!id.ok()) {
+          std::cerr << "submit failed: " << id.status().ToString() << "\n";
+          return 1;
+        }
+      }
+      const ServeReport report =
+          std::move(scheduler.RunUntilDrained()).value();
+
+      ConfigRow row;
+      row.sessions = n;
+      row.batched = batched;
+      row.wall_ms = report.stats.wall_ms;
+      row.frames = report.stats.frames;
+      row.frames_per_sec =
+          report.stats.wall_ms > 0.0
+              ? 1e3 * static_cast<double>(report.stats.frames) /
+                    report.stats.wall_ms
+              : 0.0;
+      row.streams_per_sec =
+          report.stats.wall_ms > 0.0 ? 1e3 * n / report.stats.wall_ms : 0.0;
+      row.p50_ms = report.stats.frame_p50_ms;
+      row.p99_ms = report.stats.frame_p99_ms;
+      row.rounds = report.stats.rounds;
+      row.mean_batch = report.stats.batching.MeanBatch();
+      row.coalesced = report.stats.batching.coalesced_requests;
+      for (int i = 0; i < n; ++i) {
+        if (!report.streams[static_cast<size_t>(i)].status.ok() ||
+            !SameRun(solo[static_cast<size_t>(i)],
+                     report.streams[static_cast<size_t>(i)].result)) {
+          row.bit_identical = false;
+        }
+      }
+      rows.push_back(row);
+
+      std::cout << (batched ? "batched  " : "unbatched") << " sessions="
+                << n << ": wall " << Fmt(row.wall_ms) << " ms, "
+                << Fmt(row.frames_per_sec, 0) << " frames/s, "
+                << Fmt(row.streams_per_sec) << " streams/s, p50 "
+                << Fmt(row.p50_ms, 3) << " ms, p99 " << Fmt(row.p99_ms, 3)
+                << " ms, rounds " << row.rounds << ", mean batch "
+                << Fmt(row.mean_batch) << ", identical="
+                << (row.bit_identical ? "yes" : "NO") << "\n";
+    }
+  }
+
+  bool all_identical = true;
+  for (const auto& row : rows) all_identical &= row.bit_identical;
+  std::cout << "\nbit-identity across all configurations: "
+            << (all_identical ? "PASS" : "FAIL") << "\n";
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"serve\",\n  \"frames_per_video\": %zu,\n"
+               "  \"pool_m\": %zu,\n  \"hardware_threads\": %u,\n"
+               "  \"solo_8_runs_ms\": %.3f,\n"
+               "  \"bit_identical\": %s,\n  \"configs\": [\n",
+               video.size(), pool.size(),
+               std::thread::hardware_concurrency(), solo_ms,
+               all_identical ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ConfigRow& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"sessions\": %d, \"batched\": %s, \"wall_ms\": %.3f,\n"
+        "     \"frames\": %llu,\n"
+        "     \"frames_per_sec\": %.1f, \"streams_per_sec\": %.3f,\n"
+        "     \"frame_p50_ms\": %.4f, \"frame_p99_ms\": %.4f,\n"
+        "     \"rounds\": %llu, \"mean_batch\": %.3f,\n"
+        "     \"coalesced_requests\": %llu, \"bit_identical\": %s}%s\n",
+        r.sessions, r.batched ? "true" : "false", r.wall_ms,
+        static_cast<unsigned long long>(r.frames),
+        r.frames_per_sec, r.streams_per_sec, r.p50_ms, r.p99_ms,
+        static_cast<unsigned long long>(r.rounds), r.mean_batch,
+        static_cast<unsigned long long>(r.coalesced),
+        r.bit_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::cout << "wrote BENCH_serve.json\n";
+  return all_identical ? 0 : 1;
+}

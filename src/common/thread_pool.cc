@@ -28,24 +28,36 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  Shutdown();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   if (workers_.empty()) {
+    // Inline pool: the acceptance check still honours the shutdown
+    // contract (a rejected task is never executed).
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return false;
+    }
     task();
-    return;
+    return true;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return false;  // deterministic rejection, never a drop
     queue_.push(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -154,8 +166,11 @@ void ParallelFor(size_t n, int parallelism,
   done->pending = workers - 1;
   for (int w = 0; w < workers - 1; ++w) {
     // `drain` by reference is safe: the caller blocks until every task has
-    // finished drain() and decremented pending.
-    SharedThreadPool().Submit([done, &drain] {
+    // finished drain() and decremented pending. A rejected submission
+    // (pool shutting down — cannot happen for the leaked shared pool, but
+    // the contract demands handling) just means one less helper: the
+    // caller's own drain() below still completes every index.
+    const bool accepted = SharedThreadPool().Submit([done, &drain] {
       drain();
       {
         std::lock_guard<std::mutex> lock(done->mu);
@@ -163,6 +178,10 @@ void ParallelFor(size_t n, int parallelism,
       }
       done->cv.notify_one();
     });
+    if (!accepted) {
+      std::lock_guard<std::mutex> lock(done->mu);
+      --done->pending;
+    }
   }
   drain();  // the caller participates
   {

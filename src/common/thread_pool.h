@@ -23,6 +23,14 @@
 namespace vqe {
 
 /// A fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Shutdown contract: once Shutdown() has been called (the destructor
+/// calls it first), every task accepted before that point still runs to
+/// completion — the workers drain the queue before exiting — and every
+/// Submit at or after that point returns false without enqueueing. A task
+/// is therefore either executed exactly once or rejected visibly at the
+/// submission site; there is no window in which a submission is silently
+/// dropped or left to hang.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (0 is valid: Submit then runs the task
@@ -35,8 +43,18 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task; runs it inline when the pool has no workers.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task; runs it inline when the pool has no workers. Returns
+  /// true when the task was accepted (it WILL run, even if Shutdown begins
+  /// immediately after) and false when the pool is shutting down — the
+  /// task was not enqueued and will never run. Callers that submit into a
+  /// pool they do not own must handle rejection (e.g. run the work inline
+  /// or on the calling thread), never assume acceptance.
+  [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Begins shutdown: already-accepted tasks drain, subsequent Submit
+  /// calls are rejected deterministically. Idempotent and thread-safe;
+  /// does not join the workers (the destructor does).
+  void Shutdown();
 
  private:
   void WorkerLoop();

@@ -115,9 +115,30 @@ Status RestoreEngineRun(const SnapshotReader& snap,
 
 }  // namespace
 
-Result<RunResult> RunStrategy(EvaluationSource& source,
-                              SelectionStrategy* strategy,
-                              const EngineOptions& options) {
+struct EngineRun::IdentityHolder {
+  EngineRunIdentity identity;
+};
+
+EngineRun::~EngineRun() = default;
+
+EngineRun::EngineRun(EvaluationSource& source, SelectionStrategy* strategy,
+                     const EngineOptions& options)
+    : source_(&source),
+      strategy_(strategy),
+      options_(options),
+      num_masks_(source.num_ensembles()),
+      num_frames_(source.num_frames()),
+      m_(source.num_models()),
+      full_(FullEnsemble(source.num_models())),
+      oracle_(&source, options.sc),
+      breakers_(static_cast<size_t>(source.num_models()),
+                CircuitBreaker(options.breaker)),
+      est_score_(num_masks_ + 1),
+      norm_cost_(num_masks_ + 1) {}
+
+Result<std::unique_ptr<EngineRun>> EngineRun::Create(
+    EvaluationSource& source, SelectionStrategy* strategy,
+    const EngineOptions& options) {
   VQE_RETURN_NOT_OK(options.Validate());
   if (strategy == nullptr) {
     return Status::InvalidArgument("strategy is null");
@@ -125,271 +146,283 @@ Result<RunResult> RunStrategy(EvaluationSource& source,
   if (source.num_models() < 1 || source.num_models() > kMaxPoolSize) {
     return Status::InvalidArgument("source has invalid num_models");
   }
+  std::unique_ptr<EngineRun> run(new EngineRun(source, strategy, options));
+  VQE_RETURN_NOT_OK(run->Init());
+  return run;
+}
 
-  const uint32_t num_masks = source.num_ensembles();
-  const OracleView oracle(&source, options.sc);
-
+Status EngineRun::Init() {
   StrategyContext ctx;
-  ctx.num_models = source.num_models();
-  ctx.num_frames = source.num_frames();
-  ctx.sc = options.sc;
-  ctx.seed = options.strategy_seed;
-  ctx.oracle = &oracle;
-
-  TimeAccumulator algo_time;
+  ctx.num_models = m_;
+  ctx.num_frames = num_frames_;
+  ctx.sc = options_.sc;
+  ctx.seed = options_.strategy_seed;
+  ctx.oracle = &oracle_;
   {
-    ScopedTimer timer(&algo_time);
-    strategy->BeginVideo(ctx);
+    ScopedTimer timer(&algo_time_);
+    strategy_->BeginVideo(ctx);
   }
 
-  RunResult result;
-  result.regret_available = options.compute_regret;
-  result.selection_counts.assign(num_masks + 1, 0);
-
-  const int m = source.num_models();
-  const EnsembleId full = FullEnsemble(m);
-  result.model_availability.assign(static_cast<size_t>(m), {});
-  // One breaker per model, driven by the outcomes of selected-member calls
-  // (the information protocol: the engine never peeks at models it did not
-  // run). All state advances on the deterministic frame clock.
-  std::vector<CircuitBreaker> breakers(static_cast<size_t>(m),
-                                       CircuitBreaker(options.breaker));
-
-  std::vector<double> est_score(num_masks + 1);
-  std::vector<double> norm_cost(num_masks + 1);
-  const double nan = std::numeric_limits<double>::quiet_NaN();
+  result_.regret_available = options_.compute_regret;
+  result_.selection_counts.assign(num_masks_ + 1, 0);
+  result_.model_availability.assign(static_cast<size_t>(m_), {});
 
   // Checkpointing: fingerprint this configuration, then try to resume from
   // the newest good generation. A missing directory or no snapshots means a
   // fresh start; a snapshot from a *different* configuration is an error
   // (resuming it would silently change results).
-  EngineRunIdentity identity;
-  identity.strategy_name = strategy->name();
-  identity.num_models = m;
-  identity.num_frames = source.num_frames();
-  identity.strategy_seed = options.strategy_seed;
-  identity.budget_ms = options.budget_ms;
-  identity.sc = options.sc;
-  identity.compute_regret = options.compute_regret;
-  identity.record_cost_curve = options.record_cost_curve;
-  identity.breaker = options.breaker;
+  identity_ = std::make_unique<IdentityHolder>();
+  EngineRunIdentity& identity = identity_->identity;
+  identity.strategy_name = strategy_->name();
+  identity.num_models = m_;
+  identity.num_frames = num_frames_;
+  identity.strategy_seed = options_.strategy_seed;
+  identity.budget_ms = options_.budget_ms;
+  identity.sc = options_.sc;
+  identity.compute_regret = options_.compute_regret;
+  identity.record_cost_curve = options_.record_cost_curve;
+  identity.breaker = options_.breaker;
 
-  size_t start_frame = 0;
-  uint64_t next_generation = 1;
-  std::unique_ptr<CheckpointManager> ckpt;
-  if (options.checkpoint.enabled()) {
-    ckpt = std::make_unique<CheckpointManager>(
-        options.checkpoint.directory, options.checkpoint.keep_generations);
-    if (options.checkpoint.resume) {
-      Result<CheckpointManager::Loaded> loaded = ckpt->LoadLatestGood();
+  if (options_.checkpoint.enabled()) {
+    ckpt_ = std::make_unique<CheckpointManager>(
+        options_.checkpoint.directory, options_.checkpoint.keep_generations);
+    if (options_.checkpoint.resume) {
+      Result<CheckpointManager::Loaded> loaded = ckpt_->LoadLatestGood();
       if (loaded.ok()) {
-        result.checkpoint.generations_rejected = loaded->rejected;
+        result_.checkpoint.generations_rejected = loaded->rejected;
         double saved_algo_seconds = 0.0;
         VQE_RETURN_NOT_OK(RestoreEngineRun(
-            loaded->snapshot, identity, num_masks, strategy, source, &breakers,
-            &result, &start_frame, &saved_algo_seconds,
-            options.checkpoint.include_source));
-        algo_time.Add(saved_algo_seconds);
-        result.checkpoint.resumed = true;
-        result.checkpoint.resumed_from_frame = start_frame;
-        next_generation = loaded->sequence + 1;
+            loaded->snapshot, identity, num_masks_, strategy_, *source_,
+            &breakers_, &result_, &next_frame_, &saved_algo_seconds,
+            options_.checkpoint.include_source));
+        algo_time_.Add(saved_algo_seconds);
+        result_.checkpoint.resumed = true;
+        result_.checkpoint.resumed_from_frame = next_frame_;
+        next_generation_ = loaded->sequence + 1;
       } else if (loaded.status().code() != StatusCode::kNotFound) {
         return loaded.status();
       }
     }
   }
-  size_t frames_this_invocation = 0;
+  return Status::OK();
+}
 
-  for (size_t t = start_frame; t < source.num_frames(); ++t) {
-    // Alg. 2 line 6: proceed only while C <= B.
-    if (options.budget_ms > 0.0 &&
-        result.charged_cost_ms > options.budget_ms) {
-      break;
-    }
+bool EngineRun::done() const {
+  if (finished_ || next_frame_ >= num_frames_) return true;
+  // Alg. 2 line 6: proceed only while C <= B.
+  return options_.budget_ms > 0.0 &&
+         result_.charged_cost_ms > options_.budget_ms;
+}
 
-    // Mask open-breaker models out of the strategy's candidate arms. If
-    // everything is open there is no arm left — fall back to the full pool
-    // (equivalent to probing everything) rather than selecting nothing.
-    EnsembleId healthy = 0;
-    for (int i = 0; i < m; ++i) {
-      if (breakers[static_cast<size_t>(i)].AllowsCallAt(t)) {
-        healthy |= Singleton(i);
-      }
-    }
-    if (healthy == 0) healthy = full;
-    strategy->SetEligibleModels(healthy);
+Status EngineRun::StepFrame() {
+  if (done()) {
+    return Status::FailedPrecondition("StepFrame on a finished run");
+  }
+  const size_t t = next_frame_;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
 
-    EnsembleId selected;
-    {
-      ScopedTimer timer(&algo_time);
-      selected = strategy->Select(t);
+  // Mask open-breaker models out of the strategy's candidate arms. If
+  // everything is open there is no arm left — fall back to the full pool
+  // (equivalent to probing everything) rather than selecting nothing.
+  EnsembleId healthy = 0;
+  for (int i = 0; i < m_; ++i) {
+    if (breakers_[static_cast<size_t>(i)].AllowsCallAt(t)) {
+      healthy |= Singleton(i);
     }
-    if (selected == 0 || selected > num_masks) {
-      return Status::Internal("strategy selected an invalid ensemble mask");
-    }
+  }
+  if (healthy == 0) healthy = full_;
+  strategy_->SetEligibleModels(healthy);
 
-    // Stats after Select so a lazy source only touches processed frames.
-    const FrameStats stats = source.Stats(t);
-    // The arm that actually ran: sources that predate fault accounting
-    // report no availability, which means everything answered.
-    const EnsembleId avail = stats.fault_aware ? stats.available_mask : full;
-    const EnsembleId realized = selected & avail;
+  EnsembleId selected;
+  {
+    ScopedTimer timer(&algo_time_);
+    selected = strategy_->Select(t);
+  }
+  if (selected == 0 || selected > num_masks_) {
+    return Status::Internal("strategy selected an invalid ensemble mask");
+  }
 
-    // Charged cost (Eq. 14; Eq. 12 during full-pool initialization):
-    // every selected model once — failed calls included, their time was
-    // spent — plus fusion overhead for each realized subset. Wasted time
-    // moves from detector_ms to fault_ms; breakers see each member's
-    // outcome.
-    double frame_cost = 0.0;
-    for (int i = 0; i < m; ++i) {
-      if (!ContainsModel(selected, i)) continue;
-      const size_t idx = static_cast<size_t>(i);
-      const double model_ms = (*stats.model_cost_ms)[idx];
-      const double fault_i =
-          stats.model_fault_ms != nullptr ? (*stats.model_fault_ms)[idx] : 0.0;
-      frame_cost += model_ms;
-      result.breakdown.detector_ms += model_ms - fault_i;
-      result.breakdown.fault_ms += fault_i;
-      RunResult::ModelAvailability& health = result.model_availability[idx];
-      ++health.frames_selected;
-      health.fault_ms += fault_i;
-      if (ContainsModel(avail, i)) {
-        breakers[idx].RecordSuccess(t);
-      } else {
-        ++health.frames_failed;
-        breakers[idx].RecordFailure(t);
-      }
-    }
+  // Stats after Select so a lazy source only touches processed frames.
+  const FrameStats stats = source_->Stats(t);
+  // The arm that actually ran: sources that predate fault accounting
+  // report no availability, which means everything answered.
+  const EnsembleId avail = stats.fault_aware ? stats.available_mask : full_;
+  const EnsembleId realized = selected & avail;
 
-    // One pass over the *realized* arm's subset lattice: accumulate fusion
-    // overhead and publish estimated rewards (information protocol — NaN
-    // for masks whose outputs do not exist, including every mask touching
-    // a failed member). ForEachSubset visits the realized mask first, so
-    // its own evaluation is captured on the way.
-    const double inv_max =
-        stats.max_cost_ms > 0.0 ? 1.0 / stats.max_cost_ms : 0.0;
-    est_score.assign(num_masks + 1, nan);
-    norm_cost.assign(num_masks + 1, nan);
-    double overhead = 0.0;
-    MaskEvaluation sel_eval;
-    if (realized != 0) {
-      ForEachSubset(realized, [&](EnsembleId sub) {
-        const MaskEvaluation e = source.Eval(t, sub);
-        if (sub == realized) sel_eval = e;
-        overhead += e.fusion_overhead_ms;
-        norm_cost[sub] = e.cost_ms * inv_max;
-        est_score[sub] = options.sc.Score(e.est_ap, norm_cost[sub]);
-      });
-    }
-    frame_cost += overhead;
-    result.breakdown.ensembling_ms += overhead;
-    result.charged_cost_ms += frame_cost;
-    if (realized == 0) {
-      ++result.failed_frames;
-    } else if (realized != selected) {
-      ++result.fallback_frames;
-    }
-
-    if (strategy->UsesReferenceModel()) {
-      result.breakdown.reference_ms += stats.ref_cost_ms;
-    }
-
-    if (realized != 0) {
-      FrameFeedback feedback;
-      feedback.t = t;
-      feedback.selected = selected;
-      feedback.realized = realized;
-      feedback.est_score = &est_score;
-      feedback.norm_cost = &norm_cost;
-      ScopedTimer timer(&algo_time);
-      strategy->Observe(feedback);
-    }
-
-    // Measurements (true scores; §5.5). A fully failed frame produced no
-    // output: its true score and AP are zero by definition, not
-    // Score(0, 0) (which would credit the cost term).
-    const double sel_norm_cost =
-        realized != 0 ? sel_eval.cost_ms * inv_max : 0.0;
-    const double sel_true =
-        realized != 0 ? options.sc.Score(sel_eval.true_ap, sel_norm_cost)
-                      : 0.0;
-    if (options.compute_regret) {
-      // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
-      // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
-      // only those masks when the source caches one. Sources without a
-      // frontier (hand-built matrices, lazy evaluators) fall back to the
-      // exhaustive O(2^m) scan — on a lazy source that materializes the
-      // whole lattice, which is why compute_regret defaults off for lazy
-      // throughput runs.
-      double best_true = -std::numeric_limits<double>::infinity();
-      const std::vector<EnsembleId>* frontier = source.TrueFrontier(t);
-      if (frontier != nullptr && !frontier->empty()) {
-        for (EnsembleId s : *frontier) {
-          const MaskEvaluation e = source.Eval(t, s);
-          const double r = options.sc.Score(e.true_ap, e.cost_ms * inv_max);
-          if (r > best_true) best_true = r;
-        }
-      } else {
-        for (EnsembleId s = 1; s <= num_masks; ++s) {
-          const MaskEvaluation e = source.Eval(t, s);
-          const double r = options.sc.Score(e.true_ap, e.cost_ms * inv_max);
-          if (r > best_true) best_true = r;
-        }
-      }
-      result.regret += best_true - sel_true;
-    }
-    result.s_sum += sel_true;
-    result.avg_true_ap += sel_eval.true_ap;
-    result.avg_norm_cost += sel_norm_cost;
-    ++result.selection_counts[selected];
-    ++result.frames_processed;
-    if (options.record_cost_curve) {
-      result.cost_curve.emplace_back(result.frames_processed,
-                                     result.charged_cost_ms);
-    }
-    ++frames_this_invocation;
-
-    // Snapshot the run every `every_frames` frames. Skipped after the last
-    // frame: the run is about to finish and the result is returned anyway.
-    if (ckpt != nullptr &&
-        (t + 1) % options.checkpoint.every_frames == 0 &&
-        t + 1 < source.num_frames()) {
-      Stopwatch watch;
-      VQE_ASSIGN_OR_RETURN(
-          std::vector<uint8_t> bytes,
-          BuildEngineSnapshot(identity, t + 1, algo_time.total_seconds(),
-                              result, *strategy, breakers, source,
-                              options.checkpoint.include_source));
-      VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
-      ++next_generation;
-      ++result.checkpoint.snapshots_written;
-      result.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
-    }
-
-    // Crash injection for the resume tests: abort after this invocation has
-    // processed `crash_after_frames` frames, *after* any checkpoint due at
-    // this frame has been durably written (a real crash can land anywhere;
-    // the harness aborts at the worst recoverable point — everything since
-    // the last checkpoint is lost).
-    if (options.checkpoint.crash_after_frames > 0 &&
-        frames_this_invocation >= options.checkpoint.crash_after_frames &&
-        t + 1 < source.num_frames()) {
-      return Status::Aborted("crash injection after frame " +
-                             std::to_string(t));
+  // Charged cost (Eq. 14; Eq. 12 during full-pool initialization):
+  // every selected model once — failed calls included, their time was
+  // spent — plus fusion overhead for each realized subset. Wasted time
+  // moves from detector_ms to fault_ms; breakers see each member's
+  // outcome.
+  double frame_cost = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    if (!ContainsModel(selected, i)) continue;
+    const size_t idx = static_cast<size_t>(i);
+    const double model_ms = (*stats.model_cost_ms)[idx];
+    const double fault_i =
+        stats.model_fault_ms != nullptr ? (*stats.model_fault_ms)[idx] : 0.0;
+    frame_cost += model_ms;
+    result_.breakdown.detector_ms += model_ms - fault_i;
+    result_.breakdown.fault_ms += fault_i;
+    RunResult::ModelAvailability& health = result_.model_availability[idx];
+    ++health.frames_selected;
+    health.fault_ms += fault_i;
+    if (ContainsModel(avail, i)) {
+      breakers_[idx].RecordSuccess(t);
+    } else {
+      ++health.frames_failed;
+      breakers_[idx].RecordFailure(t);
     }
   }
 
-  if (result.frames_processed > 0) {
-    const double n = static_cast<double>(result.frames_processed);
-    result.avg_true_ap /= n;
-    result.avg_norm_cost /= n;
+  // One pass over the *realized* arm's subset lattice: accumulate fusion
+  // overhead and publish estimated rewards (information protocol — NaN
+  // for masks whose outputs do not exist, including every mask touching
+  // a failed member). ForEachSubset visits the realized mask first, so
+  // its own evaluation is captured on the way.
+  const double inv_max =
+      stats.max_cost_ms > 0.0 ? 1.0 / stats.max_cost_ms : 0.0;
+  est_score_.assign(num_masks_ + 1, nan);
+  norm_cost_.assign(num_masks_ + 1, nan);
+  double overhead = 0.0;
+  MaskEvaluation sel_eval;
+  if (realized != 0) {
+    ForEachSubset(realized, [&](EnsembleId sub) {
+      const MaskEvaluation e = source_->Eval(t, sub);
+      if (sub == realized) sel_eval = e;
+      overhead += e.fusion_overhead_ms;
+      norm_cost_[sub] = e.cost_ms * inv_max;
+      est_score_[sub] = options_.sc.Score(e.est_ap, norm_cost_[sub]);
+    });
   }
-  for (int i = 0; i < m; ++i) {
-    result.model_availability[static_cast<size_t>(i)].breaker_opens =
-        breakers[static_cast<size_t>(i)].opens();
+  frame_cost += overhead;
+  result_.breakdown.ensembling_ms += overhead;
+  result_.charged_cost_ms += frame_cost;
+  if (realized == 0) {
+    ++result_.failed_frames;
+  } else if (realized != selected) {
+    ++result_.fallback_frames;
   }
-  result.breakdown.algorithm_ms = algo_time.total_seconds() * 1e3;
-  return result;
+
+  if (strategy_->UsesReferenceModel()) {
+    result_.breakdown.reference_ms += stats.ref_cost_ms;
+  }
+
+  if (realized != 0) {
+    FrameFeedback feedback;
+    feedback.t = t;
+    feedback.selected = selected;
+    feedback.realized = realized;
+    feedback.est_score = &est_score_;
+    feedback.norm_cost = &norm_cost_;
+    ScopedTimer timer(&algo_time_);
+    strategy_->Observe(feedback);
+  }
+
+  // Measurements (true scores; §5.5). A fully failed frame produced no
+  // output: its true score and AP are zero by definition, not
+  // Score(0, 0) (which would credit the cost term).
+  const double sel_norm_cost =
+      realized != 0 ? sel_eval.cost_ms * inv_max : 0.0;
+  const double sel_true =
+      realized != 0 ? options_.sc.Score(sel_eval.true_ap, sel_norm_cost)
+                    : 0.0;
+  if (options_.compute_regret) {
+    // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
+    // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
+    // only those masks when the source caches one. Sources without a
+    // frontier (hand-built matrices, lazy evaluators) fall back to the
+    // exhaustive O(2^m) scan — on a lazy source that materializes the
+    // whole lattice, which is why compute_regret defaults off for lazy
+    // throughput runs.
+    double best_true = -std::numeric_limits<double>::infinity();
+    const std::vector<EnsembleId>* frontier = source_->TrueFrontier(t);
+    if (frontier != nullptr && !frontier->empty()) {
+      for (EnsembleId s : *frontier) {
+        const MaskEvaluation e = source_->Eval(t, s);
+        const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
+        if (r > best_true) best_true = r;
+      }
+    } else {
+      for (EnsembleId s = 1; s <= num_masks_; ++s) {
+        const MaskEvaluation e = source_->Eval(t, s);
+        const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
+        if (r > best_true) best_true = r;
+      }
+    }
+    result_.regret += best_true - sel_true;
+  }
+  result_.s_sum += sel_true;
+  result_.avg_true_ap += sel_eval.true_ap;
+  result_.avg_norm_cost += sel_norm_cost;
+  ++result_.selection_counts[selected];
+  ++result_.frames_processed;
+  if (options_.record_cost_curve) {
+    result_.cost_curve.emplace_back(result_.frames_processed,
+                                    result_.charged_cost_ms);
+  }
+  ++frames_this_invocation_;
+  next_frame_ = t + 1;
+
+  // Snapshot the run every `every_frames` frames. Skipped after the last
+  // frame: the run is about to finish and the result is returned anyway.
+  if (ckpt_ != nullptr &&
+      (t + 1) % options_.checkpoint.every_frames == 0 &&
+      t + 1 < num_frames_) {
+    Stopwatch watch;
+    VQE_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bytes,
+        BuildEngineSnapshot(identity_->identity, t + 1,
+                            algo_time_.total_seconds(), result_, *strategy_,
+                            breakers_, *source_,
+                            options_.checkpoint.include_source));
+    VQE_RETURN_NOT_OK(ckpt_->Write(next_generation_, bytes));
+    ++next_generation_;
+    ++result_.checkpoint.snapshots_written;
+    result_.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
+  }
+
+  // Crash injection for the resume tests: abort after this invocation has
+  // processed `crash_after_frames` frames, *after* any checkpoint due at
+  // this frame has been durably written (a real crash can land anywhere;
+  // the harness aborts at the worst recoverable point — everything since
+  // the last checkpoint is lost).
+  if (options_.checkpoint.crash_after_frames > 0 &&
+      frames_this_invocation_ >= options_.checkpoint.crash_after_frames &&
+      t + 1 < num_frames_) {
+    return Status::Aborted("crash injection after frame " +
+                           std::to_string(t));
+  }
+  return Status::OK();
+}
+
+Result<RunResult> EngineRun::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice on an EngineRun");
+  }
+  finished_ = true;
+  if (result_.frames_processed > 0) {
+    const double n = static_cast<double>(result_.frames_processed);
+    result_.avg_true_ap /= n;
+    result_.avg_norm_cost /= n;
+  }
+  for (int i = 0; i < m_; ++i) {
+    result_.model_availability[static_cast<size_t>(i)].breaker_opens =
+        breakers_[static_cast<size_t>(i)].opens();
+  }
+  result_.breakdown.algorithm_ms = algo_time_.total_seconds() * 1e3;
+  return std::move(result_);
+}
+
+Result<RunResult> RunStrategy(EvaluationSource& source,
+                              SelectionStrategy* strategy,
+                              const EngineOptions& options) {
+  VQE_ASSIGN_OR_RETURN(std::unique_ptr<EngineRun> run,
+                       EngineRun::Create(source, strategy, options));
+  while (!run->done()) {
+    VQE_RETURN_NOT_OK(run->StepFrame());
+  }
+  return run->Finish();
 }
 
 Result<RunResult> RunStrategy(const FrameMatrix& matrix,

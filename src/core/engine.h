@@ -9,10 +9,12 @@
 #define VQE_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "core/evaluation_source.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
@@ -73,10 +75,24 @@ struct TimeBreakdown {
   /// optimization components" share.
   double algorithm_ms = 0.0;
 
-  double TotalMs() const {
-    return detector_ms + reference_ms + ensembling_ms + fault_ms +
-           algorithm_ms;
+  /// Simulated frame-clock time only (detector + reference + ensembling +
+  /// fault). This is the component that is additive across concurrent
+  /// streams: when N sessions run in parallel, Σ SimulatedMs() is the
+  /// total per-stream work regardless of overlap. algorithm_ms is real
+  /// wall-clock — overlapping runs spend it concurrently, so summing it
+  /// across sessions double-counts; report it (and any scheduler wall
+  /// time) separately. ServeStats and StrategyOutcome keep the two
+  /// ledgers apart for exactly this reason.
+  double SimulatedMs() const {
+    return detector_ms + reference_ms + ensembling_ms + fault_ms;
   }
+
+  /// SimulatedMs() + algorithm_ms — meaningful for ONE run in isolation
+  /// (the Figure 13 single-run breakdown), where the wall-clock share is
+  /// serial with the simulated work by construction. Do not sum across
+  /// concurrent runs; use SimulatedMs() plus a separately measured wall
+  /// clock instead.
+  double TotalMs() const { return SimulatedMs() + algorithm_ms; }
 };
 
 /// All measurements from one run of one strategy on one matrix.
@@ -141,6 +157,96 @@ struct RunResult {
     double checkpoint_write_ms = 0.0;
   };
   CheckpointReport checkpoint;
+};
+
+/// One strategy run, exposed one frame at a time. This is the loop inside
+/// RunStrategy with the iteration inverted: Create() performs validation,
+/// BeginVideo and (when configured) checkpoint resume; each StepFrame()
+/// call processes exactly the next frame — selection, cost charging,
+/// subset-lattice evaluation, bandit feedback, measurements, breaker
+/// bookkeeping, checkpoint writes and crash injection — and Finish()
+/// finalizes the averages and yields the RunResult.
+///
+/// The serving layer's StreamScheduler drives many EngineRuns interleaved
+/// over one process; because a run's state is private and each frame is a
+/// deterministic function of the run's own history, any interleaving of
+/// StepFrame calls across runs leaves every run bit-identical to its solo
+/// RunStrategy execution. RunStrategy itself is implemented on top of this
+/// class (Create → StepFrame until done → Finish), so there is exactly one
+/// engine loop body in the codebase.
+///
+/// Not thread-safe: a given EngineRun must be stepped by one thread at a
+/// time (distinct runs are independent). `source` and `strategy` must
+/// outlive the run; strategies holding the OracleView pointer may use it
+/// only while the run is alive.
+class EngineRun {
+ public:
+  static Result<std::unique_ptr<EngineRun>> Create(
+      EvaluationSource& source, SelectionStrategy* strategy,
+      const EngineOptions& options);
+
+  EngineRun(const EngineRun&) = delete;
+  EngineRun& operator=(const EngineRun&) = delete;
+  ~EngineRun();  // out-of-line: IdentityHolder is incomplete here
+
+  /// True once the run has no more frames to process: the video is
+  /// exhausted, the TCVI budget is spent (Alg. 2's `C <= B` guard), or
+  /// Finish() was called. StepFrame on a done run is FailedPrecondition.
+  bool done() const;
+
+  /// Next frame StepFrame() will process (== frames consumed so far,
+  /// including frames restored from a checkpoint).
+  size_t next_frame() const { return next_frame_; }
+  size_t num_frames() const { return num_frames_; }
+
+  /// Live accumulators. Averages (avg_true_ap, avg_norm_cost) and
+  /// breakdown.algorithm_ms are finalized only by Finish(); everything
+  /// else is current as of the last StepFrame. Invalid after Finish().
+  const RunResult& result() const { return result_; }
+
+  /// Simulated charged cost so far — the scheduler's deficit currency.
+  double charged_cost_ms() const { return result_.charged_cost_ms; }
+
+  /// Processes exactly one frame. Returns Aborted under crash injection,
+  /// FailedPrecondition when done(), or any checkpoint-write error.
+  Status StepFrame();
+
+  /// Finalizes averages and per-model breaker counters and returns the
+  /// RunResult. Callable once; the run is done() afterwards.
+  Result<RunResult> Finish();
+
+ private:
+  EngineRun(EvaluationSource& source, SelectionStrategy* strategy,
+            const EngineOptions& options);
+
+  /// BeginVideo, accumulator setup, identity fingerprint and checkpoint
+  /// resume (the part of RunStrategy that precedes the frame loop).
+  Status Init();
+
+  EvaluationSource* source_;
+  SelectionStrategy* strategy_;
+  EngineOptions options_;
+  uint32_t num_masks_;
+  size_t num_frames_;
+  int m_;
+  EnsembleId full_;
+  OracleView oracle_;
+
+  TimeAccumulator algo_time_;
+  RunResult result_;
+  std::vector<CircuitBreaker> breakers_;
+  std::vector<double> est_score_;
+  std::vector<double> norm_cost_;
+
+  /// EngineRunIdentity lives behind a pimpl: engine_snapshot.h includes
+  /// this header, so the identity type cannot appear here by value.
+  struct IdentityHolder;
+  std::unique_ptr<IdentityHolder> identity_;
+  size_t next_frame_ = 0;
+  size_t frames_this_invocation_ = 0;
+  uint64_t next_generation_ = 1;
+  std::unique_ptr<CheckpointManager> ckpt_;
+  bool finished_ = false;
 };
 
 /// Runs `strategy` over an evaluation source — the eager matrix view or a

@@ -19,6 +19,7 @@
 #ifndef VQE_CORE_EVALUATION_SOURCE_H_
 #define VQE_CORE_EVALUATION_SOURCE_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -134,6 +135,32 @@ class MatrixEvaluationSource final : public EvaluationSource {
 
  private:
   const FrameMatrix* matrix_;
+};
+
+/// Eager source that OWNS its matrix. The serving layer's StreamSessions
+/// (and anything else that hands a source off to another component) need
+/// the backing storage to travel with the source instead of referencing a
+/// caller-owned matrix.
+class OwningMatrixSource final : public EvaluationSource {
+ public:
+  explicit OwningMatrixSource(FrameMatrix matrix)
+      : matrix_(std::move(matrix)), view_(matrix_) {}
+
+  int num_models() const override { return view_.num_models(); }
+  size_t num_frames() const override { return view_.num_frames(); }
+  FrameStats Stats(size_t t) override { return view_.Stats(t); }
+  MaskEvaluation Eval(size_t t, EnsembleId mask) override {
+    return view_.Eval(t, mask);
+  }
+  const std::vector<EnsembleId>* TrueFrontier(size_t t) override {
+    return view_.TrueFrontier(t);
+  }
+
+  const FrameMatrix& matrix() const { return matrix_; }
+
+ private:
+  FrameMatrix matrix_;  // must precede view_ (view borrows it)
+  MatrixEvaluationSource view_;
 };
 
 }  // namespace vqe

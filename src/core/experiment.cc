@@ -231,6 +231,7 @@ Result<ExperimentResult> RunExperiment(
     outcome.regret_available = config.engine.compute_regret;
     std::vector<double> s_sum, ap, cost, regret, frames;
     std::vector<double> fallback, failed, fault;
+    std::vector<double> simulated, algo_wall;
     for (const auto& run : outcome.runs) {
       s_sum.push_back(run.s_sum);
       ap.push_back(run.avg_true_ap);
@@ -240,6 +241,8 @@ Result<ExperimentResult> RunExperiment(
       fallback.push_back(static_cast<double>(run.fallback_frames));
       failed.push_back(static_cast<double>(run.failed_frames));
       fault.push_back(run.breakdown.fault_ms);
+      simulated.push_back(run.breakdown.SimulatedMs());
+      algo_wall.push_back(run.breakdown.algorithm_ms);
     }
     outcome.s_sum = Summarize(s_sum);
     outcome.avg_true_ap = Summarize(ap);
@@ -249,6 +252,11 @@ Result<ExperimentResult> RunExperiment(
     outcome.fallback_frames = Summarize(fallback);
     outcome.failed_frames = Summarize(failed);
     outcome.fault_ms = Summarize(fault);
+    // Two separate clocks on purpose: simulated per-run frame time sums
+    // cleanly across concurrent trials, strategy wall time overlaps and
+    // must stay its own ledger (see StrategyOutcome docs).
+    outcome.simulated_ms = Summarize(simulated);
+    outcome.algorithm_wall_ms = Summarize(algo_wall);
   }
   return result;
 }

@@ -91,6 +91,18 @@ struct StrategyOutcome {
   SampleSummary fallback_frames;
   SampleSummary failed_frames;
   SampleSummary fault_ms;
+  /// Simulated frame-clock time per run (TimeBreakdown::SimulatedMs):
+  /// detector + reference + ensembling + fault. Additive across trials
+  /// even when trials ran concurrently — it is simulated time, not wall
+  /// time.
+  SampleSummary simulated_ms;
+  /// Real wall-clock spent inside strategy Select/Observe per run
+  /// (TimeBreakdown::algorithm_ms). Trials run on worker threads, so
+  /// these samples OVERLAP in real time: their sum exceeds the elapsed
+  /// wall clock and must never be added to simulated_ms as if the two
+  /// shared a clock. Kept as its own summary so the Figure 13 overhead
+  /// share stays reportable without double-counting.
+  SampleSummary algorithm_wall_ms;
   /// False when the engine skipped the regret baseline
   /// (EngineOptions::compute_regret was off).
   bool regret_available = true;

@@ -1,0 +1,53 @@
+#include "runtime/breaker_registry.h"
+
+namespace vqe {
+
+uint64_t BreakerRegistry::ClampTickLocked(uint64_t tick) {
+  if (tick > last_tick_) last_tick_ = tick;
+  return last_tick_;
+}
+
+void BreakerRegistry::Record(const std::string& model, uint64_t tick,
+                             uint64_t successes, uint64_t failures) {
+  if (successes == 0 && failures == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t t = ClampTickLocked(tick);
+  auto it = breakers_.find(model);
+  if (it == breakers_.end()) {
+    it = breakers_.emplace(model, CircuitBreaker(options_)).first;
+  }
+  for (uint64_t i = 0; i < successes; ++i) {
+    it->second.RecordSuccess(static_cast<size_t>(t));
+  }
+  for (uint64_t i = 0; i < failures; ++i) {
+    it->second.RecordFailure(static_cast<size_t>(t));
+  }
+}
+
+bool BreakerRegistry::AllowsCall(const std::string& model, uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t t = ClampTickLocked(tick);
+  auto it = breakers_.find(model);
+  if (it == breakers_.end()) return true;
+  return it->second.AllowsCallAt(static_cast<size_t>(t));
+}
+
+std::vector<BreakerRegistry::ModelHealth> BreakerRegistry::Snapshot(
+    uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t t = ClampTickLocked(tick);
+  std::vector<ModelHealth> out;
+  out.reserve(breakers_.size());
+  for (auto& [name, breaker] : breakers_) {
+    ModelHealth h;
+    h.model = name;
+    h.state = breaker.StateAt(static_cast<size_t>(t));
+    h.successes = breaker.successes();
+    h.failures = breaker.failures();
+    h.opens = breaker.opens();
+    out.push_back(std::move(h));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+}  // namespace vqe

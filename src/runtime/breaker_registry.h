@@ -1,0 +1,79 @@
+// Fleet-wide per-model circuit breakers shared across serving sessions.
+//
+// Each StreamSession keeps its OWN engine breakers (runtime/circuit_breaker
+// driven on the session's private frame clock) — that is what keeps every
+// stream's run bit-identical to its solo execution. The registry is the
+// cross-session layer on top: every session publishes its per-frame
+// member-call outcomes here, keyed by model NAME, so one breaker per model
+// aggregates health across the whole fleet. The serving layer uses it for
+//
+//   * fleet health reporting (ServeStats::fleet_health), and
+//   * admission gating: a session whose entire pool is fleet-open can be
+//     refused admission instead of burning scheduler quanta on a dark pool.
+//
+// By design the registry never feeds back into a running session's
+// selection — that would couple streams and break solo bit-identity.
+//
+// Ticks: breakers need a non-decreasing clock. Sessions publish with their
+// own frame indexes interleaved arbitrarily, so the registry clamps every
+// caller-supplied tick to be monotone (max of all ticks seen). The
+// scheduler passes its global round number, which is naturally monotone.
+//
+// Thread-safe: sessions step concurrently on pool workers and publish
+// without external locking.
+
+#ifndef VQE_RUNTIME_BREAKER_REGISTRY_H_
+#define VQE_RUNTIME_BREAKER_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/circuit_breaker.h"
+
+namespace vqe {
+
+class BreakerRegistry {
+ public:
+  explicit BreakerRegistry(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  /// Publishes `successes` member-call successes and `failures` failures
+  /// for `model` at (monotone-clamped) tick. Successes are applied before
+  /// failures so a frame that both succeeded and failed leaves the
+  /// consecutive-failure count intact — the conservative reading for a
+  /// trip-on-consecutive-failures breaker.
+  void Record(const std::string& model, uint64_t tick, uint64_t successes,
+              uint64_t failures);
+
+  /// True when the fleet breaker for `model` admits calls at tick. Unknown
+  /// models are healthy by definition (closed breaker).
+  bool AllowsCall(const std::string& model, uint64_t tick);
+
+  struct ModelHealth {
+    std::string model;
+    BreakerState state = BreakerState::kClosed;
+    uint64_t successes = 0;
+    uint64_t failures = 0;
+    uint64_t opens = 0;
+  };
+
+  /// Per-model fleet health, sorted by model name. Resolves open →
+  /// half-open transitions as of `tick`.
+  std::vector<ModelHealth> Snapshot(uint64_t tick);
+
+ private:
+  /// Non-decreasing clock over all callers; call with mu_ held.
+  uint64_t ClampTickLocked(uint64_t tick);
+
+  std::mutex mu_;
+  CircuitBreakerOptions options_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  uint64_t last_tick_ = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_RUNTIME_BREAKER_REGISTRY_H_

@@ -1,0 +1,149 @@
+#include "serve/batch_dispatcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace vqe {
+
+Status BatchDispatcherOptions::Validate() const {
+  if (batch_window < 1) {
+    return Status::InvalidArgument("batch_window must be >= 1");
+  }
+  return Status::OK();
+}
+
+BatchDispatcher::BatchDispatcher(BatchDispatcherOptions options)
+    : options_(options) {
+  if (options_.batch_window < 1) options_.batch_window = 1;
+}
+
+void BatchDispatcher::BeginStep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_steps_;
+}
+
+void BatchDispatcher::EndStep() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_steps_;
+  }
+  // A departed stepper can complete the "everyone left is blocked"
+  // condition — wake the waiters so one of them fires.
+  cv_.notify_all();
+}
+
+std::string BatchDispatcher::FireableKeyLocked() const {
+  // Full window anywhere? Fire that model (smallest name on ties, so the
+  // choice is reproducible given the same queue state).
+  for (const auto& [key, queue] : pending_) {
+    if (static_cast<int>(queue.size()) >= options_.batch_window) return key;
+  }
+  // Otherwise fire only when no running stepper could still contribute:
+  // every in-flight step is parked in some queue (>= covers Detect calls
+  // issued outside any BeginStep bracket). Pick the fullest queue so the
+  // forced flush drains the wave in as few batches as possible.
+  if (waiting_ > 0 && waiting_ >= active_steps_) {
+    size_t best_size = 0;
+    std::string best;
+    for (const auto& [key, queue] : pending_) {
+      if (queue.size() > best_size) {
+        best_size = queue.size();
+        best = key;
+      }
+    }
+    return best;
+  }
+  return {};
+}
+
+void BatchDispatcher::ExecuteBatch(std::unique_lock<std::mutex>& lock,
+                                   const std::string& key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  std::vector<Request*> batch = std::move(it->second);
+  pending_.erase(it);
+
+  // Deterministic assembly: the batch executes as a sorted unit, so the
+  // same set of requests always produces the same invocation order.
+  std::sort(batch.begin(), batch.end(), [](const Request* a, const Request* b) {
+    return a->stream_id != b->stream_id ? a->stream_id < b->stream_id
+                                        : a->seq < b->seq;
+  });
+
+  ++stats_.batches;
+  stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+  if (batch.size() >= 2) stats_.coalesced_requests += batch.size();
+
+  lock.unlock();
+  // The batched invocation. Each request still runs its own per-stream
+  // call (fault decorators, Attempt vs Detect), so results are exactly
+  // the stream's solo outputs; the batch is the scheduling unit a real
+  // backend would hand to the accelerator as one forward pass.
+  for (Request* r : batch) {
+    (*r->fn)();
+  }
+  lock.lock();
+  for (Request* r : batch) r->done = true;
+  cv_.notify_all();
+}
+
+void BatchDispatcher::Run(const std::string& model_name, uint64_t stream_id,
+                          const std::function<void()>& fn) {
+  Request req;
+  req.stream_id = stream_id;
+  req.fn = &fn;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.requests;
+  req.seq = ++seq_;
+  pending_[model_name].push_back(&req);
+  ++waiting_;
+  while (!req.done) {
+    const std::string key = FireableKeyLocked();
+    if (!key.empty()) {
+      // This thread elects itself leader for the fireable batch (possibly
+      // its own, possibly another model's) and loops to re-check.
+      ExecuteBatch(lock, key);
+      continue;
+    }
+    // Liveness backstop: the fire conditions are re-checked on every
+    // notify (new request, EndStep, batch completion); the timeout only
+    // guards against a missed edge and costs nothing on the happy path.
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
+  --waiting_;
+}
+
+BatchDispatcher::Stats BatchDispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Result<DetectorPool> MakeBatchingPool(const DetectorPool& base,
+                                      BatchDispatcher* dispatcher,
+                                      uint64_t stream_id) {
+  if (dispatcher == nullptr) {
+    return Status::InvalidArgument("dispatcher is null");
+  }
+  if (base.reference == nullptr) {
+    return Status::InvalidArgument("pool has no reference model");
+  }
+  DetectorPool out;
+  out.detectors.reserve(base.detectors.size());
+  for (const auto& det : base.detectors) {
+    // Fallibility must survive decoration (see BatchingFallibleDetector).
+    if (const auto* fallible =
+            dynamic_cast<const FallibleDetector*>(det.get())) {
+      out.detectors.push_back(std::make_unique<BatchingFallibleDetector>(
+          fallible, dispatcher, stream_id));
+    } else {
+      out.detectors.push_back(
+          std::make_unique<BatchingDetector>(det.get(), dispatcher,
+                                             stream_id));
+    }
+  }
+  out.reference = std::make_unique<ReferenceDetector>(base.reference->profile());
+  return out;
+}
+
+}  // namespace vqe

@@ -1,0 +1,207 @@
+// Cross-stream detector batching.
+//
+// When N sessions step concurrently, each frame step invokes every model
+// of its pool once (FrameEvalContext materializes per-model outputs). On
+// real hardware those same-model invocations from different streams are
+// exactly what a GPU wants as one batched forward pass. The dispatcher
+// coalesces them: a stream's Detect call parks in a per-model queue, and a
+// batch fires either when the queue reaches `batch_window` requests or as
+// soon as every in-flight stream step is blocked waiting (so coalescing
+// can never deadlock or stall the wave — a lone stream just runs batches
+// of one).
+//
+// Determinism: the underlying Detect is a pure function of (detector,
+// frame, trial_seed), so WHAT each stream observes is bit-identical to its
+// solo run no matter how requests coalesce. Batch assembly is additionally
+// made deterministic where it can be: requests inside a fired batch
+// execute in ascending (stream_id, submission sequence) order, so a batch
+// is a sorted, reproducible unit of work. Which requests land in the same
+// batch depends on real-time interleaving and is reported only as
+// statistics (like wall-clock, it is process bookkeeping, not a result).
+//
+// The per-stream hook is BatchingDetector, an ObjectDetector decorator
+// that routes Detect through a shared dispatcher; MakeBatchingPool wraps a
+// whole pool. Stacking order with fault injection: decorate faults first,
+// then batching, so the batched call replays the stream's exact solo fault
+// sequence.
+
+#ifndef VQE_SERVE_BATCH_DISPATCHER_H_
+#define VQE_SERVE_BATCH_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "models/model_zoo.h"
+#include "runtime/fallible_detector.h"
+
+namespace vqe {
+
+struct BatchDispatcherOptions {
+  /// Maximum requests coalesced into one batched invocation of a model.
+  /// 1 still routes calls through the dispatcher but never coalesces
+  /// (useful as the control arm in benchmarks).
+  int batch_window = 4;
+
+  Status Validate() const;
+};
+
+class BatchDispatcher {
+ public:
+  explicit BatchDispatcher(BatchDispatcherOptions options = {});
+
+  /// Brackets one stream's frame step. The dispatcher uses the count of
+  /// in-flight steps to decide when no further same-wave requests can
+  /// arrive (all steppers blocked => fire), which is what makes blocking
+  /// safe under any scheduler interleaving. Steps may nest freely across
+  /// threads; a Detect outside any bracket is treated as its own step.
+  void BeginStep();
+  void EndStep();
+
+  /// Blocking: parks one model invocation until its batch fires, then
+  /// runs `fn` (exactly once, on whichever thread leads the batch) and
+  /// returns. `model_name` is the coalescing key — per-stream decorators
+  /// of the same base model share it — and `stream_id` orders requests
+  /// within a batch. `fn` captures the actual call (plain Detect or a
+  /// fallible Attempt) plus its result slot, so one queue serves both
+  /// detector interfaces without erasing their semantics.
+  void Run(const std::string& model_name, uint64_t stream_id,
+           const std::function<void()>& fn);
+
+  struct Stats {
+    uint64_t requests = 0;          ///< Detect calls routed through
+    uint64_t batches = 0;           ///< batched invocations fired
+    uint64_t coalesced_requests = 0;///< requests in batches of size >= 2
+    uint64_t max_batch = 0;         ///< largest batch fired
+    double MeanBatch() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(requests) /
+                                static_cast<double>(batches);
+    }
+  };
+  Stats stats() const;
+
+  const BatchDispatcherOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    uint64_t stream_id = 0;
+    uint64_t seq = 0;  ///< global submission order (tie-break inside a batch)
+    const std::function<void()>* fn = nullptr;
+    bool done = false;
+  };
+
+  /// Key of a fireable batch, empty when none; call with mu_ held.
+  std::string FireableKeyLocked() const;
+
+  /// Takes `key`'s queue, executes it outside the lock in sorted order,
+  /// marks the requests done and wakes everyone. Expects mu_ held via
+  /// `lock`; returns with it held.
+  void ExecuteBatch(std::unique_lock<std::mutex>& lock,
+                    const std::string& key);
+
+  BatchDispatcherOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_steps_ = 0;
+  int waiting_ = 0;
+  uint64_t seq_ = 0;
+  std::map<std::string, std::vector<Request*>> pending_;
+  Stats stats_;
+};
+
+/// ObjectDetector decorator routing Detect through a shared dispatcher.
+/// InferenceCostMs and metadata pass straight through (cost lookup is a
+/// pure profile read, not a model invocation). Non-owning: `inner` and
+/// `dispatcher` must outlive the decorator.
+class BatchingDetector final : public ObjectDetector {
+ public:
+  BatchingDetector(const ObjectDetector* inner, BatchDispatcher* dispatcher,
+                   uint64_t stream_id)
+      : inner_(inner), dispatcher_(dispatcher), stream_id_(stream_id) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  DetectionList Detect(const VideoFrame& frame,
+                       uint64_t trial_seed) const override {
+    DetectionList out;
+    dispatcher_->Run(inner_->name(), stream_id_,
+                     [&] { out = inner_->Detect(frame, trial_seed); });
+    return out;
+  }
+  double InferenceCostMs(const VideoFrame& frame,
+                         uint64_t trial_seed) const override {
+    return inner_->InferenceCostMs(frame, trial_seed);
+  }
+  uint64_t param_count() const override { return inner_->param_count(); }
+  const std::string& structure_name() const override {
+    return inner_->structure_name();
+  }
+
+ private:
+  const ObjectDetector* inner_;
+  BatchDispatcher* dispatcher_;
+  uint64_t stream_id_;
+};
+
+/// FallibleDetector flavor of the same decorator. Crucial for faulted
+/// pools: the retry layer (runtime/retry.h) dispatches on fallibility, so
+/// a fallible inner wrapped in a plain ObjectDetector decorator would be
+/// treated as infallible and lose its error channel. MakeBatchingPool
+/// picks this wrapper whenever the inner detector is fallible, keeping
+/// retry/deadline/fault semantics — and therefore bit-identity with the
+/// unbatched run — intact.
+class BatchingFallibleDetector final : public FallibleDetector {
+ public:
+  BatchingFallibleDetector(const FallibleDetector* inner,
+                           BatchDispatcher* dispatcher, uint64_t stream_id)
+      : inner_(inner), dispatcher_(dispatcher), stream_id_(stream_id) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  AttemptOutcome Attempt(const VideoFrame& frame, uint64_t trial_seed,
+                         int attempt) const override {
+    AttemptOutcome out;
+    dispatcher_->Run(inner_->name(), stream_id_, [&] {
+      out = inner_->Attempt(frame, trial_seed, attempt);
+    });
+    return out;
+  }
+  DetectionList Detect(const VideoFrame& frame,
+                       uint64_t trial_seed) const override {
+    DetectionList out;
+    dispatcher_->Run(inner_->name(), stream_id_,
+                     [&] { out = inner_->Detect(frame, trial_seed); });
+    return out;
+  }
+  double InferenceCostMs(const VideoFrame& frame,
+                         uint64_t trial_seed) const override {
+    return inner_->InferenceCostMs(frame, trial_seed);
+  }
+  uint64_t param_count() const override { return inner_->param_count(); }
+  const std::string& structure_name() const override {
+    return inner_->structure_name();
+  }
+
+ private:
+  const FallibleDetector* inner_;
+  BatchDispatcher* dispatcher_;
+  uint64_t stream_id_;
+};
+
+/// Decorates every detector of `base` with the fallibility-preserving
+/// batching wrapper for `stream_id`; the reference model is cloned
+/// undecorated (it is the estimator channel, not a batched candidate arm).
+/// Non-owning over the inner detectors: `base` and `dispatcher` must
+/// outlive the result.
+Result<DetectorPool> MakeBatchingPool(const DetectorPool& base,
+                                      BatchDispatcher* dispatcher,
+                                      uint64_t stream_id);
+
+}  // namespace vqe
+
+#endif  // VQE_SERVE_BATCH_DISPATCHER_H_

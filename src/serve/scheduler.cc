@@ -1,0 +1,227 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace vqe {
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample set (q in [0, 1]).
+double Percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(samples.size() - 1,
+                       std::ceil(q * static_cast<double>(samples.size())) - 1));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
+
+Status ServeOptions::Validate() const {
+  if (max_sessions < 1) {
+    return Status::InvalidArgument("max_sessions must be >= 1");
+  }
+  if (queue_depth < 0) {
+    return Status::InvalidArgument("queue_depth must be >= 0");
+  }
+  if (quantum_ms <= 0.0) {
+    return Status::InvalidArgument("quantum_ms must be > 0");
+  }
+  if (max_frames_per_round < 1) {
+    return Status::InvalidArgument("max_frames_per_round must be >= 1");
+  }
+  if (parallelism < 0) {
+    return Status::InvalidArgument("parallelism must be >= 0");
+  }
+  return fleet_breaker.Validate();
+}
+
+StreamScheduler::StreamScheduler(ServeOptions options)
+    : options_(options), registry_(options.fleet_breaker) {}
+
+void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
+                               uint64_t id, uint64_t round) {
+  auto slot = std::make_unique<Slot>();
+  slot->session = std::move(session);
+  slot->stream_id = id;
+  slot->admitted_round = round;
+  slot->session->AttachHealthRegistry(&registry_);
+  active_.push_back(std::move(slot));
+  ++stats_.admitted;
+  stats_.peak_active =
+      std::max(stats_.peak_active, static_cast<int>(active_.size()));
+}
+
+Result<uint64_t> StreamScheduler::Submit(
+    std::unique_ptr<StreamSession> session) {
+  VQE_RETURN_NOT_OK(options_.Validate());
+  if (session == nullptr) {
+    return Status::InvalidArgument("cannot submit a null session");
+  }
+  if (drained_) {
+    return Status::FailedPrecondition(
+        "scheduler already drained; submit before RunUntilDrained");
+  }
+  ++stats_.submitted;
+
+  // Fleet gate: a stream whose every model the fleet currently reports
+  // open would only burn quanta on breaker-masked selections — shed it.
+  const auto& models = session->config().model_names;
+  if (!models.empty()) {
+    bool any_callable = false;
+    for (const std::string& model : models) {
+      if (registry_.AllowsCall(model, round_)) {
+        any_callable = true;
+        break;
+      }
+    }
+    if (!any_callable) {
+      ++stats_.shed_submissions;
+      return Status::ResourceExhausted(
+          "session '" + session->name() +
+          "' shed: fleet breakers report every model of its pool open");
+    }
+  }
+
+  if (static_cast<int>(active_.size()) < options_.max_sessions) {
+    const uint64_t id = next_stream_id_++;
+    Activate(std::move(session), id, round_);
+    return id;
+  }
+  if (static_cast<int>(queue_.size()) < options_.queue_depth) {
+    const uint64_t id = next_stream_id_++;
+    queue_.push_back(Queued{std::move(session), id});
+    stats_.peak_queued =
+        std::max(stats_.peak_queued, static_cast<int>(queue_.size()));
+    return id;
+  }
+  ++stats_.shed_submissions;
+  return Status::ResourceExhausted(
+      "session '" + session->name() + "' shed: " +
+      std::to_string(active_.size()) + " active / " +
+      std::to_string(queue_.size()) + " queued (max_sessions=" +
+      std::to_string(options_.max_sessions) + ", queue_depth=" +
+      std::to_string(options_.queue_depth) + ")");
+}
+
+void StreamScheduler::StepSlotRound(Slot& slot, uint64_t round) {
+  StreamSession& session = *slot.session;
+  bool stepped = false;
+  int frames_this_round = 0;
+  while (slot.status.ok() && !session.done() && slot.deficit_ms > 0.0 &&
+         frames_this_round < options_.max_frames_per_round) {
+    const double cost_before = session.charged_cost_ms();
+    if (dispatcher_ != nullptr) dispatcher_->BeginStep();
+    Stopwatch frame_watch;
+    const Status status = session.StepFrame(round);
+    const double latency = frame_watch.ElapsedMillis();
+    if (dispatcher_ != nullptr) dispatcher_->EndStep();
+    if (options_.record_frame_latency) slot.latency_ms.push_back(latency);
+    ++slot.frames;
+    ++frames_this_round;
+    stepped = true;
+    // Deficit is charged in *simulated* ms, so the schedule is a pure
+    // function of the submitted work. A frame may overdraw the remaining
+    // deficit; the overdraft carries as a negative balance (classic DRR).
+    slot.deficit_ms -= session.charged_cost_ms() - cost_before;
+    if (!status.ok()) slot.status = status;
+  }
+  if (stepped) ++slot.rounds_active;
+}
+
+void StreamScheduler::Retire(Slot& slot, ServeReport& report) {
+  StreamReport sr;
+  sr.stream_id = slot.stream_id;
+  sr.name = slot.session->name();
+  sr.priority = slot.session->priority();
+  sr.frames = slot.frames;
+  sr.rounds_active = slot.rounds_active;
+  sr.admitted_round = slot.admitted_round;
+  sr.status = slot.status;
+  if (slot.status.ok()) {
+    Result<RunResult> finished = slot.session->Finish();
+    if (finished.ok()) {
+      sr.result = std::move(finished).value();
+    } else {
+      sr.status = finished.status();
+      sr.result = slot.session->live_result();
+    }
+  } else {
+    // Retired on a step error (crash injection, checkpoint I/O): keep the
+    // live accumulators for post-mortem; averages stay unfinalized.
+    sr.result = slot.session->live_result();
+  }
+  stats_.frames += sr.frames;
+  stats_.simulated_ms += sr.result.breakdown.SimulatedMs();
+  stats_.algorithm_wall_ms += sr.result.breakdown.algorithm_ms;
+  if (options_.record_frame_latency) {
+    all_latencies_ms_.insert(all_latencies_ms_.end(), slot.latency_ms.begin(),
+                             slot.latency_ms.end());
+  }
+  report.streams.push_back(std::move(sr));
+}
+
+Result<ServeReport> StreamScheduler::RunUntilDrained() {
+  VQE_RETURN_NOT_OK(options_.Validate());
+  if (drained_) {
+    return Status::FailedPrecondition("RunUntilDrained is callable once");
+  }
+  drained_ = true;
+
+  Stopwatch wall;
+  ServeReport report;
+  while (!active_.empty() || !queue_.empty()) {
+    ++round_;
+    ++stats_.rounds;
+
+    // Admit from the queue into freed slots, FIFO — deterministic.
+    while (!queue_.empty() &&
+           static_cast<int>(active_.size()) < options_.max_sessions) {
+      Queued q = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+      Activate(std::move(q.session), q.stream_id, round_);
+    }
+
+    // Credit deficits, then step every active session concurrently.
+    // Sessions are independent (slot state is worker-private during the
+    // round), so any interleaving yields the same per-stream results.
+    for (auto& slot : active_) {
+      slot->deficit_ms +=
+          options_.quantum_ms * PriorityWeight(slot->session->priority());
+    }
+    ParallelFor(active_.size(), options_.parallelism,
+                [&](size_t i) { StepSlotRound(*active_[i], round_); });
+
+    // Retire drained and failed sessions, freeing slots for the queue.
+    for (size_t i = 0; i < active_.size();) {
+      Slot& slot = *active_[i];
+      if (!slot.status.ok() || slot.session->done()) {
+        Retire(slot, report);
+        active_.erase(active_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::sort(report.streams.begin(), report.streams.end(),
+            [](const StreamReport& a, const StreamReport& b) {
+              return a.stream_id < b.stream_id;
+            });
+  stats_.wall_ms = wall.ElapsedMillis();
+  if (!all_latencies_ms_.empty()) {
+    stats_.frame_p50_ms = Percentile(all_latencies_ms_, 0.50);
+    stats_.frame_p99_ms = Percentile(all_latencies_ms_, 0.99);
+  }
+  if (dispatcher_ != nullptr) stats_.batching = dispatcher_->stats();
+  stats_.fleet_health = registry_.Snapshot(round_);
+  report.stats = stats_;
+  return report;
+}
+
+}  // namespace vqe

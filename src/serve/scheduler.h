@@ -1,0 +1,195 @@
+// Multi-stream scheduler: deficit round-robin over StreamSessions with
+// priority classes, admission control and backpressure.
+//
+// Scheduling model. Time advances in rounds. At the top of each round the
+// scheduler admits queued sessions into freed active slots (FIFO, so
+// admission order is deterministic), then credits every active session's
+// deficit counter with quantum_ms * PriorityWeight(class). Each session
+// then steps frames — concurrently across sessions via the shared thread
+// pool, serially within a session — until its deficit is spent, it
+// finishes, or the per-round frame cap trips. The deficit currency is the
+// engine's *simulated* charged cost (EngineRun::charged_cost_ms deltas),
+// which is deterministic, so the frames-per-round schedule of every
+// session is a pure function of the submitted work — independent of
+// worker count, machine speed, and batching.
+//
+// Admission control. At most max_sessions sessions are active; up to
+// queue_depth more wait in the admission queue. A Submit beyond both
+// bounds — or a session whose entire pool the fleet breaker registry
+// reports open — is shed immediately with kResourceExhausted. Overload
+// therefore degrades by rejecting new work at the front door; admitted
+// work always drains (a failing session retires with its error, it never
+// wedges the scheduler).
+//
+// Isolation / bit-identity. The scheduler only decides WHEN a session
+// steps; all per-frame state is session-private, so every stream's
+// RunResult is bit-identical to a solo RunStrategy run of the same
+// source/strategy/options at any max_sessions, parallelism, batch window
+// or fault script (wall-clock fields aside). serve_test pins this matrix.
+
+#ifndef VQE_SERVE_SCHEDULER_H_
+#define VQE_SERVE_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/breaker_registry.h"
+#include "serve/batch_dispatcher.h"
+#include "serve/stream_session.h"
+
+namespace vqe {
+
+struct ServeOptions {
+  /// Concurrently active sessions (admission bound).
+  int max_sessions = 4;
+  /// Admitted-but-waiting sessions beyond the active set; Submit sheds
+  /// with kResourceExhausted once both are full.
+  int queue_depth = 8;
+  /// DRR quantum in simulated ms per weight unit per round: an
+  /// interactive session earns 4x this, a batch session 1x.
+  double quantum_ms = 200.0;
+  /// Hard cap on frames one session may step in one round, whatever its
+  /// deficit (bounds round latency under huge quanta).
+  int max_frames_per_round = 64;
+  /// Worker parallelism for stepping sessions within a round (semantics of
+  /// ResolveWorkers: 0 = all cores, 1 = serial).
+  int parallelism = 0;
+  /// Capture per-frame wall-clock latency samples for the p50/p99 report.
+  bool record_frame_latency = true;
+  /// Options of the fleet-wide per-model breaker registry.
+  CircuitBreakerOptions fleet_breaker;
+
+  Status Validate() const;
+};
+
+/// Final state of one stream after RunUntilDrained.
+struct StreamReport {
+  uint64_t stream_id = 0;
+  std::string name;
+  PriorityClass priority = PriorityClass::kStandard;
+  /// OK for a stream that drained; the step error (e.g. Aborted under
+  /// crash injection) for one that retired early.
+  Status status = Status::OK();
+  /// Finished RunResult when status is OK; the live partial accumulators
+  /// otherwise (useful for post-mortem, averages unfinalized).
+  RunResult result;
+  size_t frames = 0;
+  /// Rounds in which this stream stepped at least one frame.
+  uint64_t rounds_active = 0;
+  /// Round at which the stream left the admission queue (0 = admitted on
+  /// submit).
+  uint64_t admitted_round = 0;
+};
+
+/// Aggregate serving statistics. Keeps the two time ledgers separate:
+/// `wall_ms` is real elapsed time (streams overlap inside it), while
+/// `simulated_ms` is the summed per-stream frame clock (additive across
+/// streams by construction). Their ratio is the effective concurrency.
+struct ServeStats {
+  double wall_ms = 0.0;
+  /// Σ per-stream TimeBreakdown::SimulatedMs() — additive frame-clock.
+  double simulated_ms = 0.0;
+  /// Σ per-stream algorithm_ms. Each sample is real wall-clock measured
+  /// inside one stream; concurrent streams overlap, so this is a work
+  /// total, NOT elapsed time — never compare it to wall_ms directly.
+  double algorithm_wall_ms = 0.0;
+  uint64_t rounds = 0;
+  uint64_t frames = 0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  /// Submissions rejected with kResourceExhausted.
+  uint64_t shed_submissions = 0;
+  int peak_active = 0;
+  int peak_queued = 0;
+  /// Per-frame step latency percentiles (real wall-clock, all streams
+  /// pooled); zero when record_frame_latency is off.
+  double frame_p50_ms = 0.0;
+  double frame_p99_ms = 0.0;
+  /// Cross-stream batching counters (zeros when no dispatcher attached).
+  BatchDispatcher::Stats batching;
+  /// Fleet breaker state per model at drain time.
+  std::vector<BreakerRegistry::ModelHealth> fleet_health;
+};
+
+struct ServeReport {
+  ServeStats stats;
+  /// Sorted by stream_id (= submission order).
+  std::vector<StreamReport> streams;
+};
+
+class StreamScheduler {
+ public:
+  explicit StreamScheduler(ServeOptions options = {});
+
+  /// Takes ownership of `session` and either activates it, parks it in
+  /// the admission queue, or sheds it with kResourceExhausted (session
+  /// destroyed). On success returns the stream id (dense, submission
+  /// order). Also shed: sessions whose every published model the fleet
+  /// registry currently reports open.
+  Result<uint64_t> Submit(std::unique_ptr<StreamSession> session);
+
+  /// Routes every session's same-model detector calls through
+  /// `dispatcher` step-bracketing (BeginStep/EndStep around each frame),
+  /// and folds its stats into the report. The dispatcher must outlive the
+  /// scheduler; sessions must have been built over MakeBatchingPool(...,
+  /// dispatcher, id) pools for coalescing to actually happen.
+  void AttachBatchDispatcher(BatchDispatcher* dispatcher) {
+    dispatcher_ = dispatcher;
+  }
+
+  /// Runs DRR rounds until every admitted session drained or retired with
+  /// an error. Per-stream step errors are contained in their
+  /// StreamReport::status — RunUntilDrained itself fails only on serving
+  /// bugs (e.g. invalid options). Callable once.
+  Result<ServeReport> RunUntilDrained();
+
+  /// Shared fleet health registry (sessions publish on every step).
+  BreakerRegistry& fleet_health() { return registry_; }
+
+  int active_sessions() const { return static_cast<int>(active_.size()); }
+  int queued_sessions() const { return static_cast<int>(queue_.size()); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// One active session plus its scheduler-side state.
+  struct Slot {
+    std::unique_ptr<StreamSession> session;
+    uint64_t stream_id = 0;
+    double deficit_ms = 0.0;
+    Status status = Status::OK();
+    size_t frames = 0;
+    uint64_t rounds_active = 0;
+    uint64_t admitted_round = 0;
+    /// Per-frame wall latency samples; touched only by the worker
+    /// stepping this slot, so no locking.
+    std::vector<double> latency_ms;
+  };
+
+  void Activate(std::unique_ptr<StreamSession> session, uint64_t id,
+                uint64_t round);
+  /// Steps `slot` for one round (runs on a pool worker).
+  void StepSlotRound(Slot& slot, uint64_t round);
+  void Retire(Slot& slot, ServeReport& report);
+
+  ServeOptions options_;
+  BreakerRegistry registry_;
+  BatchDispatcher* dispatcher_ = nullptr;
+  uint64_t next_stream_id_ = 0;
+  uint64_t round_ = 0;
+  bool drained_ = false;
+  std::vector<std::unique_ptr<Slot>> active_;
+  struct Queued {
+    std::unique_ptr<StreamSession> session;
+    uint64_t stream_id = 0;
+  };
+  std::vector<Queued> queue_;
+  ServeStats stats_;
+  std::vector<double> all_latencies_ms_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_SERVE_SCHEDULER_H_

@@ -1,0 +1,99 @@
+#include "serve/stream_session.h"
+
+#include <utility>
+
+namespace vqe {
+
+int PriorityWeight(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return 4;
+    case PriorityClass::kStandard:
+      return 2;
+    case PriorityClass::kBatch:
+      return 1;
+  }
+  return 1;
+}
+
+const char* PriorityClassToString(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kStandard:
+      return "standard";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+Status StreamSessionConfig::Validate() const {
+  if (name.empty()) {
+    return Status::InvalidArgument("stream session needs a name");
+  }
+  return engine.Validate();
+}
+
+StreamSession::StreamSession(
+    StreamSessionConfig config, std::unique_ptr<EvaluationSource> source,
+    std::unique_ptr<SelectionStrategy> strategy,
+    std::vector<std::unique_ptr<DetectorPool>> owned_pools)
+    : config_(std::move(config)),
+      owned_pools_(std::move(owned_pools)),
+      source_(std::move(source)),
+      strategy_(std::move(strategy)) {}
+
+Result<std::unique_ptr<StreamSession>> StreamSession::Create(
+    StreamSessionConfig config, std::unique_ptr<EvaluationSource> source,
+    std::unique_ptr<SelectionStrategy> strategy,
+    std::vector<std::unique_ptr<DetectorPool>> owned_pools) {
+  VQE_RETURN_NOT_OK(config.Validate());
+  if (source == nullptr) {
+    return Status::InvalidArgument("stream session needs an evaluation source");
+  }
+  if (strategy == nullptr) {
+    return Status::InvalidArgument("stream session needs a strategy");
+  }
+  if (!config.model_names.empty() &&
+      static_cast<int>(config.model_names.size()) != source->num_models()) {
+    return Status::InvalidArgument(
+        "model_names must be empty or index-aligned with the source's models");
+  }
+  std::unique_ptr<StreamSession> session(
+      new StreamSession(std::move(config), std::move(source),
+                        std::move(strategy), std::move(owned_pools)));
+  VQE_ASSIGN_OR_RETURN(
+      session->run_,
+      EngineRun::Create(*session->source_, session->strategy_.get(),
+                        session->config_.engine));
+  return session;
+}
+
+Status StreamSession::StepFrame(uint64_t fleet_tick) {
+  const Status status = run_->StepFrame();
+  if (registry_ != nullptr && !config_.model_names.empty()) {
+    // Publish outcome deltas even for a frame that Aborted mid-step (crash
+    // injection fires after the member calls ran, so the counters moved).
+    const auto& avail = run_->result().model_availability;
+    published_selected_.resize(avail.size(), 0);
+    published_failed_.resize(avail.size(), 0);
+    for (size_t i = 0; i < avail.size() && i < config_.model_names.size();
+         ++i) {
+      const uint64_t selected = avail[i].frames_selected;
+      const uint64_t failed = avail[i].frames_failed;
+      const uint64_t d_selected = selected - published_selected_[i];
+      const uint64_t d_failed = failed - published_failed_[i];
+      published_selected_[i] = selected;
+      published_failed_[i] = failed;
+      // frames_selected counts attempts; the non-failed remainder is the
+      // fleet-visible success signal.
+      registry_->Record(config_.model_names[i], fleet_tick,
+                        /*successes=*/d_selected - d_failed,
+                        /*failures=*/d_failed);
+    }
+  }
+  return status;
+}
+
+}  // namespace vqe

@@ -1,0 +1,843 @@
+// Serving-layer matrix for ISSUE 5: per-stream bit-identity under the
+// StreamScheduler (any session count, worker count, batch window, faults
+// on/off, eager and lazy backends), admission control and load shedding
+// (kResourceExhausted, never a stall), deficit-round-robin fairness across
+// priority classes, cross-stream batch coalescing, fleet breaker
+// aggregation, per-session checkpoint/resume under the scheduler, and the
+// two-ledger time accounting (wall-clock vs summed frame-clock).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/baselines.h"
+#include "core/ducb.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/lazy_frame_evaluator.h"
+#include "core/mes.h"
+#include "core/mes_b.h"
+#include "models/model_zoo.h"
+#include "runtime/breaker_registry.h"
+#include "runtime/fault_injection.h"
+#include "serve/batch_dispatcher.h"
+#include "serve/scheduler.h"
+#include "serve/stream_session.h"
+#include "sim/dataset.h"
+
+namespace vqe {
+namespace {
+
+DetectorPool MakePool(int m) {
+  const std::vector<std::string> names = {
+      "yolov7-tiny@clear", "yolov7-tiny@night", "yolov7-tiny@rainy",
+      "yolov7@clear",      "yolov7-micro@clear"};
+  std::vector<DetectorProfile> profiles;
+  for (int i = 0; i < m; ++i) {
+    profiles.push_back(
+        std::move(ParseDetectorName(names[static_cast<size_t>(i)])).value());
+  }
+  return std::move(BuildPool(profiles)).value();
+}
+
+Video MakeVideo(double scene_scale, uint64_t seed) {
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions sample;
+  sample.scene_scale = scene_scale;
+  sample.seed = seed;
+  return std::move(SampleVideo(*spec, sample)).value();
+}
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "vqe_serve_test/" + name;
+  const int rc = std::system(("rm -rf '" + dir + "'").c_str());
+  EXPECT_EQ(rc, 0);
+  return dir;
+}
+
+std::unique_ptr<SelectionStrategy> MakeStrategy(const std::string& kind) {
+  if (kind == "MES") {
+    MesOptions o;
+    o.gamma = 2;
+    return std::make_unique<MesStrategy>(o);
+  }
+  if (kind == "MES-B") {
+    MesBOptions o;
+    o.gamma = 2;
+    return std::make_unique<MesBStrategy>(o);
+  }
+  if (kind == "SW-MES") {
+    SwMesOptions o;
+    o.gamma = 2;
+    o.window = 8;
+    return std::make_unique<SwMesStrategy>(o);
+  }
+  if (kind == "D-MES") {
+    DucbOptions o;
+    o.gamma = 2;
+    return std::make_unique<DucbMesStrategy>(o);
+  }
+  if (kind == "RAND") return std::make_unique<RandomStrategy>();
+  ADD_FAILURE() << "unknown strategy kind " << kind;
+  return nullptr;
+}
+
+/// The PR 3 fault mix: a scripted mid-video outage on model 0, random
+/// per-attempt errors on model 1.
+std::vector<FaultScript> MakeScripts(size_t m) {
+  std::vector<FaultScript> scripts(m);
+  scripts[0].bursts.push_back({2, 8, FaultKind::kError, -1});
+  if (m > 1) scripts[1].error_rate = 0.2;
+  return scripts;
+}
+
+/// One stream's identity inside the bit-identity matrix.
+struct StreamSpec {
+  std::string name;
+  std::string strategy = "MES";
+  PriorityClass priority = PriorityClass::kStandard;
+  uint64_t trial_seed = 9;
+  uint64_t strategy_seed = 42;
+};
+
+EngineOptions MakeEngine(const StreamSpec& spec) {
+  EngineOptions e;
+  e.strategy_seed = spec.strategy_seed;
+  e.compute_regret = false;  // keeps the lazy backend lazy
+  return e;
+}
+
+/// Solo ground truth: the exact run a stream would do alone, no scheduler,
+/// no batching — the reference every serve configuration must reproduce.
+RunResult SoloBaseline(const Video& video, const DetectorPool& base,
+                       const StreamSpec& spec, bool lazy, bool faults) {
+  const DetectorPool* pool = &base;
+  DetectorPool faulty;
+  if (faults) {
+    faulty = std::move(ApplyFaultScripts(base, MakeScripts(base.size()))).value();
+    pool = &faulty;
+  }
+  std::unique_ptr<SelectionStrategy> strategy = MakeStrategy(spec.strategy);
+  const EngineOptions engine = MakeEngine(spec);
+  if (lazy) {
+    auto source =
+        LazyFrameEvaluator::Create(video, *pool, spec.trial_seed, {});
+    EXPECT_TRUE(source.ok()) << source.status().ToString();
+    return std::move(RunStrategy(**source, strategy.get(), engine)).value();
+  }
+  auto matrix = BuildFrameMatrix(video, *pool, spec.trial_seed, {});
+  EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+  return std::move(RunStrategy(*matrix, strategy.get(), engine)).value();
+}
+
+/// Builds a serving session over the decorated pool chain:
+/// base → (faults?) → (batching?) → source.
+std::unique_ptr<StreamSession> MakeServeSession(
+    const Video& video, const DetectorPool& base, const StreamSpec& spec,
+    bool lazy, bool faults, BatchDispatcher* dispatcher, uint64_t stream_id,
+    EngineOptions engine_override = {}, bool use_override = false) {
+  std::vector<std::unique_ptr<DetectorPool>> owned;
+  const DetectorPool* pool = &base;
+  if (faults) {
+    auto faulty = std::make_unique<DetectorPool>(
+        std::move(ApplyFaultScripts(*pool, MakeScripts(pool->size())))
+            .value());
+    pool = faulty.get();
+    owned.push_back(std::move(faulty));
+  }
+  if (dispatcher != nullptr) {
+    auto batching = std::make_unique<DetectorPool>(
+        std::move(MakeBatchingPool(*pool, dispatcher, stream_id)).value());
+    pool = batching.get();
+    owned.push_back(std::move(batching));
+  }
+  std::unique_ptr<EvaluationSource> source;
+  if (lazy) {
+    source =
+        std::move(LazyFrameEvaluator::Create(video, *pool, spec.trial_seed, {}))
+            .value();
+  } else {
+    source = std::make_unique<OwningMatrixSource>(
+        std::move(BuildFrameMatrix(video, *pool, spec.trial_seed, {}))
+            .value());
+  }
+  StreamSessionConfig cfg;
+  cfg.name = spec.name;
+  cfg.priority = spec.priority;
+  cfg.engine = use_override ? engine_override : MakeEngine(spec);
+  for (const auto& det : pool->detectors) {
+    cfg.model_names.push_back(det->name());
+  }
+  return std::move(StreamSession::Create(std::move(cfg), std::move(source),
+                                         MakeStrategy(spec.strategy),
+                                         std::move(owned)))
+      .value();
+}
+
+/// Bit-identity over every deterministic RunResult field; algorithm_ms and
+/// the checkpoint report are wall-clock/process bookkeeping and are the
+/// only exclusions.
+void ExpectSameRun(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.s_sum, b.s_sum);
+  EXPECT_EQ(a.avg_true_ap, b.avg_true_ap);
+  EXPECT_EQ(a.avg_norm_cost, b.avg_norm_cost);
+  EXPECT_EQ(a.frames_processed, b.frames_processed);
+  EXPECT_EQ(a.regret_available, b.regret_available);
+  EXPECT_EQ(a.regret, b.regret);
+  EXPECT_EQ(a.charged_cost_ms, b.charged_cost_ms);
+  EXPECT_EQ(a.breakdown.detector_ms, b.breakdown.detector_ms);
+  EXPECT_EQ(a.breakdown.reference_ms, b.breakdown.reference_ms);
+  EXPECT_EQ(a.breakdown.ensembling_ms, b.breakdown.ensembling_ms);
+  EXPECT_EQ(a.breakdown.fault_ms, b.breakdown.fault_ms);
+  EXPECT_EQ(a.selection_counts, b.selection_counts);
+  EXPECT_EQ(a.cost_curve, b.cost_curve);
+  EXPECT_EQ(a.fallback_frames, b.fallback_frames);
+  EXPECT_EQ(a.failed_frames, b.failed_frames);
+  ASSERT_EQ(a.model_availability.size(), b.model_availability.size());
+  for (size_t i = 0; i < a.model_availability.size(); ++i) {
+    EXPECT_EQ(a.model_availability[i].frames_selected,
+              b.model_availability[i].frames_selected);
+    EXPECT_EQ(a.model_availability[i].frames_failed,
+              b.model_availability[i].frames_failed);
+    EXPECT_EQ(a.model_availability[i].breaker_opens,
+              b.model_availability[i].breaker_opens);
+    EXPECT_EQ(a.model_availability[i].fault_ms,
+              b.model_availability[i].fault_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Priority classes.
+
+TEST(PriorityClassTest, WeightsAndNames) {
+  EXPECT_EQ(PriorityWeight(PriorityClass::kInteractive), 4);
+  EXPECT_EQ(PriorityWeight(PriorityClass::kStandard), 2);
+  EXPECT_EQ(PriorityWeight(PriorityClass::kBatch), 1);
+  EXPECT_STREQ(PriorityClassToString(PriorityClass::kInteractive),
+               "interactive");
+  EXPECT_STREQ(PriorityClassToString(PriorityClass::kStandard), "standard");
+  EXPECT_STREQ(PriorityClassToString(PriorityClass::kBatch), "batch");
+}
+
+TEST(ServeOptionsTest, Validation) {
+  ServeOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  ServeOptions bad = ok;
+  bad.max_sessions = 0;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = ok;
+  bad.queue_depth = -1;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = ok;
+  bad.quantum_ms = 0.0;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  bad = ok;
+  bad.max_frames_per_round = 0;
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamSessionTest, CreateValidatesInputs) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.01, 3);
+  StreamSpec spec{"s", "MES", PriorityClass::kStandard, 1, 2};
+
+  StreamSessionConfig nameless;
+  auto source = std::make_unique<OwningMatrixSource>(
+      std::move(BuildFrameMatrix(video, pool, 1, {})).value());
+  auto r = StreamSession::Create(nameless, std::move(source),
+                                 MakeStrategy("MES"));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  StreamSessionConfig cfg;
+  cfg.name = "s";
+  cfg.model_names = {"just-one"};  // pool has two models
+  auto source2 = std::make_unique<OwningMatrixSource>(
+      std::move(BuildFrameMatrix(video, pool, 1, {})).value());
+  auto r2 = StreamSession::Create(cfg, std::move(source2),
+                                  MakeStrategy("MES"));
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  cfg.model_names.clear();
+  auto r3 = StreamSession::Create(cfg, nullptr, MakeStrategy("MES"));
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+  (void)spec;
+}
+
+// ---------------------------------------------------------------------------
+// BreakerRegistry: fleet-wide per-model health.
+
+TEST(BreakerRegistryTest, UnknownModelIsHealthy) {
+  BreakerRegistry registry;
+  EXPECT_TRUE(registry.AllowsCall("never-seen", 0));
+  EXPECT_TRUE(registry.Snapshot(0).empty());
+}
+
+TEST(BreakerRegistryTest, ConsecutiveFailuresTripTheFleetBreaker) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 3;
+  BreakerRegistry registry(opt);
+  registry.Record("yolo", /*tick=*/1, /*successes=*/0, /*failures=*/3);
+  EXPECT_FALSE(registry.AllowsCall("yolo", 1));
+  const auto health = registry.Snapshot(1);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].model, "yolo");
+  EXPECT_EQ(health[0].state, BreakerState::kOpen);
+  EXPECT_EQ(health[0].failures, 3u);
+  EXPECT_EQ(health[0].opens, 1u);
+}
+
+TEST(BreakerRegistryTest, SuccessesApplyBeforeFailures) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 3;
+  BreakerRegistry registry(opt);
+  // Each frame both succeeds and fails once: the success resets the
+  // consecutive-failure streak first, so the single failure per frame can
+  // never accumulate to the threshold.
+  for (uint64_t t = 1; t <= 10; ++t) {
+    registry.Record("yolo", t, /*successes=*/1, /*failures=*/1);
+  }
+  EXPECT_TRUE(registry.AllowsCall("yolo", 10));
+  // Pure failures still trip it.
+  registry.Record("yolo", 11, 0, 3);
+  EXPECT_FALSE(registry.AllowsCall("yolo", 11));
+}
+
+TEST(BreakerRegistryTest, OpenBreakerAdmitsProbesAfterCooldown) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 2;
+  opt.open_frames = 5;
+  BreakerRegistry registry(opt);
+  registry.Record("m", 10, 0, 2);
+  EXPECT_FALSE(registry.AllowsCall("m", 10));
+  EXPECT_TRUE(registry.AllowsCall("m", 15));  // half-open probe window
+  const auto health = registry.Snapshot(15);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].state, BreakerState::kHalfOpen);
+}
+
+TEST(BreakerRegistryTest, TicksAreClampedMonotone) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 2;
+  opt.open_frames = 50;
+  BreakerRegistry registry(opt);
+  registry.Record("m", 100, 0, 2);  // opens at clamped tick 100
+  // A stale, smaller tick must not rewind the clock past the open window.
+  EXPECT_FALSE(registry.AllowsCall("m", 5));
+  EXPECT_FALSE(registry.AllowsCall("m", 100));
+  EXPECT_TRUE(registry.AllowsCall("m", 150));
+}
+
+TEST(BreakerRegistryTest, SnapshotIsSortedByModelName) {
+  BreakerRegistry registry;
+  registry.Record("zebra", 1, 1, 0);
+  registry.Record("alpha", 1, 1, 0);
+  registry.Record("mid", 1, 1, 0);
+  const auto health = registry.Snapshot(1);
+  ASSERT_EQ(health.size(), 3u);
+  EXPECT_EQ(health[0].model, "alpha");
+  EXPECT_EQ(health[1].model, "mid");
+  EXPECT_EQ(health[2].model, "zebra");
+}
+
+// ---------------------------------------------------------------------------
+// BatchDispatcher: cross-stream coalescing.
+
+TEST(BatchDispatcherTest, OptionsValidation) {
+  BatchDispatcherOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.batch_window = 0;
+  EXPECT_EQ(opt.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchDispatcherTest, SoloStreamRunsBatchesOfOneBitIdentically) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.01, 5);
+  ASSERT_GE(video.size(), 2u);
+  BatchDispatcher dispatcher({/*batch_window=*/4});
+  const DetectorPool batched =
+      std::move(MakeBatchingPool(pool, &dispatcher, /*stream_id=*/0)).value();
+
+  dispatcher.BeginStep();
+  for (size_t i = 0; i < pool.detectors.size(); ++i) {
+    const DetectionList direct =
+        pool.detectors[i]->Detect(video.frames[0], /*trial_seed=*/7);
+    const DetectionList via =
+        batched.detectors[i]->Detect(video.frames[0], /*trial_seed=*/7);
+    ASSERT_EQ(direct.size(), via.size());
+    for (size_t d = 0; d < direct.size(); ++d) {
+      EXPECT_EQ(direct[d].box.x1, via[d].box.x1);
+      EXPECT_EQ(direct[d].confidence, via[d].confidence);
+      EXPECT_EQ(direct[d].label, via[d].label);
+    }
+  }
+  dispatcher.EndStep();
+
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, pool.detectors.size());
+  EXPECT_EQ(stats.batches, pool.detectors.size());  // nothing to coalesce
+  EXPECT_EQ(stats.max_batch, 1u);
+  EXPECT_EQ(stats.coalesced_requests, 0u);
+}
+
+TEST(BatchDispatcherTest, FullWindowCoalescesConcurrentStreams) {
+  const DetectorPool pool = MakePool(1);
+  const Video video = MakeVideo(0.01, 5);
+  constexpr int kStreams = 4;
+  BatchDispatcher dispatcher({/*batch_window=*/kStreams});
+
+  // All steps open BEFORE any request: no thread can fire a premature
+  // all-blocked flush, so the window-full condition must assemble all
+  // four requests into exactly one batch.
+  for (int s = 0; s < kStreams; ++s) dispatcher.BeginStep();
+
+  const DetectionList solo =
+      pool.detectors[0]->Detect(video.frames[0], /*trial_seed=*/3);
+  std::vector<DetectionList> results(kStreams);
+  std::vector<std::thread> streams;
+  streams.reserve(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    streams.emplace_back([&, s] {
+      BatchingDetector det(pool.detectors[0].get(), &dispatcher,
+                           static_cast<uint64_t>(s));
+      results[static_cast<size_t>(s)] =
+          det.Detect(video.frames[0], /*trial_seed=*/3);
+    });
+  }
+  for (auto& t : streams) t.join();
+  for (int s = 0; s < kStreams; ++s) dispatcher.EndStep();
+
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kStreams));
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch, static_cast<uint64_t>(kStreams));
+  EXPECT_EQ(stats.coalesced_requests, static_cast<uint64_t>(kStreams));
+  // Purity: every coalesced stream sees its exact solo output.
+  for (const auto& r : results) {
+    ASSERT_EQ(r.size(), solo.size());
+    for (size_t d = 0; d < solo.size(); ++d) {
+      EXPECT_EQ(r[d].box.x1, solo[d].box.x1);
+      EXPECT_EQ(r[d].confidence, solo[d].confidence);
+    }
+  }
+}
+
+TEST(BatchDispatcherTest, AllBlockedFlushPreventsDeadlock) {
+  // Three streams park on three DIFFERENT models with a huge window: the
+  // window-full condition can never fire, so the all-steppers-blocked rule
+  // must flush every queue — this test hanging would be the bug.
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.01, 5);
+  BatchDispatcher dispatcher({/*batch_window=*/100});
+  std::atomic<int> done{0};
+  std::vector<std::thread> streams;
+  for (int s = 0; s < 3; ++s) {
+    streams.emplace_back([&, s] {
+      dispatcher.BeginStep();
+      BatchingDetector det(pool.detectors[static_cast<size_t>(s)].get(),
+                           &dispatcher, static_cast<uint64_t>(s));
+      (void)det.Detect(video.frames[0], 3);
+      dispatcher.EndStep();
+      done.fetch_add(1);
+    });
+  }
+  for (auto& t : streams) t.join();
+  EXPECT_EQ(done.load(), 3);
+  const auto stats = dispatcher.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.batches, 3u);  // distinct models cannot coalesce
+}
+
+TEST(BatchDispatcherTest, BatchingPreservesFallibility) {
+  // The retry layer dispatches on FallibleDetector; the batching wrapper
+  // must keep a faulted detector fallible and replay its exact per-attempt
+  // outcomes, or faulted serve runs would silently diverge from solo runs.
+  const DetectorPool pool = MakePool(2);
+  const DetectorPool faulty =
+      std::move(ApplyFaultScripts(pool, MakeScripts(2))).value();
+  BatchDispatcher dispatcher;
+  const DetectorPool batched =
+      std::move(MakeBatchingPool(faulty, &dispatcher, 0)).value();
+  const Video video = MakeVideo(0.01, 5);
+  ASSERT_GT(video.size(), 3u);
+
+  const auto* wrapped =
+      dynamic_cast<const FallibleDetector*>(batched.detectors[0].get());
+  ASSERT_NE(wrapped, nullptr) << "fallibility lost in decoration";
+  const auto* inner =
+      dynamic_cast<const FallibleDetector*>(faulty.detectors[0].get());
+  ASSERT_NE(inner, nullptr);
+
+  // Frame 3 is inside model 0's scripted outage burst [2, 8).
+  const AttemptOutcome direct = inner->Attempt(video.frames[3], 7, 0);
+  const AttemptOutcome via = wrapped->Attempt(video.frames[3], 7, 0);
+  EXPECT_EQ(direct.status.code(), via.status.code());
+  EXPECT_EQ(direct.latency_ms, via.latency_ms);
+  EXPECT_EQ(direct.status.code(), StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and shedding.
+
+TEST(StreamSchedulerTest, ShedsBeyondCapacityWithResourceExhausted) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.01, 7);
+  ServeOptions opt;
+  opt.max_sessions = 2;
+  opt.queue_depth = 1;
+  StreamScheduler scheduler(opt);
+
+  auto submit = [&](const std::string& name) {
+    StreamSpec spec{name, "MES", PriorityClass::kStandard, 1, 2};
+    return scheduler.Submit(MakeServeSession(video, pool, spec, /*lazy=*/true,
+                                             /*faults=*/false, nullptr, 0));
+  };
+  EXPECT_EQ(std::move(submit("a")).value(), 0u);
+  EXPECT_EQ(std::move(submit("b")).value(), 1u);
+  EXPECT_EQ(std::move(submit("c")).value(), 2u);  // queued
+  EXPECT_EQ(scheduler.active_sessions(), 2);
+  EXPECT_EQ(scheduler.queued_sessions(), 1);
+  const auto shed = submit("d");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  // Overload rejected new work but admitted work must drain completely.
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), 3u);
+  for (const auto& s : report.streams) {
+    EXPECT_TRUE(s.status.ok()) << s.name << ": " << s.status.ToString();
+    EXPECT_GT(s.frames, 0u);
+  }
+  EXPECT_EQ(report.stats.shed_submissions, 1u);
+  EXPECT_EQ(report.stats.admitted, 3u);
+  EXPECT_EQ(report.stats.submitted, 4u);
+  EXPECT_EQ(report.stats.peak_active, 2);
+  EXPECT_EQ(report.stats.peak_queued, 1);
+  // Queued stream admitted only after a slot freed.
+  EXPECT_GT(report.streams[2].admitted_round, 0u);
+}
+
+TEST(StreamSchedulerTest, FleetDarkPoolIsShedAtAdmission) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.01, 7);
+  CircuitBreakerOptions breaker;
+  breaker.failure_threshold = 1;
+  ServeOptions opt;
+  opt.fleet_breaker = breaker;
+  StreamScheduler scheduler(opt);
+  // Every model of the candidate pool is fleet-open.
+  for (const auto& det : pool.detectors) {
+    scheduler.fleet_health().Record(det->name(), 1, 0, 1);
+  }
+  StreamSpec spec{"dark", "MES", PriorityClass::kStandard, 1, 2};
+  const auto shed = scheduler.Submit(MakeServeSession(
+      video, pool, spec, /*lazy=*/true, /*faults=*/false, nullptr, 0));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// The bit-identity matrix (tentpole acceptance): every stream served under
+// any scheduler/worker/batching/fault configuration must reproduce its
+// solo run bit for bit.
+
+void RunBitIdentityCase(const Video& video, const DetectorPool& pool,
+                        bool lazy, int workers, bool faults, bool batching) {
+  const std::vector<StreamSpec> specs = {
+      {"interactive-mes", "MES", PriorityClass::kInteractive, 9, 42},
+      {"standard-swmes", "SW-MES", PriorityClass::kStandard, 10, 43},
+      {"batch-dmes", "D-MES", PriorityClass::kBatch, 11, 44},
+      {"standard-rand", "RAND", PriorityClass::kStandard, 12, 45},
+  };
+
+  ServeOptions opt;
+  opt.max_sessions = 3;  // forces the 4th stream through the queue
+  opt.queue_depth = 4;
+  opt.quantum_ms = 40.0;
+  opt.max_frames_per_round = 8;
+  opt.parallelism = workers;
+  StreamScheduler scheduler(opt);
+  BatchDispatcher dispatcher({/*batch_window=*/3});
+  if (batching) scheduler.AttachBatchDispatcher(&dispatcher);
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    auto id = scheduler.Submit(MakeServeSession(
+        video, pool, specs[i], lazy, faults,
+        batching ? &dispatcher : nullptr, static_cast<uint64_t>(i)));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, i);
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    const StreamReport& sr = report.streams[i];
+    EXPECT_EQ(sr.stream_id, i);
+    EXPECT_EQ(sr.name, specs[i].name);
+    ASSERT_TRUE(sr.status.ok()) << sr.status.ToString();
+    const RunResult solo = SoloBaseline(video, pool, specs[i], lazy, faults);
+    ExpectSameRun(solo, sr.result);
+  }
+  // The two ledgers: summed simulated frame-clock is exactly the sum over
+  // streams; wall-clock is measured, not summed.
+  double simulated = 0.0;
+  for (const auto& s : report.streams) {
+    simulated += s.result.breakdown.SimulatedMs();
+  }
+  EXPECT_DOUBLE_EQ(report.stats.simulated_ms, simulated);
+  EXPECT_GT(report.stats.simulated_ms, 0.0);
+  EXPECT_GT(report.stats.wall_ms, 0.0);
+  EXPECT_GT(report.stats.frames, 0u);
+  if (batching) {
+    EXPECT_GT(report.stats.batching.requests, 0u);
+  }
+}
+
+TEST(ServeBitIdentityTest, EagerBackendMatrix) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  ASSERT_GT(video.size(), 12u);
+  for (const int workers : {1, 4}) {
+    for (const bool faults : {false, true}) {
+      SCOPED_TRACE("eager/w" + std::to_string(workers) +
+                   (faults ? "/faults" : "/clean"));
+      RunBitIdentityCase(video, pool, /*lazy=*/false, workers, faults,
+                         /*batching=*/true);
+    }
+  }
+}
+
+TEST(ServeBitIdentityTest, LazyBackendMatrix) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  ASSERT_GT(video.size(), 12u);
+  for (const int workers : {1, 4}) {
+    for (const bool faults : {false, true}) {
+      SCOPED_TRACE("lazy/w" + std::to_string(workers) +
+                   (faults ? "/faults" : "/clean"));
+      RunBitIdentityCase(video, pool, /*lazy=*/true, workers, faults,
+                         /*batching=*/true);
+    }
+  }
+}
+
+TEST(ServeBitIdentityTest, UnbatchedServeAlsoMatches) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  RunBitIdentityCase(video, pool, /*lazy=*/true, /*workers=*/4,
+                     /*faults=*/true, /*batching=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Deficit round-robin fairness.
+
+TEST(StreamSchedulerTest, InteractiveClassFinishesInFewerRounds) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  // Identical work, different classes: weights 4/2/1 mean the interactive
+  // stream earns quanta 4x faster and must retire in no more rounds than
+  // standard, which in turn beats batch.
+  const std::vector<StreamSpec> specs = {
+      {"fast", "MES", PriorityClass::kInteractive, 9, 42},
+      {"mid", "MES", PriorityClass::kStandard, 9, 42},
+      {"slow", "MES", PriorityClass::kBatch, 9, 42},
+  };
+  ServeOptions opt;
+  opt.max_sessions = 3;
+  opt.quantum_ms = 20.0;  // small quantum => many rounds => weights matter
+  opt.max_frames_per_round = 64;
+  opt.parallelism = 1;
+  StreamScheduler scheduler(opt);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(
+        scheduler
+            .Submit(MakeServeSession(video, pool, specs[i], /*lazy=*/true,
+                                     /*faults=*/false, nullptr, i))
+            .ok());
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), 3u);
+  const auto& interactive = report.streams[0];
+  const auto& standard = report.streams[1];
+  const auto& batch = report.streams[2];
+  EXPECT_EQ(interactive.frames, standard.frames);  // same total work
+  EXPECT_EQ(standard.frames, batch.frames);
+  EXPECT_LE(interactive.rounds_active, standard.rounds_active);
+  EXPECT_LE(standard.rounds_active, batch.rounds_active);
+  EXPECT_LT(interactive.rounds_active, batch.rounds_active)
+      << "a 4x weight advantage must be visible in rounds-to-finish";
+}
+
+// ---------------------------------------------------------------------------
+// Per-stream fault containment and checkpoint/resume under the scheduler.
+
+TEST(StreamSchedulerTest, CrashingSessionRetiresWithoutStallingOthers) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  ServeOptions opt;
+  opt.max_sessions = 2;
+  opt.parallelism = 2;
+  StreamScheduler scheduler(opt);
+
+  StreamSpec healthy{"healthy", "MES", PriorityClass::kStandard, 9, 42};
+  StreamSpec doomed{"doomed", "SW-MES", PriorityClass::kStandard, 10, 43};
+  EngineOptions crash = MakeEngine(doomed);
+  crash.checkpoint.directory = ScratchDir("crash-contained");
+  crash.checkpoint.every_frames = 4;
+  crash.checkpoint.crash_after_frames = 5;
+
+  ASSERT_TRUE(scheduler
+                  .Submit(MakeServeSession(video, pool, healthy, true, false,
+                                           nullptr, 0))
+                  .ok());
+  ASSERT_TRUE(scheduler
+                  .Submit(MakeServeSession(video, pool, doomed, true, false,
+                                           nullptr, 1, crash,
+                                           /*use_override=*/true))
+                  .ok());
+
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), 2u);
+  EXPECT_TRUE(report.streams[0].status.ok());
+  EXPECT_EQ(report.streams[0].result.frames_processed, video.size());
+  EXPECT_EQ(report.streams[1].status.code(), StatusCode::kAborted);
+  EXPECT_LT(report.streams[1].frames, video.size());
+}
+
+TEST(StreamSchedulerTest, SessionCheckpointResumesBitIdenticallyUnderServe) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  StreamSpec spec{"resumable", "MES", PriorityClass::kStandard, 9, 42};
+  const RunResult solo = SoloBaseline(video, pool, spec, /*lazy=*/true,
+                                      /*faults=*/false);
+
+  EngineOptions ck = MakeEngine(spec);
+  ck.checkpoint.directory = ScratchDir("serve-resume");
+  ck.checkpoint.every_frames = 4;
+  ck.checkpoint.crash_after_frames = 6;
+
+  // First serving process: the session dies mid-video (kAborted).
+  {
+    StreamScheduler scheduler;
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, spec, true, false,
+                                             nullptr, 0, ck, true))
+                    .ok());
+    const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+    ASSERT_EQ(report.streams.size(), 1u);
+    ASSERT_EQ(report.streams[0].status.code(), StatusCode::kAborted);
+  }
+
+  // Restarted serving process: a fresh session over the same checkpoint
+  // directory resumes and completes; the stitched run must equal the
+  // uninterrupted solo run bit for bit.
+  ck.checkpoint.crash_after_frames = 0;
+  StreamScheduler scheduler;
+  ASSERT_TRUE(scheduler
+                  .Submit(MakeServeSession(video, pool, spec, true, false,
+                                           nullptr, 0, ck, true))
+                  .ok());
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), 1u);
+  ASSERT_TRUE(report.streams[0].status.ok())
+      << report.streams[0].status.ToString();
+  EXPECT_TRUE(report.streams[0].result.checkpoint.resumed);
+  ExpectSameRun(solo, report.streams[0].result);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet health aggregation across sessions.
+
+TEST(StreamSchedulerTest, FaultedSessionsPopulateFleetHealth) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  ServeOptions opt;
+  opt.max_sessions = 2;
+  StreamScheduler scheduler(opt);
+  const std::vector<StreamSpec> specs = {
+      {"f0", "MES", PriorityClass::kStandard, 9, 42},
+      {"f1", "SW-MES", PriorityClass::kStandard, 10, 43},
+  };
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, specs[i],
+                                             /*lazy=*/true, /*faults=*/true,
+                                             nullptr, i))
+                    .ok());
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_FALSE(report.stats.fleet_health.empty());
+  uint64_t total_failures = 0;
+  uint64_t total_successes = 0;
+  for (const auto& h : report.stats.fleet_health) {
+    total_failures += h.failures;
+    total_successes += h.successes;
+  }
+  // The scripted outage on model 0 must surface as fleet-visible failures,
+  // aggregated from BOTH sessions' private runs.
+  EXPECT_GT(total_failures, 0u);
+  EXPECT_GT(total_successes, 0u);
+  // Per-stream results remain solo-identical despite shared reporting.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const RunResult solo =
+        SoloBaseline(video, pool, specs[i], /*lazy=*/true, /*faults=*/true);
+    ExpectSameRun(solo, report.streams[i].result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-ledger time accounting.
+
+TEST(TimeBreakdownTest, SimulatedAndWallLedgersAreSeparate) {
+  TimeBreakdown b;
+  b.detector_ms = 10.0;
+  b.reference_ms = 5.0;
+  b.ensembling_ms = 2.0;
+  b.fault_ms = 3.0;
+  b.algorithm_ms = 100.0;  // wall-clock share, not simulated
+  EXPECT_DOUBLE_EQ(b.SimulatedMs(), 20.0);
+  EXPECT_DOUBLE_EQ(b.TotalMs(), 120.0);
+}
+
+TEST(StreamSchedulerTest, ServeStatsKeepLedgersApart) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.01, 7);
+  ServeOptions opt;
+  opt.max_sessions = 2;
+  opt.record_frame_latency = true;
+  StreamScheduler scheduler(opt);
+  for (size_t i = 0; i < 2; ++i) {
+    StreamSpec spec{"s" + std::to_string(i), "MES",
+                    PriorityClass::kStandard, 9 + i, 42 + i};
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, spec, true, false,
+                                             nullptr, i))
+                    .ok());
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  double simulated = 0.0;
+  double algo = 0.0;
+  for (const auto& s : report.streams) {
+    simulated += s.result.breakdown.SimulatedMs();
+    algo += s.result.breakdown.algorithm_ms;
+  }
+  EXPECT_DOUBLE_EQ(report.stats.simulated_ms, simulated);
+  EXPECT_DOUBLE_EQ(report.stats.algorithm_wall_ms, algo);
+  EXPECT_GT(report.stats.wall_ms, 0.0);
+  // Simulated frame-clock is orders of magnitude above the real wall
+  // clock here (no real GPUs run), which is exactly why the ledgers must
+  // never be summed together.
+  EXPECT_NE(report.stats.simulated_ms, report.stats.wall_ms);
+  // Latency percentiles recorded and ordered.
+  EXPECT_GE(report.stats.frame_p99_ms, report.stats.frame_p50_ms);
+}
+
+}  // namespace
+}  // namespace vqe

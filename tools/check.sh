@@ -10,9 +10,11 @@
 # build-ubsan/ (all .gitignore'd) and run the suites that exercise the
 # shared thread pool, the chunked ParallelFor scheduler, the pairwise-IoU
 # tile shared across fusion calls, lazy-vs-eager evaluation equivalence,
-# the fault-tolerant detector runtime (retry/breaker/degradation), and the
+# the fault-tolerant detector runtime (retry/breaker/degradation), the
 # snapshot/checkpoint stack (hostile-byte parsing plus the crash-resume
-# matrix) — corrupt snapshots must fail with a clean Status, never UB.
+# matrix) — corrupt snapshots must fail with a clean Status, never UB —
+# and the serving layer (scheduler rounds stepping sessions in parallel,
+# cross-stream batch coalescing, the thread pool shutdown contract).
 
 set -eu
 
@@ -30,9 +32,9 @@ run_sanitizer() {
   cmake -B "$dir" -S . -DVQE_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j --target \
     thread_pool_test determinism_test fusion_test lazy_eval_test \
-    runtime_test snapshot_test resume_test serialization_test
+    runtime_test snapshot_test resume_test serialization_test serve_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown"
 }
 
 run_tier1
