@@ -13,11 +13,18 @@
 // bit-identical, and report how many of the |V|·(2^m − 1) cells the lazy
 // run actually materialized.
 //
+// Section 3 — kernel microbenches, detector simulation excluded: the
+// pairwise-IoU tile build (pre-PR pointer-map scalar sweep vs the SoA
+// label-block kernel) and single fusion calls (pre-PR map-pooling,
+// copy-heavy Fuse replicas vs the arena-backed FuseInto), each verified
+// bit-identical against its replica.
+//
 // Emits BENCH_matrix_build.json so later PRs can track the trajectory.
 
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -29,6 +36,9 @@
 #include "core/lazy_frame_evaluator.h"
 #include "core/mes.h"
 #include "detection/ap.h"
+#include "detection/frame_soa.h"
+#include "fusion/ensemble_method.h"
+#include "fusion/iou_cache.h"
 #include "sim/dataset.h"
 
 using namespace vqe;
@@ -130,6 +140,217 @@ bool SameRun(const RunResult& a, const RunResult& b) {
          a.charged_cost_ms == b.charged_cost_ms &&
          a.selection_counts == b.selection_counts;
 }
+
+// ------------------- Section 3: pre-PR kernel replicas -------------------
+// Faithful reproductions of the pre-optimization kernels, kept bench-local
+// so the comparison survives after the production code moved on.
+
+/// The pre-PR tile build: an id → Detection* map over the AoS inputs,
+/// then a scalar IoU(a.box, b.box) per same-label pair.
+struct LegacyIouTile {
+  int n = 0;
+  std::vector<double> tile;
+
+  LegacyIouTile(const std::vector<DetectionList>& per_model, int num_ids) {
+    if (num_ids <= 0 || num_ids > PairwiseIouCache::kMaxCachedDetections) {
+      return;
+    }
+    n = num_ids;
+    const size_t size = static_cast<size_t>(n);
+    tile.assign(size * size, -1.0);
+    std::vector<const Detection*> by_id(size, nullptr);
+    for (const auto& list : per_model) {
+      for (const auto& d : list) {
+        if (d.frame_det_id >= 0 && d.frame_det_id < n) {
+          by_id[static_cast<size_t>(d.frame_det_id)] = &d;
+        }
+      }
+    }
+    for (size_t i = 0; i < size; ++i) {
+      const Detection* a = by_id[i];
+      if (a == nullptr) continue;
+      for (size_t j = i; j < size; ++j) {
+        const Detection* b = by_id[j];
+        if (b == nullptr || b->label != a->label) continue;
+        const double iou = IoU(a->box, b->box);
+        tile[i * size + j] = iou;
+        tile[j * size + i] = iou;
+      }
+    }
+  }
+
+  double Get(const Detection& a, const Detection& b) const {
+    if (a.frame_det_id >= 0 && a.frame_det_id < n && b.frame_det_id >= 0 &&
+        b.frame_det_id < n) {
+      const double v = tile[static_cast<size_t>(a.frame_det_id) *
+                                static_cast<size_t>(n) +
+                            static_cast<size_t>(b.frame_det_id)];
+      if (v >= 0.0) return v;
+    }
+    return IoU(a.box, b.box);
+  }
+};
+
+/// Pre-PR class pooling: a std::map of per-class copies per call.
+std::map<ClassId, DetectionList> LegacyPoolByClass(
+    DetectionListSpan per_model) {
+  std::map<ClassId, DetectionList> by_class;
+  for (size_t i = 0; i < per_model.size(); ++i) {
+    for (const auto& d : per_model[i]) by_class[d.label].push_back(d);
+  }
+  return by_class;
+}
+
+void LegacySortDesc(DetectionList* dets) {
+  std::stable_sort(dets->begin(), dets->end(),
+                   [](const Detection& a, const Detection& b) {
+                     return a.confidence > b.confidence;
+                   });
+}
+
+double LegacyCachedIoU(const PairwiseIouCache* iou, const Detection& a,
+                       const Detection& b) {
+  return iou != nullptr ? iou->Get(a, b) : IoU(a.box, b.box);
+}
+
+/// The pre-PR NMS inner loop: map pooling, a pooled copy per class, a
+/// heap-allocating stable sort and a std::vector<bool> flag set per call.
+DetectionList LegacyNmsFuse(DetectionListSpan per_model,
+                            const PairwiseIouCache* iou,
+                            const FusionOptions& options) {
+  DetectionList out;
+  for (auto& [cls, pooled] : LegacyPoolByClass(per_model)) {
+    DetectionList dets = pooled;
+    LegacySortDesc(&dets);
+    std::vector<bool> suppressed(dets.size(), false);
+    for (size_t i = 0; i < dets.size(); ++i) {
+      if (suppressed[i]) continue;
+      Detection kept = dets[i];
+      kept.model_index = -1;
+      kept.frame_det_id = -1;
+      if (kept.confidence >= options.score_threshold) out.push_back(kept);
+      for (size_t j = i + 1; j < dets.size(); ++j) {
+        if (suppressed[j]) continue;
+        if (LegacyCachedIoU(iou, dets[i], dets[j]) > options.iou_threshold) {
+          suppressed[j] = true;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The pre-PR WBF: weighted per-model input copies, map pooling, and
+/// clusters that hold their member list and refold it front-to-back after
+/// every insertion.
+DetectionList LegacyWbfFuse(DetectionListSpan per_model,
+                            const FusionOptions& options) {
+  struct Cluster {
+    DetectionList members;
+    Detection fused;
+
+    void Refresh() {
+      double wsum = 0.0;
+      double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+      double conf_sum = 0.0;
+      double var_sum = 0.0;
+      for (const auto& m : members) {
+        const double w = m.confidence;
+        x1 += w * m.box.x1;
+        y1 += w * m.box.y1;
+        x2 += w * m.box.x2;
+        y2 += w * m.box.y2;
+        wsum += w;
+        conf_sum += m.confidence;
+        var_sum += m.box_variance;
+      }
+      if (wsum > 0.0) {
+        fused.box = BBox{x1 / wsum, y1 / wsum, x2 / wsum, y2 / wsum};
+      }
+      fused.confidence = conf_sum / static_cast<double>(members.size());
+      fused.box_variance = var_sum / static_cast<double>(members.size());
+      fused.label = members.front().label;
+      fused.model_index = -1;
+    }
+  };
+
+  const size_t num_models = per_model.size();
+  DetectionList out;
+
+  DetectionListSpan inputs = per_model;
+  std::vector<DetectionList> weighted;
+  if (options.model_weights.size() == num_models) {
+    weighted.resize(num_models);
+    for (size_t i = 0; i < num_models; ++i) {
+      weighted[i] = per_model[i];
+      for (auto& d : weighted[i]) {
+        d.confidence = std::min(1.0, d.confidence * options.model_weights[i]);
+      }
+    }
+    inputs = DetectionListSpan(weighted);
+  }
+
+  for (auto& [cls, pooled] : LegacyPoolByClass(inputs)) {
+    DetectionList dets = pooled;
+    LegacySortDesc(&dets);
+
+    std::vector<Cluster> clusters;
+    for (const auto& d : dets) {
+      int best = -1;
+      double best_iou = options.iou_threshold;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        const double iou = IoU(clusters[c].fused.box, d.box);
+        if (iou > best_iou) {
+          best_iou = iou;
+          best = static_cast<int>(c);
+        }
+      }
+      if (best >= 0) {
+        clusters[static_cast<size_t>(best)].members.push_back(d);
+        clusters[static_cast<size_t>(best)].Refresh();
+      } else {
+        Cluster c;
+        c.members.push_back(d);
+        c.Refresh();
+        clusters.push_back(std::move(c));
+      }
+    }
+
+    for (auto& c : clusters) {
+      if (num_models > 0) {
+        const double n = static_cast<double>(c.members.size());
+        const double t = static_cast<double>(num_models);
+        c.fused.confidence *= std::min(n, t) / t;
+      }
+      if (c.fused.confidence >= options.score_threshold) {
+        out.push_back(c.fused);
+      }
+    }
+  }
+  LegacySortDesc(&out);
+  return out;
+}
+
+bool SameDetections(const DetectionList& a, const DetectionList& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].confidence != b[i].confidence || a[i].label != b[i].label ||
+        a[i].model_index != b[i].model_index ||
+        a[i].box.x1 != b[i].box.x1 || a[i].box.y1 != b[i].box.y1 ||
+        a[i].box.x2 != b[i].box.x2 || a[i].box.y2 != b[i].box.y2 ||
+        a[i].box_variance != b[i].box_variance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct KernelResult {
+  std::string name;
+  double legacy_per_sec = 0.0;
+  double new_per_sec = 0.0;
+  bool identical = false;
+};
 
 }  // namespace
 
@@ -289,6 +510,198 @@ int main() {
       "every mask, so lazy buys it nothing (needs_full_lattice keeps such\n"
       "strategies on the eager backend in experiments).\n");
 
+  // ---- Section 3: kernel microbenches (detector simulation excluded) ----
+  std::vector<KernelResult> kernels;
+  size_t kernel_frames = 0;
+  size_t kernel_reps = 0;
+  double kernel_boxes_per_frame = 0.0;
+  {
+    const int m = 6;
+    std::vector<DetectorProfile> profiles;
+    for (int i = 0; i < m; ++i) {
+      profiles.push_back(
+          std::move(ParseDetectorName(names[static_cast<size_t>(i)])).value());
+    }
+    auto pool = std::move(BuildPool(profiles)).value();
+    SampleOptions sample;
+    sample.scene_scale = ScaleFor(*spec, 60.0);
+    sample.seed = 37;
+    const Video kvideo = std::move(SampleVideo(*spec, sample)).value();
+    const uint64_t kseed = 37;
+
+    // Materialize every frame's detector outputs (with frame ids) up
+    // front: the kernels below are timed over fixed inputs.
+    std::vector<std::vector<DetectionList>> frame_out;
+    std::vector<int> frame_ids;
+    size_t total_boxes = 0;
+    for (const VideoFrame& frame : kvideo.frames) {
+      std::vector<DetectionList> model_out(static_cast<size_t>(m));
+      for (int i = 0; i < m; ++i) {
+        model_out[static_cast<size_t>(i)] =
+            pool.detectors[static_cast<size_t>(i)]->Detect(frame, kseed);
+      }
+      const int num_ids = AssignFrameDetIds(model_out);
+      total_boxes += static_cast<size_t>(num_ids);
+      frame_out.push_back(std::move(model_out));
+      frame_ids.push_back(num_ids);
+    }
+    kernel_frames = frame_out.size();
+    kernel_reps = std::max<size_t>(50, settings.trials * 20);
+    kernel_boxes_per_frame = kernel_frames == 0
+                                 ? 0.0
+                                 : static_cast<double>(total_boxes) /
+                                       static_cast<double>(kernel_frames);
+    double sink = 0.0;
+
+    // Tile build: legacy pointer-map sweep vs SoA label-block kernel (SoA
+    // construction included — it is part of the per-frame cost).
+    std::vector<PairwiseIouCache> tiles;  // reused by the fusion benches
+    std::vector<FrameSoA> soas;           // reused by the fusion benches
+    bool tile_identical = true;
+    for (size_t f = 0; f < kernel_frames; ++f) {
+      const LegacyIouTile legacy(frame_out[f], frame_ids[f]);
+      soas.emplace_back(frame_out[f], frame_ids[f]);
+      tiles.emplace_back(soas.back());
+      for (const auto& list_a : frame_out[f]) {
+        for (const auto& a : list_a) {
+          for (const auto& list_b : frame_out[f]) {
+            for (const auto& b : list_b) {
+              if (tiles.back().Get(a, b) != legacy.Get(a, b)) {
+                tile_identical = false;
+              }
+            }
+          }
+        }
+      }
+    }
+    {
+      KernelResult r;
+      r.name = "iou_tile_build";
+      r.identical = tile_identical;
+      Stopwatch legacy_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          const LegacyIouTile tile(frame_out[f], frame_ids[f]);
+          sink += static_cast<double>(tile.tile.size());
+        }
+      }
+      const double legacy_s = legacy_watch.ElapsedSeconds();
+      Stopwatch soa_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          const PairwiseIouCache tile(FrameSoA(frame_out[f], frame_ids[f]));
+          sink += tile.enabled() ? 1.0 : 0.0;
+        }
+      }
+      const double soa_s = soa_watch.ElapsedSeconds();
+      const double ops = static_cast<double>(kernel_reps * kernel_frames);
+      r.legacy_per_sec = ops / legacy_s;
+      r.new_per_sec = ops / soa_s;
+      kernels.push_back(r);
+    }
+
+    // Single fusion calls over the full-pool mask: pre-PR Fuse replicas vs
+    // the arena-backed FuseInto with a reused output buffer.
+    MatrixOptions kernel_options;
+    const FusionOptions fopts = kernel_options.fusion_options;
+    auto nms = std::move(CreateEnsembleMethod(FusionKind::kNms, fopts)).value();
+    auto wbf = std::move(CreateEnsembleMethod(FusionKind::kWbf, fopts)).value();
+    DetectionList fused;
+
+    {
+      KernelResult r;
+      r.name = "nms_fuse";
+      r.identical = true;
+      for (size_t f = 0; f < kernel_frames; ++f) {
+        const DetectionList legacy =
+            LegacyNmsFuse(DetectionListSpan(frame_out[f]), &tiles[f], fopts);
+        nms->FuseInto(DetectionListSpan(frame_out[f]), &tiles[f], &soas[f],
+                        &fused);
+        r.identical = r.identical && SameDetections(legacy, fused);
+      }
+      Stopwatch legacy_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          const DetectionList out =
+              LegacyNmsFuse(DetectionListSpan(frame_out[f]), &tiles[f], fopts);
+          sink += static_cast<double>(out.size());
+        }
+      }
+      const double legacy_s = legacy_watch.ElapsedSeconds();
+      Stopwatch new_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          nms->FuseInto(DetectionListSpan(frame_out[f]), &tiles[f], &soas[f],
+                        &fused);
+          sink += static_cast<double>(fused.size());
+        }
+      }
+      const double new_s = new_watch.ElapsedSeconds();
+      const double ops = static_cast<double>(kernel_reps * kernel_frames);
+      r.legacy_per_sec = ops / legacy_s;
+      r.new_per_sec = ops / new_s;
+      kernels.push_back(r);
+    }
+
+    {
+      KernelResult r;
+      r.name = "wbf_fuse";
+      r.identical = true;
+      for (size_t f = 0; f < kernel_frames; ++f) {
+        const DetectionList legacy =
+            LegacyWbfFuse(DetectionListSpan(frame_out[f]), fopts);
+        wbf->FuseInto(DetectionListSpan(frame_out[f]), nullptr, &soas[f],
+                        &fused);
+        r.identical = r.identical && SameDetections(legacy, fused);
+      }
+      Stopwatch legacy_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          const DetectionList out =
+              LegacyWbfFuse(DetectionListSpan(frame_out[f]), fopts);
+          sink += static_cast<double>(out.size());
+        }
+      }
+      const double legacy_s = legacy_watch.ElapsedSeconds();
+      Stopwatch new_watch;
+      for (size_t rep = 0; rep < kernel_reps; ++rep) {
+        for (size_t f = 0; f < kernel_frames; ++f) {
+          wbf->FuseInto(DetectionListSpan(frame_out[f]), nullptr, &soas[f],
+                        &fused);
+          sink += static_cast<double>(fused.size());
+        }
+      }
+      const double new_s = new_watch.ElapsedSeconds();
+      const double ops = static_cast<double>(kernel_reps * kernel_frames);
+      r.legacy_per_sec = ops / legacy_s;
+      r.new_per_sec = ops / new_s;
+      kernels.push_back(r);
+    }
+    if (sink < -1.0) std::printf("unreachable\n");  // keep the loops live
+  }
+
+  std::printf("\nKernel microbenches, m=6, %zu frames x %zu reps,"
+              " %.1f boxes/frame (no detector simulation):\n",
+              kernel_frames, kernel_reps, kernel_boxes_per_frame);
+  TablePrinter kernel_table(
+      {"kernel", "legacy ops/s", "new ops/s", "speedup", "identical"});
+  for (const auto& k : kernels) {
+    kernel_table.AddRow({k.name, Fmt(k.legacy_per_sec, 1),
+                         Fmt(k.new_per_sec, 1),
+                         Fmt(k.new_per_sec / k.legacy_per_sec, 2) + "x",
+                         k.identical ? "yes" : "NO"});
+  }
+  kernel_table.Print(std::cout);
+  std::printf(
+      "\n'legacy' are bench-local replicas of the pre-optimization\n"
+      "kernels (pointer-map tile sweep; map-pooling copy-heavy fusion);\n"
+      "'identical' checks the new kernels reproduce them bit for bit.\n"
+      "iou_tile_build times the full per-frame store construction, which\n"
+      "deliberately does MORE work than the legacy tile (it also builds\n"
+      "the presorted class pools the fuse kernels consume) — it is paid\n"
+      "once per frame and amortized over up to 2^m - 1 mask fusions,\n"
+      "where the per-mask kernels above win it back many times over.\n");
+
   FILE* json = std::fopen("BENCH_matrix_build.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_matrix_build.json\n");
@@ -333,12 +746,32 @@ int main() {
         sr.identical ? "true" : "false",
         i + 1 < strategy_runs.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json,
+               "  ],\n  \"kernel_microbench\": {\n"
+               "    \"m\": 6, \"frames\": %zu, \"reps\": %zu,\n"
+               "    \"avg_boxes_per_frame\": %.2f,\n"
+               "    \"kernels\": [\n",
+               kernel_frames, kernel_reps, kernel_boxes_per_frame);
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& k = kernels[i];
+    std::fprintf(json,
+                 "      {\"name\": \"%s\",\n"
+                 "       \"legacy_ops_per_sec\": %.2f,\n"
+                 "       \"new_ops_per_sec\": %.2f,\n"
+                 "       \"speedup\": %.3f,\n"
+                 "       \"bit_identical\": %s}%s\n",
+                 k.name.c_str(), k.legacy_per_sec, k.new_per_sec,
+                 k.new_per_sec / k.legacy_per_sec,
+                 k.identical ? "true" : "false",
+                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(json, "    ]\n  }\n}\n");
   std::fclose(json);
   std::printf("Wrote BENCH_matrix_build.json\n");
 
   bool ok = true;
   for (const auto& r : results) ok = ok && r.identical;
   for (const auto& sr : strategy_runs) ok = ok && sr.identical;
+  for (const auto& k : kernels) ok = ok && k.identical;
   return ok ? 0 : 1;
 }

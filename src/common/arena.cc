@@ -1,0 +1,97 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace vqe {
+
+namespace {
+
+inline size_t AlignUp(size_t value, size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+FrameArena::FrameArena(size_t min_block_bytes)
+    : min_block_bytes_(min_block_bytes > 0 ? min_block_bytes
+                                           : kDefaultBlockBytes) {}
+
+FrameArena::~FrameArena() { ReleaseAll(); }
+
+void* FrameArena::Allocate(size_t bytes, size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0);
+  ++stats_.alloc_calls;
+  if (blocks_.empty()) NextBlock(bytes + align);
+  // Align the absolute address, not the intra-block offset: block bases
+  // from ::operator new only honour fundamental alignment, so a request
+  // with extended alignment (> 16) could land misaligned if only the
+  // offset were rounded. Over-reserving by `align` in NextBlock keeps the
+  // padded request in bounds.
+  const auto aligned_offset = [this, align](size_t offset) {
+    const uintptr_t base =
+        reinterpret_cast<uintptr_t>(blocks_[cur_block_].data);
+    return static_cast<size_t>(AlignUp(base + offset, align) - base);
+  };
+  size_t offset = aligned_offset(cur_offset_);
+  if (offset + bytes > blocks_[cur_block_].size) {
+    NextBlock(bytes + align);
+    offset = aligned_offset(cur_offset_);
+  }
+  void* p = blocks_[cur_block_].data + offset;
+  cur_offset_ = offset + bytes;
+  const size_t live = live_bytes();
+  if (live > stats_.high_water_bytes) stats_.high_water_bytes = live;
+  return p;
+}
+
+void FrameArena::NextBlock(size_t bytes) {
+  // Reuse a retained block when the next one is big enough; otherwise
+  // insert a fresh block at the cursor. Fresh blocks double the working
+  // size so arenas converge to O(log) block count regardless of demand.
+  const size_t next = blocks_.empty() ? 0 : cur_block_ + 1;
+  if (next < blocks_.size() && blocks_[next].size >= bytes) {
+    cur_block_ = next;
+    cur_offset_ = 0;
+    return;
+  }
+  size_t size = min_block_bytes_;
+  if (!blocks_.empty()) size = blocks_.back().size * 2;
+  if (size < bytes) size = bytes;
+  Block b;
+  b.data = static_cast<char*>(::operator new(size));
+  b.size = size;
+  ++stats_.block_allocs;
+  stats_.bytes_reserved += size;
+  blocks_.insert(blocks_.begin() + static_cast<ptrdiff_t>(next), b);
+  cur_block_ = next;
+  cur_offset_ = 0;
+}
+
+void FrameArena::Rewind(const Marker& m) {
+  assert(m.block < blocks_.size() || (m.block == 0 && m.offset == 0));
+  if (blocks_.empty()) return;
+  cur_block_ = m.block;
+  cur_offset_ = m.offset;
+}
+
+void FrameArena::ReleaseAll() {
+  for (auto& b : blocks_) ::operator delete(b.data);
+  blocks_.clear();
+  cur_block_ = 0;
+  cur_offset_ = 0;
+}
+
+size_t FrameArena::live_bytes() const {
+  if (blocks_.empty()) return 0;
+  size_t live = cur_offset_;
+  for (size_t i = 0; i < cur_block_; ++i) live += blocks_[i].size;
+  return live;
+}
+
+FrameArena& FrameArena::ThreadLocal() {
+  thread_local FrameArena arena;
+  return arena;
+}
+
+}  // namespace vqe

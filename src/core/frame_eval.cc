@@ -44,14 +44,23 @@ FrameEvalContext::FrameEvalContext(const VideoFrame& frame,
   // every evaluation.
   ref_index_ = BuildGroundTruthIndex(ref_gt);
   gt_index_ = BuildGroundTruthIndex(frame.objects);
-  // The pairwise-IoU tile pays off only for fusion methods whose IoU
-  // queries are raw-pair (NMS family, NMW, Consensus); WBF queries derived
-  // cluster boxes, so the tile would be pure construction overhead there.
+  // The SoA store is built for every fusion method: its per-class,
+  // presorted pools feed the grouped flatten of all 2^m − 1 mask
+  // evaluations. The pairwise-IoU tile on top of it pays off only for
+  // methods whose IoU queries are raw-pair (NMS family, NMW, Consensus);
+  // WBF queries derived cluster boxes, so the tile would be pure
+  // construction overhead there.
+  const int num_ids = AssignFrameDetIds(model_out_);
+  soa_ = FrameSoA(model_out_, num_ids);
   if (fusion.ConsumesIouCache()) {
-    const int num_ids = AssignFrameDetIds(model_out_);
-    iou_cache_ = PairwiseIouCache(model_out_, num_ids);
+    iou_cache_ = PairwiseIouCache(soa_);
   }
   inputs_.reserve(m);
+  // Warm the reused fused-output buffer: no fusion method emits more
+  // boxes than it was given, so the mask loop never regrows it.
+  size_t total_boxes = 0;
+  for (const auto& out : model_out_) total_boxes += out.size();
+  fused_scratch_.reserve(total_boxes);
 }
 
 double FrameEvalContext::FullEnsembleCostMs() const {
@@ -77,16 +86,16 @@ MaskEvaluation FrameEvalContext::Evaluate(EnsembleId mask,
     num_boxes += out_i.size();
     model_cost += model_cost_ms_[static_cast<size_t>(i)];
   }
-  const DetectionList fused =
-      fusion_->Fuse(DetectionListSpan(inputs_),
-                    iou_cache_.enabled() ? &iou_cache_ : nullptr);
+  fusion_->FuseInto(DetectionListSpan(inputs_),
+                    iou_cache_.enabled() ? &iou_cache_ : nullptr, &soa_,
+                    &fused_scratch_);
 
   MaskEvaluation e;
   e.fusion_overhead_ms = SimulatedFusionOverheadMs(num_boxes);
   e.cost_ms = model_cost + e.fusion_overhead_ms;
-  e.est_ap = FrameMeanAp(fused, ref_index_, options_->ap);
-  e.true_ap = FrameMeanAp(fused, gt_index_, options_->ap);
-  if (fused_out != nullptr) *fused_out = fused;
+  e.est_ap = FrameMeanAp(fused_scratch_, ref_index_, options_->ap);
+  e.true_ap = FrameMeanAp(fused_scratch_, gt_index_, options_->ap);
+  if (fused_out != nullptr) *fused_out = fused_scratch_;
   return e;
 }
 

@@ -15,6 +15,7 @@
 #include "core/ensemble_id.h"
 #include "core/frame_matrix.h"
 #include "detection/ap.h"
+#include "detection/frame_soa.h"
 #include "fusion/ensemble_method.h"
 #include "fusion/iou_cache.h"
 #include "models/model_zoo.h"
@@ -85,7 +86,16 @@ class FrameEvalContext {
 
   /// Fuses and scores one mask from the cached outputs. When `fused_out`
   /// is non-null it receives the fused detection list.
+  ///
+  /// Steady-state allocation-free: the fused output lands in a reused
+  /// member buffer (warmed to the frame's total box count at
+  /// construction), fusion/scoring scratch lives in the calling thread's
+  /// FrameArena, and the per-frame IoU tile was built up front.
   MaskEvaluation Evaluate(EnsembleId mask, DetectionList* fused_out = nullptr);
+
+  /// The frame's SoA detection store (empty unless the fusion method
+  /// consumes the IoU cache, which is when the tile kernel needs it).
+  const FrameSoA& soa() const { return soa_; }
 
  private:
   const MatrixOptions* options_;
@@ -98,8 +108,10 @@ class FrameEvalContext {
   double ref_cost_ms_ = 0.0;
   GroundTruthIndex ref_index_;
   GroundTruthIndex gt_index_;
+  FrameSoA soa_;
   PairwiseIouCache iou_cache_;
   std::vector<const DetectionList*> inputs_;  // scratch for Evaluate
+  DetectionList fused_scratch_;               // reused fused-output buffer
 };
 
 }  // namespace vqe

@@ -1,8 +1,8 @@
 #include "core/frame_matrix.h"
 
 #include <algorithm>
-#include <numeric>
 
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "core/frame_eval.h"
 
@@ -32,16 +32,23 @@ namespace {
 // score's maximum over the kept set equals its maximum over all masks.
 std::vector<EnsembleId> ParetoTrueCandidates(const FrameEvaluation& fe,
                                              uint32_t num_masks) {
-  std::vector<EnsembleId> order(num_masks);
-  std::iota(order.begin(), order.end(), EnsembleId{1});
-  std::sort(order.begin(), order.end(), [&](EnsembleId a, EnsembleId b) {
+  // The sweep order is arena scratch (the comparator is a strict total
+  // order — the tie-break on the mask id makes the sorted sequence unique,
+  // so an in-place std::sort is deterministic); only the surviving
+  // frontier, which the matrix keeps, touches the heap.
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+  EnsembleId* order = arena.AllocateArray<EnsembleId>(num_masks);
+  for (uint32_t i = 0; i < num_masks; ++i) order[i] = EnsembleId{i + 1};
+  std::sort(order, order + num_masks, [&](EnsembleId a, EnsembleId b) {
     if (fe.cost_ms[a] != fe.cost_ms[b]) return fe.cost_ms[a] < fe.cost_ms[b];
     if (fe.true_ap[a] != fe.true_ap[b]) return fe.true_ap[a] > fe.true_ap[b];
     return a < b;
   });
   std::vector<EnsembleId> frontier;
   double best_ap = -1.0;
-  for (EnsembleId mask : order) {
+  for (uint32_t i = 0; i < num_masks; ++i) {
+    const EnsembleId mask = order[i];
     if (fe.true_ap[mask] > best_ap) {
       best_ap = fe.true_ap[mask];
       frontier.push_back(mask);

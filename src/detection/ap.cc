@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <set>
+
+#include "common/arena.h"
 
 namespace vqe {
 
@@ -46,6 +49,117 @@ double EnvelopePrecisionAt(const std::vector<PrPoint>& envelope, double r) {
     if (p.recall >= r - 1e-12) return p.precision;
   }
   return 0.0;
+}
+
+// --- Arena twins of the PR pipeline -----------------------------------
+//
+// The scoring hot path (FrameMeanAp against a prebuilt index, thousands of
+// calls per frame) runs the same arithmetic as the public vector-based
+// functions but carves every transient from the calling thread's
+// FrameArena. Each stage mirrors its vector twin statement by statement,
+// so the results are bit-identical by construction.
+
+// PrecisionRecallCurve over arena match records, into an arena curve.
+struct ArenaCurve {
+  PrPoint* points = nullptr;
+  size_t size = 0;
+};
+
+ArenaCurve PrecisionRecallCurveArena(const DetectionMatch* matches,
+                                     size_t num_matches, size_t num_gt,
+                                     FrameArena& arena) {
+  ArenaCurve curve;
+  if (num_gt == 0) return curve;
+  curve.points = arena.AllocateArray<PrPoint>(num_matches);
+  size_t tp = 0;
+  size_t fp = 0;
+  for (size_t i = 0; i < num_matches; ++i) {
+    const DetectionMatch& m = matches[i];
+    if (m.ignored) continue;
+    if (m.is_tp) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+    PrPoint* p = new (curve.points + curve.size++) PrPoint();
+    p->recall = static_cast<double>(tp) / static_cast<double>(num_gt);
+    p->precision = static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+  return curve;
+}
+
+// IntegratePrCurve, with the monotone envelope applied in place (the
+// vector twin's copy carries exactly these values).
+double IntegratePrCurveArena(const ArenaCurve& curve,
+                             ApInterpolation interpolation) {
+  if (curve.size == 0) return 0.0;
+  PrPoint* env = curve.points;
+  const size_t n = curve.size;
+  for (size_t i = n; i-- > 1;) {
+    env[i - 1].precision = std::max(env[i - 1].precision, env[i].precision);
+  }
+  const auto envelope_at = [env, n](double r) {
+    for (size_t i = 0; i < n; ++i) {
+      if (env[i].recall >= r - 1e-12) return env[i].precision;
+    }
+    return 0.0;
+  };
+
+  switch (interpolation) {
+    case ApInterpolation::kContinuous: {
+      double ap = 0.0;
+      double prev_recall = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        ap += (env[i].recall - prev_recall) * env[i].precision;
+        prev_recall = env[i].recall;
+      }
+      return ap;
+    }
+    case ApInterpolation::k101Point: {
+      double sum = 0.0;
+      for (int i = 0; i <= 100; ++i) {
+        sum += envelope_at(i / 100.0);
+      }
+      return sum / 101.0;
+    }
+    case ApInterpolation::k11Point: {
+      double sum = 0.0;
+      for (int i = 0; i <= 10; ++i) {
+        sum += envelope_at(i / 10.0);
+      }
+      return sum / 11.0;
+    }
+  }
+  return 0.0;
+}
+
+// SingleClassAp over a class-filtered arena run of detections.
+double SingleClassApArena(const Detection* detections, size_t n,
+                          const GroundTruthList& ground_truth,
+                          const ApOptions& options, FrameArena& arena) {
+  size_t num_gt = 0;
+  for (const auto& g : ground_truth) {
+    if (!g.difficult) ++num_gt;
+  }
+  if (num_gt == 0) {
+    // No evaluable objects of this class: perfect iff every detection is
+    // ignorable (matched a difficult box) or absent.
+    if (n == 0) return 1.0;
+    ArenaScope scope(arena);
+    const detail::ArenaMatchResult mr = detail::MatchDetectionsArena(
+        detections, n, ground_truth, options.iou_threshold, arena);
+    for (size_t i = 0; i < mr.size; ++i) {
+      if (!mr.matches[i].ignored) return 0.0;
+    }
+    return 1.0;
+  }
+  if (n == 0) return 0.0;
+  ArenaScope scope(arena);
+  const detail::ArenaMatchResult mr = detail::MatchDetectionsArena(
+      detections, n, ground_truth, options.iou_threshold, arena);
+  const ArenaCurve curve =
+      PrecisionRecallCurveArena(mr.matches, mr.size, mr.num_gt, arena);
+  return IntegratePrCurveArena(curve, options.interpolation);
 }
 
 }  // namespace
@@ -145,22 +259,41 @@ double FrameMeanAp(const DetectionList& detections,
 double FrameMeanAp(const DetectionList& detections,
                    const GroundTruthIndex& ground_truth,
                    const ApOptions& options) {
-  std::set<ClassId> classes;
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+
+  // Union of evaluable-GT classes and detected classes, ascending — the
+  // iteration order the historical std::set produced, as a sorted-unique
+  // arena array.
+  const size_t cap = ground_truth.classes.size() + detections.size();
+  if (cap == 0) return 1.0;  // nothing to detect, nothing predicted
+  ClassId* labels = arena.AllocateArray<ClassId>(cap);
+  size_t k = 0;
   for (const auto& e : ground_truth.classes) {
-    if (e.has_evaluable) classes.insert(e.label);
+    if (e.has_evaluable) labels[k++] = e.label;
   }
-  for (const auto& d : detections) classes.insert(d.label);
+  for (const auto& d : detections) labels[k++] = d.label;
+  std::sort(labels, labels + k);
+  const size_t num_classes =
+      static_cast<size_t>(std::unique(labels, labels + k) - labels);
+  if (num_classes == 0) return 1.0;
 
-  if (classes.empty()) return 1.0;  // nothing to detect, nothing predicted
-
+  // Class-filter scratch, refilled per class in input order (the order
+  // FilterByClass preserved).
+  Detection* cls_dets = arena.AllocateArray<Detection>(detections.size());
   static const GroundTruthList kNoGt;
   double sum = 0.0;
-  for (ClassId cls : classes) {
+  for (size_t c = 0; c < num_classes; ++c) {
+    const ClassId cls = labels[c];
+    size_t n = 0;
+    for (const auto& d : detections) {
+      if (d.label == cls) new (cls_dets + n++) Detection(d);
+    }
     const auto* entry = ground_truth.Find(cls);
     const GroundTruthList& cls_gt = entry != nullptr ? entry->boxes : kNoGt;
-    sum += SingleClassAp(FilterByClass(detections, cls), cls_gt, options);
+    sum += SingleClassApArena(cls_dets, n, cls_gt, options, arena);
   }
-  return sum / static_cast<double>(classes.size());
+  return sum / static_cast<double>(num_classes);
 }
 
 GroundTruthList DetectionsAsGroundTruth(const DetectionList& reference,

@@ -77,6 +77,19 @@ inline double IoU(const BBox& a, const BBox& b) {
   return uni <= 0.0 ? 0.0 : inter / uni;
 }
 
+/// IoU with the operands' areas supplied by the caller. Bit-identical to
+/// IoU(a, b) whenever area_a == a.Area() and area_b == b.Area(): the
+/// intersection and union fold the same expressions in the same order, so
+/// hot loops that compare one box against many can hoist the Area() calls
+/// out of the pair sweep without perturbing a single result.
+inline double IoUWithAreas(const BBox& a, double area_a, const BBox& b,
+                           double area_b) {
+  const double inter = IntersectionArea(a, b);
+  if (inter <= 0.0) return 0.0;
+  const double uni = area_a + area_b - inter;
+  return uni <= 0.0 ? 0.0 : inter / uni;
+}
+
 /// Intersection-over-smaller-area ("overlap coefficient"), used by some
 /// fusion variants to merge nested boxes aggressively.
 inline double IoMin(const BBox& a, const BBox& b) {

@@ -38,6 +38,43 @@ struct Detection {
 /// All detections on one frame, in no particular order.
 using DetectionList = std::vector<Detection>;
 
+/// Non-owning view of per-model detection lists (the inputs of
+/// EnsembleMethod::Fuse): either a contiguous array of lists or an array
+/// of list pointers. Lets callers assemble an ensemble's inputs from
+/// cached per-model outputs without deep-copying a single detection (the
+/// hot path of matrix construction fuses the same m lists under 2^m − 1
+/// masks). The referenced lists must outlive the span.
+class DetectionListSpan {
+ public:
+  DetectionListSpan() = default;
+  /// View over an owning vector of lists.
+  DetectionListSpan(const std::vector<DetectionList>& lists)
+      : contiguous_(lists.data()), size_(lists.size()) {}
+  /// View over a vector of non-null list pointers.
+  DetectionListSpan(const std::vector<const DetectionList*>& ptrs)
+      : indirect_(ptrs.data()), size_(ptrs.size()) {}
+  /// View over `n` contiguous lists starting at `data`, which must outlive
+  /// the span.
+  DetectionListSpan(const DetectionList* data, size_t n)
+      : contiguous_(data), size_(n) {}
+  // There is deliberately no initializer_list constructor: one would store
+  // lists.begin() and dangle the moment a braced list is bound to a named
+  // span. Braced calls like Fuse({a, b}) instead go through the non-virtual
+  // EnsembleMethod::Fuse(initializer_list) overload, whose backing array is
+  // guaranteed to outlive the nested virtual call.
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const DetectionList& operator[](size_t i) const {
+    return contiguous_ != nullptr ? contiguous_[i] : *indirect_[i];
+  }
+
+ private:
+  const DetectionList* contiguous_ = nullptr;
+  const DetectionList* const* indirect_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// A ground-truth object instance on a frame.
 struct GroundTruthBox {
   BBox box;

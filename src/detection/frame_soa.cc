@@ -1,0 +1,107 @@
+#include "detection/frame_soa.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace vqe {
+
+FrameSoA::FrameSoA(const std::vector<DetectionList>& per_model, int num_ids)
+    : source_(&per_model) {
+  if (num_ids <= 0) return;
+  num_ids_ = num_ids;
+  const size_t n = static_cast<size_t>(num_ids);
+  x1_.assign(n, 0.0);
+  y1_.assign(n, 0.0);
+  x2_.assign(n, 0.0);
+  y2_.assign(n, 0.0);
+  score_.assign(n, 0.0);
+  area_.assign(n, 0.0);
+  label_.assign(n, 0);
+  model_.assign(n, -1);
+  filled_.assign(n, 0);
+
+  // Scatter each detection into its id slot, later writers winning — the
+  // same id→detection resolution the tile's historical by_id map applied.
+  // `src_list`/`src_ptr` record the winning writer's source-list index and
+  // address for the packed provenance arrays below.
+  std::vector<int32_t> src_list(n, -1);
+  std::vector<const Detection*> src_ptr(n, nullptr);
+  for (size_t li = 0; li < per_model.size(); ++li) {
+    for (const auto& d : per_model[li]) {
+      if (d.frame_det_id < 0 || d.frame_det_id >= num_ids_) continue;
+      const size_t i = static_cast<size_t>(d.frame_det_id);
+      x1_[i] = d.box.x1;
+      y1_[i] = d.box.y1;
+      x2_[i] = d.box.x2;
+      y2_[i] = d.box.y2;
+      score_[i] = d.confidence;
+      area_[i] = d.box.Area();
+      label_[i] = d.label;
+      model_[i] = d.model_index;
+      filled_[i] = 1;
+      src_list[i] = static_cast<int32_t>(li);
+      src_ptr[i] = &d;
+    }
+  }
+
+  // Pack the filled ids into ascending-(label, id) order and record each
+  // class's run. Ids are unique keys, so plain sort is deterministic.
+  packed_id_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (filled_[i] != 0) packed_id_.push_back(static_cast<int32_t>(i));
+  }
+  std::sort(packed_id_.begin(), packed_id_.end(),
+            [this](int32_t a, int32_t b) {
+              const int32_t la = label_[static_cast<size_t>(a)];
+              const int32_t lb = label_[static_cast<size_t>(b)];
+              if (la != lb) return la < lb;
+              return a < b;
+            });
+
+  const size_t p = packed_id_.size();
+  packed_x1_.resize(p);
+  packed_y1_.resize(p);
+  packed_x2_.resize(p);
+  packed_y2_.resize(p);
+  packed_area_.resize(p);
+  packed_list_.resize(p);
+  packed_src_.resize(p);
+  for (size_t s = 0; s < p; ++s) {
+    const size_t i = static_cast<size_t>(packed_id_[s]);
+    packed_x1_[s] = x1_[i];
+    packed_y1_[s] = y1_[i];
+    packed_x2_[s] = x2_[i];
+    packed_y2_[s] = y2_[i];
+    packed_area_[s] = area_[i];
+    packed_list_[s] = src_list[i];
+    packed_src_[s] = src_ptr[i];
+    const ClassId cls = label_[i];
+    if (blocks_.empty() || blocks_.back().label != cls) {
+      blocks_.push_back(LabelBlock{cls, s, s + 1});
+    } else {
+      blocks_.back().end = s + 1;
+    }
+  }
+
+  // Per-block stable descending-score order, computed once per frame.
+  // AssignFrameDetIds hands out ids monotonically in (list, position)
+  // order, so packed (id-ascending) order within a block IS the
+  // model-major flatten order fusion pools in — a stable sort over it
+  // produces exactly the tie-breaks the per-mask SortGroupDesc produced,
+  // and stays exact under any subset filter (stable-sort-then-filter ==
+  // filter-then-stable-sort).
+  sorted_slot_.resize(p);
+  for (size_t s = 0; s < p; ++s) sorted_slot_[s] = static_cast<int32_t>(s);
+  for (const LabelBlock& block : blocks_) {
+    std::stable_sort(sorted_slot_.begin() + static_cast<std::ptrdiff_t>(block.begin),
+                     sorted_slot_.begin() + static_cast<std::ptrdiff_t>(block.end),
+                     [this](int32_t a, int32_t b) {
+                       return score_[static_cast<size_t>(packed_id_[
+                                  static_cast<size_t>(a)])] >
+                              score_[static_cast<size_t>(packed_id_[
+                                  static_cast<size_t>(b)])];
+                     });
+  }
+}
+
+}  // namespace vqe

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/arena.h"
 #include "detection/detection.h"
 
 namespace vqe {
@@ -46,6 +47,25 @@ struct MatchResult {
 MatchResult MatchDetections(const DetectionList& detections,
                             const GroundTruthList& ground_truth,
                             double iou_threshold);
+
+namespace detail {
+
+/// MatchDetections with every transient (sort order, claim flags, the
+/// match records themselves) carved from `arena`. The per-frame scoring
+/// hot path runs thousands of matchings per frame; this variant performs
+/// zero heap allocations. The returned records live in `arena` and die
+/// with the caller's ArenaScope. Bit-identical to MatchDetections (which
+/// delegates here).
+struct ArenaMatchResult {
+  const DetectionMatch* matches = nullptr;  // descending confidence
+  size_t size = 0;
+  size_t num_gt = 0;
+};
+ArenaMatchResult MatchDetectionsArena(const Detection* detections, size_t n,
+                                      const GroundTruthList& ground_truth,
+                                      double iou_threshold, FrameArena& arena);
+
+}  // namespace detail
 
 }  // namespace vqe
 

@@ -22,9 +22,8 @@ class ConsensusFusion : public EnsembleMethod {
  public:
   explicit ConsensusFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Fusion"; }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
   bool ConsumesIouCache() const override { return true; }
 
  private:

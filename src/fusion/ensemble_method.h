@@ -21,6 +21,7 @@
 namespace vqe {
 
 class PairwiseIouCache;  // fusion/iou_cache.h
+class FrameSoA;          // detection/frame_soa.h
 
 /// Identifier of a fusion algorithm.
 enum class FusionKind {
@@ -39,42 +40,9 @@ const char* FusionKindToString(FusionKind kind);
 /// Parses a case-insensitive name ("wbf", "soft-nms", ...).
 Result<FusionKind> FusionKindFromString(const std::string& name);
 
-/// Non-owning view of the per-model detection lists handed to Fuse: either
-/// a contiguous array of lists or an array of list pointers. Lets callers
-/// assemble an ensemble's inputs from cached per-model outputs without
-/// deep-copying a single detection (the hot path of matrix construction
-/// fuses the same m lists under 2^m − 1 masks). The referenced lists must
-/// outlive the span.
-class DetectionListSpan {
- public:
-  DetectionListSpan() = default;
-  /// View over an owning vector of lists.
-  DetectionListSpan(const std::vector<DetectionList>& lists)
-      : contiguous_(lists.data()), size_(lists.size()) {}
-  /// View over a vector of non-null list pointers.
-  DetectionListSpan(const std::vector<const DetectionList*>& ptrs)
-      : indirect_(ptrs.data()), size_(ptrs.size()) {}
-  /// View over `n` contiguous lists starting at `data`, which must outlive
-  /// the span.
-  DetectionListSpan(const DetectionList* data, size_t n)
-      : contiguous_(data), size_(n) {}
-  // There is deliberately no initializer_list constructor: one would store
-  // lists.begin() and dangle the moment a braced list is bound to a named
-  // span. Braced calls like Fuse({a, b}) instead go through the non-virtual
-  // EnsembleMethod::Fuse(initializer_list) overload, whose backing array is
-  // guaranteed to outlive the nested virtual call.
-
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  const DetectionList& operator[](size_t i) const {
-    return contiguous_ != nullptr ? contiguous_[i] : *indirect_[i];
-  }
-
- private:
-  const DetectionList* contiguous_ = nullptr;
-  const DetectionList* const* indirect_ = nullptr;
-  size_t size_ = 0;
-};
+// DetectionListSpan (the non-owning per-model input view of Fuse) lives in
+// detection/detection.h alongside DetectionList, so SoA frame stores and
+// other detection-layer code can speak it without depending on fusion.
 
 /// Strategy interface for combining per-model detections into one list.
 class EnsembleMethod {
@@ -83,21 +51,44 @@ class EnsembleMethod {
 
   virtual std::string name() const = 0;
 
-  /// Fuses the outputs of the ensemble's models on one frame.
+  /// Fuses the outputs of the ensemble's models on one frame into `*out`
+  /// (cleared first, capacity kept — the hot path hands the same buffer
+  /// to thousands of calls and steady-state performs zero heap
+  /// allocations; transient scratch lives in the calling thread's
+  /// FrameArena).
   ///
   /// `per_model` holds one detection list per model in the ensemble (order
   /// is irrelevant to correctness but kept stable for determinism). The
   /// result is a single detection list with `model_index == -1` and
   /// `frame_det_id == -1`. Implementations are stateless and safe to call
-  /// concurrently.
+  /// concurrently (per-thread arenas never alias).
   ///
   /// `iou` is an optional per-frame pairwise-IoU tile over the *raw* input
   /// detections (see fusion/iou_cache.h). Methods that report
   /// ConsumesIouCache() read raw-pair IoUs through it (bit-identical to
   /// recomputation, by the cache's contract); others ignore it. Pass
   /// nullptr when no cache is available.
-  virtual DetectionList Fuse(DetectionListSpan per_model,
-                             const PairwiseIouCache* iou) const = 0;
+  ///
+  /// `soa` is an optional per-frame SoA store over the *same* cached
+  /// per-model outputs (detection/frame_soa.h), built right after
+  /// AssignFrameDetIds. When present, the grouped flatten filters the
+  /// store's precomputed per-class, presorted pools instead of re-pooling
+  /// and re-sorting per call — bit-identical by the stable-sort filter
+  /// lemma, and verified cheap to decline (implementations fall back to
+  /// the generic flatten whenever the span doesn't map onto the store).
+  /// Pass nullptr when no store is available.
+  virtual void FuseInto(DetectionListSpan per_model,
+                        const PairwiseIouCache* iou, const FrameSoA* soa,
+                        DetectionList* out) const = 0;
+
+  /// Value-returning convenience over FuseInto (one allocation per call;
+  /// hot paths reuse an output buffer via FuseInto instead).
+  DetectionList Fuse(DetectionListSpan per_model,
+                     const PairwiseIouCache* iou) const {
+    DetectionList out;
+    FuseInto(per_model, iou, /*soa=*/nullptr, &out);
+    return out;
+  }
 
   /// Cache-less convenience overload.
   DetectionList Fuse(DetectionListSpan per_model) const {
@@ -108,8 +99,7 @@ class EnsembleMethod {
   /// list's backing array lives for the caller's full expression, which
   /// covers the nested virtual call — safe by construction, unlike a
   /// span over a braced list bound to a named variable (which is why
-  /// DetectionListSpan has no initializer_list constructor). Overriders
-  /// pull this overload back in with `using EnsembleMethod::Fuse;`.
+  /// DetectionListSpan has no initializer_list constructor).
   DetectionList Fuse(std::initializer_list<DetectionList> lists) const {
     return Fuse(DetectionListSpan(lists.begin(), lists.size()), nullptr);
   }

@@ -21,6 +21,8 @@
 
 namespace vqe {
 
+class FrameSoA;  // detection/frame_soa.h
+
 /// Assigns ascending frame-local ids (Detection::frame_det_id) across all
 /// detections of the per-model lists, in list-then-element order. Returns
 /// the total number of ids assigned.
@@ -40,9 +42,16 @@ class PairwiseIouCache {
   /// An empty, disabled cache: Get always recomputes.
   PairwiseIouCache() = default;
 
+  /// Builds the tile from a frame's SoA detection store: the fast path.
+  /// Same-label pairs are swept one label block at a time over the store's
+  /// packed coordinate lanes — branch-light, unit-stride, vectorizable —
+  /// while honouring the bit-identity contract above.
+  explicit PairwiseIouCache(const FrameSoA& soa);
+
   /// Builds the tile over `per_model`, whose detections must carry the ids
   /// a prior AssignFrameDetIds(per_model) assigned; `num_ids` is its
-  /// return value.
+  /// return value. Convenience wrapper: materializes a FrameSoA and runs
+  /// the block kernel over it.
   PairwiseIouCache(const std::vector<DetectionList>& per_model, int num_ids);
 
   bool enabled() const { return n_ > 0; }

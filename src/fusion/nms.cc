@@ -2,102 +2,129 @@
 
 #include <cmath>
 
+#include "common/arena.h"
 #include "fusion/fusion_internal.h"
 
 namespace vqe {
 
 using fusion_internal::CachedIoU;
-using fusion_internal::PoolByClass;
-using fusion_internal::SortDesc;
+using fusion_internal::ClassGroup;
+using fusion_internal::GroupByClass;
+using fusion_internal::SortGroupDesc;
 
-DetectionList NmsFusion::Fuse(DetectionListSpan per_model,
-                              const PairwiseIouCache* iou) const {
-  DetectionList out;
-  for (auto& [cls, pooled] : PoolByClass(per_model)) {
-    DetectionList dets = pooled;
-    SortDesc(&dets);
-    std::vector<bool> suppressed(dets.size(), false);
-    for (size_t i = 0; i < dets.size(); ++i) {
+void NmsFusion::FuseInto(DetectionListSpan per_model,
+                         const PairwiseIouCache* iou, const FrameSoA* soa,
+                         DetectionList* out) const {
+  out->clear();
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+  const auto groups =
+      GroupByClass(per_model, arena, nullptr, soa, /*sorted=*/true);
+  for (const ClassGroup& group : groups) {
+    Detection* dets = group.dets;
+    const size_t n = group.size;
+    if (!groups.presorted) SortGroupDesc(group, arena);
+    uint8_t* suppressed = arena.AllocateArray<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) suppressed[i] = 0;
+    for (size_t i = 0; i < n; ++i) {
       if (suppressed[i]) continue;
       Detection kept = dets[i];
       kept.model_index = -1;
       kept.frame_det_id = -1;
-      if (kept.confidence >= options_.score_threshold) out.push_back(kept);
-      for (size_t j = i + 1; j < dets.size(); ++j) {
+      if (kept.confidence >= options_.score_threshold) out->push_back(kept);
+      for (size_t j = i + 1; j < n; ++j) {
         if (suppressed[j]) continue;
         if (CachedIoU(iou, dets[i], dets[j]) > options_.iou_threshold) {
-          suppressed[j] = true;
+          suppressed[j] = 1;
         }
       }
     }
   }
-  return out;
 }
 
-DetectionList SoftNmsFusion::Fuse(DetectionListSpan per_model,
-                                  const PairwiseIouCache* iou) const {
+void SoftNmsFusion::FuseInto(DetectionListSpan per_model,
+                             const PairwiseIouCache* iou, const FrameSoA* soa,
+                             DetectionList* out) const {
   // Drop decayed boxes below this floor even when the caller sets a zero
   // score_threshold, matching the reference implementation's behaviour.
   const double floor =
       options_.score_threshold > 0.0 ? options_.score_threshold : 1e-3;
 
-  DetectionList out;
-  for (auto& [cls, pooled] : PoolByClass(per_model)) {
-    DetectionList remaining = pooled;
-    while (!remaining.empty()) {
-      // Select the current maximum-score box.
+  out->clear();
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+  // Soft-NMS needs its pools in model-major input order (its argmax scan's
+  // first-of-equals tie-break depends on it), so the SoA path is asked for
+  // the unsorted grouping.
+  for (const ClassGroup& group :
+       GroupByClass(per_model, arena, nullptr, soa, /*sorted=*/false)) {
+    // The group's detections are this kernel's working set, edited in
+    // place: `rem` is the live prefix (the historical `remaining` list).
+    Detection* dets = group.dets;
+    size_t rem = group.size;
+    while (rem > 0) {
+      // Select the current maximum-score box (first of equals, as the
+      // historical strict-> scan did).
       size_t best = 0;
-      for (size_t i = 1; i < remaining.size(); ++i) {
-        if (remaining[i].confidence > remaining[best].confidence) best = i;
+      for (size_t i = 1; i < rem; ++i) {
+        if (dets[i].confidence > dets[best].confidence) best = i;
       }
       // `kept` retains its frame_det_id for the decay loop's cached IoU
       // queries (its box is the raw input box); the emitted copy resets
       // the fusion-output identity fields.
-      const Detection kept = remaining[best];
-      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+      const Detection kept = dets[best];
+      for (size_t i = best; i + 1 < rem; ++i) dets[i] = dets[i + 1];
+      --rem;
       if (kept.confidence < floor) continue;
       Detection emitted = kept;
       emitted.model_index = -1;
       emitted.frame_det_id = -1;
-      out.push_back(emitted);
+      out->push_back(emitted);
 
-      // Decay the scores of overlapping survivors.
-      DetectionList next;
-      next.reserve(remaining.size());
-      for (auto& d : remaining) {
-        const double overlap = CachedIoU(iou, kept, d);
-        double decayed = d.confidence;
+      // Decay the scores of overlapping survivors, compacting in place —
+      // the same survivor order the historical rebuilt `next` list kept.
+      size_t w = 0;
+      for (size_t i = 0; i < rem; ++i) {
+        const double overlap = CachedIoU(iou, kept, dets[i]);
+        double decayed = dets[i].confidence;
         if (decay_ == Decay::kLinear) {
           if (overlap > options_.iou_threshold) decayed *= (1.0 - overlap);
         } else {
           decayed *= std::exp(-(overlap * overlap) / options_.sigma);
         }
         if (decayed >= floor) {
-          d.confidence = decayed;
-          next.push_back(d);
+          dets[w] = dets[i];
+          dets[w].confidence = decayed;
+          ++w;
         }
       }
-      remaining = std::move(next);
+      rem = w;
     }
   }
-  return out;
 }
 
-DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model,
-                                    const PairwiseIouCache* iou) const {
+void SofterNmsFusion::FuseInto(DetectionListSpan per_model,
+                               const PairwiseIouCache* iou,
+                               const FrameSoA* soa, DetectionList* out) const {
   constexpr double kVarianceEpsilon = 1e-3;
-  DetectionList out;
-  for (auto& [cls, pooled] : PoolByClass(per_model)) {
-    DetectionList dets = pooled;
-    SortDesc(&dets);
-    std::vector<bool> suppressed(dets.size(), false);
-    for (size_t i = 0; i < dets.size(); ++i) {
+  out->clear();
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+  const auto groups =
+      GroupByClass(per_model, arena, nullptr, soa, /*sorted=*/true);
+  for (const ClassGroup& group : groups) {
+    Detection* dets = group.dets;
+    const size_t n = group.size;
+    if (!groups.presorted) SortGroupDesc(group, arena);
+    uint8_t* suppressed = arena.AllocateArray<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) suppressed[i] = 0;
+    for (size_t i = 0; i < n; ++i) {
       if (suppressed[i]) continue;
       // Variance voting: average the coordinates of all boxes overlapping
       // the selected one, weighted by exp(-(1-IoU)^2/sigma) / variance.
       double wsum = 0.0;
       BBox voted{0, 0, 0, 0};
-      for (size_t j = 0; j < dets.size(); ++j) {
+      for (size_t j = 0; j < n; ++j) {
         const double overlap = CachedIoU(iou, dets[i], dets[j]);
         const bool is_self = j == i;
         if (!is_self && overlap <= options_.iou_threshold) continue;
@@ -113,7 +140,7 @@ DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model,
         voted.x2 += w * dets[j].box.x2;
         voted.y2 += w * dets[j].box.y2;
         wsum += w;
-        if (!is_self && overlap > options_.iou_threshold) suppressed[j] = true;
+        if (!is_self && overlap > options_.iou_threshold) suppressed[j] = 1;
       }
       Detection kept = dets[i];
       if (wsum > 0.0) {
@@ -122,10 +149,9 @@ DetectionList SofterNmsFusion::Fuse(DetectionListSpan per_model,
       }
       kept.model_index = -1;
       kept.frame_det_id = -1;
-      if (kept.confidence >= options_.score_threshold) out.push_back(kept);
+      if (kept.confidence >= options_.score_threshold) out->push_back(kept);
     }
   }
-  return out;
 }
 
 }  // namespace vqe

@@ -16,9 +16,8 @@ class NmsFusion : public EnsembleMethod {
  public:
   explicit NmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMS"; }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
   bool ConsumesIouCache() const override { return true; }
 
  private:
@@ -38,9 +37,8 @@ class SoftNmsFusion : public EnsembleMethod {
   std::string name() const override {
     return decay_ == Decay::kLinear ? "Soft-NMS(linear)" : "Soft-NMS(gauss)";
   }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
   bool ConsumesIouCache() const override { return true; }
 
  private:
@@ -57,9 +55,8 @@ class SofterNmsFusion : public EnsembleMethod {
  public:
   explicit SofterNmsFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "Softer-NMS"; }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
   bool ConsumesIouCache() const override { return true; }
 
  private:

@@ -1,29 +1,39 @@
 #include "fusion/nmw.h"
 
+#include "common/arena.h"
 #include "fusion/fusion_internal.h"
 
 namespace vqe {
 
 using fusion_internal::CachedIoU;
-using fusion_internal::PoolByClass;
-using fusion_internal::SortDesc;
+using fusion_internal::ClassGroup;
+using fusion_internal::GroupByClass;
+using fusion_internal::SortDescArena;
+using fusion_internal::SortGroupDesc;
 
-DetectionList NmwFusion::Fuse(DetectionListSpan per_model,
-                              const PairwiseIouCache* iou) const {
-  DetectionList out;
-  for (auto& [cls, pooled] : PoolByClass(per_model)) {
-    DetectionList dets = pooled;
-    SortDesc(&dets);
-    std::vector<bool> used(dets.size(), false);
-    for (size_t i = 0; i < dets.size(); ++i) {
+void NmwFusion::FuseInto(DetectionListSpan per_model,
+                         const PairwiseIouCache* iou, const FrameSoA* soa,
+                         DetectionList* out) const {
+  out->clear();
+  FrameArena& arena = FrameArena::ThreadLocal();
+  ArenaScope scope(arena);
+  const auto groups =
+      GroupByClass(per_model, arena, nullptr, soa, /*sorted=*/true);
+  for (const ClassGroup& group : groups) {
+    Detection* dets = group.dets;
+    const size_t n = group.size;
+    if (!groups.presorted) SortGroupDesc(group, arena);
+    uint8_t* used = arena.AllocateArray<uint8_t>(n);
+    for (size_t i = 0; i < n; ++i) used[i] = 0;
+    for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
-      used[i] = true;
+      used[i] = 1;
 
       // Gather the cluster: every unused box overlapping the top box.
       double wsum = 0.0;
       double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
-      auto accumulate = [&](const Detection& d, double iou) {
-        const double w = d.confidence * iou;
+      auto accumulate = [&](const Detection& d, double overlap) {
+        const double w = d.confidence * overlap;
         x1 += w * d.box.x1;
         y1 += w * d.box.y1;
         x2 += w * d.box.x2;
@@ -31,11 +41,11 @@ DetectionList NmwFusion::Fuse(DetectionListSpan per_model,
         wsum += w;
       };
       accumulate(dets[i], 1.0);  // the top box votes with IoU 1 to itself
-      for (size_t j = i + 1; j < dets.size(); ++j) {
+      for (size_t j = i + 1; j < n; ++j) {
         if (used[j]) continue;
         const double overlap = CachedIoU(iou, dets[i], dets[j]);
         if (overlap > options_.iou_threshold) {
-          used[j] = true;
+          used[j] = 1;
           accumulate(dets[j], overlap);
         }
       }
@@ -46,11 +56,10 @@ DetectionList NmwFusion::Fuse(DetectionListSpan per_model,
       }
       fused.model_index = -1;
       fused.frame_det_id = -1;
-      if (fused.confidence >= options_.score_threshold) out.push_back(fused);
+      if (fused.confidence >= options_.score_threshold) out->push_back(fused);
     }
   }
-  SortDesc(&out);
-  return out;
+  SortDescArena(out, arena);
 }
 
 }  // namespace vqe

@@ -15,9 +15,8 @@ class NmwFusion : public EnsembleMethod {
  public:
   explicit NmwFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "NMW"; }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
   bool ConsumesIouCache() const override { return true; }
 
  private:

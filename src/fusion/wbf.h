@@ -23,9 +23,8 @@ class WbfFusion : public EnsembleMethod {
  public:
   explicit WbfFusion(const FusionOptions& options) : options_(options) {}
   std::string name() const override { return "WBF"; }
-  using EnsembleMethod::Fuse;
-  DetectionList Fuse(DetectionListSpan per_model,
-                     const PairwiseIouCache* iou) const override;
+  void FuseInto(DetectionListSpan per_model, const PairwiseIouCache* iou,
+                const FrameSoA* soa, DetectionList* out) const override;
 
  private:
   FusionOptions options_;

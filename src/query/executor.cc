@@ -14,6 +14,7 @@
 #include "core/mes.h"
 #include "core/mes_b.h"
 #include "detection/ap.h"
+#include "detection/frame_soa.h"
 #include "fusion/iou_cache.h"
 #include "models/model_zoo.h"
 #include "query/parser.h"
@@ -428,6 +429,14 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   std::vector<double> est_score(num_masks + 1);
   const double nan = std::numeric_limits<double>::quiet_NaN();
   std::vector<DetectionList> model_out(static_cast<size_t>(m));
+  // Steady-state scratch for the per-frame subset-fusion loop: the input
+  // span, the fused-output buffer FuseInto refills, and (when the fusion
+  // method consumes it) the SoA store behind the pairwise-IoU tile. All
+  // reused across frames so the serving loop stops allocating once these
+  // have warmed up.
+  std::vector<const DetectionList*> inputs;
+  inputs.reserve(static_cast<size_t>(m));
+  DetectionList fused;
 
   // Checkpointing: fingerprint the query configuration, then try to resume
   // from the newest good generation in the checkpoint directory.
@@ -560,13 +569,12 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       if (strategy->UsesReferenceModel()) {
         ref_index = BuildGroundTruthIndex(ref_gt);
       }
+      const int num_ids = AssignFrameDetIds(model_out);
+      const FrameSoA frame_soa(model_out, num_ids);
       PairwiseIouCache iou_tile;
       if (fusion->ConsumesIouCache()) {
-        const int num_ids = AssignFrameDetIds(model_out);
-        iou_tile = PairwiseIouCache(model_out, num_ids);
+        iou_tile = PairwiseIouCache(frame_soa);
       }
-      std::vector<const DetectionList*> inputs;
-      inputs.reserve(static_cast<size_t>(m));
       ForEachSubset(realized, [&](EnsembleId sub) {
         inputs.clear();
         size_t boxes = 0;
@@ -578,8 +586,8 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
           boxes += out_i.size();
           cost += model_cost[static_cast<size_t>(i)];
         }
-        DetectionList fused =
-            fusion->Fuse(DetectionListSpan(inputs), &iou_tile);
+        fusion->FuseInto(DetectionListSpan(inputs), &iou_tile, &frame_soa,
+                         &fused);
         const double overhead = SimulatedFusionOverheadMs(boxes);
         frame_cost += overhead;
         cost += overhead;
@@ -590,7 +598,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
           est_score[sub] = options.sc.Score(
               est_ap, full_bound > 0 ? cost / full_bound : 0.0);
         }
-        if (sub == realized) selected_fused = std::move(fused);
+        if (sub == realized) selected_fused = fused;
       });
       out.charged_cost_ms += frame_cost;
 

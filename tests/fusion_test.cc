@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "detection/ap.h"
+#include "detection/frame_soa.h"
 #include "fusion/consensus.h"
 #include "fusion/ensemble_method.h"
 #include "fusion/iou_cache.h"
@@ -479,6 +480,234 @@ TEST_P(FusionPropertyTest, CachedIouMatchesUncached) {
       }
     }
   }
+}
+
+// Reusing one output buffer across FuseInto calls must leave no trace of
+// prior contents: the hot path hands every fusion call the same reserved
+// DetectionList, so stale results from another mask or frame must be
+// indistinguishable from a fresh Fuse.
+TEST_P(FusionPropertyTest, FuseIntoReusedBufferMatchesFreshFuse) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  Rng rng(91);
+  DetectionList reused;
+  reused.push_back(Det(1, 2, 3, 4, 0.5));  // stale junk from a "previous" call
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    for (auto& list : inputs) {
+      const int n = static_cast<int>(rng.UniformInt(6));
+      for (int i = 0; i < n; ++i) {
+        auto d = Det(rng.Uniform(0, 100), rng.Uniform(0, 100),
+                     rng.Uniform(10, 40), rng.Uniform(10, 40),
+                     rng.Uniform(0.1, 1.0), rng.UniformInt(2));
+        d.box_variance = rng.Uniform(0.1, 10.0);
+        list.push_back(d);
+      }
+    }
+    const auto fresh = (*method)->Fuse(inputs);
+
+    std::vector<const DetectionList*> ptrs;
+    for (const auto& list : inputs) ptrs.push_back(&list);
+    (*method)->FuseInto(DetectionListSpan(ptrs), nullptr, nullptr, &reused);
+
+    ASSERT_EQ(fresh.size(), reused.size());
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(fresh[i].confidence, reused[i].confidence);
+      EXPECT_EQ(fresh[i].label, reused[i].label);
+      EXPECT_EQ(fresh[i].box.x1, reused[i].box.x1);
+      EXPECT_EQ(fresh[i].box.y1, reused[i].box.y1);
+      EXPECT_EQ(fresh[i].box.x2, reused[i].box.x2);
+      EXPECT_EQ(fresh[i].box.y2, reused[i].box.y2);
+      EXPECT_EQ(fresh[i].box_variance, reused[i].box_variance);
+    }
+  }
+}
+
+// The per-frame SoA store's presorted class pools must be invisible in the
+// results: fusing any subset of the frame's lists with the store engaged
+// must match the generic flatten bit for bit — including equal-confidence
+// ties, where the stable-sort-filter lemma carries the argument — and a
+// span the store cannot map (descending list order) must quietly fall back.
+TEST_P(FusionPropertyTest, SoAFastPathMatchesGenericFlatten) {
+  auto method = CreateEnsembleMethod(GetParam());
+  ASSERT_TRUE(method.ok());
+  Rng rng(113);
+  DetectionList with_soa, without;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<DetectionList> inputs(4);
+    for (auto& list : inputs) {
+      const int n = static_cast<int>(rng.UniformInt(8));
+      for (int i = 0; i < n; ++i) {
+        auto d = Det(rng.Uniform(0, 80), rng.Uniform(0, 80),
+                     rng.Uniform(5, 40), rng.Uniform(5, 40),
+                     rng.Uniform(0.1, 1.0),
+                     static_cast<ClassId>(rng.UniformInt(3)));
+        d.box_variance = rng.Uniform(0.1, 10.0);
+        // Force score ties so the presorted pools' tie-breaks are exercised.
+        if (rng.Bernoulli(0.3)) d.confidence = 0.5;
+        list.push_back(d);
+      }
+    }
+    const int num_ids = AssignFrameDetIds(inputs);
+    const FrameSoA soa(inputs, num_ids);
+    const PairwiseIouCache tile(soa);
+    const PairwiseIouCache* iou =
+        (*method)->ConsumesIouCache() ? &tile : nullptr;
+
+    const auto expect_same = [&] {
+      ASSERT_EQ(with_soa.size(), without.size());
+      for (size_t i = 0; i < with_soa.size(); ++i) {
+        EXPECT_EQ(with_soa[i].confidence, without[i].confidence);
+        EXPECT_EQ(with_soa[i].label, without[i].label);
+        EXPECT_EQ(with_soa[i].model_index, without[i].model_index);
+        EXPECT_EQ(with_soa[i].frame_det_id, without[i].frame_det_id);
+        EXPECT_EQ(with_soa[i].box_variance, without[i].box_variance);
+        EXPECT_EQ(with_soa[i].box.x1, without[i].box.x1);
+        EXPECT_EQ(with_soa[i].box.y1, without[i].box.y1);
+        EXPECT_EQ(with_soa[i].box.x2, without[i].box.x2);
+        EXPECT_EQ(with_soa[i].box.y2, without[i].box.y2);
+      }
+    };
+
+    // Every non-empty subset of the lists, in ascending order — the order
+    // the hot paths assemble and the fast path accepts.
+    for (uint32_t mask = 1; mask < (1u << 4); ++mask) {
+      std::vector<const DetectionList*> ptrs;
+      for (int i = 0; i < 4; ++i) {
+        if ((mask & (1u << i)) != 0) {
+          ptrs.push_back(&inputs[static_cast<size_t>(i)]);
+        }
+      }
+      (*method)->FuseInto(DetectionListSpan(ptrs), iou, &soa, &with_soa);
+      (*method)->FuseInto(DetectionListSpan(ptrs), iou, nullptr, &without);
+      expect_same();
+    }
+
+    // Descending list order cannot map onto the store's ascending source
+    // walk: the fast path must decline, not mis-pool.
+    std::vector<const DetectionList*> reversed;
+    for (int i = 3; i >= 0; --i) {
+      reversed.push_back(&inputs[static_cast<size_t>(i)]);
+    }
+    (*method)->FuseInto(DetectionListSpan(reversed), iou, &soa, &with_soa);
+    (*method)->FuseInto(DetectionListSpan(reversed), iou, nullptr, &without);
+    expect_same();
+  }
+}
+
+// ------------------------------------------------------ SoA / IoU tile ---
+
+// The SoA block kernel must agree with scalar IoU(a.box, b.box) bit for
+// bit on every same-label pair — including degenerate geometry: zero-width
+// and zero-height boxes, and byte-identical duplicates.
+TEST(IouTileKernelTest, MatchesScalarIouBitForBit) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<DetectionList> inputs(3);
+    for (auto& list : inputs) {
+      const int n = static_cast<int>(rng.UniformInt(10));
+      for (int i = 0; i < n; ++i) {
+        double w = rng.Uniform(0.0, 30.0);
+        double h = rng.Uniform(0.0, 30.0);
+        if (rng.Bernoulli(0.15)) w = 0.0;  // zero-area: degenerate width
+        if (rng.Bernoulli(0.15)) h = 0.0;  // degenerate height
+        list.push_back(Det(rng.Uniform(0, 60), rng.Uniform(0, 60), w, h,
+                           rng.Uniform(0.05, 1.0),
+                           static_cast<ClassId>(rng.UniformInt(3))));
+        // Occasionally duplicate the box exactly (identical coordinates).
+        if (rng.Bernoulli(0.2)) list.push_back(list.back());
+      }
+    }
+    const int num_ids = AssignFrameDetIds(inputs);
+    const FrameSoA soa(inputs, num_ids);
+    const PairwiseIouCache tile(soa);
+
+    std::vector<const Detection*> all;
+    for (const auto& list : inputs) {
+      for (const auto& d : list) {
+        all.push_back(&d);
+        // The SoA slot for this id must be a plain copy of the source.
+        const size_t k = static_cast<size_t>(d.frame_det_id);
+        ASSERT_TRUE(soa.id_filled(d.frame_det_id));
+        EXPECT_EQ(soa.x1()[k], d.box.x1);
+        EXPECT_EQ(soa.y1()[k], d.box.y1);
+        EXPECT_EQ(soa.x2()[k], d.box.x2);
+        EXPECT_EQ(soa.y2()[k], d.box.y2);
+        EXPECT_EQ(soa.score()[k], d.confidence);
+        EXPECT_EQ(soa.area()[k], d.box.Area());
+        EXPECT_EQ(soa.label()[k], d.label);
+      }
+    }
+    for (const Detection* a : all) {
+      for (const Detection* b : all) {
+        // Same-label pairs come from the tile; the rest recompute — both
+        // must equal the scalar value exactly, in both orientations.
+        EXPECT_EQ(tile.Get(*a, *b), IoU(a->box, b->box))
+            << "trial " << trial << " ids " << a->frame_det_id << ","
+            << b->frame_det_id;
+      }
+    }
+  }
+}
+
+// Frames larger than kMaxCachedDetections skip the tile entirely; Get must
+// degrade to recomputation for every pair, cached-range ids or not.
+TEST(IouTileKernelTest, OverflowFallsBackToRecomputation) {
+  Rng rng(9);
+  std::vector<DetectionList> inputs(2);
+  const int per_model = PairwiseIouCache::kMaxCachedDetections / 2 + 8;
+  for (auto& list : inputs) {
+    for (int i = 0; i < per_model; ++i) {
+      list.push_back(Det(rng.Uniform(0, 200), rng.Uniform(0, 200),
+                         rng.Uniform(5, 30), rng.Uniform(5, 30),
+                         rng.Uniform(0.05, 1.0),
+                         static_cast<ClassId>(rng.UniformInt(2))));
+    }
+  }
+  const int num_ids = AssignFrameDetIds(inputs);
+  ASSERT_GT(num_ids, PairwiseIouCache::kMaxCachedDetections);
+  const PairwiseIouCache tile(inputs, num_ids);
+  EXPECT_FALSE(tile.enabled());
+
+  // Sampled pairs, including ids beyond the cacheable range and a mix of
+  // assigned and unassigned (-1) ids.
+  Detection fresh = Det(50, 50, 20, 20, 0.5);
+  ASSERT_EQ(fresh.frame_det_id, -1);
+  for (int s = 0; s < 500; ++s) {
+    const auto& a = inputs[s % 2][rng.UniformInt(
+        static_cast<uint64_t>(per_model))];
+    const auto& b = inputs[(s + 1) % 2][rng.UniformInt(
+        static_cast<uint64_t>(per_model))];
+    EXPECT_EQ(tile.Get(a, b), IoU(a.box, b.box));
+    EXPECT_EQ(tile.Get(a, fresh), IoU(a.box, fresh.box));
+  }
+}
+
+// With the tile enabled, detections the tile has never seen (fresh fusion
+// outputs with frame_det_id == -1, or ids outside the tile) recompute
+// while in-range ids keep hitting the cache — mixed queries must all match
+// the scalar value.
+TEST(IouTileKernelTest, MixedCachedAndUncachedIds) {
+  std::vector<DetectionList> inputs(2);
+  inputs[0].push_back(Det(0, 0, 10, 10, 0.9));
+  inputs[0].push_back(Det(5, 0, 10, 10, 0.8));
+  inputs[1].push_back(Det(2, 0, 10, 10, 0.7));
+  const int num_ids = AssignFrameDetIds(inputs);
+  const PairwiseIouCache tile(inputs, num_ids);
+  ASSERT_TRUE(tile.enabled());
+
+  Detection fresh = Det(1, 1, 10, 10, 0.5);  // never assigned an id
+  Detection stray = Det(3, 0, 10, 10, 0.6);
+  stray.frame_det_id = num_ids + 5;  // id beyond the tile
+  const Detection& cached_a = inputs[0][0];
+  const Detection& cached_b = inputs[1][0];
+
+  EXPECT_EQ(tile.Get(cached_a, cached_b), IoU(cached_a.box, cached_b.box));
+  EXPECT_EQ(tile.Get(cached_a, fresh), IoU(cached_a.box, fresh.box));
+  EXPECT_EQ(tile.Get(fresh, cached_a), IoU(fresh.box, cached_a.box));
+  EXPECT_EQ(tile.Get(fresh, fresh), IoU(fresh.box, fresh.box));
+  EXPECT_EQ(tile.Get(stray, cached_a), IoU(stray.box, cached_a.box));
+  EXPECT_EQ(tile.Get(cached_a, stray), IoU(cached_a.box, stray.box));
 }
 
 // The indexed FrameMeanAp overload must match the list overload exactly.

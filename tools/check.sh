@@ -26,6 +26,18 @@ run_tier1() {
   ctest --test-dir build -L tier1 --output-on-failure -j 4
 }
 
+run_perf_smoke() {
+  # Tiny-config run of the matrix-build bench. Wall-clock numbers are not
+  # gated — CI machines are too noisy for that — but the bench's exit code
+  # reflects its bit-identity verdicts: the optimized kernels (SoA IoU
+  # tile, arena-backed fusion), the serial/parallel matrices and the
+  # eager/lazy strategy runs must all reproduce their reference paths
+  # exactly. Runs from the bench directory so BENCH_matrix_build.json
+  # lands next to the binary, not in the repo root.
+  (cd build/bench && VQE_BENCH_TRIALS=2 VQE_BENCH_FRAMES=40 \
+    ./bench_matrix_build)
+}
+
 run_sanitizer() {
   san="$1"
   dir="build-$2"
@@ -38,6 +50,7 @@ run_sanitizer() {
 }
 
 run_tier1
+run_perf_smoke
 
 if [ "${1:-}" = "--full" ]; then
   run_sanitizer address asan
