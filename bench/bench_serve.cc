@@ -10,6 +10,13 @@
 // baseline — the serving layer may only change WHEN work happens, never
 // WHAT any stream computes.
 //
+// Also sweeps the temporal skip gate (mode × budget × motion level): each
+// configuration runs solo and through skip-enabled serving sessions, and
+// the bench reports simulated/wall speedup over the budget-0 baseline plus
+// the accuracy delta. Bit-identity gates the exit code: budget 0 must
+// reproduce the no-skip run exactly, and served skip streams must match
+// their solo baselines.
+//
 // Emits BENCH_serve.json so later PRs can track the trajectory.
 
 #include <algorithm>
@@ -44,6 +51,7 @@ struct StreamSpec {
   PriorityClass priority = PriorityClass::kStandard;
   uint64_t trial_seed = 0;
   uint64_t strategy_seed = 0;
+  SkipOptions skip;  // default: off
 };
 
 std::unique_ptr<SelectionStrategy> MakeStrategy(const std::string& kind) {
@@ -86,6 +94,7 @@ EngineOptions MakeEngine(const StreamSpec& spec) {
   EngineOptions e;
   e.strategy_seed = spec.strategy_seed;
   e.compute_regret = false;
+  e.skip = spec.skip;
   return e;
 }
 
@@ -125,7 +134,9 @@ bool SameRun(const RunResult& a, const RunResult& b) {
          a.charged_cost_ms == b.charged_cost_ms &&
          a.selection_counts == b.selection_counts &&
          a.fallback_frames == b.fallback_frames &&
-         a.failed_frames == b.failed_frames;
+         a.failed_frames == b.failed_frames &&
+         a.skip.skipped_frames == b.skip.skipped_frames &&
+         a.skip.detect_frames == b.skip.detect_frames;
 }
 
 struct ConfigRow {
@@ -142,6 +153,37 @@ struct ConfigRow {
   uint64_t coalesced = 0;
   bool bit_identical = true;
 };
+
+/// One cell of the skip-knob sweep (solo run of one configuration).
+struct SkipRow {
+  std::string dataset;
+  std::string mode;  // "gated" | "bandit"
+  int budget = 0;
+  uint64_t frames = 0;
+  uint64_t skipped = 0;
+  uint64_t forced = 0;
+  double wall_ms = 0.0;
+  double wall_fps = 0.0;
+  double sim_ms = 0.0;
+  /// Simulated-time speedup over this dataset's budget-0 baseline (the
+  /// ledger ratio — what frame skipping actually buys).
+  double sim_speedup = 1.0;
+  double wall_speedup = 1.0;
+  double avg_true_ap = 0.0;
+  /// avg_true_ap minus the budget-0 baseline's (negative = accuracy lost).
+  double ap_delta = 0.0;
+  /// budget-0 rows only: bit-identical to the engine with no skip options?
+  bool baseline_identical = true;
+};
+
+SkipOptions MakeSkip(const std::string& mode, int budget) {
+  SkipOptions s;
+  s.mode = mode == "bandit"  ? SkipMode::kBandit
+           : mode == "fixed" ? SkipMode::kFixedInterval
+                             : SkipMode::kDifficultyGated;
+  s.skip_budget = budget;
+  return s;
+}
 
 }  // namespace
 
@@ -246,6 +288,149 @@ int main() {
   std::cout << "\nbit-identity across all configurations: "
             << (all_identical ? "PASS" : "FAIL") << "\n";
 
+  // ---- Temporal skip-knob sweep: mode × budget × motion level ----
+  //
+  // Solo MES runs; the interesting ledger is simulated time (detector
+  // inference the gate avoided), wall clock rides along because the lazy
+  // backend never materializes a skipped frame. budget 0 must reproduce
+  // the no-skip engine bit-for-bit — that identity gates the exit code,
+  // the speedups are informational.
+  std::cout << "\nskip sweep (solo MES runs, vs budget-0 baseline):\n";
+  std::vector<SkipRow> skip_rows;
+  bool skip_identity = true;
+  std::vector<std::pair<std::string, Video>> sweep_videos;
+  for (const char* ds : {"nusc-lowmotion", "nusc-night"}) {
+    const DatasetSpec& sweep_spec = **DatasetCatalog::Default().Find(ds);
+    const double sweep_scale =
+        ScaleFor(sweep_spec, std::min(settings.target_frames, 600.0));
+    SampleOptions sweep_sample;
+    sweep_sample.scene_scale = sweep_scale;
+    sweep_sample.seed = 29;
+    sweep_videos.emplace_back(
+        ds, std::move(SampleVideo(sweep_spec, sweep_sample)).value());
+  }
+  for (const auto& [ds, svideo] : sweep_videos) {
+    StreamSpec base_spec;
+    base_spec.strategy = "MES";
+    base_spec.name = "sweep-base";
+    base_spec.trial_seed = 300;
+    base_spec.strategy_seed = 400;
+    auto base_source = std::move(LazyFrameEvaluator::Create(
+                                     svideo, pool, base_spec.trial_seed, {}))
+                           .value();
+    auto base_strategy = MakeStrategy(base_spec.strategy);
+    Stopwatch base_watch;
+    const RunResult base =
+        std::move(RunStrategy(*base_source, base_strategy.get(),
+                              MakeEngine(base_spec)))
+            .value();
+    const double base_wall = base_watch.ElapsedMillis();
+    const double base_sim = base.breakdown.SimulatedMs();
+
+    for (const char* mode : {"fixed", "gated", "bandit"}) {
+      for (const int budget : {0, 2, 4, 8}) {
+        StreamSpec spec = base_spec;
+        spec.skip = MakeSkip(mode, budget);
+        auto source = std::move(LazyFrameEvaluator::Create(
+                                    svideo, pool, spec.trial_seed, {}))
+                          .value();
+        auto strategy = MakeStrategy(spec.strategy);
+        Stopwatch watch;
+        const RunResult run =
+            std::move(RunStrategy(*source, strategy.get(), MakeEngine(spec)))
+                .value();
+        SkipRow row;
+        row.dataset = ds;
+        row.mode = mode;
+        row.budget = budget;
+        row.wall_ms = watch.ElapsedMillis();
+        row.frames = run.frames_processed;
+        row.skipped = run.skip.skipped_frames;
+        row.forced = run.skip.forced_detects;
+        row.wall_fps = row.wall_ms > 0.0
+                           ? 1e3 * static_cast<double>(row.frames) / row.wall_ms
+                           : 0.0;
+        row.sim_ms = run.breakdown.SimulatedMs();
+        row.sim_speedup = row.sim_ms > 0.0 ? base_sim / row.sim_ms : 0.0;
+        row.wall_speedup = row.wall_ms > 0.0 ? base_wall / row.wall_ms : 0.0;
+        row.avg_true_ap = run.avg_true_ap;
+        row.ap_delta = run.avg_true_ap - base.avg_true_ap;
+        if (budget == 0) {
+          row.baseline_identical = SameRun(run, base);
+          skip_identity &= row.baseline_identical;
+        }
+        skip_rows.push_back(row);
+        std::cout << "  " << ds << " " << mode << " budget=" << budget
+                  << ": skipped " << row.skipped << "/" << row.frames
+                  << " (forced " << row.forced << "), sim "
+                  << Fmt(row.sim_ms) << " ms (x" << Fmt(row.sim_speedup)
+                  << "), wall x" << Fmt(row.wall_speedup) << ", AP "
+                  << Fmt(row.avg_true_ap, 4) << " (delta "
+                  << Fmt(row.ap_delta, 4) << ")"
+                  << (budget == 0 ? (row.baseline_identical
+                                         ? ", identical=yes"
+                                         : ", identical=NO")
+                                  : "")
+                  << "\n";
+      }
+    }
+  }
+  std::cout << "budget-0 bit-identity to the no-skip engine: "
+            << (skip_identity ? "PASS" : "FAIL") << "\n";
+
+  // ---- Skip-enabled serving: the gate rides through sessions ----
+  //
+  // Four mixed-strategy skip-enabled streams on the low-motion video,
+  // scheduled together; every stream must still match its solo baseline
+  // (serving changes WHEN work happens, never WHAT a stream computes —
+  // skip state included).
+  const Video& lowmotion = sweep_videos[0].second;
+  std::vector<StreamSpec> skip_specs;
+  std::vector<RunResult> skip_solo;
+  for (size_t i = 0; i < 4; ++i) {
+    StreamSpec spec = MakeSpec(i);
+    spec.name = "skip-" + spec.name;
+    spec.skip = MakeSkip(i % 2 == 0 ? "gated" : "bandit", 4);
+    auto source = std::move(LazyFrameEvaluator::Create(lowmotion, pool,
+                                                       spec.trial_seed, {}))
+                      .value();
+    auto strategy = MakeStrategy(spec.strategy);
+    skip_solo.push_back(
+        std::move(RunStrategy(*source, strategy.get(), MakeEngine(spec)))
+            .value());
+    skip_specs.push_back(std::move(spec));
+  }
+  ServeOptions skip_opt;
+  skip_opt.max_sessions = 4;
+  skip_opt.queue_depth = 0;
+  skip_opt.quantum_ms = 150.0;
+  skip_opt.max_frames_per_round = 16;
+  skip_opt.parallelism = 0;
+  StreamScheduler skip_scheduler(skip_opt);
+  for (size_t i = 0; i < skip_specs.size(); ++i) {
+    auto id = skip_scheduler.Submit(MakeSession(lowmotion, pool,
+                                                skip_specs[i], nullptr,
+                                                static_cast<uint64_t>(i)));
+    if (!id.ok()) {
+      std::cerr << "skip-serve submit failed: " << id.status().ToString()
+                << "\n";
+      return 1;
+    }
+  }
+  const ServeReport skip_report =
+      std::move(skip_scheduler.RunUntilDrained()).value();
+  bool serve_skip_identical = true;
+  for (size_t i = 0; i < skip_specs.size(); ++i) {
+    if (!skip_report.streams[i].status.ok() ||
+        !SameRun(skip_solo[i], skip_report.streams[i].result)) {
+      serve_skip_identical = false;
+    }
+  }
+  std::cout << "\nskip-enabled serving: " << skip_report.stats.frames
+            << " frames (" << skip_report.stats.skipped_frames
+            << " skipped) across 4 streams, identical to solo: "
+            << (serve_skip_identical ? "PASS" : "FAIL") << "\n";
+
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -277,8 +462,35 @@ int main() {
         r.bit_identical ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n  \"skip_sweep\": [\n");
+  for (size_t i = 0; i < skip_rows.size(); ++i) {
+    const SkipRow& r = skip_rows[i];
+    std::fprintf(
+        json,
+        "    {\"dataset\": \"%s\", \"mode\": \"%s\", \"budget\": %d,\n"
+        "     \"frames\": %llu, \"skipped\": %llu, \"forced_detects\": %llu,\n"
+        "     \"wall_ms\": %.3f, \"wall_fps\": %.1f, \"sim_ms\": %.3f,\n"
+        "     \"sim_speedup\": %.3f, \"wall_speedup\": %.3f,\n"
+        "     \"avg_true_ap\": %.6f, \"ap_delta\": %.6f,\n"
+        "     \"baseline_identical\": %s}%s\n",
+        r.dataset.c_str(), r.mode.c_str(), r.budget,
+        static_cast<unsigned long long>(r.frames),
+        static_cast<unsigned long long>(r.skipped),
+        static_cast<unsigned long long>(r.forced), r.wall_ms, r.wall_fps,
+        r.sim_ms, r.sim_speedup, r.wall_speedup, r.avg_true_ap, r.ap_delta,
+        r.baseline_identical ? "true" : "false",
+        i + 1 < skip_rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"skip_serve\": {\"streams\": 4, \"frames\": %llu,\n"
+               "    \"skipped_frames\": %llu, \"identical\": %s},\n"
+               "  \"skip_budget0_identical\": %s\n}\n",
+               static_cast<unsigned long long>(skip_report.stats.frames),
+               static_cast<unsigned long long>(
+                   skip_report.stats.skipped_frames),
+               serve_skip_identical ? "true" : "false",
+               skip_identity ? "true" : "false");
   std::fclose(json);
   std::cout << "wrote BENCH_serve.json\n";
-  return all_identical ? 0 : 1;
+  return (all_identical && skip_identity && serve_skip_identical) ? 0 : 1;
 }

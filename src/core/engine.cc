@@ -17,6 +17,7 @@ Status EngineOptions::Validate() const {
     return Status::InvalidArgument("budget_ms must be >= 0");
   }
   VQE_RETURN_NOT_OK(checkpoint.Validate());
+  VQE_RETURN_NOT_OK(skip.Validate());
   return breaker.Validate();
 }
 
@@ -27,7 +28,7 @@ Result<std::vector<uint8_t>> BuildEngineSnapshot(
     const EngineRunIdentity& identity, size_t next_frame, double algo_seconds,
     const RunResult& result, const SelectionStrategy& strategy,
     const std::vector<CircuitBreaker>& breakers, const EvaluationSource& source,
-    bool include_source) {
+    bool include_source, const TemporalGate* gate, double last_max_cost_ms) {
   SnapshotWriter snap;
   WriteEngineIdentity(snap.AddSection(kEngineMetaSection), identity);
   {
@@ -44,6 +45,11 @@ Result<std::vector<uint8_t>> BuildEngineSnapshot(
       VQE_RETURN_NOT_OK(b.SaveState(w));
     }
   }
+  if (gate != nullptr) {
+    ByteWriter& w = snap.AddSection(kTemporalSection);
+    w.F64(last_max_cost_ms);
+    VQE_RETURN_NOT_OK(gate->SaveState(w));
+  }
   if (include_source) {
     VQE_RETURN_NOT_OK(source.SaveState(snap.AddSection(kSourceSection)));
   }
@@ -59,7 +65,8 @@ Status RestoreEngineRun(const SnapshotReader& snap,
                         SelectionStrategy* strategy, EvaluationSource& source,
                         std::vector<CircuitBreaker>* breakers,
                         RunResult* result, size_t* next_frame,
-                        double* algo_seconds, bool include_source) {
+                        double* algo_seconds, bool include_source,
+                        TemporalGate* gate, double* last_max_cost_ms) {
   VQE_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kEngineMetaSection));
   EngineRunIdentity saved;
   VQE_RETURN_NOT_OK(ReadEngineIdentity(meta, &saved));
@@ -99,6 +106,17 @@ Status RestoreEngineRun(const SnapshotReader& snap,
     VQE_RETURN_NOT_OK(b.RestoreState(brk));
   }
   VQE_RETURN_NOT_OK(brk.ExpectEnd());
+
+  if (gate != nullptr) {
+    // A skip-enabled run whose checkpoint lacks the temporal section
+    // cannot resume deterministically: the gate's planned skips, bandit
+    // arms and tracks are unrecoverable. (Identity matching already
+    // guarantees the section exists for snapshots this build wrote.)
+    VQE_ASSIGN_OR_RETURN(ByteReader tmp, snap.Section(kTemporalSection));
+    VQE_RETURN_NOT_OK(tmp.F64(last_max_cost_ms));
+    VQE_RETURN_NOT_OK(gate->RestoreState(tmp));
+    VQE_RETURN_NOT_OK(tmp.ExpectEnd());
+  }
 
   if (include_source && snap.HasSection(kSourceSection)) {
     VQE_ASSIGN_OR_RETURN(ByteReader src, snap.Section(kSourceSection));
@@ -147,6 +165,15 @@ Result<std::unique_ptr<EngineRun>> EngineRun::Create(
     return Status::InvalidArgument("source has invalid num_models");
   }
   std::unique_ptr<EngineRun> run(new EngineRun(source, strategy, options));
+  if (options.skip.enabled()) {
+    if (!source.SupportsPropagation()) {
+      return Status::InvalidArgument(
+          "skip-enabled run needs a source with temporal propagation "
+          "support (LazyFrameEvaluator, or a matrix built with "
+          "keep_temporal_outputs)");
+    }
+    VQE_ASSIGN_OR_RETURN(run->gate_, TemporalGate::Create(options.skip));
+  }
   VQE_RETURN_NOT_OK(run->Init());
   return run;
 }
@@ -182,6 +209,7 @@ Status EngineRun::Init() {
   identity.compute_regret = options_.compute_regret;
   identity.record_cost_curve = options_.record_cost_curve;
   identity.breaker = options_.breaker;
+  identity.skip = options_.skip;
 
   if (options_.checkpoint.enabled()) {
     ckpt_ = std::make_unique<CheckpointManager>(
@@ -194,7 +222,8 @@ Status EngineRun::Init() {
         VQE_RETURN_NOT_OK(RestoreEngineRun(
             loaded->snapshot, identity, num_masks_, strategy_, *source_,
             &breakers_, &result_, &next_frame_, &saved_algo_seconds,
-            options_.checkpoint.include_source));
+            options_.checkpoint.include_source, gate_.get(),
+            &last_max_cost_ms_));
         algo_time_.Add(saved_algo_seconds);
         result_.checkpoint.resumed = true;
         result_.checkpoint.resumed_from_frame = next_frame_;
@@ -219,6 +248,15 @@ Status EngineRun::StepFrame() {
     return Status::FailedPrecondition("StepFrame on a finished run");
   }
   const size_t t = next_frame_;
+
+  // Temporal gate first, fed only by the frame's scene-context byte: on a
+  // skip the detectors (and, on a lazy source, the frame materialization
+  // itself) never run. With the gate disabled this block compiles away to
+  // a null check.
+  if (gate_ != nullptr && gate_->ShouldSkip(source_->PeekContext(t))) {
+    return StepSkippedFrame(t);
+  }
+
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
   // Mask open-breaker models out of the strategy's candidate arms. If
@@ -319,6 +357,24 @@ Status EngineRun::StepFrame() {
     strategy_->Observe(feedback);
   }
 
+  // Detect-frame gate ingest: the realized mask's fused boxes drive the
+  // tracker, close the open skip episode (bandit feedback) and plan the
+  // next one. Tracker upkeep on detect frames is charged to the ledger
+  // like fusion overhead is — the fast path's bookkeeping is not free.
+  if (gate_ != nullptr) {
+    const DetectionList* fused =
+        realized != 0 ? source_->FusedOutput(t, realized) : nullptr;
+    gate_->ObserveDetections(fused != nullptr ? *fused : no_detections_,
+                             static_cast<int64_t>(t));
+    const double tracker_ms =
+        SimulatedTrackerCostMs(fused != nullptr ? fused->size() : 0);
+    result_.charged_cost_ms += tracker_ms;
+    result_.breakdown.tracker_ms += tracker_ms;
+    ++result_.skip.detect_frames;
+    result_.skip.forced_detects = gate_->forced_detects();
+    last_max_cost_ms_ = stats.max_cost_ms;
+  }
+
   // Measurements (true scores; §5.5). A fully failed frame produced no
   // output: its true score and AP are zero by definition, not
   // Score(0, 0) (which would credit the cost term).
@@ -328,29 +384,7 @@ Status EngineRun::StepFrame() {
       realized != 0 ? options_.sc.Score(sel_eval.true_ap, sel_norm_cost)
                     : 0.0;
   if (options_.compute_regret) {
-    // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
-    // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
-    // only those masks when the source caches one. Sources without a
-    // frontier (hand-built matrices, lazy evaluators) fall back to the
-    // exhaustive O(2^m) scan — on a lazy source that materializes the
-    // whole lattice, which is why compute_regret defaults off for lazy
-    // throughput runs.
-    double best_true = -std::numeric_limits<double>::infinity();
-    const std::vector<EnsembleId>* frontier = source_->TrueFrontier(t);
-    if (frontier != nullptr && !frontier->empty()) {
-      for (EnsembleId s : *frontier) {
-        const MaskEvaluation e = source_->Eval(t, s);
-        const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
-        if (r > best_true) best_true = r;
-      }
-    } else {
-      for (EnsembleId s = 1; s <= num_masks_; ++s) {
-        const MaskEvaluation e = source_->Eval(t, s);
-        const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
-        if (r > best_true) best_true = r;
-      }
-    }
-    result_.regret += best_true - sel_true;
+    result_.regret += BestTrueScore(t, inv_max) - sel_true;
   }
   result_.s_sum += sel_true;
   result_.avg_true_ap += sel_eval.true_ap;
@@ -363,7 +397,80 @@ Status EngineRun::StepFrame() {
   }
   ++frames_this_invocation_;
   next_frame_ = t + 1;
+  return FrameEpilogue(t);
+}
 
+Status EngineRun::StepSkippedFrame(size_t t) {
+  // Coast the confirmed tracks one frame and serve them as this frame's
+  // output. The ledger is charged only simulated tracker time — that is
+  // the entire point of the fast path.
+  const DetectionList& propagated = gate_->Propagate();
+  const double tracker_ms = SimulatedTrackerCostMs(propagated.size());
+  VQE_ASSIGN_OR_RETURN(const double true_ap,
+                       source_->ScorePropagated(t, propagated));
+
+  // Normalized cost against the LAST detect frame's normalizer: reading
+  // this frame's own max_S c_{S|v} would materialize its detectors on a
+  // lazy source. The two are within simulator noise of each other, and
+  // the ĉ semantics ("share of the frame's priciest ensemble") carry over.
+  const double norm_cost =
+      last_max_cost_ms_ > 0.0 ? tracker_ms / last_max_cost_ms_ : 0.0;
+  const double sel_true = options_.sc.Score(true_ap, norm_cost);
+
+  result_.charged_cost_ms += tracker_ms;
+  result_.breakdown.tracker_ms += tracker_ms;
+  if (options_.compute_regret) {
+    // Regret keeps honest books on skipped frames too: the baseline is
+    // still the best detect-path ensemble. This reads Stats/Eval — full
+    // materialization on a lazy source — mirroring the detect path's
+    // "regret defeats laziness" caveat.
+    const FrameStats stats = source_->Stats(t);
+    const double inv_max =
+        stats.max_cost_ms > 0.0 ? 1.0 / stats.max_cost_ms : 0.0;
+    result_.regret += BestTrueScore(t, inv_max) - sel_true;
+  }
+  result_.s_sum += sel_true;
+  result_.avg_true_ap += true_ap;
+  result_.avg_norm_cost += norm_cost;
+  ++result_.frames_processed;
+  ++result_.skip.skipped_frames;
+  result_.skip.propagated_ap_sum += true_ap;
+  if (options_.record_cost_curve) {
+    result_.cost_curve.emplace_back(result_.frames_processed,
+                                    result_.charged_cost_ms);
+  }
+  ++frames_this_invocation_;
+  next_frame_ = t + 1;
+  return FrameEpilogue(t);
+}
+
+double EngineRun::BestTrueScore(size_t t, double inv_max) {
+  // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
+  // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan
+  // only those masks when the source caches one. Sources without a
+  // frontier (hand-built matrices, lazy evaluators) fall back to the
+  // exhaustive O(2^m) scan — on a lazy source that materializes the
+  // whole lattice, which is why compute_regret defaults off for lazy
+  // throughput runs.
+  double best_true = -std::numeric_limits<double>::infinity();
+  const std::vector<EnsembleId>* frontier = source_->TrueFrontier(t);
+  if (frontier != nullptr && !frontier->empty()) {
+    for (EnsembleId s : *frontier) {
+      const MaskEvaluation e = source_->Eval(t, s);
+      const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
+      if (r > best_true) best_true = r;
+    }
+  } else {
+    for (EnsembleId s = 1; s <= num_masks_; ++s) {
+      const MaskEvaluation e = source_->Eval(t, s);
+      const double r = options_.sc.Score(e.true_ap, e.cost_ms * inv_max);
+      if (r > best_true) best_true = r;
+    }
+  }
+  return best_true;
+}
+
+Status EngineRun::FrameEpilogue(size_t t) {
   // Snapshot the run every `every_frames` frames. Skipped after the last
   // frame: the run is about to finish and the result is returned anyway.
   if (ckpt_ != nullptr &&
@@ -375,7 +482,8 @@ Status EngineRun::StepFrame() {
         BuildEngineSnapshot(identity_->identity, t + 1,
                             algo_time_.total_seconds(), result_, *strategy_,
                             breakers_, *source_,
-                            options_.checkpoint.include_source));
+                            options_.checkpoint.include_source, gate_.get(),
+                            last_max_cost_ms_));
     VQE_RETURN_NOT_OK(ckpt_->Write(next_generation_, bytes));
     ++next_generation_;
     ++result_.checkpoint.snapshots_written;

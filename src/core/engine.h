@@ -21,6 +21,7 @@
 #include "core/strategy.h"
 #include "runtime/circuit_breaker.h"
 #include "snapshot/checkpoint.h"
+#include "temporal/gate.h"
 
 namespace vqe {
 
@@ -55,6 +56,13 @@ struct EngineOptions {
   /// newest good generation found in `checkpoint.directory`. Resumed runs
   /// are bit-identical to uninterrupted ones (wall-clock fields aside).
   CheckpointPolicy checkpoint;
+  /// Temporal-coherence fast path: frames the gate deems redundant are
+  /// answered by coasting confirmed tracks instead of running detectors,
+  /// charging only SimulatedTrackerCostMs to the ledger. Requires an
+  /// evaluation source with SupportsPropagation() when enabled. The
+  /// default (!skip.enabled()) constructs no gate and leaves every code
+  /// path byte-identical to a skip-free build.
+  SkipOptions skip;
 
   Status Validate() const;
 };
@@ -71,12 +79,16 @@ struct TimeBreakdown {
   /// abandoned-deadline waits. Split out of detector_ms so degraded runs
   /// show where the budget went.
   double fault_ms = 0.0;
+  /// Simulated tracker time of the temporal fast path: coasting tracks
+  /// through skipped frames plus ingesting detect frames into the gate's
+  /// tracker. Zero whenever skipping is disabled.
+  double tracker_ms = 0.0;
   /// Real wall-clock spent in strategy Select/Observe, ms — the "other
   /// optimization components" share.
   double algorithm_ms = 0.0;
 
   /// Simulated frame-clock time only (detector + reference + ensembling +
-  /// fault). This is the component that is additive across concurrent
+  /// fault + tracker). This is the component that is additive across concurrent
   /// streams: when N sessions run in parallel, Σ SimulatedMs() is the
   /// total per-stream work regardless of overlap. algorithm_ms is real
   /// wall-clock — overlapping runs spend it concurrently, so summing it
@@ -84,7 +96,8 @@ struct TimeBreakdown {
   /// time) separately. ServeStats and StrategyOutcome keep the two
   /// ledgers apart for exactly this reason.
   double SimulatedMs() const {
-    return detector_ms + reference_ms + ensembling_ms + fault_ms;
+    return detector_ms + reference_ms + ensembling_ms + fault_ms +
+           tracker_ms;
   }
 
   /// SimulatedMs() + algorithm_ms — meaningful for ONE run in isolation
@@ -138,6 +151,23 @@ struct RunResult {
   /// Frames where *every* selected member failed — processed (time is
   /// charged) but with no output and no bandit observation.
   uint64_t failed_frames = 0;
+
+  /// Temporal fast-path accounting (all zero when skipping is disabled).
+  /// Skipped frames count toward frames_processed but not toward
+  /// selection_counts — no ensemble was selected on them.
+  struct SkipStats {
+    /// Frames answered from tracker propagation.
+    uint64_t skipped_frames = 0;
+    /// Frames that ran the detect path while the gate was enabled.
+    uint64_t detect_frames = 0;
+    /// Detect frames forced while skips were still planned (scene-context
+    /// change, or no propagatable tracks).
+    uint64_t forced_detects = 0;
+    /// Σ true AP of propagated outputs over skipped frames — divide by
+    /// skipped_frames for the accuracy the fast path actually delivered.
+    double propagated_ap_sum = 0.0;
+  };
+  SkipStats skip;
 
   /// What checkpointing did during THIS invocation (never serialized into
   /// snapshots — it describes the process, not the run, and wall-clock
@@ -223,6 +253,18 @@ class EngineRun {
   /// resume (the part of RunStrategy that precedes the frame loop).
   Status Init();
 
+  /// The skip path of StepFrame: propagate tracks, score and charge the
+  /// frame, then run the shared epilogue.
+  Status StepSkippedFrame(size_t t);
+
+  /// Regret baseline max_S r_{S*|v} for frame t (frontier scan when the
+  /// source caches one, exhaustive otherwise).
+  double BestTrueScore(size_t t, double inv_max);
+
+  /// Checkpoint write + crash injection shared by both frame paths.
+  /// `t` is the frame just processed.
+  Status FrameEpilogue(size_t t);
+
   EvaluationSource* source_;
   SelectionStrategy* strategy_;
   EngineOptions options_;
@@ -247,6 +289,16 @@ class EngineRun {
   uint64_t next_generation_ = 1;
   std::unique_ptr<CheckpointManager> ckpt_;
   bool finished_ = false;
+
+  /// Temporal skip gate; null unless options_.skip.enabled(), in which
+  /// case every frame consults it exactly once.
+  std::unique_ptr<TemporalGate> gate_;
+  /// max_S c_{S|v} of the last detect frame: the cost normalizer a
+  /// skipped frame uses. Reading the skipped frame's own normalizer would
+  /// materialize it on a lazy source and defeat the skip.
+  double last_max_cost_ms_ = 0.0;
+  /// Reused empty list for gate ingest on fully-failed frames.
+  DetectionList no_detections_;
 };
 
 /// Runs `strategy` over an evaluation source — the eager matrix view or a

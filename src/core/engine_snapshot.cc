@@ -43,7 +43,7 @@ Status EngineRunIdentity::ExpectMatches(const EngineRunIdentity& other) const {
       breaker.half_open_probes != other.breaker.half_open_probes) {
     return Status::FailedPrecondition("checkpoint breaker options differ");
   }
-  return Status::OK();
+  return ExpectSkipOptionsMatch(skip, other.skip);
 }
 
 void WriteEngineIdentity(ByteWriter& w, const EngineRunIdentity& id) {
@@ -60,6 +60,7 @@ void WriteEngineIdentity(ByteWriter& w, const EngineRunIdentity& id) {
   w.I64(id.breaker.failure_threshold);
   w.U64(id.breaker.open_frames);
   w.I64(id.breaker.half_open_probes);
+  WriteSkipOptionsIdentity(w, id.skip);
 }
 
 Status ReadEngineIdentity(ByteReader& r, EngineRunIdentity* id) {
@@ -79,6 +80,7 @@ Status ReadEngineIdentity(ByteReader& r, EngineRunIdentity* id) {
   VQE_RETURN_NOT_OK(r.I64(&failure_threshold));
   VQE_RETURN_NOT_OK(r.U64(&open_frames));
   VQE_RETURN_NOT_OK(r.I64(&half_open_probes));
+  VQE_RETURN_NOT_OK(ReadSkipOptionsIdentity(r, &id->skip));
   if (num_models < 1 || num_models > kMaxPoolSize) {
     return Status::DataLoss("identity num_models out of range");
   }
@@ -98,6 +100,7 @@ void WriteTimeBreakdown(ByteWriter& w, const TimeBreakdown& tb) {
   w.F64(tb.reference_ms);
   w.F64(tb.ensembling_ms);
   w.F64(tb.fault_ms);
+  w.F64(tb.tracker_ms);
   w.F64(tb.algorithm_ms);
 }
 
@@ -106,6 +109,7 @@ Status ReadTimeBreakdown(ByteReader& r, TimeBreakdown* tb) {
   VQE_RETURN_NOT_OK(r.F64(&tb->reference_ms));
   VQE_RETURN_NOT_OK(r.F64(&tb->ensembling_ms));
   VQE_RETURN_NOT_OK(r.F64(&tb->fault_ms));
+  VQE_RETURN_NOT_OK(r.F64(&tb->tracker_ms));
   VQE_RETURN_NOT_OK(r.F64(&tb->algorithm_ms));
   return Status::OK();
 }
@@ -134,6 +138,10 @@ void WriteRunResult(ByteWriter& w, const RunResult& result) {
   }
   w.U64(result.fallback_frames);
   w.U64(result.failed_frames);
+  w.U64(result.skip.skipped_frames);
+  w.U64(result.skip.detect_frames);
+  w.U64(result.skip.forced_detects);
+  w.F64(result.skip.propagated_ap_sum);
 }
 
 Status ReadRunResult(ByteReader& r, RunResult* result) {
@@ -178,6 +186,10 @@ Status ReadRunResult(ByteReader& r, RunResult* result) {
   }
   VQE_RETURN_NOT_OK(r.U64(&result->fallback_frames));
   VQE_RETURN_NOT_OK(r.U64(&result->failed_frames));
+  VQE_RETURN_NOT_OK(r.U64(&result->skip.skipped_frames));
+  VQE_RETURN_NOT_OK(r.U64(&result->skip.detect_frames));
+  VQE_RETURN_NOT_OK(r.U64(&result->skip.forced_detects));
+  VQE_RETURN_NOT_OK(r.F64(&result->skip.propagated_ap_sum));
   result->frames_processed = static_cast<size_t>(frames_processed);
   return Status::OK();
 }

@@ -39,6 +39,9 @@ inline constexpr char kEngineResultSection[] = "engine.result";
 inline constexpr char kStrategySection[] = "strategy";
 inline constexpr char kBreakersSection[] = "breakers";
 inline constexpr char kSourceSection[] = "source";
+/// Temporal fast-path state (gate + skip policy + propagation tracker +
+/// the carried cost normalizer); present only in skip-enabled runs.
+inline constexpr char kTemporalSection[] = "temporal";
 
 /// The configuration fingerprint a checkpoint was taken under. Resuming
 /// under a different fingerprint would silently change results, so the
@@ -53,6 +56,9 @@ struct EngineRunIdentity {
   bool compute_regret = true;
   bool record_cost_curve = false;
   CircuitBreakerOptions breaker;
+  /// Temporal-skip knobs: a snapshot taken under different skip settings
+  /// would replay a different skip/detect sequence.
+  SkipOptions skip;
 
   /// OK when `other` describes the same run; FailedPrecondition naming the
   /// first differing field otherwise.

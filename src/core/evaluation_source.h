@@ -68,6 +68,37 @@ class EvaluationSource {
   /// One mask's cell on frame t. `mask` must be in [1, num_ensembles()].
   virtual MaskEvaluation Eval(size_t t, EnsembleId mask) = 0;
 
+  /// Frame t's scene context WITHOUT materializing the frame. The
+  /// temporal skip gate consults this before deciding skip-vs-detect; a
+  /// lazy source must answer it from video metadata alone, since running
+  /// the detectors to decide whether to skip them defeats the skip.
+  virtual SceneContext PeekContext(size_t t) { return Stats(t).context; }
+
+  /// True when the source implements the temporal-propagation hooks below
+  /// (ScorePropagated, FusedOutput). EngineRun::Create rejects
+  /// skip-enabled runs on sources that do not.
+  virtual bool SupportsPropagation() const { return false; }
+
+  /// AP of caller-provided (tracker-propagated) detections against frame
+  /// t's ground truth, on the same ApOptions scale as every true_ap cell —
+  /// the skipped frame's accuracy accounting. Runs no detector.
+  virtual Result<double> ScorePropagated(size_t t,
+                                         const DetectionList& dets) {
+    (void)t;
+    (void)dets;
+    return Status::FailedPrecondition(
+        "evaluation source does not support temporal propagation");
+  }
+
+  /// Fused DetectionList of `mask` on frame t (the boxes behind the
+  /// Eval cell), for tracker ingest on detect frames. nullptr when
+  /// unsupported; otherwise valid until the next call on this source.
+  virtual const DetectionList* FusedOutput(size_t t, EnsembleId mask) {
+    (void)t;
+    (void)mask;
+    return nullptr;
+  }
+
   /// Frame t's ⟨true_ap, cost⟩ Pareto frontier for the engine's regret
   /// scan: non-null but possibly empty means "not cached: scan every
   /// mask" (hand-built matrices); nullptr means the source cannot offer
@@ -131,6 +162,32 @@ class MatrixEvaluationSource final : public EvaluationSource {
     return &matrix_->frames[t].best_true_candidates;
   }
 
+  SceneContext PeekContext(size_t t) override {
+    return matrix_->frames[t].context;
+  }
+
+  /// Only matrices built with keep_temporal_outputs carry the ground
+  /// truth and fused boxes the gate needs.
+  bool SupportsPropagation() const override {
+    return matrix_->temporal_outputs;
+  }
+
+  Result<double> ScorePropagated(size_t t,
+                                 const DetectionList& dets) override {
+    if (!matrix_->temporal_outputs) {
+      return Status::FailedPrecondition(
+          "matrix built without keep_temporal_outputs");
+    }
+    const GroundTruthIndex index =
+        BuildGroundTruthIndex(matrix_->frames[t].gt_objects);
+    return FrameMeanAp(dets, index, matrix_->ap);
+  }
+
+  const DetectionList* FusedOutput(size_t t, EnsembleId mask) override {
+    if (!matrix_->temporal_outputs) return nullptr;
+    return &matrix_->frames[t].fused[mask];
+  }
+
   const FrameMatrix& matrix() const { return *matrix_; }
 
  private:
@@ -154,6 +211,19 @@ class OwningMatrixSource final : public EvaluationSource {
   }
   const std::vector<EnsembleId>* TrueFrontier(size_t t) override {
     return view_.TrueFrontier(t);
+  }
+  SceneContext PeekContext(size_t t) override {
+    return view_.PeekContext(t);
+  }
+  bool SupportsPropagation() const override {
+    return view_.SupportsPropagation();
+  }
+  Result<double> ScorePropagated(size_t t,
+                                 const DetectionList& dets) override {
+    return view_.ScorePropagated(t, dets);
+  }
+  const DetectionList* FusedOutput(size_t t, EnsembleId mask) override {
+    return view_.FusedOutput(t, mask);
   }
 
   const FrameMatrix& matrix() const { return matrix_; }

@@ -81,7 +81,15 @@ Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
   sample.scene_scale = config.scene_scale;
   sample.seed = trial_seed;
   VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*config.dataset, sample));
-  return BuildFrameMatrix(video, pool, trial_seed, config.matrix);
+  // A skip-enabled engine scores propagated detections against ground
+  // truth, which the eager backend can only do when the matrix kept its
+  // per-frame temporal outputs — flip the flag rather than make every
+  // caller remember the coupling.
+  MatrixOptions matrix_options = config.matrix;
+  if (config.engine.skip.enabled()) {
+    matrix_options.keep_temporal_outputs = true;
+  }
+  return BuildFrameMatrix(video, pool, trial_seed, matrix_options);
 }
 
 Result<std::unique_ptr<LazyFrameEvaluator>> BuildTrialEvaluator(

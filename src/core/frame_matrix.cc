@@ -83,6 +83,8 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
 
   FrameMatrix matrix;
   matrix.num_models = m;
+  matrix.ap = options.ap;
+  matrix.temporal_outputs = options.keep_temporal_outputs;
   matrix.model_names.reserve(pool.detectors.size());
   for (const auto& d : pool.detectors) matrix.model_names.push_back(d->name());
   // Pre-sized slots: frame t is a pure function of (video.frames[t],
@@ -110,9 +112,14 @@ Result<FrameMatrix> BuildFrameMatrix(const Video& video,
     fe.available_mask = ctx.available_mask();
     fe.model_fault_ms = ctx.model_fault_ms();
     fe.fault_aware = true;
+    if (options.keep_temporal_outputs) {
+      fe.gt_objects = frame.objects;
+      fe.fused.resize(num_masks + 1);
+    }
 
     for (EnsembleId mask = 1; mask <= num_masks; ++mask) {
-      const MaskEvaluation e = ctx.Evaluate(mask);
+      const MaskEvaluation e = ctx.Evaluate(
+          mask, options.keep_temporal_outputs ? &fe.fused[mask] : nullptr);
       fe.fusion_overhead_ms[mask] = e.fusion_overhead_ms;
       fe.cost_ms[mask] = e.cost_ms;
       fe.est_ap[mask] = e.est_ap;

@@ -84,6 +84,24 @@ MaskEvaluation LazyFrameEvaluator::Eval(size_t t, EnsembleId mask) {
   return slot.memo[mask];
 }
 
+Result<double> LazyFrameEvaluator::ScorePropagated(size_t t,
+                                                   const DetectionList& dets) {
+  const GroundTruthIndex index =
+      BuildGroundTruthIndex(video_.frames[t].objects);
+  return FrameMeanAp(dets, index, options_.ap);
+}
+
+const DetectionList* LazyFrameEvaluator::FusedOutput(size_t t,
+                                                     EnsembleId mask) {
+  FrameSlot& slot = Touch(t);
+  // The scalar cell may already be memoized (the engine evaluates the
+  // realized mask's subset lattice first); Evaluate is re-run regardless
+  // because the memo keeps no boxes. One extra fusion per detect frame,
+  // dwarfed by the m detector calls the frame already paid.
+  slot.ctx->Evaluate(mask, &fused_buf_);
+  return &fused_buf_;
+}
+
 Status LazyFrameEvaluator::SaveState(ByteWriter& writer) const {
   writer.U64(frames_touched_);
   writer.U64(masks_materialized_);

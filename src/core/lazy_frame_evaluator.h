@@ -56,6 +56,27 @@ class LazyFrameEvaluator final : public EvaluationSource {
     return nullptr;
   }
 
+  /// Reads the sampled video's metadata — never touches the frame. This
+  /// is what lets a skip-gated run decide a frame's fate for the cost of
+  /// one byte read: the detectors only run if the gate says detect.
+  SceneContext PeekContext(size_t t) override {
+    return video_.frames[t].context;
+  }
+
+  /// The lazy source owns the video (ground truth included), so it can
+  /// always score propagated boxes and extract fused outputs.
+  bool SupportsPropagation() const override { return true; }
+
+  /// Scores against the frame's ground truth directly from the owned
+  /// video; runs no detector and does not materialize the frame.
+  Result<double> ScorePropagated(size_t t,
+                                 const DetectionList& dets) override;
+
+  /// Materializes the frame (this IS the detect path's detector work) and
+  /// fuses `mask` into a reused buffer, bypassing the memo counters: the
+  /// boxes, not the scalars, are the product here.
+  const DetectionList* FusedOutput(size_t t, EnsembleId mask) override;
+
   const Video& video() const { return video_; }
 
   /// Instrumentation: frames whose detectors have run.
@@ -99,6 +120,8 @@ class LazyFrameEvaluator final : public EvaluationSource {
   size_t frames_touched_ = 0;
   uint64_t masks_materialized_ = 0;
   uint64_t memo_hits_ = 0;
+  /// Reused FusedOutput buffer (valid until the next call).
+  DetectionList fused_buf_;
 };
 
 }  // namespace vqe

@@ -21,6 +21,7 @@
 #include "query/predicate.h"
 #include "runtime/resilient_detector.h"
 #include "sim/dataset.h"
+#include "temporal/gate.h"
 #include "track/tracker.h"
 
 namespace vqe {
@@ -38,6 +39,7 @@ Status QueryEngineOptions::Validate() const {
     VQE_RETURN_NOT_OK(script.Validate());
   }
   VQE_RETURN_NOT_OK(checkpoint.Validate());
+  VQE_RETURN_NOT_OK(skip.Validate());
   return matrix.Validate();
 }
 
@@ -51,6 +53,10 @@ constexpr char kQueryOutputSection[] = "query.output";
 constexpr char kQueryStrategySection[] = "strategy";
 constexpr char kQueryRuntimeSection[] = "runtime";
 constexpr char kQueryTrackerSection[] = "tracker";
+// Skip gate state (policy + propagation tracker); present only in
+// skip-enabled runs. When the gate is enabled it owns the only tracker in
+// the run, so the standalone tracker section is not written.
+constexpr char kQueryTemporalSection[] = "temporal";
 
 bool SameBits(double a, double b) {
   return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
@@ -72,6 +78,7 @@ struct QueryRunIdentity {
   ScoringFunction sc;
   uint64_t gamma = 0;
   uint64_t sw_window = 0;
+  SkipOptions skip;
 
   Status ExpectMatches(const QueryRunIdentity& other) const {
     if (strategy_name != other.strategy_name ||
@@ -98,7 +105,7 @@ struct QueryRunIdentity {
     if (gamma != other.gamma || sw_window != other.sw_window) {
       return Status::FailedPrecondition("checkpoint bandit knobs differ");
     }
-    return Status::OK();
+    return ExpectSkipOptionsMatch(skip, other.skip);
   }
 };
 
@@ -117,6 +124,7 @@ void WriteQueryIdentity(ByteWriter& w, const QueryRunIdentity& id) {
   w.U8(static_cast<uint8_t>(id.sc.form));
   w.U64(id.gamma);
   w.U64(id.sw_window);
+  WriteSkipOptionsIdentity(w, id.skip);
 }
 
 Status ReadQueryIdentity(ByteReader& r, QueryRunIdentity* id) {
@@ -136,6 +144,7 @@ Status ReadQueryIdentity(ByteReader& r, QueryRunIdentity* id) {
   VQE_RETURN_NOT_OK(r.U8(&form));
   VQE_RETURN_NOT_OK(r.U64(&id->gamma));
   VQE_RETURN_NOT_OK(r.U64(&id->sw_window));
+  VQE_RETURN_NOT_OK(ReadSkipOptionsIdentity(r, &id->skip));
   if (num_models < 1 || num_models > kMaxPoolSize) {
     return Status::DataLoss("query identity num_models out of range");
   }
@@ -162,6 +171,8 @@ void WriteQueryOutput(ByteWriter& w, const QueryOutput& out) {
   w.U64(out.failed_frames);
   w.F64(out.fault_ms);
   WriteVecU64(w, out.model_failures);
+  w.U64(out.skipped_frames);
+  w.F64(out.tracker_ms);
 }
 
 Status ReadQueryOutput(ByteReader& r, QueryOutput* out) {
@@ -186,6 +197,10 @@ Status ReadQueryOutput(ByteReader& r, QueryOutput* out) {
   VQE_RETURN_NOT_OK(r.U64(&failed));
   VQE_RETURN_NOT_OK(r.F64(&out->fault_ms));
   VQE_RETURN_NOT_OK(ReadVecU64(r, &out->model_failures));
+  uint64_t skipped = 0;
+  VQE_RETURN_NOT_OK(r.U64(&skipped));
+  VQE_RETURN_NOT_OK(r.F64(&out->tracker_ms));
+  out->skipped_frames = static_cast<size_t>(skipped);
   out->frames_processed = static_cast<size_t>(frames_processed);
   out->frames_matched = static_cast<size_t>(frames_matched);
   out->fallback_frames = static_cast<size_t>(fallback);
@@ -197,7 +212,8 @@ Status ReadQueryOutput(ByteReader& r, QueryOutput* out) {
 Result<std::vector<uint8_t>> BuildQuerySnapshot(
     const QueryRunIdentity& identity, size_t next_t, size_t next_iteration,
     const QueryOutput& out, const SelectionStrategy& strategy,
-    const std::vector<ResilientDetector>& runtime, const IouTracker* tracker) {
+    const std::vector<ResilientDetector>& runtime, const IouTracker* tracker,
+    const TemporalGate* gate) {
   SnapshotWriter snap;
   WriteQueryIdentity(snap.AddSection(kQueryMetaSection), identity);
   {
@@ -218,6 +234,9 @@ Result<std::vector<uint8_t>> BuildQuerySnapshot(
     VQE_RETURN_NOT_OK(
         tracker->SaveState(snap.AddSection(kQueryTrackerSection)));
   }
+  if (gate != nullptr) {
+    VQE_RETURN_NOT_OK(gate->SaveState(snap.AddSection(kQueryTemporalSection)));
+  }
   return snap.Finish();
 }
 
@@ -226,7 +245,8 @@ Status RestoreQueryRun(const SnapshotReader& snap,
                        const QueryRunIdentity& expected, uint32_t num_masks,
                        SelectionStrategy* strategy,
                        std::vector<ResilientDetector>* runtime,
-                       IouTracker* tracker, QueryOutput* out, size_t* next_t,
+                       IouTracker* tracker, TemporalGate* gate,
+                       QueryOutput* out, size_t* next_t,
                        size_t* next_iteration) {
   VQE_ASSIGN_OR_RETURN(ByteReader meta, snap.Section(kQueryMetaSection));
   QueryRunIdentity saved;
@@ -276,6 +296,16 @@ Status RestoreQueryRun(const SnapshotReader& snap,
     VQE_ASSIGN_OR_RETURN(ByteReader trk, snap.Section(kQueryTrackerSection));
     VQE_RETURN_NOT_OK(tracker->RestoreState(trk));
     VQE_RETURN_NOT_OK(trk.ExpectEnd());
+  }
+
+  if (gate != nullptr) {
+    if (!snap.HasSection(kQueryTemporalSection)) {
+      return Status::DataLoss(
+          "query checkpoint is missing the temporal section");
+    }
+    VQE_ASSIGN_OR_RETURN(ByteReader tmp, snap.Section(kQueryTemporalSection));
+    VQE_RETURN_NOT_OK(gate->RestoreState(tmp));
+    VQE_RETURN_NOT_OK(tmp.ExpectEnd());
   }
 
   // model_names and the per-invocation report are rebuilt by the caller.
@@ -426,6 +456,16 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   const bool needs_tracks = PredicateUsesTracks(query.where.get());
   IouTracker tracker;
 
+  // The temporal skip/detect gate. When enabled, its propagation tracker
+  // is THE tracker of the run: TRACKS() predicates read it instead of the
+  // standalone one, so detections are never tracked twice.
+  std::unique_ptr<TemporalGate> gate;
+  if (options.skip.enabled()) {
+    VQE_ASSIGN_OR_RETURN(gate, TemporalGate::Create(options.skip));
+  }
+  IouTracker* standalone_tracker =
+      (needs_tracks && gate == nullptr) ? &tracker : nullptr;
+
   std::vector<double> est_score(num_masks + 1);
   const double nan = std::numeric_limits<double>::quiet_NaN();
   std::vector<DetectionList> model_out(static_cast<size_t>(m));
@@ -453,6 +493,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   identity.sc = options.sc;
   identity.gamma = options.gamma;
   identity.sw_window = options.sw_window;
+  identity.skip = options.skip;
 
   size_t start_t = 0;
   size_t iteration = 0;
@@ -467,7 +508,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
         out.checkpoint.generations_rejected = loaded->rejected;
         VQE_RETURN_NOT_OK(RestoreQueryRun(
             loaded->snapshot, identity, num_masks, strategy.get(), &runtime,
-            needs_tracks ? &tracker : nullptr, &out, &start_t, &iteration));
+            standalone_tracker, gate.get(), &out, &start_t, &iteration));
         out.checkpoint.resumed = true;
         out.checkpoint.resumed_from_iteration = iteration;
         next_generation = loaded->sequence + 1;
@@ -478,10 +519,64 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   }
   size_t frames_this_invocation = 0;
 
+  // Shared per-frame epilogue — skipped or detected, failed or not, the
+  // frame was consumed and the run state advanced, so it is a valid
+  // checkpoint boundary.
+  auto frame_epilogue = [&](size_t t) -> Status {
+    ++out.frames_processed;
+    ++frames_this_invocation;
+
+    if (ckpt != nullptr &&
+        out.frames_processed % options.checkpoint.every_frames == 0 &&
+        t + stride < video.size()) {
+      Stopwatch watch;
+      VQE_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> bytes,
+          BuildQuerySnapshot(identity, t + stride, iteration, out, *strategy,
+                             runtime, standalone_tracker, gate.get()));
+      VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
+      ++next_generation;
+      ++out.checkpoint.snapshots_written;
+      out.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
+    }
+
+    // Crash injection for the resume tests (see CheckpointPolicy): abort
+    // after any checkpoint due at this frame has been durably written.
+    if (options.checkpoint.crash_after_frames > 0 &&
+        frames_this_invocation >= options.checkpoint.crash_after_frames &&
+        t + stride < video.size()) {
+      return Status::Aborted("crash injection after query frame " +
+                             std::to_string(t));
+    }
+    return Status::OK();
+  };
+
   for (size_t t = start_t; t < video.size(); t += stride) {
     if (query.budget_ms > 0.0 && out.charged_cost_ms > query.budget_ms) break;
     if (query.limit > 0 && out.frames_matched >= query.limit) break;
     const VideoFrame& frame = video.frames[t];
+
+    // Temporal fast path: answer the frame from coasted tracks. No model
+    // runs, no selection is made, and the strategy/breaker iteration clock
+    // does not tick — the bandit's frame sequence is simply the detect
+    // frames, with gaps where the gate skipped.
+    if (gate != nullptr && gate->ShouldSkip(frame.context)) {
+      const DetectionList& propagated = gate->Propagate();
+      const double tracker_cost = SimulatedTrackerCostMs(propagated.size());
+      out.charged_cost_ms += tracker_cost;
+      out.tracker_ms += tracker_cost;
+      std::vector<Track> active_tracks;
+      if (needs_tracks) active_tracks = gate->tracker().ActiveConfirmed();
+      if (EvaluatePredicate(query.where.get(), propagated,
+                            needs_tracks ? &active_tracks : nullptr)) {
+        out.frame_ids.push_back(frame.frame_index);
+        ++out.frames_matched;
+      }
+      ++out.skipped_frames;
+      VQE_RETURN_NOT_OK(frame_epilogue(t));
+      continue;
+    }
+
     const size_t frame_t = iteration++;
 
     // Mask breaker-open models out of the candidate ensembles for this
@@ -542,7 +637,16 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       // an empty frame so stale tracks age out on schedule.
       out.charged_cost_ms += frame_cost;
       ++out.failed_frames;
-      if (needs_tracks) tracker.Update(DetectionList{}, frame.frame_index);
+      if (gate != nullptr) {
+        // The gate still observes the (empty) frame: stale tracks age out,
+        // the open skip episode closes, and tracker time is charged.
+        gate->ObserveDetections(DetectionList{}, frame.frame_index);
+        const double tracker_cost = SimulatedTrackerCostMs(0);
+        out.charged_cost_ms += tracker_cost;
+        out.tracker_ms += tracker_cost;
+      } else if (needs_tracks) {
+        tracker.Update(DetectionList{}, frame.frame_index);
+      }
     } else {
       if (realized != selected) ++out.fallback_frames;
 
@@ -609,10 +713,19 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       feedback.est_score = &est_score;
       strategy->Observe(feedback);
 
+      if (gate != nullptr) {
+        gate->ObserveDetections(selected_fused, frame.frame_index);
+        const double tracker_cost =
+            SimulatedTrackerCostMs(selected_fused.size());
+        out.charged_cost_ms += tracker_cost;
+        out.tracker_ms += tracker_cost;
+      } else if (needs_tracks) {
+        tracker.Update(selected_fused, frame.frame_index);
+      }
       std::vector<Track> active_tracks;
       if (needs_tracks) {
-        tracker.Update(selected_fused, frame.frame_index);
-        active_tracks = tracker.ActiveConfirmed();
+        active_tracks = gate != nullptr ? gate->tracker().ActiveConfirmed()
+                                        : tracker.ActiveConfirmed();
       }
       if (EvaluatePredicate(query.where.get(), selected_fused,
                             needs_tracks ? &active_tracks : nullptr)) {
@@ -621,35 +734,8 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       }
     }
 
-    // Shared epilogue for processed frames — failed or not, the frame was
-    // consumed and the run state advanced, so it is a valid checkpoint
-    // boundary.
     ++out.selection_counts[selected];
-    ++out.frames_processed;
-    ++frames_this_invocation;
-
-    if (ckpt != nullptr &&
-        out.frames_processed % options.checkpoint.every_frames == 0 &&
-        t + stride < video.size()) {
-      Stopwatch watch;
-      VQE_ASSIGN_OR_RETURN(
-          std::vector<uint8_t> bytes,
-          BuildQuerySnapshot(identity, t + stride, iteration, out, *strategy,
-                             runtime, needs_tracks ? &tracker : nullptr));
-      VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
-      ++next_generation;
-      ++out.checkpoint.snapshots_written;
-      out.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
-    }
-
-    // Crash injection for the resume tests (see CheckpointPolicy): abort
-    // after any checkpoint due at this frame has been durably written.
-    if (options.checkpoint.crash_after_frames > 0 &&
-        frames_this_invocation >= options.checkpoint.crash_after_frames &&
-        t + stride < video.size()) {
-      return Status::Aborted("crash injection after query frame " +
-                             std::to_string(t));
-    }
+    VQE_RETURN_NOT_OK(frame_epilogue(t));
   }
 
   out.wall_seconds = wall.ElapsedSeconds();

@@ -24,6 +24,7 @@
 #include "runtime/fault_injection.h"
 #include "runtime/retry.h"
 #include "snapshot/checkpoint.h"
+#include "temporal/skip_policy.h"
 
 namespace vqe {
 
@@ -52,6 +53,13 @@ struct QueryEngineOptions {
   /// per-model runtime stacks, tracker, output accumulators, cursor).
   /// Resumed queries produce bit-identical output (wall_seconds aside).
   CheckpointPolicy checkpoint;
+  /// Temporal-coherence fast path: skipped frames are answered from
+  /// tracker propagation and charge only simulated tracker time; the
+  /// strategy/breaker iteration clock ticks only on detect frames. Default
+  /// OFF — queries are then bit-identical to the pre-skip executor. When
+  /// enabled alongside a TRACKS() predicate the gate's tracker doubles as
+  /// the predicate tracker (exactly one tracker per run).
+  SkipOptions skip;
 
   Status Validate() const;
 };
@@ -83,6 +91,12 @@ struct QueryOutput {
   /// Per-model failed calls (retries exhausted or breaker short-circuit),
   /// index-aligned with model_names.
   std::vector<uint64_t> model_failures;
+  /// Frames answered from tracker propagation instead of detector
+  /// inference (counted inside frames_processed, never selection_counts).
+  size_t skipped_frames = 0;
+  /// Simulated tracker time charged by the temporal fast path, ms
+  /// (already included in charged_cost_ms).
+  double tracker_ms = 0.0;
 
   /// What checkpointing did during THIS invocation (never serialized into
   /// snapshots — wall-clock and resume bookkeeping legitimately differ

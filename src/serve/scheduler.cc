@@ -157,6 +157,7 @@ void StreamScheduler::Retire(Slot& slot, ServeReport& report) {
     sr.result = slot.session->live_result();
   }
   stats_.frames += sr.frames;
+  stats_.skipped_frames += sr.result.skip.skipped_frames;
   stats_.simulated_ms += sr.result.breakdown.SimulatedMs();
   stats_.algorithm_wall_ms += sr.result.breakdown.algorithm_ms;
   if (options_.record_frame_latency) {

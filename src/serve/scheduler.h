@@ -98,6 +98,9 @@ struct ServeStats {
   double algorithm_wall_ms = 0.0;
   uint64_t rounds = 0;
   uint64_t frames = 0;
+  /// Frames (inside `frames`) answered from tracker propagation by
+  /// sessions running with EngineOptions::skip enabled.
+  uint64_t skipped_frames = 0;
   uint64_t submitted = 0;
   uint64_t admitted = 0;
   /// Submissions rejected with kResourceExhausted.

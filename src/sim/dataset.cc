@@ -169,6 +169,21 @@ DatasetSpec MakeNuscGroup(const std::string& suffix, SceneContext ctx,
   return d;
 }
 
+DatasetSpec MakeNuscLowMotion() {
+  // Temporal-coherence profile: the nuScenes clear-weather group with
+  // near-static objects (parked traffic, queues at lights) and a slow
+  // object process. The workload the skip gate is built for — consecutive
+  // frames are nearly interchangeable, so tracker propagation stays
+  // faithful over long coast streaks.
+  DatasetSpec d;
+  d.name = "nusc-lowmotion";
+  d.frames_per_second = 2.0;
+  d.generator.motion_scale = 0.1;
+  d.generator.spawn_probability = 0.01;
+  d.groups = {{"lowmotion", SceneContext::kClear, 274, 50}};
+  return d;
+}
+
 DatasetSpec MakeBdd() {
   // Table 2: 300 sequences, 30,000 samples (100 frames/sequence).
   DatasetSpec d;
@@ -229,6 +244,7 @@ DatasetCatalog::DatasetCatalog() {
       MakeNuscGroup("clear", SceneContext::kClear, 274),
       MakeNuscGroup("night", SceneContext::kNight, 79),
       MakeNuscGroup("rainy", SceneContext::kRainy, 184),
+      MakeNuscLowMotion(),
       MakeBdd(),
       MakeBddGroup("rainy", SceneContext::kRainy, 120, 42),
       MakeBddGroup("snow", SceneContext::kSnow, 132, 42),

@@ -64,6 +64,7 @@ Result<Video> SampleVideo(const DatasetSpec& spec, const SampleOptions& opts);
 
 /// The built-in catalog of paper datasets, keyed by name:
 ///   "nusc", "nusc-clear", "nusc-night", "nusc-rainy",
+///   "nusc-lowmotion" (near-static scenes for the temporal fast path),
 ///   "bdd", "bdd-rainy", "bdd-snow",
 ///   "c&n", "n&r", "c&n&r" (drift compositions).
 class DatasetCatalog {

@@ -1,0 +1,29 @@
+#include "temporal/difficulty.h"
+
+#include <algorithm>
+
+namespace vqe {
+
+double DifficultyScore(const DifficultySignals& signals) {
+  // A context switch means the specialized-detector regime changed under
+  // us; no amount of track stability makes reuse safe across it.
+  if (signals.context_changed) return 1.0;
+  const double churn = std::clamp(signals.detection_churn, 0.0, 1.0);
+  const double instability = std::clamp(signals.track_instability, 0.0, 1.0);
+  const double disagreement =
+      1.0 - std::clamp(signals.agreement, 0.0, 1.0);
+  // Fixed convex weights: churn dominates (a new object is unrecoverable
+  // by coasting), instability next (prediction error grows per skipped
+  // frame), disagreement last (it is a lagging, already-realized error).
+  const double score =
+      0.45 * churn + 0.35 * instability + 0.20 * disagreement;
+  return std::clamp(score, 0.0, 1.0);
+}
+
+int DifficultyBucket(double score) {
+  if (score < 1.0 / 3.0) return 0;
+  if (score < 2.0 / 3.0) return 1;
+  return 2;
+}
+
+}  // namespace vqe

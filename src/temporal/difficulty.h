@@ -1,0 +1,46 @@
+// Per-frame difficulty signal for the temporal skip/detect gate. The
+// signal is deliberately *cheap*: it is computed from state the tracker
+// already maintains at the last detect frame plus a one-byte scene-context
+// comparison — never from running a detector. This follows the
+// difficulty-gated skipping idea in the related ODD/ExSample work
+// (PAPERS.md): most frames are temporally redundant, and the frames that
+// are not announce themselves through churn in the detections and
+// instability in the tracks.
+
+#ifndef VQE_TEMPORAL_DIFFICULTY_H_
+#define VQE_TEMPORAL_DIFFICULTY_H_
+
+namespace vqe {
+
+/// Inputs to the difficulty score, refreshed at every detect frame.
+struct DifficultySignals {
+  /// Scene context differs from the previous frame's. A context switch
+  /// (the simulator's concept-drift event) invalidates temporal reuse
+  /// outright, so it dominates the score.
+  bool context_changed = false;
+  /// Fraction of the last association round that was births + retirements
+  /// rather than matches, in [0, 1]. High churn means objects are entering
+  /// or leaving the scene and coasted tracks would miss them.
+  double detection_churn = 0.0;
+  /// Mean per-frame track displacement relative to box size, in [0, 1].
+  /// Fast-moving objects accumulate constant-velocity prediction error
+  /// quickly, so skipping is riskier.
+  double track_instability = 0.0;
+  /// IoU agreement between the coasted predictions and the fresh
+  /// detections measured at the last detect frame, in [0, 1]. Low
+  /// agreement means the constant-velocity model is currently wrong.
+  double agreement = 1.0;
+};
+
+/// Scalar difficulty in [0, 1]; 1 means "must detect".
+double DifficultyScore(const DifficultySignals& signals);
+
+/// Number of difficulty buckets the skip bandit contextualizes on.
+inline constexpr int kNumDifficultyBuckets = 3;
+
+/// Maps a score to its bucket: [0, 1/3) -> 0, [1/3, 2/3) -> 1, rest -> 2.
+int DifficultyBucket(double score);
+
+}  // namespace vqe
+
+#endif  // VQE_TEMPORAL_DIFFICULTY_H_

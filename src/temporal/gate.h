@@ -1,0 +1,87 @@
+// The temporal skip/detect gate: the single object the engine and query
+// frame loops consult once per frame. It ties together the difficulty
+// signal (difficulty.h), the skip policy (skip_policy.h) and tracker
+// propagation (propagation.h):
+//
+//   detect frame:  ObserveDetections(fused) -> refresh signals, close the
+//                  bandit episode, plan the next skip run.
+//   every frame:   ShouldSkip(ctx) -> consume one planned skip, or force
+//                  a detect (first frame, scene-context change, nothing
+//                  propagatable).
+//   skip frame:    Propagate() -> coasted confirmed tracks as detections.
+//
+// A run with !SkipOptions::enabled() never constructs a gate, so the
+// disabled path is byte-identical to a build without this subsystem.
+
+#ifndef VQE_TEMPORAL_GATE_H_
+#define VQE_TEMPORAL_GATE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "detection/detection.h"
+#include "sim/scene_context.h"
+#include "snapshot/wire.h"
+#include "temporal/propagation.h"
+#include "temporal/skip_policy.h"
+
+namespace vqe {
+
+/// Per-run skip/detect decision state. Not thread-safe; one per run, like
+/// the strategy it sits in front of.
+class TemporalGate {
+ public:
+  /// Validates options; InvalidArgument unless options.enabled().
+  static Result<std::unique_ptr<TemporalGate>> Create(
+      const SkipOptions& options);
+
+  /// Must be called exactly once per frame, before any detector work.
+  /// True: the frame may be answered via Propagate() (one planned skip is
+  /// consumed). False: run the detect path and finish the frame with
+  /// ObserveDetections(). A scene-context change or an un-propagatable
+  /// state cancels the remaining planned skips (a "forced detect").
+  bool ShouldSkip(SceneContext ctx);
+
+  /// Skip path: coasted confirmed tracks as a fused-style DetectionList.
+  /// Valid until the next gate call.
+  const DetectionList& Propagate();
+
+  /// Detect path: ingest the realized ensemble's fused output (empty when
+  /// every model failed), close the open bandit episode, and plan the
+  /// next skip run.
+  void ObserveDetections(const DetectionList& fused, int64_t frame_index);
+
+  const IouTracker& tracker() const { return propagator_.tracker(); }
+  const SkipPolicy& policy() const { return policy_; }
+  const SkipOptions& options() const { return options_; }
+  /// Difficulty score computed at the last detect frame.
+  double last_difficulty() const { return last_difficulty_; }
+  /// Skips still planned for the current episode.
+  int remaining_skips() const { return remaining_skips_; }
+  /// Detect frames forced by context changes / lost propagation state
+  /// while skips were still planned.
+  uint64_t forced_detects() const { return forced_detects_; }
+
+  Status SaveState(ByteWriter& writer) const;
+  Status RestoreState(ByteReader& reader);
+
+ private:
+  explicit TemporalGate(const SkipOptions& options);
+
+  SkipOptions options_;
+  SkipPolicy policy_;
+  TrackPropagator propagator_;
+  int remaining_skips_ = 0;
+  int completed_skips_ = 0;
+  bool episode_open_ = false;
+  bool has_context_ = false;
+  bool context_changed_ = false;
+  SceneContext last_context_ = SceneContext::kClear;
+  double last_difficulty_ = 1.0;
+  uint64_t forced_detects_ = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_TEMPORAL_GATE_H_

@@ -1,0 +1,78 @@
+// Tracker-based detection propagation for skipped frames: advances the
+// confirmed tracks of an IouTracker through skipped frames by
+// constant-velocity coasting and converts them back into a fused-style
+// DetectionList, so downstream consumers (AP scoring, query predicates)
+// see a skipped frame exactly like a detect frame. Also owns the raw
+// difficulty signals (churn / instability / agreement) that the skip
+// policy reads, since they all fall out of the association bookkeeping.
+
+#ifndef VQE_TEMPORAL_PROPAGATION_H_
+#define VQE_TEMPORAL_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "detection/detection.h"
+#include "snapshot/wire.h"
+#include "track/tracker.h"
+
+namespace vqe {
+
+/// Advances tracks through skipped frames and emits propagated detections.
+class TrackPropagator {
+ public:
+  TrackPropagator(const TrackerOptions& tracker_options,
+                  double confidence_decay);
+
+  /// Detect-frame ingest: measures how well the current coasted
+  /// predictions agree with the fresh fused detections (one constant
+  /// velocity step ahead, the same prediction Update() associates on),
+  /// then updates the tracker and refreshes the churn/instability
+  /// signals. Resets the coast streak.
+  void ObserveDetections(const DetectionList& fused, int64_t frame_index);
+
+  /// Skip-frame path: coasts every track one frame and returns the
+  /// last-associated tracks (tentative included) as detections,
+  /// confidences decayed by confidence_decay^streak. The returned
+  /// reference is valid until the next Propagate/ObserveDetections call.
+  const DetectionList& Propagate();
+
+  /// True when a skipped frame can be answered from current state: the
+  /// scene holds associated tracks, or the last detect frame saw an
+  /// empty scene (propagating "still empty" is exact under the
+  /// zero-object AP convention).
+  bool CanPropagate() const;
+
+  // Difficulty signals as of the last ObserveDetections call.
+  double detection_churn() const { return churn_; }
+  double track_instability() const { return instability_; }
+  double agreement() const { return agreement_; }
+  int coast_streak() const { return coast_streak_; }
+
+  const IouTracker& tracker() const { return tracker_; }
+  IouTracker& tracker() { return tracker_; }
+
+  void Reset();
+  Status SaveState(ByteWriter& writer) const;
+  Status RestoreState(ByteReader& reader);
+
+ private:
+  IouTracker tracker_;
+  double confidence_decay_;
+  DetectionList propagated_;
+  // Scratch for agreement measurement (id, predicted box pairs).
+  std::vector<int64_t> pred_ids_;
+  std::vector<BBox> pred_boxes_;
+  int coast_streak_ = 0;
+  // Signals start pessimistic: before the first detect frame nothing is
+  // known, and the gate must not skip.
+  double churn_ = 1.0;
+  double instability_ = 1.0;
+  double agreement_ = 0.0;
+  uint64_t last_detect_count_ = 0;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_TEMPORAL_PROPAGATION_H_

@@ -111,8 +111,16 @@ Status IouTracker::RestoreState(ByteReader& reader) {
   return Status::OK();
 }
 
+void IouTracker::CoastOne() {
+  for (Track& t : tracks_) {
+    t.box = BBox{t.box.x1 + t.vx, t.box.y1 + t.vy, t.box.x2 + t.vx,
+                 t.box.y2 + t.vy};
+  }
+}
+
 const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
                                              int64_t frame_index) {
+  last_stats_ = TrackerUpdateStats{};
   // 1. Predict: advance every track by its velocity estimate.
   std::vector<BBox> predicted(tracks_.size());
   for (size_t i = 0; i < tracks_.size(); ++i) {
@@ -148,6 +156,7 @@ const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
     if (best_track < 0) continue;
     track_claimed[static_cast<size_t>(best_track)] = true;
     det_used[det_idx] = true;
+    ++last_stats_.matched;
 
     Track& t = tracks_[static_cast<size_t>(best_track)];
     // Velocity from consecutive associations (EMA for stability).
@@ -169,9 +178,11 @@ const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
     Track& t = tracks_[i];
     if (!track_claimed[i]) {
       ++t.missed;
+      ++last_stats_.unmatched;
       t.box = predicted[i];  // coast on the predicted position
       if (t.missed > options_.max_missed) {
         finished_.push_back(t);
+        ++last_stats_.retired;
         continue;
       }
     }
@@ -193,6 +204,7 @@ const std::vector<Track>& IouTracker::Update(const DetectionList& detections,
     t.first_frame = frame_index;
     t.last_frame = frame_index;
     survivors.push_back(t);
+    ++last_stats_.births;
   }
 
   tracks_ = std::move(survivors);

@@ -59,6 +59,21 @@ struct Track {
   bool UpdatedThisFrame() const { return missed == 0; }
 };
 
+/// Association summary of the most recent Update() call. The temporal
+/// skip gate reads these as its detection-churn signal: a frame whose
+/// associations were mostly births/retirements is a bad frame to start
+/// coasting from.
+struct TrackerUpdateStats {
+  /// Tracks created from unmatched detections this update.
+  int births = 0;
+  /// Tracks that claimed a detection this update.
+  int matched = 0;
+  /// Tracks retired (missed > max_missed) this update.
+  int retired = 0;
+  /// Live tracks left unmatched (now coasting on prediction).
+  int unmatched = 0;
+};
+
 /// Greedy-IoU online tracker. Feed frames in order via Update().
 class IouTracker {
  public:
@@ -70,6 +85,16 @@ class IouTracker {
   const std::vector<Track>& Update(const DetectionList& detections,
                                    int64_t frame_index);
 
+  /// Advances every live track by exactly one frame of constant-velocity
+  /// motion without consuming detections: box += (vx, vy), nothing else
+  /// changes. Unlike a missed frame in Update(), coasting does not age
+  /// tracks — a skipped frame is answered *from* the prediction, it is
+  /// not evidence the object vanished. Implemented as a single Euler
+  /// step on purpose: k calls reproduce the k intermediate single-frame
+  /// predictions bit-for-bit (box + v added k times, never box + k*v),
+  /// which the skip-path regression test pins.
+  void CoastOne();
+
   /// Live tracks (confirmed or tentative).
   const std::vector<Track>& tracks() const { return tracks_; }
 
@@ -80,6 +105,9 @@ class IouTracker {
   const std::vector<Track>& finished_tracks() const {
     return finished_;
   }
+
+  /// Association summary of the most recent Update().
+  const TrackerUpdateStats& last_update_stats() const { return last_stats_; }
 
   const TrackerOptions& options() const { return options_; }
 
@@ -98,6 +126,8 @@ class IouTracker {
   std::vector<Track> tracks_;
   std::vector<Track> finished_;
   int64_t next_id_ = 1;
+  // Not serialized: purely diagnostic, refreshed by the next Update().
+  TrackerUpdateStats last_stats_;
 };
 
 }  // namespace vqe

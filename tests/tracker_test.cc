@@ -25,14 +25,29 @@ TEST(TrackerOptionsTest, Validation) {
   o.iou_threshold = 0.0;
   EXPECT_FALSE(o.Validate().ok());
   o = TrackerOptions{};
+  o.iou_threshold = 1.5;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.iou_threshold = 1.0;
+  EXPECT_TRUE(o.Validate().ok());
+  o = TrackerOptions{};
   o.max_missed = -1;
   EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.max_missed = 0;
+  EXPECT_TRUE(o.Validate().ok());
   o = TrackerOptions{};
   o.min_hits = 0;
   EXPECT_FALSE(o.Validate().ok());
   o = TrackerOptions{};
   o.min_confidence = 1.5;
   EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.min_confidence = -0.1;
+  EXPECT_FALSE(o.Validate().ok());
+  o = TrackerOptions{};
+  o.min_confidence = 0.0;
+  EXPECT_TRUE(o.Validate().ok());
 }
 
 TEST(TrackerTest, BirthsTrackPerConfidentDetection) {
@@ -144,6 +159,81 @@ TEST(TrackerTest, ResetClearsState) {
   EXPECT_TRUE(tracker.tracks().empty());
   tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
   EXPECT_EQ(tracker.tracks()[0].track_id, 1);  // ids restart
+}
+
+// ------------------------------------------------- coasting (skip path) --
+
+// The skip fast path leans on CoastOne being a single Euler step: calling
+// it k times must land on exactly the same doubles as accumulating the
+// velocity one frame at a time (box + v + v + ..., never box + k*v).
+TEST(TrackerCoastTest, KStepsMatchIncrementalPredictionBitExactly) {
+  IouTracker tracker;
+  // Warm the velocity estimate up over a few frames of steady motion.
+  for (int t = 0; t <= 3; ++t) {
+    tracker.Update({Det(7.0 * t, 3.0 * t, 40, 40, 0.9)}, t);
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track start = tracker.tracks()[0];
+  ASSERT_NE(start.vx, 0.0);
+
+  double ex1 = start.box.x1, ey1 = start.box.y1;
+  double ex2 = start.box.x2, ey2 = start.box.y2;
+  for (int k = 1; k <= 5; ++k) {
+    tracker.CoastOne();
+    ex1 += start.vx;
+    ey1 += start.vy;
+    ex2 += start.vx;
+    ey2 += start.vy;
+    const Track& coasted = tracker.tracks()[0];
+    EXPECT_EQ(coasted.box.x1, ex1) << "step " << k;
+    EXPECT_EQ(coasted.box.y1, ey1) << "step " << k;
+    EXPECT_EQ(coasted.box.x2, ex2) << "step " << k;
+    EXPECT_EQ(coasted.box.y2, ey2) << "step " << k;
+    // Coasting moves ONLY the box: velocity, confidence and association
+    // bookkeeping stay untouched.
+    EXPECT_EQ(coasted.vx, start.vx);
+    EXPECT_EQ(coasted.vy, start.vy);
+    EXPECT_EQ(coasted.confidence, start.confidence);
+  }
+}
+
+// A skipped frame is answered FROM the prediction — it is not evidence the
+// object vanished, so coasting must not age or retire tracks the way a
+// missed frame in Update() does.
+TEST(TrackerCoastTest, CoastingDoesNotAgeOrRetireTracks) {
+  TrackerOptions opt;
+  opt.max_missed = 1;  // a single missed Update() frame would retire soon
+  IouTracker tracker(opt);
+  tracker.Update({Det(0, 0, 40, 40, 0.9)}, 0);
+  tracker.Update({Det(5, 0, 40, 40, 0.9)}, 1);
+  const Track before = tracker.tracks()[0];
+
+  for (int k = 0; k < 10; ++k) tracker.CoastOne();
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track& after = tracker.tracks()[0];
+  EXPECT_EQ(after.missed, before.missed);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.Age(), before.Age());
+  EXPECT_TRUE(after.UpdatedThisFrame());
+  EXPECT_TRUE(tracker.finished_tracks().empty());
+}
+
+// After coasting, a fresh detection near the coasted position must
+// re-associate with the same identity — the detect frame that ends a skip
+// episode continues the track, it does not fork it.
+TEST(TrackerCoastTest, DetectionAfterCoastingKeepsIdentity) {
+  IouTracker tracker;
+  for (int t = 0; t <= 2; ++t) {
+    tracker.Update({Det(6.0 * t, 0, 40, 40, 0.9)}, t);
+  }
+  const int64_t id = tracker.tracks()[0].track_id;
+  tracker.CoastOne();
+  tracker.CoastOne();
+  // True object position after two more frames of the same motion.
+  const auto& tracks = tracker.Update({Det(6.0 * 4, 0, 40, 40, 0.9)}, 4);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].track_id, id);
+  EXPECT_EQ(tracks[0].missed, 0);
 }
 
 // ----------------------------------------------------- TRACKS() in queries --

@@ -14,7 +14,9 @@
 # snapshot/checkpoint stack (hostile-byte parsing plus the crash-resume
 # matrix) — corrupt snapshots must fail with a clean Status, never UB —
 # and the serving layer (scheduler rounds stepping sessions in parallel,
-# cross-stream batch coalescing, the thread pool shutdown contract).
+# cross-stream batch coalescing, the thread pool shutdown contract), plus
+# the temporal skip gate (tracker propagation, skip-policy snapshots, and
+# the skip-enabled crash-resume and disabled-path invariants).
 
 set -eu
 
@@ -36,6 +38,12 @@ run_perf_smoke() {
   # lands next to the binary, not in the repo root.
   (cd build/bench && VQE_BENCH_TRIALS=2 VQE_BENCH_FRAMES=40 \
     ./bench_matrix_build)
+  # Same contract for the serving bench: its exit code gates only on
+  # bit-identity — served streams equal to solo runs, skip_budget=0 rows
+  # equal to the no-skip baseline, and skip-enabled served streams equal
+  # to their solo counterparts. Throughput numbers are reported, not gated.
+  (cd build/bench && VQE_BENCH_TRIALS=2 VQE_BENCH_FRAMES=120 \
+    ./bench_serve)
 }
 
 run_sanitizer() {
@@ -44,9 +52,10 @@ run_sanitizer() {
   cmake -B "$dir" -S . -DVQE_SANITIZE="$san" >/dev/null
   cmake --build "$dir" -j --target \
     thread_pool_test determinism_test fusion_test lazy_eval_test \
-    runtime_test snapshot_test resume_test serialization_test serve_test
+    runtime_test snapshot_test resume_test serialization_test serve_test \
+    temporal_test tracker_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest"
 }
 
 run_tier1
