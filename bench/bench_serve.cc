@@ -17,6 +17,14 @@
 // reproduce the no-skip run exactly, and served skip streams must match
 // their solo baselines.
 //
+// Finally sweeps the sharded fleet: 16 streams served by 1/2/4/8 shard
+// threads, clean and under a chaos script (one scripted migration plus a
+// shard kill). Reports throughput-versus-shards, migration handoff
+// latency percentiles, and failover counts. On a small machine the
+// wall-clock scaling is whatever the core count allows — the exit code
+// gates only bit-identity: every completing stream, migrated or
+// restarted, must match its solo baseline.
+//
 // Emits BENCH_serve.json so later PRs can track the trajectory.
 
 #include <algorithm>
@@ -29,6 +37,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "fleet/sharded_server.h"
 #include "core/baselines.h"
 #include "core/ducb.h"
 #include "core/engine.h"
@@ -176,6 +185,24 @@ struct SkipRow {
   bool baseline_identical = true;
 };
 
+/// One cell of the shard sweep (one fleet run).
+struct FleetRow {
+  int shards = 0;
+  bool chaos = false;
+  double wall_ms = 0.0;
+  uint64_t frames = 0;
+  double frames_per_sec = 0.0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  int shards_killed = 0;
+  uint64_t failover_streams = 0;
+  uint64_t migrations_attempted = 0;
+  uint64_t migrations_completed = 0;
+  double migration_p50_ms = 0.0;
+  double migration_p99_ms = 0.0;
+  bool bit_identical = true;
+};
+
 SkipOptions MakeSkip(const std::string& mode, int budget) {
   SkipOptions s;
   s.mode = mode == "bandit"  ? SkipMode::kBandit
@@ -183,6 +210,24 @@ SkipOptions MakeSkip(const std::string& mode, int budget) {
                              : SkipMode::kDifficultyGated;
   s.skip_budget = budget;
   return s;
+}
+
+/// Fleet streams rebuild their session from scratch on failover, so the
+/// factory must be repeatable and thread-safe (pool and video are only
+/// read).
+Result<std::unique_ptr<StreamSession>> BuildFleetSession(
+    const Video& video, const DetectorPool& pool, const StreamSpec& spec) {
+  VQE_ASSIGN_OR_RETURN(auto source, LazyFrameEvaluator::Create(
+                                        video, pool, spec.trial_seed, {}));
+  StreamSessionConfig cfg;
+  cfg.name = spec.name;
+  cfg.priority = spec.priority;
+  cfg.engine = MakeEngine(spec);
+  for (const auto& det : pool.detectors) {
+    cfg.model_names.push_back(det->name());
+  }
+  return StreamSession::Create(std::move(cfg), std::move(source),
+                               MakeStrategy(spec.strategy), {});
 }
 
 }  // namespace
@@ -431,6 +476,128 @@ int main() {
             << " skipped) across 4 streams, identical to solo: "
             << (serve_skip_identical ? "PASS" : "FAIL") << "\n";
 
+  // ---- Sharded fleet sweep: shard count × {clean, chaos} ----
+  //
+  // 16 streams (sharing seeds with the 8 solo baselines, unique names so
+  // routing spreads them) served by 1/2/4/8 shard threads. The chaos
+  // variant migrates one live stream onto the last shard at round 2 and
+  // kills that shard at its round 10, so the migrated stream and the
+  // shard's other sessions all fail over to survivors. Wall-clock scaling
+  // is whatever hardware_threads allows; the exit code gates only
+  // bit-identity of every completing stream.
+  std::cout << "\nsharded fleet sweep (16 streams):\n";
+  std::vector<StreamSpec> fleet_specs;
+  for (size_t j = 0; j < 16; ++j) {
+    StreamSpec s = MakeSpec(j % 8);
+    s.name = "fleet-" + std::to_string(j) + "-" + s.strategy;
+    fleet_specs.push_back(std::move(s));
+  }
+  std::vector<FleetRow> fleet_rows;
+  bool fleet_identical = true;
+  for (const bool chaos : {false, true}) {
+    for (const int n : {1, 2, 4, 8}) {
+      if (chaos && n < 2) continue;  // kill + migrate need a survivor
+      FleetOptions fopt;
+      fopt.num_shards = n;
+      fopt.max_sessions = 16;
+      fopt.max_restarts = 2;
+      fopt.shard.max_sessions = 16;  // any survivor can absorb the fleet
+      fopt.shard.queue_depth = 0;
+      fopt.shard.quantum_ms = 150.0;
+      fopt.shard.max_frames_per_round = 8;
+      fopt.shard.parallelism = 1;  // shard threads are the parallelism
+
+      std::vector<FleetStreamSpec> specs;
+      for (const auto& s : fleet_specs) {
+        specs.push_back(
+            {s.name, [&video, &pool, s] {
+               return BuildFleetSession(video, pool, s);
+             }});
+      }
+      ChaosScript script;
+      if (chaos) {
+        ChaosEvent mig;
+        mig.kind = ChaosEvent::Kind::kMigrate;
+        mig.at_round = 2;
+        mig.shard = 0;
+        mig.target_shard = n - 1;
+        for (const auto& s : fleet_specs) {
+          if (FleetRouteHash(s.name) % static_cast<uint64_t>(n) == 0) {
+            mig.stream = s.name;
+            break;
+          }
+        }
+        if (!mig.stream.empty()) script.events.push_back(mig);
+        // Killed well after the migrate fires so the payload usually
+        // lands first (an undeliverable payload just restarts the stream
+        // — still correct, but then there is no handoff to time).
+        ChaosEvent kill;
+        kill.kind = ChaosEvent::Kind::kKillShard;
+        kill.at_round = 10;
+        kill.shard = n - 1;
+        script.events.push_back(kill);
+      }
+
+      ShardedServer server(fopt);
+      auto freport_or = server.Run(std::move(specs), script);
+      if (!freport_or.ok()) {
+        std::cerr << "fleet run failed: "
+                  << freport_or.status().ToString() << "\n";
+        return 1;
+      }
+      const FleetReport freport = std::move(freport_or).value();
+
+      FleetRow row;
+      row.shards = n;
+      row.chaos = chaos;
+      row.wall_ms = freport.stats.wall_ms;
+      for (size_t j = 0; j < freport.streams.size(); ++j) {
+        const FleetStreamReport& fsr = freport.streams[j];
+        // Restart budget and survivor capacity are sized so every stream
+        // completes even under the chaos script; anything else is a
+        // correctness failure, not noise.
+        if (!fsr.report.status.ok() ||
+            !SameRun(solo[j % 8], fsr.report.result)) {
+          row.bit_identical = false;
+        }
+        if (fsr.report.status.ok()) {
+          row.frames += fsr.report.result.frames_processed;
+        }
+      }
+      row.frames_per_sec =
+          row.wall_ms > 0.0
+              ? 1e3 * static_cast<double>(row.frames) / row.wall_ms
+              : 0.0;
+      row.completed = freport.stats.completed_streams;
+      row.failed = freport.stats.failed_streams;
+      row.shards_killed = freport.stats.shards_killed;
+      row.failover_streams = freport.stats.failover_streams;
+      row.migrations_attempted = freport.stats.migration.attempted;
+      row.migrations_completed = freport.stats.migration.completed;
+      row.migration_p50_ms = freport.stats.migration.latency_p50_ms;
+      row.migration_p99_ms = freport.stats.migration.latency_p99_ms;
+      fleet_identical &= row.bit_identical;
+      fleet_rows.push_back(row);
+
+      std::cout << "  shards=" << n << (chaos ? " chaos" : " clean ")
+                << ": wall " << Fmt(row.wall_ms) << " ms, "
+                << Fmt(row.frames_per_sec, 0) << " frames/s, completed "
+                << row.completed << "/" << fleet_specs.size();
+      if (chaos) {
+        std::cout << ", killed " << row.shards_killed << ", failover "
+                  << row.failover_streams << ", migrations "
+                  << row.migrations_completed << "/"
+                  << row.migrations_attempted << " (p50 "
+                  << Fmt(row.migration_p50_ms, 3) << " ms, p99 "
+                  << Fmt(row.migration_p99_ms, 3) << " ms)";
+      }
+      std::cout << ", identical=" << (row.bit_identical ? "yes" : "NO")
+                << "\n";
+    }
+  }
+  std::cout << "fleet bit-identity across all shard configurations: "
+            << (fleet_identical ? "PASS" : "FAIL") << "\n";
+
   FILE* json = std::fopen("BENCH_serve.json", "w");
   if (json == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -484,13 +651,43 @@ int main() {
   std::fprintf(json,
                "  ],\n  \"skip_serve\": {\"streams\": 4, \"frames\": %llu,\n"
                "    \"skipped_frames\": %llu, \"identical\": %s},\n"
-               "  \"skip_budget0_identical\": %s\n}\n",
+               "  \"shards\": [\n",
                static_cast<unsigned long long>(skip_report.stats.frames),
                static_cast<unsigned long long>(
                    skip_report.stats.skipped_frames),
-               serve_skip_identical ? "true" : "false",
+               serve_skip_identical ? "true" : "false");
+  for (size_t i = 0; i < fleet_rows.size(); ++i) {
+    const FleetRow& r = fleet_rows[i];
+    std::fprintf(
+        json,
+        "    {\"shards\": %d, \"chaos\": %s, \"wall_ms\": %.3f,\n"
+        "     \"frames\": %llu, \"frames_per_sec\": %.1f,\n"
+        "     \"completed_streams\": %llu, \"failed_streams\": %llu,\n"
+        "     \"shards_killed\": %d, \"failover_streams\": %llu,\n"
+        "     \"migrations_attempted\": %llu,"
+        " \"migrations_completed\": %llu,\n"
+        "     \"migration_p50_ms\": %.4f, \"migration_p99_ms\": %.4f,\n"
+        "     \"bit_identical\": %s}%s\n",
+        r.shards, r.chaos ? "true" : "false", r.wall_ms,
+        static_cast<unsigned long long>(r.frames), r.frames_per_sec,
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.failed), r.shards_killed,
+        static_cast<unsigned long long>(r.failover_streams),
+        static_cast<unsigned long long>(r.migrations_attempted),
+        static_cast<unsigned long long>(r.migrations_completed),
+        r.migration_p50_ms, r.migration_p99_ms,
+        r.bit_identical ? "true" : "false",
+        i + 1 < fleet_rows.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"fleet_bit_identical\": %s,\n"
+               "  \"skip_budget0_identical\": %s\n}\n",
+               fleet_identical ? "true" : "false",
                skip_identity ? "true" : "false");
   std::fclose(json);
   std::cout << "wrote BENCH_serve.json\n";
-  return (all_identical && skip_identity && serve_skip_identical) ? 0 : 1;
+  return (all_identical && skip_identity && serve_skip_identical &&
+          fleet_identical)
+             ? 0
+             : 1;
 }

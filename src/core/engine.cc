@@ -444,6 +444,38 @@ Status EngineRun::StepSkippedFrame(size_t t) {
   return FrameEpilogue(t);
 }
 
+Result<std::vector<uint8_t>> EngineRun::ExportSnapshot() const {
+  if (finished_) {
+    return Status::FailedPrecondition("ExportSnapshot on a finished run");
+  }
+  // include_source mirrors the checkpoint policy (default true): the lazy
+  // memo is a cache, so results are identical either way — carrying it
+  // just spares the migration target recomputation.
+  return BuildEngineSnapshot(identity_->identity, next_frame_,
+                             algo_time_.total_seconds(), result_, *strategy_,
+                             breakers_, *source_,
+                             options_.checkpoint.include_source, gate_.get(),
+                             last_max_cost_ms_);
+}
+
+Status EngineRun::RestoreFromSnapshot(const SnapshotReader& snapshot) {
+  if (finished_) {
+    return Status::FailedPrecondition("RestoreFromSnapshot on a finished run");
+  }
+  if (frames_this_invocation_ > 0) {
+    return Status::FailedPrecondition(
+        "RestoreFromSnapshot requires a freshly created run (this one "
+        "already stepped frames)");
+  }
+  double saved_algo_seconds = 0.0;
+  VQE_RETURN_NOT_OK(RestoreEngineRun(
+      snapshot, identity_->identity, num_masks_, strategy_, *source_,
+      &breakers_, &result_, &next_frame_, &saved_algo_seconds,
+      options_.checkpoint.include_source, gate_.get(), &last_max_cost_ms_));
+  algo_time_.Add(saved_algo_seconds);
+  return Status::OK();
+}
+
 double EngineRun::BestTrueScore(size_t t, double inv_max) {
   // The regret baseline max_S r_{S*|v}: the maximizer of any monotone
   // score lies on the frame's ⟨true_ap, cost⟩ Pareto frontier, so scan

@@ -241,6 +241,25 @@ class EngineRun {
   /// FailedPrecondition when done(), or any checkpoint-write error.
   Status StepFrame();
 
+  /// Serializes the complete resumable state of the live run into the
+  /// snapshot wire format (the same container a checkpoint writes,
+  /// identity fingerprint included) WITHOUT touching disk. This is the
+  /// live-migration path: the serving layer exports a mid-video session on
+  /// one scheduler shard and implants the bytes on another. Callable any
+  /// time between Create and Finish; FailedPrecondition after Finish.
+  Result<std::vector<uint8_t>> ExportSnapshot() const;
+
+  /// Overlays a parsed, CRC-valid snapshot onto this run — the in-memory
+  /// counterpart of checkpoint resume. The snapshot's identity fingerprint
+  /// must match this run's configuration (FailedPrecondition otherwise:
+  /// the payload belongs to a different stream) and the fingerprint is
+  /// verified BEFORE any run state is mutated, so a rejected payload
+  /// leaves the run exactly as it was. Structural damage inside a
+  /// CRC-valid section returns DataLoss. Callable only before this
+  /// invocation has stepped any frame (a migration target is always a
+  /// freshly created run).
+  Status RestoreFromSnapshot(const SnapshotReader& snapshot);
+
   /// Finalizes averages and per-model breaker counters and returns the
   /// RunResult. Callable once; the run is done() afterwards.
   Result<RunResult> Finish();

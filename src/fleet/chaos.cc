@@ -1,0 +1,49 @@
+#include "fleet/chaos.h"
+
+namespace vqe {
+
+const char* ChaosEventKindToString(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::kKillShard:
+      return "kill-shard";
+    case ChaosEvent::Kind::kMigrate:
+      return "migrate";
+    case ChaosEvent::Kind::kCorruptNextMigration:
+      return "corrupt-next-migration";
+  }
+  return "unknown";
+}
+
+Status ChaosScript::Validate(int num_shards) const {
+  for (const ChaosEvent& event : events) {
+    if (event.shard < 0 || event.shard >= num_shards) {
+      return Status::InvalidArgument(
+          std::string(ChaosEventKindToString(event.kind)) +
+          " event targets shard " + std::to_string(event.shard) +
+          " outside [0, " + std::to_string(num_shards) + ")");
+    }
+    if (event.kind == ChaosEvent::Kind::kMigrate) {
+      if (event.target_shard < 0 || event.target_shard >= num_shards) {
+        return Status::InvalidArgument(
+            "migrate event targets shard " +
+            std::to_string(event.target_shard) + " outside [0, " +
+            std::to_string(num_shards) + ")");
+      }
+      if (event.target_shard == event.shard) {
+        return Status::InvalidArgument(
+            "migrate event has source == target shard " +
+            std::to_string(event.shard));
+      }
+      if (event.stream.empty()) {
+        return Status::InvalidArgument("migrate event needs a stream name");
+      }
+    }
+    if (event.kind == ChaosEvent::Kind::kCorruptNextMigration &&
+        event.flip_bit < 0) {
+      return Status::InvalidArgument("flip_bit must be >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vqe

@@ -1,0 +1,56 @@
+#include "fleet/migration.h"
+
+#include <utility>
+
+#include "snapshot/snapshot.h"
+
+namespace vqe {
+namespace {
+
+constexpr char kMetaSection[] = "fleet.meta";
+constexpr char kEngineSection[] = "fleet.engine";
+
+}  // namespace
+
+std::vector<uint8_t> EncodeMigrationPayload(const MigrationPayload& payload) {
+  SnapshotWriter writer;
+  ByteWriter& meta = writer.AddSection(kMetaSection);
+  meta.Str(payload.stream_name);
+  meta.I64(payload.source_shard);
+  meta.U64(payload.sequence);
+  meta.U64(payload.carry.frames);
+  meta.U64(payload.carry.rounds_active);
+  ByteWriter& engine = writer.AddSection(kEngineSection);
+  // Str = u32 length prefix + raw bytes; bounds-checked on read. Engine
+  // snapshots are KBs, far under the u32 ceiling.
+  engine.Str(std::string(payload.engine_snapshot.begin(),
+                         payload.engine_snapshot.end()));
+  return writer.Finish();
+}
+
+Result<MigrationPayload> DecodeMigrationPayload(
+    const std::vector<uint8_t>& bytes) {
+  VQE_ASSIGN_OR_RETURN(SnapshotReader snapshot, SnapshotReader::Parse(bytes));
+  MigrationPayload payload;
+
+  VQE_ASSIGN_OR_RETURN(ByteReader meta, snapshot.Section(kMetaSection));
+  VQE_RETURN_NOT_OK(meta.Str(&payload.stream_name));
+  int64_t source_shard = 0;
+  VQE_RETURN_NOT_OK(meta.I64(&source_shard));
+  payload.source_shard = static_cast<int>(source_shard);
+  VQE_RETURN_NOT_OK(meta.U64(&payload.sequence));
+  uint64_t frames = 0;
+  VQE_RETURN_NOT_OK(meta.U64(&frames));
+  payload.carry.frames = static_cast<size_t>(frames);
+  VQE_RETURN_NOT_OK(meta.U64(&payload.carry.rounds_active));
+  VQE_RETURN_NOT_OK(meta.ExpectEnd());
+
+  VQE_ASSIGN_OR_RETURN(ByteReader engine, snapshot.Section(kEngineSection));
+  std::string blob;
+  VQE_RETURN_NOT_OK(engine.Str(&blob));
+  VQE_RETURN_NOT_OK(engine.ExpectEnd());
+  payload.engine_snapshot.assign(blob.begin(), blob.end());
+  return payload;
+}
+
+}  // namespace vqe

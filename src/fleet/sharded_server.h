@@ -1,0 +1,186 @@
+// Sharded fleet serving: N StreamScheduler shards on their own threads,
+// a fleet-level admission front door, live session migration between
+// shards, shard failover, and deterministic chaos injection.
+//
+// Architecture. The coordinator (the thread calling Run) owns the stream
+// table and the fleet event queue; each shard thread owns one
+// StreamScheduler and drives it one DRR round at a time, interleaving
+// control work between rounds. All cross-thread traffic flows through two
+// mutex-protected queues — coordinator -> shard inboxes (submit, implant,
+// extract, stop) and shard -> coordinator fleet events (stream done,
+// migration payload, implant result, shard death) — so no scheduler is
+// ever touched by two threads at once.
+//
+// Admission. Run hashes each stream (FNV-1a of its name) onto a shard;
+// a full shard falls over to the least-loaded one with capacity. The
+// fleet admits at most max_sessions streams overall; the rest are shed
+// with kResourceExhausted and appear in the report as terminal
+// stream entries (and in FleetStats::shed).
+//
+// Migration. A live session moves between shards as a MigrationPayload:
+// the source shard exports the engine snapshot (identity fingerprint
+// included), the coordinator routes the envelope, the target builds a
+// fresh session from the stream's factory and overlays the state. A
+// corrupt payload is rejected with DataLoss and a fingerprint mismatch
+// with FailedPrecondition — both BEFORE the target session is mutated —
+// and the coordinator falls back to restarting the stream from scratch
+// (or from its checkpoint directory), so damage costs work, never
+// correctness.
+//
+// Failover. A killed shard loses its live sessions and its shard-local
+// stats (crash semantics). The coordinator restarts the lost streams on
+// surviving shards from their factories; streams with a checkpoint
+// directory resume from their newest good generation. Each stream has a
+// bounded restart budget; past it (or with no shard left) it goes
+// terminal with the last failure.
+//
+// Bit-identity. Because every session's state is private and every frame
+// deterministic, a stream that completes — directly, migrated mid-video,
+// or restarted after a crash — produces a RunResult bit-identical to its
+// solo RunStrategy run (wall-clock fields aside). fleet_test pins this
+// under the full chaos matrix.
+
+#ifndef VQE_FLEET_SHARDED_SERVER_H_
+#define VQE_FLEET_SHARDED_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fleet/chaos.h"
+#include "fleet/migration.h"
+#include "runtime/breaker_registry.h"
+#include "serve/scheduler.h"
+#include "serve/stream_session.h"
+
+namespace vqe {
+
+/// Builds a fresh StreamSession for a stream — used for initial submission
+/// AND for failover restarts / migration targets, so it must be callable
+/// repeatedly and deterministically. Must be safe to invoke from any shard
+/// thread (sessions themselves are single-threaded once built).
+using SessionFactory =
+    std::function<Result<std::unique_ptr<StreamSession>>()>;
+
+struct FleetStreamSpec {
+  /// Fleet-wide unique stream name (the routing and migration key).
+  std::string name;
+  SessionFactory factory;
+};
+
+struct FleetOptions {
+  /// Number of shard threads (each runs one StreamScheduler).
+  int num_shards = 2;
+  /// Fleet-wide admission cap: streams beyond this are shed up front.
+  int max_sessions = 64;
+  /// Per-stream failover budget (restarts after shard death or a corrupt
+  /// migration payload; per-stream step errors are terminal, not retried).
+  int max_restarts = 2;
+  /// When > 0, the coordinator migrates a stream off the most loaded
+  /// shard whenever its live-stream count exceeds the least loaded one's
+  /// by at least this much. 0 disables skew rebalancing.
+  int rebalance_threshold = 0;
+  /// Per-shard scheduler knobs (its fleet_breaker field is ignored: all
+  /// shards publish into the single fleet-wide registry below).
+  ServeOptions shard;
+  /// Options of the fleet-wide per-model breaker registry shared by every
+  /// shard.
+  CircuitBreakerOptions fleet_breaker;
+
+  Status Validate() const;
+};
+
+/// Migration ledger for one Run.
+struct MigrationStats {
+  /// Extractions requested (chaos + rebalance).
+  uint64_t attempted = 0;
+  /// Sessions successfully implanted on their target shard.
+  uint64_t completed = 0;
+  /// Payloads rejected with DataLoss (bit flips, truncation).
+  uint64_t rejected_corrupt = 0;
+  /// Payloads rejected with FailedPrecondition (identity mismatch).
+  uint64_t rejected_identity = 0;
+  /// Streams restarted from their factory after a rejected or
+  /// undeliverable payload.
+  uint64_t fallback_restarts = 0;
+  /// Extractions that found nothing to move (stream already finished or
+  /// already elsewhere) — benign under chaos.
+  uint64_t aborted = 0;
+  /// Handoff latency (payload leaving the source shard -> implant
+  /// confirmed), coordinator-measured wall clock.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+struct FleetStats {
+  int num_shards = 0;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  /// Streams shed at the fleet front door.
+  uint64_t shed = 0;
+  int shards_killed = 0;
+  /// Streams restarted because their shard died.
+  uint64_t failover_streams = 0;
+  uint64_t completed_streams = 0;
+  uint64_t failed_streams = 0;
+  double wall_ms = 0.0;
+  MigrationStats migration;
+  /// Shard-local serving stats; `dead` shards crashed and lost theirs.
+  struct ShardSummary {
+    int shard = 0;
+    bool dead = false;
+    ServeStats stats;
+  };
+  std::vector<ShardSummary> shards;
+  /// Fleet-wide per-model breaker state at drain time.
+  std::vector<BreakerRegistry::ModelHealth> fleet_health;
+};
+
+/// Terminal state of one stream across its whole fleet lifetime
+/// (migrations and restarts included).
+struct FleetStreamReport {
+  std::string name;
+  /// Shard the stream finished on (-1 for shed / never-placed streams).
+  int shard = -1;
+  int restarts = 0;
+  int migrations = 0;
+  /// The final StreamReport (status OK for completed streams; the
+  /// admission / step / failover error otherwise).
+  StreamReport report;
+};
+
+struct FleetReport {
+  FleetStats stats;
+  /// One entry per submitted spec, submission order.
+  std::vector<FleetStreamReport> streams;
+};
+
+class ShardedServer {
+ public:
+  explicit ShardedServer(FleetOptions options = {});
+
+  /// Serves `specs` to completion under `chaos` (empty script = no
+  /// faults). Blocking; the calling thread becomes the fleet coordinator.
+  /// Returns the fleet report once every admitted stream is terminal.
+  /// Fails fast (before starting shards) on invalid options or script.
+  /// Callable once per ShardedServer.
+  Result<FleetReport> Run(std::vector<FleetStreamSpec> specs,
+                          ChaosScript chaos = {});
+
+  const FleetOptions& options() const { return options_; }
+
+ private:
+  FleetOptions options_;
+  bool ran_ = false;
+};
+
+/// FNV-1a hash of a stream name — the shard routing function (exposed so
+/// tests can place streams deliberately).
+uint64_t FleetRouteHash(const std::string& name);
+
+}  // namespace vqe
+
+#endif  // VQE_FLEET_SHARDED_SERVER_H_

@@ -42,15 +42,20 @@ Status ServeOptions::Validate() const {
 }
 
 StreamScheduler::StreamScheduler(ServeOptions options)
-    : options_(options), registry_(options.fleet_breaker) {}
+    : options_(options),
+      own_registry_(options.fleet_breaker),
+      registry_(&own_registry_) {}
 
 void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
-                               uint64_t id, uint64_t round) {
+                               uint64_t id, uint64_t round,
+                               SessionCarry carry) {
   auto slot = std::make_unique<Slot>();
   slot->session = std::move(session);
   slot->stream_id = id;
   slot->admitted_round = round;
-  slot->session->AttachHealthRegistry(&registry_);
+  slot->frames = carry.frames;
+  slot->rounds_active = carry.rounds_active;
+  slot->session->AttachHealthRegistry(registry_);
   active_.push_back(std::move(slot));
   ++stats_.admitted;
   stats_.peak_active =
@@ -63,9 +68,9 @@ Result<uint64_t> StreamScheduler::Submit(
   if (session == nullptr) {
     return Status::InvalidArgument("cannot submit a null session");
   }
-  if (drained_) {
+  if (finished_) {
     return Status::FailedPrecondition(
-        "scheduler already drained; submit before RunUntilDrained");
+        "scheduler already finished; submit before FinishServing");
   }
   ++stats_.submitted;
 
@@ -75,7 +80,7 @@ Result<uint64_t> StreamScheduler::Submit(
   if (!models.empty()) {
     bool any_callable = false;
     for (const std::string& model : models) {
-      if (registry_.AllowsCall(model, round_)) {
+      if (registry_->AllowsCall(model, round_)) {
         any_callable = true;
         break;
       }
@@ -90,12 +95,12 @@ Result<uint64_t> StreamScheduler::Submit(
 
   if (static_cast<int>(active_.size()) < options_.max_sessions) {
     const uint64_t id = next_stream_id_++;
-    Activate(std::move(session), id, round_);
+    Activate(std::move(session), id, round_, {});
     return id;
   }
   if (static_cast<int>(queue_.size()) < options_.queue_depth) {
     const uint64_t id = next_stream_id_++;
-    queue_.push_back(Queued{std::move(session), id});
+    queue_.push_back(Queued{std::move(session), id, {}});
     stats_.peak_queued =
         std::max(stats_.peak_queued, static_cast<int>(queue_.size()));
     return id;
@@ -107,6 +112,79 @@ Result<uint64_t> StreamScheduler::Submit(
       std::to_string(queue_.size()) + " queued (max_sessions=" +
       std::to_string(options_.max_sessions) + ", queue_depth=" +
       std::to_string(options_.queue_depth) + ")");
+}
+
+Result<uint64_t> StreamScheduler::ImplantSession(
+    std::unique_ptr<StreamSession> session, SessionCarry carry) {
+  VQE_RETURN_NOT_OK(options_.Validate());
+  if (session == nullptr) {
+    return Status::InvalidArgument("cannot implant a null session");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("scheduler already finished");
+  }
+  // No fleet-breaker gate: the stream was admitted fleet-wide before it
+  // started; migration must not re-litigate admission mid-video.
+  ++stats_.submitted;
+  if (static_cast<int>(active_.size()) < options_.max_sessions) {
+    const uint64_t id = next_stream_id_++;
+    Activate(std::move(session), id, round_, carry);
+    return id;
+  }
+  if (static_cast<int>(queue_.size()) < options_.queue_depth) {
+    const uint64_t id = next_stream_id_++;
+    queue_.push_back(Queued{std::move(session), id, carry});
+    stats_.peak_queued =
+        std::max(stats_.peak_queued, static_cast<int>(queue_.size()));
+    return id;
+  }
+  ++stats_.shed_submissions;
+  return Status::ResourceExhausted(
+      "implant of '" + session->name() + "' rejected: shard full");
+}
+
+Result<StreamScheduler::ExtractedSession> StreamScheduler::ExtractSession(
+    const std::string& name) {
+  for (size_t i = 0; i < active_.size(); ++i) {
+    Slot& slot = *active_[i];
+    if (slot.session->name() != name) continue;
+    if (!slot.status.ok() || slot.session->done()) {
+      return Status::FailedPrecondition(
+          "session '" + name + "' is finished; nothing left to migrate");
+    }
+    ExtractedSession out;
+    out.session = std::move(slot.session);
+    out.stream_id = slot.stream_id;
+    out.carry.frames = slot.frames;
+    out.carry.rounds_active = slot.rounds_active;
+    // Latency samples were real steps on this shard: keep them in this
+    // scheduler's pooled percentiles.
+    if (options_.record_frame_latency) {
+      all_latencies_ms_.insert(all_latencies_ms_.end(),
+                               slot.latency_ms.begin(),
+                               slot.latency_ms.end());
+    }
+    active_.erase(active_.begin() + static_cast<long>(i));
+    return out;
+  }
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].session->name() != name) continue;
+    ExtractedSession out;
+    out.session = std::move(queue_[i].session);
+    out.stream_id = queue_[i].stream_id;
+    out.carry = queue_[i].carry;
+    queue_.erase(queue_.begin() + static_cast<long>(i));
+    return out;
+  }
+  return Status::NotFound("no live session named '" + name + "'");
+}
+
+std::vector<std::string> StreamScheduler::LiveStreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(active_.size() + queue_.size());
+  for (const auto& slot : active_) names.push_back(slot->session->name());
+  for (const auto& q : queue_) names.push_back(q.session->name());
+  return names;
 }
 
 void StreamScheduler::StepSlotRound(Slot& slot, uint64_t round) {
@@ -134,7 +212,7 @@ void StreamScheduler::StepSlotRound(Slot& slot, uint64_t round) {
   if (stepped) ++slot.rounds_active;
 }
 
-void StreamScheduler::Retire(Slot& slot, ServeReport& report) {
+void StreamScheduler::Retire(Slot& slot) {
   StreamReport sr;
   sr.stream_id = slot.stream_id;
   sr.name = slot.session->name();
@@ -156,6 +234,13 @@ void StreamScheduler::Retire(Slot& slot, ServeReport& report) {
     // live accumulators for post-mortem; averages stay unfinalized.
     sr.result = slot.session->live_result();
   }
+  if (!sr.status.ok()) {
+    // Surface WHY the stream died in the aggregate stats, not only in its
+    // own report — fleet-level summaries read stats, not every stream.
+    ++stats_.failed_streams;
+    stats_.errors.push_back(ServeStats::StreamError{
+        sr.stream_id, sr.name, sr.status.code(), sr.status.message()});
+  }
   stats_.frames += sr.frames;
   stats_.skipped_frames += sr.result.skip.skipped_frames;
   stats_.simulated_ms += sr.result.breakdown.SimulatedMs();
@@ -164,65 +249,102 @@ void StreamScheduler::Retire(Slot& slot, ServeReport& report) {
     all_latencies_ms_.insert(all_latencies_ms_.end(), slot.latency_ms.begin(),
                              slot.latency_ms.end());
   }
-  report.streams.push_back(std::move(sr));
+  retired_.push_back(std::move(sr));
 }
 
-Result<ServeReport> StreamScheduler::RunUntilDrained() {
+Status StreamScheduler::BeginServing() {
   VQE_RETURN_NOT_OK(options_.Validate());
-  if (drained_) {
-    return Status::FailedPrecondition("RunUntilDrained is callable once");
+  if (finished_) {
+    return Status::FailedPrecondition("scheduler already finished");
   }
-  drained_ = true;
+  if (!serving_) {
+    serving_ = true;
+    wall_ = Stopwatch();
+  }
+  return Status::OK();
+}
 
-  Stopwatch wall;
+void StreamScheduler::RoundOnce() {
+  ++round_;
+  ++stats_.rounds;
+
+  // Admit from the queue into freed slots, FIFO — deterministic.
+  while (!queue_.empty() &&
+         static_cast<int>(active_.size()) < options_.max_sessions) {
+    Queued q = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    Activate(std::move(q.session), q.stream_id, round_, q.carry);
+  }
+
+  // Credit deficits, then step every active session concurrently.
+  // Sessions are independent (slot state is worker-private during the
+  // round), so any interleaving yields the same per-stream results.
+  for (auto& slot : active_) {
+    slot->deficit_ms +=
+        options_.quantum_ms * PriorityWeight(slot->session->priority());
+  }
+  ParallelFor(active_.size(), options_.parallelism,
+              [&](size_t i) { StepSlotRound(*active_[i], round_); });
+
+  // Retire drained and failed sessions, freeing slots for the queue.
+  for (size_t i = 0; i < active_.size();) {
+    Slot& slot = *active_[i];
+    if (!slot.status.ok() || slot.session->done()) {
+      Retire(slot);
+      active_.erase(active_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+Result<bool> StreamScheduler::RunRound() {
+  if (!serving_) {
+    return Status::FailedPrecondition("RunRound before BeginServing");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("RunRound after FinishServing");
+  }
+  if (active_.empty() && queue_.empty()) return false;
+  RoundOnce();
+  return !active_.empty() || !queue_.empty();
+}
+
+std::vector<StreamReport> StreamScheduler::TakeRetired() {
+  std::vector<StreamReport> out = std::move(retired_);
+  retired_.clear();
+  return out;
+}
+
+Result<ServeReport> StreamScheduler::FinishServing() {
+  if (finished_) {
+    return Status::FailedPrecondition("FinishServing is callable once");
+  }
+  finished_ = true;
   ServeReport report;
-  while (!active_.empty() || !queue_.empty()) {
-    ++round_;
-    ++stats_.rounds;
-
-    // Admit from the queue into freed slots, FIFO — deterministic.
-    while (!queue_.empty() &&
-           static_cast<int>(active_.size()) < options_.max_sessions) {
-      Queued q = std::move(queue_.front());
-      queue_.erase(queue_.begin());
-      Activate(std::move(q.session), q.stream_id, round_);
-    }
-
-    // Credit deficits, then step every active session concurrently.
-    // Sessions are independent (slot state is worker-private during the
-    // round), so any interleaving yields the same per-stream results.
-    for (auto& slot : active_) {
-      slot->deficit_ms +=
-          options_.quantum_ms * PriorityWeight(slot->session->priority());
-    }
-    ParallelFor(active_.size(), options_.parallelism,
-                [&](size_t i) { StepSlotRound(*active_[i], round_); });
-
-    // Retire drained and failed sessions, freeing slots for the queue.
-    for (size_t i = 0; i < active_.size();) {
-      Slot& slot = *active_[i];
-      if (!slot.status.ok() || slot.session->done()) {
-        Retire(slot, report);
-        active_.erase(active_.begin() + static_cast<long>(i));
-      } else {
-        ++i;
-      }
-    }
-  }
-
+  report.streams = TakeRetired();
   std::sort(report.streams.begin(), report.streams.end(),
             [](const StreamReport& a, const StreamReport& b) {
               return a.stream_id < b.stream_id;
             });
-  stats_.wall_ms = wall.ElapsedMillis();
+  stats_.wall_ms = serving_ ? wall_.ElapsedMillis() : 0.0;
   if (!all_latencies_ms_.empty()) {
     stats_.frame_p50_ms = Percentile(all_latencies_ms_, 0.50);
     stats_.frame_p99_ms = Percentile(all_latencies_ms_, 0.99);
   }
   if (dispatcher_ != nullptr) stats_.batching = dispatcher_->stats();
-  stats_.fleet_health = registry_.Snapshot(round_);
+  stats_.fleet_health = registry_->Snapshot(round_);
   report.stats = stats_;
   return report;
+}
+
+Result<ServeReport> StreamScheduler::RunUntilDrained() {
+  VQE_RETURN_NOT_OK(BeginServing());
+  while (true) {
+    VQE_ASSIGN_OR_RETURN(const bool more, RunRound());
+    if (!more) break;
+  }
+  return FinishServing();
 }
 
 }  // namespace vqe

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/stopwatch.h"
 #include "runtime/breaker_registry.h"
 #include "serve/batch_dispatcher.h"
 #include "serve/stream_session.h"
@@ -107,6 +108,18 @@ struct ServeStats {
   uint64_t shed_submissions = 0;
   int peak_active = 0;
   int peak_queued = 0;
+  /// Streams that retired with a non-OK terminal status (each also appears
+  /// in `errors`), so fleet aggregation can report WHY streams died
+  /// instead of folding failures silently into their results.
+  uint64_t failed_streams = 0;
+  struct StreamError {
+    uint64_t stream_id = 0;
+    std::string name;
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+  };
+  /// Terminal error of every stream that retired non-OK, retirement order.
+  std::vector<StreamError> errors;
   /// Per-frame step latency percentiles (real wall-clock, all streams
   /// pooled); zero when record_frame_latency is off.
   double frame_p50_ms = 0.0;
@@ -146,11 +159,78 @@ class StreamScheduler {
   /// Runs DRR rounds until every admitted session drained or retired with
   /// an error. Per-stream step errors are contained in their
   /// StreamReport::status — RunUntilDrained itself fails only on serving
-  /// bugs (e.g. invalid options). Callable once.
+  /// bugs (e.g. invalid options). Callable once. Implemented as
+  /// BeginServing + RunRound until idle + FinishServing.
   Result<ServeReport> RunUntilDrained();
 
+  // --- Incremental serving (the fleet shard drive) ---------------------
+  //
+  // A ShardedServer thread drives its scheduler one round at a time so it
+  // can interleave control work (admissions, live-session extraction and
+  // implantation, chaos commands) between rounds. All of these methods
+  // must be called from one thread at a time — the scheduler itself is
+  // not locked; the fleet serializes access by owning it from the shard
+  // thread.
+
+  /// Validates options and starts the serving wall clock. Idempotent.
+  Status BeginServing();
+
+  /// Runs exactly one DRR round (admission, deficit credit, concurrent
+  /// session stepping, retirement). Returns true while sessions remain
+  /// active or queued AFTER the round; false on an idle scheduler (no
+  /// round is consumed). Requires BeginServing.
+  Result<bool> RunRound();
+
+  /// Moves out the StreamReports of sessions retired since the last call
+  /// (completion order). The fleet forwards these incrementally; reports
+  /// not taken are returned by FinishServing.
+  std::vector<StreamReport> TakeRetired();
+
+  /// Finalizes stats (wall clock, latency percentiles, fleet health) and
+  /// returns the report with every not-yet-taken StreamReport. Callable
+  /// once; the scheduler rejects further work afterwards.
+  Result<ServeReport> FinishServing();
+
+  // --- Live-session migration hooks ------------------------------------
+
+  /// Scheduler-side state that must travel with a migrating session so
+  /// the target shard's StreamReport continues the counters instead of
+  /// restarting them.
+  struct SessionCarry {
+    size_t frames = 0;
+    uint64_t rounds_active = 0;
+  };
+  struct ExtractedSession {
+    std::unique_ptr<StreamSession> session;
+    uint64_t stream_id = 0;
+    SessionCarry carry;
+  };
+
+  /// Removes the named live session (active or still queued) and returns
+  /// it with its carried counters. NotFound if no live session has that
+  /// name; FailedPrecondition if the session is done (it will retire this
+  /// round — there is nothing left worth migrating). Frame-latency samples
+  /// it produced here stay in this scheduler's pooled percentiles.
+  Result<ExtractedSession> ExtractSession(const std::string& name);
+
+  /// Activates (or queues) a session arriving from another shard,
+  /// continuing its carried counters. Bypasses the fleet-breaker admission
+  /// gate — the fleet already admitted this stream — but still respects
+  /// max_sessions/queue_depth (ResourceExhausted when full, session
+  /// destroyed; the fleet picks another shard).
+  Result<uint64_t> ImplantSession(std::unique_ptr<StreamSession> session,
+                                  SessionCarry carry);
+
+  /// Names of every live (active or queued) session, admission order.
+  std::vector<std::string> LiveStreamNames() const;
+
+  /// Publish health into `fleet` (shared across shards) instead of the
+  /// scheduler-private registry. Must precede the first Submit; the
+  /// registry must outlive the scheduler.
+  void UseSharedRegistry(BreakerRegistry* fleet) { registry_ = fleet; }
+
   /// Shared fleet health registry (sessions publish on every step).
-  BreakerRegistry& fleet_health() { return registry_; }
+  BreakerRegistry& fleet_health() { return *registry_; }
 
   int active_sessions() const { return static_cast<int>(active_.size()); }
   int queued_sessions() const { return static_cast<int>(queue_.size()); }
@@ -172,24 +252,33 @@ class StreamScheduler {
   };
 
   void Activate(std::unique_ptr<StreamSession> session, uint64_t id,
-                uint64_t round);
+                uint64_t round, SessionCarry carry);
   /// Steps `slot` for one round (runs on a pool worker).
   void StepSlotRound(Slot& slot, uint64_t round);
-  void Retire(Slot& slot, ServeReport& report);
+  void Retire(Slot& slot);
+  /// One DRR round over a non-idle scheduler (body of RunRound).
+  void RoundOnce();
 
   ServeOptions options_;
-  BreakerRegistry registry_;
+  BreakerRegistry own_registry_;
+  /// Points at own_registry_ unless UseSharedRegistry rerouted it.
+  BreakerRegistry* registry_;
   BatchDispatcher* dispatcher_ = nullptr;
   uint64_t next_stream_id_ = 0;
   uint64_t round_ = 0;
-  bool drained_ = false;
+  bool serving_ = false;
+  bool finished_ = false;
+  Stopwatch wall_;
   std::vector<std::unique_ptr<Slot>> active_;
   struct Queued {
     std::unique_ptr<StreamSession> session;
     uint64_t stream_id = 0;
+    SessionCarry carry;
   };
   std::vector<Queued> queue_;
   ServeStats stats_;
+  /// Sessions retired since the last TakeRetired (completion order).
+  std::vector<StreamReport> retired_;
   std::vector<double> all_latencies_ms_;
 };
 

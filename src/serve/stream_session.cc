@@ -70,6 +70,23 @@ Result<std::unique_ptr<StreamSession>> StreamSession::Create(
   return session;
 }
 
+Status StreamSession::ImplantState(const std::vector<uint8_t>& bytes) {
+  VQE_ASSIGN_OR_RETURN(SnapshotReader snapshot,
+                       SnapshotReader::Parse(bytes));
+  VQE_RETURN_NOT_OK(run_->RestoreFromSnapshot(snapshot));
+  // Sync the fleet-health cursors to the migrated counters: the source
+  // shard already published this history, the target publishes only what
+  // happens from here on.
+  const auto& avail = run_->result().model_availability;
+  published_selected_.assign(avail.size(), 0);
+  published_failed_.assign(avail.size(), 0);
+  for (size_t i = 0; i < avail.size(); ++i) {
+    published_selected_[i] = avail[i].frames_selected;
+    published_failed_[i] = avail[i].frames_failed;
+  }
+  return Status::OK();
+}
+
 Status StreamSession::StepFrame(uint64_t fleet_tick) {
   const Status status = run_->StepFrame();
   if (registry_ != nullptr && !config_.model_names.empty()) {

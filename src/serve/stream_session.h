@@ -98,6 +98,23 @@ class StreamSession {
   /// one worker at a time.
   Status StepFrame(uint64_t fleet_tick = 0);
 
+  /// Live-migration export: the session's complete resumable state (engine
+  /// identity fingerprint included) in the snapshot wire format, produced
+  /// in memory on the source shard's thread. The session stays usable.
+  Result<std::vector<uint8_t>> ExportState() const {
+    return run_->ExportSnapshot();
+  }
+
+  /// Live-migration implant: parses `bytes` (full container validation —
+  /// any bit flip or truncation is DataLoss) and overlays the state onto
+  /// this freshly created session. A payload exported from a session with
+  /// a different configuration is FailedPrecondition (identity fingerprint
+  /// mismatch). Both rejections happen before any session state is
+  /// mutated. On success the fleet-health publication cursors are synced
+  /// so only post-migration outcome deltas are published (the source shard
+  /// already published the history).
+  Status ImplantState(const std::vector<uint8_t>& bytes);
+
   /// Finalizes and returns the RunResult (callable once).
   Result<RunResult> Finish() { return run_->Finish(); }
 

@@ -21,6 +21,7 @@
 #ifndef VQE_SNAPSHOT_CHECKPOINT_H_
 #define VQE_SNAPSHOT_CHECKPOINT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,14 @@ class CheckpointManager {
   /// Generation numbers present on disk, ascending (for tests/tools).
   std::vector<uint64_t> ListGenerations() const;
 
+  /// Cumulative count of generations rejected as corrupt/unreadable across
+  /// every LoadLatestGood on this manager. Unlike Loaded::rejected (one
+  /// load's skips) this survives across loads, so long-lived holders —
+  /// fleet failover, resumed sessions — can report silent-corruption totals.
+  uint64_t corrupt_generations_detected() const {
+    return corrupt_rejections_.load(std::memory_order_relaxed);
+  }
+
   const std::string& directory() const { return directory_; }
 
   /// Path of a given generation file (exposed for corruption tests).
@@ -98,6 +107,9 @@ class CheckpointManager {
  private:
   std::string directory_;
   int keep_generations_;
+  /// See corrupt_generations_detected(); mutable because LoadLatestGood is
+  /// logically const (atomic: Snapshot readers may poll concurrently).
+  mutable std::atomic<uint64_t> corrupt_rejections_{0};
 };
 
 }  // namespace vqe

@@ -709,6 +709,15 @@ TEST(StreamSchedulerTest, CrashingSessionRetiresWithoutStallingOthers) {
   EXPECT_EQ(report.streams[0].result.frames_processed, video.size());
   EXPECT_EQ(report.streams[1].status.code(), StatusCode::kAborted);
   EXPECT_LT(report.streams[1].frames, video.size());
+  // The terminal error is surfaced in the aggregate stats, not only in the
+  // per-stream report: fleet summaries read stats.errors to explain WHY
+  // streams died.
+  EXPECT_EQ(report.stats.failed_streams, 1u);
+  ASSERT_EQ(report.stats.errors.size(), 1u);
+  EXPECT_EQ(report.stats.errors[0].stream_id, report.streams[1].stream_id);
+  EXPECT_EQ(report.stats.errors[0].name, "doomed");
+  EXPECT_EQ(report.stats.errors[0].code, StatusCode::kAborted);
+  EXPECT_FALSE(report.stats.errors[0].message.empty());
 }
 
 TEST(StreamSchedulerTest, SessionCheckpointResumesBitIdenticallyUnderServe) {

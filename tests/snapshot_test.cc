@@ -308,6 +308,44 @@ TEST(CheckpointManagerTest, AllGenerationsCorruptIsNotFound) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
+TEST(CheckpointManagerTest, CorruptGenerationCounterAccumulatesAcrossLoads) {
+  CheckpointManager mgr(ScratchDir("corrupt_counter"));
+  EXPECT_EQ(mgr.corrupt_generations_detected(), 0u);
+  ASSERT_TRUE(mgr.Write(1, MakeTwoSectionSnapshot()).ok());
+  ASSERT_TRUE(mgr.Write(2, MakeTwoSectionSnapshot()).ok());
+  ASSERT_TRUE(mgr.Write(3, MakeTwoSectionSnapshot()).ok());
+
+  // Clean load: nothing rejected, counter untouched.
+  ASSERT_TRUE(mgr.LoadLatestGood().ok());
+  EXPECT_EQ(mgr.corrupt_generations_detected(), 0u);
+
+  // Damage the newest generation: each load skips it and the cumulative
+  // counter keeps growing — unlike Loaded::rejected, which reports only
+  // the skips of its own load.
+  {
+    std::ofstream os(mgr.GenerationPath(3), std::ios::binary | std::ios::trunc);
+    os << "garbage";
+  }
+  auto first = mgr.LoadLatestGood();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->sequence, 2u);
+  EXPECT_EQ(first->rejected, 1);
+  EXPECT_EQ(mgr.corrupt_generations_detected(), 1u);
+
+  auto second = mgr.LoadLatestGood();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rejected, 1);
+  EXPECT_EQ(mgr.corrupt_generations_detected(), 2u);
+
+  // A fully corrupt directory still counts its rejects before NotFound.
+  {
+    std::ofstream os(mgr.GenerationPath(2), std::ios::binary | std::ios::trunc);
+    os << "also garbage";
+  }
+  EXPECT_EQ(mgr.LoadLatestGood().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.corrupt_generations_detected(), 4u);
+}
+
 TEST(CheckpointPolicyTest, ValidatesKnobs) {
   CheckpointPolicy p;
   EXPECT_TRUE(p.Validate().ok());  // disabled is fine

@@ -16,7 +16,11 @@
 # and the serving layer (scheduler rounds stepping sessions in parallel,
 # cross-stream batch coalescing, the thread pool shutdown contract), plus
 # the temporal skip gate (tracker propagation, skip-policy snapshots, and
-# the skip-enabled crash-resume and disabled-path invariants).
+# the skip-enabled crash-resume and disabled-path invariants), plus the
+# sharded fleet (shard threads, live migration payloads, scripted chaos —
+# coordinator/shard queue handshakes must be race-free under TSan and a
+# corrupted payload must reject with a clean Status under every
+# sanitizer).
 
 set -eu
 
@@ -40,10 +44,21 @@ run_perf_smoke() {
     ./bench_matrix_build)
   # Same contract for the serving bench: its exit code gates only on
   # bit-identity — served streams equal to solo runs, skip_budget=0 rows
-  # equal to the no-skip baseline, and skip-enabled served streams equal
-  # to their solo counterparts. Throughput numbers are reported, not gated.
+  # equal to the no-skip baseline, skip-enabled served streams equal to
+  # their solo counterparts, and every fleet stream (16 streams over
+  # 1/2/4/8 shards, clean and under the migrate-then-kill chaos script)
+  # equal to its solo run. Throughput numbers are reported, not gated.
   (cd build/bench && VQE_BENCH_TRIALS=2 VQE_BENCH_FRAMES=120 \
     ./bench_serve)
+}
+
+run_fleet_chaos_smoke() {
+  # Replay the scripted chaos matrix in the plain build (the sanitizer
+  # passes replay it again under ASan/TSan/UBSan with --full): shard
+  # kills, mid-video migrations and corrupted payloads across backends
+  # and worker counts, every completing stream bit-identical to solo.
+  ./build/tests/fleet_test \
+    --gtest_filter='ShardedServerTest.*:SchedulerMigrationTest.*'
 }
 
 run_sanitizer() {
@@ -53,13 +68,14 @@ run_sanitizer() {
   cmake --build "$dir" -j --target \
     thread_pool_test determinism_test fusion_test lazy_eval_test \
     runtime_test snapshot_test resume_test serialization_test serve_test \
-    temporal_test tracker_test
+    fleet_test temporal_test tracker_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|MigrationPayload|SessionImplant|SchedulerMigration|FleetOptions|ChaosScript|ShardedServer|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest"
 }
 
 run_tier1
 run_perf_smoke
+run_fleet_chaos_smoke
 
 if [ "${1:-}" = "--full" ]; then
   run_sanitizer address asan
