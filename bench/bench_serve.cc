@@ -29,6 +29,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -316,6 +317,23 @@ int main() {
         }
       }
       rows.push_back(row);
+
+      // The widest unbatched config carries the full priority mix — show
+      // its per-class breakdown (simulated frame clock, so the numbers
+      // are machine-independent).
+      if (!batched && n == 8) {
+        std::cout << "per-class breakdown (sessions=8, sim clock):\n";
+        for (int c = 0; c < kNumPriorityClasses; ++c) {
+          const auto& cs = report.stats.classes[c];
+          if (cs.submitted == 0 && cs.frames == 0) continue;
+          std::cout << "  " << std::setw(11) << std::left
+                    << PriorityClassToString(static_cast<PriorityClass>(c))
+                    << std::right << " submitted " << cs.submitted
+                    << ", frames " << cs.frames << ", sim p50/p99/p999 "
+                    << Fmt(cs.sim_p50_ms, 3) << "/" << Fmt(cs.sim_p99_ms, 3)
+                    << "/" << Fmt(cs.sim_p999_ms, 3) << " ms\n";
+        }
+      }
 
       std::cout << (batched ? "batched  " : "unbatched") << " sessions="
                 << n << ": wall " << Fmt(row.wall_ms) << " ms, "

@@ -132,6 +132,21 @@ int main() {
               static_cast<unsigned long long>(report.stats.shed_submissions),
               report.stats.batching.MeanBatch());
 
+  std::printf("\nper-class breakdown (simulated frame clock):\n");
+  std::printf("  %-12s %9s %9s %6s %8s %10s %10s\n", "class", "submitted",
+              "admitted", "shed", "frames", "p50(ms)", "p99(ms)");
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    const auto& cs = report.stats.classes[c];
+    if (cs.submitted == 0 && cs.frames == 0) continue;
+    std::printf("  %-12s %9llu %9llu %6llu %8llu %10.3f %10.3f\n",
+                PriorityClassToString(static_cast<PriorityClass>(c)),
+                static_cast<unsigned long long>(cs.submitted),
+                static_cast<unsigned long long>(cs.admitted),
+                static_cast<unsigned long long>(cs.shed_submissions),
+                static_cast<unsigned long long>(cs.frames), cs.sim_p50_ms,
+                cs.sim_p99_ms);
+  }
+
   std::printf("\nfleet health (from per-stream availability deltas):\n");
   for (const auto& h : report.stats.fleet_health) {
     std::printf("  %-22s %6llu ok %6llu failed  breaker=%s\n",

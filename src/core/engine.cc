@@ -269,6 +269,13 @@ Status EngineRun::StepFrame() {
     }
   }
   if (healthy == 0) healthy = full_;
+  // Overload-ladder ensemble shrink: restrict to the degradation mask when
+  // it leaves at least one healthy model; an empty intersection means the
+  // mask would starve the run, so health wins.
+  if (degrade_mask_ != 0) {
+    const EnsembleId shrunk = healthy & degrade_mask_;
+    if (shrunk != 0) healthy = shrunk;
+  }
   strategy_->SetEligibleModels(healthy);
 
   EnsembleId selected;
@@ -442,6 +449,11 @@ Status EngineRun::StepSkippedFrame(size_t t) {
   ++frames_this_invocation_;
   next_frame_ = t + 1;
   return FrameEpilogue(t);
+}
+
+void EngineRun::SetDegradation(int skip_boost, EnsembleId model_mask) {
+  degrade_mask_ = model_mask & full_;
+  if (gate_ != nullptr) gate_->SetSkipBoost(skip_boost);
 }
 
 Result<std::vector<uint8_t>> EngineRun::ExportSnapshot() const {

@@ -241,6 +241,21 @@ class EngineRun {
   /// FailedPrecondition when done(), or any checkpoint-write error.
   Status StepFrame();
 
+  /// Dynamic degradation overlay from the serving layer's overload
+  /// controller. `skip_boost` extends every episode the temporal gate
+  /// plans from here on (no-op on runs without a gate);
+  /// `model_mask` restricts the strategy's eligible models to
+  /// mask ∩ breaker-healthy — ignored when the intersection is empty (the
+  /// run never selects nothing) or when the mask is 0 (unrestricted).
+  /// The overlay is a property of the serving NODE, not of the stream: it
+  /// is deliberately absent from the identity fingerprint and from the
+  /// snapshot sections, and a migration target's own controller re-applies
+  /// its level on the next round. (The gate's boost does travel inside the
+  /// temporal section as dynamic state, so boosted skip counters restore
+  /// within bounds.) SetDegradation(0, 0) — the controller-disabled state —
+  /// leaves every code path byte-identical to a build without this hook.
+  void SetDegradation(int skip_boost, EnsembleId model_mask);
+
   /// Serializes the complete resumable state of the live run into the
   /// snapshot wire format (the same container a checkpoint writes,
   /// identity fingerprint included) WITHOUT touching disk. This is the
@@ -312,6 +327,8 @@ class EngineRun {
   /// Temporal skip gate; null unless options_.skip.enabled(), in which
   /// case every frame consults it exactly once.
   std::unique_ptr<TemporalGate> gate_;
+  /// Degradation overlay mask (0 = unrestricted); see SetDegradation.
+  EnsembleId degrade_mask_ = 0;
   /// max_S c_{S|v} of the last detect frame: the cost normalizer a
   /// skipped frame uses. Reading the skipped frame's own normalizer would
   /// materialize it on a lazy source and defeat the skip.

@@ -740,6 +740,10 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
     if (!summary.dead) {
       Result<ServeReport> report = shard->scheduler.FinishServing();
       if (report.ok()) summary.stats = std::move(report).value().stats;
+      out.stats.peak_degradation_level =
+          std::max(out.stats.peak_degradation_level,
+                   summary.stats.peak_degradation_level);
+      out.stats.degradation_transitions += summary.stats.degradations.size();
     }
     out.stats.shards.push_back(std::move(summary));
   }

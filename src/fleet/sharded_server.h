@@ -128,6 +128,13 @@ struct FleetStats {
   uint64_t failed_streams = 0;
   double wall_ms = 0.0;
   MigrationStats migration;
+  /// Degradation-ladder aggregates across surviving shards (each shard
+  /// runs its own deterministic OverloadController when
+  /// options.shard.overload.enabled; per-shard ledgers live in
+  /// ShardSummary::stats.degradations). Zeros when overload control is
+  /// off or every shard died.
+  int peak_degradation_level = 0;
+  uint64_t degradation_transitions = 0;
   /// Shard-local serving stats; `dead` shards crashed and lost theirs.
   struct ShardSummary {
     int shard = 0;

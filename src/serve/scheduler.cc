@@ -38,13 +38,18 @@ Status ServeOptions::Validate() const {
   if (parallelism < 0) {
     return Status::InvalidArgument("parallelism must be >= 0");
   }
+  VQE_RETURN_NOT_OK(overload.Validate());
   return fleet_breaker.Validate();
 }
 
 StreamScheduler::StreamScheduler(ServeOptions options)
     : options_(options),
       own_registry_(options.fleet_breaker),
-      registry_(&own_registry_) {}
+      registry_(&own_registry_) {
+  if (options_.overload.enabled) {
+    controller_ = std::make_unique<OverloadController>(options_.overload);
+  }
+}
 
 void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
                                uint64_t id, uint64_t round,
@@ -56,6 +61,7 @@ void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
   slot->frames = carry.frames;
   slot->rounds_active = carry.rounds_active;
   slot->session->AttachHealthRegistry(registry_);
+  ++stats_.classes[PriorityClassIndex(slot->session->priority())].admitted;
   active_.push_back(std::move(slot));
   ++stats_.admitted;
   stats_.peak_active =
@@ -73,6 +79,8 @@ Result<uint64_t> StreamScheduler::Submit(
         "scheduler already finished; submit before FinishServing");
   }
   ++stats_.submitted;
+  const int cls = PriorityClassIndex(session->priority());
+  ++stats_.classes[cls].submitted;
 
   // Fleet gate: a stream whose every model the fleet currently reports
   // open would only burn quanta on breaker-masked selections — shed it.
@@ -87,10 +95,23 @@ Result<uint64_t> StreamScheduler::Submit(
     }
     if (!any_callable) {
       ++stats_.shed_submissions;
+      ++stats_.classes[cls].shed_submissions;
       return Status::ResourceExhausted(
           "session '" + session->name() +
           "' shed: fleet breakers report every model of its pool open");
     }
+  }
+
+  // Degradation-ladder level 3: the front door sheds NEW batch work so
+  // interactive/standard traffic keeps the slots. Already-admitted batch
+  // sessions stay (they drain on residual deficit; see RoundOnce).
+  if (controller_ != nullptr && controller_->throttle_batch() &&
+      session->priority() == PriorityClass::kBatch) {
+    ++stats_.shed_submissions;
+    ++stats_.classes[cls].shed_submissions;
+    return Status::ResourceExhausted(
+        "session '" + session->name() +
+        "' shed: overload ladder at shed-batch, batch submissions refused");
   }
 
   if (static_cast<int>(active_.size()) < options_.max_sessions) {
@@ -106,6 +127,7 @@ Result<uint64_t> StreamScheduler::Submit(
     return id;
   }
   ++stats_.shed_submissions;
+  ++stats_.classes[cls].shed_submissions;
   return Status::ResourceExhausted(
       "session '" + session->name() + "' shed: " +
       std::to_string(active_.size()) + " active / " +
@@ -123,9 +145,12 @@ Result<uint64_t> StreamScheduler::ImplantSession(
   if (finished_) {
     return Status::FailedPrecondition("scheduler already finished");
   }
-  // No fleet-breaker gate: the stream was admitted fleet-wide before it
-  // started; migration must not re-litigate admission mid-video.
+  // No fleet-breaker gate and no batch-shed gate: the stream was admitted
+  // fleet-wide before it started; migration must not re-litigate admission
+  // mid-video.
   ++stats_.submitted;
+  const int cls = PriorityClassIndex(session->priority());
+  ++stats_.classes[cls].submitted;
   if (static_cast<int>(active_.size()) < options_.max_sessions) {
     const uint64_t id = next_stream_id_++;
     Activate(std::move(session), id, round_, carry);
@@ -139,6 +164,7 @@ Result<uint64_t> StreamScheduler::ImplantSession(
     return id;
   }
   ++stats_.shed_submissions;
+  ++stats_.classes[cls].shed_submissions;
   return Status::ResourceExhausted(
       "implant of '" + session->name() + "' rejected: shard full");
 }
@@ -158,12 +184,15 @@ Result<StreamScheduler::ExtractedSession> StreamScheduler::ExtractSession(
     out.carry.frames = slot.frames;
     out.carry.rounds_active = slot.rounds_active;
     // Latency samples were real steps on this shard: keep them in this
-    // scheduler's pooled percentiles.
+    // scheduler's pooled percentiles (wall and simulated alike).
     if (options_.record_frame_latency) {
       all_latencies_ms_.insert(all_latencies_ms_.end(),
                                slot.latency_ms.begin(),
                                slot.latency_ms.end());
     }
+    const int cls = PriorityClassIndex(out.session->priority());
+    class_sim_ms_[cls].insert(class_sim_ms_[cls].end(), slot.sim_ms.begin(),
+                              slot.sim_ms.end());
     active_.erase(active_.begin() + static_cast<long>(i));
     return out;
   }
@@ -206,7 +235,11 @@ void StreamScheduler::StepSlotRound(Slot& slot, uint64_t round) {
     // Deficit is charged in *simulated* ms, so the schedule is a pure
     // function of the submitted work. A frame may overdraw the remaining
     // deficit; the overdraft carries as a negative balance (classic DRR).
-    slot.deficit_ms -= session.charged_cost_ms() - cost_before;
+    const double cost_delta = session.charged_cost_ms() - cost_before;
+    slot.deficit_ms -= cost_delta;
+    if (options_.record_frame_latency || controller_ != nullptr) {
+      slot.sim_ms.push_back(cost_delta);
+    }
     if (!status.ok()) slot.status = status;
   }
   if (stepped) ++slot.rounds_active;
@@ -245,6 +278,10 @@ void StreamScheduler::Retire(Slot& slot) {
   stats_.skipped_frames += sr.result.skip.skipped_frames;
   stats_.simulated_ms += sr.result.breakdown.SimulatedMs();
   stats_.algorithm_wall_ms += sr.result.breakdown.algorithm_ms;
+  const int cls = PriorityClassIndex(sr.priority);
+  stats_.classes[cls].frames += sr.frames;
+  class_sim_ms_[cls].insert(class_sim_ms_[cls].end(), slot.sim_ms.begin(),
+                            slot.sim_ms.end());
   if (options_.record_frame_latency) {
     all_latencies_ms_.insert(all_latencies_ms_.end(), slot.latency_ms.begin(),
                              slot.latency_ms.end());
@@ -276,15 +313,53 @@ void StreamScheduler::RoundOnce() {
     Activate(std::move(q.session), q.stream_id, round_, q.carry);
   }
 
+  // Apply the ladder level decided at the END of the previous round to
+  // every active session (newly admitted ones included) before any frame
+  // steps — the actuation point is deterministic. With the controller
+  // absent SetDegradation is never called: bit-identical to the
+  // controller-free path.
+  if (controller_ != nullptr) {
+    const int boost = controller_->skip_boost();
+    const EnsembleId mask = controller_->model_mask();
+    for (auto& slot : active_) slot->session->SetDegradation(boost, mask);
+    if (controller_->level() > 0) ++stats_.degraded_rounds;
+    stats_.peak_degradation_level =
+        std::max(stats_.peak_degradation_level, controller_->level());
+  }
+
   // Credit deficits, then step every active session concurrently.
   // Sessions are independent (slot state is worker-private during the
   // round), so any interleaving yields the same per-stream results.
+  // Ladder level 3 demotes batch: its slots earn a quarter quantum
+  // instead of the full weighted share. The trickle guarantees forward
+  // progress even when every active slot is a batch session — with zero
+  // credit those slots would wedge, the queue could never drain, and the
+  // queue-depth sensor would hold the ladder at level 3 forever.
+  const bool demote_batch =
+      controller_ != nullptr && controller_->throttle_batch();
   for (auto& slot : active_) {
-    slot->deficit_ms +=
+    const bool demoted =
+        demote_batch && slot->session->priority() == PriorityClass::kBatch;
+    const double share =
         options_.quantum_ms * PriorityWeight(slot->session->priority());
+    slot->deficit_ms += demoted ? share * 0.25 : share;
   }
   ParallelFor(active_.size(), options_.parallelism,
               [&](size_t i) { StepSlotRound(*active_[i], round_); });
+
+  // Sense and decide: merge this round's simulated frame costs into the
+  // controller in slot order (deterministic — never the workers' wall
+  // order), then let the ladder move at most one rung for next round.
+  if (controller_ != nullptr) {
+    for (auto& slot : active_) {
+      const PriorityClass cls = slot->session->priority();
+      for (size_t i = slot->sim_fed; i < slot->sim_ms.size(); ++i) {
+        controller_->RecordFrameCost(cls, slot->sim_ms[i]);
+      }
+      slot->sim_fed = slot->sim_ms.size();
+    }
+    controller_->EndRound(round_, static_cast<int>(queue_.size()));
+  }
 
   // Retire drained and failed sessions, freeing slots for the queue.
   for (size_t i = 0; i < active_.size();) {
@@ -331,6 +406,23 @@ Result<ServeReport> StreamScheduler::FinishServing() {
   if (!all_latencies_ms_.empty()) {
     stats_.frame_p50_ms = Percentile(all_latencies_ms_, 0.50);
     stats_.frame_p99_ms = Percentile(all_latencies_ms_, 0.99);
+    stats_.frame_p999_ms = Percentile(all_latencies_ms_, 0.999);
+  }
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    ServeStats::ClassStats& cs = stats_.classes[c];
+    if (!class_sim_ms_[c].empty()) {
+      cs.sim_p50_ms = SamplePercentile(class_sim_ms_[c], 0.50);
+      cs.sim_p99_ms = SamplePercentile(class_sim_ms_[c], 0.99);
+      cs.sim_p999_ms = SamplePercentile(class_sim_ms_[c], 0.999);
+    }
+    cs.shed_rate = cs.submitted == 0
+                       ? 0.0
+                       : static_cast<double>(cs.shed_submissions) /
+                             static_cast<double>(cs.submitted);
+  }
+  if (controller_ != nullptr) {
+    stats_.degradation_level = controller_->level();
+    stats_.degradations = controller_->ledger();
   }
   if (dispatcher_ != nullptr) stats_.batching = dispatcher_->stats();
   stats_.fleet_health = registry_->Snapshot(round_);

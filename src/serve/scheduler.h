@@ -39,6 +39,7 @@
 #include "common/stopwatch.h"
 #include "runtime/breaker_registry.h"
 #include "serve/batch_dispatcher.h"
+#include "serve/overload.h"
 #include "serve/stream_session.h"
 
 namespace vqe {
@@ -62,6 +63,10 @@ struct ServeOptions {
   bool record_frame_latency = true;
   /// Options of the fleet-wide per-model breaker registry.
   CircuitBreakerOptions fleet_breaker;
+  /// SLO-aware overload control (degradation ladder). Disabled by default;
+  /// a scheduler with overload.enabled == false constructs no controller
+  /// and leaves every stream bit-identical to the controller-free path.
+  OverloadOptions overload;
 
   Status Validate() const;
 };
@@ -124,6 +129,32 @@ struct ServeStats {
   /// pooled); zero when record_frame_latency is off.
   double frame_p50_ms = 0.0;
   double frame_p99_ms = 0.0;
+  double frame_p999_ms = 0.0;
+  /// Per-priority-class accounting. Latency percentiles here are on the
+  /// *simulated* frame clock (per-frame charged-cost deltas) — the same
+  /// deterministic signal the overload controller senses — so the SLO
+  /// verdicts they support are identical across machines and reruns.
+  struct ClassStats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    /// Submissions of this class rejected with kResourceExhausted
+    /// (admission-full, breaker-gated, or batch-shed at ladder level 3).
+    uint64_t shed_submissions = 0;
+    uint64_t frames = 0;
+    double sim_p50_ms = 0.0;
+    double sim_p99_ms = 0.0;
+    double sim_p999_ms = 0.0;
+    /// shed_submissions / submitted (0 when nothing submitted).
+    double shed_rate = 0.0;
+  };
+  ClassStats classes[kNumPriorityClasses];
+  /// Degradation-ladder observability (zeros when overload control is
+  /// disabled): final + peak level, rounds spent at level >= 1, and the
+  /// full transition ledger — deterministic across reruns/worker counts.
+  int degradation_level = 0;
+  int peak_degradation_level = 0;
+  uint64_t degraded_rounds = 0;
+  std::vector<DegradationTransition> degradations;
   /// Cross-stream batching counters (zeros when no dispatcher attached).
   BatchDispatcher::Stats batching;
   /// Fleet breaker state per model at drain time.
@@ -236,6 +267,12 @@ class StreamScheduler {
   int queued_sessions() const { return static_cast<int>(queue_.size()); }
   const ServeOptions& options() const { return options_; }
 
+  /// Live ladder state (null when overload control is disabled). Sensor
+  /// and ledger introspection for tests and the fleet layer.
+  const OverloadController* overload_controller() const {
+    return controller_.get();
+  }
+
  private:
   /// One active session plus its scheduler-side state.
   struct Slot {
@@ -249,6 +286,12 @@ class StreamScheduler {
     /// Per-frame wall latency samples; touched only by the worker
     /// stepping this slot, so no locking.
     std::vector<double> latency_ms;
+    /// Per-frame *simulated* cost deltas (same worker-private rule).
+    /// Feeds the per-class percentiles and the overload controller.
+    std::vector<double> sim_ms;
+    /// Samples already fed to the controller (merged at round end in slot
+    /// order, on the scheduler thread — deterministic).
+    size_t sim_fed = 0;
   };
 
   void Activate(std::unique_ptr<StreamSession> session, uint64_t id,
@@ -280,6 +323,11 @@ class StreamScheduler {
   /// Sessions retired since the last TakeRetired (completion order).
   std::vector<StreamReport> retired_;
   std::vector<double> all_latencies_ms_;
+  /// Pooled per-class simulated frame-cost samples (merged on retirement
+  /// and extraction) for the ClassStats percentiles.
+  std::vector<double> class_sim_ms_[kNumPriorityClasses];
+  /// Present only when options.overload.enabled.
+  std::unique_ptr<OverloadController> controller_;
 };
 
 }  // namespace vqe

@@ -44,9 +44,17 @@ enum class PriorityClass : uint8_t {
   kBatch = 2,
 };
 
+/// Number of priority classes (array extent for per-class accounting).
+inline constexpr int kNumPriorityClasses = 3;
+
 /// DRR weight of a class (4 / 2 / 1).
 int PriorityWeight(PriorityClass priority);
 const char* PriorityClassToString(PriorityClass priority);
+
+/// Dense array index of a class (the enum's underlying value).
+inline int PriorityClassIndex(PriorityClass priority) {
+  return static_cast<int>(priority);
+}
 
 struct StreamSessionConfig {
   /// Human-readable stream name (reports, logs).
@@ -90,6 +98,13 @@ class StreamSession {
   /// header comment). Requires config.model_names; no-op registry = null.
   void AttachHealthRegistry(BreakerRegistry* registry) {
     registry_ = registry;
+  }
+
+  /// Applies the scheduler's degradation-ladder overlay for the next
+  /// frames (see EngineRun::SetDegradation). (0, 0) restores the
+  /// undegraded path bit-exactly.
+  void SetDegradation(int skip_boost, EnsembleId model_mask) {
+    run_->SetDegradation(skip_boost, model_mask);
   }
 
   /// Processes exactly one frame (EngineRun::StepFrame) and publishes

@@ -1,5 +1,6 @@
 #include "temporal/gate.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "temporal/difficulty.h"
@@ -19,6 +20,12 @@ Result<std::unique_ptr<TemporalGate>> TemporalGate::Create(
         "TemporalGate requires an enabled skip mode with skip_budget > 0");
   }
   return std::unique_ptr<TemporalGate>(new TemporalGate(options));
+}
+
+void TemporalGate::SetSkipBoost(int boost) {
+  if (boost < 0) boost = 0;
+  if (boost > kMaxSkipBoost) boost = kMaxSkipBoost;
+  skip_boost_ = boost;
 }
 
 bool TemporalGate::ShouldSkip(SceneContext ctx) {
@@ -55,7 +62,12 @@ void TemporalGate::ObserveDetections(const DetectionList& fused,
                                      int64_t frame_index) {
   propagator_.ObserveDetections(fused, frame_index);
   if (episode_open_) {
-    policy_.OnEpisodeEnd(completed_skips_, propagator_.agreement());
+    // Reward credit is capped at the policy's own plan: boosted extra
+    // skips are the overload controller's doing, and letting them inflate
+    // completion ratios would teach the bandit that deep arms are better
+    // than they are.
+    policy_.OnEpisodeEnd(std::min(completed_skips_, planned_base_),
+                         propagator_.agreement());
   }
   DifficultySignals signals;
   signals.context_changed = context_changed_;
@@ -63,7 +75,8 @@ void TemporalGate::ObserveDetections(const DetectionList& fused,
   signals.track_instability = propagator_.track_instability();
   signals.agreement = propagator_.agreement();
   last_difficulty_ = DifficultyScore(signals);
-  remaining_skips_ = policy_.PlanSkips(last_difficulty_);
+  planned_base_ = policy_.PlanSkips(last_difficulty_);
+  remaining_skips_ = planned_base_ + skip_boost_;
   completed_skips_ = 0;
   episode_open_ = true;
 }
@@ -77,6 +90,8 @@ Status TemporalGate::SaveState(ByteWriter& w) const {
   w.U8(static_cast<uint8_t>(last_context_));
   w.F64(last_difficulty_);
   w.U64(forced_detects_);
+  w.I64(skip_boost_);
+  w.I64(planned_base_);
   VQE_RETURN_NOT_OK(policy_.SaveState(w));
   return propagator_.SaveState(w);
 }
@@ -87,6 +102,7 @@ Status TemporalGate::RestoreState(ByteReader& r) {
   uint8_t last_context = 0;
   double last_difficulty = 0.0;
   uint64_t forced = 0;
+  int64_t boost = 0, planned_base = 0;
   VQE_RETURN_NOT_OK(r.I64(&remaining));
   VQE_RETURN_NOT_OK(r.I64(&completed));
   VQE_RETURN_NOT_OK(r.Bool(&episode_open));
@@ -95,10 +111,21 @@ Status TemporalGate::RestoreState(ByteReader& r) {
   VQE_RETURN_NOT_OK(r.U8(&last_context));
   VQE_RETURN_NOT_OK(r.F64(&last_difficulty));
   VQE_RETURN_NOT_OK(r.U64(&forced));
-  if (remaining < 0 || remaining > options_.skip_budget) {
+  VQE_RETURN_NOT_OK(r.I64(&boost));
+  VQE_RETURN_NOT_OK(r.I64(&planned_base));
+  if (boost < 0 || boost > kMaxSkipBoost) {
+    return Status::DataLoss("gate skip boost out of range");
+  }
+  if (planned_base < 0 || planned_base > options_.skip_budget) {
+    return Status::DataLoss("gate planned base out of range");
+  }
+  // Skip counters are bounded by budget + boost: a boosted episode
+  // legitimately plans past the configured budget.
+  const int64_t bound = static_cast<int64_t>(options_.skip_budget) + boost;
+  if (remaining < 0 || remaining > bound) {
     return Status::DataLoss("gate remaining skips out of range");
   }
-  if (completed < 0 || completed > options_.skip_budget) {
+  if (completed < 0 || completed > bound) {
     return Status::DataLoss("gate completed skips out of range");
   }
   if (last_context >= static_cast<uint8_t>(kNumSceneContexts)) {
@@ -108,6 +135,8 @@ Status TemporalGate::RestoreState(ByteReader& r) {
   VQE_RETURN_NOT_OK(propagator_.RestoreState(r));
   remaining_skips_ = static_cast<int>(remaining);
   completed_skips_ = static_cast<int>(completed);
+  skip_boost_ = static_cast<int>(boost);
+  planned_base_ = static_cast<int>(planned_base);
   episode_open_ = episode_open;
   has_context_ = has_context;
   context_changed_ = context_changed;

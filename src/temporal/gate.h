@@ -52,6 +52,22 @@ class TemporalGate {
   /// next skip run.
   void ObserveDetections(const DetectionList& fused, int64_t frame_index);
 
+  /// Dynamic overload overlay: every episode planned from here on is
+  /// extended by `boost` extra skips beyond what the policy chose —
+  /// including zero-plans, so under pressure even frames the policy would
+  /// detect are coasted (accuracy is the currency overload control spends;
+  /// forced detects on context changes still fire, so the correctness
+  /// guards stay). Already-planned skips are not retracted when the boost
+  /// drops; the new value applies from the next detect frame. The boost is
+  /// dynamic state, NOT part of the SkipOptions identity fingerprint: a
+  /// serving node may raise and lower it mid-run without invalidating
+  /// snapshots, and bandit rewards are credited against the policy's own
+  /// plan only, so the overlay never pollutes learning. Boost 0 (the
+  /// default) leaves every decision byte-identical to a build without this
+  /// hook.
+  void SetSkipBoost(int boost);
+  int skip_boost() const { return skip_boost_; }
+
   const IouTracker& tracker() const { return propagator_.tracker(); }
   const SkipPolicy& policy() const { return policy_; }
   const SkipOptions& options() const { return options_; }
@@ -74,6 +90,11 @@ class TemporalGate {
   TrackPropagator propagator_;
   int remaining_skips_ = 0;
   int completed_skips_ = 0;
+  /// Overload overlay (dynamic, serialized as state, never identity).
+  int skip_boost_ = 0;
+  /// What the policy itself planned for the open episode, pre-boost — the
+  /// cap for bandit reward credit.
+  int planned_base_ = 0;
   bool episode_open_ = false;
   bool has_context_ = false;
   bool context_changed_ = false;

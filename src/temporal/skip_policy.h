@@ -43,6 +43,11 @@ enum class SkipMode : uint8_t {
 /// Short name, e.g. "bandit".
 const char* SkipModeToString(SkipMode mode);
 
+/// Upper bound on TemporalGate::SetSkipBoost — the serving layer's dynamic
+/// overload overlay on top of the configured skip_budget (same cap as the
+/// budget itself).
+inline constexpr int kMaxSkipBoost = 1024;
+
 /// TrackerOptions tuned for propagation (see SkipOptions::tracker).
 inline TrackerOptions PropagationTrackerDefaults() {
   TrackerOptions t;

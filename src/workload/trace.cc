@@ -1,0 +1,463 @@
+#include "workload/trace.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vqe {
+namespace {
+
+constexpr uint64_t kMaxRounds = 100000;
+constexpr int kMaxModels = 16;
+constexpr int kMaxFrames = 100000;
+constexpr size_t kMaxStorms = 64;
+constexpr size_t kMaxClasses = kNumPriorityClasses;
+
+Status ParseError(int line, const std::string& what) {
+  return Status::ParseError("workload trace line " + std::to_string(line) +
+                            ": " + what);
+}
+
+/// Whitespace tokenizer; '#' starts a comment.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Full-token strtod with finiteness check.
+Status ParseFinite(const std::string& tok, int line, const char* field,
+                   double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return ParseError(line, std::string(field) + " is not a finite number: '" +
+                                tok + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+/// Full-token non-negative integer parse.
+Status ParseU64(const std::string& tok, int line, const char* field,
+                uint64_t* out) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+    return ParseError(line, std::string(field) +
+                                " is not a non-negative integer: '" + tok +
+                                "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || errno == ERANGE) {
+    return ParseError(line, std::string(field) +
+                                " is not a non-negative integer: '" + tok +
+                                "'");
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Status ExpectTokens(const std::vector<std::string>& tokens, size_t n,
+                    int line) {
+  if (tokens.size() != n) {
+    return ParseError(line, "'" + tokens[0] + "' expects " +
+                                std::to_string(n - 1) + " fields, got " +
+                                std::to_string(tokens.size() - 1));
+  }
+  return Status::OK();
+}
+
+Result<PriorityClass> ParsePriority(const std::string& tok, int line) {
+  if (tok == "interactive") return PriorityClass::kInteractive;
+  if (tok == "standard") return PriorityClass::kStandard;
+  if (tok == "batch") return PriorityClass::kBatch;
+  return ParseError(line, "unknown priority class '" + tok + "'");
+}
+
+Result<SkipMode> ParseSkipModeTok(const std::string& tok, int line) {
+  if (tok == "off") return SkipMode::kOff;
+  if (tok == "fixed") return SkipMode::kFixedInterval;
+  if (tok == "gated") return SkipMode::kDifficultyGated;
+  if (tok == "bandit") return SkipMode::kBandit;
+  return ParseError(line, "unknown skip mode '" + tok + "'");
+}
+
+Result<FaultKind> ParseFaultKindTok(const std::string& tok, int line) {
+  if (tok == "error") return FaultKind::kError;
+  if (tok == "spike") return FaultKind::kLatencySpike;
+  if (tok == "empty") return FaultKind::kEmptyOutput;
+  if (tok == "garbage") return FaultKind::kGarbageOutput;
+  return ParseError(line, "unknown fault kind '" + tok + "'");
+}
+
+const char* SkipModeTok(SkipMode m) {
+  switch (m) {
+    case SkipMode::kOff:
+      return "off";
+    case SkipMode::kFixedInterval:
+      return "fixed";
+    case SkipMode::kDifficultyGated:
+      return "gated";
+    case SkipMode::kBandit:
+      return "bandit";
+  }
+  return "off";
+}
+
+const char* FaultKindTok(FaultKind k) {
+  switch (k) {
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kLatencySpike:
+      return "spike";
+    case FaultKind::kEmptyOutput:
+      return "empty";
+    case FaultKind::kGarbageOutput:
+      return "garbage";
+    case FaultKind::kNone:
+      break;
+  }
+  return "error";
+}
+
+const char* PriorityTok(PriorityClass p) {
+  switch (p) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kStandard:
+      return "standard";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "standard";
+}
+
+}  // namespace
+
+Status WorkloadTrace::Validate() const {
+  if (rounds < 1 || rounds > kMaxRounds) {
+    return Status::InvalidArgument("workload rounds out of range");
+  }
+  if (dataset.empty()) {
+    return Status::InvalidArgument("workload dataset is empty");
+  }
+  if (!std::isfinite(scene_scale) || scene_scale <= 0.0 ||
+      scene_scale > 16.0) {
+    return Status::InvalidArgument("workload scale out of range");
+  }
+  if (models < 1 || models > kMaxModels) {
+    return Status::InvalidArgument("workload models out of range");
+  }
+  if (!std::isfinite(arrival_rate) || arrival_rate < 0.0 ||
+      arrival_rate > 64.0) {
+    return Status::InvalidArgument("workload arrival rate out of range");
+  }
+  if (!std::isfinite(pareto_alpha) || pareto_alpha < 0.1 ||
+      pareto_alpha > 64.0) {
+    return Status::InvalidArgument("workload pareto alpha out of range");
+  }
+  if (!std::isfinite(pareto_cap) || pareto_cap < 1.0 || pareto_cap > 1e3) {
+    return Status::InvalidArgument("workload pareto cap out of range");
+  }
+  if (!std::isfinite(diurnal_period) || diurnal_period <= 0.0) {
+    return Status::InvalidArgument("workload diurnal period must be > 0");
+  }
+  if (!std::isfinite(diurnal_amplitude) || diurnal_amplitude < 0.0 ||
+      diurnal_amplitude >= 1.0) {
+    return Status::InvalidArgument(
+        "workload diurnal amplitude must be in [0, 1)");
+  }
+  for (double l : {drift_lambda0, drift_lambda1}) {
+    if (!std::isfinite(l) || l < 0.0 || l > 1.0) {
+      return Status::InvalidArgument(
+          "workload drift lambda must be in [0, 1]");
+    }
+  }
+  if (mix.empty()) {
+    return Status::InvalidArgument("workload declares no classes");
+  }
+  double share_sum = 0.0;
+  for (const WorkloadClassMix& m : mix) {
+    if (!std::isfinite(m.share) || m.share <= 0.0) {
+      return Status::InvalidArgument("workload class share must be > 0");
+    }
+    share_sum += m.share;
+    if (m.frames < 1 || m.frames > kMaxFrames) {
+      return Status::InvalidArgument("workload class frames out of range");
+    }
+    if (m.skip_budget < 0 || m.skip_budget > 1024) {
+      return Status::InvalidArgument(
+          "workload class skip budget out of range");
+    }
+    if (m.skip_mode != SkipMode::kOff && m.skip_budget == 0) {
+      return Status::InvalidArgument(
+          "workload class skip mode needs a budget > 0");
+    }
+  }
+  if (!std::isfinite(share_sum) || share_sum <= 0.0) {
+    return Status::InvalidArgument("workload class shares sum to zero");
+  }
+  if (storms.size() > kMaxStorms) {
+    return Status::InvalidArgument("workload storm count over cap");
+  }
+  const EnsembleId full =
+      models >= 32 ? ~EnsembleId{0} : ((EnsembleId{1} << models) - 1);
+  for (const WorkloadStorm& s : storms) {
+    if (s.begin_round >= s.end_round || s.end_round > kMaxRounds) {
+      return Status::InvalidArgument("workload storm window inverted");
+    }
+    if (s.models == 0 || (s.models & ~full) != 0) {
+      return Status::InvalidArgument(
+          "workload storm model mask outside the pool");
+    }
+    if (s.kind == FaultKind::kNone) {
+      return Status::InvalidArgument("workload storm kind is none");
+    }
+    if (!std::isfinite(s.rate) || s.rate < 0.0 || s.rate > 1e3) {
+      return Status::InvalidArgument("workload storm rate out of range");
+    }
+  }
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    if (!std::isfinite(slo[c].p99_ms) || slo[c].p99_ms < 0.0) {
+      return Status::InvalidArgument("workload SLO p99 out of range");
+    }
+    if (!std::isfinite(slo[c].shed_budget) || slo[c].shed_budget < 0.0 ||
+        slo[c].shed_budget > 1.0) {
+      return Status::InvalidArgument("workload SLO shed budget out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<WorkloadTrace> ParseWorkloadTrace(const std::string& text) {
+  WorkloadTrace trace;
+  trace.mix.clear();
+
+  bool saw_magic = false;
+  bool saw_end = false;
+  bool seen[8] = {};  // seed rounds dataset scale models arrivals diurnal drift
+  enum { kSeed, kRounds, kDataset, kScale, kModels, kArrivals, kDiurnal,
+         kDrift };
+  bool seen_class[kNumPriorityClasses] = {};
+  bool seen_slo[kNumPriorityClasses] = {};
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) continue;
+    if (saw_end) {
+      return ParseError(lineno, "content after 'end'");
+    }
+    if (!saw_magic) {
+      if (t.size() != 2 || t[0] != "VQEWORK" || t[1] != "1") {
+        return ParseError(lineno, "expected magic 'VQEWORK 1'");
+      }
+      saw_magic = true;
+      continue;
+    }
+    const std::string& key = t[0];
+    auto singleton = [&](int idx) -> Status {
+      if (seen[idx]) {
+        return ParseError(lineno, "duplicate '" + key + "'");
+      }
+      seen[idx] = true;
+      return Status::OK();
+    };
+    if (key == "end") {
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 1, lineno));
+      saw_end = true;
+    } else if (key == "seed") {
+      VQE_RETURN_NOT_OK(singleton(kSeed));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 2, lineno));
+      VQE_RETURN_NOT_OK(ParseU64(t[1], lineno, "seed", &trace.seed));
+    } else if (key == "rounds") {
+      VQE_RETURN_NOT_OK(singleton(kRounds));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 2, lineno));
+      VQE_RETURN_NOT_OK(ParseU64(t[1], lineno, "rounds", &trace.rounds));
+    } else if (key == "dataset") {
+      VQE_RETURN_NOT_OK(singleton(kDataset));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 2, lineno));
+      trace.dataset = t[1];
+    } else if (key == "scale") {
+      VQE_RETURN_NOT_OK(singleton(kScale));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 2, lineno));
+      VQE_RETURN_NOT_OK(ParseFinite(t[1], lineno, "scale",
+                                    &trace.scene_scale));
+    } else if (key == "models") {
+      VQE_RETURN_NOT_OK(singleton(kModels));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 2, lineno));
+      uint64_t m = 0;
+      VQE_RETURN_NOT_OK(ParseU64(t[1], lineno, "models", &m));
+      if (m > kMaxModels) return ParseError(lineno, "models over cap");
+      trace.models = static_cast<int>(m);
+    } else if (key == "arrivals") {
+      VQE_RETURN_NOT_OK(singleton(kArrivals));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 7, lineno));
+      if (t[1] != "rate" || t[3] != "alpha" || t[5] != "cap") {
+        return ParseError(lineno,
+                          "expected 'arrivals rate R alpha A cap C'");
+      }
+      VQE_RETURN_NOT_OK(ParseFinite(t[2], lineno, "arrival rate",
+                                    &trace.arrival_rate));
+      VQE_RETURN_NOT_OK(ParseFinite(t[4], lineno, "pareto alpha",
+                                    &trace.pareto_alpha));
+      VQE_RETURN_NOT_OK(ParseFinite(t[6], lineno, "pareto cap",
+                                    &trace.pareto_cap));
+    } else if (key == "diurnal") {
+      VQE_RETURN_NOT_OK(singleton(kDiurnal));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 5, lineno));
+      if (t[1] != "period" || t[3] != "amplitude") {
+        return ParseError(lineno,
+                          "expected 'diurnal period P amplitude A'");
+      }
+      VQE_RETURN_NOT_OK(ParseFinite(t[2], lineno, "diurnal period",
+                                    &trace.diurnal_period));
+      VQE_RETURN_NOT_OK(ParseFinite(t[4], lineno, "diurnal amplitude",
+                                    &trace.diurnal_amplitude));
+    } else if (key == "drift") {
+      VQE_RETURN_NOT_OK(singleton(kDrift));
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 5, lineno));
+      if (t[1] != "lambda0" || t[3] != "lambda1") {
+        return ParseError(lineno,
+                          "expected 'drift lambda0 A lambda1 B'");
+      }
+      VQE_RETURN_NOT_OK(ParseFinite(t[2], lineno, "drift lambda0",
+                                    &trace.drift_lambda0));
+      VQE_RETURN_NOT_OK(ParseFinite(t[4], lineno, "drift lambda1",
+                                    &trace.drift_lambda1));
+    } else if (key == "class") {
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 9, lineno));
+      if (t[2] != "share" || t[4] != "frames" || t[6] != "skip") {
+        return ParseError(
+            lineno, "expected 'class P share S frames F skip MODE BUDGET'");
+      }
+      WorkloadClassMix m;
+      VQE_ASSIGN_OR_RETURN(m.priority, ParsePriority(t[1], lineno));
+      const int ci = PriorityClassIndex(m.priority);
+      if (seen_class[ci]) {
+        return ParseError(lineno, "duplicate class '" + t[1] + "'");
+      }
+      seen_class[ci] = true;
+      VQE_RETURN_NOT_OK(ParseFinite(t[3], lineno, "class share", &m.share));
+      uint64_t frames = 0;
+      VQE_RETURN_NOT_OK(ParseU64(t[5], lineno, "class frames", &frames));
+      if (frames > kMaxFrames) return ParseError(lineno, "frames over cap");
+      m.frames = static_cast<int>(frames);
+      VQE_ASSIGN_OR_RETURN(m.skip_mode, ParseSkipModeTok(t[7], lineno));
+      uint64_t budget = 0;
+      VQE_RETURN_NOT_OK(ParseU64(t[8], lineno, "skip budget", &budget));
+      if (budget > 1024) return ParseError(lineno, "skip budget over cap");
+      m.skip_budget = static_cast<int>(budget);
+      if (trace.mix.size() >= kMaxClasses) {
+        return ParseError(lineno, "too many class lines");
+      }
+      trace.mix.push_back(m);
+    } else if (key == "slo") {
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 6, lineno));
+      if (t[2] != "p99" || t[4] != "shed") {
+        return ParseError(lineno, "expected 'slo P p99 MS shed FRAC'");
+      }
+      VQE_ASSIGN_OR_RETURN(const PriorityClass p, ParsePriority(t[1], lineno));
+      const int ci = PriorityClassIndex(p);
+      if (seen_slo[ci]) {
+        return ParseError(lineno, "duplicate slo '" + t[1] + "'");
+      }
+      seen_slo[ci] = true;
+      VQE_RETURN_NOT_OK(ParseFinite(t[3], lineno, "slo p99",
+                                    &trace.slo[ci].p99_ms));
+      VQE_RETURN_NOT_OK(ParseFinite(t[5], lineno, "slo shed",
+                                    &trace.slo[ci].shed_budget));
+      trace.has_slo[ci] = true;
+    } else if (key == "storm") {
+      VQE_RETURN_NOT_OK(ExpectTokens(t, 10, lineno));
+      if (t[1] != "rounds" || t[4] != "models" || t[6] != "kind" ||
+          t[8] != "rate") {
+        return ParseError(
+            lineno, "expected 'storm rounds B E models MASK kind K rate R'");
+      }
+      WorkloadStorm s;
+      VQE_RETURN_NOT_OK(ParseU64(t[2], lineno, "storm begin",
+                                 &s.begin_round));
+      VQE_RETURN_NOT_OK(ParseU64(t[3], lineno, "storm end", &s.end_round));
+      uint64_t mask = 0;
+      VQE_RETURN_NOT_OK(ParseU64(t[5], lineno, "storm mask", &mask));
+      if (mask > ~EnsembleId{0}) {
+        return ParseError(lineno, "storm mask over cap");
+      }
+      s.models = static_cast<EnsembleId>(mask);
+      VQE_ASSIGN_OR_RETURN(s.kind, ParseFaultKindTok(t[7], lineno));
+      VQE_RETURN_NOT_OK(ParseFinite(t[9], lineno, "storm rate", &s.rate));
+      if (trace.storms.size() >= kMaxStorms) {
+        return ParseError(lineno, "too many storm lines");
+      }
+      trace.storms.push_back(s);
+    } else {
+      return ParseError(lineno, "unknown key '" + key + "'");
+    }
+  }
+  if (!saw_magic) {
+    return Status::ParseError("workload trace: empty input (no magic)");
+  }
+  if (!saw_end) {
+    return Status::ParseError(
+        "workload trace: missing trailing 'end' (truncated input)");
+  }
+  VQE_RETURN_NOT_OK(trace.Validate());
+  return trace;
+}
+
+std::string FormatWorkloadTrace(const WorkloadTrace& trace) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "VQEWORK 1\n";
+  out << "seed " << trace.seed << "\n";
+  out << "rounds " << trace.rounds << "\n";
+  out << "dataset " << trace.dataset << "\n";
+  out << "scale " << trace.scene_scale << "\n";
+  out << "models " << trace.models << "\n";
+  out << "arrivals rate " << trace.arrival_rate << " alpha "
+      << trace.pareto_alpha << " cap " << trace.pareto_cap << "\n";
+  out << "diurnal period " << trace.diurnal_period << " amplitude "
+      << trace.diurnal_amplitude << "\n";
+  out << "drift lambda0 " << trace.drift_lambda0 << " lambda1 "
+      << trace.drift_lambda1 << "\n";
+  for (const WorkloadClassMix& m : trace.mix) {
+    out << "class " << PriorityTok(m.priority) << " share " << m.share
+        << " frames " << m.frames << " skip " << SkipModeTok(m.skip_mode)
+        << " " << m.skip_budget << "\n";
+  }
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    if (!trace.has_slo[c]) continue;
+    out << "slo " << PriorityTok(static_cast<PriorityClass>(c)) << " p99 "
+        << trace.slo[c].p99_ms << " shed " << trace.slo[c].shed_budget
+        << "\n";
+  }
+  for (const WorkloadStorm& s : trace.storms) {
+    out << "storm rounds " << s.begin_round << " " << s.end_round
+        << " models " << s.models << " kind " << FaultKindTok(s.kind)
+        << " rate " << s.rate << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+}  // namespace vqe

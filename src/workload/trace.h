@@ -1,0 +1,122 @@
+// Workload trace: the small text format that scripts a serving run —
+// traffic intensity, priority mix, concept drift, fault storms and SLO
+// targets — so overload experiments are replayable from a dozen lines
+// instead of a wall of C++.
+//
+// Format (line-based, '#' comments, tokens split on whitespace):
+//
+//   VQEWORK 1
+//   seed 42
+//   rounds 96
+//   dataset nusc-night
+//   scale 0.15
+//   models 5
+//   arrivals rate 0.8 alpha 1.6 cap 6
+//   diurnal period 24 amplitude 0.5
+//   drift lambda0 0.02 lambda1 0.25
+//   class interactive share 0.5 frames 48 skip bandit 3
+//   class standard share 0.3 frames 64 skip off 0
+//   class batch share 0.2 frames 96 skip fixed 2
+//   slo interactive p99 1.5 shed 0.0
+//   slo batch p99 0 shed 1.0
+//   storm rounds 20 40 models 3 kind error rate 1.0
+//   storm rounds 55 70 models 1 kind spike rate 0.4
+//   end
+//
+// `VQEWORK 1` must be the first non-comment line and `end` the last —
+// a missing trailer means the trace was truncated in transit and the
+// parser rejects it rather than silently running a partial workload.
+// Singleton keys (seed, rounds, dataset, scale, models, arrivals,
+// diurnal, drift) reject duplicates; `class`/`slo` reject a repeated
+// priority; `storm` repeats freely up to a cap. Every numeric field is
+// range- and finiteness-checked — the parser is the trust boundary for
+// operator-supplied traces, so hostile input (forged counts, NaN rates,
+// inverted windows) dies with kParseError, never a crash or a bogus run.
+
+#ifndef VQE_WORKLOAD_TRACE_H_
+#define VQE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ensemble_id.h"
+#include "runtime/fault_injection.h"
+#include "serve/overload.h"
+#include "serve/stream_session.h"
+#include "temporal/skip_policy.h"
+
+namespace vqe {
+
+/// One priority class's slice of the traffic mix.
+struct WorkloadClassMix {
+  PriorityClass priority = PriorityClass::kStandard;
+  /// Relative share of arrivals (normalized over the declared classes).
+  double share = 1.0;
+  /// Session length in frames (the sampled video is truncated to this).
+  int frames = 64;
+  SkipMode skip_mode = SkipMode::kOff;
+  int skip_budget = 0;
+};
+
+/// A scripted fault storm over a round window, afflicting a model subset.
+struct WorkloadStorm {
+  /// [begin_round, end_round) on the scheduler round clock.
+  uint64_t begin_round = 0;
+  uint64_t end_round = 0;
+  /// Bitmask of afflicted pool models (bit i = model i).
+  EnsembleId models = 0;
+  FaultKind kind = FaultKind::kError;
+  /// rate >= 1: a persistent outage over the whole window. rate < 1: each
+  /// in-window frame is independently afflicted with this probability
+  /// (drawn once at plan time, so the storm is replayable).
+  double rate = 1.0;
+};
+
+struct WorkloadTrace {
+  uint64_t seed = 1;
+  /// Plan horizon: arrivals are generated for rounds [0, rounds).
+  uint64_t rounds = 64;
+  std::string dataset = "nusc";
+  /// Scene sampling scale (SampleOptions::scene_scale).
+  double scene_scale = 0.25;
+  /// Detector pool size m.
+  int models = 3;
+  /// Base arrival intensity, expected sessions per round.
+  double arrival_rate = 0.5;
+  /// Bounded-Pareto burstiness shape (smaller = heavier tail).
+  double pareto_alpha = 1.5;
+  /// Cap on the Pareto burst multiplier.
+  double pareto_cap = 8.0;
+  /// Diurnal load curve: 1 + amplitude * sin(2*pi*round/period).
+  double diurnal_period = 32.0;
+  double diurnal_amplitude = 0.0;
+  /// Concept-drift intensity at round 0 and at the horizon; each session
+  /// interpolates between its arrival-time and completion-time values.
+  double drift_lambda0 = 0.0;
+  double drift_lambda1 = 0.0;
+  /// Declared classes (at least one; duplicates rejected at parse).
+  std::vector<WorkloadClassMix> mix;
+  std::vector<WorkloadStorm> storms;
+  /// SLO targets from `slo` lines; classes without one keep the default
+  /// (no latency SLO, unbounded shed budget).
+  SloTarget slo[kNumPriorityClasses];
+  bool has_slo[kNumPriorityClasses] = {false, false, false};
+
+  Status Validate() const;
+};
+
+/// Parses the text format above. Any structural or range violation —
+/// bad magic, truncation (missing `end`), duplicate singleton, wrong
+/// token count, non-finite or out-of-range number, unknown key — is
+/// kParseError with a line number.
+Result<WorkloadTrace> ParseWorkloadTrace(const std::string& text);
+
+/// Serializes a trace back into the text format (round-trips through
+/// ParseWorkloadTrace).
+std::string FormatWorkloadTrace(const WorkloadTrace& trace);
+
+}  // namespace vqe
+
+#endif  // VQE_WORKLOAD_TRACE_H_

@@ -1,0 +1,155 @@
+// Deterministic, replayable workload engine: expands a parsed
+// WorkloadTrace into a concrete per-session plan (arrivals, seeds, drift
+// schedules, fault bursts) and drives the serving layer with it.
+//
+// Everything stochastic is drawn from ONE xoshiro stream seeded by
+// trace.seed, in a fixed order (round by round, session by session, storm
+// by storm), so the same trace always yields the same plan — and the same
+// plan drives StreamScheduler and ShardedServer to the same deterministic
+// schedules. Wall-clock never enters plan generation.
+//
+// Traffic model. Arrivals per round are heavy-tailed: a bounded-Pareto
+// burst multiplier (shape alpha, capped) on top of the base rate, shaped
+// by a diurnal sine curve; the fractional remainder arrives
+// probabilistically. Each arrival draws its priority class from the mix
+// shares; the class fixes session length and temporal-skip configuration.
+//
+// Concept drift. A session's video is rewritten at *scene-block*
+// granularity: each contiguous scene_id run flips to a different context
+// with probability lambda, interpolated across the session between the
+// global drift intensity at arrival and at expected completion. Block
+// granularity matters — per-frame flips would force a detect on almost
+// every frame and neuter the skip ladder rung the overload controller
+// relies on.
+//
+// Fault storms. A storm afflicts a model mask over a round window. Round
+// windows are mapped into each session's own frame clock via
+// kNominalFramesPerRound (a documented approximation: the scheduler's
+// actual frames-per-round depends on quanta). rate >= 1 becomes one
+// persistent FaultBurst over the intersection of the window with the
+// session's lifetime; rate < 1 becomes per-frame one-shot bursts included
+// with that probability — drawn at plan time, so the storm replays
+// exactly.
+
+#ifndef VQE_WORKLOAD_WORKLOAD_H_
+#define VQE_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "fleet/sharded_server.h"
+#include "models/model_zoo.h"
+#include "serve/scheduler.h"
+#include "serve/stream_session.h"
+#include "sim/video.h"
+#include "workload/trace.h"
+
+namespace vqe {
+
+/// Nominal frames one session advances per scheduler round — the
+/// round-clock/frame-clock exchange rate used to map storm windows onto
+/// session lifetimes.
+inline constexpr int kNominalFramesPerRound = 8;
+
+/// Hard caps on plan expansion (hostile-trace containment).
+inline constexpr int kMaxArrivalsPerRound = 16;
+inline constexpr size_t kMaxPlannedSessions = 256;
+
+/// One planned session: everything needed to build it, bit-reproducibly.
+struct SessionPlan {
+  /// Scheduler round at which the session is submitted (0 = before the
+  /// first round).
+  uint64_t arrival_round = 0;
+  std::string name;
+  PriorityClass priority = PriorityClass::kStandard;
+  /// Session length in frames (the sampled video is truncated to this).
+  int frames = 0;
+  SkipMode skip_mode = SkipMode::kOff;
+  int skip_budget = 0;
+  uint64_t trial_seed = 0;
+  uint64_t strategy_seed = 0;
+  /// Seeds video sampling AND the drift rewrite stream.
+  uint64_t video_seed = 0;
+  /// Drift intensity at the session's first and last frame.
+  double lambda0 = 0.0;
+  double lambda1 = 0.0;
+  /// Per-model fault scripts (size = trace.models) in the session's own
+  /// frame coordinates; all-empty when no storm touches the session.
+  std::vector<FaultScript> scripts;
+
+  /// True when any script injects faults.
+  bool stormy() const;
+};
+
+struct WorkloadPlan {
+  WorkloadTrace trace;
+  /// Sorted by (arrival_round, plan order).
+  std::vector<SessionPlan> sessions;
+  /// Arrivals the per-round / total caps dropped (reported, not silent).
+  uint64_t capped_arrivals = 0;
+};
+
+/// Expands a validated trace into a session plan. Pure function of the
+/// trace (same trace -> byte-identical plan).
+WorkloadPlan BuildWorkloadPlan(const WorkloadTrace& trace);
+
+/// Builds the session's ground-truth video: samples the trace dataset
+/// with plan.video_seed, truncates to plan.frames, then applies the
+/// scene-block drift rewrite.
+Result<Video> BuildSessionVideo(const WorkloadPlan& plan,
+                                const SessionPlan& session);
+
+/// Builds a ready-to-submit StreamSession for one plan entry over the
+/// shared base pool (which must outlive the session; fault decoration is
+/// owned by the session). Strategy is fixed per class — interactive MES,
+/// standard SW-MES, batch D-MES — so replays agree.
+Result<std::unique_ptr<StreamSession>> BuildWorkloadSession(
+    const WorkloadPlan& plan, const SessionPlan& session,
+    const DetectorPool& base_pool);
+
+/// Solo baseline of one plan entry (RunStrategy over the same video,
+/// pool decoration, strategy and engine options) — the bit-identity
+/// reference for served runs with the overload controller disabled.
+Result<RunResult> RunWorkloadSessionSolo(const WorkloadPlan& plan,
+                                         const SessionPlan& session,
+                                         const DetectorPool& base_pool);
+
+/// ServeOptions derived from the trace's `slo` lines: overload control
+/// enabled with the trace targets layered onto `base` (returned unchanged
+/// when enable is false).
+ServeOptions MakeServeOptions(const WorkloadTrace& trace, ServeOptions base,
+                              bool enable_overload);
+
+struct WorkloadRunReport {
+  ServeReport serve;
+  uint64_t planned = 0;
+  uint64_t submitted = 0;
+  /// Plan entries shed at submission (kResourceExhausted — expected under
+  /// overload, not an error).
+  uint64_t shed = 0;
+};
+
+/// Drives one StreamScheduler through the plan: submits each session at
+/// its arrival round, runs DRR rounds until everything drains, and
+/// returns the report. `serve` should come from MakeServeOptions (or any
+/// valid ServeOptions).
+Result<WorkloadRunReport> RunWorkloadOnScheduler(const WorkloadPlan& plan,
+                                                 const DetectorPool& base_pool,
+                                                 const ServeOptions& serve);
+
+/// Drives a ShardedServer with the plan. The fleet API takes all streams
+/// up front, so arrival timing collapses (documented deviation: this
+/// driver exercises fleet-wide degradation propagation, not traffic
+/// shaping). Chaos rides along verbatim.
+Result<FleetReport> RunWorkloadOnFleet(const WorkloadPlan& plan,
+                                       const DetectorPool& base_pool,
+                                       FleetOptions options,
+                                       ChaosScript chaos = {});
+
+}  // namespace vqe
+
+#endif  // VQE_WORKLOAD_WORKLOAD_H_

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
@@ -29,9 +30,11 @@
 #include "runtime/breaker_registry.h"
 #include "runtime/fault_injection.h"
 #include "serve/batch_dispatcher.h"
+#include "serve/overload.h"
 #include "serve/scheduler.h"
 #include "serve/stream_session.h"
 #include "sim/dataset.h"
+#include "temporal/skip_policy.h"
 
 namespace vqe {
 namespace {
@@ -846,6 +849,462 @@ TEST(StreamSchedulerTest, ServeStatsKeepLedgersApart) {
   EXPECT_NE(report.stats.simulated_ms, report.stats.wall_ms);
   // Latency percentiles recorded and ordered.
   EXPECT_GE(report.stats.frame_p99_ms, report.stats.frame_p50_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Overload control (ISSUE 9): the percentile sensor, option validation,
+// the hysteresis ladder state machine, per-class serve accounting, the
+// level-3 batch shed, and the engine-side degradation actuators.
+
+TEST(SamplePercentileTest, NearestRank) {
+  EXPECT_EQ(SamplePercentile({}, 0.99), 0.0);
+  EXPECT_EQ(SamplePercentile({7.0}, 0.5), 7.0);
+  std::vector<double> ten;
+  for (int i = 10; i >= 1; --i) ten.push_back(static_cast<double>(i));
+  EXPECT_EQ(SamplePercentile(ten, 0.5), 5.0);   // ceil(0.5 * 10) = 5th
+  EXPECT_EQ(SamplePercentile(ten, 0.99), 10.0);  // ceil(9.9) = 10th
+  EXPECT_EQ(SamplePercentile(ten, 1.0), 10.0);
+}
+
+TEST(OverloadOptionsTest, DisabledBypassesValidation) {
+  OverloadOptions off;
+  off.window = -5;  // nonsense, but the controller is never constructed
+  EXPECT_TRUE(off.Validate().ok());
+}
+
+TEST(OverloadOptionsTest, EnabledValidatesEveryKnob) {
+  OverloadOptions ok;
+  ok.enabled = true;
+  EXPECT_TRUE(ok.Validate().ok());
+  const auto expect_bad = [&](void (*mutate)(OverloadOptions&)) {
+    OverloadOptions bad = ok;
+    mutate(bad);
+    EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  };
+  expect_bad([](OverloadOptions& o) { o.window = 0; });
+  expect_bad([](OverloadOptions& o) { o.min_samples = 0; });
+  expect_bad([](OverloadOptions& o) { o.min_samples = o.window + 1; });
+  expect_bad([](OverloadOptions& o) { o.queue_trigger = -1; });
+  expect_bad([](OverloadOptions& o) { o.dwell_rounds = 0; });
+  expect_bad([](OverloadOptions& o) { o.recover_rounds = 0; });
+  expect_bad([](OverloadOptions& o) { o.skip_boost = -1; });
+  expect_bad([](OverloadOptions& o) { o.skip_boost = kMaxSkipBoost + 1; });
+  expect_bad([](OverloadOptions& o) { o.slo[0].p99_ms = std::nan(""); });
+  expect_bad([](OverloadOptions& o) { o.slo[0].p99_ms = -1.0; });
+  expect_bad([](OverloadOptions& o) { o.slo[1].shed_budget = -0.1; });
+  expect_bad([](OverloadOptions& o) { o.slo[1].shed_budget = 1.5; });
+}
+
+OverloadOptions LadderOptions() {
+  OverloadOptions o;
+  o.enabled = true;
+  o.window = 16;
+  o.min_samples = 4;
+  o.queue_trigger = 1;
+  o.dwell_rounds = 2;
+  o.recover_rounds = 2;
+  o.skip_boost = 3;
+  o.shrink_mask = 0x2;
+  return o;
+}
+
+TEST(OverloadControllerTest, FirstQueueBreachStepsImmediatelyThenDwells) {
+  OverloadController c(LadderOptions());
+  ASSERT_EQ(c.level(), 0);
+  c.EndRound(0, /*queue_depth=*/5);  // no prior transition: steps at once
+  EXPECT_EQ(c.level(), 1);
+  c.EndRound(1, 5);  // dwell_rounds = 2 gates the next step
+  EXPECT_EQ(c.level(), 1);
+  c.EndRound(2, 5);
+  EXPECT_EQ(c.level(), 2);
+  ASSERT_EQ(c.ledger().size(), 2u);
+  EXPECT_EQ(c.ledger()[0].round, 0u);
+  EXPECT_EQ(c.ledger()[0].from, 0);
+  EXPECT_EQ(c.ledger()[0].to, 1);
+  EXPECT_EQ(c.ledger()[0].trigger_class, -1);
+  EXPECT_TRUE(c.ledger()[0].queue_triggered);
+  EXPECT_EQ(c.ledger()[0].queue_depth, 5);
+  EXPECT_EQ(c.ledger()[1].round, 2u);
+}
+
+TEST(OverloadControllerTest, LatencyBreachAttributesTheClass) {
+  OverloadOptions opt = LadderOptions();
+  opt.queue_trigger = 0;  // latency sensor only
+  opt.slo[PriorityClassIndex(PriorityClass::kInteractive)].p99_ms = 10.0;
+  OverloadController c(opt);
+  // Below min_samples the window is not judged.
+  for (int i = 0; i < 3; ++i) {
+    c.RecordFrameCost(PriorityClass::kInteractive, 50.0);
+  }
+  c.EndRound(0, 0);
+  EXPECT_EQ(c.level(), 0);
+  c.RecordFrameCost(PriorityClass::kInteractive, 50.0);
+  c.EndRound(1, 0);
+  EXPECT_EQ(c.level(), 1);
+  EXPECT_EQ(c.ClassP99(PriorityClassIndex(PriorityClass::kInteractive)), 50.0);
+  ASSERT_EQ(c.ledger().size(), 1u);
+  EXPECT_EQ(c.ledger()[0].trigger_class,
+            PriorityClassIndex(PriorityClass::kInteractive));
+  EXPECT_FALSE(c.ledger()[0].queue_triggered);
+  EXPECT_EQ(c.ledger()[0].observed_p99_ms, 50.0);
+}
+
+TEST(OverloadControllerTest, RecoveryNeedsHealthyStreakAndDwell) {
+  OverloadController c(LadderOptions());
+  c.EndRound(0, 5);
+  ASSERT_EQ(c.level(), 1);
+  c.EndRound(1, 0);  // healthy, but streak 1 < recover_rounds
+  EXPECT_EQ(c.level(), 1);
+  c.EndRound(2, 0);  // streak 2, dwell satisfied: one rung up
+  EXPECT_EQ(c.level(), 0);
+  // The dwell gates BOTH directions: a breach one round after the
+  // recovery transition cannot immediately re-trip.
+  c.EndRound(3, 5);
+  EXPECT_EQ(c.level(), 0);
+  c.EndRound(4, 5);  // dwell satisfied: re-trips
+  ASSERT_EQ(c.level(), 1);
+  c.EndRound(5, 5);  // still hot: the healthy streak stays at zero
+  EXPECT_EQ(c.level(), 1);
+  c.EndRound(6, 0);  // streak 1 of 2
+  EXPECT_EQ(c.level(), 1);
+  c.EndRound(7, 0);  // streak 2: recovers
+  EXPECT_EQ(c.level(), 0);
+}
+
+TEST(OverloadControllerTest, StaleWindowDrainsInsteadOfWedgingTheLadder) {
+  OverloadOptions opt = LadderOptions();
+  opt.queue_trigger = 0;
+  opt.dwell_rounds = 1;
+  opt.min_samples = 1;
+  opt.slo[0].p99_ms = 10.0;
+  OverloadController c(opt);
+  c.RecordFrameCost(PriorityClass::kInteractive, 100.0);
+  c.EndRound(0, 0);
+  ASSERT_GE(c.level(), 1);
+  EXPECT_EQ(c.ClassP99(0), 100.0);
+  // The class never sends traffic again. The fossil sample must drain
+  // after recover_rounds idle rounds and the ladder must fully recover.
+  uint64_t round = 1;
+  for (; round < 20 && c.level() != 0; ++round) c.EndRound(round, 0);
+  EXPECT_EQ(c.level(), 0) << "ladder wedged on a stale window";
+  EXPECT_EQ(c.ClassP99(0), 0.0);
+}
+
+TEST(OverloadControllerTest, ActuatorViewsFollowTheLevel) {
+  OverloadOptions opt = LadderOptions();
+  opt.dwell_rounds = 1;
+  opt.recover_rounds = 1;
+  OverloadController c(opt);
+  EXPECT_EQ(c.skip_boost(), 0);
+  EXPECT_EQ(c.model_mask(), EnsembleId{0});
+  EXPECT_FALSE(c.throttle_batch());
+
+  c.EndRound(0, 5);
+  ASSERT_EQ(c.level(), 1);
+  EXPECT_EQ(c.skip_boost(), 3);
+  EXPECT_EQ(c.model_mask(), EnsembleId{0});
+  EXPECT_FALSE(c.throttle_batch());
+
+  c.EndRound(1, 5);
+  ASSERT_EQ(c.level(), 2);
+  EXPECT_EQ(c.skip_boost(), 3);
+  EXPECT_EQ(c.model_mask(), EnsembleId{0x2});
+  EXPECT_FALSE(c.throttle_batch());
+
+  c.EndRound(2, 5);
+  ASSERT_EQ(c.level(), 3);
+  EXPECT_TRUE(c.throttle_batch());
+  c.EndRound(3, 5);  // bottom rung: stays
+  EXPECT_EQ(c.level(), 3);
+
+  // Recovery walks the actuators back the same one-rung way.
+  c.EndRound(4, 0);
+  EXPECT_EQ(c.level(), 2);
+  EXPECT_FALSE(c.throttle_batch());
+  c.EndRound(5, 0);
+  EXPECT_EQ(c.level(), 1);
+  EXPECT_EQ(c.model_mask(), EnsembleId{0});
+  c.EndRound(6, 0);
+  EXPECT_EQ(c.level(), 0);
+  EXPECT_EQ(c.skip_boost(), 0);
+}
+
+TEST(ServeClassStatsTest, PerClassAccountingAndPercentiles) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.02, 7);
+  ServeOptions opt;
+  opt.max_sessions = 3;
+  StreamScheduler scheduler(opt);
+  const std::vector<StreamSpec> specs = {
+      {"i", "MES", PriorityClass::kInteractive, 9, 42},
+      {"s", "MES", PriorityClass::kStandard, 10, 43},
+      {"b", "MES", PriorityClass::kBatch, 11, 44},
+  };
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, specs[i], true,
+                                             false, nullptr, i))
+                    .ok());
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  uint64_t class_frames = 0;
+  for (int c = 0; c < kNumPriorityClasses; ++c) {
+    SCOPED_TRACE(PriorityClassToString(static_cast<PriorityClass>(c)));
+    const auto& cs = report.stats.classes[c];
+    EXPECT_EQ(cs.submitted, 1u);
+    EXPECT_EQ(cs.admitted, 1u);
+    EXPECT_EQ(cs.shed_submissions, 0u);
+    EXPECT_EQ(cs.shed_rate, 0.0);
+    EXPECT_GT(cs.frames, 0u);
+    EXPECT_GT(cs.sim_p50_ms, 0.0);
+    EXPECT_LE(cs.sim_p50_ms, cs.sim_p99_ms);
+    EXPECT_LE(cs.sim_p99_ms, cs.sim_p999_ms);
+    class_frames += cs.frames;
+  }
+  EXPECT_EQ(class_frames, report.stats.frames);
+}
+
+TEST(ServeOverloadTest, LevelThreeShedsBatchButAdmitsInteractive) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.02, 7);
+  ServeOptions opt;
+  opt.max_sessions = 1;  // one slot: submissions pile into the queue
+  opt.queue_depth = 8;
+  opt.overload.enabled = true;
+  opt.overload.queue_trigger = 1;
+  opt.overload.dwell_rounds = 1;
+  opt.overload.recover_rounds = 64;  // never recovers inside this test
+  StreamScheduler scheduler(opt);
+  for (int i = 0; i < 3; ++i) {
+    StreamSpec spec{"s" + std::to_string(i), "MES", PriorityClass::kStandard,
+                    9 + static_cast<uint64_t>(i),
+                    42 + static_cast<uint64_t>(i)};
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, spec, true, false,
+                                             nullptr,
+                                             static_cast<uint64_t>(i)))
+                    .ok());
+  }
+  ASSERT_TRUE(scheduler.BeginServing().ok());
+  // Queue depth 2 >= trigger: the ladder walks one rung per round.
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(std::move(scheduler.RunRound()).value());
+  }
+  ASSERT_NE(scheduler.overload_controller(), nullptr);
+  ASSERT_EQ(scheduler.overload_controller()->level(), 3);
+
+  // At kShedBatch a new batch submission is refused even though the
+  // queue has room — but interactive work is still welcome.
+  StreamSpec batch{"late-batch", "MES", PriorityClass::kBatch, 20, 60};
+  const auto shed = scheduler.Submit(
+      MakeServeSession(video, pool, batch, true, false, nullptr, 20));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  StreamSpec inter{"late-inter", "MES", PriorityClass::kInteractive, 21, 61};
+  EXPECT_TRUE(scheduler
+                  .Submit(MakeServeSession(video, pool, inter, true, false,
+                                           nullptr, 21))
+                  .ok());
+
+  while (std::move(scheduler.RunRound()).value()) {
+  }
+  const ServeReport report = std::move(scheduler.FinishServing()).value();
+  const auto& bcls =
+      report.stats.classes[PriorityClassIndex(PriorityClass::kBatch)];
+  EXPECT_EQ(bcls.submitted, 1u);
+  EXPECT_EQ(bcls.shed_submissions, 1u);
+  EXPECT_EQ(bcls.shed_rate, 1.0);
+  const auto& icls =
+      report.stats.classes[PriorityClassIndex(PriorityClass::kInteractive)];
+  EXPECT_EQ(icls.shed_submissions, 0u);
+  EXPECT_EQ(report.stats.peak_degradation_level, 3);
+  EXPECT_GE(report.stats.degraded_rounds, 3u);
+  ASSERT_GE(report.stats.degradations.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(report.stats.degradations[i].from, static_cast<int>(i));
+    EXPECT_EQ(report.stats.degradations[i].to, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ServeOverloadTest, QuietControllerStaysBitIdenticalToSolo) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(0.02, 17);
+  const std::vector<StreamSpec> specs = {
+      {"i", "MES", PriorityClass::kInteractive, 9, 42},
+      {"b", "D-MES", PriorityClass::kBatch, 11, 44},
+  };
+  ServeOptions opt;
+  opt.max_sessions = 2;
+  // Enabled, but no latency SLO and no queue sensor: the controller runs
+  // every round yet never leaves level 0 — SetDegradation(0, 0) must be a
+  // true no-op on every stream.
+  opt.overload.enabled = true;
+  StreamScheduler scheduler(opt);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(scheduler
+                    .Submit(MakeServeSession(video, pool, specs[i], true,
+                                             false, nullptr, i))
+                    .ok());
+  }
+  const ServeReport report = std::move(scheduler.RunUntilDrained()).value();
+  ASSERT_EQ(report.streams.size(), specs.size());
+  EXPECT_EQ(report.stats.peak_degradation_level, 0);
+  EXPECT_TRUE(report.stats.degradations.empty());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(specs[i].name);
+    ASSERT_TRUE(report.streams[i].status.ok());
+    ExpectSameRun(SoloBaseline(video, pool, specs[i], /*lazy=*/true,
+                               /*faults=*/false),
+                  report.streams[i].result);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-side degradation actuators.
+
+RunResult RunEngineWithDegradation(const Video& video,
+                                   const DetectorPool& pool, int skip_boost,
+                                   EnsembleId mask, bool call_every_frame) {
+  auto source =
+      std::move(LazyFrameEvaluator::Create(video, pool, /*trial_seed=*/9, {}))
+          .value();
+  std::unique_ptr<SelectionStrategy> strategy = MakeStrategy("MES");
+  EngineOptions e;
+  e.strategy_seed = 42;
+  e.compute_regret = false;
+  auto run = std::move(EngineRun::Create(*source, strategy.get(), e)).value();
+  bool applied = false;
+  while (!run->done()) {
+    if (call_every_frame || !applied) {
+      run->SetDegradation(skip_boost, mask);
+      applied = true;
+    }
+    const Status st = run->StepFrame();
+    if (!st.ok()) {
+      ADD_FAILURE() << st.ToString();
+      break;
+    }
+  }
+  return std::move(run->Finish()).value();
+}
+
+TEST(EngineDegradationTest, ShrinkMaskRestrictsSelection) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.02, 7);
+  const RunResult r = RunEngineWithDegradation(video, pool, 0, EnsembleId{1},
+                                               /*call_every_frame=*/true);
+  ASSERT_FALSE(r.selection_counts.empty());
+  for (size_t mask = 0; mask < r.selection_counts.size(); ++mask) {
+    if (mask == 1) {
+      EXPECT_EQ(r.selection_counts[mask], r.frames_processed);
+    } else {
+      EXPECT_EQ(r.selection_counts[mask], 0u) << "mask " << mask;
+    }
+  }
+}
+
+TEST(EngineDegradationTest, OutOfPoolMaskIsUnrestricted) {
+  const DetectorPool pool = MakePool(2);  // full mask 0x3
+  const Video video = MakeVideo(0.02, 7);
+  const RunResult base = RunEngineWithDegradation(video, pool, 0, 0, false);
+  // Bits entirely outside the pool drop out of the overlay; an all-foreign
+  // mask degenerates to "unrestricted", never "select nothing".
+  const RunResult foreign = RunEngineWithDegradation(
+      video, pool, 0, EnsembleId{0x4}, /*call_every_frame=*/true);
+  ExpectSameRun(base, foreign);
+}
+
+TEST(EngineDegradationTest, ZeroOverlayEveryFrameIsBitIdentical) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo(0.02, 7);
+  const RunResult base = RunEngineWithDegradation(video, pool, 0, 0, false);
+  const RunResult zeroed =
+      RunEngineWithDegradation(video, pool, 0, 0, /*call_every_frame=*/true);
+  ExpectSameRun(base, zeroed);
+}
+
+// ---------------------------------------------------------------------------
+// BreakerRegistry under concurrent multi-shard publication (ISSUE 9
+// satellite): shards publish in parallel; totals must be exact and the
+// open -> half-open -> closed walk must survive the contention. Run under
+// TSan via tools/check.sh --full.
+
+TEST(BreakerRegistryTest, ConcurrentPublicationKeepsExactTotals) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 3;
+  BreakerRegistry registry(opt);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 200;
+  std::atomic<bool> stop{false};
+  // Reader thread races Snapshot/AllowsCall against the publishers.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.AllowsCall("shared", 1);
+      (void)registry.Snapshot(1);
+    }
+  });
+  std::vector<std::thread> shards;
+  for (int t = 0; t < kThreads; ++t) {
+    shards.emplace_back([&registry, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        // success-before-failure per record: the shared breaker's
+        // consecutive-failure count never reaches the threshold, so the
+        // totals are pure counting with no state transitions racing.
+        registry.Record("shared", i, 1, 1);
+        registry.Record("own-" + std::to_string(t), i, 1, 0);
+      }
+    });
+  }
+  for (auto& th : shards) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto health = registry.Snapshot(kPerThread);
+  ASSERT_EQ(health.size(), static_cast<size_t>(kThreads) + 1);
+  for (const auto& h : health) {
+    if (h.model == "shared") {
+      EXPECT_EQ(h.successes, kThreads * kPerThread);
+      EXPECT_EQ(h.failures, kThreads * kPerThread);
+      EXPECT_EQ(h.state, BreakerState::kClosed);
+    } else {
+      EXPECT_EQ(h.successes, kPerThread);
+      EXPECT_EQ(h.failures, 0u);
+    }
+  }
+  EXPECT_TRUE(registry.AllowsCall("shared", kPerThread));
+}
+
+TEST(BreakerRegistryTest, ConcurrentTripThenHalfOpenProbeCloses) {
+  CircuitBreakerOptions opt;
+  opt.failure_threshold = 3;
+  opt.open_frames = 10;
+  BreakerRegistry registry(opt);
+  std::vector<std::thread> shards;
+  for (int t = 0; t < 8; ++t) {
+    shards.emplace_back([&registry, t] {
+      for (uint64_t i = 0; i < 50; ++i) {
+        registry.Record("flaky", 100 + i, 0, 1);
+        (void)registry.AllowsCall("flaky", 100 + i);
+      }
+    });
+  }
+  for (auto& th : shards) th.join();
+  // 400 consecutive failures: open, regardless of interleaving.
+  EXPECT_FALSE(registry.AllowsCall("flaky", 150));
+  {
+    const auto health = registry.Snapshot(150);
+    ASSERT_EQ(health.size(), 1u);
+    EXPECT_EQ(health[0].state, BreakerState::kOpen);
+    EXPECT_GE(health[0].opens, 1u);
+    EXPECT_EQ(health[0].failures, 400u);
+  }
+  // Past the cooldown the breaker admits a probe; its success closes it.
+  EXPECT_TRUE(registry.AllowsCall("flaky", 500));
+  registry.Record("flaky", 500, /*successes=*/3, /*failures=*/0);
+  const auto health = registry.Snapshot(501);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].state, BreakerState::kClosed);
+  EXPECT_TRUE(registry.AllowsCall("flaky", 501));
 }
 
 }  // namespace

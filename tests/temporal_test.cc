@@ -803,5 +803,159 @@ TEST(TemporalQueryTest, SkipQueryCrashResumesBitIdentically) {
   EXPECT_TRUE(resumed.checkpoint.resumed);
 }
 
+// ------------------------------------------------ overload skip boost --
+// The gate's dynamic degradation overlay (ISSUE 9): SetSkipBoost extends
+// every planned episode, including zero-plans, survives the snapshot
+// round-trip as bounded dynamic state, and rejects hostile counters.
+
+SkipOptions BoostOptions() {
+  SkipOptions o;
+  o.mode = SkipMode::kFixedInterval;
+  o.skip_budget = 2;
+  return o;
+}
+
+TEST(TemporalGateBoostTest, SetSkipBoostClampsToBounds) {
+  auto gate = std::move(TemporalGate::Create(BoostOptions())).value();
+  EXPECT_EQ(gate->skip_boost(), 0);
+  gate->SetSkipBoost(-7);
+  EXPECT_EQ(gate->skip_boost(), 0);
+  gate->SetSkipBoost(kMaxSkipBoost + 500);
+  EXPECT_EQ(gate->skip_boost(), kMaxSkipBoost);
+  gate->SetSkipBoost(3);
+  EXPECT_EQ(gate->skip_boost(), 3);
+}
+
+TEST(TemporalGateBoostTest, BoostExtendsEveryPlannedEpisode) {
+  auto plain = std::move(TemporalGate::Create(BoostOptions())).value();
+  auto boosted = std::move(TemporalGate::Create(BoostOptions())).value();
+  boosted->SetSkipBoost(3);
+  for (TemporalGate* g : {plain.get(), boosted.get()}) {
+    EXPECT_FALSE(g->ShouldSkip(SceneContext::kClear));  // first frame
+    g->ObserveDetections({Det(0, 0, 40, 40, 0.9)}, 0);
+  }
+  EXPECT_EQ(boosted->remaining_skips(), plain->remaining_skips() + 3);
+}
+
+TEST(TemporalGateBoostTest, BoostCoastsEvenZeroPlans) {
+  // A threshold no difficulty score can undercut: the gated policy plans
+  // zero skips on every episode — the boost must still coast frames.
+  SkipOptions o = BoostOptions();
+  o.mode = SkipMode::kDifficultyGated;
+  o.difficulty_threshold = 1e-9;
+  auto plain = std::move(TemporalGate::Create(o)).value();
+  auto boosted = std::move(TemporalGate::Create(o)).value();
+  boosted->SetSkipBoost(2);
+  for (TemporalGate* g : {plain.get(), boosted.get()}) {
+    EXPECT_FALSE(g->ShouldSkip(SceneContext::kClear));
+    g->ObserveDetections({Det(0, 0, 40, 40, 0.9)}, 0);
+  }
+  EXPECT_EQ(plain->remaining_skips(), 0);
+  EXPECT_EQ(boosted->remaining_skips(), 2);
+  // The boosted gate actually answers the next frames from propagation.
+  EXPECT_TRUE(boosted->ShouldSkip(SceneContext::kClear));
+  EXPECT_FALSE(plain->ShouldSkip(SceneContext::kClear));
+}
+
+TEST(TemporalGateBoostTest, BoostIncreasesCoastedFramesEndToEnd) {
+  const DetectorPool pool = MakePool(2);
+  const Video video = MakeVideo("nusc-night", 0.02, 7);
+  const auto run_with_boost = [&](int boost) {
+    auto source = std::move(LazyFrameEvaluator::Create(video, pool,
+                                                       /*trial_seed=*/9, {}))
+                      .value();
+    std::unique_ptr<SelectionStrategy> strategy = MakeStrategy("MES");
+    EngineOptions e;
+    e.strategy_seed = 42;
+    e.compute_regret = false;
+    e.skip.mode = SkipMode::kFixedInterval;
+    e.skip.skip_budget = 1;
+    auto run =
+        std::move(EngineRun::Create(*source, strategy.get(), e)).value();
+    while (!run->done()) {
+      run->SetDegradation(boost, 0);
+      const Status st = run->StepFrame();
+      if (!st.ok()) {
+        ADD_FAILURE() << st.ToString();
+        break;
+      }
+    }
+    return std::move(run->Finish()).value();
+  };
+  const RunResult base = run_with_boost(0);
+  const RunResult boosted = run_with_boost(6);
+  EXPECT_EQ(base.frames_processed, boosted.frames_processed);
+  EXPECT_GT(boosted.skip.skipped_frames, base.skip.skipped_frames);
+  // The boosted run spends fewer detector calls for the same frames.
+  EXPECT_LT(boosted.charged_cost_ms, base.charged_cost_ms);
+}
+
+TEST(TemporalGateBoostTest, SaveRestoreRoundTripsBoostedState) {
+  auto original = std::move(TemporalGate::Create(BoostOptions())).value();
+  original->SetSkipBoost(3);
+  EXPECT_FALSE(original->ShouldSkip(SceneContext::kClear));
+  original->ObserveDetections({Det(0, 0, 40, 40, 0.9)}, 0);
+  ASSERT_GT(original->remaining_skips(), BoostOptions().skip_budget)
+      << "episode must be boosted past the configured budget";
+
+  ByteWriter w;
+  ASSERT_TRUE(original->SaveState(w).ok());
+  auto restored = std::move(TemporalGate::Create(BoostOptions())).value();
+  ByteReader r(w.bytes().data(), w.size());
+  ASSERT_TRUE(restored->RestoreState(r).ok());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+
+  EXPECT_EQ(restored->skip_boost(), original->skip_boost());
+  EXPECT_EQ(restored->remaining_skips(), original->remaining_skips());
+  EXPECT_EQ(restored->forced_detects(), original->forced_detects());
+  EXPECT_EQ(restored->last_difficulty(), original->last_difficulty());
+  // Both gates take the same decisions afterwards.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(original->ShouldSkip(SceneContext::kClear),
+              restored->ShouldSkip(SceneContext::kClear))
+        << "divergence at post-restore frame " << i;
+  }
+}
+
+/// The gate header exactly as SaveState lays it out, with attacker-chosen
+/// counters. Restore must bounds-check BEFORE touching policy bytes, so
+/// the truncated tail is never reached.
+ByteWriter HostileGateHeader(int64_t remaining, int64_t completed,
+                             int64_t boost, int64_t planned_base) {
+  ByteWriter w;
+  w.I64(remaining);
+  w.I64(completed);
+  w.Bool(false);  // episode_open
+  w.Bool(false);  // has_context
+  w.Bool(false);  // context_changed
+  w.U8(0);        // last_context
+  w.F64(1.0);     // last_difficulty
+  w.U64(0);       // forced_detects
+  w.I64(boost);
+  w.I64(planned_base);
+  return w;
+}
+
+TEST(TemporalGateBoostTest, RestoreRejectsHostileCounters) {
+  const struct {
+    const char* name;
+    int64_t remaining, completed, boost, planned_base;
+  } corpus[] = {
+      {"boost over cap", 0, 0, kMaxSkipBoost + 1, 0},
+      {"negative boost", 0, 0, -1, 0},
+      {"planned base over budget", 0, 0, 0, 3},
+      {"remaining past budget+boost", 5, 0, 2, 2},
+      {"negative remaining", -1, 0, 0, 0},
+      {"completed past budget+boost", 0, 9, 1, 1},
+  };
+  for (const auto& c : corpus) {
+    auto gate = std::move(TemporalGate::Create(BoostOptions())).value();
+    const ByteWriter w = HostileGateHeader(c.remaining, c.completed, c.boost,
+                                           c.planned_base);
+    ByteReader r(w.bytes().data(), w.size());
+    EXPECT_EQ(gate->RestoreState(r).code(), StatusCode::kDataLoss) << c.name;
+  }
+}
+
 }  // namespace
 }  // namespace vqe

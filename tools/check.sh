@@ -20,7 +20,9 @@
 # sharded fleet (shard threads, live migration payloads, scripted chaos —
 # coordinator/shard queue handshakes must be race-free under TSan and a
 # corrupted payload must reject with a clean Status under every
-# sanitizer).
+# sanitizer), plus the overload controller and trace-driven workload
+# engine (hostile trace corpus, degradation-ladder determinism, and
+# concurrent breaker-registry publication under TSan).
 
 set -eu
 
@@ -61,6 +63,16 @@ run_fleet_chaos_smoke() {
     --gtest_filter='ShardedServerTest.*:SchedulerMigrationTest.*'
 }
 
+run_overload_storm_smoke() {
+  # Trace-driven overload storm: heavy-tailed arrivals over a diurnal
+  # peak with an error storm and a latency-spike storm, SLO-aware
+  # degradation ladder enabled. The bench's exit code gates its seven
+  # verdicts (plan + ladder determinism across worker counts, the ladder
+  # stepping and fully recovering, the interactive SLO held, all
+  # shedding landing on batch, and disabled-controller bit-identity).
+  (cd build/bench && ./bench_workload)
+}
+
 run_sanitizer() {
   san="$1"
   dir="build-$2"
@@ -68,14 +80,15 @@ run_sanitizer() {
   cmake --build "$dir" -j --target \
     thread_pool_test determinism_test fusion_test lazy_eval_test \
     runtime_test snapshot_test resume_test serialization_test serve_test \
-    fleet_test temporal_test tracker_test
+    fleet_test temporal_test tracker_test workload_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|MigrationPayload|SessionImplant|SchedulerMigration|FleetOptions|ChaosScript|ShardedServer|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|MigrationPayload|SessionImplant|SchedulerMigration|FleetOptions|ChaosScript|ShardedServer|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest|Workload|Overload|SamplePercentile|EngineDegradation|TemporalGateBoost"
 }
 
 run_tier1
 run_perf_smoke
 run_fleet_chaos_smoke
+run_overload_storm_smoke
 
 if [ "${1:-}" = "--full" ]; then
   run_sanitizer address asan
