@@ -29,15 +29,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "fleet/sharded_server.h"
 #include "core/baselines.h"
 #include "core/ducb.h"
@@ -233,7 +238,23 @@ Result<std::unique_ptr<StreamSession>> BuildFleetSession(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out <path>: instrument the widest unbatched serving config
+  // (sessions=8) with the observability layer and write its Chrome trace
+  // JSON there, validated before exit. The bit-identity verdict for that
+  // config then doubles as the obs-enabled identity check: instrumented
+  // streams must still match their solo baselines exactly.
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--trace-out <path>]\n";
+      return 1;
+    }
+  }
+  Observability obs;
+
   const BenchSettings settings = BenchSettings::FromEnv();
   PrintHeader("Multi-stream serving throughput",
               "serving layer (sessions, DRR scheduling, batching)",
@@ -276,6 +297,7 @@ int main() {
       opt.quantum_ms = 150.0;
       opt.max_frames_per_round = 16;
       opt.parallelism = 0;  // all cores
+      if (!batched && n == 8 && !trace_out.empty()) opt.obs = obs.handle();
       StreamScheduler scheduler(opt);
       BatchDispatcher dispatcher({/*batch_window=*/4});
       if (batched) scheduler.AttachBatchDispatcher(&dispatcher);
@@ -704,8 +726,27 @@ int main() {
                skip_identity ? "true" : "false");
   std::fclose(json);
   std::cout << "wrote BENCH_serve.json\n";
+
+  bool trace_valid = true;
+  if (!trace_out.empty()) {
+    Status ws = WriteChromeTraceFile(obs.trace(), trace_out);
+    if (!ws.ok()) {
+      std::cerr << "trace write failed: " << ws.ToString() << "\n";
+      trace_valid = false;
+    } else {
+      std::ifstream in(trace_out);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      Status vs = ValidateChromeTrace(buf.str());
+      trace_valid = vs.ok();
+      std::cout << "wrote " << trace_out << " ("
+                << obs.trace().event_count() << " events, "
+                << obs.trace().dropped_events() << " dropped), validator: "
+                << (trace_valid ? "PASS" : vs.ToString()) << "\n";
+    }
+  }
   return (all_identical && skip_identity && serve_skip_identical &&
-          fleet_identical)
+          fleet_identical && trace_valid)
              ? 0
              : 1;
 }

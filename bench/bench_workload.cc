@@ -19,16 +19,29 @@
 //      -> every completing stream must be bit-identical to its solo
 //         RunStrategy baseline: the controller's OFF state is free.
 //
+// A fourth section replays a multi-day diurnal trace (four day/night
+// cycles, gradual drift ramp, no storms — see
+// bench/traces/diurnal_multiday.vqework) to check arrival shaping, the
+// drift ramp, and long-horizon scheduler determinism.
+//
 // Emits BENCH_workload.json (per-class percentiles, shed rates, the
-// transition ledger, and the verdicts); the verdicts gate the exit code.
+// transition ledger, the diurnal summary, and the verdicts); the
+// verdicts gate the exit code. `--trace-out <path>` instruments the
+// serial overload run and writes validated Chrome trace JSON.
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "models/model_zoo.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "serve/overload.h"
 #include "serve/scheduler.h"
 #include "workload/trace.h"
@@ -63,6 +76,27 @@ const char kTrace[] =
     "slo batch p99 0 shed 1.0\n"
     "storm rounds 8 20 models 3 kind error rate 1.0\n"
     "storm rounds 10 16 models 16 kind spike rate 0.3\n"
+    "end\n";
+
+// Multi-day diurnal workload: four day/night cycles with a gradual drift
+// ramp and no storms. Mirrors bench/traces/diurnal_multiday.vqework
+// (which `--trace <path>` loads instead, round-tripping the file through
+// the real parser).
+const char kDiurnalTrace[] =
+    "VQEWORK 1\n"
+    "seed 4242\n"
+    "rounds 96\n"
+    "dataset nusc-night\n"
+    "scale 0.05\n"
+    "models 5\n"
+    "arrivals rate 0.5 alpha 1.3 cap 4\n"
+    "diurnal period 24 amplitude 0.7\n"
+    "drift lambda0 0.02 lambda1 0.35\n"
+    "class interactive share 0.4 frames 24 skip bandit 3\n"
+    "class standard share 0.35 frames 32 skip gated 2\n"
+    "class batch share 0.25 frames 48 skip off 0\n"
+    "slo interactive p99 120 shed 0.0\n"
+    "slo batch p99 0 shed 1.0\n"
     "end\n";
 
 bool SameRun(const RunResult& a, const RunResult& b) {
@@ -149,10 +183,43 @@ void PrintClassTable(const ServeStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace <path>     load the multi-day diurnal trace from a file
+  //                    instead of the inline copy (round-trips
+  //                    bench/traces/diurnal_multiday.vqework through the
+  //                    real parser).
+  // --trace-out <path> enable observability on the serial overload run
+  //                    and write its Chrome trace JSON there (validated
+  //                    before the bench exits). The parallel run stays
+  //                    uninstrumented, so the ladder-determinism verdict
+  //                    doubles as an obs-enabled-vs-disabled identity
+  //                    check.
+  std::string diurnal_text = kDiurnalTrace;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in) {
+        std::cerr << "cannot read trace file " << argv[i] << "\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      diurnal_text = buf.str();
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_workload [--trace <path>] "
+                   "[--trace-out <path>]\n";
+      return 1;
+    }
+  }
+
   const BenchSettings settings = BenchSettings::FromEnv();
   PrintHeader("SLO-aware overload control (trace-driven)",
               "workload engine + degradation ladder", settings);
+
+  Observability obs;
 
   // ---- Parse, round-trip, and expand the trace -------------------------
   auto trace_or = ParseWorkloadTrace(kTrace);
@@ -191,6 +258,7 @@ int main() {
   for (int i = 0; i < 2; ++i) {
     ServeOptions serve = MakeServeOptions(trace, BaseServe(), true);
     serve.parallelism = i == 0 ? 1 : 0;  // serial, then all cores
+    if (i == 0 && !trace_out.empty()) serve.obs = obs.handle();
     auto report = RunWorkloadOnScheduler(plan, pool, serve);
     if (!report.ok()) {
       std::cerr << "overload run failed: " << report.status().ToString()
@@ -285,6 +353,73 @@ int main() {
             << compared << " streams): " << (bit_identical ? "PASS" : "FAIL")
             << "\n";
 
+  // ---- Multi-day diurnal sweep -----------------------------------------
+  //
+  // Four day/night cycles with a gradual drift ramp: checks that the
+  // planner actually shapes arrivals (day half of each cycle outdraws the
+  // night half), that the drift ramp lands in the plan monotonically, and
+  // that the scheduler stays deterministic across worker counts on a
+  // horizon four times longer than the storm trace.
+  auto diurnal_or = ParseWorkloadTrace(diurnal_text);
+  if (!diurnal_or.ok()) {
+    std::cerr << "diurnal trace parse failed: "
+              << diurnal_or.status().ToString() << "\n";
+    return 1;
+  }
+  const WorkloadTrace diurnal = std::move(diurnal_or).value();
+  const double cycles =
+      static_cast<double>(diurnal.rounds) / diurnal.diurnal_period;
+  const WorkloadPlan dplan = BuildWorkloadPlan(diurnal);
+  const bool dplan_deterministic = SamePlan(dplan, BuildWorkloadPlan(diurnal));
+
+  uint64_t day_arrivals = 0, night_arrivals = 0;
+  for (const SessionPlan& s : dplan.sessions) {
+    const double phase = std::fmod(static_cast<double>(s.arrival_round),
+                                   diurnal.diurnal_period) /
+                         diurnal.diurnal_period;
+    (phase < 0.5 ? day_arrivals : night_arrivals) += 1;  // sin > 0 = day
+  }
+  const bool diurnal_shaped =
+      cycles >= 3.0 && day_arrivals > night_arrivals;
+  const bool drift_ramped =
+      !dplan.sessions.empty() &&
+      dplan.sessions.front().lambda0 < dplan.sessions.back().lambda1;
+
+  WorkloadRunReport don[2];
+  for (int i = 0; i < 2; ++i) {
+    ServeOptions serve = MakeServeOptions(diurnal, BaseServe(), true);
+    serve.parallelism = i == 0 ? 1 : 0;
+    auto report = RunWorkloadOnScheduler(dplan, pool, serve);
+    if (!report.ok()) {
+      std::cerr << "diurnal run failed: " << report.status().ToString()
+                << "\n";
+      return 1;
+    }
+    don[i] = std::move(report).value();
+  }
+  const ServeStats& dstats = don[0].serve.stats;
+  const bool diurnal_deterministic =
+      dplan_deterministic &&
+      SameLedger(dstats.degradations, don[1].serve.stats.degradations) &&
+      SameClassStats(dstats, don[1].serve.stats);
+
+  std::cout << "\nmulti-day diurnal sweep: " << dplan.sessions.size()
+            << " sessions over " << diurnal.rounds << " rounds ("
+            << Fmt(cycles, 1) << " cycles), day/night arrivals "
+            << day_arrivals << "/" << night_arrivals << ", drift "
+            << Fmt(diurnal.drift_lambda0, 2) << " -> "
+            << Fmt(diurnal.drift_lambda1, 2) << "\n";
+  PrintClassTable(dstats);
+  std::cout << "  ladder: peak level " << dstats.peak_degradation_level
+            << ", degraded rounds " << dstats.degraded_rounds << ", final "
+            << dstats.degradation_level << "\n"
+            << "diurnal shaping (>= 3 cycles, day > night): "
+            << (diurnal_shaped ? "PASS" : "FAIL") << "\n"
+            << "drift ramp present in plan: "
+            << (drift_ramped ? "PASS" : "FAIL") << "\n"
+            << "diurnal run deterministic across worker counts: "
+            << (diurnal_deterministic ? "PASS" : "FAIL") << "\n";
+
   // ---- JSON ------------------------------------------------------------
   FILE* json = std::fopen("BENCH_workload.json", "w");
   if (json == nullptr) {
@@ -339,22 +474,61 @@ int main() {
   }
   std::fprintf(
       json,
-      "    ]},\n  \"verdicts\": {\n"
+      "    ]},\n  \"diurnal\": {\n"
+      "    \"sessions\": %zu, \"rounds\": %llu, \"cycles\": %.2f,\n"
+      "    \"day_arrivals\": %llu, \"night_arrivals\": %llu,\n"
+      "    \"drift_lambda0\": %.3f, \"drift_lambda1\": %.3f,\n"
+      "    \"frames\": %llu, \"peak_level\": %d\n  },\n",
+      dplan.sessions.size(), static_cast<unsigned long long>(diurnal.rounds),
+      cycles, static_cast<unsigned long long>(day_arrivals),
+      static_cast<unsigned long long>(night_arrivals),
+      diurnal.drift_lambda0, diurnal.drift_lambda1,
+      static_cast<unsigned long long>(dstats.frames),
+      dstats.peak_degradation_level);
+  std::fprintf(
+      json,
+      "  \"verdicts\": {\n"
       "    \"plan_deterministic\": %s,\n"
       "    \"ladder_deterministic\": %s,\n"
       "    \"ladder_stepped\": %s,\n    \"ladder_recovered\": %s,\n"
       "    \"interactive_slo_met\": %s,\n    \"batch_absorbed\": %s,\n"
-      "    \"bit_identical_when_disabled\": %s\n  }\n}\n",
+      "    \"bit_identical_when_disabled\": %s,\n"
+      "    \"diurnal_shaped\": %s,\n    \"diurnal_drift_ramped\": %s,\n"
+      "    \"diurnal_deterministic\": %s\n  }\n}\n",
       plan_deterministic ? "true" : "false",
       ladder_deterministic ? "true" : "false",
       ladder_stepped ? "true" : "false", ladder_recovered ? "true" : "false",
       interactive_slo_met ? "true" : "false",
-      batch_absorbed ? "true" : "false", bit_identical ? "true" : "false");
+      batch_absorbed ? "true" : "false", bit_identical ? "true" : "false",
+      diurnal_shaped ? "true" : "false", drift_ramped ? "true" : "false",
+      diurnal_deterministic ? "true" : "false");
   std::fclose(json);
   std::cout << "wrote BENCH_workload.json\n";
 
+  // ---- Chrome trace export (--trace-out) -------------------------------
+  bool trace_valid = true;
+  if (!trace_out.empty()) {
+    Status ws = WriteChromeTraceFile(obs.trace(), trace_out);
+    if (!ws.ok()) {
+      std::cerr << "trace write failed: " << ws.ToString() << "\n";
+      trace_valid = false;
+    } else {
+      std::ifstream in(trace_out);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      Status vs = ValidateChromeTrace(buf.str());
+      trace_valid = vs.ok();
+      std::cout << "wrote " << trace_out << " ("
+                << obs.trace().event_count() << " events, "
+                << obs.trace().dropped_events() << " dropped), validator: "
+                << (trace_valid ? "PASS" : vs.ToString()) << "\n";
+    }
+  }
+
   const bool pass = plan_deterministic && ladder_deterministic &&
                     ladder_stepped && ladder_recovered &&
-                    interactive_slo_met && batch_absorbed && bit_identical;
+                    interactive_slo_met && batch_absorbed && bit_identical &&
+                    diurnal_shaped && drift_ramped && diurnal_deterministic &&
+                    trace_valid;
   return pass ? 0 : 1;
 }

@@ -3,7 +3,13 @@
 //
 //   ./build/examples/vqe_query_cli "<query>"
 //   ./build/examples/vqe_query_cli --explain "<query>"
+//   ./build/examples/vqe_query_cli --trace-out q.json "<query>"
 //   ./build/examples/vqe_query_cli            # demo query
+//
+// --trace-out writes the run's Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing); --metrics-out writes Prometheus-style
+// text exposition. Either flag enables the observability layer for the
+// run; without them the executor runs with observability disabled.
 //
 // Exit code 0 on success, 1 on parse/execution errors (message on stderr).
 
@@ -12,6 +18,8 @@
 #include <iostream>
 
 #include "core/ensemble_id.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "query/executor.h"
 #include "query/explain.h"
 #include "query/parser.h"
@@ -25,10 +33,14 @@ constexpr const char* kDemoQuery =
     "WHERE COUNT(car) >= 2 LIMIT 25";
 
 void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: vqe_query_cli [--explain] [\"<query>\"]\n"
-               "  --explain   print the logical plan without executing\n"
-               "  (no query)  runs a demo query against a nusc replica\n");
+  std::fprintf(
+      stderr,
+      "usage: vqe_query_cli [--explain] [--trace-out <path>]\n"
+      "                     [--metrics-out <path>] [\"<query>\"]\n"
+      "  --explain            print the logical plan without executing\n"
+      "  --trace-out <path>   write Chrome trace-event JSON (Perfetto)\n"
+      "  --metrics-out <path> write Prometheus-style metrics text\n"
+      "  (no query)           runs a demo query against a nusc replica\n");
 }
 
 }  // namespace
@@ -38,9 +50,15 @@ int main(int argc, char** argv) {
 
   bool explain_only = false;
   std::string sql;
+  std::string trace_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain_only = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       PrintUsage();
@@ -62,7 +80,13 @@ int main(int argc, char** argv) {
   std::fputs(ExplainQuery(*parsed).c_str(), stdout);
   if (explain_only) return 0;
 
-  auto out = ExecuteQuery(*parsed);
+  Observability obs;
+  QueryEngineOptions options;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    options.obs = trace_out.empty() ? obs.metrics_handle() : obs.handle();
+  }
+
+  auto out = ExecuteQuery(*parsed, options);
   if (!out.ok()) {
     std::cerr << "execution error: " << out.status().ToString() << "\n";
     return 1;
@@ -88,6 +112,25 @@ int main(int argc, char** argv) {
                 EnsembleName(static_cast<EnsembleId>(top), out->model_names)
                     .c_str(),
                 static_cast<unsigned long long>(out->selection_counts[top]));
+  }
+
+  if (!trace_out.empty()) {
+    Status s = WriteChromeTraceFile(obs.trace(), trace_out);
+    if (!s.ok()) {
+      std::cerr << "trace write failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote trace: %s (%zu events, %llu dropped)\n",
+                trace_out.c_str(), obs.trace().event_count(),
+                static_cast<unsigned long long>(obs.trace().dropped_events()));
+  }
+  if (!metrics_out.empty()) {
+    Status s = WriteMetricsFile(obs.metrics(), metrics_out);
+    if (!s.ok()) {
+      std::cerr << "metrics write failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    std::printf("wrote metrics: %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -233,6 +233,7 @@ Status EngineRun::Init() {
       }
     }
   }
+  if (options_.obs.enabled()) SetObs(options_.obs);
   return Status::OK();
 }
 
@@ -259,6 +260,16 @@ Status EngineRun::StepFrame() {
 
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
+  // Observability prologue: instrumentation only ever READS run state, so
+  // the enabled path stays bit-identical to the disabled one (enforced by
+  // the obs_test matrix). All sim-domain spans timestamp on this stream's
+  // own charged-cost clock; wall spans on the run's instrumented-wall
+  // ledger — both monotone per track by construction.
+  const bool obs_on = obs_.enabled();
+  const int64_t frame_i64 = static_cast<int64_t>(t);
+  const double sim0 = result_.charged_cost_ms;
+  const double fault0 = result_.breakdown.fault_ms;
+
   // Mask open-breaker models out of the strategy's candidate arms. If
   // everything is open there is no arm left — fall back to the full pool
   // (equivalent to probing everything) rather than selecting nothing.
@@ -278,10 +289,19 @@ Status EngineRun::StepFrame() {
   }
   strategy_->SetEligibleModels(healthy);
 
+  const double select_algo0 = obs_on ? algo_time_.total_seconds() : 0.0;
   EnsembleId selected;
   {
     ScopedTimer timer(&algo_time_);
     selected = strategy_->Select(t);
+  }
+  if (obs_on) {
+    const double select_ms =
+        (algo_time_.total_seconds() - select_algo0) * 1e3;
+    obs_.CountMs(obs_ids_.algo_ms, select_ms);
+    obs_.Span(MetricDomain::kWall, frame_i64, "select", wall_ledger_ms_,
+              select_ms);
+    wall_ledger_ms_ += select_ms;
   }
   if (selected == 0 || selected > num_masks_) {
     return Status::Internal("strategy selected an invalid ensemble mask");
@@ -316,8 +336,25 @@ Status EngineRun::StepFrame() {
       breakers_[idx].RecordSuccess(t);
     } else {
       ++health.frames_failed;
-      breakers_[idx].RecordFailure(t);
+      if (obs_on) {
+        const uint64_t opens_before = breakers_[idx].opens();
+        breakers_[idx].RecordFailure(t);
+        obs_.Count(obs_ids_.model_failures);
+        if (breakers_[idx].opens() > opens_before) {
+          obs_.Count(obs_ids_.breaker_opens);
+          obs_.Instant(MetricDomain::kSimulated, frame_i64, "breaker_open",
+                       sim0, "model", static_cast<double>(i));
+        }
+      } else {
+        breakers_[idx].RecordFailure(t);
+      }
     }
+  }
+  if (obs_on) {
+    // The detect phase: every selected member's simulated inference
+    // (faulted time included — it was spent on this frame).
+    obs_.Span(MetricDomain::kSimulated, frame_i64, "detect", sim0,
+              frame_cost);
   }
 
   // One pass over the *realized* arm's subset lattice: accumulate fusion
@@ -340,6 +377,13 @@ Status EngineRun::StepFrame() {
       est_score_[sub] = options_.sc.Score(e.est_ap, norm_cost_[sub]);
     });
   }
+  if (obs_on) {
+    obs_.Span(MetricDomain::kSimulated, frame_i64, "fuse_eval",
+              sim0 + frame_cost, overhead, "lattice_masks",
+              realized != 0
+                  ? static_cast<double>((1u << EnsembleSize(realized)) - 1)
+                  : 0.0);
+  }
   frame_cost += overhead;
   result_.breakdown.ensembling_ms += overhead;
   result_.charged_cost_ms += frame_cost;
@@ -360,8 +404,19 @@ Status EngineRun::StepFrame() {
     feedback.realized = realized;
     feedback.est_score = &est_score_;
     feedback.norm_cost = &norm_cost_;
-    ScopedTimer timer(&algo_time_);
-    strategy_->Observe(feedback);
+    const double observe_algo0 = obs_on ? algo_time_.total_seconds() : 0.0;
+    {
+      ScopedTimer timer(&algo_time_);
+      strategy_->Observe(feedback);
+    }
+    if (obs_on) {
+      const double observe_ms =
+          (algo_time_.total_seconds() - observe_algo0) * 1e3;
+      obs_.CountMs(obs_ids_.algo_ms, observe_ms);
+      obs_.Span(MetricDomain::kWall, frame_i64, "observe", wall_ledger_ms_,
+                observe_ms);
+      wall_ledger_ms_ += observe_ms;
+    }
   }
 
   // Detect-frame gate ingest: the realized mask's fused boxes drive the
@@ -380,6 +435,11 @@ Status EngineRun::StepFrame() {
     ++result_.skip.detect_frames;
     result_.skip.forced_detects = gate_->forced_detects();
     last_max_cost_ms_ = stats.max_cost_ms;
+    if (obs_on) {
+      obs_.CountMs(obs_ids_.tracker_ms, tracker_ms);
+      obs_.Span(MetricDomain::kSimulated, frame_i64, "tracker",
+                result_.charged_cost_ms - tracker_ms, tracker_ms);
+    }
   }
 
   // Measurements (true scores; §5.5). A fully failed frame produced no
@@ -401,6 +461,25 @@ Status EngineRun::StepFrame() {
   if (options_.record_cost_curve) {
     result_.cost_curve.emplace_back(result_.frames_processed,
                                     result_.charged_cost_ms);
+  }
+  if (obs_on) {
+    obs_.Count(obs_ids_.frames);
+    if (realized == 0) {
+      obs_.Count(obs_ids_.frames_failed);
+    } else if (realized != selected) {
+      obs_.Count(obs_ids_.frames_fallback);
+    }
+    const double fault_delta = result_.breakdown.fault_ms - fault0;
+    const double charged_delta = result_.charged_cost_ms - sim0;
+    obs_.CountMs(obs_ids_.charged_ms, charged_delta);
+    obs_.Observe(obs_ids_.frame_cost_hist, charged_delta);
+    obs_.CountMs(obs_ids_.ensembling_ms, overhead);
+    obs_.CountMs(obs_ids_.fault_ms, fault_delta);
+    obs_.CountMs(obs_ids_.detector_ms,
+                 (frame_cost - overhead) - fault_delta);
+    if (strategy_->UsesReferenceModel()) {
+      obs_.CountMs(obs_ids_.reference_ms, stats.ref_cost_ms);
+    }
   }
   ++frames_this_invocation_;
   next_frame_ = t + 1;
@@ -442,6 +521,17 @@ Status EngineRun::StepSkippedFrame(size_t t) {
   ++result_.frames_processed;
   ++result_.skip.skipped_frames;
   result_.skip.propagated_ap_sum += true_ap;
+  if (obs_.enabled()) {
+    // The skip path charges only tracker time; its span starts where the
+    // stream's sim clock stood before this frame.
+    obs_.Count(obs_ids_.frames);
+    obs_.Count(obs_ids_.frames_skipped);
+    obs_.CountMs(obs_ids_.tracker_ms, tracker_ms);
+    obs_.CountMs(obs_ids_.charged_ms, tracker_ms);
+    obs_.Observe(obs_ids_.frame_cost_hist, tracker_ms);
+    obs_.Span(MetricDomain::kSimulated, static_cast<int64_t>(t), "tracker",
+              result_.charged_cost_ms - tracker_ms, tracker_ms);
+  }
   if (options_.record_cost_curve) {
     result_.cost_curve.emplace_back(result_.frames_processed,
                                     result_.charged_cost_ms);
@@ -454,6 +544,70 @@ Status EngineRun::StepSkippedFrame(size_t t) {
 void EngineRun::SetDegradation(int skip_boost, EnsembleId model_mask) {
   degrade_mask_ = model_mask & full_;
   if (gate_ != nullptr) gate_->SetSkipBoost(skip_boost);
+}
+
+void EngineRun::SetObs(const ObsHandle& obs) {
+  obs_ = obs;
+  if (obs_.metrics == nullptr) return;
+  // Register (or look up) the engine's series once; the frame loop only
+  // touches cached ids afterwards. Names are registry-global: counters
+  // aggregate across streams, which keeps the simulated-domain values a
+  // pure function of the seeded work — identical at any worker or shard
+  // count.
+  MetricsRegistry& reg = *obs_.metrics;
+  const MetricDomain sim = MetricDomain::kSimulated;
+  const MetricDomain wall = MetricDomain::kWall;
+  obs_ids_.frames = reg.Counter("vqe_engine_frames_total", sim,
+                                MetricUnit::kCount,
+                                "Frames processed (detect + skip paths)");
+  obs_ids_.frames_skipped =
+      reg.Counter("vqe_engine_frames_skipped_total", sim, MetricUnit::kCount,
+                  "Frames answered from tracker propagation");
+  obs_ids_.frames_fallback =
+      reg.Counter("vqe_engine_frames_fallback_total", sim, MetricUnit::kCount,
+                  "Frames completed on a strict sub-mask after member faults");
+  obs_ids_.frames_failed =
+      reg.Counter("vqe_engine_frames_failed_total", sim, MetricUnit::kCount,
+                  "Frames where every selected member failed");
+  obs_ids_.detector_ms =
+      reg.Counter("vqe_engine_detector_ms_total", sim, MetricUnit::kMs,
+                  "Simulated camera-detector inference time");
+  obs_ids_.reference_ms =
+      reg.Counter("vqe_engine_reference_ms_total", sim, MetricUnit::kMs,
+                  "Simulated reference (LiDAR) inference time");
+  obs_ids_.ensembling_ms =
+      reg.Counter("vqe_engine_ensembling_ms_total", sim, MetricUnit::kMs,
+                  "Simulated box-fusion overhead");
+  obs_ids_.fault_ms =
+      reg.Counter("vqe_engine_fault_ms_total", sim, MetricUnit::kMs,
+                  "Simulated time wasted on faults (failed calls, retries, "
+                  "backoff)");
+  obs_ids_.tracker_ms =
+      reg.Counter("vqe_engine_tracker_ms_total", sim, MetricUnit::kMs,
+                  "Simulated tracker time of the temporal fast path");
+  obs_ids_.charged_ms =
+      reg.Counter("vqe_engine_charged_cost_ms_total", sim, MetricUnit::kMs,
+                  "Total budget-accountable simulated cost");
+  obs_ids_.frame_cost_hist = reg.Histogram(
+      "vqe_engine_frame_cost_ms", sim,
+      {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0}, MetricUnit::kMs,
+      "Per-frame charged simulated cost");
+  obs_ids_.model_failures =
+      reg.Counter("vqe_engine_model_call_failures_total", sim,
+                  MetricUnit::kCount,
+                  "Selected-member calls that failed after retries");
+  obs_ids_.breaker_opens =
+      reg.Counter("vqe_engine_breaker_opens_total", sim, MetricUnit::kCount,
+                  "Circuit-breaker open transitions");
+  obs_ids_.algo_ms =
+      reg.Counter("vqe_engine_algorithm_ms_total", wall, MetricUnit::kMs,
+                  "Wall-clock spent in strategy Select/Observe");
+  obs_ids_.ckpt_writes =
+      reg.Counter("vqe_engine_checkpoint_writes_total", sim,
+                  MetricUnit::kCount, "Checkpoint generations written");
+  obs_ids_.ckpt_write_ms =
+      reg.Counter("vqe_engine_checkpoint_write_ms_total", wall, MetricUnit::kMs,
+                  "Wall-clock spent serializing + durably writing snapshots");
 }
 
 Result<std::vector<uint8_t>> EngineRun::ExportSnapshot() const {
@@ -531,7 +685,15 @@ Status EngineRun::FrameEpilogue(size_t t) {
     VQE_RETURN_NOT_OK(ckpt_->Write(next_generation_, bytes));
     ++next_generation_;
     ++result_.checkpoint.snapshots_written;
-    result_.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
+    const double write_ms = watch.ElapsedMillis();
+    result_.checkpoint.checkpoint_write_ms += write_ms;
+    if (obs_.enabled()) {
+      obs_.Count(obs_ids_.ckpt_writes);
+      obs_.CountMs(obs_ids_.ckpt_write_ms, write_ms);
+      obs_.Span(MetricDomain::kWall, static_cast<int64_t>(t),
+                "checkpoint_write", wall_ledger_ms_, write_ms);
+      wall_ledger_ms_ += write_ms;
+    }
   }
 
   // Crash injection for the resume tests: abort after this invocation has

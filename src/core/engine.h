@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "core/evaluation_source.h"
+#include "obs/obs.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
 #include "core/strategy.h"
@@ -63,6 +64,16 @@ struct EngineOptions {
   /// default (!skip.enabled()) constructs no gate and leaves every code
   /// path byte-identical to a skip-free build.
   SkipOptions skip;
+  /// Observability sink. Disabled by default: every instrumentation site
+  /// is behind one `enabled()` branch and the frame loop performs zero
+  /// extra allocations, so a run without obs is bit-identical to a build
+  /// that never heard of it. When enabled, instrumentation only *reads*
+  /// run state — observation never perturbs selection — and all
+  /// simulated-domain counters it emits are deterministic across worker
+  /// and shard counts. Like SetDegradation, the handle is a property of
+  /// the process, not of the stream: it is absent from the identity
+  /// fingerprint and from snapshots.
+  ObsHandle obs;
 
   Status Validate() const;
 };
@@ -256,6 +267,14 @@ class EngineRun {
   /// leaves every code path byte-identical to a build without this hook.
   void SetDegradation(int skip_boost, EnsembleId model_mask);
 
+  /// Rebinds the observability sink (serving layer: per-stream track
+  /// attribution via ObsHandle::WithStream). Same contract as the
+  /// degradation overlay: a node property, never fingerprinted, never
+  /// snapshotted, and SetObs({}) restores the exact disabled path.
+  /// Registration of metric series happens here (locking, may allocate);
+  /// the per-frame observation path stays lock- and allocation-free.
+  void SetObs(const ObsHandle& obs);
+
   /// Serializes the complete resumable state of the live run into the
   /// snapshot wire format (the same container a checkpoint writes,
   /// identity fingerprint included) WITHOUT touching disk. This is the
@@ -333,6 +352,33 @@ class EngineRun {
   /// skipped frame uses. Reading the skipped frame's own normalizer would
   /// materialize it on a lazy source and defeat the skip.
   double last_max_cost_ms_ = 0.0;
+
+  /// Observability sink (disabled by default; see SetObs). Cached metric
+  /// ids are registered once per SetObs so the frame loop never hashes a
+  /// metric name.
+  ObsHandle obs_;
+  struct ObsIds {
+    MetricsRegistry::Id frames = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id frames_skipped = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id frames_fallback = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id frames_failed = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id detector_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id reference_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id ensembling_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id fault_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id tracker_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id charged_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id frame_cost_hist = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id model_failures = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id breaker_opens = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id algo_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id ckpt_writes = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id ckpt_write_ms = MetricsRegistry::kInvalidId;
+  };
+  ObsIds obs_ids_;
+  /// Cumulative instrumented wall time (select/observe/checkpoint): the
+  /// monotone timestamp ledger for this run's wall-clock trace track.
+  double wall_ledger_ms_ = 0.0;
   /// Reused empty list for gate ingest on fully-failed frames.
   DetectionList no_detections_;
 };

@@ -81,6 +81,7 @@ Result<FrameMatrix> BuildTrialMatrix(const ExperimentConfig& config,
   sample.scene_scale = config.scene_scale;
   sample.seed = trial_seed;
   VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*config.dataset, sample));
+  if (config.video_transform) config.video_transform(video, trial_seed);
   // A skip-enabled engine scores propagated detections against ground
   // truth, which the eager backend can only do when the matrix kept its
   // per-frame temporal outputs — flip the flag rather than make every
@@ -101,6 +102,7 @@ Result<std::unique_ptr<LazyFrameEvaluator>> BuildTrialEvaluator(
   sample.scene_scale = config.scene_scale;
   sample.seed = trial_seed;
   VQE_ASSIGN_OR_RETURN(Video video, SampleVideo(*config.dataset, sample));
+  if (config.video_transform) config.video_transform(video, trial_seed);
   return LazyFrameEvaluator::Create(std::move(video), pool, trial_seed,
                                     config.matrix);
 }

@@ -71,6 +71,12 @@ struct ExperimentConfig {
   /// (base_seed, trial), so experiments with faults aggregate and compare
   /// exactly like fault-free ones.
   std::vector<FaultScript> fault_scripts;
+  /// Optional in-place rewrite of each trial's sampled video, applied
+  /// before the matrix/evaluator is built (e.g. a gradual-drift context
+  /// rewrite). Must be a pure function of (video, trial_seed): trials run
+  /// on worker threads and the determinism contract requires the same
+  /// trial to rewrite identically on every run and thread count.
+  std::function<void(Video& video, uint64_t trial_seed)> video_transform;
 
   Status Validate() const;
 };

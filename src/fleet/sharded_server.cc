@@ -400,13 +400,65 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
   BreakerRegistry fleet_health(options_.fleet_breaker);
   EventQueue events;
 
+  // Coordinator-side observability (wall domain; see FleetOptions::obs).
+  // Instant-event timestamps ride the coordinator's real wall clock —
+  // events are handled serially on this thread, so per-track timestamps
+  // stay monotone.
+  const bool obs_on = options_.obs.enabled();
+  ObsHandle coord_obs;
+  MetricsRegistry::Id obs_mig_attempted = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_mig_completed = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_mig_rejected = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_mig_fallbacks = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_failovers = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_shards_killed = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_mig_latency = MetricsRegistry::kInvalidId;
+  if (obs_on) {
+    coord_obs = options_.obs.WithNodeTrack(options_.num_shards);
+    if (options_.obs.metrics != nullptr) {
+      MetricsRegistry& reg = *options_.obs.metrics;
+      const MetricDomain w = MetricDomain::kWall;
+      obs_mig_attempted =
+          reg.Counter("vqe_fleet_migrations_attempted_total", w,
+                      MetricUnit::kCount, "Live-migration extractions asked");
+      obs_mig_completed =
+          reg.Counter("vqe_fleet_migrations_completed_total", w,
+                      MetricUnit::kCount, "Sessions implanted on targets");
+      obs_mig_rejected =
+          reg.Counter("vqe_fleet_migrations_rejected_total", w,
+                      MetricUnit::kCount,
+                      "Payloads rejected (corrupt or identity mismatch)");
+      obs_mig_fallbacks =
+          reg.Counter("vqe_fleet_migration_fallback_restarts_total", w,
+                      MetricUnit::kCount,
+                      "Factory restarts after failed migrations");
+      obs_failovers =
+          reg.Counter("vqe_fleet_failover_streams_total", w,
+                      MetricUnit::kCount, "Streams restarted off dead shards");
+      obs_shards_killed =
+          reg.Counter("vqe_fleet_shards_killed_total", w, MetricUnit::kCount,
+                      "Shard threads that crashed");
+      obs_mig_latency = reg.Histogram(
+          "vqe_fleet_migration_latency_ms", w,
+          {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0}, MetricUnit::kMs,
+          "Handoff latency: payload leaves source -> implant confirmed");
+    }
+  }
+
   // Build shards; split the chaos script. Corruption events stay with the
   // coordinator as per-target-shard FIFOs consumed by arriving payloads.
   std::vector<std::unique_ptr<Shard>> shards;
   std::vector<std::deque<ChaosEvent>> pending_corruption(
       static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
-    auto shard = std::make_unique<Shard>(options_.shard);
+    ServeOptions shard_options = options_.shard;
+    if (obs_on) {
+      // Shard i traces on node track i; the coordinator keeps track
+      // num_shards for itself.
+      shard_options.obs = options_.obs;
+      shard_options.obs_node = i;
+    }
+    auto shard = std::make_unique<Shard>(shard_options);
     shard->id = i;
     shard->scheduler.UseSharedRegistry(&fleet_health);
     shards.push_back(std::move(shard));
@@ -587,6 +639,7 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
       if (Post(*shards[static_cast<size_t>(busiest)], std::move(extract))) {
         state.migrating = true;
         ++out.stats.migration.attempted;
+        coord_obs.Count(obs_mig_attempted);
       }
       return;  // one stream per pass keeps the loads settling smoothly
     }
@@ -635,6 +688,7 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
         if (!state->migrating) {
           state->migrating = true;
           ++out.stats.migration.attempted;
+          coord_obs.Count(obs_mig_attempted);
         }
         auto& corrupt_queue =
             pending_corruption[static_cast<size_t>(ev.target_shard)];
@@ -661,6 +715,7 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
                   std::move(implant))) {
           in_flight.erase(ev.stream);
           ++out.stats.migration.fallback_restarts;
+          coord_obs.Count(obs_mig_fallbacks);
           restart_stream(*state,
                          Status::Unavailable("migration target died"));
         }
@@ -671,11 +726,18 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
         const auto flight = in_flight.find(ev.stream);
         if (ev.status.ok()) {
           if (flight != in_flight.end()) {
-            migration_latency_ms.push_back(
-                flight->second.handoff.ElapsedMillis());
+            const double handoff_ms = flight->second.handoff.ElapsedMillis();
+            migration_latency_ms.push_back(handoff_ms);
+            coord_obs.Observe(obs_mig_latency, handoff_ms);
             in_flight.erase(flight);
           }
           ++out.stats.migration.completed;
+          if (obs_on) {
+            coord_obs.Count(obs_mig_completed);
+            coord_obs.Instant(MetricDomain::kWall, -1, "migration_complete",
+                              wall.ElapsedMillis(), "target_shard",
+                              static_cast<double>(ev.shard));
+          }
           if (state->shard >= 0) --load[static_cast<size_t>(state->shard)];
           state->shard = ev.shard;
           ++load[static_cast<size_t>(ev.shard)];
@@ -685,13 +747,16 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
           if (flight != in_flight.end()) in_flight.erase(flight);
           if (ev.status.code() == StatusCode::kDataLoss) {
             ++out.stats.migration.rejected_corrupt;
+            coord_obs.Count(obs_mig_rejected);
           } else if (ev.status.code() == StatusCode::kFailedPrecondition) {
             ++out.stats.migration.rejected_identity;
+            coord_obs.Count(obs_mig_rejected);
           }
           // The session is gone (its state rejected or its target dead):
           // restart from the factory — checkpointed streams resume, the
           // rest replay deterministically from frame 0.
           ++out.stats.migration.fallback_restarts;
+          coord_obs.Count(obs_mig_fallbacks);
           restart_stream(*state, ev.status);
         }
         break;
@@ -706,6 +771,12 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
         if (!dead[shard_index]) {
           dead[shard_index] = true;
           ++out.stats.shards_killed;
+          if (obs_on) {
+            coord_obs.Count(obs_shards_killed);
+            coord_obs.Instant(MetricDomain::kWall, -1, "shard_dead",
+                              wall.ElapsedMillis(), "shard",
+                              static_cast<double>(ev.shard));
+          }
         }
         for (const std::string& name : ev.lost_streams) {
           const auto lost_it = by_name.find(name);
@@ -713,6 +784,7 @@ Result<FleetReport> ShardedServer::Run(std::vector<FleetStreamSpec> specs,
           StreamState& lost = streams[lost_it->second];
           if (lost.terminal || lost.migrating) continue;
           ++out.stats.failover_streams;
+          coord_obs.Count(obs_failovers);
           restart_stream(lost, Status::Unavailable(
                                    "shard " + std::to_string(ev.shard) +
                                    " died with the stream live on it"));

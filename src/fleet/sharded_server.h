@@ -52,6 +52,7 @@
 #include "common/status.h"
 #include "fleet/chaos.h"
 #include "fleet/migration.h"
+#include "obs/obs.h"
 #include "runtime/breaker_registry.h"
 #include "serve/scheduler.h"
 #include "serve/stream_session.h"
@@ -89,6 +90,14 @@ struct FleetOptions {
   /// Options of the fleet-wide per-model breaker registry shared by every
   /// shard.
   CircuitBreakerOptions fleet_breaker;
+  /// Observability sink. Disabled by default (no metrics, no tracing,
+  /// bit-identical results). When enabled, each shard's scheduler gets the
+  /// handle with obs_node = its shard id (round spans land on "node i"
+  /// tracks), sessions trace on their stream tracks, and the coordinator
+  /// emits migration/failover/shard-death counters plus instant events on
+  /// the node track `num_shards` — all wall-domain: shard placement and
+  /// crash recovery are process bookkeeping, not results.
+  ObsHandle obs;
 
   Status Validate() const;
 };

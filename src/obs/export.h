@@ -1,0 +1,73 @@
+// Exporters and validators for the observability layer.
+//
+// Chrome trace-event JSON: the "JSON Object Format" Perfetto and
+// chrome://tracing load directly — {"traceEvents": [...], ...} with 'X'
+// complete spans, 'i' instants and 'M' metadata naming the two domain
+// processes (pid 1 = simulated clock, pid 2 = wall clock) and each
+// stream/node track. Timestamps are microseconds.
+//
+// Prometheus-style text exposition: `# HELP` / `# TYPE` comments,
+// `{domain="sim"|"wall"}` labels, histograms as cumulative
+// `_bucket{le=...}` series plus `_sum`/`_count`.
+//
+// Both formats come with a structural validator / parser in this file so
+// tests and tools gate on well-formedness without external tooling:
+// ValidateChromeTrace embeds a strict recursive-descent JSON parser and
+// checks trace invariants (required fields, balanced B/E, per-track
+// timestamp monotonicity); ParseMetricsText round-trips the exposition
+// text back into samples.
+
+#ifndef VQE_OBS_EXPORT_H_
+#define VQE_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vqe {
+
+/// Writes the recorder's events (plus `dropped_events` accounting) as
+/// Chrome trace-event JSON. Never silent about overflow: a nonzero drop
+/// count is surfaced both in "otherData" and as an instant event.
+void WriteChromeTrace(const TraceRecorder& recorder, std::ostream& os);
+
+/// WriteChromeTrace into a string.
+std::string ChromeTraceJson(const TraceRecorder& recorder);
+
+/// Structural validation of Chrome trace-event JSON (object-with-
+/// "traceEvents" or bare-array form). Checks per event: required fields
+/// (ph/name/pid/tid/ts), non-negative "dur" on 'X', balanced B/E nesting
+/// per (pid, tid), and per-(pid, tid) monotone non-decreasing "ts" in
+/// array order for 'X'/'B'/'i' events. Returns kParseError for malformed
+/// JSON (with byte offset), kInvalidArgument for structural violations.
+Status ValidateChromeTrace(std::string_view json);
+
+/// Renders every metric in the registry as Prometheus-style text.
+std::string ExportMetricsText(const MetricsRegistry& registry);
+
+struct MetricSample {
+  std::string name;  ///< full series name (incl. _bucket/_sum/_count)
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses Prometheus-style exposition text back into samples (comments
+/// skipped). kParseError on malformed lines, with the line number.
+Result<std::vector<MetricSample>> ParseMetricsText(std::string_view text);
+
+/// Writes ExportMetricsText / ChromeTraceJson output to a file.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+Status WriteChromeTraceFile(const TraceRecorder& recorder,
+                            const std::string& path);
+
+}  // namespace vqe
+
+#endif  // VQE_OBS_EXPORT_H_

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vqe {
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+/// TLS cache: most threads talk to exactly one recorder, so a one-entry
+/// cache plus a small linear-probe overflow list avoids any per-event
+/// hashing or allocation. Keyed by recorder id (not pointer) so a
+/// recorder reallocated at the same address never aliases a stale entry.
+struct TlsSlot {
+  uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+constexpr size_t kTlsSlots = 8;
+thread_local TlsSlot tls_slots[kTlsSlots];
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity_per_thread)
+    : capacity_(capacity_per_thread == 0 ? 1 : capacity_per_thread),
+      recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  for (TlsSlot& slot : tls_slots) {
+    if (slot.recorder_id == recorder_id_) {
+      return static_cast<ThreadBuffer*>(slot.buffer);
+    }
+  }
+  // First event from this thread: allocate its buffer (rare, locked).
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back();
+  ThreadBuffer* buffer = &buffers_.back();
+  buffer->events.reserve(capacity_);
+  for (TlsSlot& slot : tls_slots) {
+    if (slot.recorder_id == 0) {
+      slot = {recorder_id_, buffer};
+      return buffer;
+    }
+  }
+  // All TLS slots taken (a thread juggling > kTlsSlots live recorders):
+  // evict the first slot. The evicted recorder re-registers a fresh
+  // buffer on its next event from this thread, which is correct, just
+  // slower.
+  tls_slots[0] = {recorder_id_, buffer};
+  return buffer;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer->events.size() >= capacity_) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(event);
+  buffer->events.back().seq = buffer->seq++;
+}
+
+void TraceRecorder::Span(MetricDomain domain, int64_t track, int64_t frame,
+                         const char* name, double ts_ms, double dur_ms,
+                         const char* arg_name, double arg_value) {
+  TraceEvent event;
+  event.domain = domain;
+  event.phase = 'X';
+  event.track = track;
+  event.frame = frame;
+  event.ts_ms = ts_ms;
+  event.dur_ms = dur_ms < 0.0 ? 0.0 : dur_ms;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  Record(event);
+}
+
+void TraceRecorder::Instant(MetricDomain domain, int64_t track, int64_t frame,
+                            const char* name, double ts_ms,
+                            const char* arg_name, double arg_value) {
+  TraceEvent event;
+  event.domain = domain;
+  event.phase = 'i';
+  event.track = track;
+  event.frame = frame;
+  event.ts_ms = ts_ms;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.arg_value = arg_value;
+  Record(event);
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const ThreadBuffer& buffer : buffers_) {
+    total += buffer.dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const ThreadBuffer& buffer : buffers_) {
+    total += buffer.events.size();
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const ThreadBuffer& buffer : buffers_) total += buffer.events.size();
+    out.reserve(total);
+    for (const ThreadBuffer& buffer : buffers_) {
+      out.insert(out.end(), buffer.events.begin(), buffer.events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.domain != b.domain) return a.domain < b.domain;
+                     if (a.track != b.track) return a.track < b.track;
+                     if (a.ts_ms != b.ts_ms) return a.ts_ms < b.ts_ms;
+                     if (a.frame != b.frame) return a.frame < b.frame;
+                     if (a.seq != b.seq) return a.seq < b.seq;
+                     return std::strcmp(a.name, b.name) < 0;
+                   });
+  return out;
+}
+
+}  // namespace vqe

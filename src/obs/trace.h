@@ -1,0 +1,102 @@
+// Structured tracing: span ("X" complete) and instant events captured
+// into per-thread bounded buffers with no locks, no allocation and no
+// cross-thread contention on the hot path.
+//
+// Each writing thread owns a private buffer (acquired once, on its first
+// event, under a mutex; cached thread-locally afterwards). Events carry a
+// domain clock (simulated frame-time or wall-clock), a track (stream id
+// or node id), a frame index and a per-thread sequence number, so
+// Collect() can merge all buffers into a stable
+// (track, timestamp, frame, seq) order regardless of which worker
+// recorded what.
+//
+// Capacity is bounded and overflow is never silent: once a thread's
+// buffer is full, further events are counted in dropped_events() and the
+// earliest `capacity` events are kept (keep-oldest keeps span starts and
+// per-track timestamp monotonicity intact for export).
+
+#ifndef VQE_OBS_TRACE_H_
+#define VQE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vqe {
+
+struct TraceEvent {
+  MetricDomain domain = MetricDomain::kSimulated;
+  char phase = 'X';    ///< 'X' complete span, 'i' instant
+  int64_t track = 0;   ///< stream id; node-level tracks use >= kNodeTrackBase
+  int64_t frame = -1;  ///< frame index, -1 when not frame-scoped
+  uint64_t seq = 0;    ///< per-thread monotone sequence
+  double ts_ms = 0.0;  ///< start time on the domain clock
+  double dur_ms = 0.0; ///< span duration ('X' only)
+  const char* name = "";      ///< static string (never owned)
+  const char* arg_name = nullptr;  ///< optional numeric argument
+  double arg_value = 0.0;
+};
+
+/// Track ids at or above this are process/node-scoped (scheduler rounds,
+/// shard events) rather than stream-scoped.
+inline constexpr int64_t kNodeTrackBase = 1'000'000;
+
+class TraceRecorder {
+ public:
+  /// `capacity_per_thread` bounds each writer thread's buffer; overflow
+  /// increments dropped_events().
+  explicit TraceRecorder(size_t capacity_per_thread = 1u << 16);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- hot path (lock-free after a thread's first event) ----------------
+
+  /// Records a completed span. `name` and `arg_name` must be string
+  /// literals (or otherwise outlive the recorder).
+  void Span(MetricDomain domain, int64_t track, int64_t frame,
+            const char* name, double ts_ms, double dur_ms,
+            const char* arg_name = nullptr, double arg_value = 0.0);
+
+  /// Records an instant event.
+  void Instant(MetricDomain domain, int64_t track, int64_t frame,
+               const char* name, double ts_ms,
+               const char* arg_name = nullptr, double arg_value = 0.0);
+
+  // --- quiescent reads --------------------------------------------------
+
+  /// Total events dropped to the capacity bound, across all threads.
+  uint64_t dropped_events() const;
+
+  /// Events currently retained, across all threads.
+  size_t event_count() const;
+
+  /// Merges every thread buffer into (track, ts, frame, seq) order. Call
+  /// only when no writer is in flight (after a run completes).
+  std::vector<TraceEvent> Collect() const;
+
+  size_t capacity_per_thread() const { return capacity_; }
+
+ private:
+  struct ThreadBuffer {
+    std::vector<TraceEvent> events;  ///< reserved to capacity up front
+    uint64_t seq = 0;
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  ThreadBuffer* BufferForThisThread();
+  void Record(const TraceEvent& event);
+
+  const size_t capacity_;
+  const uint64_t recorder_id_;  ///< process-unique key for TLS caching
+
+  mutable std::mutex mu_;  ///< guards buffers_ growth only
+  std::deque<ThreadBuffer> buffers_;
+};
+
+}  // namespace vqe
+
+#endif  // VQE_OBS_TRACE_H_

@@ -87,6 +87,12 @@ struct Query {
   size_t limit = 0;
   /// Optional TCVI budget in ms (BUDGET <number>); 0 = unrestricted.
   double budget_ms = 0.0;
+  /// Optional sliding-window length λ (WINDOW <n>); 0 = clause absent.
+  /// Maps onto SW-MES's window; every other strategy rejects it.
+  size_t window = 0;
+  /// Byte offset of the WINDOW keyword in the query string (error
+  /// attribution when the clause is paired with a non-SW strategy).
+  size_t window_pos = 0;
 };
 
 }  // namespace vqe

@@ -318,8 +318,9 @@ Status RestoreQueryRun(const SnapshotReader& snap,
 }
 
 Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
-    const UsingClause& clause, const QueryEngineOptions& options,
-    double budget_ms) {
+    const Query& query, const QueryEngineOptions& options) {
+  const UsingClause& clause = query.using_clause;
+  const double budget_ms = query.budget_ms;
   const std::string name = ToUpper(clause.strategy);
   const bool needs_ref =
       name == "MES" || name == "MES-B" || name == "MES-A" || name == "SW-MES";
@@ -327,6 +328,14 @@ Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
     return Status::InvalidArgument(
         clause.strategy + " requires a reference model: USING " +
         clause.strategy + "(...; REF)");
+  }
+  // WINDOW binds the sliding-window length λ — meaningless for strategies
+  // without one, so reject instead of silently ignoring the clause.
+  if (query.window > 0 && name != "SW-MES") {
+    return Status::InvalidArgument(
+        "WINDOW applies only to SW-MES; " + clause.strategy +
+        " has no sliding window (at offset " +
+        std::to_string(query.window_pos) + ")");
   }
   if (name == "MES") {
     MesOptions mes;
@@ -353,7 +362,7 @@ Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
   if (name == "SW-MES") {
     SwMesOptions sw;
     sw.gamma = options.gamma;
-    sw.window = options.sw_window;
+    sw.window = query.window > 0 ? query.window : options.sw_window;
     sw.exploration_scale = 0.05;
     return std::unique_ptr<SelectionStrategy>(
         std::make_unique<SwMesStrategy>(sw));
@@ -377,12 +386,80 @@ Result<std::unique_ptr<SelectionStrategy>> MakeStrategy(
   return Status::NotFound("unknown strategy: " + clause.strategy);
 }
 
+/// Metric ids of the query executor (all kInvalidId when obs is off, so
+/// every observation site is a guarded no-op).
+struct QueryObsIds {
+  MetricsRegistry::Id frames = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id matched = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id skipped = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id failed = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id fallback = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id charged_ms = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id reference_ms = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id fault_ms = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id model_failures = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id frame_cost = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id ckpt_writes = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id ckpt_write_ms = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id wall_ms = MetricsRegistry::kInvalidId;
+};
+
+QueryObsIds RegisterQueryObs(MetricsRegistry& reg) {
+  QueryObsIds ids;
+  const MetricDomain sim = MetricDomain::kSimulated;
+  const MetricDomain wall = MetricDomain::kWall;
+  ids.frames = reg.Counter("vqe_query_frames_total", sim, MetricUnit::kCount,
+                           "Frames consumed by the query loop");
+  ids.matched = reg.Counter("vqe_query_frames_matched_total", sim,
+                            MetricUnit::kCount, "Frames passing WHERE");
+  ids.skipped =
+      reg.Counter("vqe_query_frames_skipped_total", sim, MetricUnit::kCount,
+                  "Frames answered from tracker propagation");
+  ids.failed =
+      reg.Counter("vqe_query_frames_failed_total", sim, MetricUnit::kCount,
+                  "Frames where every selected member failed");
+  ids.fallback =
+      reg.Counter("vqe_query_fallback_frames_total", sim, MetricUnit::kCount,
+                  "Frames completed on a strict sub-mask of the selection");
+  ids.charged_ms =
+      reg.Counter("vqe_query_charged_cost_ms_total", sim, MetricUnit::kMs,
+                  "Simulated inference cost charged (Eq. 12/14)");
+  ids.reference_ms =
+      reg.Counter("vqe_query_reference_ms_total", sim, MetricUnit::kMs,
+                  "Simulated reference-model cost");
+  ids.fault_ms =
+      reg.Counter("vqe_query_fault_ms_total", sim, MetricUnit::kMs,
+                  "Simulated time lost to faults");
+  ids.model_failures =
+      reg.Counter("vqe_query_model_call_failures_total", sim,
+                  MetricUnit::kCount, "Per-model failed calls");
+  ids.frame_cost = reg.Histogram(
+      "vqe_query_frame_cost_ms", sim,
+      {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0}, MetricUnit::kMs,
+      "Per-frame simulated charged cost");
+  ids.ckpt_writes =
+      reg.Counter("vqe_query_checkpoint_writes_total", sim,
+                  MetricUnit::kCount, "Snapshots durably written");
+  ids.ckpt_write_ms =
+      reg.Counter("vqe_query_checkpoint_write_ms_total", wall, MetricUnit::kMs,
+                  "Wall-clock spent writing snapshots");
+  ids.wall_ms = reg.Counter("vqe_query_wall_ms_total", wall, MetricUnit::kMs,
+                            "Wall-clock of whole query executions");
+  return ids;
+}
+
 }  // namespace
 
 Result<QueryOutput> ExecuteQuery(const Query& query,
                                  const QueryEngineOptions& options) {
   VQE_RETURN_NOT_OK(options.Validate());
   VQE_RETURN_NOT_OK(ValidatePredicate(query.where.get()));
+
+  // Observability registration happens once, up front (locks, may
+  // allocate); the frame loop then only touches lock-free counters.
+  const ObsHandle& obs = options.obs;
+  QueryObsIds qobs;
+  if (obs.metrics != nullptr) qobs = RegisterQueryObs(*obs.metrics);
 
   Stopwatch wall;
 
@@ -421,9 +498,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   const int m = static_cast<int>(pool.size());
   const uint32_t num_masks = NumEnsembles(m);
 
-  VQE_ASSIGN_OR_RETURN(
-      auto strategy, MakeStrategy(query.using_clause, options,
-                                  query.budget_ms));
+  VQE_ASSIGN_OR_RETURN(auto strategy, MakeStrategy(query, options));
   VQE_ASSIGN_OR_RETURN(auto fusion,
                        CreateEnsembleMethod(options.matrix.fusion,
                                             options.matrix.fusion_options));
@@ -492,7 +567,9 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   identity.limit = query.limit;
   identity.sc = options.sc;
   identity.gamma = options.gamma;
-  identity.sw_window = options.sw_window;
+  // The fingerprint records the *effective* λ, so a checkpoint taken with
+  // a WINDOW clause cannot resume under a different window.
+  identity.sw_window = query.window > 0 ? query.window : options.sw_window;
   identity.skip = options.skip;
 
   size_t start_t = 0;
@@ -519,12 +596,24 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   }
   size_t frames_this_invocation = 0;
 
+  // Simulated clock at the top of the current frame (per-frame span base
+  // and cost-delta anchor for the epilogue's observations).
+  double frame_sim0 = 0.0;
+
   // Shared per-frame epilogue — skipped or detected, failed or not, the
   // frame was consumed and the run state advanced, so it is a valid
   // checkpoint boundary.
   auto frame_epilogue = [&](size_t t) -> Status {
     ++out.frames_processed;
     ++frames_this_invocation;
+    if (obs.enabled()) {
+      const double frame_ms = out.charged_cost_ms - frame_sim0;
+      obs.Count(qobs.frames);
+      obs.CountMs(qobs.charged_ms, frame_ms);
+      obs.Observe(qobs.frame_cost, frame_ms);
+      obs.Span(MetricDomain::kSimulated, video.frames[t].frame_index,
+               "query_frame", frame_sim0, frame_ms);
+    }
 
     if (ckpt != nullptr &&
         out.frames_processed % options.checkpoint.every_frames == 0 &&
@@ -537,7 +626,10 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       VQE_RETURN_NOT_OK(ckpt->Write(next_generation, bytes));
       ++next_generation;
       ++out.checkpoint.snapshots_written;
-      out.checkpoint.checkpoint_write_ms += watch.ElapsedMillis();
+      const double write_ms = watch.ElapsedMillis();
+      out.checkpoint.checkpoint_write_ms += write_ms;
+      obs.Count(qobs.ckpt_writes);
+      obs.CountMs(qobs.ckpt_write_ms, write_ms);
     }
 
     // Crash injection for the resume tests (see CheckpointPolicy): abort
@@ -555,6 +647,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
     if (query.budget_ms > 0.0 && out.charged_cost_ms > query.budget_ms) break;
     if (query.limit > 0 && out.frames_matched >= query.limit) break;
     const VideoFrame& frame = video.frames[t];
+    frame_sim0 = out.charged_cost_ms;
 
     // Temporal fast path: answer the frame from coasted tracks. No model
     // runs, no selection is made, and the strategy/breaker iteration clock
@@ -571,8 +664,10 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
                             needs_tracks ? &active_tracks : nullptr)) {
         out.frame_ids.push_back(frame.frame_index);
         ++out.frames_matched;
+        obs.Count(qobs.matched);
       }
       ++out.skipped_frames;
+      obs.Count(qobs.skipped);
       VQE_RETURN_NOT_OK(frame_epilogue(t));
       continue;
     }
@@ -619,6 +714,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       DetectorCallOutcome call =
           runtime[static_cast<size_t>(i)].Call(frame, options.seed, frame_t);
       out.fault_ms += call.fault_ms;
+      obs.CountMs(qobs.fault_ms, call.fault_ms);
       frame_cost += call.charged_ms();
       if (call.ok()) {
         model_out[static_cast<size_t>(i)] = std::move(call.detections);
@@ -627,6 +723,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       } else {
         model_out[static_cast<size_t>(i)].clear();
         ++out.model_failures[static_cast<size_t>(i)];
+        obs.Count(qobs.model_failures);
       }
     }
 
@@ -637,6 +734,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
       // an empty frame so stale tracks age out on schedule.
       out.charged_cost_ms += frame_cost;
       ++out.failed_frames;
+      obs.Count(qobs.failed);
       if (gate != nullptr) {
         // The gate still observes the (empty) frame: stale tracks age out,
         // the open skip episode closes, and tracker time is charged.
@@ -648,15 +746,20 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
         tracker.Update(DetectionList{}, frame.frame_index);
       }
     } else {
-      if (realized != selected) ++out.fallback_frames;
+      if (realized != selected) {
+        ++out.fallback_frames;
+        obs.Count(qobs.fallback);
+      }
 
       // Reference model (AP estimation) when the strategy learns from it.
       GroundTruthList ref_gt;
       if (strategy->UsesReferenceModel()) {
         const DetectionList ref_out =
             pool.reference->Detect(frame, options.seed);
-        out.reference_cost_ms +=
+        const double ref_ms =
             pool.reference->InferenceCostMs(frame, options.seed);
+        out.reference_cost_ms += ref_ms;
+        obs.CountMs(qobs.reference_ms, ref_ms);
         ref_gt = DetectionsAsGroundTruth(
             ref_out, options.matrix.ref_confidence_threshold);
       }
@@ -731,6 +834,7 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
                             needs_tracks ? &active_tracks : nullptr)) {
         out.frame_ids.push_back(frame.frame_index);
         ++out.frames_matched;
+        obs.Count(qobs.matched);
       }
     }
 
@@ -739,6 +843,11 @@ Result<QueryOutput> ExecuteQuery(const Query& query,
   }
 
   out.wall_seconds = wall.ElapsedSeconds();
+  if (obs.enabled()) {
+    const double wall_ms = out.wall_seconds * 1000.0;
+    obs.CountMs(qobs.wall_ms, wall_ms);
+    obs.Span(MetricDomain::kWall, -1, "execute_query", 0.0, wall_ms);
+  }
   return out;
 }
 

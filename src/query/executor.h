@@ -19,6 +19,7 @@
 #include "core/ensemble_id.h"
 #include "core/frame_matrix.h"
 #include "core/scoring.h"
+#include "obs/obs.h"
 #include "query/ast.h"
 #include "runtime/circuit_breaker.h"
 #include "runtime/fault_injection.h"
@@ -60,6 +61,14 @@ struct QueryEngineOptions {
   /// enabled alongside a TRACKS() predicate the gate's tracker doubles as
   /// the predicate tracker (exactly one tracker per run).
   SkipOptions skip;
+  /// Observability sink. Disabled by default: no metrics, no tracing, no
+  /// allocations in the frame loop, output bit-identical to a build that
+  /// never heard of observability. When enabled the executor emits
+  /// simulated-domain per-frame counters/spans (deterministic — queries
+  /// are single-threaded) and wall-domain bookkeeping on the handle's
+  /// track. Never serialized into checkpoints and absent from the resume
+  /// identity fingerprint.
+  ObsHandle obs;
 
   Status Validate() const;
 };

@@ -105,6 +105,9 @@ std::string ExplainQuery(const Query& query) {
   if (query.budget_ms > 0) {
     out += " budget=" + NumberToString(query.budget_ms) + "ms";
   }
+  if (query.window > 0) {
+    out += " window=" + std::to_string(query.window);
+  }
   out += "\n";
   return out;
 }

@@ -31,6 +31,16 @@ class Parser {
       VQE_ASSIGN_OR_RETURN(q.budget_ms, ExpectNumber("budget"));
       if (q.budget_ms <= 0) return Error("BUDGET must be positive");
     }
+    // WINDOW binds λ of SW-MES. Whether the strategy accepts it is an
+    // executor decision (kInvalidArgument there, not a parse error), so
+    // remember where the keyword sat for that diagnostic.
+    const size_t window_kw_pos = Peek().position;
+    if (AcceptKeyword("WINDOW")) {
+      VQE_ASSIGN_OR_RETURN(double win, ExpectNumber("window"));
+      if (win < 2) return Error("WINDOW must be >= 2");
+      q.window = static_cast<size_t>(win);
+      q.window_pos = window_kw_pos;
+    }
     if (AcceptKeyword("LIMIT")) {
       VQE_ASSIGN_OR_RETURN(double lim, ExpectNumber("limit"));
       if (lim < 1) return Error("LIMIT must be >= 1");

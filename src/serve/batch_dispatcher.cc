@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/stopwatch.h"
+
 namespace vqe {
 
 Status BatchDispatcherOptions::Validate() const {
@@ -15,6 +17,26 @@ Status BatchDispatcherOptions::Validate() const {
 BatchDispatcher::BatchDispatcher(BatchDispatcherOptions options)
     : options_(options) {
   if (options_.batch_window < 1) options_.batch_window = 1;
+}
+
+void BatchDispatcher::SetObs(const ObsHandle& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_ = obs;
+  if (obs_.metrics == nullptr) return;
+  MetricsRegistry& reg = *obs_.metrics;
+  const MetricDomain wall = MetricDomain::kWall;
+  obs_flushes_ =
+      reg.Counter("vqe_batch_flushes_total", wall, MetricUnit::kCount,
+                  "Batched invocations fired");
+  obs_requests_ =
+      reg.Counter("vqe_batch_requests_total", wall, MetricUnit::kCount,
+                  "Detector calls routed through the dispatcher");
+  obs_flush_ms_ =
+      reg.Counter("vqe_batch_flush_ms_total", wall, MetricUnit::kMs,
+                  "Wall-clock spent executing fired batches");
+  obs_batch_size_ = reg.Histogram(
+      "vqe_batch_size", wall, {1.0, 2.0, 4.0, 8.0, 16.0, 32.0},
+      MetricUnit::kCount, "Requests per fired batch");
 }
 
 void BatchDispatcher::BeginStep() {
@@ -79,10 +101,21 @@ void BatchDispatcher::ExecuteBatch(std::unique_lock<std::mutex>& lock,
   // call (fault decorators, Attempt vs Detect), so results are exactly
   // the stream's solo outputs; the batch is the scheduling unit a real
   // backend would hand to the accelerator as one forward pass.
+  Stopwatch flush_watch;
   for (Request* r : batch) {
     (*r->fn)();
   }
+  const double flush_ms = flush_watch.ElapsedMillis();
   lock.lock();
+  if (obs_.enabled()) {
+    obs_.Count(obs_flushes_);
+    obs_.Count(obs_requests_, batch.size());
+    obs_.CountMs(obs_flush_ms_, flush_ms);
+    obs_.Observe(obs_batch_size_, static_cast<double>(batch.size()));
+    obs_.Span(MetricDomain::kWall, -1, "batch_flush", flush_ledger_ms_,
+              flush_ms, "batch_size", static_cast<double>(batch.size()));
+    flush_ledger_ms_ += flush_ms;
+  }
   for (Request* r : batch) r->done = true;
   cv_.notify_all();
 }

@@ -39,6 +39,7 @@
 
 #include "common/status.h"
 #include "models/model_zoo.h"
+#include "obs/obs.h"
 #include "runtime/fallible_detector.h"
 
 namespace vqe {
@@ -87,6 +88,13 @@ class BatchDispatcher {
   };
   Stats stats() const;
 
+  /// Binds the observability sink (flush spans, batch-size histogram —
+  /// all wall-domain: which requests coalesce is process bookkeeping).
+  /// Call before serving traffic; registers metric series (locks, may
+  /// allocate). The handle's track attributes flush spans (use
+  /// ObsHandle::WithNodeTrack for shard dispatchers).
+  void SetObs(const ObsHandle& obs);
+
   const BatchDispatcherOptions& options() const { return options_; }
 
  private:
@@ -114,6 +122,15 @@ class BatchDispatcher {
   uint64_t seq_ = 0;
   std::map<std::string, std::vector<Request*>> pending_;
   Stats stats_;
+
+  /// Observability (disabled by default; see SetObs). The flush ledger is
+  /// the monotone wall timestamp base for flush spans, advanced under mu_.
+  ObsHandle obs_;
+  MetricsRegistry::Id obs_flushes_ = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_requests_ = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_flush_ms_ = MetricsRegistry::kInvalidId;
+  MetricsRegistry::Id obs_batch_size_ = MetricsRegistry::kInvalidId;
+  double flush_ledger_ms_ = 0.0;
 };
 
 /// ObjectDetector decorator routing Detect through a shared dispatcher.

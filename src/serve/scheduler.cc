@@ -49,6 +49,42 @@ StreamScheduler::StreamScheduler(ServeOptions options)
   if (options_.overload.enabled) {
     controller_ = std::make_unique<OverloadController>(options_.overload);
   }
+  if (options_.obs.enabled()) {
+    node_obs_ = options_.obs.WithNodeTrack(options_.obs_node);
+    if (options_.obs.metrics != nullptr) {
+      MetricsRegistry& reg = *options_.obs.metrics;
+      const MetricDomain wall = MetricDomain::kWall;
+      obs_ids_.rounds = reg.Counter("vqe_sched_rounds_total", wall,
+                                    MetricUnit::kCount, "DRR rounds run");
+      obs_ids_.round_ms =
+          reg.Counter("vqe_sched_round_ms_total", wall, MetricUnit::kMs,
+                      "Wall-clock spent inside DRR rounds");
+      obs_ids_.frames =
+          reg.Counter("vqe_sched_frames_total", wall, MetricUnit::kCount,
+                      "Frames stepped by the scheduler");
+      obs_ids_.drr_credit_ms =
+          reg.Counter("vqe_sched_drr_credit_ms_total", wall, MetricUnit::kMs,
+                      "Simulated-ms deficit credited to active slots");
+      obs_ids_.drr_charge_ms =
+          reg.Counter("vqe_sched_drr_charge_ms_total", wall, MetricUnit::kMs,
+                      "Simulated-ms deficit charged for stepped frames");
+      obs_ids_.admitted =
+          reg.Counter("vqe_sched_admitted_total", wall, MetricUnit::kCount,
+                      "Sessions activated into slots");
+      obs_ids_.shed =
+          reg.Counter("vqe_sched_shed_total", wall, MetricUnit::kCount,
+                      "Submissions rejected with kResourceExhausted");
+      obs_ids_.retired =
+          reg.Counter("vqe_sched_retired_total", wall, MetricUnit::kCount,
+                      "Sessions retired (drained or failed)");
+      obs_ids_.stream_errors =
+          reg.Counter("vqe_sched_stream_errors_total", wall,
+                      MetricUnit::kCount, "Sessions retired with an error");
+      obs_ids_.overload_transitions =
+          reg.Counter("vqe_sched_overload_transitions_total", wall,
+                      MetricUnit::kCount, "Degradation-ladder level changes");
+    }
+  }
 }
 
 void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
@@ -61,6 +97,12 @@ void StreamScheduler::Activate(std::unique_ptr<StreamSession> session,
   slot->frames = carry.frames;
   slot->rounds_active = carry.rounds_active;
   slot->session->AttachHealthRegistry(registry_);
+  if (options_.obs.enabled()) {
+    // Per-stream attribution: the engine's spans land on this stream's
+    // trace track; metric series stay registry-global.
+    slot->session->SetObs(options_.obs.WithStream(static_cast<int64_t>(id)));
+    node_obs_.Count(obs_ids_.admitted);
+  }
   ++stats_.classes[PriorityClassIndex(slot->session->priority())].admitted;
   active_.push_back(std::move(slot));
   ++stats_.admitted;
@@ -95,6 +137,7 @@ Result<uint64_t> StreamScheduler::Submit(
     }
     if (!any_callable) {
       ++stats_.shed_submissions;
+      node_obs_.Count(obs_ids_.shed);
       ++stats_.classes[cls].shed_submissions;
       return Status::ResourceExhausted(
           "session '" + session->name() +
@@ -108,6 +151,7 @@ Result<uint64_t> StreamScheduler::Submit(
   if (controller_ != nullptr && controller_->throttle_batch() &&
       session->priority() == PriorityClass::kBatch) {
     ++stats_.shed_submissions;
+    node_obs_.Count(obs_ids_.shed);
     ++stats_.classes[cls].shed_submissions;
     return Status::ResourceExhausted(
         "session '" + session->name() +
@@ -127,6 +171,7 @@ Result<uint64_t> StreamScheduler::Submit(
     return id;
   }
   ++stats_.shed_submissions;
+  node_obs_.Count(obs_ids_.shed);
   ++stats_.classes[cls].shed_submissions;
   return Status::ResourceExhausted(
       "session '" + session->name() + "' shed: " +
@@ -164,6 +209,7 @@ Result<uint64_t> StreamScheduler::ImplantSession(
     return id;
   }
   ++stats_.shed_submissions;
+  node_obs_.Count(obs_ids_.shed);
   ++stats_.classes[cls].shed_submissions;
   return Status::ResourceExhausted(
       "implant of '" + session->name() + "' rejected: shard full");
@@ -237,6 +283,7 @@ void StreamScheduler::StepSlotRound(Slot& slot, uint64_t round) {
     // deficit; the overdraft carries as a negative balance (classic DRR).
     const double cost_delta = session.charged_cost_ms() - cost_before;
     slot.deficit_ms -= cost_delta;
+    node_obs_.CountMs(obs_ids_.drr_charge_ms, cost_delta);
     if (options_.record_frame_latency || controller_ != nullptr) {
       slot.sim_ms.push_back(cost_delta);
     }
@@ -273,7 +320,9 @@ void StreamScheduler::Retire(Slot& slot) {
     ++stats_.failed_streams;
     stats_.errors.push_back(ServeStats::StreamError{
         sr.stream_id, sr.name, sr.status.code(), sr.status.message()});
+    node_obs_.Count(obs_ids_.stream_errors);
   }
+  node_obs_.Count(obs_ids_.retired);
   stats_.frames += sr.frames;
   stats_.skipped_frames += sr.result.skip.skipped_frames;
   stats_.simulated_ms += sr.result.breakdown.SimulatedMs();
@@ -304,6 +353,8 @@ Status StreamScheduler::BeginServing() {
 void StreamScheduler::RoundOnce() {
   ++round_;
   ++stats_.rounds;
+  const bool obs_on = node_obs_.enabled();
+  Stopwatch round_watch;
 
   // Admit from the queue into freed slots, FIFO — deterministic.
   while (!queue_.empty() &&
@@ -311,6 +362,10 @@ void StreamScheduler::RoundOnce() {
     Queued q = std::move(queue_.front());
     queue_.erase(queue_.begin());
     Activate(std::move(q.session), q.stream_id, round_, q.carry);
+  }
+  uint64_t frames_at_round_start = 0;
+  if (obs_on) {
+    for (const auto& slot : active_) frames_at_round_start += slot->frames;
   }
 
   // Apply the ladder level decided at the END of the previous round to
@@ -337,13 +392,17 @@ void StreamScheduler::RoundOnce() {
   // queue-depth sensor would hold the ladder at level 3 forever.
   const bool demote_batch =
       controller_ != nullptr && controller_->throttle_batch();
+  double credited_ms = 0.0;
   for (auto& slot : active_) {
     const bool demoted =
         demote_batch && slot->session->priority() == PriorityClass::kBatch;
     const double share =
         options_.quantum_ms * PriorityWeight(slot->session->priority());
-    slot->deficit_ms += demoted ? share * 0.25 : share;
+    const double credit = demoted ? share * 0.25 : share;
+    slot->deficit_ms += credit;
+    credited_ms += credit;
   }
+  if (obs_on) node_obs_.CountMs(obs_ids_.drr_credit_ms, credited_ms);
   ParallelFor(active_.size(), options_.parallelism,
               [&](size_t i) { StepSlotRound(*active_[i], round_); });
 
@@ -358,18 +417,39 @@ void StreamScheduler::RoundOnce() {
       }
       slot->sim_fed = slot->sim_ms.size();
     }
+    const int level_before = controller_->level();
     controller_->EndRound(round_, static_cast<int>(queue_.size()));
+    if (obs_on && controller_->level() != level_before) {
+      node_obs_.Count(obs_ids_.overload_transitions);
+      node_obs_.Instant(MetricDomain::kWall, -1, "overload_level",
+                        obs_wall_ledger_ms_, "level",
+                        static_cast<double>(controller_->level()));
+    }
   }
 
   // Retire drained and failed sessions, freeing slots for the queue.
+  uint64_t frames_at_round_end = 0;
   for (size_t i = 0; i < active_.size();) {
     Slot& slot = *active_[i];
+    if (obs_on) frames_at_round_end += slot.frames;
     if (!slot.status.ok() || slot.session->done()) {
       Retire(slot);
       active_.erase(active_.begin() + static_cast<long>(i));
     } else {
       ++i;
     }
+  }
+  if (obs_on) {
+    const double round_ms = round_watch.ElapsedMillis();
+    const uint64_t frames_this_round =
+        frames_at_round_end - frames_at_round_start;
+    node_obs_.Count(obs_ids_.rounds);
+    node_obs_.CountMs(obs_ids_.round_ms, round_ms);
+    node_obs_.Count(obs_ids_.frames, frames_this_round);
+    node_obs_.Span(MetricDomain::kWall, -1, "round", obs_wall_ledger_ms_,
+                   round_ms, "frames",
+                   static_cast<double>(frames_this_round));
+    obs_wall_ledger_ms_ += round_ms;
   }
 }
 

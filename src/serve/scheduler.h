@@ -67,6 +67,18 @@ struct ServeOptions {
   /// a scheduler with overload.enabled == false constructs no controller
   /// and leaves every stream bit-identical to the controller-free path.
   OverloadOptions overload;
+  /// Observability sink. Disabled by default (no metrics, no tracing, no
+  /// allocations, bit-identical results). When enabled, each activated
+  /// session's engine gets the handle rebound to its stream track, and
+  /// the scheduler itself emits rounds, DRR charges, shed/retire counts
+  /// and overload-ladder transitions on the node track `obs_node` — all
+  /// in the wall domain: which frames share a round is process
+  /// bookkeeping, not a result, so it stays out of the simulated-domain
+  /// determinism fingerprint.
+  ObsHandle obs;
+  /// Node index for the scheduler's trace track (fleet shards set their
+  /// shard id; solo schedulers keep 0).
+  int obs_node = 0;
 
   Status Validate() const;
 };
@@ -328,6 +340,24 @@ class StreamScheduler {
   std::vector<double> class_sim_ms_[kNumPriorityClasses];
   /// Present only when options.overload.enabled.
   std::unique_ptr<OverloadController> controller_;
+
+  /// Observability: node-track handle + cached ids (see ServeOptions::obs).
+  ObsHandle node_obs_;
+  struct ObsIds {
+    MetricsRegistry::Id rounds = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id round_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id frames = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id drr_credit_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id drr_charge_ms = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id admitted = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id shed = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id retired = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id stream_errors = MetricsRegistry::kInvalidId;
+    MetricsRegistry::Id overload_transitions = MetricsRegistry::kInvalidId;
+  };
+  ObsIds obs_ids_;
+  /// Monotone wall timestamp base for this scheduler's round spans.
+  double obs_wall_ledger_ms_ = 0.0;
 };
 
 }  // namespace vqe

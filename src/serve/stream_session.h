@@ -107,6 +107,11 @@ class StreamSession {
     run_->SetDegradation(skip_boost, model_mask);
   }
 
+  /// Binds the observability sink (see EngineRun::SetObs). The scheduler
+  /// calls this at activation with the handle rebound to the stream's
+  /// track; SetObs({}) restores the exact disabled path.
+  void SetObs(const ObsHandle& obs) { run_->SetObs(obs); }
+
   /// Processes exactly one frame (EngineRun::StepFrame) and publishes
   /// member-call outcome deltas to the attached registry at `fleet_tick`.
   /// Not thread-safe against itself; the scheduler steps a session from

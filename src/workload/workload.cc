@@ -188,12 +188,18 @@ Result<Video> BuildSessionVideo(const WorkloadPlan& plan,
   if (video.empty()) {
     return Status::Internal("workload session video sampled empty");
   }
+  ApplyDriftRewrite(video, session.video_seed, session.lambda0,
+                    session.lambda1);
+  return video;
+}
 
-  // Scene-block drift rewrite: one flip decision per contiguous scene_id
-  // run, at the drift intensity interpolated to the block's first frame.
-  // Block granularity keeps rewritten context changes as rare, episode-
-  // scale events rather than per-frame churn.
-  Rng drift(HashCombine(session.video_seed, 0xD21F7u));
+void ApplyDriftRewrite(Video& video, uint64_t video_seed, double lambda0,
+                       double lambda1) {
+  // One flip decision per contiguous scene_id run, at the drift intensity
+  // interpolated to the block's first frame. Block granularity keeps
+  // rewritten context changes as rare, episode-scale events rather than
+  // per-frame churn.
+  Rng drift(HashCombine(video_seed, 0xD21F7u));
   const double denom =
       static_cast<double>(std::max<size_t>(1, video.frames.size() - 1));
   size_t i = 0;
@@ -203,8 +209,8 @@ Result<Video> BuildSessionVideo(const WorkloadPlan& plan,
            video.frames[j].scene_id == video.frames[i].scene_id) {
       ++j;
     }
-    const double lambda = Lerp(session.lambda0, session.lambda1,
-                               static_cast<double>(i) / denom);
+    const double lambda =
+        Lerp(lambda0, lambda1, static_cast<double>(i) / denom);
     if (drift.Bernoulli(lambda)) {
       const int from = static_cast<int>(video.frames[i].context);
       const int to =
@@ -218,7 +224,6 @@ Result<Video> BuildSessionVideo(const WorkloadPlan& plan,
     }
     i = j;
   }
-  return video;
 }
 
 Result<std::unique_ptr<StreamSession>> BuildWorkloadSession(

@@ -103,6 +103,16 @@ WorkloadPlan BuildWorkloadPlan(const WorkloadTrace& trace);
 Result<Video> BuildSessionVideo(const WorkloadPlan& plan,
                                 const SessionPlan& session);
 
+/// The scene-block drift rewrite, in place: each contiguous scene_id run
+/// flips to a different context with probability lambda, interpolated
+/// from `lambda0` at the first frame to `lambda1` at the last. The
+/// rewrite stream is seeded by `video_seed` alone, so the same
+/// (video, seed, lambdas) tuple always rewrites identically — this is
+/// the function BuildSessionVideo applies, exported so experiment
+/// harnesses can impose the same gradual drift on their trial videos.
+void ApplyDriftRewrite(Video& video, uint64_t video_seed, double lambda0,
+                       double lambda1);
+
 /// Builds a ready-to-submit StreamSession for one plan entry over the
 /// shared base pool (which must outlive the session; fault decoration is
 /// owned by the session). Strategy is fixed per class — interactive MES,

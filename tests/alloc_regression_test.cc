@@ -17,8 +17,10 @@
 #include <gtest/gtest.h>
 
 #include "common/arena.h"
+#include "core/engine.h"
 #include "core/frame_eval.h"
 #include "core/frame_matrix.h"
+#include "core/mes.h"
 #include "models/model_zoo.h"
 #include "sim/dataset.h"
 
@@ -148,6 +150,50 @@ INSTANTIATE_TEST_SUITE_P(FusionKinds, AllocRegressionTest,
                              default: return std::string("Other");
                            }
                          });
+
+// The engine frame loop with observability DISABLED (the default) must be
+// as quiet as the mask lattice underneath it: after the warm-up frames,
+// every further StepFrame runs without touching the heap. This is the
+// zero-cost half of the obs contract — the one `enabled()` branch per
+// instrumentation site compiles down to a skipped pointer check, never a
+// registration or a buffer.
+TEST(EngineSteadyStateTest, DisabledObsFrameLoopIsAllocationFree) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(/*scene_scale=*/0.02, /*seed=*/23);
+  ASSERT_GE(video.size(), 8u);
+  const auto matrix =
+      BuildFrameMatrix(video, pool, /*trial_seed=*/23, MatrixOptions{});
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  MatrixEvaluationSource source(*matrix);
+
+  MesOptions mes;
+  mes.gamma = 2;
+  MesStrategy strategy(mes);
+  EngineOptions options;
+  options.strategy_seed = 23;
+  options.compute_regret = false;
+  auto run = EngineRun::Create(source, &strategy, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Warm-up: the first half of the video may allocate (accumulator growth,
+  // arena high-water marks, MES initialization episodes).
+  const size_t warm = video.size() / 2;
+  while (!(*run)->done() && (*run)->next_frame() < warm) {
+    ASSERT_TRUE((*run)->StepFrame().ok());
+  }
+  ASSERT_FALSE((*run)->done());
+
+  const std::uint64_t heap_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  size_t steady_frames = 0;
+  while (!(*run)->done()) {
+    ASSERT_TRUE((*run)->StepFrame().ok());
+    ++steady_frames;
+  }
+  EXPECT_GT(steady_frames, 0u);
+  EXPECT_EQ(g_heap_allocs.load(std::memory_order_relaxed) - heap_before, 0u)
+      << "steady-state StepFrame hit the heap with obs disabled";
+}
 
 // The arena itself must also be quiet in steady state: repeated
 // scope-bounded workloads of the same shape reuse retained blocks.

@@ -1,0 +1,639 @@
+// Tests for the observability subsystem (ISSUE 10): registry determinism
+// (fixed-point simulated-domain counters identical across thread counts),
+// trace-buffer overflow accounting (never silent), the Chrome trace-event
+// and Prometheus-text exporters with their built-in validators/parsers,
+// and the two tentpole contracts — obs disabled leaves every run
+// bit-identical with a zero-cost frame loop, obs enabled leaves results
+// bit-identical while simulated metrics fingerprint identically across
+// worker counts, shard counts and evaluation backends. Checkpoint/resume
+// interaction rides the same harness as resume_test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/mes.h"
+#include "models/model_zoo.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "serve/scheduler.h"
+#include "sim/dataset.h"
+#include "workload/trace.h"
+#include "workload/workload.h"
+
+namespace vqe {
+namespace {
+
+DetectorPool MakePool(int m) {
+  const std::vector<std::string> names = {
+      "yolov7-tiny@clear", "yolov7-tiny@night", "yolov7-tiny@rainy",
+      "yolov7@clear",      "yolov7-micro@clear"};
+  std::vector<DetectorProfile> profiles;
+  for (int i = 0; i < m; ++i) {
+    profiles.push_back(
+        std::move(ParseDetectorName(names[static_cast<size_t>(i)])).value());
+  }
+  return std::move(BuildPool(profiles)).value();
+}
+
+Video MakeVideo(double scene_scale, uint64_t seed) {
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  SampleOptions sample;
+  sample.scene_scale = scene_scale;
+  sample.seed = seed;
+  return std::move(SampleVideo(*spec, sample)).value();
+}
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "vqe_obs_test/" + name;
+  const int rc = std::system(("rm -rf '" + dir + "'").c_str());
+  EXPECT_EQ(rc, 0);
+  return dir;
+}
+
+/// Bit-identity over every deterministic RunResult field (wall-clock
+/// bookkeeping excluded) — same contract as resume_test.
+void ExpectSameRun(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.s_sum, b.s_sum);
+  EXPECT_EQ(a.avg_true_ap, b.avg_true_ap);
+  EXPECT_EQ(a.avg_norm_cost, b.avg_norm_cost);
+  EXPECT_EQ(a.frames_processed, b.frames_processed);
+  EXPECT_EQ(a.regret_available, b.regret_available);
+  EXPECT_EQ(a.regret, b.regret);
+  EXPECT_EQ(a.charged_cost_ms, b.charged_cost_ms);
+  EXPECT_EQ(a.breakdown.detector_ms, b.breakdown.detector_ms);
+  EXPECT_EQ(a.breakdown.reference_ms, b.breakdown.reference_ms);
+  EXPECT_EQ(a.breakdown.ensembling_ms, b.breakdown.ensembling_ms);
+  EXPECT_EQ(a.breakdown.fault_ms, b.breakdown.fault_ms);
+  EXPECT_EQ(a.selection_counts, b.selection_counts);
+  EXPECT_EQ(a.fallback_frames, b.fallback_frames);
+  EXPECT_EQ(a.failed_frames, b.failed_frames);
+  EXPECT_EQ(a.skip.skipped_frames, b.skip.skipped_frames);
+  EXPECT_EQ(a.skip.detect_frames, b.skip.detect_frames);
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(MetricsRegistryTest, CountersGaugesAndHistogramsAccumulate) {
+  MetricsRegistry reg;
+  const auto frames =
+      reg.Counter("frames_total", MetricDomain::kSimulated);
+  const auto cost = reg.Counter("charged_cost_ms", MetricDomain::kSimulated,
+                                MetricUnit::kMs);
+  const auto depth = reg.Gauge("queue_depth", MetricDomain::kWall);
+  const auto lat = reg.Histogram("frame_ms", MetricDomain::kSimulated,
+                                 {1.0, 2.0});
+  ASSERT_NE(frames, MetricsRegistry::kInvalidId);
+  ASSERT_NE(lat, MetricsRegistry::kInvalidId);
+
+  reg.Add(frames, 3);
+  reg.AddMs(cost, 1.5);
+  reg.AddMs(cost, -2.0);  // negative deltas clamp, counters stay monotone
+  reg.Set(depth, 7.0);
+  reg.Set(depth, 4.0);
+  reg.Observe(lat, 0.5);
+  reg.Observe(lat, 1.5);
+  reg.Observe(lat, 9.0);
+
+  bool saw_frames = false, saw_cost = false, saw_depth = false,
+       saw_lat = false;
+  for (const auto& view : reg.Snapshot()) {
+    if (view.name == "frames_total") {
+      saw_frames = true;
+      EXPECT_EQ(view.kind, MetricKind::kCounter);
+      EXPECT_EQ(view.raw, 3u);
+      EXPECT_DOUBLE_EQ(view.value, 3.0);
+    } else if (view.name == "charged_cost_ms") {
+      saw_cost = true;
+      EXPECT_EQ(view.raw, MsToTicks(1.5));
+      EXPECT_DOUBLE_EQ(view.value, 1.5);
+    } else if (view.name == "queue_depth") {
+      saw_depth = true;
+      EXPECT_EQ(view.kind, MetricKind::kGauge);
+      EXPECT_DOUBLE_EQ(view.value, 4.0);  // last write wins
+    } else if (view.name == "frame_ms") {
+      saw_lat = true;
+      EXPECT_EQ(view.kind, MetricKind::kHistogram);
+      ASSERT_EQ(view.histogram.bucket_counts.size(), 3u);
+      EXPECT_EQ(view.histogram.bucket_counts[0], 1u);  // <= 1
+      EXPECT_EQ(view.histogram.bucket_counts[1], 1u);  // <= 2
+      EXPECT_EQ(view.histogram.bucket_counts[2], 1u);  // +Inf
+      EXPECT_EQ(view.histogram.count, 3u);
+      EXPECT_DOUBLE_EQ(view.histogram.sum, 11.0);
+    }
+  }
+  EXPECT_TRUE(saw_frames && saw_cost && saw_depth && saw_lat);
+}
+
+TEST(MetricsRegistryTest, ReRegistrationSharesSeriesAndChecksBounds) {
+  MetricsRegistry reg;
+  const auto a = reg.Counter("frames_total", MetricDomain::kSimulated);
+  const auto b = reg.Counter("frames_total", MetricDomain::kSimulated);
+  EXPECT_EQ(a, b);
+  reg.Add(a, 1);
+  reg.Add(b, 1);
+  EXPECT_EQ(reg.Snapshot()[0].raw, 2u) << "re-registered id is a new series";
+
+  const auto h = reg.Histogram("lat", MetricDomain::kWall, {1.0, 2.0});
+  EXPECT_EQ(reg.Histogram("lat", MetricDomain::kWall, {1.0, 2.0}), h);
+  // Same name with different bounds is a caller bug, not a silent merge.
+  EXPECT_EQ(reg.Histogram("lat", MetricDomain::kWall, {1.0, 4.0}),
+            MetricsRegistry::kInvalidId);
+}
+
+TEST(MetricsRegistryTest, FixedPointTickConversionIsExact) {
+  EXPECT_EQ(MsToTicks(0.0), 0u);
+  EXPECT_EQ(MsToTicks(-5.0), 0u);
+  EXPECT_EQ(MsToTicks(1.0), static_cast<uint64_t>(kTicksPerMs));
+  EXPECT_DOUBLE_EQ(TicksToMs(MsToTicks(123.456789)), 123.456789);
+}
+
+TEST(MetricsRegistryTest, SimulatedFingerprintIsThreadCountInvariant) {
+  // The same multiset of observations, applied serially and by 4 threads
+  // in arbitrary interleaving, must fingerprint byte-identically.
+  auto apply = [](MetricsRegistry& reg, int begin, int end) {
+    const auto frames =
+        reg.Counter("frames_total", MetricDomain::kSimulated);
+    const auto cost = reg.Counter("cost_ms", MetricDomain::kSimulated,
+                                  MetricUnit::kMs);
+    const auto lat =
+        reg.Histogram("frame_ms", MetricDomain::kSimulated, {1.0, 4.0, 16.0});
+    for (int i = begin; i < end; ++i) {
+      reg.Add(frames);
+      reg.AddMs(cost, 0.125 * i);
+      reg.Observe(lat, 0.5 * (i % 40));
+    }
+  };
+
+  MetricsRegistry serial;
+  apply(serial, 0, 4000);
+
+  MetricsRegistry threaded;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back(
+        [&threaded, &apply, w] { apply(threaded, w * 1000, (w + 1) * 1000); });
+  }
+  for (auto& t : workers) t.join();
+
+  const std::string fp = serial.SimulatedFingerprint();
+  EXPECT_FALSE(fp.empty());
+  EXPECT_EQ(fp, threaded.SimulatedFingerprint());
+}
+
+TEST(MetricsRegistryTest, FingerprintExcludesWallMetricsAndGauges) {
+  MetricsRegistry a, b;
+  for (MetricsRegistry* reg : {&a, &b}) {
+    reg->Add(reg->Counter("sim_total", MetricDomain::kSimulated), 5);
+  }
+  // Divergent wall-domain and gauge state must not move the fingerprint:
+  // wall values are real measurements, gauges are last-write-wins races.
+  a.AddMs(a.Counter("wall_ms", MetricDomain::kWall, MetricUnit::kMs), 123.0);
+  b.Set(b.Gauge("depth", MetricDomain::kSimulated), 9.0);
+  EXPECT_EQ(a.SimulatedFingerprint(), b.SimulatedFingerprint());
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(TraceRecorderTest, OverflowIsCountedNeverSilent) {
+  TraceRecorder rec(/*capacity_per_thread=*/8);
+  for (int i = 0; i < 20; ++i) {
+    rec.Span(MetricDomain::kSimulated, /*track=*/1, /*frame=*/i, "step",
+             /*ts_ms=*/static_cast<double>(i), /*dur_ms=*/0.5);
+  }
+  EXPECT_EQ(rec.event_count(), 8u);
+  EXPECT_EQ(rec.dropped_events(), 12u);
+  // Keep-oldest: the retained prefix is the first 8 events in order.
+  const std::vector<TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].frame, static_cast<int64_t>(i));
+  }
+  // The exporter surfaces the drop count and the result still validates.
+  const std::string json = ChromeTraceJson(rec);
+  EXPECT_NE(json.find("dropped_events"), std::string::npos);
+  const Status valid = ValidateChromeTrace(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+TEST(TraceRecorderTest, CollectMergesThreadBuffersInStableOrder) {
+  TraceRecorder rec(64);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&rec, w] {
+      for (int i = 0; i < 8; ++i) {
+        rec.Instant(MetricDomain::kWall, /*track=*/w, /*frame=*/i, "tick",
+                    /*ts_ms=*/static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(rec.dropped_events(), 0u);
+  const std::vector<TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 32u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    const bool ordered =
+        events[i - 1].track < events[i].track ||
+        (events[i - 1].track == events[i].track &&
+         events[i - 1].ts_ms <= events[i].ts_ms);
+    EXPECT_TRUE(ordered) << "Collect() order broke at event " << i;
+  }
+}
+
+// -------------------------------------------------------------- exporters --
+
+TEST(ChromeTraceValidatorTest, AcceptsBothContainerForms) {
+  EXPECT_TRUE(ValidateChromeTrace("[]").ok());
+  EXPECT_TRUE(ValidateChromeTrace(R"({"traceEvents": []})").ok());
+  EXPECT_TRUE(ValidateChromeTrace(
+                  R"([{"ph":"X","name":"a","pid":1,"tid":1,"ts":0,"dur":5},)"
+                  R"({"ph":"i","name":"b","pid":1,"tid":1,"ts":7}])")
+                  .ok());
+}
+
+TEST(ChromeTraceValidatorTest, MalformedJsonIsParseError) {
+  for (const char* hostile :
+       {"", "not json", "[{\"ph\":", "{\"traceEvents\": [",
+        R"([{"ph":"X" "name":"a"}])", "[1,]"}) {
+    const Status s = ValidateChromeTrace(hostile);
+    ASSERT_FALSE(s.ok()) << "accepted: " << hostile;
+    EXPECT_EQ(s.code(), StatusCode::kParseError) << hostile;
+  }
+}
+
+TEST(ChromeTraceValidatorTest, StructuralViolationsAreInvalidArgument) {
+  const struct {
+    const char* name;
+    const char* json;
+  } corpus[] = {
+      {"missing ph", R"([{"name":"a","pid":1,"tid":1,"ts":0}])"},
+      {"missing name", R"([{"ph":"i","pid":1,"tid":1,"ts":0}])"},
+      {"missing ts", R"([{"ph":"i","name":"a","pid":1,"tid":1}])"},
+      {"negative dur",
+       R"([{"ph":"X","name":"a","pid":1,"tid":1,"ts":0,"dur":-1}])"},
+      {"unclosed B", R"([{"ph":"B","name":"a","pid":1,"tid":1,"ts":0}])"},
+      {"E without B", R"([{"ph":"E","name":"a","pid":1,"tid":1,"ts":0}])"},
+      {"ts regression on one track",
+       R"([{"ph":"X","name":"a","pid":1,"tid":1,"ts":5,"dur":1},)"
+       R"({"ph":"X","name":"b","pid":1,"tid":1,"ts":1,"dur":1}])"},
+  };
+  for (const auto& c : corpus) {
+    const Status s = ValidateChromeTrace(c.json);
+    ASSERT_FALSE(s.ok()) << "accepted: " << c.name;
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+        << c.name << ": " << s.ToString();
+  }
+  // Interleaved tracks each monotone: fine.
+  EXPECT_TRUE(ValidateChromeTrace(
+                  R"([{"ph":"i","name":"a","pid":1,"tid":1,"ts":5},)"
+                  R"({"ph":"i","name":"b","pid":1,"tid":2,"ts":1}])")
+                  .ok());
+}
+
+TEST(MetricsTextTest, ExportRoundTripsThroughTheParser) {
+  MetricsRegistry reg;
+  reg.Add(reg.Counter("frames_total", MetricDomain::kSimulated,
+                      MetricUnit::kCount, "frames processed"),
+          3);
+  reg.AddMs(reg.Counter("wall_ms", MetricDomain::kWall, MetricUnit::kMs), 1.5);
+  reg.Set(reg.Gauge("depth", MetricDomain::kWall), 4.0);
+  const auto lat =
+      reg.Histogram("frame_ms", MetricDomain::kSimulated, {1.0, 2.0});
+  reg.Observe(lat, 0.5);
+  reg.Observe(lat, 1.5);
+  reg.Observe(lat, 9.0);
+
+  const std::string text = ExportMetricsText(reg);
+  EXPECT_NE(text.find("# HELP"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE"), std::string::npos);
+
+  auto parsed = ParseMetricsText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  double frames = -1.0, wall = -1.0, depth = -1.0;
+  double bucket_sum = -1.0, bucket_count = -1.0, inf_bucket = -1.0;
+  size_t buckets = 0;
+  for (const MetricSample& s : *parsed) {
+    if (s.name == "frames_total") {
+      frames = s.value;
+      EXPECT_EQ(s.labels.at("domain"), "sim");
+    } else if (s.name == "wall_ms") {
+      wall = s.value;
+      EXPECT_EQ(s.labels.at("domain"), "wall");
+    } else if (s.name == "depth") {
+      depth = s.value;
+    } else if (s.name == "frame_ms_bucket") {
+      ++buckets;
+      if (s.labels.at("le") == "+Inf") inf_bucket = s.value;
+    } else if (s.name == "frame_ms_sum") {
+      bucket_sum = s.value;
+    } else if (s.name == "frame_ms_count") {
+      bucket_count = s.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(frames, 3.0);
+  EXPECT_DOUBLE_EQ(wall, 1.5);
+  EXPECT_DOUBLE_EQ(depth, 4.0);
+  EXPECT_EQ(buckets, 3u) << "two bounds + the +Inf bucket";
+  EXPECT_DOUBLE_EQ(inf_bucket, 3.0) << "cumulative buckets end at count";
+  EXPECT_DOUBLE_EQ(bucket_sum, 11.0);
+  EXPECT_DOUBLE_EQ(bucket_count, 3.0);
+}
+
+TEST(MetricsTextTest, ParserRejectsMalformedLinesWithLineNumber) {
+  for (const char* hostile :
+       {"no_value_here\n", "name{unclosed=\"x\" 1\n", "name 1 2 3\n",
+        "name{le=\"1\"} not_a_number\n"}) {
+    const auto r = ParseMetricsText(hostile);
+    ASSERT_FALSE(r.ok()) << "accepted: " << hostile;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << hostile;
+  }
+}
+
+// ------------------------------------------------ engine identity matrix --
+
+/// One RunExperiment invocation over the Figure 4 line-up.
+ExperimentResult RunMatrixOnce(const DetectorPool& pool,
+                               EvaluationMode evaluation, int parallelism,
+                               const ObsHandle& obs) {
+  const DatasetSpec* spec = *DatasetCatalog::Default().Find("nusc-night");
+  ExperimentConfig config;
+  config.dataset = spec;
+  config.scene_scale = 0.02;
+  config.trials = 2;
+  config.pool_size = 3;
+  config.base_seed = 11;
+  config.parallelism = parallelism;
+  config.evaluation = evaluation;
+  config.engine.obs = obs;
+  auto result =
+      RunExperiment(config, pool, DefaultTuviStrategies(2, 2));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : ExperimentResult{};
+}
+
+void ExpectSameExperiment(const ExperimentResult& a,
+                          const ExperimentResult& b) {
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (size_t s = 0; s < a.outcomes.size(); ++s) {
+    SCOPED_TRACE(a.outcomes[s].label);
+    EXPECT_EQ(a.outcomes[s].label, b.outcomes[s].label);
+    ASSERT_EQ(a.outcomes[s].runs.size(), b.outcomes[s].runs.size());
+    for (size_t t = 0; t < a.outcomes[s].runs.size(); ++t) {
+      ExpectSameRun(a.outcomes[s].runs[t], b.outcomes[s].runs[t]);
+    }
+  }
+}
+
+// The tentpole contract, both directions, over six strategies × eager/lazy
+// × worker counts {1, 4}: disabling obs changes nothing, enabling obs
+// changes nothing, and the enabled runs' simulated-domain fingerprint is
+// one byte string regardless of backend or thread count.
+TEST(ObsIdentityTest, EnabledAndDisabledRunsAreBitIdenticalEverywhere) {
+  const DetectorPool pool = MakePool(3);
+
+  ExperimentResult baseline;  // eager, serial, no obs
+  std::string fingerprint;
+  bool first = true;
+  for (const EvaluationMode mode :
+       {EvaluationMode::kEager, EvaluationMode::kLazy}) {
+    for (const int workers : {1, 4}) {
+      SCOPED_TRACE(std::string(mode == EvaluationMode::kEager ? "eager"
+                                                              : "lazy") +
+                   "/w" + std::to_string(workers));
+      const ExperimentResult off = RunMatrixOnce(pool, mode, workers, {});
+
+      Observability obs;
+      const ExperimentResult on =
+          RunMatrixOnce(pool, mode, workers, obs.handle());
+
+      // Observation never perturbs selection...
+      ExpectSameExperiment(off, on);
+      // ...every cell matches the very first one...
+      if (first) {
+        baseline = off;
+        first = false;
+      } else {
+        ExpectSameExperiment(baseline, off);
+      }
+      // ...and the simulated metrics are one fingerprint for all cells.
+      const std::string fp = obs.metrics().SimulatedFingerprint();
+      ASSERT_FALSE(fp.empty());
+      EXPECT_GT(obs.trace().event_count(), 0u);
+      if (fingerprint.empty()) {
+        fingerprint = fp;
+      } else {
+        EXPECT_EQ(fp, fingerprint);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- scheduler & fleet obs --
+
+const char kObsTrace[] =
+    "VQEWORK 1\n"
+    "seed 7\n"
+    "rounds 6\n"
+    "dataset nusc-night\n"
+    "scale 0.05\n"
+    "models 3\n"
+    "arrivals rate 0.6 alpha 1.6 cap 4\n"
+    "class interactive share 0.5 frames 8 skip bandit 2\n"
+    "class batch share 0.5 frames 12 skip off 0\n"
+    "end\n";
+
+ServeOptions SmallServe() {
+  ServeOptions o;
+  o.max_sessions = 4;
+  o.queue_depth = 64;
+  o.quantum_ms = 60.0;
+  o.max_frames_per_round = 8;
+  return o;
+}
+
+TEST(ObsServeTest, SchedulerMetricsFingerprintIsWorkerCountInvariant) {
+  const WorkloadTrace t = std::move(ParseWorkloadTrace(kObsTrace)).value();
+  const WorkloadPlan plan = BuildWorkloadPlan(t);
+  const DetectorPool pool = MakePool(t.models);
+
+  WorkloadRunReport uninstrumented;
+  std::string fingerprint;
+  for (const int parallelism : {1, 0}) {
+    SCOPED_TRACE("parallelism " + std::to_string(parallelism));
+    ServeOptions plain = MakeServeOptions(t, SmallServe(), false);
+    plain.parallelism = parallelism;
+    WorkloadRunReport off =
+        std::move(RunWorkloadOnScheduler(plan, pool, plain)).value();
+
+    Observability obs;
+    ServeOptions instrumented = plain;
+    instrumented.obs = obs.handle();
+    const WorkloadRunReport on =
+        std::move(RunWorkloadOnScheduler(plan, pool, instrumented)).value();
+
+    // Instrumentation leaves every stream bit-identical...
+    ASSERT_EQ(off.serve.streams.size(), on.serve.streams.size());
+    for (size_t i = 0; i < off.serve.streams.size(); ++i) {
+      EXPECT_EQ(off.serve.streams[i].name, on.serve.streams[i].name);
+      ExpectSameRun(off.serve.streams[i].result, on.serve.streams[i].result);
+    }
+    // ...the scheduler recorded wall-domain activity on its node track...
+    EXPECT_GT(obs.trace().event_count(), 0u);
+    // ...and the simulated fingerprint ignores the worker count.
+    const std::string fp = obs.metrics().SimulatedFingerprint();
+    ASSERT_FALSE(fp.empty());
+    if (fingerprint.empty()) {
+      fingerprint = fp;
+      uninstrumented = std::move(off);
+    } else {
+      EXPECT_EQ(fp, fingerprint);
+    }
+  }
+  ASSERT_FALSE(uninstrumented.serve.streams.empty());
+}
+
+TEST(ObsFleetTest, FleetMetricsFingerprintIsShardCountInvariant) {
+  const WorkloadTrace t = std::move(ParseWorkloadTrace(kObsTrace)).value();
+  const WorkloadPlan plan = BuildWorkloadPlan(t);
+  const DetectorPool pool = MakePool(t.models);
+
+  std::string fingerprint;
+  for (const int shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    Observability obs;
+    FleetOptions fleet;
+    fleet.num_shards = shards;
+    fleet.max_sessions = 64;
+    // Overload control off: the ladder reacts to per-shard queue depth, so
+    // it is the one mechanism that legitimately varies with the topology.
+    fleet.shard = MakeServeOptions(t, SmallServe(), false);
+    fleet.obs = obs.handle();
+
+    const FleetReport report =
+        std::move(RunWorkloadOnFleet(plan, pool, fleet)).value();
+    EXPECT_EQ(report.streams.size(), plan.sessions.size());
+    EXPECT_GT(report.stats.completed_streams, 0u);
+
+    const std::string fp = obs.metrics().SimulatedFingerprint();
+    ASSERT_FALSE(fp.empty());
+    EXPECT_GT(obs.trace().event_count(), 0u);
+    if (fingerprint.empty()) {
+      fingerprint = fp;
+    } else {
+      EXPECT_EQ(fp, fingerprint);
+    }
+  }
+}
+
+// --------------------------------------------------- checkpoint interplay --
+
+// An instrumented run that crashes and resumes must end bit-identical to
+// an uninstrumented, uninterrupted one: obs state is a node property and
+// never enters the snapshot.
+TEST(ObsCheckpointTest, InstrumentedCrashResumeMatchesPlainBaseline) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(/*scene_scale=*/0.02, /*seed=*/17);
+  ASSERT_GT(video.size(), 10u);
+  const auto matrix =
+      BuildFrameMatrix(video, pool, /*trial_seed=*/9, MatrixOptions{});
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+
+  auto run_once = [&](const EngineOptions& engine) -> Result<RunResult> {
+    MesOptions o;
+    o.gamma = 2;
+    MesStrategy strategy(o);
+    return RunStrategy(*matrix, &strategy, engine);
+  };
+
+  EngineOptions engine;
+  engine.strategy_seed = 42;
+  engine.compute_regret = false;
+  const Result<RunResult> baseline = run_once(engine);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  Observability obs;
+  EngineOptions ck = engine;
+  ck.obs = obs.handle();
+  ck.checkpoint.every_frames = 4;
+  ck.checkpoint.crash_after_frames = 6;
+  ck.checkpoint.directory = ScratchDir("crash-resume");
+
+  int invocations = 0;
+  RunResult resumed;
+  for (int attempt = 1;; ++attempt) {
+    ASSERT_LE(attempt, 64) << "crash-resume loop never completed";
+    Result<RunResult> run = run_once(ck);
+    if (run.ok()) {
+      invocations = attempt;
+      resumed = std::move(run).value();
+      break;
+    }
+    ASSERT_EQ(run.status().code(), StatusCode::kAborted)
+        << run.status().ToString();
+  }
+  EXPECT_GT(invocations, 1) << "the crash must actually fire";
+  EXPECT_TRUE(resumed.checkpoint.resumed);
+  ExpectSameRun(*baseline, resumed);
+
+  // The instrumented invocations left real evidence behind: simulated
+  // frame metrics, and a wall-domain record of the checkpoint writes.
+  EXPECT_FALSE(obs.metrics().SimulatedFingerprint().empty());
+  EXPECT_GT(obs.trace().event_count(), 0u);
+}
+
+// ----------------------------------------------- emitted artifacts (sat 4) --
+
+// A real instrumented run's exported trace passes the Chrome validator and
+// its metrics text round-trips — the same gate tools/check.sh applies to
+// the bench binaries' --trace-out output.
+TEST(ObsExportTest, RealRunArtifactsValidateAndRoundTrip) {
+  const DetectorPool pool = MakePool(3);
+  const Video video = MakeVideo(/*scene_scale=*/0.02, /*seed=*/5);
+  const auto matrix =
+      BuildFrameMatrix(video, pool, /*trial_seed=*/5, MatrixOptions{});
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+
+  Observability obs;
+  EngineOptions engine;
+  engine.strategy_seed = 3;
+  engine.compute_regret = false;
+  engine.obs = obs.handle();
+  MesOptions o;
+  o.gamma = 2;
+  MesStrategy strategy(o);
+  const auto run = RunStrategy(*matrix, &strategy, engine);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  ASSERT_GT(obs.trace().event_count(), 0u);
+  EXPECT_EQ(obs.trace().dropped_events(), 0u);
+  const std::string json = ChromeTraceJson(obs.trace());
+  const Status valid = ValidateChromeTrace(json);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+
+  const auto samples = ParseMetricsText(ExportMetricsText(obs.metrics()));
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_FALSE(samples->empty());
+  bool saw_sim = false;
+  for (const MetricSample& s : *samples) {
+    const auto domain = s.labels.find("domain");
+    if (domain != s.labels.end() && domain->second == "sim") saw_sim = true;
+  }
+  EXPECT_TRUE(saw_sim) << "an engine run must emit simulated-domain series";
+}
+
+}  // namespace
+}  // namespace vqe

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "query/executor.h"
+#include "query/explain.h"
 #include "query/lexer.h"
 #include "query/parser.h"
 #include "query/predicate.h"
@@ -468,6 +469,79 @@ TEST(ExecutorTest, SqlScaleAndSeedOverrideEngineDefaults) {
       opt);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_GE(a->frames_processed, 2 * b->frames_processed);  // larger replica
+}
+
+// ----------------------------------------------------------------- window --
+
+TEST(ParserTest, WindowClauseParsesAndRecordsPosition) {
+  const std::string sql =
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING SW-MES(*; REF)) WINDOW 64";
+  const auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->window, 64u);
+  EXPECT_EQ(q->window_pos, sql.find("WINDOW"));
+  EXPECT_NE(ExplainQuery(*q).find("window=64"), std::string::npos);
+}
+
+TEST(ParserTest, WindowOrdersAfterBudgetBeforeLimit) {
+  const auto q = ParseQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING SW-MES(*; REF)) BUDGET 500 WINDOW 16 LIMIT 3");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q->budget_ms, 500.0);
+  EXPECT_EQ(q->window, 16u);
+  EXPECT_EQ(q->limit, 3u);
+}
+
+TEST(ParserTest, WindowRejectsDegenerateLengths) {
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                          "frameID, Detections USING SW-MES(*; REF)) "
+                          "WINDOW 1")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                          "frameID, Detections USING SW-MES(*; REF)) "
+                          "WINDOW")
+                   .ok());
+}
+
+TEST(ExecutorTest, WindowMapsOntoSwMesWindow) {
+  QueryEngineOptions opt = SmallOptions();
+  const auto with_clause = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING SW-MES(*; REF)) WINDOW 32",
+      opt);
+  ASSERT_TRUE(with_clause.ok()) << with_clause.status().ToString();
+  // The clause must act exactly like configuring the engine default.
+  QueryEngineOptions tuned = opt;
+  tuned.sw_window = 32;
+  const auto via_options = ExecuteQuery(
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING SW-MES(*; REF))",
+      tuned);
+  ASSERT_TRUE(via_options.ok()) << via_options.status().ToString();
+  EXPECT_EQ(with_clause->frame_ids, via_options->frame_ids);
+  EXPECT_EQ(with_clause->selection_counts, via_options->selection_counts);
+  EXPECT_DOUBLE_EQ(with_clause->charged_cost_ms, via_options->charged_cost_ms);
+}
+
+TEST(ExecutorTest, WindowRejectedForNonSlidingStrategies) {
+  const std::string sql =
+      "SELECT frameID FROM (PROCESS nusc PRODUCE frameID, Detections "
+      "USING MES(*; REF)) WINDOW 64";
+  const auto out = ExecuteQuery(sql, SmallOptions());
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  // The diagnostic points back at the offending clause.
+  EXPECT_NE(out.status().message().find(
+                "offset " + std::to_string(sql.find("WINDOW"))),
+            std::string::npos)
+      << out.status().ToString();
+  // Other non-sliding strategies reject too.
+  EXPECT_FALSE(ExecuteQuery("SELECT frameID FROM (PROCESS nusc PRODUCE "
+                            "frameID, Detections USING BF(*)) WINDOW 8",
+                            SmallOptions())
+                   .ok());
 }
 
 TEST(ExecutorTest, SelectiveVsBroadPredicates) {

@@ -22,7 +22,10 @@
 # corrupted payload must reject with a clean Status under every
 # sanitizer), plus the overload controller and trace-driven workload
 # engine (hostile trace corpus, degradation-ladder determinism, and
-# concurrent breaker-registry publication under TSan).
+# concurrent breaker-registry publication under TSan), plus the
+# observability plane (lock-free metrics/trace recording from worker
+# threads, fingerprint determinism, exporter validation — obs-enabled
+# runs must stay bit-identical and race-free under every sanitizer).
 
 set -eu
 
@@ -73,6 +76,21 @@ run_overload_storm_smoke() {
   (cd build/bench && ./bench_workload)
 }
 
+run_obs_smoke() {
+  # Observability smoke: instrumented bench runs must emit Chrome trace
+  # JSON that the in-repo validator accepts, and the benches' exit codes
+  # keep gating their bit-identity verdicts with obs ENABLED on the
+  # instrumented configs — i.e. tracing a run never changes its results.
+  # The workload bench also replays the multi-day diurnal trace file
+  # (three day/night cycles + gradual drift) and gates its shape,
+  # drift-ramp and worker-count-determinism verdicts.
+  (cd build/bench && VQE_BENCH_TRIALS=2 VQE_BENCH_FRAMES=120 \
+    ./bench_serve --trace-out BENCH_serve_trace.json)
+  (cd build/bench && ./bench_workload \
+    --trace ../../bench/traces/diurnal_multiday.vqework \
+    --trace-out BENCH_workload_trace.json)
+}
+
 run_sanitizer() {
   san="$1"
   dir="build-$2"
@@ -80,15 +98,16 @@ run_sanitizer() {
   cmake --build "$dir" -j --target \
     thread_pool_test determinism_test fusion_test lazy_eval_test \
     runtime_test snapshot_test resume_test serialization_test serve_test \
-    fleet_test temporal_test tracker_test workload_test
+    fleet_test temporal_test tracker_test workload_test obs_test
   ctest --test-dir "$dir" --output-on-failure -j 4 \
-    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|MigrationPayload|SessionImplant|SchedulerMigration|FleetOptions|ChaosScript|ShardedServer|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest|Workload|Overload|SamplePercentile|EngineDegradation|TemporalGateBoost"
+    -R "ThreadPool|ParallelFor|ResolveWorkers|Determinism|LazyEval|FusionProperty|FaultInjection|RetryTest|CircuitBreaker|ResilientDetector|EngineFaultTolerance|ExperimentFault|Wire|Crc32|SnapshotContainer|CheckpointManager|CheckpointPolicy|ArmStatsSnapshot|SlidingWindowSnapshot|CircuitBreakerSnapshot|RunResultSnapshot|EngineIdentity|RngSnapshot|CrashMatrix|ResumeTest|QueryResume|Serialization|Serve|StreamScheduler|StreamSession|BatchDispatcher|BreakerRegistry|PriorityClass|TimeBreakdown|MigrationPayload|SessionImplant|SchedulerMigration|FleetOptions|ChaosScript|ShardedServer|SkipOptions|SkipPolicy|Difficulty|TrackPropagator|TemporalEngine|TemporalQuery|TrackerCoast|TrackerOptions|TrackerTest|Workload|Overload|SamplePercentile|EngineDegradation|TemporalGateBoost|MetricsRegistry|TraceRecorder|ChromeTraceValidator|MetricsText|ObsIdentity|ObsServe|ObsFleet|ObsCheckpoint|ObsExport|EngineSteadyState"
 }
 
 run_tier1
 run_perf_smoke
 run_fleet_chaos_smoke
 run_overload_storm_smoke
+run_obs_smoke
 
 if [ "${1:-}" = "--full" ]; then
   run_sanitizer address asan
